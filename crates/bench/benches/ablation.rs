@@ -1,0 +1,41 @@
+//! **A1/A2** — ablations of the compiler's optimizations on the sieve.
+//!
+//! A1: §4.4's constant-function inlining ("reduce the number of procedure
+//! calls") and constant memory-operation specialization.
+//! A2: §5.4's future-work latch elision.
+//! Each is toggled independently; everything runs on the compiled VM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtl_bench::{run_to_sink, sieve};
+use rtl_compile::{OptOptions, Vm};
+use std::time::Duration;
+
+fn ablation(c: &mut Criterion) {
+    let (_, design) = sieve();
+    let full = OptOptions::full();
+    let variants: [(&str, OptOptions); 6] = [
+        ("full", full),
+        ("no_inline_alu", OptOptions { inline_const_alu: false, ..full }),
+        ("no_inline_memop", OptOptions { inline_const_memop: false, ..full }),
+        ("no_fold", OptOptions { fold_constants: false, ..full }),
+        ("no_latch_elision", OptOptions { elide_dead_latches: false, ..full }),
+        ("none", OptOptions::none()),
+    ];
+
+    let mut g = c.benchmark_group("ablation_sieve_vm");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(3));
+    for (name, opts) in variants {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut vm = Vm::with_options(&design, opts, true);
+                run_to_sink(&mut vm);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! **Figure 5.1** — execution time comparison of ASIM and ASIM II.
+//!
+//! The paper's sieve ran 5545 cycles: ASIM (interpreter) took 310.6 s of
+//! simulation, ASIM II's compiled simulator 15.0 s (≈20×). Here the same
+//! comparison runs over our sieve workload: the table interpreter vs. the
+//! compiled bytecode VM (the in-process tier of ASIM II). The full
+//! pipeline including `rustc` and the standalone binary is measured by
+//! `cargo run -p rtl-bench --bin fig5_1_table --release`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtl_bench::{run_to_sink, sieve};
+use rtl_compile::{OptOptions, Vm};
+use rtl_interp::{InterpOptions, Interpreter};
+use std::time::Duration;
+
+fn fig5_1(c: &mut Criterion) {
+    let (w, design) = sieve();
+    let mut g = c.benchmark_group("fig5_1_sieve");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(3));
+    g.throughput(criterion::Throughput::Elements(w.cycles as u64 + 1));
+
+    g.bench_function("asim_interpreter", |b| {
+        b.iter(|| {
+            let mut sim = Interpreter::with_options(&design, InterpOptions::faithful());
+            run_to_sink(&mut sim);
+        })
+    });
+    g.bench_function("asim_interpreter_modernized", |b| {
+        b.iter(|| {
+            let mut sim = Interpreter::with_options(&design, InterpOptions::default());
+            run_to_sink(&mut sim);
+        })
+    });
+    g.bench_function("asim2_compiled_vm", |b| {
+        b.iter(|| {
+            let mut sim = Vm::with_options(&design, OptOptions::full(), true);
+            run_to_sink(&mut sim);
+        })
+    });
+    // Preparation phases, separated (the paper's "Generate tables" row vs.
+    // the simulation row).
+    g.bench_function("asim_generate_tables", |b| {
+        b.iter(|| Interpreter::new(&design).table_size())
+    });
+    g.bench_function("asim2_generate_program", |b| {
+        b.iter(|| Vm::new(&design).program().len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig5_1);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! **Figures 4.1–4.3** — code generation.
+//!
+//! The figures themselves are code artifacts (regenerate them with
+//! `asim fig 4.1` etc. and the golden tests in `rtl-compile`). What can be
+//! *measured* is the code generator's throughput — the "Generate code
+//! 34.2 s" preparation row of Figure 5.1 — for both backends over the
+//! figure specs and the full sieve machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtl_bench::sieve;
+use rtl_compile::{emit_pascal, emit_rust, EmitOptions};
+use rtl_core::Design;
+use std::time::Duration;
+
+fn figs4(c: &mut Criterion) {
+    let figs: Vec<(&str, Design)> = [
+        ("fig4_1", rtl_machines::classic::FIG4_1),
+        ("fig4_2", rtl_machines::classic::FIG4_2),
+        ("fig4_3", rtl_machines::classic::FIG4_3),
+    ]
+    .into_iter()
+    .map(|(n, src)| (n, Design::from_source(src).expect("bundled spec")))
+    .collect();
+    let (_, sieve_design) = sieve();
+
+    let mut g = c.benchmark_group("figs4_codegen");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(2));
+    for (name, d) in &figs {
+        g.bench_function(format!("{name}_rust"), |b| {
+            b.iter(|| emit_rust(d, &EmitOptions::default()).len())
+        });
+        g.bench_function(format!("{name}_pascal"), |b| {
+            b.iter(|| emit_pascal(d, &EmitOptions::default()).len())
+        });
+    }
+    g.bench_function("sieve_machine_rust", |b| {
+        b.iter(|| emit_rust(&sieve_design, &EmitOptions::default()).len())
+    });
+    g.bench_function("sieve_machine_pascal", |b| {
+        b.iter(|| emit_pascal(&sieve_design, &EmitOptions::default()).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, figs4);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! **A4** — levels of hardware description (§1.2/§2.2.4).
+//!
+//! The thesis's workflow argument: design the instruction set at ISP
+//! level first ("useful in designing an instruction set ... and for
+//! simulating that execution"), then descend to RTL. The quantitative
+//! basis is that an instruction-set simulator runs orders of magnitude
+//! faster than the cycle-accurate RTL model of the same machine. This
+//! bench runs the same sieve at all three levels we have.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtl_bench::{run_to_sink, sieve};
+use rtl_compile::{OptOptions, Vm};
+use rtl_interp::{InterpOptions, Interpreter};
+use rtl_machines::stack::{Iss, Stop};
+use std::time::Duration;
+
+fn levels(c: &mut Criterion) {
+    let (w, design) = sieve();
+    let mut g = c.benchmark_group("levels_sieve");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(3));
+
+    g.bench_function("isp_level_iss", |b| {
+        b.iter(|| {
+            let mut iss = Iss::new(w.program.clone());
+            assert_eq!(iss.run(10_000_000), Stop::Halted);
+            iss.outputs.len()
+        })
+    });
+    g.bench_function("rtl_level_interp", |b| {
+        b.iter(|| {
+            let mut sim = Interpreter::with_options(&design, InterpOptions::quiet());
+            run_to_sink(&mut sim);
+        })
+    });
+    g.bench_function("rtl_level_vm", |b| {
+        b.iter(|| {
+            let mut sim = Vm::with_options(&design, OptOptions::full(), false);
+            run_to_sink(&mut sim);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, levels);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! **A3** — component-count scaling.
+//!
+//! §5.2 motivates ASIM II with the claim that table interpretation "is too
+//! slow for use in large projects". This sweep runs synthetic dependency
+//! chains of growing component count for a fixed cycle budget on both
+//! engines; per-cycle cost should grow linearly on both, with the VM's
+//! slope markedly lower.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtl_bench::run_cycles_to_sink;
+use rtl_compile::{OptOptions, Vm};
+use rtl_core::Design;
+use rtl_interp::{InterpOptions, Interpreter};
+use rtl_machines::synth::chain;
+use std::time::Duration;
+
+const CYCLES: u64 = 500;
+
+fn scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling_chain");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(2));
+    for n in [8usize, 32, 128, 512] {
+        let design = Design::elaborate(&chain(n)).expect("chain elaborates");
+        g.throughput(criterion::Throughput::Elements(CYCLES * n as u64));
+        g.bench_with_input(BenchmarkId::new("interp", n), &design, |b, d| {
+            b.iter(|| {
+                let mut sim = Interpreter::with_options(d, InterpOptions::quiet());
+                run_cycles_to_sink(&mut sim, CYCLES).expect("chain runs");
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("vm", n), &design, |b, d| {
+            b.iter(|| {
+                let mut sim = Vm::with_options(d, OptOptions::full(), false);
+                run_cycles_to_sink(&mut sim, CYCLES).expect("chain runs");
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

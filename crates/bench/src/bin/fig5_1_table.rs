@@ -1,0 +1,146 @@
+//! Regenerates **Figure 5.1** — "Execution time comparison (in seconds)
+//! of ASIM and ASIM II" — end to end, including the host-compiler
+//! pipeline, and prints the measured rows next to the paper's numbers.
+//!
+//! Paper rows (VAX-era seconds, sieve stack machine, 5545 cycles):
+//!
+//! ```text
+//! ASIM      Generate tables      10.8
+//!           Simulation time     310.6
+//! ASIM II   Generate code        34.2
+//!           Pascal Compile       43.2
+//!           Simulation time      15.0
+//! Traditional  Generate Prototype  100000
+//!              Run Prototype        0.01
+//! ```
+//!
+//! The "ASIM" row uses the interpreter's *symbol-table* lookup mode — the
+//! per-reference `findname` discipline of the published 1986 source. The
+//! modernized interpreter (references pre-resolved to indices) is reported
+//! as an extra row for transparency; see `EXPERIMENTS.md`.
+//!
+//! Run with: `cargo run --release -p rtl-bench --bin fig5_1_table [sieve-size]`
+
+use rtl_bench::{run_to_sink, sieve_sized};
+use rtl_compile::{rustc_available, EmitOptions, OptOptions, Vm};
+use rtl_interp::{InterpOptions, Interpreter, LookupMode};
+use std::time::{Duration, Instant};
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Best-of-5, like the thesis ("The best of 5 time trials was taken").
+fn best_of_5(mut f: impl FnMut() -> Duration) -> Duration {
+    (0..5).map(|_| f()).min().expect("five trials")
+}
+
+fn row(label: &str, measured: Duration, paper: &str) {
+    println!("{label:<34} {:>12.6}   {paper}", measured.as_secs_f64());
+}
+
+fn main() {
+    let size: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let (w, design) = sieve_sized(size);
+    let total_cycles = w.cycles + 1;
+    println!("Figure 5.1 — execution time comparison (sieve stack machine)");
+    println!(
+        "workload: sieve size {size}, {} primes, {} cycles (paper: 5545 cycles)",
+        w.primes.len(),
+        total_cycles
+    );
+    println!();
+    println!("{:<34} {:>12}   paper (s)", "row", "measured (s)");
+
+    // --- ASIM: the 1986-style symbol-table interpreter.
+    let prep = best_of_5(|| time(|| Interpreter::new(&design).table_size()).1);
+    row("ASIM      Generate tables", prep, "10.8");
+    let sim = best_of_5(|| {
+        let mut engine = Interpreter::with_options(&design, InterpOptions::faithful());
+        time(|| run_to_sink(&mut engine)).1
+    });
+    row("ASIM      Simulation time", sim, "310.6");
+    let sim_indexed = best_of_5(|| {
+        let mut engine = Interpreter::with_options(
+            &design,
+            InterpOptions { trace: true, lookup: LookupMode::Indexed },
+        );
+        time(|| run_to_sink(&mut engine)).1
+    });
+    row("ASIM      (modernized lookups)", sim_indexed, "—");
+
+    // --- ASIM II, tier 1: the in-process compiled VM.
+    let vm_prep = best_of_5(|| time(|| Vm::new(&design).program().len()).1);
+    row("ASIM II   Generate bytecode", vm_prep, "—");
+    let vm_sim = best_of_5(|| {
+        let mut engine = Vm::with_options(&design, OptOptions::full(), true);
+        time(|| run_to_sink(&mut engine)).1
+    });
+    row("ASIM II   VM simulation time", vm_sim, "—");
+
+    // --- ASIM II, tier 2: generated Rust compiled by rustc (the paper's
+    // generate-Pascal / pc / a.out pipeline).
+    if rustc_available() {
+        let options = EmitOptions::default();
+        let compiled = rtl_compile::build(&design, &options).expect("pipeline builds");
+        row("ASIM II   Generate code", compiled.timings.generate, "34.2");
+        row(
+            "ASIM II   rustc compile",
+            compiled.timings.compile,
+            "43.2  (paper: Pascal compile)",
+        );
+        let bin_sim = best_of_5(|| compiled.run(b"").expect("binary runs").1);
+        row("ASIM II   Simulation time", bin_sim, "15.0");
+        // Sanity: the binary's output matches the oracle.
+        let (text, _) = compiled.run(b"").expect("binary runs");
+        let printed = text.lines().filter(|l| !l.starts_with("Cycle")).count();
+        assert_eq!(printed, w.primes.len(), "binary prints every prime");
+
+        println!();
+        println!("speedups (simulation time only):");
+        println!(
+            "  ASIM / binary            = {:>8.1}x   (paper: ~20x)",
+            sim.as_secs_f64() / bin_sim.as_secs_f64().max(1e-12)
+        );
+        println!(
+            "  ASIM / VM                = {:>8.1}x",
+            sim.as_secs_f64() / vm_sim.as_secs_f64().max(1e-12)
+        );
+        println!(
+            "  modernized interp / VM   = {:>8.1}x",
+            sim_indexed.as_secs_f64() / vm_sim.as_secs_f64().max(1e-12)
+        );
+        let our_total = prep + sim;
+        let their_total = compiled.timings.generate + compiled.timings.compile + bin_sim;
+        println!(
+            "  end-to-end ASIM / ASIM II = {:>7.1}x   (paper: ~2.5x)",
+            our_total.as_secs_f64() / their_total.as_secs_f64().max(1e-12)
+        );
+        // Where compiling starts to pay off end-to-end. The paper's VAX
+        // crossover sat below its 5545-cycle workload; on a modern host
+        // rustc is cheap in absolute terms but our interpreter is far
+        // faster relative to native code than 1986 Pascal interpretation
+        // was, which pushes the crossover to larger cycle counts.
+        let interp_per_cycle = sim.as_secs_f64() / total_cycles as f64;
+        let binary_per_cycle = bin_sim.as_secs_f64() / total_cycles as f64;
+        if interp_per_cycle > binary_per_cycle {
+            let fixed = (compiled.timings.generate + compiled.timings.compile).as_secs_f64();
+            let crossover = fixed / (interp_per_cycle - binary_per_cycle);
+            println!(
+                "  end-to-end crossover      = {:.0}k cycles (compiling pays off beyond this)",
+                crossover / 1e3
+            );
+        }
+    } else {
+        println!("(rustc not found: skipping the generated-binary rows)");
+    }
+
+    println!();
+    println!("Traditional Generate Prototype                 100000  (thesis estimate)");
+    println!("Traditional Run Prototype                        0.01  (thesis estimate)");
+}

@@ -1,0 +1,64 @@
+//! # rtl-bench — benchmark harnesses for the thesis's evaluation
+//!
+//! One bench target per table/figure (see `DESIGN.md` §3):
+//!
+//! * `benches/fig5_1.rs` — ASIM vs ASIM II simulation time on the sieve,
+//! * `benches/figs4.rs` — code-generation throughput (the "Generate code"
+//!   preparation row),
+//! * `benches/ablation.rs` — A1/A2: §4.4 inlining and §5.4 latch elision,
+//! * `benches/scaling.rs` — A3: component-count sweep,
+//! * `benches/levels.rs` — A4: ISP level vs RTL level,
+//! * `src/bin/fig5_1_table.rs` — the full Figure 5.1 table including the
+//!   `rustc` pipeline, printed next to the paper's numbers,
+//! * `src/bin/ablation_table.rs` — one-shot text tables for the ablations.
+
+use rtl_core::{Design, Engine, NoInput, SimError, Word};
+use rtl_machines::stack::{self, SieveWorkload};
+
+/// The standard Figure 5.1 workload: the sieve at size 20 (a cycle count
+/// in the same few-thousand range as the thesis's 5545).
+pub fn sieve() -> (SieveWorkload, Design) {
+    sieve_sized(20)
+}
+
+/// A sieve workload of arbitrary size with its elaborated RTL design.
+pub fn sieve_sized(size: Word) -> (SieveWorkload, Design) {
+    let w = stack::sieve_workload(size);
+    let spec = stack::rtl::spec(&w.program, Some(w.cycles));
+    let design = Design::elaborate(&spec).expect("sieve spec elaborates");
+    (w, design)
+}
+
+/// Runs an engine over the spec's cycle count with output discarded,
+/// panicking on simulation errors (benchmarks must not fail silently).
+pub fn run_to_sink<E: Engine>(engine: &mut E) {
+    let mut sink = std::io::sink();
+    let mut input = NoInput;
+    if let Err(e) = engine.run_spec(&mut sink, &mut input) {
+        panic!("benchmark workload failed: {e}");
+    }
+}
+
+/// Runs an engine for exactly `cycles` iterations with output discarded.
+pub fn run_cycles_to_sink<E: Engine>(engine: &mut E, cycles: u64) -> Result<(), SimError> {
+    let mut sink = std::io::sink();
+    let mut input = NoInput;
+    engine.run(cycles, &mut sink, &mut input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl_compile::Vm;
+    use rtl_interp::Interpreter;
+
+    #[test]
+    fn harness_workload_runs_on_both_engines() {
+        let (w, design) = sieve_sized(5);
+        let mut interp = Interpreter::new(&design);
+        run_to_sink(&mut interp);
+        let mut vm = Vm::new(&design);
+        run_to_sink(&mut vm);
+        assert_eq!(w.primes, vec![3, 5, 7, 11]);
+    }
+}

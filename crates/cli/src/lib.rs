@@ -1,0 +1,572 @@
+//! # asim-cli — the `asim` command line tool
+//!
+//! The modern counterpart of the thesis's `sim [file]` (Appendix A):
+//!
+//! ```text
+//! asim check  FILE                      parse + elaborate, report warnings
+//! asim run    FILE [--cycles N] [--engine interp|vm] [--no-trace] [--stats]
+//! asim compile FILE [--backend rust|pascal] [-o OUT] [--cycles N] [--interactive]
+//! asim netlist FILE [--format report|dot|wiring]
+//! asim vcd    FILE [-o OUT.vcd] [--cycles N]
+//! asim spec   NAME                      print a bundled/generated specification
+//! asim fig    3.1|4.1|4.2|4.3|5.1       regenerate a thesis figure
+//! ```
+//!
+//! The library entry point [`run`] takes arguments and output sinks so the
+//! whole tool is testable in-process; `main` is a thin wrapper.
+
+use rtl_compile::{EmitOptions, OptOptions, Vm};
+use rtl_core::{Design, Engine, InputSource as _, ReaderInput, SimError};
+use rtl_interp::{InterpOptions, Interpreter};
+use std::io::Write;
+
+/// Executes the tool with the process's stdin. Returns the process exit
+/// code: 0 success, 1 usage error, 2 load (parse/elaborate) error, 3
+/// runtime simulation error.
+pub fn run(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> i32 {
+    let stdin = std::io::stdin();
+    run_with_input(args, &mut stdin.lock(), out, err)
+}
+
+/// Executes the tool with an explicit input stream (memory-mapped input
+/// and interactive prompts read from it) — the testable entry point.
+pub fn run_with_input(
+    args: &[String],
+    stdin: &mut dyn std::io::BufRead,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> i32 {
+    match dispatch(args, stdin, out) {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(err, "{}", e.message);
+            e.code
+        }
+    }
+}
+
+struct CliError {
+    code: i32,
+    message: String,
+}
+
+fn usage_err(message: impl Into<String>) -> CliError {
+    CliError { code: 1, message: format!("{}\n\n{USAGE}", message.into()) }
+}
+
+fn load_err(message: impl std::fmt::Display) -> CliError {
+    CliError { code: 2, message: message.to_string() }
+}
+
+fn sim_err(e: SimError) -> CliError {
+    CliError { code: 3, message: format!("runtime error: {e}") }
+}
+
+const USAGE: &str = "usage:
+  asim check   FILE [-v]
+  asim run     FILE [--cycles N] [--engine interp|vm] [--no-trace] [--stats] [--interactive]
+  asim compile FILE [--backend rust|pascal] [-o OUT] [--cycles N] [--interactive] [--no-opt]
+  asim netlist FILE [--format report|dot|wiring]
+  asim vcd     FILE [-o OUT.vcd] [--cycles N]
+  asim spec    NAME            (one of: counter gcd traffic fig3_1 fig4_1 fig4_2 fig4_3 sieve tiny)
+  asim fig     3.1|4.1|4.2|4.3|5.1";
+
+fn dispatch(
+    args: &[String],
+    stdin: &mut dyn std::io::BufRead,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut it = args.iter().map(String::as_str);
+    let cmd = it.next().ok_or_else(|| usage_err("missing command"))?;
+    let rest: Vec<&str> = it.collect();
+    match cmd {
+        "check" => check(&rest, out),
+        "run" => run_cmd(&rest, stdin, out),
+        "compile" => compile(&rest, out),
+        "netlist" => netlist(&rest, out),
+        "vcd" => vcd_cmd(&rest, out),
+        "spec" => spec_cmd(&rest, out),
+        "fig" => fig(&rest, out),
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{USAGE}");
+            Ok(())
+        }
+        other => Err(usage_err(format!("unknown command {other:?}"))),
+    }
+}
+
+fn load_design(path: &str) -> Result<Design, CliError> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| load_err(format!("cannot read {path}: {e}")))?;
+    Design::from_source(&source).map_err(load_err)
+}
+
+fn check(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let (file, flags) = split_file(rest)?;
+    let verbose = flags.iter().any(|f| *f == "-v");
+    let design = load_design(file)?;
+    // The original's progress line: "N components read."
+    let _ = writeln!(out, "{} components read.", design.len());
+    for w in design.warnings() {
+        let _ = writeln!(out, "{w}");
+    }
+    if verbose {
+        let order: Vec<&str> = design.comb_order().iter().map(|&i| design.name(i)).collect();
+        let _ = writeln!(out, "evaluation order: {}", order.join(" "));
+        let mems: Vec<&str> = design.memories().iter().map(|&i| design.name(i)).collect();
+        let _ = writeln!(out, "memories: {}", mems.join(" "));
+        if let Some(n) = design.cycles() {
+            let _ = writeln!(out, "cycles: {n}");
+        }
+    }
+    Ok(())
+}
+
+fn run_cmd(
+    rest: &[&str],
+    stdin: &mut dyn std::io::BufRead,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let (file, flags) = split_file(rest)?;
+    let cycles = flag_value(&flags, "--cycles")?
+        .map(|v| v.parse::<i64>().map_err(|_| usage_err("--cycles needs an integer")))
+        .transpose()?;
+    let engine = flag_value(&flags, "--engine")?.unwrap_or("vm");
+    let trace = !flags.iter().any(|f| *f == "--no-trace");
+    let want_stats = flags.iter().any(|f| *f == "--stats");
+    let interactive = flags.iter().any(|f| *f == "--interactive");
+
+    let design = load_design(file)?;
+    for w in design.warnings() {
+        let _ = writeln!(out, "{w}");
+    }
+    let mut input = ReaderInput::new(stdin);
+    let mut last = cycles.or(design.cycles()).unwrap_or(0);
+    if interactive && last == 0 {
+        // The Appendix A prompt: "If the number of cycles is not
+        // specified, you will be asked how many cycles to execute".
+        let _ = writeln!(out, "Number of cycles to trace");
+        last = input.read_int().unwrap_or(0);
+    } else if !interactive && cycles.is_none() && design.cycles().is_none() {
+        return Err(usage_err(
+            "no cycle count: pass --cycles, add '= n' to the specification, or use --interactive",
+        ));
+    }
+
+    // The engines share one driving loop so both honour the interactive
+    // continue prompt identically.
+    let mut drive = |sim: &mut dyn Engine| -> Result<(), CliError> {
+        loop {
+            sim.run_to_cycle(last, out, &mut input).map_err(sim_err)?;
+            if !interactive {
+                return Ok(());
+            }
+            // "After those cycles have been executed, you will again be
+            // prompted for the cycle number to continue to."
+            let _ = writeln!(out, "Continue to cycle (0 to quit)");
+            let next = input.read_int().unwrap_or(0);
+            if next < sim.state().cycle() {
+                return Ok(());
+            }
+            last = next;
+        }
+    };
+    match engine {
+        "interp" => {
+            let mut sim = Interpreter::with_options(
+                &design,
+                InterpOptions { trace, ..InterpOptions::default() },
+            );
+            drive(&mut sim)?;
+            if want_stats {
+                let _ = out.write_all(sim.stats().report(&design).as_bytes());
+            }
+        }
+        "vm" => {
+            let mut sim = Vm::with_options(&design, OptOptions::full(), trace);
+            drive(&mut sim)?;
+            if want_stats {
+                let _ = out.write_all(sim.stats().report(&design).as_bytes());
+            }
+        }
+        other => return Err(usage_err(format!("unknown engine {other:?}"))),
+    }
+    Ok(())
+}
+
+fn compile(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let (file, flags) = split_file(rest)?;
+    let backend = flag_value(&flags, "--backend")?.unwrap_or("rust");
+    let output = flag_value(&flags, "-o")?;
+    let cycles = flag_value(&flags, "--cycles")?
+        .map(|v| v.parse::<i64>().map_err(|_| usage_err("--cycles needs an integer")))
+        .transpose()?;
+    let options = EmitOptions {
+        cycles,
+        trace: true,
+        interactive: flags.iter().any(|f| *f == "--interactive"),
+        opt: if flags.iter().any(|f| *f == "--no-opt") {
+            OptOptions::none()
+        } else {
+            OptOptions::full()
+        },
+    };
+
+    let design = load_design(file)?;
+    let source = match backend {
+        "rust" => rtl_compile::emit_rust(&design, &options),
+        "pascal" => rtl_compile::emit_pascal(&design, &options),
+        other => return Err(usage_err(format!("unknown backend {other:?}"))),
+    };
+    match output {
+        Some(path) => std::fs::write(path, source)
+            .map_err(|e| load_err(format!("cannot write {path}: {e}")))?,
+        None => {
+            let _ = out.write_all(source.as_bytes());
+        }
+    }
+    Ok(())
+}
+
+fn netlist(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let (file, flags) = split_file(rest)?;
+    let format = flag_value(&flags, "--format")?.unwrap_or("report");
+    let design = load_design(file)?;
+    let nl = rtl_hw::Netlist::extract(&design);
+    let text = match format {
+        "report" => rtl_hw::report::full_report(&design),
+        "dot" => rtl_hw::dot::to_dot(&design, &nl),
+        "wiring" => rtl_hw::report::wiring_list(&design, &nl),
+        other => return Err(usage_err(format!("unknown format {other:?}"))),
+    };
+    let _ = out.write_all(text.as_bytes());
+    Ok(())
+}
+
+fn vcd_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let (file, flags) = split_file(rest)?;
+    let cycles = flag_value(&flags, "--cycles")?
+        .map(|v| v.parse::<i64>().map_err(|_| usage_err("--cycles needs an integer")))
+        .transpose()?;
+    let output = flag_value(&flags, "-o")?;
+    let design = load_design(file)?;
+    let total = cycles.or(design.cycles()).ok_or_else(|| {
+        usage_err("no cycle count: pass --cycles or add '= n' to the specification")
+    })? + 1;
+
+    let mut vm = Vm::with_options(&design, OptOptions::full(), false);
+    let mut doc = Vec::new();
+    let mut sink = std::io::sink();
+    rtl_core::vcd::dump(
+        &mut vm,
+        total as u64,
+        &rtl_core::vcd::VcdOptions::default(),
+        &mut doc,
+        &mut sink,
+        &mut rtl_core::NoInput,
+    )
+    .map_err(sim_err)?;
+    match output {
+        Some(path) => std::fs::write(path, doc)
+            .map_err(|e| load_err(format!("cannot write {path}: {e}")))?,
+        None => {
+            let _ = out.write_all(&doc);
+        }
+    }
+    Ok(())
+}
+
+fn spec_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let name = rest.first().ok_or_else(|| usage_err("spec needs a name"))?;
+    let text = match *name {
+        "sieve" => {
+            let w = rtl_machines::stack::sieve_workload(20);
+            rtl_machines::stack::rtl::spec_source(&w.program, Some(w.cycles))
+        }
+        "tiny" => {
+            let image = rtl_machines::tiny::divider_image(17, 5);
+            rtl_machines::tiny::rtl::spec_source(&image, Some(200))
+        }
+        other => rtl_machines::classic::source(other)
+            .ok_or_else(|| usage_err(format!("unknown spec {other:?}")))?
+            .to_string(),
+    };
+    let _ = out.write_all(text.as_bytes());
+    Ok(())
+}
+
+fn fig(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let id = rest.first().ok_or_else(|| usage_err("fig needs an id"))?;
+    match *id {
+        "3.1" => fig_3_1(out),
+        "4.1" => fig_codegen(out, rtl_machines::classic::FIG4_1, "Figure 4.1"),
+        "4.2" => fig_codegen(out, rtl_machines::classic::FIG4_2, "Figure 4.2"),
+        "4.3" => fig_codegen(out, rtl_machines::classic::FIG4_3, "Figure 4.3"),
+        "5.1" => fig_5_1_quick(out),
+        other => Err(usage_err(format!("unknown figure {other:?}"))),
+    }
+}
+
+fn fig_3_1(out: &mut dyn Write) -> Result<(), CliError> {
+    let _ = writeln!(out, "Figure 3.1 — bit concatenation mem.3.4,#01,count.1");
+    let _ = writeln!(out, "with mem = 24 (binary 11000) and count = 2 (binary 10):");
+    let design = Design::from_source(rtl_machines::classic::FIG3_1).map_err(load_err)?;
+    let mut sim = Interpreter::new(&design);
+    sim.run_spec(out, &mut rtl_core::NoInput).map_err(sim_err)?;
+    let _ = writeln!(out, "cat = 27 = binary 11011 (mem bits | 01 | count bit)");
+    Ok(())
+}
+
+fn fig_codegen(out: &mut dyn Write, src: &str, title: &str) -> Result<(), CliError> {
+    let design = Design::from_source(src).map_err(load_err)?;
+    let _ = writeln!(out, "{title} — specification:");
+    let _ = writeln!(out, "{src}");
+    let _ = writeln!(out, "{title} — Pascal generated by the ASIM II backend:");
+    let pascal = rtl_compile::emit_pascal(&design, &EmitOptions::default());
+    let _ = out.write_all(pascal.as_bytes());
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{title} — Rust generated by the asim2 backend:");
+    let rust = rtl_compile::emit_rust(&design, &EmitOptions::default());
+    let _ = out.write_all(rust.as_bytes());
+    Ok(())
+}
+
+/// A quick, in-process cut of the Figure 5.1 comparison (interpreter vs.
+/// compiled VM on the sieve). The full pipeline including `rustc` lives in
+/// `cargo run -p rtl-bench --bin fig5_1_table`.
+fn fig_5_1_quick(out: &mut dyn Write) -> Result<(), CliError> {
+    use std::time::Instant;
+    let w = rtl_machines::stack::sieve_workload(20);
+    let spec = rtl_machines::stack::rtl::spec(&w.program, Some(w.cycles));
+    let design = Design::elaborate(&spec).map_err(load_err)?;
+    let mut sink = std::io::sink();
+    let mut input = rtl_core::NoInput;
+
+    let t = Instant::now();
+    let mut interp = Interpreter::new(&design);
+    interp.run_spec(&mut sink, &mut input).map_err(sim_err)?;
+    let interp_time = t.elapsed();
+
+    let t = Instant::now();
+    let mut vm = Vm::new(&design);
+    vm.run_spec(&mut sink, &mut input).map_err(sim_err)?;
+    let vm_time = t.elapsed();
+
+    let _ = writeln!(
+        out,
+        "Figure 5.1 (quick cut) — sieve, {} cycles:",
+        w.cycles + 1
+    );
+    let _ = writeln!(out, "  ASIM   (interpreter)  {:>10.3?}", interp_time);
+    let _ = writeln!(out, "  ASIM II (compiled VM) {:>10.3?}", vm_time);
+    let _ = writeln!(
+        out,
+        "  speedup: {:.1}x (paper: ~20x simulation-only; see rtl-bench for the full table)",
+        interp_time.as_secs_f64() / vm_time.as_secs_f64().max(1e-9)
+    );
+    Ok(())
+}
+
+fn split_file<'a>(rest: &[&'a str]) -> Result<(&'a str, Vec<&'a str>), CliError> {
+    let mut file = None;
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = rest[i];
+        if a.starts_with('-') {
+            flags.push(a);
+            // Value-taking flags swallow the next token.
+            if matches!(a, "--cycles" | "--engine" | "--backend" | "-o" | "--format") {
+                i += 1;
+                if let Some(v) = rest.get(i) {
+                    flags.push(v);
+                }
+            }
+        } else if file.is_none() {
+            file = Some(a);
+        } else {
+            return Err(usage_err(format!("unexpected argument {a:?}")));
+        }
+        i += 1;
+    }
+    Ok((file.ok_or_else(|| usage_err("missing FILE"))?, flags))
+}
+
+fn flag_value<'a>(flags: &[&'a str], name: &str) -> Result<Option<&'a str>, CliError> {
+    match flags.iter().position(|f| *f == name) {
+        None => Ok(None),
+        Some(i) => flags
+            .get(i + 1)
+            .copied()
+            .map(Some)
+            .ok_or_else(|| usage_err(format!("{name} needs a value"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_with(args: &[&str], stdin: &[u8]) -> (i32, String, String) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut input = stdin;
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = run_with_input(&args, &mut input, &mut out, &mut err);
+        (
+            code,
+            String::from_utf8(out).unwrap(),
+            String::from_utf8(err).unwrap(),
+        )
+    }
+
+    fn run_ok(args: &[&str]) -> String {
+        let (code, out, err) = run_with(args, b"");
+        assert_eq!(code, 0, "stderr: {err}");
+        out
+    }
+
+    fn run_fail(args: &[&str]) -> (i32, String) {
+        let (code, _, err) = run_with(args, b"");
+        assert_ne!(code, 0);
+        (code, err)
+    }
+
+    fn tmp_spec(name: &str, content: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("asim-cli-test-{}-{name}", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    const COUNTER: &str = "# c\n= 3\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .";
+
+    #[test]
+    fn check_reports_component_count_and_warnings() {
+        let p = tmp_spec("check", "# c\nghost x .\nA x 4 1 1 .");
+        let out = run_ok(&["check", p.to_str().unwrap()]);
+        assert!(out.contains("1 components read."), "{out}");
+        assert!(out.contains("Warning: ghost declared but not defined."), "{out}");
+    }
+
+    #[test]
+    fn check_verbose_shows_order() {
+        let p = tmp_spec("checkv", COUNTER);
+        let out = run_ok(&["check", p.to_str().unwrap(), "-v"]);
+        assert!(out.contains("evaluation order: next"), "{out}");
+        assert!(out.contains("memories: count"), "{out}");
+    }
+
+    #[test]
+    fn run_both_engines_agree() {
+        let p = tmp_spec("run", COUNTER);
+        let a = run_ok(&["run", p.to_str().unwrap(), "--engine", "interp"]);
+        let b = run_ok(&["run", p.to_str().unwrap(), "--engine", "vm"]);
+        assert_eq!(a, b);
+        assert!(a.contains("Cycle   3 count= 3"), "{a}");
+    }
+
+    #[test]
+    fn run_needs_a_cycle_count() {
+        let p = tmp_spec("runnc", "# c\nx .\nA x 2 1 0 .");
+        let (code, err) = run_fail(&["run", p.to_str().unwrap()]);
+        assert_eq!(code, 1);
+        assert!(err.contains("no cycle count"), "{err}");
+    }
+
+    #[test]
+    fn runtime_errors_exit_3() {
+        let p = tmp_spec("runerr", "# c\n= 9\nc s n .\nM c 0 n 1 1\nA n 4 c 1\nS s c 1 2 .");
+        let (code, err) = run_fail(&["run", p.to_str().unwrap()]);
+        assert_eq!(code, 3);
+        assert!(err.contains("selector s"), "{err}");
+    }
+
+    #[test]
+    fn compile_emits_both_backends() {
+        let p = tmp_spec("compile", COUNTER);
+        let rust = run_ok(&["compile", p.to_str().unwrap()]);
+        assert!(rust.contains("fn main()"), "{rust}");
+        let pascal = run_ok(&["compile", p.to_str().unwrap(), "--backend", "pascal"]);
+        assert!(pascal.contains("program simulator"), "{pascal}");
+    }
+
+    #[test]
+    fn netlist_formats() {
+        let p = tmp_spec("netlist", COUNTER);
+        let report = run_ok(&["netlist", p.to_str().unwrap()]);
+        assert!(report.contains("bill of materials"), "{report}");
+        let dot = run_ok(&["netlist", p.to_str().unwrap(), "--format", "dot"]);
+        assert!(dot.starts_with("digraph"), "{dot}");
+        let wiring = run_ok(&["netlist", p.to_str().unwrap(), "--format", "wiring"]);
+        assert!(wiring.contains("-> count.data"), "{wiring}");
+    }
+
+    #[test]
+    fn spec_prints_bundled_and_generated() {
+        let out = run_ok(&["spec", "counter"]);
+        assert!(out.contains("M count"), "{out}");
+        let out = run_ok(&["spec", "sieve"]);
+        assert!(out.contains("S rom"), "{out}");
+        let out = run_ok(&["spec", "tiny"]);
+        assert!(out.contains("M mem"), "{out}");
+    }
+
+    #[test]
+    fn figures_render() {
+        let out = run_ok(&["fig", "3.1"]);
+        assert!(out.contains("cat= 27"), "{out}");
+        let out = run_ok(&["fig", "4.1"]);
+        assert!(out.contains("dologic"), "{out}");
+        assert!(out.contains("wrapping_add(3048i64)"), "{out}");
+        let out = run_ok(&["fig", "4.2"]);
+        assert!(out.contains("case ljbindex of"), "{out}");
+        let out = run_ok(&["fig", "4.3"]);
+        assert!(out.contains("case land(opnmemory, 3) of"), "{out}");
+    }
+
+    #[test]
+    fn interactive_run_prompts_and_continues() {
+        let p = tmp_spec("inter", "# c\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .");
+        let (code, out, err) = run_with(
+            &["run", p.to_str().unwrap(), "--interactive"],
+            b"2\n5\n0\n",
+        );
+        assert_eq!(code, 0, "{err}");
+        assert!(out.starts_with("Number of cycles to trace\n"), "{out}");
+        assert!(out.contains("Cycle   2 count= 2\nContinue to cycle (0 to quit)\n"), "{out}");
+        assert!(out.contains("Cycle   5 count= 5\nContinue to cycle (0 to quit)\n"), "{out}");
+        assert!(!out.contains("Cycle   6"), "{out}");
+    }
+
+    #[test]
+    fn run_stats_prints_the_access_table() {
+        let p = tmp_spec("stats", COUNTER);
+        let out = run_ok(&["run", p.to_str().unwrap(), "--stats", "--no-trace"]);
+        assert!(out.contains("simulation statistics: 4 cycles"), "{out}");
+        assert!(out.contains("total memory accesses: 4"), "{out}");
+        let out2 = run_ok(&["run", p.to_str().unwrap(), "--stats", "--no-trace", "--engine", "interp"]);
+        assert_eq!(out, out2, "both engines count identically");
+    }
+
+    #[test]
+    fn vcd_dump_is_well_formed() {
+        let p = tmp_spec("vcd", COUNTER);
+        let out = run_ok(&["vcd", p.to_str().unwrap()]);
+        assert!(out.contains("$enddefinitions $end"), "{out}");
+        assert!(out.contains("$var wire"), "{out}");
+        assert!(out.contains("count"), "{out}");
+        assert!(out.contains("#0"), "{out}");
+    }
+
+    #[test]
+    fn usage_errors() {
+        let (code, err) = run_fail(&[]);
+        assert_eq!(code, 1);
+        assert!(err.contains("usage:"), "{err}");
+        let (code, _) = run_fail(&["bogus"]);
+        assert_eq!(code, 1);
+        let (code, _) = run_fail(&["check", "/nonexistent/file.asim"]);
+        assert_eq!(code, 2);
+    }
+}

@@ -1,0 +1,9 @@
+//! The `asim` binary: a thin wrapper over [`asim_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let stderr = std::io::stderr();
+    let code = asim_cli::run(&args, &mut stdout.lock(), &mut stderr.lock());
+    std::process::exit(code);
+}

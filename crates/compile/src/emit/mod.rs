@@ -1,0 +1,41 @@
+//! Source-code backends.
+//!
+//! ASIM II "produces Pascal code from the specification which is then
+//! compiled by a standard Pascal compiler and executed" (§3.1). This
+//! reproduction keeps a faithful [`pascal`] backend for the Figure 4.1–4.3
+//! golden artifacts, and adds a [`rust`] backend that plays Pascal's role
+//! in the Figure 5.1 pipeline: the generated program is compiled by
+//! `rustc` (see [`rustc`](crate::rustc)) and executed as a standalone
+//! simulator.
+
+pub mod pascal;
+pub mod rust;
+
+use rtl_core::Word;
+
+/// Options shared by the source backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmitOptions {
+    /// Cycle count baked into the program. `None` uses the spec's `= n`
+    /// clause (or 0, which makes the program prompt, as the original did).
+    pub cycles: Option<Word>,
+    /// Emit trace output (cycle lines, traced values, read/write lines).
+    pub trace: bool,
+    /// Faithful interactive behaviour: prompt "Number of cycles to trace"
+    /// when the count is zero and "Continue to cycle (0 to quit)" at the
+    /// end. Off for batch/differential runs.
+    pub interactive: bool,
+    /// Optimization settings for the lowering pass.
+    pub opt: crate::lower::OptOptions,
+}
+
+impl Default for EmitOptions {
+    fn default() -> Self {
+        EmitOptions {
+            cycles: None,
+            trace: true,
+            interactive: false,
+            opt: crate::lower::OptOptions::full(),
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! # rtl-compile — ASIM II, the optimizing specification compiler
+//!
+//! The paper's primary contribution: instead of interpreting the
+//! specification tables every cycle (ASIM / `rtl-interp`), compile them.
+//! This crate provides three compiled tiers:
+//!
+//! 1. **Bytecode VM** ([`Vm`]) — the specification lowered to an optimized
+//!    [`ir::CycleIr`] and flattened to register bytecode; runs in-process.
+//! 2. **Generated Rust** ([`emit::rust`]) — a standalone program compiled
+//!    by `rustc` ([`rustc::build`]), playing the role of ASIM II's
+//!    generated Pascal in the Figure 5.1 pipeline.
+//! 3. **Generated Pascal** ([`emit::pascal`]) — faithful to the original's
+//!    output (Figures 4.1–4.3), kept as a golden artifact.
+//!
+//! The optimizations of §4.4 (constant-function inlining, constant memory
+//! operations) and §5.4 (latch elision) are independent passes in
+//! [`lower::OptOptions`], so the benchmark suite can ablate them.
+//!
+//! ```
+//! use rtl_core::{Design, Engine, run_captured};
+//! use rtl_compile::Vm;
+//! let d = Design::from_source(
+//!     "# counter\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .",
+//! ).unwrap();
+//! let mut vm = Vm::new(&d);
+//! let text = run_captured(&mut vm, 2).unwrap();
+//! assert!(text.starts_with("Cycle   0 count= 0"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emit;
+pub mod ir;
+pub mod lower;
+pub mod rustc;
+pub mod vm;
+
+pub use emit::{pascal::emit_pascal, rust::emit_rust, EmitOptions};
+pub use ir::{CycleIr, IrExpr, TraceDecision};
+pub use lower::{lower, stats, LowerStats, OptOptions};
+pub use rustc::{build, rustc_available, CompiledSim, PipelineError};
+pub use vm::{compile_program, Program, Vm};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl_core::{run_captured, Design, Engine};
+    use rtl_interp::Interpreter;
+
+    fn design(src: &str) -> Design {
+        Design::from_source(src).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs interpreter and VM (at every optimization level) side by side
+    /// and insists on identical text and state.
+    fn differential(src: &str, cycles: u64) {
+        let d = design(src);
+        let mut interp = Interpreter::new(&d);
+        let expected = run_captured(&mut interp, cycles)
+            .unwrap_or_else(|(t, e)| panic!("interp: {e}\n{t}"));
+        for opts in [OptOptions::full(), OptOptions::none()] {
+            let mut vm = Vm::with_options(&d, opts, true);
+            let got = run_captured(&mut vm, cycles)
+                .unwrap_or_else(|(t, e)| panic!("vm {opts:?}: {e}\n{t}"));
+            assert_eq!(got, expected, "vm output mismatch with {opts:?}");
+            if opts.elide_dead_latches {
+                // Elided latches are by construction unobservable; compare
+                // only the latches the pass kept.
+                let ir = lower(&d, opts);
+                let kept: Vec<bool> = {
+                    let mut v = vec![true; d.len()];
+                    for m in &ir.mems {
+                        v[m.id.index()] = m.latch_needed;
+                    }
+                    v
+                };
+                for (i, keep) in kept.iter().enumerate() {
+                    if *keep {
+                        assert_eq!(
+                            vm.state().outputs()[i],
+                            interp.state().outputs()[i],
+                            "observable state mismatch at {} with {opts:?}",
+                            d.name(d.id_at(i))
+                        );
+                    }
+                }
+            } else {
+                assert_eq!(
+                    vm.state().outputs(),
+                    interp.state().outputs(),
+                    "state mismatch with {opts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vm_matches_interpreter_on_counter() {
+        differential(
+            "# c\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .",
+            8,
+        );
+    }
+
+    #[test]
+    fn vm_matches_interpreter_on_selector_machine() {
+        differential(
+            "# s\nc* s* n rom .\nM c 0 n 1 1\nA n 4 c 1\n\
+             S s c.0.1 rom.0.3 rom.4.7 10 c\nM rom c.0.2 0 0 -8 1 2 3 4 5 6 7 8 .",
+            16,
+        );
+    }
+
+    #[test]
+    fn vm_matches_interpreter_on_traced_memories() {
+        differential(
+            "# t\nm* c n .\nM c 0 n 1 1\nA n 4 c 1\nM m c.0.1 c 5 4 .",
+            8,
+        );
+    }
+
+    #[test]
+    fn vm_matches_interpreter_on_dynamic_ops() {
+        // The memory's operation flips between read (0) and write (1) with
+        // the counter's low bit.
+        differential(
+            "# d\nm* c n .\nM c 0 n 1 1\nA n 4 c 1\nM m 0 c c.0 1 .",
+            8,
+        );
+    }
+
+    #[test]
+    fn vm_matches_interpreter_on_alu_zoo() {
+        // One ALU per function, fed by a counter.
+        let mut names = String::from("c n ");
+        let mut comps = String::from("M c 0 n 1 1\nA n 4 c 1\n");
+        for f in 0..=13 {
+            names.push_str(&format!("f{f}* "));
+            comps.push_str(&format!("A f{f} {f} c.0.3 3\n"));
+        }
+        let src = format!("# zoo\n{names}.\n{comps}.");
+        differential(&src, 20);
+    }
+
+    #[test]
+    fn vm_matches_interpreter_on_output_events() {
+        differential(
+            "# o\nc n o1 o2 .\nM c 0 n 1 1\nA n 4 c 1\n\
+             M o1 1 c 3 1\nM o2 4096 c 3 1 .",
+            5,
+        );
+    }
+
+    #[test]
+    fn vm_runtime_errors_match() {
+        let d = design("# bad\nc s n .\nM c 0 n 1 1\nA n 4 c 1\nS s c 1 2 .");
+        let mut interp = Interpreter::new(&d);
+        let e1 = run_captured(&mut interp, 10).unwrap_err().1;
+        let mut vm = Vm::new(&d);
+        let e2 = run_captured(&mut vm, 10).unwrap_err().1;
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn latch_elision_does_not_change_visible_output() {
+        let src = "# e\nc n sink .\nM c 0 n 1 1\nA n 4 c 1\nM sink 0 n 1 1 .";
+        let d = design(src);
+        assert_eq!(stats(&lower(&d, OptOptions::full())).elided_latches, 1);
+        differential(src, 8);
+    }
+}

@@ -1,0 +1,177 @@
+//! Driving the host compiler — the "Pascal Compile" row of Figure 5.1.
+//!
+//! ASIM II's pipeline was *generate Pascal → `pc` → run `a.out`*. Ours is
+//! *generate Rust → `rustc -O` → run the binary*. This module owns the
+//! second and third steps, with timing hooks so the Figure 5.1 harness can
+//! report every row.
+
+use crate::emit::{rust::emit_rust, EmitOptions};
+use rtl_core::Design;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Errors from the build-and-run pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Could not create the scratch directory or write the source.
+    Io(std::io::Error),
+    /// `rustc` is not on the `PATH`.
+    RustcMissing(std::io::Error),
+    /// `rustc` rejected the generated program (a codegen bug — the stderr
+    /// is attached).
+    CompileFailed(String),
+    /// The compiled simulator exited non-zero (runtime error in the
+    /// design, e.g. selector out of range); stderr attached.
+    RunFailed {
+        /// Exit code, if any.
+        code: Option<i32>,
+        /// What the simulator printed to stderr.
+        stderr: String,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Io(e) => write!(f, "i/o error: {e}"),
+            PipelineError::RustcMissing(e) => write!(f, "rustc not found: {e}"),
+            PipelineError::CompileFailed(s) => write!(f, "generated program failed to compile:\n{s}"),
+            PipelineError::RunFailed { code, stderr } => {
+                write!(f, "compiled simulator failed (code {code:?}): {stderr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<std::io::Error> for PipelineError {
+    fn from(e: std::io::Error) -> Self {
+        PipelineError::Io(e)
+    }
+}
+
+/// `true` if a usable `rustc` is on the `PATH`.
+pub fn rustc_available() -> bool {
+    Command::new("rustc")
+        .arg("--version")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false)
+}
+
+/// Timings for the preparation phases (the top rows of Figure 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildTimings {
+    /// "Generate code": specification → Rust source.
+    pub generate: Duration,
+    /// "Pascal Compile" equivalent: `rustc -O` wall time.
+    pub compile: Duration,
+}
+
+/// A compiled standalone simulator on disk. The scratch directory is
+/// removed on drop.
+#[derive(Debug)]
+pub struct CompiledSim {
+    dir: PathBuf,
+    binary: PathBuf,
+    /// The generated source (kept for inspection).
+    pub source: String,
+    /// Preparation timings.
+    pub timings: BuildTimings,
+}
+
+impl CompiledSim {
+    /// Path of the compiled binary.
+    pub fn binary(&self) -> &Path {
+        &self.binary
+    }
+
+    /// Runs the simulator, feeding `stdin` and capturing stdout.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::RunFailed`] when the simulator exits non-zero.
+    pub fn run(&self, stdin: &[u8]) -> Result<(String, Duration), PipelineError> {
+        use std::io::Write as _;
+        let start = Instant::now();
+        let mut child = Command::new(&self.binary)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()?;
+        child
+            .stdin
+            .take()
+            .expect("piped stdin")
+            .write_all(stdin)?;
+        let output = child.wait_with_output()?;
+        let elapsed = start.elapsed();
+        if !output.status.success() {
+            return Err(PipelineError::RunFailed {
+                code: output.status.code(),
+                stderr: String::from_utf8_lossy(&output.stderr).into_owned(),
+            });
+        }
+        Ok((String::from_utf8_lossy(&output.stdout).into_owned(), elapsed))
+    }
+}
+
+impl Drop for CompiledSim {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Generates Rust for `design`, compiles it with `rustc -O`, and returns
+/// the runnable artifact with preparation timings.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn build(design: &Design, options: &EmitOptions) -> Result<CompiledSim, PipelineError> {
+    let gen_start = Instant::now();
+    let source = emit_rust(design, options);
+    let generate = gen_start.elapsed();
+
+    let dir = scratch_dir()?;
+    let src_path = dir.join("main.rs");
+    let bin_path = dir.join("sim");
+    std::fs::write(&src_path, &source)?;
+
+    let compile_start = Instant::now();
+    let output = Command::new("rustc")
+        .args(["--edition", "2021", "-O", "-o"])
+        .arg(&bin_path)
+        .arg(&src_path)
+        .output()
+        .map_err(PipelineError::RustcMissing)?;
+    let compile = compile_start.elapsed();
+    if !output.status.success() {
+        let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+        let _ = std::fs::remove_dir_all(&dir);
+        return Err(PipelineError::CompileFailed(stderr));
+    }
+
+    Ok(CompiledSim {
+        dir,
+        binary: bin_path,
+        source,
+        timings: BuildTimings { generate, compile },
+    })
+}
+
+fn scratch_dir() -> std::io::Result<PathBuf> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "asim2-{}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}

@@ -1,0 +1,264 @@
+//! The bytecode VM — ASIM II's "compiled" execution tier inside the
+//! library.
+//!
+//! Where the interpreter re-walks postfix tables every cycle, the VM runs a
+//! flat, register-based instruction stream produced from the optimized
+//! [`CycleIr`](crate::ir::CycleIr): constant ALU functions are single opcodes, selectors are
+//! jump tables, constant memory operations skip dispatch entirely. The
+//! generated-Rust backend (see [`emit::rust`](crate::emit::rust)) is the
+//! third tier; Figure 5.1 measures the spread between all of them.
+
+mod compile;
+mod run;
+
+pub use compile::compile_program;
+pub use run::Vm;
+
+use crate::ir::TraceDecision;
+use rtl_core::Word;
+
+/// A virtual register index.
+pub type Reg = u16;
+
+/// One VM instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `regs[dst] = value`.
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: Word,
+    },
+    /// `regs[dst] = outputs[comp]`.
+    Output {
+        /// Destination register.
+        dst: Reg,
+        /// Component index.
+        comp: u32,
+    },
+    /// `regs[dst] = land(regs[src], mask) >> rshift`.
+    Field {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+        /// In-place mask.
+        mask: Word,
+        /// Subfield low bit.
+        rshift: u8,
+    },
+    /// `regs[dst] = regs[src] << amount`.
+    ShlImm {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+        /// Shift distance.
+        amount: u8,
+    },
+    /// `regs[dst] = regs[a] + regs[b]` (wrapping).
+    Add {
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// `regs[dst] = regs[a] - regs[b]` (wrapping).
+    Sub {
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// `regs[dst] = regs[a] * regs[b]` (wrapping).
+    Mul {
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// `regs[dst] = land(regs[a], regs[b])`.
+    And {
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// Bitwise or via the `a + b - land(a, b)` identity.
+    Or {
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// Bitwise xor via `a + b - 2*land(a, b)`.
+    Xor {
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// `regs[dst] = (regs[a] == regs[b]) as Word`.
+    Eq {
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// `regs[dst] = (regs[a] < regs[b]) as Word`.
+    Lt {
+        /// Destination register.
+        dst: Reg,
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// The dologic function-6 iterated-doubling shift.
+    ShlLoop {
+        /// Destination register.
+        dst: Reg,
+        /// Value operand.
+        a: Reg,
+        /// Distance operand.
+        b: Reg,
+    },
+    /// `regs[dst] = mask - regs[src]`.
+    Not {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Generic ALU dispatch; errors when the function is out of range.
+    Dologic {
+        /// Destination register.
+        dst: Reg,
+        /// Function register.
+        f: Reg,
+        /// Left operand register.
+        l: Reg,
+        /// Right operand register.
+        r: Reg,
+        /// Component index (for the error message).
+        comp: u32,
+    },
+    /// `outputs[comp] = regs[src]`.
+    Store {
+        /// Component index.
+        comp: u32,
+        /// Source register.
+        src: Reg,
+    },
+    /// Saves a memory's captured address/operation/data for the update
+    /// phase.
+    StoreScratch {
+        /// Memory index (position in the memory list).
+        mem: u16,
+        /// Which capture slot.
+        slot: Slot,
+        /// Source register.
+        src: Reg,
+    },
+    /// Bounds-checked jump through `tables[table .. table+len]`.
+    Switch {
+        /// Index register.
+        src: Reg,
+        /// Selector component index (for the error message).
+        comp: u32,
+        /// Start of the jump table in the table pool.
+        table: u32,
+        /// Number of cases.
+        len: u16,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target instruction index.
+        target: u32,
+    },
+}
+
+/// Memory capture slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// Captured address.
+    Addr = 0,
+    /// Captured operation.
+    Opn = 1,
+    /// Captured data.
+    Data = 2,
+}
+
+/// Per-memory runtime metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemRt {
+    /// Component index.
+    pub comp: u32,
+    /// Cell count.
+    pub size: u32,
+    /// Constant operation, or `None` when captured dynamically.
+    pub const_opn: Option<Word>,
+    /// Whether the data slot is captured.
+    pub has_data: bool,
+    /// Whether the output latch is maintained.
+    pub latch_needed: bool,
+    /// Write-trace decision.
+    pub trace_write: TraceDecision,
+    /// Read-trace decision.
+    pub trace_read: TraceDecision,
+}
+
+/// A compiled cycle program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub(crate) instrs: Vec<Instr>,
+    pub(crate) tables: Vec<u32>,
+    pub(crate) reg_count: usize,
+    pub(crate) mems: Vec<MemRt>,
+    pub(crate) traced: Vec<u32>,
+    pub(crate) trace: bool,
+}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` when the program is empty (a design with no components).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Registers required to run the program.
+    pub fn reg_count(&self) -> usize {
+        self.reg_count
+    }
+
+    /// A human-readable listing, for debugging and the CLI's `-v` output.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, ins) in self.instrs.iter().enumerate() {
+            let _ = writeln!(out, "{i:4}: {ins:?}");
+        }
+        let _ = writeln!(out, "tables: {:?}", self.tables);
+        let _ = writeln!(out, "regs: {}", self.reg_count);
+        out
+    }
+}

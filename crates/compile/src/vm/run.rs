@@ -1,0 +1,287 @@
+//! The VM execution loop.
+
+use super::{Instr, Program};
+use crate::lower::{lower_with_trace, OptOptions};
+use rtl_core::{
+    land, trace, AluFn, Design, Engine, InputSource, MemOp, SimError, SimState, SimStats, Word,
+    WORD_MASK,
+};
+use std::io::Write;
+
+/// The bytecode virtual machine. Implements [`Engine`], so it is a drop-in
+/// replacement for the interpreter — just faster.
+///
+/// ```
+/// use rtl_core::{Design, Engine, run_captured};
+/// use rtl_compile::Vm;
+/// let design = Design::from_source(
+///     "# counter\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .",
+/// ).unwrap();
+/// let mut vm = Vm::new(&design);
+/// let text = run_captured(&mut vm, 2).unwrap();
+/// assert_eq!(text, "Cycle   0 count= 0\nCycle   1 count= 1\n");
+/// ```
+#[derive(Debug)]
+pub struct Vm<'d> {
+    design: &'d Design,
+    program: Program,
+    state: SimState,
+    regs: Vec<Word>,
+    scratch: Vec<[Word; 3]>,
+    stats: SimStats,
+}
+
+impl<'d> Vm<'d> {
+    /// Compiles with full optimization and trace output on.
+    pub fn new(design: &'d Design) -> Self {
+        Self::with_options(design, OptOptions::full(), true)
+    }
+
+    /// Compiles with explicit optimization and trace settings.
+    pub fn with_options(design: &'d Design, options: OptOptions, trace: bool) -> Self {
+        let program = super::compile_program(&lower_with_trace(design, options, trace));
+        Self::with_program(design, program)
+    }
+
+    /// Runs a pre-compiled program.
+    pub fn with_program(design: &'d Design, program: Program) -> Self {
+        let regs = vec![0; program.reg_count()];
+        let scratch = vec![[0; 3]; program.mems.len()];
+        Vm {
+            design,
+            program,
+            state: SimState::new(design),
+            regs,
+            scratch,
+            stats: SimStats::new(design),
+        }
+    }
+
+    /// Accumulated simulation statistics (§1.4): cycle count and memory
+    /// accesses per memory.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The compiled program (for inspection / disassembly).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Resets to cycle 0 / initial values, clearing statistics.
+    pub fn reset(&mut self) {
+        self.state = SimState::new(self.design);
+        self.stats = SimStats::new(self.design);
+    }
+
+    fn comp_id(&self, index: u32) -> rtl_core::CompId {
+        self.design.id_at(index as usize)
+    }
+
+    fn exec(&mut self) -> Result<(), SimError> {
+        let design = self.design;
+        let Vm { program, state, regs, scratch, .. } = self;
+        let instrs = &program.instrs;
+        let tables = &program.tables;
+        let mut pc = 0usize;
+        while pc < instrs.len() {
+            match instrs[pc] {
+                Instr::Const { dst, value } => regs[dst as usize] = value,
+                Instr::Output { dst, comp } => {
+                    regs[dst as usize] = state.outputs()[comp as usize];
+                }
+                Instr::Field { dst, src, mask, rshift } => {
+                    regs[dst as usize] = land(regs[src as usize], mask) >> rshift;
+                }
+                Instr::ShlImm { dst, src, amount } => {
+                    regs[dst as usize] = regs[src as usize].wrapping_shl(u32::from(amount));
+                }
+                Instr::Add { dst, a, b } => {
+                    regs[dst as usize] = regs[a as usize].wrapping_add(regs[b as usize]);
+                }
+                Instr::Sub { dst, a, b } => {
+                    regs[dst as usize] = regs[a as usize].wrapping_sub(regs[b as usize]);
+                }
+                Instr::Mul { dst, a, b } => {
+                    regs[dst as usize] = regs[a as usize].wrapping_mul(regs[b as usize]);
+                }
+                Instr::And { dst, a, b } => {
+                    regs[dst as usize] = land(regs[a as usize], regs[b as usize]);
+                }
+                Instr::Or { dst, a, b } => {
+                    let (x, y) = (regs[a as usize], regs[b as usize]);
+                    regs[dst as usize] = x.wrapping_add(y).wrapping_sub(land(x, y));
+                }
+                Instr::Xor { dst, a, b } => {
+                    let (x, y) = (regs[a as usize], regs[b as usize]);
+                    regs[dst as usize] =
+                        x.wrapping_add(y).wrapping_sub(land(x, y).wrapping_mul(2));
+                }
+                Instr::Eq { dst, a, b } => {
+                    regs[dst as usize] = Word::from(regs[a as usize] == regs[b as usize]);
+                }
+                Instr::Lt { dst, a, b } => {
+                    regs[dst as usize] = Word::from(regs[a as usize] < regs[b as usize]);
+                }
+                Instr::ShlLoop { dst, a, b } => {
+                    regs[dst as usize] = AluFn::Shl.apply(regs[a as usize], regs[b as usize]);
+                }
+                Instr::Not { dst, src } => {
+                    regs[dst as usize] = WORD_MASK - regs[src as usize];
+                }
+                Instr::Dologic { dst, f, l, r, comp } => {
+                    let fv = regs[f as usize];
+                    let fun = AluFn::from_word(fv).ok_or_else(|| SimError::BadAluFunction {
+                        component: design.name(design.id_at(comp as usize)).to_string(),
+                        funct: fv,
+                        cycle: state.cycle(),
+                    })?;
+                    regs[dst as usize] = fun.apply(regs[l as usize], regs[r as usize]);
+                }
+                Instr::Store { comp, src } => {
+                    let id = design.id_at(comp as usize);
+                    state.set_output(id, regs[src as usize]);
+                }
+                Instr::StoreScratch { mem, slot, src } => {
+                    scratch[mem as usize][slot as usize] = regs[src as usize];
+                }
+                Instr::Switch { src, comp, table, len } => {
+                    let idx = regs[src as usize];
+                    let slot = usize::try_from(idx)
+                        .ok()
+                        .filter(|&i| i < len as usize)
+                        .ok_or_else(|| SimError::SelectorOutOfRange {
+                            component: design.name(design.id_at(comp as usize)).to_string(),
+                            index: idx,
+                            cases: len as usize,
+                            cycle: state.cycle(),
+                        })?;
+                    pc = tables[table as usize + slot] as usize;
+                    continue;
+                }
+                Instr::Jump { target } => {
+                    pc = target as usize;
+                    continue;
+                }
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+}
+
+impl Engine for Vm<'_> {
+    fn design(&self) -> &Design {
+        self.design
+    }
+
+    fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    fn step(
+        &mut self,
+        out: &mut dyn Write,
+        input: &mut dyn InputSource,
+    ) -> Result<(), SimError> {
+        let cycle = self.state.cycle();
+
+        // 1 + 3. Combinational phase and memory capture (one program).
+        self.exec()?;
+
+        // 2. Trace phase. (The program captured memory state *after* this
+        // point in the original's ordering, but captures are pure, so
+        // running them early is unobservable.)
+        if self.program.trace {
+            trace::cycle_header(out, cycle)?;
+            for &t in &self.program.traced {
+                let id = self.comp_id(t);
+                trace::traced_value(out, self.design.name(id), self.state.output(id))?;
+            }
+            trace::end_line(out)?;
+        }
+
+        // 4. Memory update phase.
+        for mi in 0..self.program.mems.len() {
+            let m = self.program.mems[mi].clone();
+            let id = self.comp_id(m.comp);
+            let [addr, dyn_opn, data] = self.scratch[mi];
+            let opn = m.const_opn.unwrap_or(dyn_opn);
+            let op = MemOp::from_word(opn);
+            self.stats.record(id, op);
+            let latch = match op {
+                MemOp::Read => {
+                    let a = check_addr(self.design.name(id), addr, m.size, cycle)?;
+                    if m.latch_needed {
+                        self.state.cell(id, a)
+                    } else {
+                        self.state.output(id)
+                    }
+                }
+                MemOp::Write => {
+                    let a = check_addr(self.design.name(id), addr, m.size, cycle)?;
+                    debug_assert!(m.has_data);
+                    self.state.set_cell(id, a, data);
+                    data
+                }
+                MemOp::Input => {
+                    let value = match addr {
+                        0 => input.read_char(),
+                        1 => input.read_int(),
+                        _ => {
+                            trace::input_prompt(out, addr)?;
+                            input.read_int()
+                        }
+                    };
+                    value.map_err(|e| match e {
+                        SimError::InputExhausted { .. } => SimError::InputExhausted { cycle },
+                        other => other,
+                    })?
+                }
+                MemOp::Output => {
+                    debug_assert!(m.has_data);
+                    trace::output_event(out, addr, data)?;
+                    data
+                }
+            };
+            if m.latch_needed {
+                self.state.set_output(id, latch);
+            }
+            if self.program.trace {
+                use crate::ir::TraceDecision::*;
+                let name = self.design.name(id);
+                match m.trace_write {
+                    Always => trace::mem_write(out, name, addr, latch)?,
+                    Dynamic if rtl_core::word::traces_write(opn) => {
+                        trace::mem_write(out, name, addr, latch)?;
+                    }
+                    _ => {}
+                }
+                match m.trace_read {
+                    Always => trace::mem_read(out, name, addr, latch)?,
+                    Dynamic if rtl_core::word::traces_read(opn) => {
+                        trace::mem_read(out, name, addr, latch)?;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        self.stats.cycles += 1;
+        self.state.bump_cycle();
+        Ok(())
+    }
+}
+
+fn check_addr(name: &str, addr: Word, size: u32, cycle: Word) -> Result<u32, SimError> {
+    if (0..Word::from(size)).contains(&addr) {
+        Ok(addr as u32)
+    } else {
+        Err(SimError::AddressOutOfRange {
+            component: name.to_string(),
+            address: addr,
+            size,
+            cycle,
+        })
+    }
+}

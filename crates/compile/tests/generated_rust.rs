@@ -1,0 +1,87 @@
+//! End-to-end check of the generated-Rust pipeline: emit → `rustc -O` →
+//! run → compare byte-for-byte with the interpreter.
+
+use rtl_compile::{build, rustc_available, EmitOptions};
+use rtl_core::{Design, Engine, NoInput};
+use rtl_interp::Interpreter;
+
+fn interp_output(design: &Design, last_cycle: i64) -> String {
+    let mut sim = Interpreter::new(design);
+    let mut out = Vec::new();
+    sim.run_to_cycle(last_cycle, &mut out, &mut NoInput).unwrap();
+    String::from_utf8(out).unwrap()
+}
+
+#[test]
+fn compiled_program_matches_interpreter() {
+    if !rustc_available() {
+        eprintln!("skipping: rustc not on PATH");
+        return;
+    }
+    // A design touching every feature class: ALU zoo member, selector,
+    // register, ROM, traced memory, write tracing, integer output.
+    let src = "\
+# pipeline smoke machine
+= 12
+c* n rom* mux* acc* out tw .
+M c 0 n 1 1
+A n 4 c 1
+M rom c.0.2 0 0 -8 5 9 1 7 3 8 2 6
+S mux c.0.1 rom.0.3 c acc 10
+M acc 0 mux 1 1
+M out 1 acc 3 1
+M tw c.0.1 mux 5 4
+.";
+    let design = Design::from_source(src).unwrap_or_else(|e| panic!("{e}"));
+    let expected = interp_output(&design, 12);
+
+    let sim = build(&design, &EmitOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    let (got, _elapsed) = sim.run(b"").unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn compiled_program_handles_input() {
+    if !rustc_available() {
+        eprintln!("skipping: rustc not on PATH");
+        return;
+    }
+    let src = "# echo machine\n= 3\ni o .\nM i 1 0 2 1\nM o 1 i 3 1 .";
+    let design = Design::from_source(src).unwrap_or_else(|e| panic!("{e}"));
+
+    let mut sim = Interpreter::new(&design);
+    let mut out = Vec::new();
+    let mut input = rtl_core::ScriptedInput::new([41, 42, 43, 44]);
+    sim.run_to_cycle(3, &mut out, &mut input).unwrap();
+    let expected = String::from_utf8(out).unwrap();
+
+    let compiled = build(&design, &EmitOptions::default()).unwrap_or_else(|e| panic!("{e}"));
+    let (got, _) = compiled.run(b"41 42 43 44\n").unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn interactive_program_prompts_and_continues() {
+    if !rustc_available() {
+        eprintln!("skipping: rustc not on PATH");
+        return;
+    }
+    // No `= n` clause: the interactive program must ask, run, and offer to
+    // continue — the faithful Appendix A behaviour.
+    let src = "# interactive counter\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .";
+    let design = Design::from_source(src).unwrap();
+    let options = EmitOptions { interactive: true, ..EmitOptions::default() };
+    let sim = build(&design, &options).unwrap_or_else(|e| panic!("{e}"));
+
+    // Trace 0..=2, continue to 5, then quit.
+    let (out, _) = sim.run(b"2 5 0\n").unwrap_or_else(|e| panic!("{e}"));
+    assert!(out.starts_with("Number of cycles to trace\n"), "{out}");
+    assert!(out.contains("Cycle   2 count= 2\nContinue to cycle (0 to quit)\n"), "{out}");
+    assert!(out.contains("Cycle   5 count= 5\nContinue to cycle (0 to quit)\n"), "{out}");
+    assert!(!out.contains("Cycle   6"), "{out}");
+
+    // EOF at the continue prompt quits cleanly (read(cycles) -> 0).
+    let (out, _) = sim.run(b"1").unwrap_or_else(|e| panic!("{e}"));
+    assert!(out.contains("Cycle   1 count= 1"), "{out}");
+    assert!(!out.contains("Cycle   2"), "{out}");
+}

@@ -1,0 +1,108 @@
+//! The engine abstraction: anything that can step a design one cycle.
+//!
+//! Both `rtl-interp` (the ASIM-style interpreter) and `rtl-compile`'s
+//! bytecode VM implement [`Engine`]; the differential test harness drives
+//! two engines in lock step and compares states and output text.
+
+use crate::design::Design;
+use crate::error::SimError;
+use crate::io::InputSource;
+use crate::state::SimState;
+use crate::word::Word;
+use std::io::Write;
+
+/// A cycle-stepped simulation engine over a [`Design`].
+pub trait Engine {
+    /// The design being simulated.
+    fn design(&self) -> &Design;
+
+    /// The current simulation state.
+    fn state(&self) -> &SimState;
+
+    /// Executes one cycle per the contract documented on
+    /// [`design`](crate::design) (combinational phase, trace, memory
+    /// capture, memory update, cycle increment).
+    ///
+    /// # Errors
+    ///
+    /// Runtime errors per [`SimError`]; trace/output text goes to `out`,
+    /// memory-mapped input comes from `input`.
+    fn step(
+        &mut self,
+        out: &mut dyn Write,
+        input: &mut dyn InputSource,
+    ) -> Result<(), SimError>;
+
+    /// Runs `iterations` cycles.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing cycle.
+    fn run(
+        &mut self,
+        iterations: u64,
+        out: &mut dyn Write,
+        input: &mut dyn InputSource,
+    ) -> Result<(), SimError> {
+        for _ in 0..iterations {
+            self.step(out, input)?;
+        }
+        Ok(())
+    }
+
+    /// Runs until the cycle counter *exceeds* `last` — i.e. simulates
+    /// cycles `0..=last`, the semantics of the specification's `= n` clause
+    /// (the generated Pascal's `while cyclecount <= cycles`).
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing cycle.
+    fn run_to_cycle(
+        &mut self,
+        last: Word,
+        out: &mut dyn Write,
+        input: &mut dyn InputSource,
+    ) -> Result<(), SimError> {
+        while self.state().cycle() <= last {
+            self.step(out, input)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the cycle count requested by the specification's `= n` clause
+    /// (n + 1 iterations), or zero cycles if the spec had none.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing cycle.
+    fn run_spec(
+        &mut self,
+        out: &mut dyn Write,
+        input: &mut dyn InputSource,
+    ) -> Result<(), SimError> {
+        match self.design().cycles() {
+            Some(n) => self.run_to_cycle(n, out, input),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Runs an engine for `iterations` cycles with no input, capturing the
+/// trace/output text. Convenience for tests and examples.
+///
+/// # Errors
+///
+/// Returns the text produced so far alongside the error.
+pub fn run_captured<E: Engine>(
+    engine: &mut E,
+    iterations: u64,
+) -> Result<String, (String, SimError)> {
+    let mut out = Vec::new();
+    let mut input = crate::io::NoInput;
+    let result = engine.run(iterations, &mut out, &mut input);
+    let text = String::from_utf8_lossy(&out).into_owned();
+    match result {
+        Ok(()) => Ok(text),
+        Err(e) => Err((text, e)),
+    }
+}

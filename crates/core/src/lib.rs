@@ -1,0 +1,52 @@
+//! # rtl-core — semantics and elaboration for ASIM II designs
+//!
+//! This crate gives the ASIM II language its meaning:
+//!
+//! * the 31-bit word model and the fourteen ALU functions
+//!   ([`word`]),
+//! * name resolution and bit-field lowering ([`resolve`]),
+//! * dependency analysis with precise circular-dependency diagnosis
+//!   ([`graph`]),
+//! * elaboration of a parsed [`Spec`](rtl_lang::Spec) into a simulatable
+//!   [`Design`] ([`design`] — the cycle-semantics contract is documented
+//!   there),
+//! * the engine-agnostic simulation state ([`state`]), trace text formats
+//!   ([`trace`]), input abstraction ([`io`]) and the [`Engine`] trait that
+//!   the interpreter and the compiled VM both implement,
+//! * output-width inference for netlisting and codegen ([`width`]).
+//!
+//! ```
+//! use rtl_core::Design;
+//! let design = Design::from_source(
+//!     "# a two component design\ncount* next .\n\
+//!      M count 0 next 1 1\n\
+//!      A next 4 count 1 .",
+//! ).unwrap();
+//! assert_eq!(design.comb_order().len(), 1);
+//! assert_eq!(design.memories().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod design;
+pub mod engine;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod resolve;
+pub mod state;
+pub mod stats;
+pub mod trace;
+pub mod vcd;
+pub mod width;
+pub mod word;
+
+pub use design::{CompData, Design, ElabOptions, LoadError, RAlu, RKind, RMemory, RSelector};
+pub use engine::{run_captured, Engine};
+pub use error::{ElabError, SimError, Warning};
+pub use io::{InputSource, NoInput, ReaderInput, ScriptedInput};
+pub use resolve::{CompId, RExpr, RefMode, RefOp};
+pub use state::SimState;
+pub use stats::SimStats;
+pub use word::{dologic, land, AluFn, MemOp, Word, WORD_MASK};

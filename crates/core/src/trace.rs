@@ -1,0 +1,149 @@
+//! Trace and output formatting.
+//!
+//! Every engine — interpreter, VM, generated Rust, generated Pascal — must
+//! produce byte-identical output for the same design and inputs; the
+//! differential test suite depends on it. This module is therefore the
+//! single source of truth for the text formats, mirroring the `write`
+//! statements the original compiler emitted:
+//!
+//! * `Cycle ⟨count:3⟩ ⟨name⟩= ⟨value⟩ …` per cycle,
+//! * ` Write to ⟨mem⟩ at ⟨addr⟩: ⟨value⟩` when `op & 5 = 5`,
+//! * ` Read from ⟨mem⟩ at ⟨addr⟩: ⟨value⟩` when `op & 9 = 8`,
+//! * output-device lines per the memory-mapped I/O rules of Appendix A.
+
+use crate::word::Word;
+use std::io::{self, Write};
+
+/// Writes the start of a cycle line: `Cycle ⟨n:3⟩` (width-3, right aligned,
+/// Pascal `cyclecount:3`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn cycle_header(out: &mut dyn Write, cycle: Word) -> io::Result<()> {
+    write!(out, "Cycle {cycle:>3}")
+}
+
+/// Writes one traced value: ` ⟨name⟩= ⟨value⟩`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn traced_value(out: &mut dyn Write, name: &str, value: Word) -> io::Result<()> {
+    write!(out, " {name}= {value}")
+}
+
+/// Ends the cycle line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn end_line(out: &mut dyn Write) -> io::Result<()> {
+    out.write_all(b"\n")
+}
+
+/// Writes a memory write-trace line: ` Write to ⟨name⟩ at ⟨addr⟩: ⟨value⟩`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn mem_write(out: &mut dyn Write, name: &str, addr: Word, value: Word) -> io::Result<()> {
+    writeln!(out, " Write to {name} at {addr}: {value}")
+}
+
+/// Writes a memory read-trace line: ` Read from ⟨name⟩ at ⟨addr⟩: ⟨value⟩`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn mem_read(out: &mut dyn Write, name: &str, addr: Word, value: Word) -> io::Result<()> {
+    writeln!(out, " Read from {name} at {addr}: {value}")
+}
+
+/// Writes an output-device event (`soutput`): address 0 prints the value as
+/// a character, address 1 as an integer, anything else as a tagged line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn output_event(out: &mut dyn Write, addr: Word, data: Word) -> io::Result<()> {
+    match addr {
+        0 => {
+            let byte = (data & 0xFF) as u8;
+            out.write_all(&[byte, b'\n'])
+        }
+        1 => writeln!(out, "{data}"),
+        _ => writeln!(out, "Output to address {addr}: {data}"),
+    }
+}
+
+/// Writes the prompt `sinput` prints before reading from a non-standard
+/// address: `Input from address ⟨addr⟩: `.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn input_prompt(out: &mut dyn Write, addr: Word) -> io::Result<()> {
+    write!(out, "Input from address {addr}: ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture(f: impl FnOnce(&mut dyn Write) -> io::Result<()>) -> String {
+        let mut buf = Vec::new();
+        f(&mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn cycle_line_format() {
+        let s = capture(|w| {
+            cycle_header(w, 7)?;
+            traced_value(w, "pc", 12)?;
+            traced_value(w, "ac", 900)?;
+            end_line(w)
+        });
+        assert_eq!(s, "Cycle   7 pc= 12 ac= 900\n");
+    }
+
+    #[test]
+    fn cycle_width_is_three_but_grows() {
+        assert_eq!(capture(|w| cycle_header(w, 0)), "Cycle   0");
+        assert_eq!(capture(|w| cycle_header(w, 99)), "Cycle  99");
+        assert_eq!(capture(|w| cycle_header(w, 5545)), "Cycle 5545");
+    }
+
+    #[test]
+    fn memory_trace_lines() {
+        assert_eq!(
+            capture(|w| mem_write(w, "ram", 5, 42)),
+            " Write to ram at 5: 42\n"
+        );
+        assert_eq!(
+            capture(|w| mem_read(w, "ram", 6, -1)),
+            " Read from ram at 6: -1\n"
+        );
+    }
+
+    #[test]
+    fn output_events_per_address() {
+        assert_eq!(capture(|w| output_event(w, 0, 65)), "A\n");
+        assert_eq!(capture(|w| output_event(w, 1, 1234)), "1234\n");
+        assert_eq!(
+            capture(|w| output_event(w, 4096, 13)),
+            "Output to address 4096: 13\n"
+        );
+    }
+
+    #[test]
+    fn char_output_masks_to_a_byte() {
+        assert_eq!(capture(|w| output_event(w, 0, 65 + 256)), "A\n");
+    }
+
+    #[test]
+    fn input_prompt_format() {
+        assert_eq!(capture(|w| input_prompt(w, 9)), "Input from address 9: ");
+    }
+}

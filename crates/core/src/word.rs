@@ -1,0 +1,317 @@
+//! Word arithmetic: the 31-bit value model of ASIM II.
+//!
+//! The generated simulators of the thesis used 32-bit Pascal integers with
+//! a 31-bit mask (`mask = 2147483647`). ALU subtraction can produce
+//! negative intermediates, which then flow through `land` with two's
+//! complement semantics. We reproduce this exactly: values are carried in
+//! [`Word`] (`i64`), and [`land`] truncates to 32-bit two's complement
+//! before anding, just like Pascal's set-based `land` on a 32-bit integer.
+
+pub use rtl_lang::{Word, WORD_MASK};
+
+/// Bitwise AND with Pascal 32-bit integer semantics: both operands are
+/// truncated to their low 32 bits (two's complement), anded, and
+/// sign-extended back.
+///
+/// ```
+/// use rtl_core::word::land;
+/// assert_eq!(land(0b1100, 0b1010), 0b1000);
+/// assert_eq!(land(-1, 0xFF), 0xFF); // two's complement: -1 is all ones
+/// ```
+#[inline]
+pub fn land(a: Word, b: Word) -> Word {
+    ((a as i32) & (b as i32)) as Word
+}
+
+/// The fourteen ALU functions of Appendix A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum AluFn {
+    /// `0` — constant zero.
+    Zero = 0,
+    /// `1` — pass the right operand.
+    Right = 1,
+    /// `2` — pass the left operand.
+    Left = 2,
+    /// `3` — 31-bit complement of the left operand (`mask - left`).
+    Not = 3,
+    /// `4` — `left + right`.
+    Add = 4,
+    /// `5` — `left - right` (may go negative).
+    Sub = 5,
+    /// `6` — `left * 2^right`, computed by the original's iterated-doubling
+    /// loop (masked to 31 bits each step; yields **0 when `right = 0`**, a
+    /// quirk preserved for fidelity — see `DESIGN.md`).
+    Shl = 6,
+    /// `7` — `left * right`.
+    Mul = 7,
+    /// `8` — bitwise AND.
+    And = 8,
+    /// `9` — bitwise OR (`left + right - land(left, right)`).
+    Or = 9,
+    /// `10` — bitwise XOR (`left + right - 2*land(left, right)`).
+    Xor = 10,
+    /// `11` — unused; constant zero.
+    Unused = 11,
+    /// `12` — `1` if `left = right`, else `0`.
+    Eq = 12,
+    /// `13` — `1` if `left < right`, else `0`.
+    Lt = 13,
+}
+
+impl AluFn {
+    /// All functions in numeric order.
+    pub const ALL: [AluFn; 14] = [
+        AluFn::Zero,
+        AluFn::Right,
+        AluFn::Left,
+        AluFn::Not,
+        AluFn::Add,
+        AluFn::Sub,
+        AluFn::Shl,
+        AluFn::Mul,
+        AluFn::And,
+        AluFn::Or,
+        AluFn::Xor,
+        AluFn::Unused,
+        AluFn::Eq,
+        AluFn::Lt,
+    ];
+
+    /// Decodes a function number; `None` outside `0..=13` (where the
+    /// original's `case` statement would crash).
+    pub fn from_word(w: Word) -> Option<AluFn> {
+        if (0..=13).contains(&w) {
+            Some(Self::ALL[w as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The function number.
+    pub fn number(self) -> Word {
+        self as Word
+    }
+
+    /// Human-readable name for documentation and netlists.
+    pub fn name(self) -> &'static str {
+        match self {
+            AluFn::Zero => "zero",
+            AluFn::Right => "right",
+            AluFn::Left => "left",
+            AluFn::Not => "not",
+            AluFn::Add => "add",
+            AluFn::Sub => "sub",
+            AluFn::Shl => "shl",
+            AluFn::Mul => "mul",
+            AluFn::And => "and",
+            AluFn::Or => "or",
+            AluFn::Xor => "xor",
+            AluFn::Unused => "unused",
+            AluFn::Eq => "eq",
+            AluFn::Lt => "lt",
+        }
+    }
+
+    /// Applies the function to two operands.
+    pub fn apply(self, left: Word, right: Word) -> Word {
+        match self {
+            AluFn::Zero | AluFn::Unused => 0,
+            AluFn::Right => right,
+            AluFn::Left => left,
+            AluFn::Not => WORD_MASK - left,
+            AluFn::Add => left.wrapping_add(right),
+            AluFn::Sub => left.wrapping_sub(right),
+            AluFn::Shl => {
+                // Faithful to the generated `dologic`: value stays 0 when
+                // the loop body never runs (right = 0 or left = 0).
+                let mut left = left;
+                let mut right = right;
+                let mut value = 0;
+                while right > 0 && left != 0 {
+                    left = land(left.wrapping_add(left), WORD_MASK);
+                    value = left;
+                    right -= 1;
+                }
+                value
+            }
+            AluFn::Mul => left.wrapping_mul(right),
+            AluFn::And => land(left, right),
+            AluFn::Or => left.wrapping_add(right).wrapping_sub(land(left, right)),
+            AluFn::Xor => left
+                .wrapping_add(right)
+                .wrapping_sub(land(left, right).wrapping_mul(2)),
+            AluFn::Eq => Word::from(left == right),
+            AluFn::Lt => Word::from(left < right),
+        }
+    }
+}
+
+impl std::fmt::Display for AluFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.number(), self.name())
+    }
+}
+
+/// `dologic` of the generated simulators: applies function number `funct`.
+/// Returns `None` when `funct` is outside `0..=13`.
+///
+/// ```
+/// use rtl_core::word::dologic;
+/// assert_eq!(dologic(4, 2, 3), Some(5));
+/// assert_eq!(dologic(13, 2, 3), Some(1));
+/// assert_eq!(dologic(14, 2, 3), None);
+/// ```
+#[inline]
+pub fn dologic(funct: Word, left: Word, right: Word) -> Option<Word> {
+    AluFn::from_word(funct).map(|f| f.apply(left, right))
+}
+
+/// The four memory operations selected by `op & 3` (Appendix A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// `0` — latch `cells[address]`.
+    Read,
+    /// `1` — store `data`, latch it too (write-through).
+    Write,
+    /// `2` — latch a word from the input device.
+    Input,
+    /// `3` — send `data` to the output device, latch it too.
+    Output,
+}
+
+impl MemOp {
+    /// Decodes `op & 3`.
+    pub fn from_word(op: Word) -> MemOp {
+        match land(op, 3) {
+            0 => MemOp::Read,
+            1 => MemOp::Write,
+            2 => MemOp::Input,
+            _ => MemOp::Output,
+        }
+    }
+
+    /// The operation number (`0..=3`).
+    pub fn number(self) -> Word {
+        match self {
+            MemOp::Read => 0,
+            MemOp::Write => 1,
+            MemOp::Input => 2,
+            MemOp::Output => 3,
+        }
+    }
+}
+
+/// `true` if the operation word asks for a write-trace line this cycle:
+/// `land(op, 5) = 5` (write/output op with the trace-writes bit set).
+#[inline]
+pub fn traces_write(op: Word) -> bool {
+    land(op, 5) == 5
+}
+
+/// `true` if the operation word asks for a read-trace line this cycle:
+/// `land(op, 9) = 8` (read/input op with the trace-reads bit set).
+#[inline]
+pub fn traces_read(op: Word) -> bool {
+    land(op, 9) == 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn land_is_pascal_32_bit() {
+        assert_eq!(land(0, 0), 0);
+        assert_eq!(land(WORD_MASK, WORD_MASK), WORD_MASK);
+        assert_eq!(land(-1, WORD_MASK), WORD_MASK);
+        assert_eq!(land(-2, 0xFF), 0xFE);
+        // Values beyond 32 bits truncate, matching Pascal integers.
+        assert_eq!(land(1 << 33, -1), 0);
+        assert_eq!(land((1 << 33) + 5, 0xF), 5);
+    }
+
+    #[test]
+    fn appendix_a_function_table() {
+        // The Appendix A table, row by row, on (left, right) = (12, 10).
+        let l = 12;
+        let r = 10;
+        assert_eq!(dologic(0, l, r), Some(0));
+        assert_eq!(dologic(1, l, r), Some(10));
+        assert_eq!(dologic(2, l, r), Some(12));
+        assert_eq!(dologic(3, l, r), Some(WORD_MASK - 12));
+        assert_eq!(dologic(4, l, r), Some(22));
+        assert_eq!(dologic(5, l, r), Some(2));
+        assert_eq!(dologic(6, l, r), Some(12 << 10));
+        assert_eq!(dologic(7, l, r), Some(120));
+        assert_eq!(dologic(8, l, r), Some(8));
+        assert_eq!(dologic(9, l, r), Some(14));
+        assert_eq!(dologic(10, l, r), Some(6));
+        assert_eq!(dologic(11, l, r), Some(0));
+        assert_eq!(dologic(12, l, r), Some(0));
+        assert_eq!(dologic(12, 7, 7), Some(1));
+        assert_eq!(dologic(13, l, r), Some(0));
+        assert_eq!(dologic(13, 9, 10), Some(1));
+    }
+
+    #[test]
+    fn shift_quirks_preserved() {
+        // right = 0 yields 0, not left — the dologic loop never runs.
+        assert_eq!(AluFn::Shl.apply(5, 0), 0);
+        assert_eq!(AluFn::Shl.apply(0, 3), 0);
+        assert_eq!(AluFn::Shl.apply(1, 3), 8);
+        // Shifts mask to 31 bits every step.
+        assert_eq!(AluFn::Shl.apply(1, 31), 0);
+        assert_eq!(AluFn::Shl.apply(3, 30), land(3 << 30, WORD_MASK));
+    }
+
+    #[test]
+    fn or_xor_identities_on_bit_patterns() {
+        for (a, b) in [(0, 0), (5, 3), (0xF0, 0x0F), (0xFF, 0x0F), (1234, 4321)] {
+            assert_eq!(AluFn::Or.apply(a, b), a | b, "or {a} {b}");
+            assert_eq!(AluFn::Xor.apply(a, b), a ^ b, "xor {a} {b}");
+            assert_eq!(AluFn::And.apply(a, b), a & b, "and {a} {b}");
+        }
+    }
+
+    #[test]
+    fn subtraction_goes_negative() {
+        assert_eq!(AluFn::Sub.apply(3, 5), -2);
+        // The stack machine's `neg` ALU is `A neg %101 0 ram`.
+        assert_eq!(dologic(0b101, 0, 7), Some(-7));
+    }
+
+    #[test]
+    fn mem_op_decoding_ignores_trace_bits() {
+        assert_eq!(MemOp::from_word(0), MemOp::Read);
+        assert_eq!(MemOp::from_word(1), MemOp::Write);
+        assert_eq!(MemOp::from_word(2), MemOp::Input);
+        assert_eq!(MemOp::from_word(3), MemOp::Output);
+        assert_eq!(MemOp::from_word(4), MemOp::Read);
+        assert_eq!(MemOp::from_word(5), MemOp::Write);
+        assert_eq!(MemOp::from_word(8 + 2), MemOp::Input);
+        assert_eq!(MemOp::from_word(12 + 3), MemOp::Output);
+    }
+
+    #[test]
+    fn trace_predicates() {
+        assert!(traces_write(5));
+        assert!(traces_write(7));
+        assert!(traces_write(4 + 1));
+        assert!(!traces_write(4), "trace-writes bit without a write op");
+        assert!(!traces_write(1), "write op without the trace bit");
+        assert!(traces_read(8));
+        assert!(traces_read(8 + 2));
+        assert!(!traces_read(8 + 1), "writes are not read-traced");
+        assert!(!traces_read(2));
+    }
+
+    #[test]
+    fn from_word_round_trips() {
+        for f in AluFn::ALL {
+            assert_eq!(AluFn::from_word(f.number()), Some(f));
+        }
+        assert_eq!(AluFn::from_word(-1), None);
+        assert_eq!(AluFn::from_word(14), None);
+    }
+}

@@ -1,0 +1,130 @@
+//! Gate-count estimation.
+//!
+//! §2.2.2 notes that the logic-gate level "describes SSI, MSI and some LSI
+//! circuits"; a designer comparing candidate datapaths wants a rough gate
+//! budget long before layout. These estimates use standard-cell folklore
+//! (a full adder ≈ 5 gate equivalents, a D flip-flop ≈ 6, a RAM bit ≈ 1.5)
+//! — coarse by design, like the thesis's own cost discussion at the PMS
+//! level (§2.2.5).
+
+use crate::netlist::Netlist;
+use crate::parts::{Part, PartKind};
+use rtl_core::Design;
+
+/// Gate-equivalent estimate for one part.
+pub fn gates_for(part: &Part, width: u32) -> u64 {
+    let w = u64::from(width.max(1));
+    match &part.kind {
+        PartKind::Wiring => 0,
+        PartKind::Inverters => w,
+        // Full adder per bit ≈ 5 gate equivalents.
+        PartKind::Adders => 5 * w,
+        // Magnitude comparator per bit ≈ 4.
+        PartKind::Comparators => 4 * w,
+        PartKind::Gates(_) => w,
+        // Array multiplier: one adder cell per bit pair.
+        PartKind::Multiplier => 5 * w * w,
+        // Barrel shifter: log2(w) mux stages.
+        PartKind::BarrelShifter => {
+            let stages = 64 - u64::from(width.max(2) - 1).leading_zeros() as u64;
+            3 * w * stages
+        }
+        // A 74181-style ALU slice ≈ 60 gates per 4 bits.
+        PartKind::AluSlices => 15 * w,
+        // A w-wide n-way mux: (n-1) 2:1 muxes per bit, ≈ 3 gates each.
+        PartKind::Multiplexers { ways } => 3 * w * (ways.saturating_sub(1) as u64),
+        // D flip-flop ≈ 6 gate equivalents per bit.
+        PartKind::FlipFlops => 6 * w,
+        PartKind::Ram | PartKind::Rom => 0, // counted via bits, below
+    }
+}
+
+/// A design-level estimate: combinational gates, register bits, and
+/// memory bits, the three axes a designer budgets separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Estimate {
+    /// Combinational gate equivalents.
+    pub gates: u64,
+    /// Register (flip-flop) bits.
+    pub register_bits: u64,
+    /// RAM/ROM storage bits.
+    pub memory_bits: u64,
+}
+
+impl std::fmt::Display for Estimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "~{} gates, {} register bits, {} memory bits",
+            self.gates, self.register_bits, self.memory_bits
+        )
+    }
+}
+
+/// Estimates the whole design.
+pub fn estimate(design: &Design, netlist: &Netlist, parts: &[Part]) -> Estimate {
+    let mut e = Estimate::default();
+    for part in parts {
+        let width = u32::from(netlist.widths[part.comp.index()]);
+        match &part.kind {
+            PartKind::FlipFlops => e.register_bits += u64::from(width),
+            PartKind::Ram | PartKind::Rom => {
+                if let rtl_core::RKind::Memory(m) = &design.comp(part.comp).kind {
+                    e.memory_bits += u64::from(m.size) * u64::from(width);
+                }
+            }
+            _ => e.gates += gates_for(part, width),
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parts::select;
+
+    fn estimate_of(src: &str) -> Estimate {
+        let d = Design::from_source(src).unwrap_or_else(|e| panic!("{e}"));
+        let nl = Netlist::extract(&d);
+        let parts = select(&d, &nl);
+        estimate(&d, &nl, &parts)
+    }
+
+    #[test]
+    fn counter_estimate() {
+        let e = estimate_of("# c\ncount next .\nM count 0 next.0.3 1 1\nA next 4 count 1 .");
+        assert_eq!(e.register_bits, 4);
+        assert!(e.gates >= 5 * 4, "an adder at least: {e}");
+        assert_eq!(e.memory_bits, 0);
+    }
+
+    #[test]
+    fn memory_bits_scale_with_cells() {
+        let e = estimate_of("# m\nm c n .\nM c 0 n 1 1\nA n 4 c 1\nM m c.0.3 c 1 16 .");
+        // 16 cells at the inferred width of the counter data.
+        assert!(e.memory_bits >= 16, "{e}");
+    }
+
+    #[test]
+    fn tiny_computer_is_a_few_hundred_gates() {
+        let image = rtl_machines::tiny::divider_image(9, 3);
+        let spec = rtl_machines::tiny::rtl::spec(&image, Some(10));
+        let d = Design::elaborate(&spec).unwrap();
+        let nl = Netlist::extract(&d);
+        let parts = select(&d, &nl);
+        let e = estimate(&d, &nl, &parts);
+        assert!(
+            (100..20_000).contains(&e.gates),
+            "a five-instruction CPU is SSI/MSI scale: {e}"
+        );
+        assert!(e.memory_bits >= 128 * 10, "{e}");
+        assert!(e.register_bits >= 10, "pc + ac + state + borrow: {e}");
+    }
+
+    #[test]
+    fn wiring_costs_nothing() {
+        let e = estimate_of("# w\nw m .\nA w 2 m 0\nM m 0 0 0 -2 3 3 .");
+        assert_eq!(e.gates, 0);
+    }
+}

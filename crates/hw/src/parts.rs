@@ -1,0 +1,256 @@
+//! Parts selection: mapping components to catalog hardware.
+//!
+//! Appendix F closes with a shopping list — "2K x 8 bit RAM, quad AND,
+//! dual D flip flop, 4 bit adder, 4 bit comparator, 8 to 1 multiplexor,
+//! dual 4 to 1 multiplexor, quad 2 to 1 multiplexor, hex D flip flop,
+//! quad D flip flop, 4 bit alu". This module automates that step: each
+//! primitive becomes a named part with a chip count derived from its
+//! inferred width, so "the engineer can choose appropriate components
+//! which perform the function of the specified component" (§5.3).
+
+use crate::netlist::Netlist;
+use rtl_core::{AluFn, CompId, Design, RKind};
+
+/// What a component synthesizes to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartKind {
+    /// Pure wiring (constant-0/pass-through functions).
+    Wiring,
+    /// An inverter bank (`not`).
+    Inverters,
+    /// Ripple adders (`add`/`sub`; subtract uses adders plus inverters).
+    Adders,
+    /// Magnitude comparators (`eq`/`lt`).
+    Comparators,
+    /// Gate packages (`and`/`or`/`xor`), named by the gate.
+    Gates(&'static str),
+    /// A combinational multiplier array (`mul`).
+    Multiplier,
+    /// A barrel shifter (`shl`).
+    BarrelShifter,
+    /// A generic ALU slice (dynamic function select).
+    AluSlices,
+    /// N-way multiplexors.
+    Multiplexers {
+        /// Input count.
+        ways: usize,
+    },
+    /// D flip-flop packages (single-cell memories).
+    FlipFlops,
+    /// Read/write memory.
+    Ram,
+    /// Read-only memory (initialized, never written).
+    Rom,
+}
+
+/// A selected part with quantity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Part {
+    /// The component this implements.
+    pub comp: CompId,
+    /// The part family.
+    pub kind: PartKind,
+    /// Catalog name, in the Appendix F style.
+    pub name: String,
+    /// How many packages/chips.
+    pub chips: u32,
+}
+
+/// Selects parts for every component of a design.
+pub fn select(design: &Design, netlist: &Netlist) -> Vec<Part> {
+    design
+        .iter()
+        .map(|(id, comp)| {
+            let width = u32::from(netlist.widths[id.index()]);
+            let (kind, name, chips) = match &comp.kind {
+                RKind::Alu(a) => alu_part(a.funct.as_constant(), width),
+                RKind::Selector(s) => mux_part(s.cases.len(), width),
+                RKind::Memory(m) => memory_part(m, width),
+            };
+            Part { comp: id, kind, name, chips }
+        })
+        .collect()
+}
+
+fn per(width: u32, slice: u32) -> u32 {
+    width.div_ceil(slice).max(1)
+}
+
+fn alu_part(funct: Option<i64>, width: u32) -> (PartKind, String, u32) {
+    match funct.and_then(AluFn::from_word) {
+        Some(AluFn::Zero) | Some(AluFn::Unused) | Some(AluFn::Left) | Some(AluFn::Right) => {
+            (PartKind::Wiring, "wiring only".into(), 0)
+        }
+        Some(AluFn::Not) => (
+            PartKind::Inverters,
+            "hex inverter".into(),
+            per(width, 6),
+        ),
+        Some(AluFn::Add) => (PartKind::Adders, "4 bit adder".into(), per(width, 4)),
+        Some(AluFn::Sub) => (
+            PartKind::Adders,
+            "4 bit adder (borrow mode)".into(),
+            per(width, 4),
+        ),
+        Some(AluFn::Eq) | Some(AluFn::Lt) => (
+            PartKind::Comparators,
+            "4 bit comparator".into(),
+            per(width, 4),
+        ),
+        Some(AluFn::And) => (PartKind::Gates("AND"), "quad AND".into(), per(width, 4)),
+        Some(AluFn::Or) => (PartKind::Gates("OR"), "quad OR".into(), per(width, 4)),
+        Some(AluFn::Xor) => (PartKind::Gates("XOR"), "quad XOR".into(), per(width, 4)),
+        Some(AluFn::Mul) => (
+            PartKind::Multiplier,
+            format!("{width} bit multiplier array"),
+            1,
+        ),
+        Some(AluFn::Shl) => (
+            PartKind::BarrelShifter,
+            format!("{width} bit barrel shifter"),
+            1,
+        ),
+        None => (PartKind::AluSlices, "4 bit alu".into(), per(width, 4)),
+    }
+}
+
+fn mux_part(ways: usize, width: u32) -> (PartKind, String, u32) {
+    let kind = PartKind::Multiplexers { ways };
+    if ways <= 2 {
+        (kind, "quad 2 to 1 multiplexor".into(), per(width, 4))
+    } else if ways <= 4 {
+        (kind, "dual 4 to 1 multiplexor".into(), per(width, 2))
+    } else if ways <= 8 {
+        (kind, "8 to 1 multiplexor".into(), width.max(1))
+    } else {
+        // Cascade: one 8-to-1 tree per bit per 8-way group.
+        let groups = ways.div_ceil(8) as u32;
+        (
+            kind,
+            format!("8 to 1 multiplexor tree ({ways} ways)"),
+            width.max(1) * groups,
+        )
+    }
+}
+
+fn memory_part(m: &rtl_core::RMemory, width: u32) -> (PartKind, String, u32) {
+    if m.size == 1 {
+        let (name, slice) = if width <= 2 {
+            ("dual D flip flop", 2)
+        } else if width <= 4 {
+            ("quad D flip flop", 4)
+        } else {
+            ("hex D flip flop", 6)
+        };
+        return (PartKind::FlipFlops, name.into(), per(width, slice));
+    }
+    // A memory that is never written (constant read operation) with
+    // initial contents is a ROM; everything else is RAM.
+    let read_only = m.opn.as_constant().map(|op| rtl_core::land(op, 3) == 0) == Some(true);
+    let bits = u64::from(m.size) * u64::from(width);
+    let chips = bits.div_ceil(2048 * 8).max(1) as u32;
+    if read_only && m.init.iter().any(|&v| v != 0) {
+        (PartKind::Rom, "2K x 8 bit ROM".into(), chips)
+    } else {
+        (PartKind::Ram, "2K x 8 bit RAM".into(), chips)
+    }
+}
+
+/// Aggregated bill of materials: `(catalog name, total chips)`.
+pub fn bill_of_materials(parts: &[Part]) -> Vec<(String, u32)> {
+    let mut totals: Vec<(String, u32)> = Vec::new();
+    for p in parts {
+        if p.chips == 0 {
+            continue;
+        }
+        match totals.iter_mut().find(|(n, _)| *n == p.name) {
+            Some((_, c)) => *c += p.chips,
+            None => totals.push((p.name.clone(), p.chips)),
+        }
+    }
+    totals.sort_by(|a, b| a.0.cmp(&b.0));
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl_core::Design;
+
+    fn parts_for(src: &str) -> (Design, Vec<Part>) {
+        let d = Design::from_source(src).unwrap_or_else(|e| panic!("{e}"));
+        let nl = Netlist::extract(&d);
+        let parts = select(&d, &nl);
+        (d, parts)
+    }
+
+    fn part_of<'p>(d: &Design, parts: &'p [Part], name: &str) -> &'p Part {
+        let id = d.find(name).unwrap();
+        parts.iter().find(|p| p.comp == id).unwrap()
+    }
+
+    #[test]
+    fn adders_comparators_gates() {
+        let (d, parts) = parts_for(
+            "# p\nsum cmp gate m .\nA sum 4 m m\nA cmp 13 m m\nA gate 8 m m\nM m 0 0 0 -2 9 9 .",
+        );
+        assert!(matches!(part_of(&d, &parts, "sum").kind, PartKind::Adders));
+        assert!(matches!(part_of(&d, &parts, "cmp").kind, PartKind::Comparators));
+        assert_eq!(part_of(&d, &parts, "gate").name, "quad AND");
+    }
+
+    #[test]
+    fn flip_flops_by_width() {
+        let (d, parts) = parts_for("# p\nr m .\nM r 0 m.0.9 1 1\nM m 0 0 0 2 .");
+        let r = part_of(&d, &parts, "r");
+        assert!(matches!(r.kind, PartKind::FlipFlops));
+        assert_eq!(r.name, "hex D flip flop");
+        assert_eq!(r.chips, 2, "10 bits need two hex packages");
+    }
+
+    #[test]
+    fn rom_vs_ram() {
+        let (d, parts) = parts_for(
+            "# p\nrom ram c n .\nM c 0 n 1 1\nA n 4 c 1\n\
+             M rom c.0.1 0 0 -4 1 2 3 4\nM ram c.0.1 c 1 4 .",
+        );
+        assert!(matches!(part_of(&d, &parts, "rom").kind, PartKind::Rom));
+        assert!(matches!(part_of(&d, &parts, "ram").kind, PartKind::Ram));
+    }
+
+    #[test]
+    fn mux_sizes() {
+        let (d, parts) = parts_for(
+            "# p\nm2 m4 m8 c n .\nM c 0 n 1 1\nA n 4 c 1\n\
+             S m2 c.0 1 2\nS m4 c.0.1 1 2 3 4\nS m8 c.0.2 1 2 3 4 5 6 7 8 .",
+        );
+        assert_eq!(part_of(&d, &parts, "m2").name, "quad 2 to 1 multiplexor");
+        assert_eq!(part_of(&d, &parts, "m4").name, "dual 4 to 1 multiplexor");
+        assert_eq!(part_of(&d, &parts, "m8").name, "8 to 1 multiplexor");
+    }
+
+    #[test]
+    fn dynamic_alu_needs_alu_slices() {
+        let (d, parts) = parts_for("# p\na f m .\nA a f m m\nA f 2 4 0\nM m 0 0 0 2 .");
+        assert_eq!(part_of(&d, &parts, "a").name, "4 bit alu");
+    }
+
+    #[test]
+    fn bom_aggregates() {
+        let (_, parts) = parts_for(
+            "# p\ns1 s2 m .\nA s1 4 m m\nA s2 4 m m\nM m 0 0 0 -2 9 9 .",
+        );
+        let bom = bill_of_materials(&parts);
+        let adders = bom.iter().find(|(n, _)| n == "4 bit adder").unwrap();
+        // Each sum is 5 bits wide (4-bit operands plus carry): two chips
+        // per adder, two adders.
+        assert_eq!(adders.1, 4);
+    }
+
+    #[test]
+    fn pass_through_alus_are_wiring() {
+        let (d, parts) = parts_for("# p\nw m .\nA w 2 m 0\nM m 0 0 0 2 .");
+        assert!(matches!(part_of(&d, &parts, "w").kind, PartKind::Wiring));
+        assert_eq!(part_of(&d, &parts, "w").chips, 0);
+    }
+}

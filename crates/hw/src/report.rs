@@ -1,0 +1,97 @@
+//! Human-readable hardware reports: the wiring list and the parts
+//! inventory (§5.3's "block diagram of the circuit", in text form).
+
+use crate::netlist::Netlist;
+use crate::parts::{bill_of_materials, select, Part};
+use rtl_core::{Design, RKind};
+use std::fmt::Write as _;
+
+/// The wiring list: one line per net, in the AHPL tradition of "wiring
+/// lists specifying the interconnections".
+pub fn wiring_list(design: &Design, netlist: &Netlist) -> String {
+    let mut out = String::new();
+    for net in &netlist.nets {
+        let _ = writeln!(
+            out,
+            "{}{} -> {}.{}",
+            design.name(net.from),
+            net.bits,
+            design.name(net.to),
+            net.role,
+        );
+    }
+    out
+}
+
+/// The component/parts table plus the aggregated bill of materials.
+pub fn inventory(design: &Design, netlist: &Netlist, parts: &[Part]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<12} {:>5} {:>6}  part", "component", "width", "fanout");
+    for (id, comp) in design.iter() {
+        let part = parts.iter().find(|p| p.comp == id).expect("part per component");
+        let kind = match comp.kind {
+            RKind::Alu(_) => "A",
+            RKind::Selector(_) => "S",
+            RKind::Memory(_) => "M",
+        };
+        let qty = if part.chips > 0 {
+            format!("{}x {}", part.chips, part.name)
+        } else {
+            part.name.clone()
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5} {:>6}  [{kind}] {qty}",
+            design.name(id),
+            netlist.widths[id.index()],
+            netlist.fanout(id),
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "bill of materials:");
+    for (name, chips) in bill_of_materials(parts) {
+        let _ = writeln!(out, "{chips:>4}  {name}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "estimate: {}",
+        crate::estimate::estimate(design, netlist, parts)
+    );
+    out
+}
+
+/// Everything at once: inventory plus wiring list.
+pub fn full_report(design: &Design) -> String {
+    let netlist = Netlist::extract(design);
+    let parts = select(design, &netlist);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", design.title());
+    let _ = writeln!(out, "{} components", design.len());
+    let _ = writeln!(out);
+    out.push_str(&inventory(design, &netlist, &parts));
+    let _ = writeln!(out);
+    let _ = writeln!(out, "wiring list:");
+    out.push_str(&wiring_list(design, &netlist));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_components() {
+        let d = Design::from_source(
+            "# demo\nc n mux .\nM c 0 n 1 1\nA n 4 c 1\nS mux c.0 n 0 .",
+        )
+        .unwrap();
+        let r = full_report(&d);
+        for name in ["c", "n", "mux"] {
+            assert!(r.contains(name), "{name} missing:\n{r}");
+        }
+        assert!(r.contains("bill of materials"), "{r}");
+        assert!(r.contains("wiring list"), "{r}");
+        assert!(r.contains("c[*] -> n.left"), "{r}");
+    }
+}

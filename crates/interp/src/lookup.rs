@@ -1,0 +1,99 @@
+//! Operand lookup disciplines.
+//!
+//! How much work a table interpreter does per operand reference is *the*
+//! variable behind Figure 5.1. The published ASIM II source (Appendix C)
+//! resolves component references by walking a linked component list and
+//! comparing names (`findname`); ASIM, sharing its table design, paid a
+//! comparable per-symbol cost on every cycle. A straight Rust port of that
+//! discipline is [`LookupMode::SymbolTable`]. [`LookupMode::Indexed`] is
+//! the modernized interpreter — references pre-resolved to dense indices
+//! at load time — and is the default. The Figure 5.1 harness reports both
+//! (see `EXPERIMENTS.md`).
+
+/// How the interpreter resolves a component reference each time an
+/// expression reads it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LookupMode {
+    /// References were resolved to dense indices when the tables were
+    /// built; a read is one array access. (Modern practice.)
+    #[default]
+    Indexed,
+    /// References are resolved on every read by scanning the component
+    /// name table front-to-back and comparing names — the `findname`
+    /// discipline of the published source. (1986 practice; the ASIM row
+    /// of Figure 5.1.)
+    SymbolTable,
+}
+
+/// The symbol table for [`LookupMode::SymbolTable`]: names in definition
+/// order, scanned linearly like the original's linked `comptable`.
+#[derive(Debug, Clone)]
+pub struct SymbolTable {
+    names: Vec<String>,
+}
+
+impl SymbolTable {
+    /// Builds the table from a design's components, in definition order.
+    pub fn new(design: &rtl_core::Design) -> Self {
+        SymbolTable {
+            names: design
+                .iter()
+                .map(|(_, c)| c.name.as_str().to_string())
+                .collect(),
+        }
+    }
+
+    /// Resolves `name` by linear scan, exactly like `findname`: the first
+    /// matching entry wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is absent — impossible for tables built from an
+    /// elaborated design.
+    #[inline]
+    pub fn find(&self, name: &str) -> usize {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .expect("symbol present in an elaborated design")
+    }
+
+    /// The name stored for a component index.
+    #[inline]
+    pub fn name(&self, index: usize) -> &str {
+        &self.names[index]
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when the design had no components.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_scans_in_definition_order() {
+        let d = rtl_core::Design::from_source(
+            "# s\na b c .\nA a 2 1 0\nA b 2 2 0\nA c 2 3 0 .",
+        )
+        .unwrap();
+        let t = SymbolTable::new(&d);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.find("a"), 0);
+        assert_eq!(t.find("c"), 2);
+        assert_eq!(t.name(1), "b");
+    }
+
+    #[test]
+    fn default_mode_is_indexed() {
+        assert_eq!(LookupMode::default(), LookupMode::Indexed);
+    }
+}

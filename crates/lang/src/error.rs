@@ -1,0 +1,136 @@
+//! Parse-time diagnostics.
+//!
+//! Error messages deliberately mirror the wording of the original ASIM II
+//! compiler (Appendix C of the thesis) — e.g. `Error. Malformed number %102.`
+//! — with a source location appended.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Everything that can go wrong while turning source text into a
+/// [`Spec`](crate::ast::Spec).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The first line of the file did not start with `#`.
+    MissingComment,
+    /// A `{ ... }` comment was still open at end of file.
+    UnterminatedComment,
+    /// A number did not follow the `decint`/`$hex`/`%bin`/`^pow` grammar.
+    MalformedNumber(String),
+    /// A number exceeded the 31-bit word range (`2^31 - 1`).
+    NumberTooLarge(String),
+    /// A `~name` reference had no definition.
+    UndefinedMacro(String),
+    /// A name contained characters other than letters and digits.
+    InvalidName(String),
+    /// Expected `A`, `S` or `M` but found something else.
+    ExpectedComponent(String),
+    /// The token stream ended while the parser still needed input; the
+    /// string describes what was expected.
+    UnexpectedEnd(String),
+    /// An expression token could not be parsed; the string is the token.
+    MalformedExpression(String),
+    /// A bit subfield was out of range or inverted.
+    BadSubfield {
+        /// The offending expression text.
+        text: String,
+        /// Why the subfield was rejected.
+        reason: &'static str,
+    },
+    /// A selector had no case values.
+    EmptySelector(String),
+    /// A memory declared zero cells.
+    BadMemoryCount {
+        /// Memory name.
+        name: String,
+        /// The declared count.
+        count: i64,
+    },
+    /// A `#` bit string contained characters other than `0`/`1`, or had a
+    /// length outside `1..=31`.
+    MalformedBitString(String),
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ParseErrorKind::*;
+        match self {
+            MissingComment => write!(f, "Error. Comment required."),
+            UnterminatedComment => write!(f, "Error. Comment opened with '{{' never closed."),
+            MalformedNumber(s) => write!(f, "Error. Malformed number {s}."),
+            NumberTooLarge(s) => write!(f, "Error. Number {s} exceeds 31 bits."),
+            UndefinedMacro(s) => write!(f, "Error. Macro <~{s}> not defined."),
+            InvalidName(s) => {
+                write!(f, "Error. Component name {s} invalid, use letters and numbers only.")
+            }
+            ExpectedComponent(s) => write!(f, "Error. Component expected. Got <{s}> instead."),
+            UnexpectedEnd(what) => write!(f, "Error. Unexpected end of file: expected {what}."),
+            MalformedExpression(s) => write!(f, "Error. Malformed expression {s}."),
+            BadSubfield { text, reason } => {
+                write!(f, "Error. Bad bit subfield in {text}: {reason}.")
+            }
+            EmptySelector(s) => write!(f, "Error. Selector {s} has no values."),
+            BadMemoryCount { name, count } => {
+                write!(f, "Error. Memory {name} declares {count} cells.")
+            }
+            MalformedBitString(s) => write!(f, "Error. Malformed bit string {s}."),
+        }
+    }
+}
+
+/// A parse error with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates an error at a location.
+    pub fn new(kind: ParseErrorKind, span: Span) -> Self {
+        ParseError { kind, span }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.kind, self.span)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Pos, Span};
+
+    #[test]
+    fn messages_mirror_the_original_compiler() {
+        let e = ParseError::new(
+            ParseErrorKind::MalformedNumber("%102".into()),
+            Span::point(Pos::new(7, 3)),
+        );
+        assert_eq!(e.to_string(), "Error. Malformed number %102. (line 7, col 3)");
+
+        let e = ParseError::new(ParseErrorKind::MissingComment, Span::point(Pos::start()));
+        assert!(e.to_string().starts_with("Error. Comment required."));
+
+        let e = ParseError::new(
+            ParseErrorKind::UndefinedMacro("pack".into()),
+            Span::point(Pos::new(2, 1)),
+        );
+        assert!(e.to_string().contains("Macro <~pack> not defined"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(ParseError::new(
+            ParseErrorKind::MissingComment,
+            Span::point(Pos::start()),
+        ));
+    }
+}

@@ -1,0 +1,252 @@
+//! Parsing of expression tokens.
+//!
+//! An expression is a comma-separated concatenation of parts (no whitespace —
+//! tokens cannot contain whitespace). Each part is either a number with an
+//! optional `.width` subfield, a `#` bit string, or a component reference
+//! with an optional `.from[.to]` bit subfield. See the syntax diagrams of
+//! Appendix B.
+
+use crate::ast::{Expr, Ident, Part};
+use crate::error::{ParseError, ParseErrorKind};
+use crate::number::{parse_number, starts_number, NumberError};
+use crate::span::Span;
+
+/// The highest addressable bit position in a subfield. Matches the original
+/// compiler's `highbits` table usage, which only ever masks bits `0..=30`.
+pub const MAX_BIT: u8 = 30;
+
+/// Parses an expression token into an [`Expr`].
+///
+/// ```
+/// use rtl_lang::expr::parse_expr;
+/// use rtl_lang::{Part, Span};
+/// let e = parse_expr("mem.3.4,#01,count.1", Span::default()).unwrap();
+/// assert_eq!(e.parts, vec![
+///     Part::field("mem", 3, 4),
+///     Part::bits(1, 2),
+///     Part::bit("count", 1),
+/// ]);
+/// ```
+///
+/// # Errors
+///
+/// Reports malformed numbers, invalid names, bad subfields and empty parts
+/// with the offending token text.
+pub fn parse_expr(text: &str, span: Span) -> Result<Expr, ParseError> {
+    let mut parts = Vec::new();
+    for raw in text.split(',') {
+        parts.push(parse_part(raw, text, span)?);
+    }
+    Ok(Expr { parts, span })
+}
+
+fn parse_part(raw: &str, whole: &str, span: Span) -> Result<Part, ParseError> {
+    let err = |kind| Err(ParseError::new(kind, span));
+    let first = match raw.chars().next() {
+        Some(c) => c,
+        None => return err(ParseErrorKind::MalformedExpression(whole.to_string())),
+    };
+
+    if first == '#' {
+        return parse_bits(&raw[1..], raw, span);
+    }
+
+    if starts_number(raw) {
+        let (num_text, sub) = match raw.split_once('.') {
+            Some((n, s)) => (n, Some(s)),
+            None => (raw, None),
+        };
+        let value = map_num(parse_number(num_text), num_text, span)?;
+        let width = match sub {
+            None => None,
+            Some(w_text) => {
+                let w = map_num(parse_number(w_text), raw, span)?;
+                if !(1..=31).contains(&w) {
+                    return err(ParseErrorKind::BadSubfield {
+                        text: raw.to_string(),
+                        reason: "constant width must be between 1 and 31",
+                    });
+                }
+                Some(w as u8)
+            }
+        };
+        return Ok(Part::Const { value, width });
+    }
+
+    if first.is_ascii_alphabetic() {
+        let mut pieces = raw.split('.');
+        let name_text = pieces.next().expect("split yields at least one piece");
+        let name = match Ident::parse(name_text) {
+            Some(n) => n,
+            None => return err(ParseErrorKind::InvalidName(name_text.to_string())),
+        };
+        let from = match pieces.next() {
+            None => None,
+            Some(f) => Some(parse_bit_index(f, raw, span)?),
+        };
+        let to = match pieces.next() {
+            None => None,
+            Some(t) => Some(parse_bit_index(t, raw, span)?),
+        };
+        if pieces.next().is_some() {
+            return err(ParseErrorKind::BadSubfield {
+                text: raw.to_string(),
+                reason: "at most two subfield positions are allowed",
+            });
+        }
+        if let (Some(f), Some(t)) = (from, to) {
+            if f > t {
+                return err(ParseErrorKind::BadSubfield {
+                    text: raw.to_string(),
+                    reason: "subfield start exceeds subfield end",
+                });
+            }
+        }
+        return Ok(Part::Ref { name, from, to });
+    }
+
+    err(ParseErrorKind::MalformedExpression(whole.to_string()))
+}
+
+fn parse_bit_index(text: &str, raw: &str, span: Span) -> Result<u8, ParseError> {
+    let v = map_num(parse_number(text), raw, span)?;
+    if v > MAX_BIT as i64 {
+        return Err(ParseError::new(
+            ParseErrorKind::BadSubfield {
+                text: raw.to_string(),
+                reason: "bit positions must be between 0 and 30",
+            },
+            span,
+        ));
+    }
+    Ok(v as u8)
+}
+
+fn parse_bits(digits: &str, raw: &str, span: Span) -> Result<Part, ParseError> {
+    let width = digits.len();
+    if width == 0 || width > 31 || !digits.bytes().all(|b| b == b'0' || b == b'1') {
+        return Err(ParseError::new(
+            ParseErrorKind::MalformedBitString(raw.to_string()),
+            span,
+        ));
+    }
+    let mut value = 0i64;
+    for b in digits.bytes() {
+        value = (value << 1) | i64::from(b - b'0');
+    }
+    Ok(Part::Bits { value, width: width as u8 })
+}
+
+fn map_num(r: Result<i64, NumberError>, text: &str, span: Span) -> Result<i64, ParseError> {
+    r.map_err(|e| {
+        let kind = match e {
+            NumberError::Malformed => ParseErrorKind::MalformedNumber(text.to_string()),
+            NumberError::TooLarge => ParseErrorKind::NumberTooLarge(text.to_string()),
+        };
+        ParseError::new(kind, span)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Expr, ParseError> {
+        parse_expr(s, Span::default())
+    }
+
+    fn parts(s: &str) -> Vec<Part> {
+        parse(s).unwrap().parts
+    }
+
+    #[test]
+    fn single_constant() {
+        assert_eq!(parts("42"), vec![Part::constant(42)]);
+        assert_eq!(parts("%110"), vec![Part::constant(6)]);
+        assert_eq!(parts("$FF"), vec![Part::constant(255)]);
+        assert_eq!(parts("^5"), vec![Part::constant(32)]);
+        assert_eq!(parts("128+3+^8"), vec![Part::constant(387)]);
+    }
+
+    #[test]
+    fn sized_constant() {
+        assert_eq!(parts("9.4"), vec![Part::sized(9, 4)]);
+        assert_eq!(parts("%1001.4"), vec![Part::sized(9, 4)]);
+    }
+
+    #[test]
+    fn bit_strings() {
+        assert_eq!(parts("#01"), vec![Part::bits(1, 2)]);
+        assert_eq!(parts("#000000000000"), vec![Part::bits(0, 12)]);
+        assert_eq!(parts("#10"), vec![Part::bits(2, 2)]);
+        assert!(parse("#").is_err());
+        assert!(parse("#012").is_err());
+        assert!(parse("#01.2").is_err(), "bit strings take no subfield");
+    }
+
+    #[test]
+    fn references() {
+        assert_eq!(parts("ram"), vec![Part::reference("ram")]);
+        assert_eq!(parts("ir.0"), vec![Part::bit("ir", 0)]);
+        assert_eq!(parts("ir.0.3"), vec![Part::field("ir", 0, 3)]);
+        assert_eq!(parts("state.0.5"), vec![Part::field("state", 0, 5)]);
+    }
+
+    #[test]
+    fn figure_3_1_concatenation() {
+        assert_eq!(
+            parts("mem.3.4,#01,count.1"),
+            vec![Part::field("mem", 3, 4), Part::bits(1, 2), Part::bit("count", 1)]
+        );
+    }
+
+    #[test]
+    fn thesis_expressions() {
+        // From Appendix D (after macro expansion).
+        assert_eq!(
+            parts("addr.12,rom.8"),
+            vec![Part::bit("addr", 12), Part::bit("rom", 8)]
+        );
+        assert_eq!(
+            parts("1,rom.12,prog.0.3"),
+            vec![Part::constant(1), Part::bit("rom", 12), Part::field("prog", 0, 3)]
+        );
+        assert_eq!(
+            parts("%110,rom.8"),
+            vec![Part::constant(6), Part::bit("rom", 8)]
+        );
+    }
+
+    #[test]
+    fn subfield_indices_may_be_any_number_form() {
+        assert_eq!(parts("x.%11"), vec![Part::bit("x", 3)]);
+        assert_eq!(parts("x.0.$A"), vec![Part::field("x", 0, 10)]);
+        assert_eq!(parts("x.1+2"), vec![Part::bit("x", 3)]);
+    }
+
+    #[test]
+    fn bad_subfields() {
+        assert!(parse("x.4.2").is_err(), "inverted range");
+        assert!(parse("x.31").is_err(), "bit 31 unaddressable");
+        assert!(parse("x.0.1.2").is_err(), "three subfield positions");
+        assert!(parse("9.0").is_err(), "zero-width constant");
+        assert!(parse("9.32").is_err(), "over-wide constant");
+    }
+
+    #[test]
+    fn malformed_parts() {
+        assert!(parse("").is_err());
+        assert!(parse("a,,b").is_err());
+        assert!(parse("a,").is_err());
+        assert!(parse(",a").is_err());
+        assert!(parse("*x").is_err());
+        assert!(parse("12a").is_err());
+        assert!(parse("x.y").is_err(), "subfield must be numeric");
+    }
+
+    #[test]
+    fn error_mentions_whole_token_for_empty_part() {
+        let err = parse("a,,b").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::MalformedExpression("a,,b".into()));
+    }
+}

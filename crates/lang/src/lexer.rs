@@ -1,0 +1,198 @@
+//! The ASIM II tokenizer.
+//!
+//! The language is whitespace-delimited: after a mandatory `#` comment line,
+//! the source is a stream of tokens separated by blanks, tabs, newlines and
+//! `{ ... }` comments. Curly braces *delimit* tokens (a comment may butt up
+//! against a token), exactly as in the original `gettoken`.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::span::{Pos, Span};
+use crate::token::Token;
+
+/// The result of tokenizing a source file: the mandatory first-line comment
+/// plus the raw (not yet macro-expanded) token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexOutput {
+    /// The first line of the file, verbatim (it starts with `#`). The code
+    /// generators echo it into the generated program.
+    pub title: String,
+    /// The raw tokens in source order.
+    pub tokens: Vec<Token>,
+}
+
+/// Splits `source` into tokens.
+///
+/// # Errors
+///
+/// Returns [`ParseErrorKind::MissingComment`] if the first line does not
+/// start with `#`, and [`ParseErrorKind::UnterminatedComment`] if a `{`
+/// comment is still open at end of input.
+///
+/// ```
+/// let out = rtl_lang::lexer::lex("# demo\nA alu 4 {add} left right .").unwrap();
+/// assert_eq!(out.title, "# demo");
+/// let texts: Vec<_> = out.tokens.iter().map(|t| t.text.as_str()).collect();
+/// assert_eq!(texts, ["A", "alu", "4", "left", "right", "."]);
+/// ```
+pub fn lex(source: &str) -> Result<LexOutput, ParseError> {
+    let (first_line, rest) = match source.split_once('\n') {
+        Some((line, rest)) => (line, rest),
+        None => (source, ""),
+    };
+    let first_line = first_line.strip_suffix('\r').unwrap_or(first_line);
+    if !first_line.starts_with('#') {
+        return Err(ParseError::new(
+            ParseErrorKind::MissingComment,
+            Span::point(Pos::start()),
+        ));
+    }
+
+    let mut tokens = Vec::new();
+    let mut scanner = Scanner::new(rest);
+    loop {
+        scanner.skip_blank()?;
+        let Some(start) = scanner.peek_pos() else { break };
+        let mut text = String::new();
+        let mut end = start;
+        while let Some((pos, c)) = scanner.peek() {
+            if is_blank(c) || c == '{' || c == '}' {
+                break;
+            }
+            text.push(c);
+            end = pos;
+            scanner.bump();
+        }
+        debug_assert!(!text.is_empty());
+        tokens.push(Token::new(text, Span::new(start, end)));
+    }
+
+    Ok(LexOutput { title: first_line.to_string(), tokens })
+}
+
+fn is_blank(c: char) -> bool {
+    matches!(c, ' ' | '\t' | '\r' | '\n')
+}
+
+/// A char scanner with 1-based line/column tracking. The scanner starts at
+/// line 2 because line 1 is the comment line consumed by [`lex`].
+struct Scanner<'s> {
+    chars: std::iter::Peekable<std::str::Chars<'s>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Scanner<'s> {
+    fn new(rest: &'s str) -> Self {
+        Scanner { chars: rest.chars().peekable(), line: 2, col: 1 }
+    }
+
+    fn peek(&mut self) -> Option<(Pos, char)> {
+        let c = *self.chars.peek()?;
+        Some((Pos::new(self.line, self.col), c))
+    }
+
+    fn peek_pos(&mut self) -> Option<Pos> {
+        self.peek().map(|(p, _)| p)
+    }
+
+    fn bump(&mut self) {
+        if let Some(c) = self.chars.next() {
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    /// Skips whitespace, stray `}` and `{ ... }` comments.
+    fn skip_blank(&mut self) -> Result<(), ParseError> {
+        while let Some((pos, c)) = self.peek() {
+            if is_blank(c) || c == '}' {
+                self.bump();
+            } else if c == '{' {
+                self.bump();
+                let mut closed = false;
+                while let Some((_, c2)) = self.peek() {
+                    self.bump();
+                    if c2 == '}' {
+                        closed = true;
+                        break;
+                    }
+                }
+                if !closed {
+                    return Err(ParseError::new(
+                        ParseErrorKind::UnterminatedComment,
+                        Span::point(pos),
+                    ));
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).unwrap().tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn requires_leading_comment() {
+        let err = lex("A alu 4 l r .").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::MissingComment);
+        assert!(lex("# ok\n").is_ok());
+        assert!(lex("#no space needed\n").is_ok());
+    }
+
+    #[test]
+    fn crlf_title_line() {
+        let out = lex("# title\r\nA b c d e .").unwrap();
+        assert_eq!(out.title, "# title");
+        assert_eq!(out.tokens[0].text, "A");
+    }
+
+    #[test]
+    fn comments_are_delimiters() {
+        // A comment glued to a token still separates tokens, per the
+        // original whitespace set which contains '{' and '}'.
+        assert_eq!(texts("#x\nfoo{c}bar"), ["foo", "bar"]);
+        assert_eq!(texts("#x\nfoo {multi\nline} bar"), ["foo", "bar"]);
+    }
+
+    #[test]
+    fn stray_close_brace_is_whitespace() {
+        assert_eq!(texts("#x\nfoo } bar"), ["foo", "bar"]);
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        let err = lex("#x\nfoo {oops").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnterminatedComment);
+    }
+
+    #[test]
+    fn spans_are_one_based_and_skip_the_title() {
+        let out = lex("# t\n  ab\ncd").unwrap();
+        assert_eq!(out.tokens[0].span.start, Pos::new(2, 3));
+        assert_eq!(out.tokens[0].span.end, Pos::new(2, 4));
+        assert_eq!(out.tokens[1].span.start, Pos::new(3, 1));
+    }
+
+    #[test]
+    fn no_trailing_dot_split_at_lex_level() {
+        // The trailing-period split happens after macro expansion, not here.
+        assert_eq!(texts("#x\nnewst."), ["newst."]);
+    }
+
+    #[test]
+    fn empty_body_is_fine() {
+        assert!(texts("# only title").is_empty());
+    }
+}

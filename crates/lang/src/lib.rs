@@ -1,0 +1,53 @@
+//! # rtl-lang — the ASIM II register transfer language
+//!
+//! This crate implements the specification language of **ASIM II**
+//! (Bartel, *Computer Architecture Simulation Using a Register Transfer
+//! Language*, Kansas State University, 1986): a hardware description
+//! language with exactly three primitives — **ALU**, **Selector** and
+//! **Memory** — from which "nearly any piece of digital electronic
+//! equipment" can be composed.
+//!
+//! The crate covers lexing (whitespace-delimited tokens, `{}` comments),
+//! `~name` textual macros, the number grammar (`123`, `$hex`, `%bin`,
+//! `^pow2`, `+` sums), bit-concatenation expressions with subfields, the
+//! full file grammar, and a canonical pretty-printer.
+//!
+//! ```
+//! let src = "# two bit counter\n= 6\ncount* next sum .\n\
+//!            M count 0 next 1 1\n\
+//!            A next 8 sum %11\n\
+//!            A sum 4 count 1 .";
+//! let spec = rtl_lang::parse(src).unwrap();
+//! assert_eq!(spec.cycles, Some(6));
+//! assert_eq!(spec.components.len(), 3);
+//! assert!(spec.declared[0].traced);
+//! ```
+//!
+//! Semantics (evaluation, scheduling, simulation) live in `rtl-core`; this
+//! crate is purely syntactic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod expr;
+pub mod lexer;
+pub mod macros;
+pub mod modules;
+pub mod number;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+
+pub use ast::{
+    Alu, Component, ComponentKind, Declared, Expr, Ident, Memory, Part, Selector, Spec,
+};
+pub use error::{ParseError, ParseErrorKind};
+pub use expr::parse_expr;
+pub use number::{parse_number, Word, WORD_MASK};
+pub use parser::parse;
+pub use pretty::pretty;
+pub use span::{Pos, Span};
+pub use token::Token;

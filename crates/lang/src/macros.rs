@@ -1,0 +1,176 @@
+//! Textual macros (`~name body`).
+//!
+//! Macros are defined immediately after the comment line. A definition is a
+//! pair of tokens: `~name` followed by the replacement text. Macro *bodies*
+//! are expanded at definition time using previously defined macros, so
+//! expansion at use sites is a single splice (no re-scanning) — exactly the
+//! behaviour of the original `gettoken`/`macrodef` pair. Recursive or
+//! forward references are therefore impossible by construction.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::span::Span;
+use std::collections::HashMap;
+
+/// An ordered table of macro definitions.
+#[derive(Debug, Clone, Default)]
+pub struct MacroTable {
+    map: HashMap<String, String>,
+    order: Vec<String>,
+}
+
+impl MacroTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` if no macros are defined.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The raw (already expanded) body of a macro, if defined.
+    pub fn body(&self, name: &str) -> Option<&str> {
+        self.map.get(name).map(String::as_str)
+    }
+
+    /// Definition order, for pretty-printing and diagnostics.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.order.iter().map(String::as_str)
+    }
+
+    /// Defines `name` (without the `~`) with an *already expanded* body.
+    /// Redefinition replaces the body, matching the original's last-match
+    /// lookup being irrelevant in practice (it searched front-to-back on a
+    /// list it only ever appended to).
+    pub fn define(&mut self, name: impl Into<String>, body: impl Into<String>) {
+        let name = name.into();
+        if !self.map.contains_key(&name) {
+            self.order.push(name.clone());
+        }
+        self.map.insert(name, body.into());
+    }
+
+    /// Expands every `~name` occurrence in `text`. Spliced bodies are not
+    /// re-scanned. A macro name is the longest run of letters and digits
+    /// after the `~`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseErrorKind::UndefinedMacro`] for unknown names.
+    ///
+    /// ```
+    /// use rtl_lang::macros::MacroTable;
+    /// use rtl_lang::{Pos, Span};
+    /// let mut t = MacroTable::new();
+    /// t.define("w", "8");
+    /// let s = t.expand("rom.~w,~w", Span::point(Pos::start())).unwrap();
+    /// assert_eq!(s, "rom.8,8");
+    /// ```
+    pub fn expand(&self, text: &str, span: Span) -> Result<String, ParseError> {
+        if !text.contains('~') {
+            return Ok(text.to_string());
+        }
+        let mut out = String::with_capacity(text.len());
+        let mut chars = text.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c != '~' {
+                out.push(c);
+                continue;
+            }
+            let mut name = String::new();
+            while let Some(&n) = chars.peek() {
+                if n.is_ascii_alphanumeric() {
+                    name.push(n);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            match self.map.get(&name) {
+                Some(body) => out.push_str(body),
+                None => {
+                    return Err(ParseError::new(ParseErrorKind::UndefinedMacro(name), span));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Pos;
+
+    fn sp() -> Span {
+        Span::point(Pos::start())
+    }
+
+    #[test]
+    fn expansion_splices_without_rescanning() {
+        let mut t = MacroTable::new();
+        t.define("a", "xy");
+        // A body containing a tilde is spliced verbatim: no re-expansion.
+        t.define("b", "~lit");
+        // Macro names are maximal alphanumeric runs: a delimiter is needed
+        // to end one ("any character except letters and numbers will
+        // delimit a macro name" — Appendix A).
+        assert_eq!(t.expand("q.~a.q", sp()).unwrap(), "q.xy.q");
+        assert_eq!(t.expand("~b", sp()).unwrap(), "~lit");
+        let err = t.expand("q~aq", sp()).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UndefinedMacro("aq".into()));
+    }
+
+    #[test]
+    fn name_ends_at_non_alphanumeric() {
+        let mut t = MacroTable::new();
+        t.define("w", "8");
+        t.define("w2", "12");
+        assert_eq!(t.expand("rom.~w.~w2", sp()).unwrap(), "rom.8.12");
+        assert_eq!(t.expand("~w,~w", sp()).unwrap(), "8,8");
+        // Longest-match: `~w2` is w2, not w followed by '2'.
+        assert_eq!(t.expand("~w2", sp()).unwrap(), "12");
+    }
+
+    #[test]
+    fn undefined_macro_is_reported() {
+        let t = MacroTable::new();
+        let err = t.expand("~nope", sp()).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UndefinedMacro("nope".into()));
+    }
+
+    #[test]
+    fn thesis_style_definitions() {
+        // From Appendix D: `~k 0`, `~n 12`, `~w 8` and uses like
+        // `addr.~n,rom.~w`.
+        let mut t = MacroTable::new();
+        t.define("n", "12");
+        t.define("w", "8");
+        assert_eq!(t.expand("addr.~n,rom.~w", sp()).unwrap(), "addr.12,rom.8");
+    }
+
+    #[test]
+    fn redefinition_replaces() {
+        let mut t = MacroTable::new();
+        t.define("x", "1");
+        t.define("x", "2");
+        assert_eq!(t.expand("~x", sp()).unwrap(), "2");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn definition_time_expansion_of_bodies() {
+        // The parser expands bodies at definition time; model that here.
+        let mut t = MacroTable::new();
+        t.define("base", "16");
+        let body = t.expand("~base", sp()).unwrap();
+        t.define("derived", body);
+        assert_eq!(t.expand("~derived", sp()).unwrap(), "16");
+    }
+}

@@ -1,0 +1,279 @@
+//! Compile-time module instantiation — the §5.4 future-work feature.
+//!
+//! "The behavior of an electronic circuit is difficult to express in a
+//! modular fashion without providing the actual description of the module
+//! and expanding that description at compile time" (§5.4). That is exactly
+//! what this module does: a specification is treated as a *module*, and
+//! [`instantiate`] expands it into a flat set of components under an
+//! instance prefix, with selected internal names rebound to the
+//! surrounding design's nets (ports).
+//!
+//! ```
+//! use rtl_lang::modules::{instantiate, Instance};
+//!
+//! // A two-bit counter module with an external increment input `inc`.
+//! let module = rtl_lang::parse(
+//!     "# counter module\nvalue next .\n\
+//!      M value 0 next.0.1 1 1\nA next 4 value inc .",
+//! ).unwrap();
+//!
+//! let inst = Instance::new("c0").bind("inc", "one");
+//! let comps = instantiate(&module, &inst).unwrap();
+//! let names: Vec<_> = comps.iter().map(|c| c.name.as_str()).collect();
+//! assert_eq!(names, ["c0value", "c0next"]);
+//! ```
+
+use crate::ast::{Component, ComponentKind, Expr, Ident, Part, Spec};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An instantiation request: the prefix for internal names plus the port
+/// bindings (module-internal name → outer net name).
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    prefix: String,
+    bindings: HashMap<String, String>,
+}
+
+impl Instance {
+    /// Creates an instantiation with a name prefix. The prefix must itself
+    /// be a valid name fragment (letters and digits).
+    ///
+    /// # Panics
+    ///
+    /// Panics on prefixes that would produce invalid component names.
+    pub fn new(prefix: impl Into<String>) -> Self {
+        let prefix = prefix.into();
+        assert!(
+            !prefix.is_empty() && prefix.chars().all(|c| c.is_ascii_alphanumeric())
+                && prefix.chars().next().is_some_and(|c| c.is_ascii_alphabetic()),
+            "instance prefix {prefix:?} must be letters/digits starting with a letter"
+        );
+        Instance { prefix, bindings: HashMap::new() }
+    }
+
+    /// Binds a module-internal name to an outer component name: every
+    /// reference to `port` inside the module resolves to `outer` after
+    /// expansion. Chainable.
+    pub fn bind(mut self, port: impl Into<String>, outer: impl Into<String>) -> Self {
+        self.bindings.insert(port.into(), outer.into());
+        self
+    }
+
+    /// The instance prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// The flattened name of a module-internal component: `prefix + name`.
+    pub fn flat_name(&self, inner: &str) -> String {
+        format!("{}{}", self.prefix, inner)
+    }
+}
+
+/// Errors from [`instantiate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuleError {
+    /// A binding targets a name the module also *defines* — ports must be
+    /// free (referenced but not defined) inside the module.
+    BindsDefinedName(String),
+    /// The module references a name it neither defines nor has bound —
+    /// after expansion it would dangle.
+    UnboundReference(String),
+}
+
+impl fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleError::BindsDefinedName(n) => {
+                write!(f, "binding {n} targets a name the module defines")
+            }
+            ModuleError::UnboundReference(n) => {
+                write!(f, "module references {n}, which is neither defined nor bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModuleError {}
+
+/// Expands a module under an instance, returning the flattened components
+/// ready to splice into an outer [`Spec`].
+///
+/// Renaming rules, per reference:
+/// * names the module *defines* become `prefix + name`;
+/// * names listed in the instance's bindings become the bound outer name;
+/// * anything else is an [`ModuleError::UnboundReference`].
+///
+/// # Errors
+///
+/// See [`ModuleError`].
+pub fn instantiate(module: &Spec, inst: &Instance) -> Result<Vec<Component>, ModuleError> {
+    let defined: HashMap<&str, ()> = module
+        .components
+        .iter()
+        .map(|c| (c.name.as_str(), ()))
+        .collect();
+    for port in inst.bindings.keys() {
+        if defined.contains_key(port.as_str()) {
+            return Err(ModuleError::BindsDefinedName(port.clone()));
+        }
+    }
+
+    let rename = |name: &Ident| -> Result<Ident, ModuleError> {
+        if defined.contains_key(name.as_str()) {
+            Ok(Ident::new_unchecked(inst.flat_name(name.as_str())))
+        } else if let Some(outer) = inst.bindings.get(name.as_str()) {
+            Ok(Ident::new_unchecked(outer.clone()))
+        } else {
+            Err(ModuleError::UnboundReference(name.as_str().to_string()))
+        }
+    };
+
+    let rename_expr = |e: &Expr| -> Result<Expr, ModuleError> {
+        let parts = e
+            .parts
+            .iter()
+            .map(|p| match p {
+                Part::Ref { name, from, to } => Ok(Part::Ref {
+                    name: rename(name)?,
+                    from: *from,
+                    to: *to,
+                }),
+                other => Ok(other.clone()),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Expr { parts, span: e.span })
+    };
+
+    module
+        .components
+        .iter()
+        .map(|c| {
+            let kind = match &c.kind {
+                ComponentKind::Alu(a) => ComponentKind::Alu(crate::ast::Alu {
+                    funct: rename_expr(&a.funct)?,
+                    left: rename_expr(&a.left)?,
+                    right: rename_expr(&a.right)?,
+                }),
+                ComponentKind::Selector(s) => ComponentKind::Selector(crate::ast::Selector {
+                    select: rename_expr(&s.select)?,
+                    cases: s
+                        .cases
+                        .iter()
+                        .map(&rename_expr)
+                        .collect::<Result<Vec<_>, _>>()?,
+                }),
+                ComponentKind::Memory(m) => ComponentKind::Memory(crate::ast::Memory {
+                    addr: rename_expr(&m.addr)?,
+                    data: rename_expr(&m.data)?,
+                    opn: rename_expr(&m.opn)?,
+                    size: m.size,
+                    init: m.init.clone(),
+                }),
+            };
+            Ok(Component {
+                name: rename(&c.name)?,
+                kind,
+                span: c.span,
+            })
+        })
+        .collect()
+}
+
+/// Splices instantiated components into a host specification, declaring
+/// each flattened name (untraced).
+pub fn splice(host: &mut Spec, components: Vec<Component>) {
+    for c in &components {
+        host.declared.push(crate::ast::Declared {
+            name: c.name.clone(),
+            traced: false,
+            span: c.span,
+        });
+    }
+    host.components.extend(components);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::pretty::pretty;
+
+    const COUNTER_MODULE: &str = "# counter module\nvalue next .\n\
+                                  M value 0 next.0.3 1 1\nA next 4 value step .";
+
+    #[test]
+    fn two_instances_of_one_module() {
+        let module = parse(COUNTER_MODULE).unwrap();
+        let mut host = parse(
+            "# host\none* two* eq* .\nA one 2 1 0\nA two 2 2 0\nA eq 12 c0value c1value .",
+        )
+        .unwrap();
+        splice(
+            &mut host,
+            instantiate(&module, &Instance::new("c0").bind("step", "one")).unwrap(),
+        );
+        splice(
+            &mut host,
+            instantiate(&module, &Instance::new("c1").bind("step", "two")).unwrap(),
+        );
+        // The flattened spec parses, pretty-prints and round-trips.
+        let text = pretty(&host);
+        let again = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(pretty(&again), text);
+        assert_eq!(host.components.len(), 3 + 4);
+        assert!(host.component("c0value").is_some());
+        assert!(host.component("c1next").is_some());
+    }
+
+    #[test]
+    fn bindings_rewrite_references() {
+        let module = parse(COUNTER_MODULE).unwrap();
+        let comps =
+            instantiate(&module, &Instance::new("u").bind("step", "delta")).unwrap();
+        let next = &comps[1];
+        match &next.kind {
+            ComponentKind::Alu(a) => {
+                let refs: Vec<&str> = a.left.references().chain(a.right.references())
+                    .map(Ident::as_str)
+                    .collect();
+                assert_eq!(refs, ["uvalue", "delta"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_reference_is_diagnosed() {
+        let module = parse(COUNTER_MODULE).unwrap();
+        let err = instantiate(&module, &Instance::new("u")).unwrap_err();
+        assert_eq!(err, ModuleError::UnboundReference("step".into()));
+        assert!(err.to_string().contains("neither defined nor bound"));
+    }
+
+    #[test]
+    fn binding_a_defined_name_is_diagnosed() {
+        let module = parse(COUNTER_MODULE).unwrap();
+        let err = instantiate(&module, &Instance::new("u").bind("value", "x")).unwrap_err();
+        assert_eq!(err, ModuleError::BindsDefinedName("value".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be letters/digits")]
+    fn invalid_prefix_panics() {
+        let _ = Instance::new("0bad");
+    }
+
+    #[test]
+    fn subfields_survive_renaming() {
+        let module = parse("# m\nr .\nM r 0 r.0.3 1 1 .").unwrap();
+        let comps = instantiate(&module, &Instance::new("z")).unwrap();
+        match &comps[0].kind {
+            ComponentKind::Memory(m) => {
+                assert_eq!(m.data.parts, vec![Part::field("zr", 0, 3)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The ASIM II *number* grammar (the `str2num` of the original compiler).
+//!
+//! A number is a `+`-separated sum of atoms, where an atom is one of
+//!
+//! * `123` — decimal,
+//! * `$1F` — hexadecimal,
+//! * `%1011` — binary,
+//! * `^8` — a power of two (`2^8 = 256`).
+//!
+//! Values are restricted to the 31-bit word range `0 ..= 2^31 - 1` used by
+//! the simulator (`mask` in the generated code). Unlike the original, which
+//! silently wrapped mid-sum, out-of-range numbers are diagnosed
+//! (divergence **D3** in `DESIGN.md`).
+
+/// The simulator word type. Wide enough to hold 31-bit hardware words plus
+/// the negative intermediates that ALU subtraction can produce.
+pub type Word = i64;
+
+/// The 31-bit word mask, `2^31 - 1`. This is the `mask` constant of the
+/// generated simulators and the modulus of the shift-left ALU function.
+pub const WORD_MASK: Word = 0x7FFF_FFFF;
+
+/// Why a number failed to parse. Mapped to
+/// [`ParseErrorKind`](crate::error::ParseErrorKind) by callers that know the
+/// source location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumberError {
+    /// Not derivable from the number grammar.
+    Malformed,
+    /// Syntactically fine but out of the 31-bit range.
+    TooLarge,
+}
+
+/// Parses a complete number token (a sum of atoms).
+///
+/// ```
+/// use rtl_lang::number::parse_number;
+/// assert_eq!(parse_number("128+3+^8"), Ok(387));
+/// assert_eq!(parse_number("$FF"), Ok(255));
+/// assert_eq!(parse_number("%1011"), Ok(11));
+/// assert_eq!(parse_number("^5"), Ok(32));
+/// assert!(parse_number("12a").is_err());
+/// ```
+pub fn parse_number(s: &str) -> Result<Word, NumberError> {
+    if s.is_empty() {
+        return Err(NumberError::Malformed);
+    }
+    let mut total: Word = 0;
+    for atom in s.split('+') {
+        total = total
+            .checked_add(parse_atom(atom)?)
+            .ok_or(NumberError::TooLarge)?;
+        if total > WORD_MASK {
+            return Err(NumberError::TooLarge);
+        }
+    }
+    Ok(total)
+}
+
+/// Parses a single atom (no `+`).
+fn parse_atom(atom: &str) -> Result<Word, NumberError> {
+    let mut chars = atom.chars();
+    let first = chars.next().ok_or(NumberError::Malformed)?;
+    match first {
+        '$' => parse_radix(chars.as_str(), 16),
+        '%' => parse_radix(chars.as_str(), 2),
+        '^' => {
+            let exp = parse_radix(chars.as_str(), 10)?;
+            if exp > 30 {
+                return Err(NumberError::TooLarge);
+            }
+            Ok(1i64 << exp)
+        }
+        '0'..='9' => parse_radix(atom, 10),
+        _ => Err(NumberError::Malformed),
+    }
+}
+
+fn parse_radix(digits: &str, radix: u32) -> Result<Word, NumberError> {
+    if digits.is_empty() {
+        return Err(NumberError::Malformed);
+    }
+    let mut value: Word = 0;
+    for c in digits.chars() {
+        let d = c.to_digit(radix).ok_or(NumberError::Malformed)?;
+        value = value
+            .checked_mul(radix as Word)
+            .and_then(|v| v.checked_add(d as Word))
+            .ok_or(NumberError::TooLarge)?;
+        if value > WORD_MASK {
+            return Err(NumberError::TooLarge);
+        }
+    }
+    Ok(value)
+}
+
+/// `true` if `s` starts like a number atom (used by the expression parser to
+/// distinguish numeric parts from component references).
+pub fn starts_number(s: &str) -> bool {
+    matches!(s.chars().next(), Some('$' | '%' | '^' | '0'..='9'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal() {
+        assert_eq!(parse_number("0"), Ok(0));
+        assert_eq!(parse_number("5545"), Ok(5545));
+        assert_eq!(parse_number("2147483647"), Ok(WORD_MASK));
+    }
+
+    #[test]
+    fn hex_accepts_both_cases() {
+        assert_eq!(parse_number("$ff"), Ok(255));
+        assert_eq!(parse_number("$FF"), Ok(255));
+        assert_eq!(parse_number("$3a"), Ok(58));
+    }
+
+    #[test]
+    fn binary() {
+        assert_eq!(parse_number("%0"), Ok(0));
+        assert_eq!(parse_number("%110"), Ok(6));
+        assert_eq!(parse_number("%0100"), Ok(4));
+    }
+
+    #[test]
+    fn power_of_two() {
+        assert_eq!(parse_number("^0"), Ok(1));
+        assert_eq!(parse_number("^12"), Ok(4096));
+        assert_eq!(parse_number("^30"), Ok(1 << 30));
+        assert_eq!(parse_number("^31"), Err(NumberError::TooLarge));
+    }
+
+    #[test]
+    fn sums_from_the_thesis_decode_rom() {
+        // `128+3+^8` appears in the Appendix D parm ROM.
+        assert_eq!(parse_number("128+3+^8"), Ok(387));
+        // `0+^5+^7+^8` = 416.
+        assert_eq!(parse_number("0+^5+^7+^8"), Ok(416));
+        // `16+^5+^7+^8` = 432.
+        assert_eq!(parse_number("16+^5+^7+^8"), Ok(432));
+    }
+
+    #[test]
+    fn malformed() {
+        for bad in ["", "+", "1+", "+1", "12a", "$", "%", "^", "%12", "$G1", "^x", "-3", "1.2"] {
+            assert_eq!(parse_number(bad), Err(NumberError::Malformed), "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn too_large() {
+        assert_eq!(parse_number("2147483648"), Err(NumberError::TooLarge));
+        assert_eq!(
+            parse_number("2147483647+1"),
+            Err(NumberError::TooLarge),
+            "sums are range-checked too"
+        );
+        assert_eq!(parse_number("99999999999999999999"), Err(NumberError::TooLarge));
+    }
+
+    #[test]
+    fn starts_number_classifier() {
+        assert!(starts_number("12"));
+        assert!(starts_number("$F"));
+        assert!(starts_number("%1"));
+        assert!(starts_number("^3"));
+        assert!(!starts_number("abc"));
+        assert!(!starts_number("#01"));
+        assert!(!starts_number(""));
+    }
+}

@@ -1,0 +1,453 @@
+//! The specification parser.
+//!
+//! Grammar (Appendix A/B of the thesis):
+//!
+//! ```text
+//! file       := commentline macrodef* cycles? namelist '.' component* '.'
+//! macrodef   := '~'name body-token
+//! cycles     := '=' number
+//! namelist   := (name '*'?)*
+//! component  := 'A' name expr expr expr
+//!             | 'S' name expr expr+              -- until A/S/M/'.' token
+//!             | 'M' name expr expr expr count number*
+//! ```
+//!
+//! Tokens after the macro definitions are macro-expanded, and a trailing
+//! period on a token is split off as its own token (so `newst.` ends the
+//! name list), both exactly as the original `gettoken` behaves.
+
+use crate::ast::{
+    Alu, Component, ComponentKind, Declared, Expr, Ident, Memory, Selector, Spec,
+};
+use crate::error::{ParseError, ParseErrorKind};
+use crate::expr::parse_expr;
+use crate::lexer::lex;
+use crate::macros::MacroTable;
+use crate::number::{parse_number, NumberError, Word};
+use crate::span::Span;
+use crate::token::Token;
+
+/// Parses a complete specification file.
+///
+/// ```
+/// let src = "# up counter\n= 4\ncount* next .\n\
+///            M count 0 next 1 1\n\
+///            A next 4 count 1 .";
+/// let spec = rtl_lang::parse(src).unwrap();
+/// assert_eq!(spec.cycles, Some(4));
+/// assert_eq!(spec.components.len(), 2);
+/// ```
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered, with the original
+/// compiler's message wording where one exists.
+pub fn parse(source: &str) -> Result<Spec, ParseError> {
+    let lexed = lex(source)?;
+    let mut cur = Cursor::new(lexed.tokens);
+
+    // Macro definitions: pairs of raw tokens, bodies expanded at definition
+    // time with the table built so far.
+    while cur.peek_raw().map(Token::is_macro_intro).unwrap_or(false) {
+        let name_tok = cur.next_raw().expect("peeked");
+        let name = name_tok.text.strip_prefix('~').expect("macro intro");
+        if Ident::parse(name).is_none() {
+            return Err(ParseError::new(
+                ParseErrorKind::InvalidName(name_tok.text.clone()),
+                name_tok.span,
+            ));
+        }
+        let body_tok = cur
+            .next_raw()
+            .ok_or_else(|| unexpected_end("a macro body", &cur))?;
+        let body = cur.macros.expand(&body_tok.text, body_tok.span)?;
+        cur.macros.define(name, body);
+    }
+
+    // Optional cycle count.
+    let mut cycles = None;
+    if cur.peek()?.map(|t| t.is_cycles_intro()).unwrap_or(false) {
+        cur.next()?;
+        let tok = cur.next()?.ok_or_else(|| unexpected_end("a cycle count", &cur))?;
+        cycles = Some(number_token(&tok)?);
+    }
+
+    let declared = parse_name_list(&mut cur)?;
+    let components = parse_components(&mut cur)?;
+
+    Ok(Spec { title: lexed.title, cycles, declared, components })
+}
+
+fn parse_name_list(cur: &mut Cursor) -> Result<Vec<Declared>, ParseError> {
+    let mut declared = Vec::new();
+    loop {
+        let tok = cur
+            .next()?
+            .ok_or_else(|| unexpected_end("'.' ending the name list", cur))?;
+        if tok.is_period() {
+            return Ok(declared);
+        }
+        let (name_text, traced) = match tok.text.strip_suffix('*') {
+            Some(stripped) => (stripped, true),
+            None => (tok.text.as_str(), false),
+        };
+        let name = Ident::parse(name_text).ok_or_else(|| {
+            ParseError::new(ParseErrorKind::InvalidName(tok.text.clone()), tok.span)
+        })?;
+        declared.push(Declared { name, traced, span: tok.span });
+    }
+}
+
+fn parse_components(cur: &mut Cursor) -> Result<Vec<Component>, ParseError> {
+    let mut components = Vec::new();
+    loop {
+        let tok = cur
+            .next()?
+            .ok_or_else(|| unexpected_end("'.' ending the component list", cur))?;
+        if tok.is_period() {
+            return Ok(components);
+        }
+        if !tok.is_component_letter() {
+            return Err(ParseError::new(
+                ParseErrorKind::ExpectedComponent(tok.text.clone()),
+                tok.span,
+            ));
+        }
+        let name_tok = cur
+            .next()?
+            .ok_or_else(|| unexpected_end("a component name", cur))?;
+        let name = Ident::parse(&name_tok.text).ok_or_else(|| {
+            ParseError::new(
+                ParseErrorKind::InvalidName(name_tok.text.clone()),
+                name_tok.span,
+            )
+        })?;
+
+        let (kind, end_span) = match tok.text.as_str() {
+            "A" => parse_alu(cur)?,
+            "S" => parse_selector(cur, &name)?,
+            "M" => parse_memory(cur, &name)?,
+            _ => unreachable!("is_component_letter checked"),
+        };
+        components.push(Component {
+            name,
+            kind,
+            span: tok.span.merge(end_span),
+        });
+    }
+}
+
+fn parse_alu(cur: &mut Cursor) -> Result<(ComponentKind, Span), ParseError> {
+    let funct = expr_token(cur, "an ALU function expression")?;
+    let left = expr_token(cur, "an ALU left operand")?;
+    let right = expr_token(cur, "an ALU right operand")?;
+    let span = right.span;
+    Ok((ComponentKind::Alu(Alu { funct, left, right }), span))
+}
+
+fn parse_selector(cur: &mut Cursor, name: &Ident) -> Result<(ComponentKind, Span), ParseError> {
+    let select = expr_token(cur, "a selector index expression")?;
+    let mut cases = Vec::new();
+    let mut span = select.span;
+    loop {
+        match cur.peek()? {
+            Some(t) if t.is_component_letter() || t.is_period() => break,
+            Some(_) => {
+                let case = expr_token(cur, "a selector case value")?;
+                span = case.span;
+                cases.push(case);
+            }
+            None => return Err(unexpected_end("'.' ending the component list", cur)),
+        }
+    }
+    if cases.is_empty() {
+        return Err(ParseError::new(
+            ParseErrorKind::EmptySelector(name.as_str().to_string()),
+            span,
+        ));
+    }
+    Ok((ComponentKind::Selector(Selector { select, cases }), span))
+}
+
+fn parse_memory(cur: &mut Cursor, name: &Ident) -> Result<(ComponentKind, Span), ParseError> {
+    let addr = expr_token(cur, "a memory address expression")?;
+    let data = expr_token(cur, "a memory data expression")?;
+    let opn = expr_token(cur, "a memory operation expression")?;
+    let count_tok = cur
+        .next()?
+        .ok_or_else(|| unexpected_end("a memory cell count", cur))?;
+    let mut span = count_tok.span;
+
+    let (size, init) = if let Some(neg) = count_tok.text.strip_prefix('-') {
+        let n = number_text(neg, &count_tok)?;
+        check_count(name, n, count_tok.span)?;
+        let mut values = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let v = cur
+                .next()?
+                .ok_or_else(|| unexpected_end("a memory initial value", cur))?;
+            values.push(number_token(&v)?);
+            span = v.span;
+        }
+        (n as u32, Some(values))
+    } else {
+        let n = number_token(&count_tok)?;
+        check_count(name, n, count_tok.span)?;
+        (n as u32, None)
+    };
+
+    Ok((
+        ComponentKind::Memory(Memory { addr, data, opn, size, init }),
+        span,
+    ))
+}
+
+fn check_count(name: &Ident, n: Word, span: Span) -> Result<(), ParseError> {
+    if n < 1 {
+        return Err(ParseError::new(
+            ParseErrorKind::BadMemoryCount { name: name.as_str().to_string(), count: n },
+            span,
+        ));
+    }
+    Ok(())
+}
+
+fn expr_token(cur: &mut Cursor, what: &str) -> Result<Expr, ParseError> {
+    let tok = cur.next()?.ok_or_else(|| unexpected_end(what, cur))?;
+    parse_expr(&tok.text, tok.span)
+}
+
+fn number_token(tok: &Token) -> Result<Word, ParseError> {
+    number_text(&tok.text, tok)
+}
+
+fn number_text(text: &str, tok: &Token) -> Result<Word, ParseError> {
+    parse_number(text).map_err(|e| {
+        let kind = match e {
+            NumberError::Malformed => ParseErrorKind::MalformedNumber(tok.text.clone()),
+            NumberError::TooLarge => ParseErrorKind::NumberTooLarge(tok.text.clone()),
+        };
+        ParseError::new(kind, tok.span)
+    })
+}
+
+fn unexpected_end(what: &str, cur: &Cursor) -> ParseError {
+    ParseError::new(
+        ParseErrorKind::UnexpectedEnd(what.to_string()),
+        cur.last_span,
+    )
+}
+
+/// A token cursor that applies macro expansion and trailing-period splitting
+/// lazily, mirroring `gettoken`.
+struct Cursor {
+    tokens: std::vec::IntoIter<Token>,
+    macros: MacroTable,
+    /// A pending `.` token produced by a trailing-period split.
+    pending: Option<Token>,
+    /// A token already expanded by `peek`.
+    peeked: Option<Token>,
+    /// Span of the most recently produced token (for end-of-input errors).
+    last_span: Span,
+}
+
+impl Cursor {
+    fn new(tokens: Vec<Token>) -> Self {
+        Cursor {
+            tokens: tokens.into_iter(),
+            macros: MacroTable::new(),
+            pending: None,
+            peeked: None,
+            last_span: Span::default(),
+        }
+    }
+
+    /// Next raw token — no expansion, no period split. Only used in the
+    /// macro-definition phase.
+    fn next_raw(&mut self) -> Option<Token> {
+        debug_assert!(self.pending.is_none() && self.peeked.is_none());
+        let t = self.tokens.next()?;
+        self.last_span = t.span;
+        Some(t)
+    }
+
+    fn peek_raw(&mut self) -> Option<&Token> {
+        debug_assert!(self.peeked.is_none());
+        self.tokens.as_slice().first()
+    }
+
+    /// Next processed token: expanded, with a trailing period split off.
+    fn next(&mut self) -> Result<Option<Token>, ParseError> {
+        if let Some(t) = self.peeked.take() {
+            self.last_span = t.span;
+            return Ok(Some(t));
+        }
+        if let Some(t) = self.pending.take() {
+            self.last_span = t.span;
+            return Ok(Some(t));
+        }
+        let Some(raw) = self.tokens.next() else { return Ok(None) };
+        let text = self.macros.expand(&raw.text, raw.span)?;
+        let mut tok = Token::new(text, raw.span);
+        if tok.text.len() > 1 && tok.text.ends_with('.') {
+            tok.text.pop();
+            self.pending = Some(Token::new(".", Span::point(raw.span.end)));
+        }
+        self.last_span = tok.span;
+        Ok(Some(tok))
+    }
+
+    fn peek(&mut self) -> Result<Option<&Token>, ParseError> {
+        if self.peeked.is_none() {
+            self.peeked = self.next()?;
+        }
+        Ok(self.peeked.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Part;
+
+    const COUNTER: &str = "# up counter\n= 8\ncount* next .\n\
+                           M count 0 next 1 1\n\
+                           A next 4 count 1 .";
+
+    #[test]
+    fn parses_a_minimal_spec() {
+        let spec = parse(COUNTER).unwrap();
+        assert_eq!(spec.title, "# up counter");
+        assert_eq!(spec.cycles, Some(8));
+        assert_eq!(spec.declared.len(), 2);
+        assert!(spec.declared[0].traced);
+        assert!(!spec.declared[1].traced);
+        assert_eq!(spec.components.len(), 2);
+        match &spec.components[0].kind {
+            ComponentKind::Memory(m) => {
+                assert_eq!(m.size, 1);
+                assert!(m.init.is_none());
+                assert_eq!(m.data, Expr { parts: vec![Part::reference("next")], span: m.data.span });
+            }
+            other => panic!("expected memory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn macros_expand_in_components() {
+        let src = "# m\n~w 8\n~io 12\nr .\nA r rom.~w x.~io,1 2 .";
+        let spec = parse(src).unwrap();
+        match &spec.components[0].kind {
+            ComponentKind::Alu(a) => {
+                assert_eq!(a.funct.parts, vec![Part::bit("rom", 8)]);
+                assert_eq!(
+                    a.left.parts,
+                    vec![Part::bit("x", 12), Part::constant(1)]
+                );
+            }
+            other => panic!("expected alu, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn macro_bodies_expand_at_definition_time() {
+        let src = "# m\n~a 4\n~b ~a+1\nx .\nA x ~b 0 0 .";
+        let spec = parse(src).unwrap();
+        match &spec.components[0].kind {
+            ComponentKind::Alu(a) => assert_eq!(a.funct.parts, vec![Part::constant(5)]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_macro_diagnosed() {
+        let err = parse("# m\nx .\nA x ~nope 0 0 .").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UndefinedMacro("nope".into()));
+    }
+
+    #[test]
+    fn trailing_period_splits() {
+        // The period ending the name list may be glued to the last name.
+        let spec = parse("# m\na b.\nA a 4 b 1\nA b 2 1 0 .").unwrap();
+        assert_eq!(spec.declared.len(), 2);
+        assert_eq!(spec.components.len(), 2);
+    }
+
+    #[test]
+    fn selector_values_end_at_component_letter_or_period() {
+        let src = "# m\ns x .\nS s x 1 2 3\nA x 2 4 0 .";
+        let spec = parse(src).unwrap();
+        match &spec.components[0].kind {
+            ComponentKind::Selector(s) => assert_eq!(s.cases.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn selector_needs_at_least_one_case() {
+        let err = parse("# m\ns .\nS s x .").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::EmptySelector("s".into()));
+    }
+
+    #[test]
+    fn memory_with_initializers() {
+        let src = "# m\nm .\nM m addr data op -4 12 34 56 78 .";
+        let spec = parse(src).unwrap();
+        match &spec.components[0].kind {
+            ComponentKind::Memory(m) => {
+                assert_eq!(m.size, 4);
+                assert_eq!(m.init.as_deref(), Some(&[12, 34, 56, 78][..]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_zero_cells_rejected() {
+        let err = parse("# m\nm .\nM m 0 0 0 0 .").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadMemoryCount { .. }));
+    }
+
+    #[test]
+    fn component_expected_message() {
+        let err = parse("# m\nx .\nB x 1 2 3 .").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::ExpectedComponent("B".into()));
+        assert!(err.to_string().contains("Component expected. Got <B> instead."));
+    }
+
+    #[test]
+    fn truncated_inputs_report_unexpected_end() {
+        for src in [
+            "# m\n",
+            "# m\nx y",
+            "# m\nx .\nA x 1",
+            "# m\nx .\nM x 0 0 0",
+            "# m\nx .\nM x 0 0 0 -2 7",
+            "# m\nx .\nA x 1 2 3",
+        ] {
+            let err = parse(src).unwrap_err();
+            assert!(
+                matches!(err.kind, ParseErrorKind::UnexpectedEnd(_)),
+                "src {src:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_count_is_optional() {
+        assert_eq!(parse("# m\n.\n.").unwrap().cycles, None);
+        assert_eq!(parse("# m\n= 12\n.\n.").unwrap().cycles, Some(12));
+    }
+
+    #[test]
+    fn tokens_after_final_period_are_ignored() {
+        let spec = parse("# m\n.\n. leftover junk").unwrap();
+        assert!(spec.components.is_empty());
+    }
+
+    #[test]
+    fn star_alone_is_invalid_name() {
+        let err = parse("# m\n* .\n.").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::InvalidName(_)));
+    }
+}

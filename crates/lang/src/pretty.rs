@@ -1,0 +1,132 @@
+//! Canonical pretty-printing of specifications.
+//!
+//! [`pretty`] renders a [`Spec`] back to source text that re-parses to the
+//! same AST (macros are printed in their expanded form, constants in
+//! decimal, bit strings with `#`). This gives the library a stable
+//! round-trip property that the test suite leans on.
+
+use crate::ast::{ComponentKind, Spec};
+use std::fmt::Write as _;
+
+/// Renders a specification as canonical source text.
+///
+/// ```
+/// let src = "# demo\n~one 1\nc* n .\nM c 0 n ~one 1\nA n 4 c ~one .";
+/// let spec = rtl_lang::parse(src).unwrap();
+/// let text = rtl_lang::pretty(&spec);
+/// let again = rtl_lang::parse(&text).unwrap();
+/// assert_eq!(rtl_lang::pretty(&again), text);
+/// ```
+pub fn pretty(spec: &Spec) -> String {
+    let mut out = String::new();
+    if spec.title.starts_with('#') {
+        out.push_str(&spec.title);
+    } else {
+        out.push_str("# ");
+        out.push_str(&spec.title);
+    }
+    out.push('\n');
+
+    if let Some(n) = spec.cycles {
+        let _ = writeln!(out, "= {n}");
+    }
+
+    if spec.declared.is_empty() {
+        out.push_str(".\n");
+    } else {
+        for (i, d) in spec.declared.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(d.name.as_str());
+            if d.traced {
+                out.push('*');
+            }
+        }
+        out.push_str(" .\n");
+    }
+
+    for c in &spec.components {
+        match &c.kind {
+            ComponentKind::Alu(a) => {
+                let _ = writeln!(out, "A {} {} {} {}", c.name, a.funct, a.left, a.right);
+            }
+            ComponentKind::Selector(s) => {
+                let _ = write!(out, "S {} {}", c.name, s.select);
+                for case in &s.cases {
+                    let _ = write!(out, " {case}");
+                }
+                out.push('\n');
+            }
+            ComponentKind::Memory(m) => {
+                let _ = write!(out, "M {} {} {} {}", c.name, m.addr, m.data, m.opn);
+                match &m.init {
+                    None => {
+                        let _ = writeln!(out, " {}", m.size);
+                    }
+                    Some(values) => {
+                        let _ = write!(out, " -{}", m.size);
+                        for v in values {
+                            let _ = write!(out, " {v}");
+                        }
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+    }
+    out.push_str(".\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trips(src: &str) {
+        let spec = parse(src).unwrap();
+        let text = pretty(&spec);
+        let spec2 = parse(&text).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
+        assert_eq!(pretty(&spec2), text, "pretty is a fixed point");
+        // Structural equality modulo spans: compare re-pretty of both.
+        assert_eq!(spec.cycles, spec2.cycles);
+        assert_eq!(spec.declared.len(), spec2.declared.len());
+        assert_eq!(spec.components.len(), spec2.components.len());
+    }
+
+    #[test]
+    fn counter_round_trip() {
+        round_trips("# up counter\n= 8\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .");
+    }
+
+    #[test]
+    fn selector_and_init_round_trip() {
+        round_trips(
+            "# demo\nsel mem x .\nS sel x.0.1 1 2 3 4\n\
+             M mem x,%1 sel 1 -4 9 8 7 6\nA x 4 mem.0.3 #01 .",
+        );
+    }
+
+    #[test]
+    fn empty_spec_round_trip() {
+        round_trips("# empty\n.\n.");
+    }
+
+    #[test]
+    fn macros_print_expanded() {
+        let spec = parse("# m\n~w 8\nx .\nA x rom.~w 0 0 .").unwrap();
+        let text = pretty(&spec);
+        assert!(text.contains("rom.8"), "{text}");
+        assert!(!text.contains('~'), "{text}");
+    }
+
+    #[test]
+    fn title_without_hash_gets_one() {
+        let mut spec = parse("# t\n.\n.").unwrap();
+        spec.title = "bare title".into();
+        let text = pretty(&spec);
+        assert!(text.starts_with("# bare title\n"));
+        assert!(parse(&text).is_ok());
+    }
+}

@@ -1,0 +1,104 @@
+//! Source positions and spans used by diagnostics.
+
+use std::fmt;
+
+/// A position in the source text. Lines and columns are 1-based, matching the
+/// way editors (and the original ASIM II error messages) count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Pos {
+    /// Creates a position from a 1-based line and column.
+    ///
+    /// ```
+    /// use rtl_lang::Pos;
+    /// let p = Pos::new(3, 7);
+    /// assert_eq!(p.line, 3);
+    /// ```
+    pub const fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+
+    /// The first position of a document.
+    pub const fn start() -> Self {
+        Pos { line: 1, col: 1 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}", self.line, self.col)
+    }
+}
+
+/// A contiguous region of source text, from `start` to `end` inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// First position covered by the span.
+    pub start: Pos,
+    /// Last position covered by the span.
+    pub end: Pos,
+}
+
+impl Span {
+    /// Creates a span covering `start..=end`.
+    pub const fn new(start: Pos, end: Pos) -> Self {
+        Span { start, end }
+    }
+
+    /// Creates a zero-width span at a single position.
+    pub const fn point(pos: Pos) -> Self {
+        Span { start: pos, end: pos }
+    }
+
+    /// The smallest span containing both `self` and `other`.
+    ///
+    /// ```
+    /// use rtl_lang::{Pos, Span};
+    /// let a = Span::point(Pos::new(1, 2));
+    /// let b = Span::point(Pos::new(2, 9));
+    /// assert_eq!(a.merge(b), Span::new(Pos::new(1, 2), Pos::new(2, 9)));
+    /// ```
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_orders_by_line_then_col() {
+        assert!(Pos::new(1, 9) < Pos::new(2, 1));
+        assert!(Pos::new(2, 1) < Pos::new(2, 2));
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = Span::new(Pos::new(1, 1), Pos::new(1, 5));
+        let b = Span::new(Pos::new(1, 3), Pos::new(2, 2));
+        assert_eq!(a.merge(b), b.merge(a));
+        assert_eq!(a.merge(b).end, Pos::new(2, 2));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Pos::new(4, 2).to_string(), "line 4, col 2");
+        assert_eq!(Span::point(Pos::new(4, 2)).to_string(), "line 4, col 2");
+    }
+}

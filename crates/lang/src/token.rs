@@ -1,0 +1,72 @@
+//! Whitespace-delimited tokens produced by the [`lexer`](crate::lexer).
+
+use crate::span::Span;
+
+/// A single whitespace-delimited token together with its source location.
+///
+/// Tokens are the unit the ASIM II grammar is defined over: component letters
+/// (`A`, `S`, `M`), names, expressions (which contain no whitespace), numbers
+/// and the structural period.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// The token text (after macro expansion, once the expander has run).
+    pub text: String,
+    /// Where the token occurred in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token from text and a span.
+    pub fn new(text: impl Into<String>, span: Span) -> Self {
+        Token { text: text.into(), span }
+    }
+
+    /// `true` if this token is the structural period that terminates the
+    /// name list and the component list.
+    pub fn is_period(&self) -> bool {
+        self.text == "."
+    }
+
+    /// `true` if this token introduces a component (`A`, `S` or `M`).
+    pub fn is_component_letter(&self) -> bool {
+        matches!(self.text.as_str(), "A" | "S" | "M")
+    }
+
+    /// `true` if this token begins a macro definition (`~name`).
+    pub fn is_macro_intro(&self) -> bool {
+        self.text.starts_with('~')
+    }
+
+    /// `true` if this token is the `=` that introduces the cycle count.
+    pub fn is_cycles_intro(&self) -> bool {
+        self.text == "="
+    }
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Pos, Span};
+
+    fn tok(s: &str) -> Token {
+        Token::new(s, Span::point(Pos::start()))
+    }
+
+    #[test]
+    fn classification() {
+        assert!(tok(".").is_period());
+        assert!(!tok("x.").is_period());
+        assert!(tok("A").is_component_letter());
+        assert!(tok("S").is_component_letter());
+        assert!(tok("M").is_component_letter());
+        assert!(!tok("B").is_component_letter());
+        assert!(tok("~pack").is_macro_intro());
+        assert!(tok("=").is_cycles_intro());
+    }
+}

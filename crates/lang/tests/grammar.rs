@@ -1,0 +1,168 @@
+//! Grammar-level integration tests: thesis-style source fragments,
+//! macro interactions, and Appendix A corner cases.
+
+use rtl_lang::{parse, ComponentKind, Part, ParseErrorKind};
+
+/// The Appendix F header defines instruction opcodes as macros and sums
+/// them with addresses in memory initializers: `~LD+30` must expand to
+/// `256+30` and evaluate to 286.
+#[test]
+fn appendix_f_style_opcode_macros() {
+    let src = "\
+# tiny computer specification 1986 June 12
+~LD 256 ~ST 384 ~BB 512 ~BR 640 ~SU 768
+mem .
+M mem 0 0 0 -8 ~LD+30 ~SU+31 ~ST+30 ~BB+7 ~BR+0 ~SU+32 0 5
+.";
+    let spec = parse(src).unwrap_or_else(|e| panic!("{e}"));
+    match &spec.components[0].kind {
+        ComponentKind::Memory(m) => {
+            assert_eq!(
+                m.init.as_deref(),
+                Some(&[286, 799, 414, 519, 640, 800, 0, 5][..])
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Appendix D uses macros inside bit subfields (`zero.0.~k` style) and in
+/// concatenations (`addr.~n,rom.~w`).
+#[test]
+fn appendix_d_style_subfield_macros() {
+    let src = "\
+# macro subfields
+~k 5 ~n 12 ~w 8
+x rom addr .
+A x 2 addr.0.~k 0
+A rom 2 addr.~n,one.~w 0
+M addr 0 0 0 1
+M one 0 0 0 1
+.";
+    let spec = parse(src).unwrap_or_else(|e| panic!("{e}"));
+    match &spec.components[0].kind {
+        ComponentKind::Alu(a) => {
+            assert_eq!(a.left.parts, vec![Part::field("addr", 0, 5)]);
+        }
+        other => panic!("{other:?}"),
+    }
+    match &spec.components[1].kind {
+        ComponentKind::Alu(a) => {
+            assert_eq!(
+                a.left.parts,
+                vec![Part::bit("addr", 12), Part::bit("one", 8)]
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Macros chain at definition time: `~dd` built from `~d`.
+#[test]
+fn chained_macro_definitions() {
+    let src = "# m\n~d 5\n~dd ~d+2\nx .\nA x 2 ~dd 0 .";
+    let spec = parse(src).unwrap();
+    match &spec.components[0].kind {
+        ComponentKind::Alu(a) => assert_eq!(a.left.parts, vec![Part::constant(7)]),
+        other => panic!("{other:?}"),
+    }
+}
+
+/// A `~name` after the macro section is no longer a definition; it is
+/// substituted (or rejected when undefined).
+#[test]
+fn macro_definitions_end_at_first_non_tilde_token() {
+    // `~late 9` appears after `=`: `~late` is undefined at use.
+    let err = parse("# m\n= 3\n~late 9\nx .\nA x 2 ~late 0 .").unwrap_err();
+    assert_eq!(err.kind, ParseErrorKind::UndefinedMacro("late".into()));
+}
+
+/// The cycle count accepts every number radix.
+#[test]
+fn cycle_count_radixes() {
+    for (text, value) in [("= 5545", 5545), ("= $10", 16), ("= %101", 5), ("= ^10", 1024)] {
+        let spec = parse(&format!("# m\n{text}\n.\n.")).unwrap();
+        assert_eq!(spec.cycles, Some(value), "{text}");
+    }
+}
+
+/// Comments may interrupt any whitespace position, including between a
+/// component letter and its name — Appendix D does this constantly.
+#[test]
+fn comments_between_every_token() {
+    let src = "# c\n{names} count {traced} next .\n\
+               M {the register} count {addr} 0 {data} next {op} 1 {cells} 1\n\
+               A {the adder} next 4 count 1 {increment}\n.";
+    let spec = parse(src).unwrap();
+    assert_eq!(spec.components.len(), 2);
+}
+
+/// The original splits a trailing period off a token; interior periods
+/// stay (they are subfields).
+#[test]
+fn trailing_period_vs_subfield_periods() {
+    let spec = parse("# p\nx m .\nA x 2 m.0.3 0\nM m 0 0 0 1 .").unwrap();
+    assert_eq!(spec.components.len(), 2);
+    // Glued terminator after an expression token.
+    let spec = parse("# p\nx m .\nM m 0 0 0 1\nA x 2 m.0.3 0 .").unwrap();
+    assert_eq!(spec.components.len(), 2);
+}
+
+/// Selector case lists terminate at the next component letter even with
+/// single-character case values in play.
+#[test]
+fn selector_termination_ambiguity() {
+    // Values `a` and `b` are fine; a case literally named `A` would end
+    // the list — the language's documented ambiguity.
+    let spec = parse(
+        "# s\nsel a b .\nS sel a.0 a b\nA a 2 1 0\nA b 2 2 0 .",
+    )
+    .unwrap();
+    match &spec.components[0].kind {
+        ComponentKind::Selector(s) => assert_eq!(s.cases.len(), 2),
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Whitespace variety: tabs, CRLF, and runs of blank lines.
+#[test]
+fn whitespace_forms() {
+    let src = "# w\r\n\tcount\tnext .\r\n\r\nM count 0 next 1 1\r\nA next 4 count 1 .\r\n";
+    let spec = parse(src).unwrap();
+    assert_eq!(spec.components.len(), 2);
+}
+
+/// Every number radix works inside expressions and memory counts.
+#[test]
+fn radix_zoo() {
+    let src = "# r\nx m .\nA x 8 %1111,$F.4 #1010\nM m 0 0 0 ^3 .";
+    let spec = parse(src).unwrap();
+    match &spec.components[1].kind {
+        ComponentKind::Memory(m) => assert_eq!(m.size, 8),
+        other => panic!("{other:?}"),
+    }
+    match &spec.components[0].kind {
+        ComponentKind::Alu(a) => {
+            assert_eq!(a.left.parts, vec![Part::constant(15), Part::sized(15, 4)]);
+            assert_eq!(a.right.parts, vec![Part::bits(10, 4)]);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+/// The documented 500-component limit of the original is *not* enforced
+/// (divergence D2): a 600-component spec parses and elaborates.
+#[test]
+fn no_component_limit() {
+    let mut names = String::new();
+    let mut comps = String::new();
+    for i in 0..600 {
+        names.push_str(&format!("c{i} "));
+        comps.push_str(&format!("A c{i} 2 {i} 0\n"));
+    }
+    let src = format!("# big\n{names}.\n{comps}.");
+    let spec = parse(&src).unwrap();
+    assert_eq!(spec.components.len(), 600);
+    // (Elaboration of over-limit designs is covered by the workspace
+    // integration tests; rtl-lang cannot depend on rtl-core.)
+}

@@ -1,0 +1,82 @@
+//! Property tests over the syntax layer alone: numbers, expressions, and
+//! the pretty-printer round trip.
+
+use proptest::prelude::*;
+use rtl_lang::{parse_expr, parse_number, Part, Span, WORD_MASK};
+
+proptest! {
+    /// Every radix round-trips any word value.
+    #[test]
+    fn numbers_round_trip_in_every_radix(v in 0i64..=WORD_MASK) {
+        prop_assert_eq!(parse_number(&v.to_string()), Ok(v));
+        prop_assert_eq!(parse_number(&format!("${v:X}")), Ok(v));
+        prop_assert_eq!(parse_number(&format!("${v:x}")), Ok(v), "lowercase hex");
+        prop_assert_eq!(parse_number(&format!("%{v:b}")), Ok(v));
+    }
+
+    /// Sums evaluate like addition for in-range pairs.
+    #[test]
+    fn sums_add(a in 0i64..=(WORD_MASK / 2), b in 0i64..=(WORD_MASK / 2)) {
+        prop_assert_eq!(parse_number(&format!("{a}+{b}")), Ok(a + b));
+        prop_assert_eq!(parse_number(&format!("{a}+%{b:b}+$0")), Ok(a + b));
+    }
+
+    /// Powers of two match shifts.
+    #[test]
+    fn powers_of_two(n in 0i64..=30) {
+        prop_assert_eq!(parse_number(&format!("^{n}")), Ok(1 << n));
+    }
+
+    /// A part rendered by Display re-parses to itself.
+    #[test]
+    fn parts_round_trip_through_display(
+        value in 0i64..=WORD_MASK,
+        width in 1u8..=31,
+        from in 0u8..=30,
+        extra in 0u8..=10,
+    ) {
+        let to = from.saturating_add(extra).min(30);
+        let cases = vec![
+            Part::constant(value),
+            Part::sized(value & ((1 << width) - 1), width),
+            Part::bits(value & ((1i64 << width.min(31)) - 1), width),
+            Part::reference("x"),
+            Part::bit("x", from),
+            Part::field("x", from, to),
+        ];
+        for part in cases {
+            let text = part.to_string();
+            let parsed = parse_expr(&text, Span::default())
+                .unwrap_or_else(|e| panic!("{text:?}: {e}"));
+            prop_assert_eq!(parsed.parts, vec![part], "{}", text);
+        }
+    }
+
+    /// Concatenations of sized parts re-parse, preserving order and the
+    /// total width accounting.
+    #[test]
+    fn sized_concatenations_round_trip(widths in proptest::collection::vec(1u8..=6, 1..5)) {
+        if widths.iter().map(|&w| u32::from(w)).sum::<u32>() > 31 {
+            return Ok(());
+        }
+        let parts: Vec<Part> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Part::sized((i as i64) & ((1 << w) - 1), w))
+            .collect();
+        let text = parts
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let parsed = parse_expr(&text, Span::default()).unwrap();
+        prop_assert_eq!(parsed.parts, parts);
+    }
+
+    /// Malformed numeric garbage never panics — it errors.
+    #[test]
+    fn junk_never_panics(s in "[0-9a-zA-Z$%^#+.,]{0,12}") {
+        let _ = parse_number(&s);
+        let _ = parse_expr(&s, Span::default());
+    }
+}

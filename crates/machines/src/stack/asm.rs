@@ -1,0 +1,232 @@
+//! A small two-pass assembler for the stack machine.
+//!
+//! Syntax: one instruction per line; `;` starts a comment; `label:` defines
+//! a label (alone or before an instruction); operands are decimal numbers,
+//! label names, or `name = value` constants defined with `.def`. The
+//! thesis hand-assembled its sieve (Appendix D's program ROM comments show
+//! the original mnemonics); this assembler replaces that step.
+
+use super::isa::{Instr, Op};
+use rtl_core::Word;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly errors, with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles source text into instruction words.
+///
+/// ```
+/// use rtl_machines::stack::asm::assemble;
+/// let prog = assemble("
+///     .def out 4097
+///     start:
+///         ldc 21      ; the answer, doubled
+///         ldc 21
+///         add
+///         ldc out
+///         st          ; print 42
+///         halt
+/// ").unwrap();
+/// assert_eq!(prog.len(), 6);
+/// ```
+///
+/// # Errors
+///
+/// Unknown mnemonics, missing/extra operands, duplicate or undefined
+/// labels, and out-of-range operands are reported with their line.
+pub fn assemble(source: &str) -> Result<Vec<Instr>, AsmError> {
+    let err = |line: usize, message: String| AsmError { line, message };
+
+    // Pass 1: strip comments, resolve label addresses and `.def` constants.
+    #[derive(Debug)]
+    struct Line<'a> {
+        number: usize,
+        op: &'a str,
+        operand: Option<&'a str>,
+    }
+
+    let mut symbols: HashMap<String, Word> = HashMap::new();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut pc: Word = 0;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find(';') {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+
+        // `.def name value`
+        if let Some(rest) = text.strip_prefix(".def") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| err(number, ".def needs a name".into()))?;
+            let value = parts
+                .next()
+                .ok_or_else(|| err(number, ".def needs a value".into()))?;
+            if parts.next().is_some() {
+                return Err(err(number, ".def takes exactly two arguments".into()));
+            }
+            let value: Word = value
+                .parse()
+                .map_err(|_| err(number, format!("bad .def value {value:?}")))?;
+            if symbols.insert(name.to_string(), value).is_some() {
+                return Err(err(number, format!("symbol {name} defined twice")));
+            }
+            continue;
+        }
+
+        // Leading labels (possibly several).
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.split_whitespace().count() != 1 {
+                return Err(err(number, format!("bad label {label:?}")));
+            }
+            if symbols.insert(label.to_string(), pc).is_some() {
+                return Err(err(number, format!("symbol {label} defined twice")));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let mut parts = text.split_whitespace();
+        let op = parts.next().expect("non-empty text");
+        let operand = parts.next();
+        if parts.next().is_some() {
+            return Err(err(number, format!("trailing junk after {op}")));
+        }
+        lines.push(Line { number, op, operand });
+        pc += 1;
+    }
+
+    // Pass 2: encode.
+    let mut program = Vec::with_capacity(lines.len());
+    for l in lines {
+        let op = Op::from_mnemonic(l.op)
+            .ok_or_else(|| err(l.number, format!("unknown mnemonic {:?}", l.op)))?;
+        let operand = match (op.takes_operand(), l.operand) {
+            (false, None) => 0,
+            (false, Some(extra)) => {
+                return Err(err(
+                    l.number,
+                    format!("{} takes no operand, got {extra:?}", op.mnemonic()),
+                ));
+            }
+            (true, None) => {
+                return Err(err(l.number, format!("{} needs an operand", op.mnemonic())));
+            }
+            (true, Some(text)) => match text.parse::<Word>() {
+                Ok(v) => v,
+                Err(_) => *symbols.get(text).ok_or_else(|| {
+                    err(l.number, format!("undefined symbol {text:?}"))
+                })?,
+            },
+        };
+        if !(0..=0x1FFF).contains(&operand) {
+            return Err(err(
+                l.number,
+                format!("operand {operand} outside 0..=8191"),
+            ));
+        }
+        program.push(Instr::new(op, operand));
+    }
+    Ok(program)
+}
+
+/// Renders a program as a listing with addresses (for docs and the CLI).
+pub fn listing(program: &[Instr]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (addr, i) in program.iter().enumerate() {
+        let _ = writeln!(out, "{addr:4}: {i}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_branches() {
+        let p = assemble(
+            "start: ldc 0\nloop: ldc 1\n add\n dup\n ldc 5\n lt\n bz done\n br loop\ndone: halt",
+        )
+        .unwrap();
+        assert_eq!(p[6], Instr::new(Op::Bz, 8));
+        assert_eq!(p[7], Instr::new(Op::Br, 1));
+        assert_eq!(p[8].op, Op::Halt);
+    }
+
+    #[test]
+    fn defs_resolve() {
+        let p = assemble(".def x 1024\nldc x\nhalt").unwrap();
+        assert_eq!(p[0], Instr::new(Op::Ldc, 1024));
+    }
+
+    #[test]
+    fn label_alone_on_a_line() {
+        let p = assemble("top:\n  br top").unwrap();
+        assert_eq!(p[0], Instr::new(Op::Br, 0));
+    }
+
+    #[test]
+    fn forward_references_work() {
+        let p = assemble("br end\nnop\nend: halt").unwrap();
+        assert_eq!(p[0], Instr::new(Op::Br, 2));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (src, needle) in [
+            ("bogus", "unknown mnemonic"),
+            ("ldc", "needs an operand"),
+            ("add 3", "takes no operand"),
+            ("ldc nowhere", "undefined symbol"),
+            ("a: nop\na: nop", "defined twice"),
+            (".def x 1\n.def x 2", "defined twice"),
+            ("ldc 9999", "outside"),
+            ("add junk extra", "trailing junk"),
+        ] {
+            let e = assemble(src).unwrap_err();
+            assert!(e.message.contains(needle), "{src:?} gave {e}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let p = assemble("; nothing\n\n  halt ; stop\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn listing_shows_addresses() {
+        let p = assemble("ldc 7\nhalt").unwrap();
+        let l = listing(&p);
+        assert!(l.contains("0: ldc 7"));
+        assert!(l.contains("1: halt"));
+    }
+}

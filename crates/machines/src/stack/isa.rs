@@ -1,0 +1,234 @@
+//! The Itty Bitty Stack Machine instruction set.
+//!
+//! A re-derivation of the thesis's Appendix D stack machine (the original
+//! listing is OCR-damaged; see `DESIGN.md`): a micro-coded, RAM-stack
+//! machine whose instruction words carry a 4-bit opcode and a 13-bit
+//! operand. `ST` to an address with bit 12 set leaves the RAM array and
+//! goes to the memory-mapped output device, exactly like the original's
+//! `addr.~n` I/O select bit.
+
+use rtl_core::Word;
+
+/// Bit position of the I/O select in addresses (the thesis's `~n 12`).
+pub const IO_BIT: Word = 1 << 12;
+
+/// RAM size in words.
+pub const RAM_WORDS: usize = 4096;
+
+/// First RAM slot of the stack region (slots below are a guard band for
+/// speculative top-of-stack reads at empty stack).
+pub const STACK_BASE: Word = 16;
+
+/// The sixteen opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Op {
+    /// No operation.
+    Nop = 0,
+    /// Push the 13-bit operand.
+    Ldc = 1,
+    /// Pop an address, push `ram[addr]`.
+    Ld = 2,
+    /// Pop an address, pop a value, store (or output when the address has
+    /// [`IO_BIT`] set).
+    St = 3,
+    /// Duplicate the top of stack.
+    Dup = 4,
+    /// Swap the top two elements.
+    Swap = 5,
+    /// Pop two, push `next + top`.
+    Add = 6,
+    /// Pop two, push `next - top`.
+    Sub = 7,
+    /// Pop two, push `next * top`.
+    Mul = 8,
+    /// Pop two, push `land(next, top)`.
+    And = 9,
+    /// Pop two, push `1` if `next = top` else `0`.
+    Eq = 10,
+    /// Pop two, push `1` if `next < top` else `0`.
+    Lt = 11,
+    /// Negate the top of stack (`0 - top`).
+    Neg = 12,
+    /// Pop a value; branch to the operand when it is zero.
+    Bz = 13,
+    /// Branch to the operand unconditionally.
+    Br = 14,
+    /// Freeze the machine.
+    Halt = 15,
+}
+
+impl Op {
+    /// All opcodes in numeric order.
+    pub const ALL: [Op; 16] = [
+        Op::Nop,
+        Op::Ldc,
+        Op::Ld,
+        Op::St,
+        Op::Dup,
+        Op::Swap,
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::And,
+        Op::Eq,
+        Op::Lt,
+        Op::Neg,
+        Op::Bz,
+        Op::Br,
+        Op::Halt,
+    ];
+
+    /// Decodes the low four bits of an instruction word.
+    pub fn from_word(w: Word) -> Op {
+        Self::ALL[(w & 0xF) as usize]
+    }
+
+    /// The opcode number.
+    pub fn number(self) -> Word {
+        self as Word
+    }
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Op::Nop => "nop",
+            Op::Ldc => "ldc",
+            Op::Ld => "ld",
+            Op::St => "st",
+            Op::Dup => "dup",
+            Op::Swap => "swap",
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::And => "and",
+            Op::Eq => "eq",
+            Op::Lt => "lt",
+            Op::Neg => "neg",
+            Op::Bz => "bz",
+            Op::Br => "br",
+            Op::Halt => "halt",
+        }
+    }
+
+    /// Looks an opcode up by mnemonic.
+    pub fn from_mnemonic(m: &str) -> Option<Op> {
+        Op::ALL.iter().copied().find(|o| o.mnemonic() == m)
+    }
+
+    /// `true` if the opcode takes an operand (`ldc`, `bz`, `br`).
+    pub fn takes_operand(self) -> bool {
+        matches!(self, Op::Ldc | Op::Bz | Op::Br)
+    }
+
+    /// `true` for the six binary arithmetic/comparison operators.
+    pub fn is_binop(self) -> bool {
+        matches!(self, Op::Add | Op::Sub | Op::Mul | Op::And | Op::Eq | Op::Lt)
+    }
+
+    /// The dologic function number a binary operator maps to on the
+    /// micro-coded datapath.
+    pub fn alu_fn(self) -> Option<Word> {
+        match self {
+            Op::Add => Some(4),
+            Op::Sub => Some(5),
+            Op::Mul => Some(7),
+            Op::And => Some(8),
+            Op::Eq => Some(12),
+            Op::Lt => Some(13),
+            _ => None,
+        }
+    }
+
+    /// Cycles the micro-coded implementation spends on this opcode
+    /// (fetch included). Used by the instruction-set simulator to predict
+    /// RTL cycle counts and by the "levels" benchmark.
+    pub fn cycles(self) -> u64 {
+        match self {
+            Op::Nop | Op::Ldc | Op::Dup | Op::Neg | Op::Bz | Op::Br => 2,
+            Op::Ld | Op::St => 3,
+            Op::Swap => 4,
+            Op::Halt => 2,
+            _ if self.is_binop() => 3,
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// One decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// The opcode.
+    pub op: Op,
+    /// The 13-bit operand (0 when unused).
+    pub operand: Word,
+}
+
+impl Instr {
+    /// Builds an instruction, masking the operand to 13 bits.
+    pub fn new(op: Op, operand: Word) -> Instr {
+        Instr { op, operand: operand & 0x1FFF }
+    }
+
+    /// Encodes to an instruction word: `op | operand << 4`.
+    pub fn encode(self) -> Word {
+        self.op.number() | (self.operand << 4)
+    }
+
+    /// Decodes an instruction word.
+    pub fn decode(w: Word) -> Instr {
+        Instr { op: Op::from_word(w), operand: (w >> 4) & 0x1FFF }
+    }
+}
+
+impl std::fmt::Display for Instr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.op.takes_operand() {
+            write!(f, "{} {}", self.op.mnemonic(), self.operand)
+        } else {
+            f.write_str(self.op.mnemonic())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for op in Op::ALL {
+            for operand in [0, 1, 20, 4095, 4097, 0x1FFF] {
+                let i = Instr::new(op, operand);
+                assert_eq!(Instr::decode(i.encode()), i, "{op:?} {operand}");
+            }
+        }
+    }
+
+    #[test]
+    fn operand_is_masked_to_13_bits() {
+        assert_eq!(Instr::new(Op::Ldc, 0x2FFF).operand, 0x0FFF);
+    }
+
+    #[test]
+    fn mnemonics_round_trip() {
+        for op in Op::ALL {
+            assert_eq!(Op::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Op::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn binop_alu_functions() {
+        for op in Op::ALL {
+            assert_eq!(op.alu_fn().is_some(), op.is_binop(), "{op:?}");
+        }
+        assert_eq!(Op::Sub.alu_fn(), Some(5));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Instr::new(Op::Ldc, 7).to_string(), "ldc 7");
+        assert_eq!(Instr::new(Op::Add, 0).to_string(), "add");
+    }
+}

@@ -1,0 +1,60 @@
+//! The Itty Bitty Stack Machine, end to end.
+//!
+//! A re-derivation of the thesis's Appendix D machine (the OCR'd original
+//! is incomplete; see `DESIGN.md`): a 16-opcode stack ISA with a 13-bit
+//! operand field and memory-mapped output, implemented twice —
+//!
+//! * [`iss`]: an instruction-set simulator (the ISP level of §2.2.4), the
+//!   independent oracle;
+//! * [`rtl`]: a micro-coded register-transfer implementation built from the
+//!   [`ucode`] control ROM, expressed in the ASIM II language.
+//!
+//! [`asm`] assembles the workloads in [`programs`] (sieve, Fibonacci,
+//! GCD). The Figure 5.1 experiment runs [`programs::sieve`] on the RTL
+//! model under every engine.
+
+pub mod asm;
+pub mod isa;
+pub mod iss;
+pub mod programs;
+pub mod rtl;
+pub mod ucode;
+
+pub use asm::{assemble, AsmError};
+pub use isa::{Instr, Op};
+pub use iss::{Iss, OutputEvent, Stop};
+
+use rtl_core::Word;
+
+/// Everything needed to run the sieve experiment: the assembled program,
+/// the exact RTL cycle count, and the expected output text.
+#[derive(Debug, Clone)]
+pub struct SieveWorkload {
+    /// The assembled program.
+    pub program: Vec<Instr>,
+    /// Micro-cycles the RTL model needs to finish (from the ISS).
+    pub cycles: Word,
+    /// The primes the run prints.
+    pub primes: Vec<Word>,
+    /// The exact output text (`soutput` rendering).
+    pub expected_output: String,
+}
+
+/// Assembles and characterizes the sieve for a given size.
+///
+/// ```
+/// let w = rtl_machines::stack::sieve_workload(20);
+/// assert_eq!(w.primes.first(), Some(&3));
+/// assert!(w.cycles > 1000);
+/// ```
+pub fn sieve_workload(size: Word) -> SieveWorkload {
+    let program = assemble(&programs::sieve(size)).expect("sieve assembles");
+    let mut iss = Iss::new(program.clone());
+    assert_eq!(iss.run(50_000_000), Stop::Halted, "sieve halts");
+    SieveWorkload {
+        program,
+        cycles: iss.predicted_cycles as Word,
+        primes: iss.output_values(),
+        expected_output: iss.rendered_output(),
+    }
+}

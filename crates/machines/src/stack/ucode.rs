@@ -1,0 +1,388 @@
+//! The stack machine's microcode.
+//!
+//! The thesis's machine drove its datapath from a "decode rom" and a "parm
+//! rom" indexed by state and opcode (Appendix D). We do the same with a
+//! single 128-word control ROM addressed by `state*16 + opcode`, generated
+//! here from a typed table so that every field is named and testable
+//! instead of hand-packed hex.
+
+use super::isa::Op;
+use rtl_core::Word;
+
+/// Micro-states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum State {
+    /// Issue the instruction fetch and the speculative top-of-stack read.
+    Fetch = 0,
+    /// Decode and execute (single-cycle ops finish here).
+    Exec = 1,
+    /// Finish a binary operator (NOS is in the RAM latch).
+    Binop = 2,
+    /// Finish `ld` (the loaded value is in the RAM latch).
+    LdFin = 3,
+    /// Finish `st` (the value is in the RAM latch, the address in `a`).
+    StFin = 4,
+    /// Halted: loop forever.
+    Halt = 5,
+    /// First half of `swap`: write NOS over the top slot.
+    Swap1 = 6,
+    /// Second half of `swap`: write the saved top over the NOS slot.
+    Swap2 = 7,
+}
+
+/// Program-counter control field values.
+pub mod pc_ctl {
+    /// Hold.
+    pub const HOLD: i64 = 0;
+    /// `pc + 1`.
+    pub const INC: i64 = 1;
+    /// Load the instruction operand.
+    pub const LOAD: i64 = 2;
+    /// `if top = 0 then operand else pc + 1` (the `bz` mux).
+    pub const BZ: i64 = 3;
+}
+
+/// Stack-pointer control field values.
+pub mod sp_ctl {
+    /// Hold.
+    pub const HOLD: i64 = 0;
+    /// Push one.
+    pub const INC: i64 = 1;
+    /// Pop one.
+    pub const DEC: i64 = 2;
+    /// Pop two.
+    pub const DEC2: i64 = 3;
+}
+
+/// RAM address-mux field values.
+pub mod addr_sel {
+    /// Slot of the top of stack (`sp + 15`).
+    pub const TOP: i64 = 0;
+    /// Slot of the next-on-stack (`sp + 14`).
+    pub const NOS: i64 = 1;
+    /// First free slot (`sp + 16`).
+    pub const FREE: i64 = 2;
+    /// The RAM latch itself (`ld` uses the popped value as an address).
+    pub const T: i64 = 3;
+    /// The `a` register (`st` uses the saved address).
+    pub const A: i64 = 4;
+}
+
+/// RAM data-mux field values.
+pub mod data_sel {
+    /// The ALU output.
+    pub const ALU: i64 = 0;
+    /// The instruction operand.
+    pub const OPERAND: i64 = 1;
+    /// The RAM latch (pass-through).
+    pub const T: i64 = 2;
+    /// The `a` register.
+    pub const A: i64 = 3;
+}
+
+/// One decoded control word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ctrl {
+    /// Next micro-state.
+    pub next: State,
+    /// PC control ([`pc_ctl`]).
+    pub pc: Word,
+    /// SP control ([`sp_ctl`]).
+    pub sp: Word,
+    /// Latch the RAM output into `a`.
+    pub a_wr: bool,
+    /// RAM address mux ([`addr_sel`]).
+    pub addr: Word,
+    /// RAM data mux ([`data_sel`]).
+    pub data: Word,
+    /// RAM write enable.
+    pub ram_wr: bool,
+    /// ALU function (dologic number).
+    pub alu_fn: Word,
+    /// ALU left operand: `false` = RAM latch, `true` = constant 0.
+    pub alu_left_zero: bool,
+    /// ALU right operand: `false` = `a`, `true` = RAM latch.
+    pub alu_right_ram: bool,
+    /// Latch the fetched instruction into `ir`.
+    pub ir_wr: bool,
+}
+
+impl Ctrl {
+    /// The idle fetch word: read the top-of-stack slot, go to `Exec`.
+    pub fn fetch() -> Ctrl {
+        Ctrl {
+            next: State::Exec,
+            pc: pc_ctl::HOLD,
+            sp: sp_ctl::HOLD,
+            a_wr: false,
+            addr: addr_sel::TOP,
+            data: data_sel::ALU,
+            ram_wr: false,
+            alu_fn: 0,
+            alu_left_zero: false,
+            alu_right_ram: false,
+            ir_wr: false,
+        }
+    }
+
+    fn base(next: State) -> Ctrl {
+        Ctrl { next, ..Ctrl::fetch() }
+    }
+
+    /// Packs the word into the control-ROM bit layout.
+    pub fn encode(self) -> Word {
+        (self.next as Word)
+            | (self.pc << 3)
+            | (self.sp << 5)
+            | (Word::from(self.a_wr) << 7)
+            | (self.addr << 8)
+            | (self.data << 11)
+            | (Word::from(self.ram_wr) << 13)
+            | (self.alu_fn << 14)
+            | (Word::from(self.alu_left_zero) << 18)
+            | (Word::from(self.alu_right_ram) << 19)
+            | (Word::from(self.ir_wr) << 20)
+    }
+}
+
+/// Bit positions of the control fields, shared with the RTL generator.
+pub mod bits {
+    /// `next_state` low bit / width 3 → rom.0.2.
+    pub const NEXT: (u8, u8) = (0, 2);
+    /// `pc_ctl` → rom.3.4.
+    pub const PC: (u8, u8) = (3, 4);
+    /// `sp_ctl` → rom.5.6.
+    pub const SP: (u8, u8) = (5, 6);
+    /// `a_wr` → rom.7.
+    pub const A_WR: u8 = 7;
+    /// `addr_sel` → rom.8.10.
+    pub const ADDR: (u8, u8) = (8, 10);
+    /// `data_sel` → rom.11.12.
+    pub const DATA: (u8, u8) = (11, 12);
+    /// `ram_wr` → rom.13.
+    pub const RAM_WR: u8 = 13;
+    /// `alu_fn` → rom.14.17.
+    pub const ALU_FN: (u8, u8) = (14, 17);
+    /// `alu_left` → rom.18.
+    pub const ALU_LEFT: u8 = 18;
+    /// `alu_right` → rom.19.
+    pub const ALU_RIGHT: u8 = 19;
+    /// `ir_wr` → rom.20.
+    pub const IR_WR: u8 = 20;
+}
+
+/// The control word for a `(state, opcode)` pair.
+pub fn control(state: State, op: Op) -> Ctrl {
+    use State::*;
+    match state {
+        Fetch => Ctrl::fetch(),
+        Exec => exec_word(op),
+        Binop => {
+            let mut c = Ctrl::base(Fetch);
+            c.sp = sp_ctl::DEC;
+            c.addr = addr_sel::NOS;
+            c.data = data_sel::ALU;
+            c.ram_wr = true;
+            // left = RAM latch (NOS), right = a (saved top).
+            c.alu_fn = op.alu_fn().unwrap_or(0);
+            c
+        }
+        LdFin => {
+            let mut c = Ctrl::base(Fetch);
+            c.addr = addr_sel::TOP;
+            c.data = data_sel::T;
+            c.ram_wr = true;
+            c
+        }
+        StFin => {
+            let mut c = Ctrl::base(Fetch);
+            c.sp = sp_ctl::DEC2;
+            c.addr = addr_sel::A;
+            c.data = data_sel::T;
+            c.ram_wr = true;
+            c
+        }
+        Halt => Ctrl::base(Halt),
+        Swap1 => {
+            let mut c = Ctrl::base(Swap2);
+            c.addr = addr_sel::TOP;
+            c.data = data_sel::T;
+            c.ram_wr = true;
+            c
+        }
+        Swap2 => {
+            let mut c = Ctrl::base(Fetch);
+            c.addr = addr_sel::NOS;
+            c.data = data_sel::A;
+            c.ram_wr = true;
+            c
+        }
+    }
+}
+
+fn exec_word(op: Op) -> Ctrl {
+    use State::*;
+    let mut c = Ctrl::base(Fetch);
+    c.pc = pc_ctl::INC;
+    c.ir_wr = true;
+    match op {
+        Op::Nop => {}
+        Op::Ldc => {
+            c.sp = sp_ctl::INC;
+            c.addr = addr_sel::FREE;
+            c.data = data_sel::OPERAND;
+            c.ram_wr = true;
+        }
+        Op::Ld => {
+            c.next = LdFin;
+            c.addr = addr_sel::T;
+        }
+        Op::St => {
+            c.next = StFin;
+            c.a_wr = true;
+            c.addr = addr_sel::NOS;
+        }
+        Op::Dup => {
+            c.sp = sp_ctl::INC;
+            c.addr = addr_sel::FREE;
+            c.data = data_sel::T;
+            c.ram_wr = true;
+        }
+        Op::Swap => {
+            c.next = Swap1;
+            c.a_wr = true;
+            c.addr = addr_sel::NOS;
+        }
+        Op::Add | Op::Sub | Op::Mul | Op::And | Op::Eq | Op::Lt => {
+            c.next = Binop;
+            c.a_wr = true;
+            c.addr = addr_sel::NOS;
+        }
+        Op::Neg => {
+            c.addr = addr_sel::TOP;
+            c.data = data_sel::ALU;
+            c.ram_wr = true;
+            c.alu_fn = 5; // 0 - top
+            c.alu_left_zero = true;
+            c.alu_right_ram = true;
+        }
+        Op::Bz => {
+            c.pc = pc_ctl::BZ;
+            c.sp = sp_ctl::DEC;
+        }
+        Op::Br => {
+            c.pc = pc_ctl::LOAD;
+        }
+        Op::Halt => {
+            c.next = Halt;
+            c.pc = pc_ctl::HOLD;
+        }
+    }
+    c
+}
+
+/// The full 128-word control ROM, indexed by `state*16 + opcode`.
+pub fn rom() -> Vec<Word> {
+    let states = [
+        State::Fetch,
+        State::Exec,
+        State::Binop,
+        State::LdFin,
+        State::StFin,
+        State::Halt,
+        State::Swap1,
+        State::Swap2,
+    ];
+    let mut words = Vec::with_capacity(128);
+    for state in states {
+        for op in Op::ALL {
+            words.push(control(state, op).encode());
+        }
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rom_is_128_words_within_31_bits() {
+        let rom = rom();
+        assert_eq!(rom.len(), 128);
+        for (i, w) in rom.iter().enumerate() {
+            assert!((0..=rtl_core::WORD_MASK).contains(w), "entry {i} = {w}");
+        }
+    }
+
+    #[test]
+    fn fetch_row_is_uniform() {
+        let rom = rom();
+        for op in 1..16 {
+            assert_eq!(rom[0], rom[op], "fetch ignores the stale opcode");
+        }
+    }
+
+    #[test]
+    fn exec_encodes_per_opcode() {
+        let ldc = control(State::Exec, Op::Ldc);
+        assert!(ldc.ram_wr);
+        assert_eq!(ldc.sp, sp_ctl::INC);
+        assert_eq!(ldc.data, data_sel::OPERAND);
+        assert!(ldc.ir_wr);
+
+        let halt = control(State::Exec, Op::Halt);
+        assert_eq!(halt.next, State::Halt);
+        assert_eq!(halt.pc, pc_ctl::HOLD);
+
+        let bz = control(State::Exec, Op::Bz);
+        assert_eq!(bz.pc, pc_ctl::BZ);
+        assert_eq!(bz.sp, sp_ctl::DEC);
+    }
+
+    #[test]
+    fn binop_row_carries_the_alu_function() {
+        assert_eq!(control(State::Binop, Op::Add).alu_fn, 4);
+        assert_eq!(control(State::Binop, Op::Sub).alu_fn, 5);
+        assert_eq!(control(State::Binop, Op::Mul).alu_fn, 7);
+        assert_eq!(control(State::Binop, Op::And).alu_fn, 8);
+        assert_eq!(control(State::Binop, Op::Eq).alu_fn, 12);
+        assert_eq!(control(State::Binop, Op::Lt).alu_fn, 13);
+    }
+
+    #[test]
+    fn encode_packs_fields_disjointly() {
+        let c = Ctrl {
+            next: State::Swap2,
+            pc: pc_ctl::BZ,
+            sp: sp_ctl::DEC2,
+            a_wr: true,
+            addr: addr_sel::A,
+            data: data_sel::A,
+            ram_wr: true,
+            alu_fn: 13,
+            alu_left_zero: true,
+            alu_right_ram: true,
+            ir_wr: true,
+        };
+        let w = c.encode();
+        assert_eq!(w & 0b111, 7);
+        assert_eq!((w >> 3) & 0b11, 3);
+        assert_eq!((w >> 5) & 0b11, 3);
+        assert_eq!((w >> 7) & 1, 1);
+        assert_eq!((w >> 8) & 0b111, 4);
+        assert_eq!((w >> 11) & 0b11, 3);
+        assert_eq!((w >> 13) & 1, 1);
+        assert_eq!((w >> 14) & 0b1111, 13);
+        assert_eq!((w >> 18) & 1, 1);
+        assert_eq!((w >> 19) & 1, 1);
+        assert_eq!((w >> 20) & 1, 1);
+    }
+
+    #[test]
+    fn halt_state_loops() {
+        assert_eq!(control(State::Halt, Op::Nop).next, State::Halt);
+        assert!(!control(State::Halt, Op::Nop).ram_wr);
+    }
+}

@@ -1,0 +1,159 @@
+//! Synthetic specifications: sized chains for the scaling benchmarks and
+//! seeded random designs for differential property tests.
+
+use crate::builder::SpecBuilder;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtl_lang::Spec;
+
+/// A dependency chain of `n` ALUs hanging off one counter register —
+/// every component must be evaluated every cycle, so simulation time
+/// scales linearly with `n`. Used by the A3 scaling benchmark (the §5.2
+/// claim that interpretation is "too slow for large projects").
+pub fn chain(n: usize) -> Spec {
+    assert!(n >= 1);
+    let mut b = SpecBuilder::new(format!("synthetic chain of {n} alus"));
+    b.trace("c");
+    b.memory("c", "0", "next", "1", 1);
+    b.alu("next", "4", "c.0.7", "1");
+    b.alu("a0", "4", "c.0.7", "1");
+    for i in 1..n {
+        // Alternate add and xor to defeat trivial folding.
+        let f = if i % 2 == 0 { "4" } else { "10" };
+        b.alu(&format!("a{i}"), f, &format!("a{}.0.15", i - 1), "3");
+    }
+    b.build()
+}
+
+/// A seeded random-but-valid design: one counter driver, a few memories
+/// with masked addresses, and layers of ALUs/selectors with in-range
+/// constant functions and masked selector indices. Such designs cannot
+/// fail at runtime, so the engines must agree on every cycle — the
+/// property-test oracle.
+pub fn random_spec(seed: u64, size: usize) -> Spec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let size = size.clamp(1, 200);
+    let mut b = SpecBuilder::new(format!("random design seed {seed} size {size}"));
+
+    // Driver.
+    b.trace("c");
+    b.memory("c", "0", "next", "1", 1);
+    b.alu("next", "4", "c.0.11", "1");
+    let mut sources: Vec<String> = vec!["c".into()];
+
+    // A few memories (ROM-like and register-like).
+    let mem_count = rng.random_range(1..=3usize);
+    for m in 0..mem_count {
+        let name = format!("m{m}");
+        let bits = rng.random_range(1..=4u8);
+        let cells = 1u32 << bits;
+        let addr = format!("c.0.{}", bits - 1);
+        let (data, opn) = match rng.random_range(0..3) {
+            0 => ("0".to_string(), "0".to_string()), // ROM of zeros? give init
+            1 => (pick_expr(&mut rng, &sources), "1".to_string()), // register file write
+            _ => (pick_expr(&mut rng, &sources), "c.0".to_string()), // dynamic rd/wr
+        };
+        if opn == "0" {
+            let init: Vec<i64> = (0..cells).map(|_| rng.random_range(0..1000)).collect();
+            b.memory_init(&name, &addr, &data, &opn, init);
+        } else {
+            b.memory(&name, &addr, &data, &opn, cells);
+        }
+        b.trace(&name);
+        sources.push(name);
+    }
+
+    // Combinational layers.
+    for i in 0..size {
+        let name = format!("x{i}");
+        if rng.random_range(0..4) == 0 {
+            // Selector with a masked index.
+            let bits = rng.random_range(1..=3u32);
+            let cases: Vec<String> = (0..(1 << bits))
+                .map(|_| pick_expr(&mut rng, &sources))
+                .collect();
+            let sel = format!("{}.0.{}", pick_source(&mut rng, &sources), bits - 1);
+            b.selector(&name, &sel, cases);
+        } else {
+            // ALU with a constant, in-range function.
+            let f = rng.random_range(0..=13i64).to_string();
+            let left = pick_expr(&mut rng, &sources);
+            let right = pick_expr(&mut rng, &sources);
+            b.alu(&name, &f, &left, &right);
+        }
+        if rng.random_range(0..3) == 0 {
+            b.trace(&name);
+        }
+        sources.push(name);
+    }
+    b.build()
+}
+
+fn pick_source(rng: &mut StdRng, sources: &[String]) -> String {
+    sources[rng.random_range(0..sources.len())].clone()
+}
+
+fn pick_expr(rng: &mut StdRng, sources: &[String]) -> String {
+    let parts = rng.random_range(1..=3usize);
+    let mut out = Vec::with_capacity(parts);
+    for i in 0..parts {
+        // Only the leftmost part may be full width; everything to its
+        // right must be sized or the concatenation overflows 31 bits.
+        let sized = i > 0 || rng.random_range(0..2) == 0;
+        if rng.random_range(0..3) == 0 {
+            // Constant part.
+            let v = rng.random_range(0..16i64);
+            if sized {
+                out.push(format!("{v}.4"));
+            } else {
+                out.push(v.to_string());
+            }
+        } else {
+            let s = pick_source(rng, sources);
+            if sized {
+                let from = rng.random_range(0..4u8);
+                let to = from + rng.random_range(0..4u8);
+                out.push(format!("{s}.{from}.{to}"));
+            } else {
+                out.push(s);
+            }
+        }
+    }
+    out.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl_core::Design;
+
+    #[test]
+    fn chains_elaborate_at_every_size() {
+        for n in [1, 2, 16, 128] {
+            let d = Design::elaborate(&chain(n)).unwrap_or_else(|e| panic!("n={n}: {e}"));
+            assert_eq!(d.comb_order().len(), n + 1);
+        }
+    }
+
+    #[test]
+    fn random_specs_elaborate_for_many_seeds() {
+        for seed in 0..50 {
+            let spec = random_spec(seed, 20);
+            Design::elaborate(&spec).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn random_specs_are_deterministic() {
+        let a = rtl_lang::pretty(&random_spec(7, 30));
+        let b = rtl_lang::pretty(&random_spec(7, 30));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_specs_differ_across_seeds() {
+        let a = rtl_lang::pretty(&random_spec(1, 30));
+        let b = rtl_lang::pretty(&random_spec(2, 30));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,115 @@
+//! Instruction-set simulator for the tiny computer.
+
+use super::{TinyOp, AC_MASK, MEM_WORDS};
+use rtl_core::{land, Word};
+
+/// Architectural state of the tiny computer at instruction granularity.
+#[derive(Debug, Clone)]
+pub struct TinyIss {
+    /// The 128-word program/data memory.
+    pub mem: Vec<Word>,
+    /// Accumulator (11 bits).
+    pub ac: Word,
+    /// Borrow flag from the last `SU`.
+    pub borrow: Word,
+    /// Program counter.
+    pub pc: Word,
+    /// Instructions executed.
+    pub instructions: u64,
+}
+
+impl TinyIss {
+    /// Loads a 128-word memory image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is not exactly [`MEM_WORDS`] long.
+    pub fn new(mem: Vec<Word>) -> Self {
+        assert_eq!(mem.len(), MEM_WORDS, "image must be {MEM_WORDS} words");
+        TinyIss { mem, ac: 0, borrow: 0, pc: 0, instructions: 0 }
+    }
+
+    /// Executes one instruction.
+    pub fn step(&mut self) {
+        let word = self.mem[(self.pc & 0x7F) as usize];
+        let addr = land(word, 0x7F);
+        self.pc = land(self.pc + 1, 0x7F);
+        self.instructions += 1;
+        match TinyOp::decode(word) {
+            Some(TinyOp::Ld) => self.ac = self.mem[addr as usize],
+            Some(TinyOp::St) => self.mem[addr as usize] = self.ac,
+            Some(TinyOp::Bb) => {
+                if self.borrow != 0 {
+                    self.pc = addr;
+                }
+            }
+            Some(TinyOp::Br) => self.pc = addr,
+            Some(TinyOp::Su) => {
+                let m = self.mem[addr as usize];
+                self.borrow = Word::from(self.ac < m);
+                self.ac = land(self.ac - m, AC_MASK);
+            }
+            None => {}
+        }
+    }
+
+    /// Runs until the machine reaches a self-branch (`BR` to itself — the
+    /// demo programs' spin loop) or the step limit.
+    pub fn run_until_spin(&mut self, max_steps: u64) -> bool {
+        for _ in 0..max_steps {
+            let word = self.mem[(self.pc & 0x7F) as usize];
+            if TinyOp::decode(word) == Some(TinyOp::Br) && land(word, 0x7F) == self.pc {
+                return true;
+            }
+            self.step();
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{divider_image, layout};
+    use super::*;
+
+    #[test]
+    fn division_by_repeated_subtraction() {
+        for (a, b) in [(17, 5), (20, 4), (3, 7), (0, 3), (100, 1)] {
+            let mut iss = TinyIss::new(divider_image(a, b));
+            assert!(iss.run_until_spin(100_000), "must reach the spin loop");
+            assert_eq!(iss.mem[layout::Q as usize], a / b, "quotient of {a}/{b}");
+            assert_eq!(iss.mem[layout::A as usize], a % b, "remainder of {a}/{b}");
+        }
+    }
+
+    #[test]
+    fn borrow_sets_only_on_underflow() {
+        let mut iss = TinyIss::new(divider_image(5, 3));
+        // After the first SU (5 - 3) no borrow.
+        iss.step(); // LD
+        iss.step(); // SU
+        assert_eq!(iss.borrow, 0);
+        assert_eq!(iss.ac, 2);
+    }
+
+    #[test]
+    fn subtraction_wraps_to_11_bits() {
+        let mut iss = TinyIss::new(divider_image(0, 3));
+        iss.step(); // LD a (0)
+        iss.step(); // SU b (3)
+        assert_eq!(iss.borrow, 1);
+        assert_eq!(iss.ac, land(-3, AC_MASK));
+        assert_eq!(iss.ac, 2045);
+    }
+
+    #[test]
+    fn undefined_opcodes_are_noops() {
+        let mut mem = vec![0i64; MEM_WORDS];
+        mem[0] = 0; // opcode 0: nop
+        mem[1] = TinyOp::Br.word(1);
+        let mut iss = TinyIss::new(mem);
+        iss.step();
+        assert_eq!(iss.pc, 1);
+        assert_eq!(iss.ac, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Hardware construction (§5.3): extract the tiny computer's netlist,
+//! pick catalog parts the way Appendix F's hand-made list does, and print
+//! the wiring list and bill of materials.
+//!
+//! Run with: `cargo run --example hardware_netlist`
+
+use asim2::hw::{self, Netlist};
+use asim2::machines::tiny;
+use asim2::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image = tiny::divider_image(17, 5);
+    let spec = tiny::rtl::spec(&image, Some(200));
+    let design = Design::elaborate(&spec)?;
+
+    let netlist = Netlist::extract(&design);
+    println!(
+        "tiny computer: {} components, {} nets",
+        design.len(),
+        netlist.nets.len()
+    );
+
+    let parts = hw::select(&design, &netlist);
+    println!("\nbill of materials (Appendix F style):");
+    for (name, chips) in hw::bill_of_materials(&parts) {
+        println!("{chips:>4}  {name}");
+    }
+
+    println!("\nwiring list (first 15 nets):");
+    for line in hw::report::wiring_list(&design, &netlist).lines().take(15) {
+        println!("{line}");
+    }
+
+    let dot = hw::dot::to_dot(&design, &netlist);
+    println!(
+        "\nDOT block diagram: {} lines (pipe `asim netlist --format dot` into graphviz)",
+        dot.lines().count()
+    );
+    Ok(())
+}

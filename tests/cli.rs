@@ -1,0 +1,66 @@
+//! End-to-end CLI checks through the library entry point (the binary is a
+//! one-line wrapper over `asim_cli::run`).
+
+fn run_cli(args: &[&str]) -> (i32, String, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    let code = asim_cli::run(&args, &mut out, &mut err);
+    (
+        code,
+        String::from_utf8(out).unwrap(),
+        String::from_utf8(err).unwrap(),
+    )
+}
+
+fn write_spec(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("asim2-it-{}-{name}.asim", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+#[test]
+fn full_workflow_check_run_compile_netlist() {
+    let (code, counter, _) = run_cli(&["spec", "counter"]);
+    assert_eq!(code, 0);
+    let path = write_spec("workflow", &counter);
+    let path = path.to_str().unwrap();
+
+    let (code, out, _) = run_cli(&["check", path, "-v"]);
+    assert_eq!(code, 0);
+    assert!(out.contains("components read."), "{out}");
+
+    let (code, run_out, _) = run_cli(&["run", path]);
+    assert_eq!(code, 0);
+    assert!(run_out.contains("Cycle  16 count= 0"), "counter wraps: {run_out}");
+
+    let (code, rust, _) = run_cli(&["compile", path]);
+    assert_eq!(code, 0);
+    assert!(rust.contains("fn main()"), "{rust}");
+
+    let (code, report, _) = run_cli(&["netlist", path]);
+    assert_eq!(code, 0);
+    assert!(report.contains("bill of materials"), "{report}");
+}
+
+#[test]
+fn generated_sieve_spec_runs_through_the_cli() {
+    let (code, sieve, _) = run_cli(&["spec", "sieve"]);
+    assert_eq!(code, 0);
+    let path = write_spec("sieve", &sieve);
+
+    let (code, out, err) = run_cli(&["run", path.to_str().unwrap(), "--no-trace"]);
+    assert_eq!(code, 0, "{err}");
+    let primes: Vec<&str> = out.lines().collect();
+    assert_eq!(primes.first(), Some(&"3"), "{out}");
+    assert_eq!(primes.last(), Some(&"41"), "{out}");
+}
+
+#[test]
+fn figure_commands_work_from_the_top() {
+    for fig in ["3.1", "4.1", "4.2", "4.3"] {
+        let (code, out, err) = run_cli(&["fig", fig]);
+        assert_eq!(code, 0, "fig {fig}: {err}");
+        assert!(!out.is_empty(), "fig {fig} produced nothing");
+    }
+}

@@ -1,0 +1,109 @@
+//! Cross-engine differential testing (S2 in `DESIGN.md`): the interpreter
+//! and the VM must produce byte-identical output on every bundled spec and
+//! on seeded random designs; the generated Rust binary joins in for a
+//! sample of them.
+
+use asim2::machines::synth;
+use asim2::prelude::*;
+
+fn run_engine<E: Engine>(engine: &mut E, cycles: u64) -> String {
+    match run_captured(engine, cycles) {
+        Ok(text) => text,
+        Err((text, e)) => panic!("engine failed: {e}\n{text}"),
+    }
+}
+
+fn assert_engines_agree(design: &Design, cycles: u64) -> String {
+    let mut interp = Interpreter::new(design);
+    let expected = run_engine(&mut interp, cycles);
+    for opts in [OptOptions::full(), OptOptions::none()] {
+        let mut vm = Vm::with_options(design, opts, true);
+        let got = run_engine(&mut vm, cycles);
+        assert_eq!(got, expected, "VM with {opts:?} diverged");
+    }
+    expected
+}
+
+#[test]
+fn bundled_specs_agree() {
+    for (name, src) in asim2::machines::classic::ALL {
+        let design = Design::from_source(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let cycles = design.cycles().unwrap_or(10) as u64 + 1;
+        let text = assert_engines_agree(&design, cycles);
+        assert!(!text.is_empty(), "{name} produced no output");
+    }
+}
+
+#[test]
+fn random_designs_agree_across_100_seeds() {
+    for seed in 0..100 {
+        let spec = synth::random_spec(seed, 25);
+        let design = Design::elaborate(&spec).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_engines_agree(&design, 30);
+    }
+}
+
+#[test]
+fn random_designs_agree_with_generated_rust() {
+    if !asim2::compile::rustc_available() {
+        eprintln!("skipping: rustc not on PATH");
+        return;
+    }
+    // The rustc pipeline is expensive; sample a few seeds.
+    for seed in [3, 17, 42] {
+        let spec = synth::random_spec(seed, 15);
+        let design = Design::elaborate(&spec).unwrap();
+
+        let mut interp = Interpreter::new(&design);
+        let mut out = Vec::new();
+        interp
+            .run_to_cycle(25, &mut out, &mut NoInput)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let expected = String::from_utf8(out).unwrap();
+
+        let options = EmitOptions { cycles: Some(25), ..EmitOptions::default() };
+        let compiled =
+            asim2::compile::build(&design, &options).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let (got, _) = compiled.run(b"").unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(got, expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn scripted_input_agrees_across_engines() {
+    let src = "# io\ni* o acc n .\nM i 1 0 2 1\nM acc 0 n 1 1\nA n 4 acc i\nM o 1 acc 3 1 .";
+    let design = Design::from_source(src).unwrap();
+    let inputs: Vec<i64> = (1..=6).collect();
+
+    let mut texts = Vec::new();
+    {
+        let mut sim = Interpreter::new(&design);
+        let mut out = Vec::new();
+        let mut input = ScriptedInput::new(inputs.clone());
+        sim.run(6, &mut out, &mut input).unwrap();
+        texts.push(String::from_utf8(out).unwrap());
+    }
+    {
+        let mut sim = Vm::new(&design);
+        let mut out = Vec::new();
+        let mut input = ScriptedInput::new(inputs);
+        sim.run(6, &mut out, &mut input).unwrap();
+        texts.push(String::from_utf8(out).unwrap());
+    }
+    assert_eq!(texts[0], texts[1]);
+    // The accumulator output stream shows the running sum of the inputs,
+    // delayed by the input latch.
+    assert!(texts[0].contains("i= 1"), "{}", texts[0]);
+}
+
+#[test]
+fn tiny_computer_engines_agree() {
+    let image = asim2::machines::tiny::divider_image(23, 4);
+    let spec = asim2::machines::tiny::rtl::spec_with_trace(
+        &image,
+        Some(400),
+        &["state", "pc", "ac"],
+    );
+    let design = Design::elaborate(&spec).unwrap();
+    assert_engines_agree(&design, 401);
+}

@@ -1,0 +1,209 @@
+//! Integration tests for the §1.4 statistics and §5.4 modularity features.
+
+use asim2::prelude::*;
+use rtl_lang::modules::{instantiate, splice, Instance};
+
+#[test]
+fn statistics_agree_across_engines_on_the_sieve() {
+    let w = asim2::machines::stack::sieve_workload(10);
+    let spec = asim2::machines::stack::rtl::spec(&w.program, Some(w.cycles));
+    let design = Design::elaborate(&spec).unwrap();
+
+    let mut interp = Interpreter::new(&design);
+    run_captured(&mut interp, w.cycles as u64 + 1).unwrap();
+    let mut vm = Vm::new(&design);
+    run_captured(&mut vm, w.cycles as u64 + 1).unwrap();
+
+    assert_eq!(interp.stats(), vm.stats(), "engines count identically");
+    assert_eq!(interp.stats().cycles, w.cycles as u64 + 1);
+
+    // Sanity against the machine's structure: the program ROM reads every
+    // cycle; every memory operation happens once per memory per cycle.
+    let prog = design.find("prog").unwrap();
+    assert_eq!(interp.stats().reads[prog.index()], w.cycles as u64 + 1);
+    let ram = design.find("ram").unwrap();
+    let ram_ops = interp.stats().reads[ram.index()]
+        + interp.stats().writes[ram.index()]
+        + interp.stats().outputs[ram.index()];
+    assert_eq!(ram_ops, w.cycles as u64 + 1, "one RAM port, one op per cycle");
+    // The primes went out through the RAM's output operation.
+    assert_eq!(interp.stats().outputs[ram.index()], w.primes.len() as u64);
+
+    // The report names every memory.
+    let report = interp.stats().report(&design);
+    for &m in design.memories() {
+        assert!(report.contains(design.name(m)), "{report}");
+    }
+}
+
+#[test]
+fn module_instantiation_builds_working_hardware() {
+    // A reusable 4-bit counter module with an external enable (`step` is
+    // added each cycle, so binding it to 0 freezes the instance).
+    let module = rtl_lang::parse(
+        "# counter module\nvalue next .\nM value 0 next.0.3 1 1\nA next 4 value step .",
+    )
+    .unwrap();
+
+    let mut host = rtl_lang::parse(
+        "# two counters, one enabled\n= 6\ngo* stop* c0value* c1value* .\n\
+         A go 2 1 0\nA stop 2 0 0 .",
+    )
+    .unwrap();
+    splice(
+        &mut host,
+        instantiate(&module, &Instance::new("c0").bind("step", "go")).unwrap(),
+    );
+    splice(
+        &mut host,
+        instantiate(&module, &Instance::new("c1").bind("step", "stop")).unwrap(),
+    );
+
+    let design = Design::elaborate(&host).unwrap();
+    let mut sim = Interpreter::new(&design);
+    let mut out = Vec::new();
+    sim.run_spec(&mut out, &mut NoInput).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    let last = text.lines().last().unwrap();
+    // After 6 cycles the enabled instance counted; the frozen one did not.
+    assert!(last.contains("c0value= 6"), "{text}");
+    assert!(last.contains("c1value= 0"), "{text}");
+
+    // The flattened design still works on the VM and the codegen path.
+    let mut vm = Vm::new(&design);
+    let mut out2 = Vec::new();
+    vm.run_spec(&mut out2, &mut NoInput).unwrap();
+    assert_eq!(String::from_utf8(out2).unwrap(), text);
+    let rust = emit_rust(&design, &EmitOptions::default());
+    assert!(rust.contains("t_c0value"), "{rust}");
+}
+
+#[test]
+fn nested_module_composition() {
+    // A half-adder module, instantiated twice plus glue to form a full
+    // adder — the classic modularity demo.
+    let half = rtl_lang::parse(
+        "# half adder\nsum carry .\nA sum 10 ha1 ha2\nA carry 8 ha1 ha2 .",
+    )
+    .unwrap();
+
+    let mut host = rtl_lang::parse(
+        "# full adder from two half adders\n= 7\na b cin s* cout* cnt nxt orc .\n\
+         M cnt 0 nxt.0.2 1 1\nA nxt 4 cnt 1\n\
+         A a 2 cnt.0 0\nA b 2 cnt.1 0\nA cin 2 cnt.2 0\n\
+         A s 2 h2sum 0\nA orc 9 h1carry h2carry\nA cout 2 orc 0 .",
+    )
+    .unwrap();
+    splice(
+        &mut host,
+        instantiate(&half, &Instance::new("h1").bind("ha1", "a").bind("ha2", "b")).unwrap(),
+    );
+    splice(
+        &mut host,
+        instantiate(
+            &half,
+            &Instance::new("h2").bind("ha1", "h1sum").bind("ha2", "cin"),
+        )
+        .unwrap(),
+    );
+
+    let design = Design::elaborate(&host).unwrap();
+    let mut sim = Interpreter::new(&design);
+    let mut out = Vec::new();
+    sim.run_spec(&mut out, &mut NoInput).unwrap();
+    let text = String::from_utf8(out).unwrap();
+
+    // Exhaustive truth table: the counter sweeps all (a, b, cin).
+    for (cycle, line) in text.lines().enumerate() {
+        let a = (cycle >> 0) & 1;
+        let b = (cycle >> 1) & 1;
+        let cin = (cycle >> 2) & 1;
+        let total = a + b + cin;
+        assert!(
+            line.contains(&format!("s= {}", total & 1)),
+            "cycle {cycle}: {line}"
+        );
+        assert!(
+            line.contains(&format!("cout= {}", total >> 1)),
+            "cycle {cycle}: {line}"
+        );
+    }
+}
+
+#[test]
+fn vcd_dump_records_value_changes() {
+    let design = Design::from_source(
+        "# vcd\ncount next .\nM count 0 next.0.3 1 1\nA next 4 count 1 .",
+    )
+    .unwrap();
+
+    let dump_with = |use_vm: bool| -> String {
+        let mut doc = Vec::new();
+        let mut sink = std::io::sink();
+        if use_vm {
+            let mut e = Vm::with_options(&design, OptOptions::full(), false);
+            rtl_core::vcd::dump(
+                &mut e,
+                6,
+                &rtl_core::vcd::VcdOptions::default(),
+                &mut doc,
+                &mut sink,
+                &mut NoInput,
+            )
+            .unwrap();
+        } else {
+            let mut e = Interpreter::with_options(&design, asim2::interp::InterpOptions::quiet());
+            rtl_core::vcd::dump(
+                &mut e,
+                6,
+                &rtl_core::vcd::VcdOptions::default(),
+                &mut doc,
+                &mut sink,
+                &mut NoInput,
+            )
+            .unwrap();
+        }
+        String::from_utf8(doc).unwrap()
+    };
+
+    let a = dump_with(false);
+    let b = dump_with(true);
+    assert_eq!(a, b, "engines produce identical waveforms");
+
+    // Header declares both signals with inferred widths.
+    assert!(a.contains("$var wire 4 ! count $end"), "{a}");
+    assert!(a.contains("$var wire 5 \" next $end"), "{a}");
+    // The counter changes every cycle; `next` leads it by one.
+    assert!(a.contains("#0\n"), "{a}");
+    assert!(a.contains("b00001 \""), "next = 1 during cycle 0: {a}");
+    assert!(a.contains("b0001 !"), "count = 1 at the edge: {a}");
+    // Timestamps are monotone.
+    let stamps: Vec<u64> = a
+        .lines()
+        .filter_map(|l| l.strip_prefix('#'))
+        .map(|n| n.parse().unwrap())
+        .collect();
+    assert!(stamps.windows(2).all(|w| w[0] < w[1]), "{stamps:?}");
+}
+
+#[test]
+fn vcd_signal_filter() {
+    let design = Design::from_source(
+        "# vcd\ncount next .\nM count 0 next 1 1\nA next 4 count 1 .",
+    )
+    .unwrap();
+    let mut e = Vm::with_options(&design, OptOptions::full(), false);
+    let mut doc = Vec::new();
+    rtl_core::vcd::dump(
+        &mut e,
+        3,
+        &rtl_core::vcd::VcdOptions { signals: vec!["count".into()] },
+        &mut doc,
+        &mut std::io::sink(),
+        &mut NoInput,
+    )
+    .unwrap();
+    let text = String::from_utf8(doc).unwrap();
+    assert!(text.contains(" count $end"), "{text}");
+    assert!(!text.contains(" next $end"), "{text}");
+}

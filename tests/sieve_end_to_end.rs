@@ -1,0 +1,108 @@
+//! The Figure 5.1 workload, end to end, across every execution level:
+//! ISS oracle → RTL interpreter → compiled VM → generated Rust binary.
+//! All four must print exactly the same primes.
+
+use asim2::machines::stack;
+use asim2::prelude::*;
+
+fn rtl_output<E: Engine>(engine: &mut E) -> String {
+    let mut out = Vec::new();
+    engine
+        .run_spec(&mut out, &mut NoInput)
+        .unwrap_or_else(|e| panic!("simulation failed: {e}"));
+    String::from_utf8(out).expect("trace is utf-8")
+}
+
+#[test]
+fn all_levels_agree_on_the_primes() {
+    let w = stack::sieve_workload(20);
+    assert_eq!(
+        w.primes,
+        vec![3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41],
+        "ISS primes"
+    );
+
+    let spec = stack::rtl::spec(&w.program, Some(w.cycles));
+    let design = Design::elaborate(&spec).unwrap();
+
+    // Trace off: only the memory-mapped output device prints.
+    let mut interp = asim2::interp::Interpreter::with_options(
+        &design,
+        asim2::interp::InterpOptions::quiet(),
+    );
+    let interp_out = rtl_output(&mut interp);
+    assert_eq!(interp_out, w.expected_output, "interpreter output");
+
+    let mut vm = Vm::with_options(&design, OptOptions::full(), false);
+    assert_eq!(rtl_output(&mut vm), w.expected_output, "VM output");
+
+    let mut vm_naive = Vm::with_options(&design, OptOptions::none(), false);
+    assert_eq!(rtl_output(&mut vm_naive), w.expected_output, "unoptimized VM output");
+}
+
+#[test]
+fn interp_and_vm_traces_are_identical_with_trace_on() {
+    let w = stack::sieve_workload(5);
+    let spec = stack::rtl::spec(&w.program, Some(w.cycles));
+    let design = Design::elaborate(&spec).unwrap();
+    let mut interp = Interpreter::new(&design);
+    let mut vm = Vm::new(&design);
+    let a = rtl_output(&mut interp);
+    let b = rtl_output(&mut vm);
+    assert_eq!(a, b);
+    // The trace interleaves cycle lines and the primes.
+    assert!(a.contains("Cycle   0\n"), "{a}");
+    assert!(a.contains("\n3\n"), "{a}");
+}
+
+#[test]
+fn generated_rust_binary_prints_the_same_primes() {
+    if !asim2::compile::rustc_available() {
+        eprintln!("skipping: rustc not on PATH");
+        return;
+    }
+    let w = stack::sieve_workload(10);
+    let spec = stack::rtl::spec(&w.program, Some(w.cycles));
+    let design = Design::elaborate(&spec).unwrap();
+
+    let options = EmitOptions { trace: false, ..EmitOptions::default() };
+    let compiled = asim2::compile::build(&design, &options).unwrap_or_else(|e| panic!("{e}"));
+    let (stdout, _) = compiled.run(b"").unwrap_or_else(|e| panic!("{e}"));
+    assert_eq!(stdout, w.expected_output, "binary output");
+}
+
+#[test]
+fn other_workloads_cross_check() {
+    use asim2::machines::stack::programs;
+    let unsorted = vec![9, 2, 7, 2, 5, 0, 8];
+    for (asm, expected) in [
+        (programs::fibonacci(8), programs::fibonacci_expected(8)),
+        (programs::gcd(36, 24), vec![programs::gcd_expected(36, 24)]),
+        (programs::gcd(13, 7), vec![1]),
+        (
+            programs::bubble_sort(&unsorted),
+            programs::bubble_sort_expected(&unsorted),
+        ),
+    ] {
+        let program = stack::assemble(&asm).unwrap_or_else(|e| panic!("{e}"));
+        let mut iss = stack::Iss::new(program.clone());
+        assert_eq!(iss.run(5_000_000), stack::Stop::Halted);
+        assert_eq!(iss.output_values(), expected);
+
+        let spec = stack::rtl::spec(&program, Some(iss.predicted_cycles as i64));
+        let design = Design::elaborate(&spec).unwrap();
+        let mut vm = Vm::with_options(&design, OptOptions::full(), false);
+        assert_eq!(rtl_output(&mut vm), iss.rendered_output());
+    }
+}
+
+#[test]
+fn sieve_scales_with_size() {
+    for size in [1, 3, 40] {
+        let w = stack::sieve_workload(size);
+        let spec = stack::rtl::spec(&w.program, Some(w.cycles));
+        let design = Design::elaborate(&spec).unwrap();
+        let mut vm = Vm::with_options(&design, OptOptions::full(), false);
+        assert_eq!(rtl_output(&mut vm), w.expected_output, "size {size}");
+    }
+}
