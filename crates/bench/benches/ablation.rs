@@ -15,10 +15,34 @@ fn ablation(c: &mut Criterion) {
     let full = OptOptions::full();
     let variants: [(&str, OptOptions); 6] = [
         ("full", full),
-        ("no_inline_alu", OptOptions { inline_const_alu: false, ..full }),
-        ("no_inline_memop", OptOptions { inline_const_memop: false, ..full }),
-        ("no_fold", OptOptions { fold_constants: false, ..full }),
-        ("no_latch_elision", OptOptions { elide_dead_latches: false, ..full }),
+        (
+            "no_inline_alu",
+            OptOptions {
+                inline_const_alu: false,
+                ..full
+            },
+        ),
+        (
+            "no_inline_memop",
+            OptOptions {
+                inline_const_memop: false,
+                ..full
+            },
+        ),
+        (
+            "no_fold",
+            OptOptions {
+                fold_constants: false,
+                ..full
+            },
+        ),
+        (
+            "no_latch_elision",
+            OptOptions {
+                elide_dead_latches: false,
+                ..full
+            },
+        ),
         ("none", OptOptions::none()),
     ];
 

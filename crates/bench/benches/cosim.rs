@@ -1,0 +1,76 @@
+//! **Cosim throughput** — the overhead of trust.
+//!
+//! Lockstep verification costs extra engine work plus per-interval
+//! comparison. This bench tracks (a) the cosim harness against a single
+//! engine running the same workload, and (b) how the `compare_every`
+//! stride amortizes comparison cost — the knob that makes checkpointed
+//! long runs affordable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtl_bench::run_cycles_to_sink;
+use rtl_compile::{OptOptions, Vm};
+use rtl_core::Design;
+use rtl_cosim::{CosimOptions, EngineKind, Lockstep};
+use rtl_machines::synth::chain;
+use std::time::Duration;
+
+const CYCLES: u64 = 500;
+
+fn cosim(c: &mut Criterion) {
+    let design = Design::elaborate(&chain(64)).expect("chain elaborates");
+    let mut g = c.benchmark_group("cosim_chain64");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(2));
+    g.throughput(criterion::Throughput::Elements(CYCLES * 64));
+
+    // Baseline: one engine, no verification.
+    g.bench_function("vm_alone", |b| {
+        b.iter(|| {
+            let mut sim = Vm::with_options(&design, OptOptions::full(), false);
+            run_cycles_to_sink(&mut sim, CYCLES).expect("chain runs");
+        })
+    });
+
+    // Lockstep interp+vm at several comparison strides.
+    for stride in [1u64, 16, 128] {
+        g.bench_with_input(
+            BenchmarkId::new("lockstep_interp_vm", stride),
+            &stride,
+            |b, &stride| {
+                b.iter(|| {
+                    let options = CosimOptions {
+                        compare_every: stride,
+                        trace: false,
+                        ..CosimOptions::default()
+                    };
+                    let mut lockstep = Lockstep::new(&design, options);
+                    lockstep
+                        .add_engine(EngineKind::Interp)
+                        .add_engine(EngineKind::Vm);
+                    assert!(lockstep.run(CYCLES).agreed());
+                })
+            },
+        );
+    }
+
+    // Four-tier pile-up: the full registry in one harness.
+    g.bench_function("lockstep_all_tiers", |b| {
+        b.iter(|| {
+            let options = CosimOptions {
+                compare_every: 16,
+                trace: false,
+                ..CosimOptions::default()
+            };
+            let mut lockstep = Lockstep::new(&design, options);
+            for kind in EngineKind::ALL {
+                lockstep.add_engine(kind);
+            }
+            assert!(lockstep.run(CYCLES).agreed());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, cosim);
+criterion_main!(benches);

@@ -25,15 +25,45 @@ fn best_of_3(mut f: impl FnMut()) -> Duration {
 
 fn main() {
     let (w, design) = sieve();
-    println!("A1/A2 — optimization ablation (sieve, {} cycles, compiled VM)", w.cycles + 1);
-    println!("{:<20} {:>12} {:>8} {:>9} {:>8}", "variant", "time (s)", "nodes", "dologics", "elided");
+    println!(
+        "A1/A2 — optimization ablation (sieve, {} cycles, compiled VM)",
+        w.cycles + 1
+    );
+    println!(
+        "{:<20} {:>12} {:>8} {:>9} {:>8}",
+        "variant", "time (s)", "nodes", "dologics", "elided"
+    );
     let full = OptOptions::full();
     let variants: [(&str, OptOptions); 6] = [
         ("full", full),
-        ("no-inline-alu", OptOptions { inline_const_alu: false, ..full }),
-        ("no-inline-memop", OptOptions { inline_const_memop: false, ..full }),
-        ("no-fold", OptOptions { fold_constants: false, ..full }),
-        ("no-latch-elision", OptOptions { elide_dead_latches: false, ..full }),
+        (
+            "no-inline-alu",
+            OptOptions {
+                inline_const_alu: false,
+                ..full
+            },
+        ),
+        (
+            "no-inline-memop",
+            OptOptions {
+                inline_const_memop: false,
+                ..full
+            },
+        ),
+        (
+            "no-fold",
+            OptOptions {
+                fold_constants: false,
+                ..full
+            },
+        ),
+        (
+            "no-latch-elision",
+            OptOptions {
+                elide_dead_latches: false,
+                ..full
+            },
+        ),
         ("none", OptOptions::none()),
     ];
     for (name, opts) in variants {
@@ -63,7 +93,10 @@ fn main() {
         let ts = best_of_3(|| {
             let mut sim = Interpreter::with_options(
                 &d,
-                InterpOptions { trace: false, lookup: LookupMode::SymbolTable },
+                InterpOptions {
+                    trace: false,
+                    lookup: LookupMode::SymbolTable,
+                },
             );
             run_cycles_to_sink(&mut sim, 500).expect("runs");
         });
@@ -100,8 +133,16 @@ fn main() {
         run_to_sink(&mut sim);
     });
     println!("{:<28} {:>12.6}", "ISP level (ISS)", t_iss.as_secs_f64());
-    println!("{:<28} {:>12.6}", "RTL level (interpreter)", t_interp.as_secs_f64());
-    println!("{:<28} {:>12.6}", "RTL level (compiled VM)", t_vm.as_secs_f64());
+    println!(
+        "{:<28} {:>12.6}",
+        "RTL level (interpreter)",
+        t_interp.as_secs_f64()
+    );
+    println!(
+        "{:<28} {:>12.6}",
+        "RTL level (compiled VM)",
+        t_vm.as_secs_f64()
+    );
     println!(
         "ISS is {:.0}x faster than the RTL interpreter — the thesis's case for\n\
          designing the instruction set at ISP level first (§1.2).",

@@ -68,7 +68,10 @@ fn main() {
     let sim_indexed = best_of_5(|| {
         let mut engine = Interpreter::with_options(
             &design,
-            InterpOptions { trace: true, lookup: LookupMode::Indexed },
+            InterpOptions {
+                trace: true,
+                lookup: LookupMode::Indexed,
+            },
         );
         time(|| run_to_sink(&mut engine)).1
     });

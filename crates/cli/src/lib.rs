@@ -3,14 +3,18 @@
 //! The modern counterpart of the thesis's `sim [file]` (Appendix A):
 //!
 //! ```text
-//! asim check  FILE                      parse + elaborate, report warnings
-//! asim run    FILE [--cycles N] [--engine interp|vm] [--no-trace] [--stats]
-//! asim compile FILE [--backend rust|pascal] [-o OUT] [--cycles N] [--interactive]
-//! asim netlist FILE [--format report|dot|wiring]
-//! asim vcd    FILE [-o OUT.vcd] [--cycles N]
-//! asim spec   NAME                      print a bundled/generated specification
-//! asim fig    3.1|4.1|4.2|4.3|5.1       regenerate a thesis figure
+//! asim2 check  FILE                      parse + elaborate, report warnings
+//! asim2 run    FILE [--cycles N] [--engine interp|vm] [--no-trace] [--stats]
+//! asim2 compile FILE [--backend rust|pascal] [-o OUT] [--cycles N] [--interactive]
+//! asim2 netlist FILE [--format report|dot|wiring]
+//! asim2 vcd    FILE [-o OUT.vcd] [--cycles N]
+//! asim2 spec   NAME                      print a bundled/generated specification
+//! asim2 fig    3.1|4.1|4.2|4.3|5.1       regenerate a thesis figure
+//! asim2 cosim  [FILE] [--engines LIST] [--cycles N] [--scenario NAME] [--compare-every N]
+//! asim2 fuzz   [--seed N] [--cases N] [--cycles N] [--size N] [--engines LIST]
 //! ```
+//!
+//! `cosim` with no FILE sweeps the whole built-in scenario corpus.
 //!
 //! The library entry point [`run`] takes arguments and output sinks so the
 //! whole tool is testable in-process; `main` is a thin wrapper.
@@ -51,25 +55,36 @@ struct CliError {
 }
 
 fn usage_err(message: impl Into<String>) -> CliError {
-    CliError { code: 1, message: format!("{}\n\n{USAGE}", message.into()) }
+    CliError {
+        code: 1,
+        message: format!("{}\n\n{USAGE}", message.into()),
+    }
 }
 
 fn load_err(message: impl std::fmt::Display) -> CliError {
-    CliError { code: 2, message: message.to_string() }
+    CliError {
+        code: 2,
+        message: message.to_string(),
+    }
 }
 
 fn sim_err(e: SimError) -> CliError {
-    CliError { code: 3, message: format!("runtime error: {e}") }
+    CliError {
+        code: 3,
+        message: format!("runtime error: {e}"),
+    }
 }
 
 const USAGE: &str = "usage:
-  asim check   FILE [-v]
-  asim run     FILE [--cycles N] [--engine interp|vm] [--no-trace] [--stats] [--interactive]
-  asim compile FILE [--backend rust|pascal] [-o OUT] [--cycles N] [--interactive] [--no-opt]
-  asim netlist FILE [--format report|dot|wiring]
-  asim vcd     FILE [-o OUT.vcd] [--cycles N]
-  asim spec    NAME            (one of: counter gcd traffic fig3_1 fig4_1 fig4_2 fig4_3 sieve tiny)
-  asim fig     3.1|4.1|4.2|4.3|5.1";
+  asim2 check   FILE [-v]
+  asim2 run     FILE [--cycles N] [--engine interp|vm] [--no-trace] [--stats] [--interactive]
+  asim2 compile FILE [--backend rust|pascal] [-o OUT] [--cycles N] [--interactive] [--no-opt]
+  asim2 netlist FILE [--format report|dot|wiring]
+  asim2 vcd     FILE [-o OUT.vcd] [--cycles N]
+  asim2 spec    NAME            (one of: counter gcd traffic fig3_1 fig4_1 fig4_2 fig4_3 sieve tiny)
+  asim2 fig     3.1|4.1|4.2|4.3|5.1
+  asim2 cosim   [FILE] [--engines interp,vm,...] [--cycles N] [--scenario NAME] [--compare-every N]
+  asim2 fuzz    [--seed N] [--cases N] [--cycles N] [--size N] [--engines interp,vm,...]";
 
 fn dispatch(
     args: &[String],
@@ -87,6 +102,8 @@ fn dispatch(
         "vcd" => vcd_cmd(&rest, out),
         "spec" => spec_cmd(&rest, out),
         "fig" => fig(&rest, out),
+        "cosim" => cosim_cmd(&rest, out),
+        "fuzz" => fuzz_cmd(&rest, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
@@ -96,14 +113,14 @@ fn dispatch(
 }
 
 fn load_design(path: &str) -> Result<Design, CliError> {
-    let source = std::fs::read_to_string(path)
-        .map_err(|e| load_err(format!("cannot read {path}: {e}")))?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| load_err(format!("cannot read {path}: {e}")))?;
     Design::from_source(&source).map_err(load_err)
 }
 
 fn check(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     let (file, flags) = split_file(rest)?;
-    let verbose = flags.iter().any(|f| *f == "-v");
+    let verbose = flags.contains(&"-v");
     let design = load_design(file)?;
     // The original's progress line: "N components read."
     let _ = writeln!(out, "{} components read.", design.len());
@@ -111,7 +128,11 @@ fn check(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         let _ = writeln!(out, "{w}");
     }
     if verbose {
-        let order: Vec<&str> = design.comb_order().iter().map(|&i| design.name(i)).collect();
+        let order: Vec<&str> = design
+            .comb_order()
+            .iter()
+            .map(|&i| design.name(i))
+            .collect();
         let _ = writeln!(out, "evaluation order: {}", order.join(" "));
         let mems: Vec<&str> = design.memories().iter().map(|&i| design.name(i)).collect();
         let _ = writeln!(out, "memories: {}", mems.join(" "));
@@ -129,12 +150,15 @@ fn run_cmd(
 ) -> Result<(), CliError> {
     let (file, flags) = split_file(rest)?;
     let cycles = flag_value(&flags, "--cycles")?
-        .map(|v| v.parse::<i64>().map_err(|_| usage_err("--cycles needs an integer")))
+        .map(|v| {
+            v.parse::<i64>()
+                .map_err(|_| usage_err("--cycles needs an integer"))
+        })
         .transpose()?;
     let engine = flag_value(&flags, "--engine")?.unwrap_or("vm");
-    let trace = !flags.iter().any(|f| *f == "--no-trace");
-    let want_stats = flags.iter().any(|f| *f == "--stats");
-    let interactive = flags.iter().any(|f| *f == "--interactive");
+    let trace = !flags.contains(&"--no-trace");
+    let want_stats = flags.contains(&"--stats");
+    let interactive = flags.contains(&"--interactive");
 
     let design = load_design(file)?;
     for w in design.warnings() {
@@ -175,7 +199,10 @@ fn run_cmd(
         "interp" => {
             let mut sim = Interpreter::with_options(
                 &design,
-                InterpOptions { trace, ..InterpOptions::default() },
+                InterpOptions {
+                    trace,
+                    ..InterpOptions::default()
+                },
             );
             drive(&mut sim)?;
             if want_stats {
@@ -199,13 +226,16 @@ fn compile(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     let backend = flag_value(&flags, "--backend")?.unwrap_or("rust");
     let output = flag_value(&flags, "-o")?;
     let cycles = flag_value(&flags, "--cycles")?
-        .map(|v| v.parse::<i64>().map_err(|_| usage_err("--cycles needs an integer")))
+        .map(|v| {
+            v.parse::<i64>()
+                .map_err(|_| usage_err("--cycles needs an integer"))
+        })
         .transpose()?;
     let options = EmitOptions {
         cycles,
         trace: true,
-        interactive: flags.iter().any(|f| *f == "--interactive"),
-        opt: if flags.iter().any(|f| *f == "--no-opt") {
+        interactive: flags.contains(&"--interactive"),
+        opt: if flags.contains(&"--no-opt") {
             OptOptions::none()
         } else {
             OptOptions::full()
@@ -246,7 +276,10 @@ fn netlist(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
 fn vcd_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     let (file, flags) = split_file(rest)?;
     let cycles = flag_value(&flags, "--cycles")?
-        .map(|v| v.parse::<i64>().map_err(|_| usage_err("--cycles needs an integer")))
+        .map(|v| {
+            v.parse::<i64>()
+                .map_err(|_| usage_err("--cycles needs an integer"))
+        })
         .transpose()?;
     let output = flag_value(&flags, "-o")?;
     let design = load_design(file)?;
@@ -267,8 +300,9 @@ fn vcd_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     )
     .map_err(sim_err)?;
     match output {
-        Some(path) => std::fs::write(path, doc)
-            .map_err(|e| load_err(format!("cannot write {path}: {e}")))?,
+        Some(path) => {
+            std::fs::write(path, doc).map_err(|e| load_err(format!("cannot write {path}: {e}")))?
+        }
         None => {
             let _ = out.write_all(&doc);
         }
@@ -309,7 +343,10 @@ fn fig(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
 
 fn fig_3_1(out: &mut dyn Write) -> Result<(), CliError> {
     let _ = writeln!(out, "Figure 3.1 — bit concatenation mem.3.4,#01,count.1");
-    let _ = writeln!(out, "with mem = 24 (binary 11000) and count = 2 (binary 10):");
+    let _ = writeln!(
+        out,
+        "with mem = 24 (binary 11000) and count = 2 (binary 10):"
+    );
     let design = Design::from_source(rtl_machines::classic::FIG3_1).map_err(load_err)?;
     let mut sim = Interpreter::new(&design);
     sim.run_spec(out, &mut rtl_core::NoInput).map_err(sim_err)?;
@@ -367,7 +404,169 @@ fn fig_5_1_quick(out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-fn split_file<'a>(rest: &[&'a str]) -> Result<(&'a str, Vec<&'a str>), CliError> {
+/// Flags shared by `cosim` and `fuzz`: engine list and lockstep tuning.
+fn parse_engines(flags: &[&str]) -> Result<Vec<rtl_cosim::EngineKind>, CliError> {
+    let list = flag_value(flags, "--engines")?.unwrap_or("interp,vm");
+    rtl_cosim::EngineKind::parse_list(list).map_err(usage_err)
+}
+
+fn parse_u64_flag(flags: &[&str], name: &str) -> Result<Option<u64>, CliError> {
+    flag_value(flags, name)?
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| usage_err(format!("{name} needs an integer")))
+        })
+        .transpose()
+}
+
+fn cosim_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let (file, flags) = split_optional_file(
+        rest,
+        &["--engines", "--cycles", "--scenario", "--compare-every"],
+    )?;
+    let engines = parse_engines(&flags)?;
+    let cycles = parse_u64_flag(&flags, "--cycles")?;
+    let compare_every = parse_u64_flag(&flags, "--compare-every")?.unwrap_or(1);
+    let options = rtl_cosim::CosimOptions {
+        compare_every: compare_every.max(1),
+        ..rtl_cosim::CosimOptions::default()
+    };
+
+    // One scenario (a file or a named corpus entry), or the full corpus.
+    match (file, flag_value(&flags, "--scenario")?) {
+        (Some(_), Some(_)) => Err(usage_err("pass either FILE or --scenario, not both")),
+        (Some(path), None) => {
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| load_err(format!("cannot read {path}: {e}")))?;
+            let design = rtl_core::Design::from_source(&source).map_err(load_err)?;
+            let horizon = cycles
+                .or_else(|| design.cycles().and_then(|n| u64::try_from(n + 1).ok()))
+                .unwrap_or(rtl_machines::scenarios::DEFAULT_CYCLES);
+            let mut lockstep = rtl_cosim::Lockstep::new(&design, options);
+            for &kind in &engines {
+                lockstep.add_engine(kind);
+            }
+            report_single(path, lockstep.run(horizon), out)
+        }
+        (None, Some(name)) => {
+            let scenario = rtl_machines::scenarios::by_name(name).ok_or_else(|| {
+                let known = rtl_machines::scenarios::names().join(", ");
+                usage_err(format!("unknown scenario {name:?} (known: {known})"))
+            })?;
+            let scenario = match cycles {
+                Some(n) => scenario.with_cycles(n),
+                None => scenario,
+            };
+            let outcome =
+                rtl_cosim::run_scenario(&scenario, &engines, &options).map_err(load_err)?;
+            report_single(&scenario.name, outcome, out)
+        }
+        (None, None) => {
+            let report = rtl_cosim::run_corpus(&engines, cycles, &options);
+            let _ = write!(out, "{report}");
+            let diverged = report.divergences().count();
+            let halts = report.halts().count();
+            if diverged > 0 {
+                Err(CliError {
+                    code: 3,
+                    message: format!("cosim found {diverged} divergence(s)"),
+                })
+            } else if halts > 0 {
+                Err(CliError {
+                    code: 3,
+                    message: format!(
+                        "{halts} scenario(s) halted before their horizon (nothing diverged, \
+                         but the halted cycles were not verified)"
+                    ),
+                })
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Prints a single-scenario outcome. A unanimous runtime halt is reported
+/// as a runtime error (exit 3), matching `asim2 run` on the same design —
+/// the engines agreeing about a crash does not verify the requested
+/// horizon.
+fn report_single(
+    name: &str,
+    outcome: rtl_cosim::CosimOutcome,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    match outcome {
+        rtl_cosim::CosimOutcome::Agreement {
+            cycles,
+            halted: None,
+        } => {
+            let _ = writeln!(out, "{name}: {cycles} cycles verified, no divergence");
+            Ok(())
+        }
+        rtl_cosim::CosimOutcome::Agreement {
+            cycles,
+            halted: Some(e),
+        } => {
+            let _ = writeln!(out, "{name}: {cycles} cycles verified, no divergence");
+            Err(CliError {
+                code: 3,
+                message: format!("unanimous runtime halt (all engines agree): {e}"),
+            })
+        }
+        rtl_cosim::CosimOutcome::Divergence(report) => {
+            let _ = write!(out, "{report}");
+            Err(CliError {
+                code: 3,
+                message: "cosim found a divergence".into(),
+            })
+        }
+    }
+}
+
+fn fuzz_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let (file, flags) = split_optional_file(
+        rest,
+        &["--engines", "--cycles", "--seed", "--cases", "--size"],
+    )?;
+    if let Some(f) = file {
+        return Err(usage_err(format!(
+            "fuzz takes no FILE argument (got {f:?})"
+        )));
+    }
+    let mut options = rtl_cosim::FuzzOptions {
+        engines: parse_engines(&flags)?,
+        ..rtl_cosim::FuzzOptions::default()
+    };
+    if let Some(seed) = parse_u64_flag(&flags, "--seed")? {
+        options.seed = seed;
+    }
+    if let Some(cases) = parse_u64_flag(&flags, "--cases")? {
+        options.cases = u32::try_from(cases).map_err(|_| usage_err("--cases is too large"))?;
+    }
+    if let Some(cycles) = parse_u64_flag(&flags, "--cycles")? {
+        options.generator.cycles = cycles;
+    }
+    if let Some(size) = parse_u64_flag(&flags, "--size")? {
+        options.generator.size = size as usize;
+    }
+    let report = rtl_cosim::run_fuzz(&options);
+    let _ = write!(out, "{report}");
+    if !report.clean() {
+        return Err(CliError {
+            code: 3,
+            message: "fuzz found divergences".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Splits arguments into an optional positional FILE and a flag list;
+/// a token following any of `value_flags` is swallowed as that flag's
+/// value.
+fn split_optional_file<'a>(
+    rest: &[&'a str],
+    value_flags: &[&str],
+) -> Result<(Option<&'a str>, Vec<&'a str>), CliError> {
     let mut file = None;
     let mut flags = Vec::new();
     let mut i = 0;
@@ -375,8 +574,7 @@ fn split_file<'a>(rest: &[&'a str]) -> Result<(&'a str, Vec<&'a str>), CliError>
         let a = rest[i];
         if a.starts_with('-') {
             flags.push(a);
-            // Value-taking flags swallow the next token.
-            if matches!(a, "--cycles" | "--engine" | "--backend" | "-o" | "--format") {
+            if value_flags.contains(&a) {
                 i += 1;
                 if let Some(v) = rest.get(i) {
                     flags.push(v);
@@ -389,6 +587,14 @@ fn split_file<'a>(rest: &[&'a str]) -> Result<(&'a str, Vec<&'a str>), CliError>
         }
         i += 1;
     }
+    Ok((file, flags))
+}
+
+fn split_file<'a>(rest: &[&'a str]) -> Result<(&'a str, Vec<&'a str>), CliError> {
+    let (file, flags) = split_optional_file(
+        rest,
+        &["--cycles", "--engine", "--backend", "-o", "--format"],
+    )?;
     Ok((file.ok_or_else(|| usage_err("missing FILE"))?, flags))
 }
 
@@ -446,7 +652,10 @@ mod tests {
         let p = tmp_spec("check", "# c\nghost x .\nA x 4 1 1 .");
         let out = run_ok(&["check", p.to_str().unwrap()]);
         assert!(out.contains("1 components read."), "{out}");
-        assert!(out.contains("Warning: ghost declared but not defined."), "{out}");
+        assert!(
+            out.contains("Warning: ghost declared but not defined."),
+            "{out}"
+        );
     }
 
     #[test]
@@ -476,7 +685,10 @@ mod tests {
 
     #[test]
     fn runtime_errors_exit_3() {
-        let p = tmp_spec("runerr", "# c\n= 9\nc s n .\nM c 0 n 1 1\nA n 4 c 1\nS s c 1 2 .");
+        let p = tmp_spec(
+            "runerr",
+            "# c\n= 9\nc s n .\nM c 0 n 1 1\nA n 4 c 1\nS s c 1 2 .",
+        );
         let (code, err) = run_fail(&["run", p.to_str().unwrap()]);
         assert_eq!(code, 3);
         assert!(err.contains("selector s"), "{err}");
@@ -527,15 +739,22 @@ mod tests {
 
     #[test]
     fn interactive_run_prompts_and_continues() {
-        let p = tmp_spec("inter", "# c\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .");
-        let (code, out, err) = run_with(
-            &["run", p.to_str().unwrap(), "--interactive"],
-            b"2\n5\n0\n",
+        let p = tmp_spec(
+            "inter",
+            "# c\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .",
         );
+        let (code, out, err) =
+            run_with(&["run", p.to_str().unwrap(), "--interactive"], b"2\n5\n0\n");
         assert_eq!(code, 0, "{err}");
         assert!(out.starts_with("Number of cycles to trace\n"), "{out}");
-        assert!(out.contains("Cycle   2 count= 2\nContinue to cycle (0 to quit)\n"), "{out}");
-        assert!(out.contains("Cycle   5 count= 5\nContinue to cycle (0 to quit)\n"), "{out}");
+        assert!(
+            out.contains("Cycle   2 count= 2\nContinue to cycle (0 to quit)\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("Cycle   5 count= 5\nContinue to cycle (0 to quit)\n"),
+            "{out}"
+        );
         assert!(!out.contains("Cycle   6"), "{out}");
     }
 
@@ -545,7 +764,14 @@ mod tests {
         let out = run_ok(&["run", p.to_str().unwrap(), "--stats", "--no-trace"]);
         assert!(out.contains("simulation statistics: 4 cycles"), "{out}");
         assert!(out.contains("total memory accesses: 4"), "{out}");
-        let out2 = run_ok(&["run", p.to_str().unwrap(), "--stats", "--no-trace", "--engine", "interp"]);
+        let out2 = run_ok(&[
+            "run",
+            p.to_str().unwrap(),
+            "--stats",
+            "--no-trace",
+            "--engine",
+            "interp",
+        ]);
         assert_eq!(out, out2, "both engines count identically");
     }
 
@@ -568,5 +794,78 @@ mod tests {
         assert_eq!(code, 1);
         let (code, _) = run_fail(&["check", "/nonexistent/file.asim"]);
         assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn cosim_verifies_a_file() {
+        let p = tmp_spec("cosim", COUNTER);
+        let out = run_ok(&["cosim", p.to_str().unwrap(), "--cycles", "64"]);
+        assert!(out.contains("64 cycles verified, no divergence"), "{out}");
+    }
+
+    #[test]
+    fn cosim_runs_a_named_scenario() {
+        let out = run_ok(&["cosim", "--scenario", "classic/counter", "--cycles", "32"]);
+        assert!(out.contains("classic/counter"), "{out}");
+        assert!(out.contains("no divergence"), "{out}");
+    }
+
+    #[test]
+    fn cosim_sweeps_the_corpus() {
+        // Short horizon override keeps the in-process test quick; the full
+        // 1000+-cycle sweep runs in CI and tests/equivalence.rs.
+        let out = run_ok(&["cosim", "--cycles", "16", "--engines", "interp,vm,vm-noopt"]);
+        assert!(out.contains("cosim corpus sweep"), "{out}");
+        assert!(out.contains("stack/sieve"), "{out}");
+        assert!(out.contains("0 diverged"), "{out}");
+    }
+
+    #[test]
+    fn cosim_rejects_bad_engine_lists() {
+        let p = tmp_spec("cosim-bad", COUNTER);
+        let (code, err) = run_fail(&["cosim", p.to_str().unwrap(), "--engines", "interp"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("at least two engines"), "{err}");
+        let (code, err) = run_fail(&["cosim", p.to_str().unwrap(), "--engines", "interp,warp"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("unknown engine"), "{err}");
+    }
+
+    #[test]
+    fn cosim_halt_is_a_runtime_error_like_run() {
+        // A spec whose engines unanimously crash verifies nothing past the
+        // crash; exit 3 mirrors `asim2 run` on the same design.
+        let p = tmp_spec(
+            "cosim-halt",
+            "# bad\nc s n .\nM c 0 n 1 1\nA n 4 c 1\nS s c 1 2 .",
+        );
+        let (code, out, err) = run_with(&["cosim", p.to_str().unwrap(), "--cycles", "50"], b"");
+        assert_eq!(code, 3, "{err}");
+        assert!(out.contains("2 cycles verified"), "{out}");
+        assert!(err.contains("unanimous runtime halt"), "{err}");
+        assert!(err.contains("selector"), "{err}");
+    }
+
+    #[test]
+    fn cosim_corpus_override_beyond_registered_horizons() {
+        // Regression: --cycles above a scenario's registered horizon used
+        // to exhaust the io scenario's stimulus and fail the sweep.
+        let out = run_ok(&["cosim", "--cycles", "1100", "--compare-every", "64"]);
+        assert!(out.contains("14/14 agreed"), "{out}");
+        let io_line = out.lines().find(|l| l.contains("io/accumulator")).unwrap();
+        assert!(io_line.contains("1100 cycles  ok"), "{io_line}");
+    }
+
+    #[test]
+    fn fuzz_reports_a_clean_campaign() {
+        let out = run_ok(&["fuzz", "--seed", "1", "--cases", "5", "--cycles", "16"]);
+        assert!(out.contains("fuzz campaign: 5 cases from seed 1"), "{out}");
+        assert!(out.contains("summary: 5/5 agreed, 0 diverged"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_is_deterministic() {
+        let args = ["fuzz", "--seed", "9", "--cases", "4", "--cycles", "12"];
+        assert_eq!(run_ok(&args), run_ok(&args));
     }
 }

@@ -32,7 +32,10 @@ use std::fmt::Write as _;
 /// ```
 pub fn emit_pascal(design: &Design, options: &EmitOptions) -> String {
     let ir = lower_with_trace(design, options.opt, options.trace);
-    let mut e = Emitter { design, out: String::new() };
+    let mut e = Emitter {
+        design,
+        out: String::new(),
+    };
     e.program(&ir, options);
     e.out
 }
@@ -221,16 +224,12 @@ impl Emitter<'_> {
                     match expr {
                         IrExpr::Eq(a, b) => {
                             let (a, b) = (self.expr(a), self.expr(b));
-                            self.linef(format_args!(
-                                "    if {a} = {b} then {var} := 1"
-                            ));
+                            self.linef(format_args!("    if {a} = {b} then {var} := 1"));
                             self.linef(format_args!("    else {var} := 0;"));
                         }
                         IrExpr::Lt(a, b) => {
                             let (a, b) = (self.expr(a), self.expr(b));
-                            self.linef(format_args!(
-                                "    if {a} < {b} then {var} := 1"
-                            ));
+                            self.linef(format_args!("    if {a} < {b} then {var} := 1"));
                             self.linef(format_args!("    else {var} := 0;"));
                         }
                         _ => {
@@ -306,7 +305,10 @@ impl Emitter<'_> {
                     let body = self.arm_body(&name, arm);
                     if body.len() == 1 {
                         let sep = if arm == 3 { "" } else { ";" };
-                        self.linef(format_args!("      {arm}: {}{sep}", body[0].trim_end_matches(';')));
+                        self.linef(format_args!(
+                            "      {arm}: {}{sep}",
+                            body[0].trim_end_matches(';')
+                        ));
                     } else {
                         self.linef(format_args!("      {arm}: begin"));
                         for l in &body {
@@ -376,7 +378,11 @@ impl Emitter<'_> {
                 }
             }
             IrExpr::Output(c) => self.var(*c),
-            IrExpr::Field { inner, mask, rshift } => {
+            IrExpr::Field {
+                inner,
+                mask,
+                rshift,
+            } => {
                 let i = self.expr(inner);
                 if *rshift == 0 {
                     format!("land({i}, {mask})")
@@ -411,7 +417,9 @@ impl Emitter<'_> {
             // legal IR): Pascal ord() of a boolean.
             IrExpr::Eq(a, b) => format!("ord({} = {})", self.expr(a), self.expr(b)),
             IrExpr::Lt(a, b) => format!("ord({} < {})", self.expr(a), self.expr(b)),
-            IrExpr::Dologic { funct, left, right, .. } => format!(
+            IrExpr::Dologic {
+                funct, left, right, ..
+            } => format!(
                 "dologic({}, {}, {})",
                 self.expr(funct),
                 self.expr(left),
@@ -492,8 +500,14 @@ mod tests {
     #[test]
     fn program_skeleton() {
         let src = emit("# p\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .");
-        assert!(src.starts_with("program simulator (input, output);"), "{src}");
-        assert!(src.contains("function land (a, b: integer): integer;"), "{src}");
+        assert!(
+            src.starts_with("program simulator (input, output);"),
+            "{src}"
+        );
+        assert!(
+            src.contains("function land (a, b: integer): integer;"),
+            "{src}"
+        );
         assert!(src.contains("procedure initvalues;"), "{src}");
         assert!(src.contains("while cyclecount <= cycles do begin"), "{src}");
         assert!(src.contains("write('Cycle ', cyclecount:3);"), "{src}");

@@ -74,8 +74,16 @@ impl IrExpr {
         for op in &r.ops {
             let base = IrExpr::Output(op.comp);
             let t = match op.mode {
-                RefMode::Field { mask, rshift, lshift } => {
-                    let f = IrExpr::Field { inner: Box::new(base), mask, rshift };
+                RefMode::Field {
+                    mask,
+                    rshift,
+                    lshift,
+                } => {
+                    let f = IrExpr::Field {
+                        inner: Box::new(base),
+                        mask,
+                        rshift,
+                    };
                     shl(f, lshift)
                 }
                 RefMode::Raw { lshift } => shl(base, lshift),
@@ -131,11 +139,19 @@ impl IrExpr {
         match self {
             Const(v) => Const(v),
             Output(c) => Output(c),
-            Field { inner, mask, rshift } => {
+            Field {
+                inner,
+                mask,
+                rshift,
+            } => {
                 let inner = fold_box(inner);
                 match inner.as_const() {
                     Some(v) => Const((rtl_core::land(v, mask)) >> rshift),
-                    None => Field { inner, mask, rshift },
+                    None => Field {
+                        inner,
+                        mask,
+                        rshift,
+                    },
                 }
             }
             Shl { inner, amount } => {
@@ -167,17 +183,22 @@ impl IrExpr {
                     }
                 }
             }
-            Not(a) => unary(a, AluFn::Not, IrExpr::Not),
-            Add(a, b) => binary(a, b, AluFn::Add, IrExpr::Add),
-            Sub(a, b) => binary(a, b, AluFn::Sub, IrExpr::Sub),
-            ShlLoop(a, b) => binary(a, b, AluFn::Shl, IrExpr::ShlLoop),
-            Mul(a, b) => binary(a, b, AluFn::Mul, IrExpr::Mul),
-            And(a, b) => binary(a, b, AluFn::And, IrExpr::And),
-            Or(a, b) => binary(a, b, AluFn::Or, IrExpr::Or),
-            Xor(a, b) => binary(a, b, AluFn::Xor, IrExpr::Xor),
-            Eq(a, b) => binary(a, b, AluFn::Eq, IrExpr::Eq),
-            Lt(a, b) => binary(a, b, AluFn::Lt, IrExpr::Lt),
-            Dologic { funct, left, right, comp } => Dologic {
+            Not(a) => unary(*a, AluFn::Not, IrExpr::Not),
+            Add(a, b) => binary(*a, *b, AluFn::Add, IrExpr::Add),
+            Sub(a, b) => binary(*a, *b, AluFn::Sub, IrExpr::Sub),
+            ShlLoop(a, b) => binary(*a, *b, AluFn::Shl, IrExpr::ShlLoop),
+            Mul(a, b) => binary(*a, *b, AluFn::Mul, IrExpr::Mul),
+            And(a, b) => binary(*a, *b, AluFn::And, IrExpr::And),
+            Or(a, b) => binary(*a, *b, AluFn::Or, IrExpr::Or),
+            Xor(a, b) => binary(*a, *b, AluFn::Xor, IrExpr::Xor),
+            Eq(a, b) => binary(*a, *b, AluFn::Eq, IrExpr::Eq),
+            Lt(a, b) => binary(*a, *b, AluFn::Lt, IrExpr::Lt),
+            Dologic {
+                funct,
+                left,
+                right,
+                comp,
+            } => Dologic {
                 funct: fold_box(funct),
                 left: fold_box(left),
                 right: fold_box(right),
@@ -193,11 +214,18 @@ impl IrExpr {
             Const(_) | Output(_) => 0,
             Field { inner, .. } | Shl { inner, .. } | Not(inner) => inner.node_count(),
             Sum(ts) => ts.iter().map(IrExpr::node_count).sum(),
-            Add(a, b) | Sub(a, b) | ShlLoop(a, b) | Mul(a, b) | And(a, b) | Or(a, b)
-            | Xor(a, b) | Eq(a, b) | Lt(a, b) => a.node_count() + b.node_count(),
-            Dologic { funct, left, right, .. } => {
-                funct.node_count() + left.node_count() + right.node_count()
-            }
+            Add(a, b)
+            | Sub(a, b)
+            | ShlLoop(a, b)
+            | Mul(a, b)
+            | And(a, b)
+            | Or(a, b)
+            | Xor(a, b)
+            | Eq(a, b)
+            | Lt(a, b) => a.node_count() + b.node_count(),
+            Dologic {
+                funct, left, right, ..
+            } => funct.node_count() + left.node_count() + right.node_count(),
         }
     }
 }
@@ -206,29 +234,27 @@ fn shl(e: IrExpr, amount: u8) -> IrExpr {
     if amount == 0 {
         e
     } else {
-        IrExpr::Shl { inner: Box::new(e), amount }
+        IrExpr::Shl {
+            inner: Box::new(e),
+            amount,
+        }
     }
 }
 
-fn unary(a: Box<IrExpr>, f: AluFn, ctor: fn(Box<IrExpr>) -> IrExpr) -> IrExpr {
-    let a = Box::new(a.fold());
+fn unary(a: IrExpr, f: AluFn, ctor: fn(Box<IrExpr>) -> IrExpr) -> IrExpr {
+    let a = a.fold();
     match a.as_const() {
         Some(v) => IrExpr::Const(f.apply(v, 0)),
-        None => ctor(a),
+        None => ctor(Box::new(a)),
     }
 }
 
-fn binary(
-    a: Box<IrExpr>,
-    b: Box<IrExpr>,
-    f: AluFn,
-    ctor: fn(Box<IrExpr>, Box<IrExpr>) -> IrExpr,
-) -> IrExpr {
-    let a = Box::new(a.fold());
-    let b = Box::new(b.fold());
+fn binary(a: IrExpr, b: IrExpr, f: AluFn, ctor: fn(Box<IrExpr>, Box<IrExpr>) -> IrExpr) -> IrExpr {
+    let a = a.fold();
+    let b = b.fold();
     match (a.as_const(), b.as_const()) {
         (Some(x), Some(y)) => IrExpr::Const(f.apply(x, y)),
-        _ => ctor(a, b),
+        _ => ctor(Box::new(a), Box::new(b)),
     }
 }
 
@@ -360,7 +386,10 @@ mod tests {
     fn fold_collapses_constants() {
         let e = IrExpr::Add(
             Box::new(IrExpr::Const(2)),
-            Box::new(IrExpr::Mul(Box::new(IrExpr::Const(3)), Box::new(IrExpr::Const(4)))),
+            Box::new(IrExpr::Mul(
+                Box::new(IrExpr::Const(3)),
+                Box::new(IrExpr::Const(4)),
+            )),
         );
         assert_eq!(e.fold(), IrExpr::Const(14));
     }
@@ -389,11 +418,7 @@ mod tests {
     fn sum_folding_merges_constants() {
         let d = rtl_core::Design::from_source("# f\nx .\nA x 0 0 0 .").unwrap();
         let x = d.find("x").unwrap();
-        let e = IrExpr::Sum(vec![
-            IrExpr::Const(5),
-            IrExpr::Output(x),
-            IrExpr::Const(7),
-        ]);
+        let e = IrExpr::Sum(vec![IrExpr::Const(5), IrExpr::Output(x), IrExpr::Const(7)]);
         assert_eq!(
             e.fold(),
             IrExpr::Sum(vec![IrExpr::Output(x), IrExpr::Const(12)])
@@ -404,9 +429,18 @@ mod tests {
     fn apply_fn_specializes() {
         let l = IrExpr::Const(1);
         let r = IrExpr::Const(2);
-        assert_eq!(IrExpr::apply_fn(AluFn::Zero, l.clone(), r.clone()), IrExpr::Const(0));
-        assert_eq!(IrExpr::apply_fn(AluFn::Right, l.clone(), r.clone()), IrExpr::Const(2));
-        assert_eq!(IrExpr::apply_fn(AluFn::Left, l.clone(), r.clone()), IrExpr::Const(1));
+        assert_eq!(
+            IrExpr::apply_fn(AluFn::Zero, l.clone(), r.clone()),
+            IrExpr::Const(0)
+        );
+        assert_eq!(
+            IrExpr::apply_fn(AluFn::Right, l.clone(), r.clone()),
+            IrExpr::Const(2)
+        );
+        assert_eq!(
+            IrExpr::apply_fn(AluFn::Left, l.clone(), r.clone()),
+            IrExpr::Const(1)
+        );
         assert!(matches!(
             IrExpr::apply_fn(AluFn::Add, l, r),
             IrExpr::Add(_, _)

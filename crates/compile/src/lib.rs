@@ -57,8 +57,8 @@ mod tests {
     fn differential(src: &str, cycles: u64) {
         let d = design(src);
         let mut interp = Interpreter::new(&d);
-        let expected = run_captured(&mut interp, cycles)
-            .unwrap_or_else(|(t, e)| panic!("interp: {e}\n{t}"));
+        let expected =
+            run_captured(&mut interp, cycles).unwrap_or_else(|(t, e)| panic!("interp: {e}\n{t}"));
         for opts in [OptOptions::full(), OptOptions::none()] {
             let mut vm = Vm::with_options(&d, opts, true);
             let got = run_captured(&mut vm, cycles)
@@ -124,10 +124,7 @@ mod tests {
     fn vm_matches_interpreter_on_dynamic_ops() {
         // The memory's operation flips between read (0) and write (1) with
         // the counter's low bit.
-        differential(
-            "# d\nm* c n .\nM c 0 n 1 1\nA n 4 c 1\nM m 0 c c.0 1 .",
-            8,
-        );
+        differential("# d\nm* c n .\nM c 0 n 1 1\nA n 4 c 1\nM m 0 c c.0 1 .", 8);
     }
 
     #[test]

@@ -116,20 +116,23 @@ pub fn lower(design: &Design, options: OptOptions) -> CycleIr {
                     let tr = decide(rtl_core::word::traces_read(op));
                     // Reads and inputs never evaluate the data expression.
                     let needs_data = matches!(rtl_core::land(op, 3), 1 | 3);
-                    (
-                        OpnPlan::Const(op),
-                        tw,
-                        tr,
-                        needs_data.then_some(data_ir),
-                    )
+                    (OpnPlan::Const(op), tw, tr, needs_data.then_some(data_ir))
                 }
                 _ => {
                     // Dynamic operation: the original only emitted trace
                     // checks when the operation expression was wide enough
                     // to reach the trace bits (`numberofbits`).
                     let w = m.opn.width;
-                    let tw = if w >= 3 { TraceDecision::Dynamic } else { TraceDecision::Never };
-                    let tr = if w >= 4 { TraceDecision::Dynamic } else { TraceDecision::Never };
+                    let tw = if w >= 3 {
+                        TraceDecision::Dynamic
+                    } else {
+                        TraceDecision::Never
+                    };
+                    let tr = if w >= 4 {
+                        TraceDecision::Dynamic
+                    } else {
+                        TraceDecision::Never
+                    };
                     (
                         OpnPlan::Dynamic(maybe_fold(IrExpr::from_rexpr(&m.opn))),
                         tw,
@@ -217,14 +220,21 @@ pub fn stats(ir: &CycleIr) -> LowerStats {
     fn count_dologic(e: &IrExpr) -> usize {
         use IrExpr::*;
         match e {
-            Dologic { funct, left, right, .. } => {
-                1 + count_dologic(funct) + count_dologic(left) + count_dologic(right)
-            }
+            Dologic {
+                funct, left, right, ..
+            } => 1 + count_dologic(funct) + count_dologic(left) + count_dologic(right),
             Const(_) | Output(_) => 0,
             Field { inner, .. } | Shl { inner, .. } | Not(inner) => count_dologic(inner),
             Sum(ts) => ts.iter().map(count_dologic).sum(),
-            Add(a, b) | Sub(a, b) | ShlLoop(a, b) | Mul(a, b) | And(a, b) | Or(a, b)
-            | Xor(a, b) | Eq(a, b) | Lt(a, b) => count_dologic(a) + count_dologic(b),
+            Add(a, b)
+            | Sub(a, b)
+            | ShlLoop(a, b)
+            | Mul(a, b)
+            | And(a, b)
+            | Or(a, b)
+            | Xor(a, b)
+            | Eq(a, b)
+            | Lt(a, b) => count_dologic(a) + count_dologic(b),
         }
     }
     let generic_alus = ir
@@ -267,11 +277,9 @@ mod tests {
     fn figure_4_1_inlining() {
         // `A add 4 left 3048` becomes an inline Add; `A alu compute left
         // 3048` stays a dologic call.
-        let design = d(
-            "# fig41\nalu add compute left .\n\
+        let design = d("# fig41\nalu add compute left .\n\
              A alu compute left 3048\nA add 4 left 3048\n\
-             A compute 0 0 0\nM left 0 0 0 1 .",
-        );
+             A compute 0 0 0\nM left 0 0 0 1 .");
         let ir = lower(&design, OptOptions::full());
         let s = stats(&ir);
         assert_eq!(s.generic_alus, 1, "only `alu` needs dologic");

@@ -36,7 +36,9 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::Io(e) => write!(f, "i/o error: {e}"),
             PipelineError::RustcMissing(e) => write!(f, "rustc not found: {e}"),
-            PipelineError::CompileFailed(s) => write!(f, "generated program failed to compile:\n{s}"),
+            PipelineError::CompileFailed(s) => {
+                write!(f, "generated program failed to compile:\n{s}")
+            }
             PipelineError::RunFailed { code, stderr } => {
                 write!(f, "compiled simulator failed (code {code:?}): {stderr}")
             }
@@ -103,11 +105,7 @@ impl CompiledSim {
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
             .spawn()?;
-        child
-            .stdin
-            .take()
-            .expect("piped stdin")
-            .write_all(stdin)?;
+        child.stdin.take().expect("piped stdin").write_all(stdin)?;
         let output = child.wait_with_output()?;
         let elapsed = start.elapsed();
         if !output.status.success() {
@@ -116,7 +114,10 @@ impl CompiledSim {
                 stderr: String::from_utf8_lossy(&output.stderr).into_owned(),
             });
         }
-        Ok((String::from_utf8_lossy(&output.stdout).into_owned(), elapsed))
+        Ok((
+            String::from_utf8_lossy(&output.stdout).into_owned(),
+            elapsed,
+        ))
     }
 }
 
@@ -168,10 +169,7 @@ fn scratch_dir() -> std::io::Result<PathBuf> {
     use std::sync::atomic::{AtomicU64, Ordering};
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    let dir = std::env::temp_dir().join(format!(
-        "asim2-{}-{n}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("asim2-{}-{n}", std::process::id()));
     std::fs::create_dir_all(&dir)?;
     Ok(dir)
 }

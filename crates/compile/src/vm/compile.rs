@@ -11,7 +11,10 @@ pub fn compile_program(ir: &CycleIr) -> Program {
         match step {
             Step::Assign { id, expr } => {
                 let r = c.emit_expr(expr);
-                c.push(Instr::Store { comp: id.index() as u32, src: r });
+                c.push(Instr::Store {
+                    comp: id.index() as u32,
+                    src: r,
+                });
                 c.reset_regs();
             }
             Step::Select { id, select, cases } => {
@@ -25,7 +28,10 @@ pub fn compile_program(ir: &CycleIr) -> Program {
                     entries.push(c.here());
                     let saved = c.next_reg;
                     let cr = c.emit_expr(case);
-                    c.push(Instr::Store { comp: id.index() as u32, src: cr });
+                    c.push(Instr::Store {
+                        comp: id.index() as u32,
+                        src: cr,
+                    });
                     c.next_reg = saved;
                     exits.push(c.push_placeholder());
                 }
@@ -51,20 +57,32 @@ pub fn compile_program(ir: &CycleIr) -> Program {
     for (mi, m) in ir.mems.iter().enumerate() {
         let mem = mi as u16;
         let r = c.emit_expr(&m.addr);
-        c.push(Instr::StoreScratch { mem, slot: Slot::Addr, src: r });
+        c.push(Instr::StoreScratch {
+            mem,
+            slot: Slot::Addr,
+            src: r,
+        });
         c.reset_regs();
         let const_opn = match &m.opn {
             OpnPlan::Const(op) => Some(*op),
             OpnPlan::Dynamic(e) => {
                 let r = c.emit_expr(e);
-                c.push(Instr::StoreScratch { mem, slot: Slot::Opn, src: r });
+                c.push(Instr::StoreScratch {
+                    mem,
+                    slot: Slot::Opn,
+                    src: r,
+                });
                 c.reset_regs();
                 None
             }
         };
         if let Some(data) = &m.data {
             let r = c.emit_expr(data);
-            c.push(Instr::StoreScratch { mem, slot: Slot::Data, src: r });
+            c.push(Instr::StoreScratch {
+                mem,
+                slot: Slot::Data,
+                src: r,
+            });
             c.reset_regs();
         }
         mems.push(MemRt {
@@ -131,19 +149,35 @@ impl Compiler {
             }
             IrExpr::Output(c) => {
                 let dst = self.alloc();
-                self.push(Instr::Output { dst, comp: c.index() as u32 });
+                self.push(Instr::Output {
+                    dst,
+                    comp: c.index() as u32,
+                });
                 dst
             }
-            IrExpr::Field { inner, mask, rshift } => {
+            IrExpr::Field {
+                inner,
+                mask,
+                rshift,
+            } => {
                 let src = self.emit_expr(inner);
                 let dst = self.alloc();
-                self.push(Instr::Field { dst, src, mask: *mask, rshift: *rshift });
+                self.push(Instr::Field {
+                    dst,
+                    src,
+                    mask: *mask,
+                    rshift: *rshift,
+                });
                 dst
             }
             IrExpr::Shl { inner, amount } => {
                 let src = self.emit_expr(inner);
                 let dst = self.alloc();
-                self.push(Instr::ShlImm { dst, src, amount: *amount });
+                self.push(Instr::ShlImm {
+                    dst,
+                    src,
+                    amount: *amount,
+                });
                 dst
             }
             IrExpr::Sum(terms) => {
@@ -170,26 +204,30 @@ impl Compiler {
             IrExpr::Xor(a, b) => self.binary(a, b, |dst, a, b| Instr::Xor { dst, a, b }),
             IrExpr::Eq(a, b) => self.binary(a, b, |dst, a, b| Instr::Eq { dst, a, b }),
             IrExpr::Lt(a, b) => self.binary(a, b, |dst, a, b| Instr::Lt { dst, a, b }),
-            IrExpr::ShlLoop(a, b) => {
-                self.binary(a, b, |dst, a, b| Instr::ShlLoop { dst, a, b })
-            }
-            IrExpr::Dologic { funct, left, right, comp } => {
+            IrExpr::ShlLoop(a, b) => self.binary(a, b, |dst, a, b| Instr::ShlLoop { dst, a, b }),
+            IrExpr::Dologic {
+                funct,
+                left,
+                right,
+                comp,
+            } => {
                 let f = self.emit_expr(funct);
                 let l = self.emit_expr(left);
                 let r = self.emit_expr(right);
                 let dst = self.alloc();
-                self.push(Instr::Dologic { dst, f, l, r, comp: comp.index() as u32 });
+                self.push(Instr::Dologic {
+                    dst,
+                    f,
+                    l,
+                    r,
+                    comp: comp.index() as u32,
+                });
                 dst
             }
         }
     }
 
-    fn binary(
-        &mut self,
-        a: &IrExpr,
-        b: &IrExpr,
-        ctor: fn(Reg, Reg, Reg) -> Instr,
-    ) -> Reg {
+    fn binary(&mut self, a: &IrExpr, b: &IrExpr, ctor: fn(Reg, Reg, Reg) -> Instr) -> Reg {
         let ra = self.emit_expr(a);
         let rb = self.emit_expr(b);
         let dst = self.alloc();
@@ -206,22 +244,16 @@ mod tests {
 
     #[test]
     fn straight_line_for_alus() {
-        let d = Design::from_source(
-            "# p\na b .\nA a 4 1 2\nA b 4 a 3 .",
-        )
-        .unwrap();
+        let d = Design::from_source("# p\na b .\nA a 4 1 2\nA b 4 a 3 .").unwrap();
         let p = compile_program(&lower(&d, OptOptions::none()));
-        assert!(p.len() > 0);
+        assert!(!p.is_empty());
         assert!(p.tables.is_empty(), "no selectors, no tables");
         assert!(!p.disassemble().is_empty());
     }
 
     #[test]
     fn selector_builds_jump_table() {
-        let d = Design::from_source(
-            "# p\ns m .\nS s m.0.1 1 2 3 4\nM m 0 0 0 2 .",
-        )
-        .unwrap();
+        let d = Design::from_source("# p\ns m .\nS s m.0.1 1 2 3 4\nM m 0 0 0 2 .").unwrap();
         let p = compile_program(&lower(&d, OptOptions::full()));
         assert_eq!(p.tables.len(), 4);
         let switches = p

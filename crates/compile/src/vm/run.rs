@@ -80,7 +80,13 @@ impl<'d> Vm<'d> {
 
     fn exec(&mut self) -> Result<(), SimError> {
         let design = self.design;
-        let Vm { program, state, regs, scratch, .. } = self;
+        let Vm {
+            program,
+            state,
+            regs,
+            scratch,
+            ..
+        } = self;
         let instrs = &program.instrs;
         let tables = &program.tables;
         let mut pc = 0usize;
@@ -90,7 +96,12 @@ impl<'d> Vm<'d> {
                 Instr::Output { dst, comp } => {
                     regs[dst as usize] = state.outputs()[comp as usize];
                 }
-                Instr::Field { dst, src, mask, rshift } => {
+                Instr::Field {
+                    dst,
+                    src,
+                    mask,
+                    rshift,
+                } => {
                     regs[dst as usize] = land(regs[src as usize], mask) >> rshift;
                 }
                 Instr::ShlImm { dst, src, amount } => {
@@ -114,8 +125,7 @@ impl<'d> Vm<'d> {
                 }
                 Instr::Xor { dst, a, b } => {
                     let (x, y) = (regs[a as usize], regs[b as usize]);
-                    regs[dst as usize] =
-                        x.wrapping_add(y).wrapping_sub(land(x, y).wrapping_mul(2));
+                    regs[dst as usize] = x.wrapping_add(y).wrapping_sub(land(x, y).wrapping_mul(2));
                 }
                 Instr::Eq { dst, a, b } => {
                     regs[dst as usize] = Word::from(regs[a as usize] == regs[b as usize]);
@@ -145,7 +155,12 @@ impl<'d> Vm<'d> {
                 Instr::StoreScratch { mem, slot, src } => {
                     scratch[mem as usize][slot as usize] = regs[src as usize];
                 }
-                Instr::Switch { src, comp, table, len } => {
+                Instr::Switch {
+                    src,
+                    comp,
+                    table,
+                    len,
+                } => {
                     let idx = regs[src as usize];
                     let slot = usize::try_from(idx)
                         .ok()
@@ -179,11 +194,21 @@ impl Engine for Vm<'_> {
         &self.state
     }
 
-    fn step(
-        &mut self,
-        out: &mut dyn Write,
-        input: &mut dyn InputSource,
-    ) -> Result<(), SimError> {
+    fn restore(&mut self, snapshot: &SimState) {
+        self.state = snapshot.clone();
+    }
+
+    fn observes_output(&self, id: rtl_core::CompId) -> bool {
+        // Latch elision (§5.4) stops maintaining dead memory latches; every
+        // other component's output stays exact.
+        self.program
+            .mems
+            .iter()
+            .find(|m| m.comp as usize == id.index())
+            .is_none_or(|m| m.latch_needed)
+    }
+
+    fn step(&mut self, out: &mut dyn Write, input: &mut dyn InputSource) -> Result<(), SimError> {
         let cycle = self.state.cycle();
 
         // 1 + 3. Combinational phase and memory capture (one program).

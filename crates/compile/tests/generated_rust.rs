@@ -8,7 +8,8 @@ use rtl_interp::Interpreter;
 fn interp_output(design: &Design, last_cycle: i64) -> String {
     let mut sim = Interpreter::new(design);
     let mut out = Vec::new();
-    sim.run_to_cycle(last_cycle, &mut out, &mut NoInput).unwrap();
+    sim.run_to_cycle(last_cycle, &mut out, &mut NoInput)
+        .unwrap();
     String::from_utf8(out).unwrap()
 }
 
@@ -56,7 +57,9 @@ fn compiled_program_handles_input() {
     let expected = String::from_utf8(out).unwrap();
 
     let compiled = build(&design, &EmitOptions::default()).unwrap_or_else(|e| panic!("{e}"));
-    let (got, _) = compiled.run(b"41 42 43 44\n").unwrap_or_else(|e| panic!("{e}"));
+    let (got, _) = compiled
+        .run(b"41 42 43 44\n")
+        .unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(got, expected);
 }
 
@@ -70,14 +73,23 @@ fn interactive_program_prompts_and_continues() {
     // continue — the faithful Appendix A behaviour.
     let src = "# interactive counter\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .";
     let design = Design::from_source(src).unwrap();
-    let options = EmitOptions { interactive: true, ..EmitOptions::default() };
+    let options = EmitOptions {
+        interactive: true,
+        ..EmitOptions::default()
+    };
     let sim = build(&design, &options).unwrap_or_else(|e| panic!("{e}"));
 
     // Trace 0..=2, continue to 5, then quit.
     let (out, _) = sim.run(b"2 5 0\n").unwrap_or_else(|e| panic!("{e}"));
     assert!(out.starts_with("Number of cycles to trace\n"), "{out}");
-    assert!(out.contains("Cycle   2 count= 2\nContinue to cycle (0 to quit)\n"), "{out}");
-    assert!(out.contains("Cycle   5 count= 5\nContinue to cycle (0 to quit)\n"), "{out}");
+    assert!(
+        out.contains("Cycle   2 count= 2\nContinue to cycle (0 to quit)\n"),
+        "{out}"
+    );
+    assert!(
+        out.contains("Cycle   5 count= 5\nContinue to cycle (0 to quit)\n"),
+        "{out}"
+    );
     assert!(!out.contains("Cycle   6"), "{out}");
 
     // EOF at the continue prompt quits cleanly (read(cycles) -> 0).

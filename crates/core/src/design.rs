@@ -53,7 +53,9 @@ pub struct ElabOptions {
 
 impl Default for ElabOptions {
     fn default() -> Self {
-        ElabOptions { cell_limit: 1 << 24 }
+        ElabOptions {
+            cell_limit: 1 << 24,
+        }
     }
 }
 
@@ -176,7 +178,10 @@ impl Design {
         // we reject duplicates outright).
         let mut names = HashMap::with_capacity(spec.components.len());
         for (i, c) in spec.components.iter().enumerate() {
-            if names.insert(c.name.as_str().to_string(), CompId::new(i)).is_some() {
+            if names
+                .insert(c.name.as_str().to_string(), CompId::new(i))
+                .is_some()
+            {
                 return Err(ElabError::DuplicateComponent {
                     name: c.name.as_str().to_string(),
                     span: c.span,
@@ -221,7 +226,10 @@ impl Design {
                     })
                 }
             };
-            comps.push(CompData { name: c.name.clone(), kind });
+            comps.push(CompData {
+                name: c.name.clone(),
+                kind,
+            });
         }
 
         // 3. Memories in definition order.
@@ -342,7 +350,10 @@ impl Design {
     ///
     /// Panics if `index >= self.len()`.
     pub fn id_at(&self, index: usize) -> CompId {
-        assert!(index < self.comps.len(), "component index {index} out of range");
+        assert!(
+            index < self.comps.len(),
+            "component index {index} out of range"
+        );
         CompId::new(index)
     }
 
@@ -458,9 +469,7 @@ mod tests {
     #[test]
     fn comb_order_respects_dependencies() {
         // `b` uses `a`, `a` uses memory `m` (no comb dependency).
-        let d = design(
-            "# c\na b m .\nA b 4 a 1\nA a 2 m 0\nM m 0 b 1 1 .",
-        );
+        let d = design("# c\na b m .\nA b 4 a 1\nA a 2 m 0\nM m 0 b 1 1 .");
         let order: Vec<&str> = d.comb_order().iter().map(|&i| d.name(i)).collect();
         assert_eq!(order, ["a", "b"]);
     }

@@ -7,6 +7,7 @@
 use crate::design::Design;
 use crate::error::SimError;
 use crate::io::InputSource;
+use crate::resolve::CompId;
 use crate::state::SimState;
 use crate::word::Word;
 use std::io::Write;
@@ -19,6 +20,32 @@ pub trait Engine {
     /// The current simulation state.
     fn state(&self) -> &SimState;
 
+    /// A point-in-time copy of the architectural state (outputs, memory
+    /// cells, cycle counter). Pair with [`restore`](Engine::restore) to
+    /// checkpoint long runs or bisect a divergence window: the cosim
+    /// harness compares engines at a coarse interval, then rewinds to the
+    /// last agreeing checkpoint and replays cycle-by-cycle.
+    fn snapshot(&self) -> SimState {
+        self.state().clone()
+    }
+
+    /// Rewinds the engine to a snapshot previously taken over the *same
+    /// design*. Engine-private caches (registers, scratch, interpretation
+    /// tables) are rebuilt or reused; only the architectural state is
+    /// restored. Accumulated statistics are left untouched.
+    fn restore(&mut self, snapshot: &SimState);
+
+    /// Whether this engine maintains component `id`'s visible output.
+    ///
+    /// Optimizing engines may elide provably-unobservable state — the VM's
+    /// §5.4 latch elision leaves dead memory latches at their initial
+    /// value. Differential harnesses must compare a component only when
+    /// every engine under test observes it.
+    fn observes_output(&self, id: CompId) -> bool {
+        let _ = id;
+        true
+    }
+
     /// Executes one cycle per the contract documented on
     /// [`design`](crate::design) (combinational phase, trace, memory
     /// capture, memory update, cycle increment).
@@ -27,11 +54,7 @@ pub trait Engine {
     ///
     /// Runtime errors per [`SimError`]; trace/output text goes to `out`,
     /// memory-mapped input comes from `input`.
-    fn step(
-        &mut self,
-        out: &mut dyn Write,
-        input: &mut dyn InputSource,
-    ) -> Result<(), SimError>;
+    fn step(&mut self, out: &mut dyn Write, input: &mut dyn InputSource) -> Result<(), SimError>;
 
     /// Runs `iterations` cycles.
     ///

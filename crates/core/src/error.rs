@@ -62,7 +62,11 @@ pub enum ElabError {
 impl fmt::Display for ElabError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ElabError::ComponentNotFound { name, referrer, span } => write!(
+            ElabError::ComponentNotFound {
+                name,
+                referrer,
+                span,
+            } => write!(
                 f,
                 "Error. Component <{name}> not found. (referenced by {referrer}, {span})"
             ),
@@ -165,15 +169,29 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::SelectorOutOfRange { component, index, cases, cycle } => write!(
+            SimError::SelectorOutOfRange {
+                component,
+                index,
+                cases,
+                cycle,
+            } => write!(
                 f,
                 "selector {component} index {index} outside 0..{cases} at cycle {cycle}"
             ),
-            SimError::AddressOutOfRange { component, address, size, cycle } => write!(
+            SimError::AddressOutOfRange {
+                component,
+                address,
+                size,
+                cycle,
+            } => write!(
                 f,
                 "memory {component} address {address} outside 0..{size} at cycle {cycle}"
             ),
-            SimError::BadAluFunction { component, funct, cycle } => write!(
+            SimError::BadAluFunction {
+                component,
+                funct,
+                cycle,
+            } => write!(
                 f,
                 "alu {component} function {funct} outside 0..=13 at cycle {cycle}"
             ),
@@ -202,7 +220,10 @@ mod tests {
         let e = ElabError::CircularDependency {
             members: vec!["alu".into(), "sel".into()],
         };
-        assert_eq!(e.to_string(), "Error. Circular dependency with alu and/or sel.");
+        assert_eq!(
+            e.to_string(),
+            "Error. Circular dependency with alu and/or sel."
+        );
 
         let w = Warning::DeclaredNotDefined("ghost".into());
         assert_eq!(w.to_string(), "Warning: ghost declared but not defined.");
@@ -219,7 +240,10 @@ mod tests {
             cycle: 17,
         };
         let s = e.to_string();
-        assert!(s.contains("mux") && s.contains('9') && s.contains("17"), "{s}");
+        assert!(
+            s.contains("mux") && s.contains('9') && s.contains("17"),
+            "{s}"
+        );
     }
 
     #[test]

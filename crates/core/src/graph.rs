@@ -73,7 +73,9 @@ pub fn sort_combinational(
     let mut members = cyclic_members(&leftover, deps);
     members.sort_unstable();
     let member_names = members.iter().map(|&i| names[i].clone()).collect();
-    Err(ElabError::CircularDependency { members: member_names })
+    Err(ElabError::CircularDependency {
+        members: member_names,
+    })
 }
 
 /// Finds every node that belongs to a strongly connected component of size
@@ -110,11 +112,7 @@ fn cyclic_members(nodes: &[usize], deps: &[Vec<usize>]) -> Vec<usize> {
                 on_stack[v] = true;
             }
             // Deps within the leftover subgraph are the edges.
-            let children: Vec<usize> = deps[v]
-                .iter()
-                .copied()
-                .filter(|&c| in_scope[c])
-                .collect();
+            let children: Vec<usize> = deps[v].iter().copied().filter(|&c| in_scope[c]).collect();
             if *cursor < children.len() {
                 let c = children[*cursor];
                 *cursor += 1;

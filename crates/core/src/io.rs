@@ -61,7 +61,9 @@ pub struct ScriptedInput {
 impl ScriptedInput {
     /// Creates a queue from any word sequence.
     pub fn new(words: impl IntoIterator<Item = Word>) -> Self {
-        ScriptedInput { queue: words.into_iter().collect() }
+        ScriptedInput {
+            queue: words.into_iter().collect(),
+        }
     }
 
     /// Words not yet consumed.
@@ -140,7 +142,9 @@ impl<R: BufRead> InputSource for ReaderInput<R> {
             let buf = self.reader.fill_buf()?;
             match buf.first() {
                 Some(&d) if d.is_ascii_digit() => {
-                    value = value.saturating_mul(10).saturating_add(Word::from(d - b'0'));
+                    value = value
+                        .saturating_mul(10)
+                        .saturating_add(Word::from(d - b'0'));
                     self.reader.consume(1);
                 }
                 _ => break,

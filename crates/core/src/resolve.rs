@@ -70,9 +70,11 @@ impl RefOp {
     #[inline]
     pub fn apply(&self, value: Word) -> Word {
         match self.mode {
-            RefMode::Field { mask, rshift, lshift } => {
-                ((land(value, mask)) >> rshift) << lshift
-            }
+            RefMode::Field {
+                mask,
+                rshift,
+                lshift,
+            } => ((land(value, mask)) >> rshift) << lshift,
             RefMode::Raw { lshift } => value.wrapping_shl(lshift as u32),
         }
     }
@@ -166,17 +168,18 @@ pub fn resolve_expr(
                 pos += u32::from(*width);
             }
             Part::Ref { name, from, to } => {
-                let comp = *names.get(name.as_str()).ok_or_else(|| {
-                    ElabError::ComponentNotFound {
-                        name: name.as_str().to_string(),
-                        referrer: referrer.to_string(),
-                        span: expr.span,
-                    }
-                })?;
+                let comp =
+                    *names
+                        .get(name.as_str())
+                        .ok_or_else(|| ElabError::ComponentNotFound {
+                            name: name.as_str().to_string(),
+                            referrer: referrer.to_string(),
+                            span: expr.span,
+                        })?;
                 match from {
                     Some(f) => {
                         let f = u32::from(*f);
-                        let t = to.map(|t| u32::from(t)).unwrap_or(f);
+                        let t = to.map(u32::from).unwrap_or(f);
                         debug_assert!(f <= t && t <= 30, "parser validated subfields");
                         let mask = (((1i64 << (t - f + 1)) - 1) << f) as Word;
                         ops.push(RefOp {
@@ -193,7 +196,10 @@ pub fn resolve_expr(
                         if pos > 30 {
                             return Err(too_many());
                         }
-                        ops.push(RefOp { comp, mode: RefMode::Raw { lshift: pos as u8 } });
+                        ops.push(RefOp {
+                            comp,
+                            mode: RefMode::Raw { lshift: pos as u8 },
+                        });
                         pos = 31;
                     }
                 }
@@ -259,7 +265,11 @@ mod tests {
         assert_eq!(r.ops.len(), 1);
         assert_eq!(
             r.ops[0].mode,
-            RefMode::Field { mask: 15, rshift: 0, lshift: 0 }
+            RefMode::Field {
+                mask: 15,
+                rshift: 0,
+                lshift: 0
+            }
         );
         assert_eq!(r.eval(&[0b10110]), 0b0110);
     }

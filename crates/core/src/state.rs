@@ -40,7 +40,13 @@ impl SimState {
                 cells.extend_from_slice(&m.init);
             }
         }
-        SimState { outputs: vec![0; n], cells, cell_off, cell_len, cycle: 0 }
+        SimState {
+            outputs: vec![0; n],
+            cells,
+            cell_off,
+            cell_len,
+            cycle: 0,
+        }
     }
 
     /// Current cycle number (starts at 0).
@@ -127,7 +133,11 @@ mod tests {
         assert_eq!(s.cells(m), [7, 8, 9]);
         assert_eq!(s.cells(n), [0, 0]);
         assert_eq!(s.output(a), 0);
-        assert_eq!(s.output(m), 0, "latches start at zero even when cells do not");
+        assert_eq!(
+            s.output(m),
+            0,
+            "latches start at zero even when cells do not"
+        );
         assert_eq!(s.cycle(), 0);
     }
 

@@ -52,8 +52,7 @@ pub fn dump<E: Engine>(
     let ids: Vec<crate::CompId> = design
         .iter()
         .filter(|(_, c)| {
-            options.signals.is_empty()
-                || options.signals.iter().any(|s| c.name == s.as_str())
+            options.signals.is_empty() || options.signals.iter().any(|s| c.name == s.as_str())
         })
         .map(|(id, _)| id)
         .collect();
@@ -89,7 +88,11 @@ fn header(
 ) -> Result<(), SimError> {
     let w = |r: io::Result<()>| r.map_err(SimError::from);
     w(writeln!(out, "$version asim2 (ASIM II reproduction) $end"))?;
-    w(writeln!(out, "$comment {} $end", design.title().replace('#', "")))?;
+    w(writeln!(
+        out,
+        "$comment {} $end",
+        design.title().replace('#', "")
+    ))?;
     w(writeln!(out, "$timescale 1 ns $end"))?;
     w(writeln!(out, "$scope module top $end"))?;
     for (slot, &id) in ids.iter().enumerate() {
@@ -110,8 +113,14 @@ fn change(out: &mut dyn Write, value: Word, width: u8, slot: usize) -> Result<()
     // Two's-complement truncation to the declared width, like the land()
     // value model.
     let bits = (value as u64) & (u64::MAX >> (64 - u32::from(width).max(1)));
-    writeln!(out, "b{:0width$b} {}", bits, code(slot), width = width as usize)
-        .map_err(SimError::from)
+    writeln!(
+        out,
+        "b{:0width$b} {}",
+        bits,
+        code(slot),
+        width = width as usize
+    )
+    .map_err(SimError::from)
 }
 
 /// VCD identifier codes: printable ASCII 33..=126, extended to two chars

@@ -101,13 +101,15 @@ pub fn expr_width(design: &Design, expr: &rtl_lang::Expr, widths: &[u8]) -> u8 {
             Part::Const { value, width: None } => u32::from(bits_needed(*value)),
             Part::Const { width: Some(w), .. } => u32::from(*w),
             Part::Bits { width, .. } => u32::from(*width),
-            Part::Ref { name, from: None, .. } => design
+            Part::Ref {
+                name, from: None, ..
+            } => design
                 .find(name.as_str())
                 .map(|id| u32::from(widths[id.index()]))
                 .unwrap_or(31),
-            Part::Ref { from: Some(f), to, .. } => {
-                u32::from(to.unwrap_or(*f)) - u32::from(*f) + 1
-            }
+            Part::Ref {
+                from: Some(f), to, ..
+            } => u32::from(to.unwrap_or(*f)) - u32::from(*f) + 1,
         };
     }
     total.clamp(1, 31) as u8
@@ -142,10 +144,7 @@ mod tests {
     #[test]
     fn register_width_follows_its_data() {
         // 4-bit field written into a register.
-        assert_eq!(
-            width("# w\nr m .\nM r 0 m.0.3 1 1\nM m 0 0 0 4 .", "r"),
-            4
-        );
+        assert_eq!(width("# w\nr m .\nM r 0 m.0.3 1 1\nM m 0 0 0 4 .", "r"), 4);
     }
 
     #[test]
@@ -156,10 +155,7 @@ mod tests {
     #[test]
     fn selector_takes_max_case_width() {
         assert_eq!(
-            width(
-                "# w\ns m .\nS s m.0 m.0.2 m.0.6\nM m 0 0 0 4 .",
-                "s"
-            ),
+            width("# w\ns m .\nS s m.0 m.0.2 m.0.6\nM m 0 0 0 4 .", "s"),
             7
         );
     }
@@ -178,17 +174,11 @@ mod tests {
     #[test]
     fn masked_feedback_stays_narrow() {
         // A counter masked to two bits stays at 3 (add produces carry bit).
-        assert_eq!(
-            width("# w\nc n .\nM c 0 n 1 1\nA n 4 c.0.1 1 .", "n"),
-            3
-        );
+        assert_eq!(width("# w\nc n .\nM c 0 n 1 1\nA n 4 c.0.1 1 .", "n"), 3);
     }
 
     #[test]
     fn dynamic_alu_function_is_full_width() {
-        assert_eq!(
-            width("# w\na m .\nA a m m m\nM m 0 0 0 2 .", "a"),
-            31
-        );
+        assert_eq!(width("# w\na m .\nA a m m m\nM m 0 0 0 2 .", "a"), 31);
     }
 }

@@ -1,0 +1,165 @@
+//! Runs the built-in scenario corpus through lockstep.
+
+use crate::engines::EngineKind;
+use crate::lockstep::{run_scenario, CosimOptions, CosimOutcome, DivergenceReport};
+use crate::report::{all_clean, write_rows, ResultRow};
+use rtl_machines::scenarios;
+
+/// One corpus entry's lockstep result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusResult {
+    /// Scenario registry name.
+    pub name: String,
+    /// Cycles verified.
+    pub cycles: u64,
+    /// `Some` when the scenario ended in a unanimous runtime halt.
+    pub halted: Option<String>,
+    /// `Some` when engines diverged.
+    pub divergence: Option<DivergenceReport>,
+}
+
+impl CorpusResult {
+    fn row(&self) -> ResultRow<'_> {
+        ResultRow {
+            name: &self.name,
+            cycles: self.cycles,
+            halted: self.halted.as_deref(),
+            divergence: self.divergence.as_ref(),
+        }
+    }
+}
+
+/// Results for a corpus sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusReport {
+    /// Engine tiers compared.
+    pub engines: Vec<EngineKind>,
+    /// Per-scenario results, in registry order.
+    pub results: Vec<CorpusResult>,
+}
+
+impl CorpusReport {
+    /// `true` when every scenario agreed *and* ran its full horizon.
+    /// Registered scenarios promise a clean run at their cycle count, so
+    /// a unanimous halt is a failure even though the engines agree —
+    /// otherwise a scenario halting at cycle 0 would verify nothing and
+    /// still report green.
+    pub fn clean(&self) -> bool {
+        all_clean(self.results.iter().map(CorpusResult::row))
+    }
+
+    /// Scenarios that ended in a unanimous halt.
+    pub fn halts(&self) -> impl Iterator<Item = &CorpusResult> {
+        self.results.iter().filter(|r| r.halted.is_some())
+    }
+
+    /// Scenarios whose engines diverged.
+    pub fn divergences(&self) -> impl Iterator<Item = &CorpusResult> {
+        self.results.iter().filter(|r| r.divergence.is_some())
+    }
+
+    /// Total cycles verified across the corpus.
+    pub fn total_cycles(&self) -> u64 {
+        self.results.iter().map(|r| r.cycles).sum()
+    }
+}
+
+impl std::fmt::Display for CorpusReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let engines: Vec<&str> = self.engines.iter().map(|k| k.name()).collect();
+        writeln!(f, "cosim corpus sweep, engines [{}]", engines.join(", "))?;
+        let rows: Vec<ResultRow<'_>> = self.results.iter().map(CorpusResult::row).collect();
+        write_rows(f, &rows)
+    }
+}
+
+/// Locksteps every scenario in the built-in corpus. `cycles` re-targets
+/// each scenario's horizon when given (stimulus scripts are extended to
+/// match, so longer sweeps never exhaust input).
+pub fn run_corpus(
+    engines: &[EngineKind],
+    cycles: Option<u64>,
+    options: &CosimOptions,
+) -> CorpusReport {
+    let mut results = Vec::new();
+    for entry in scenarios::corpus() {
+        let scenario = match cycles {
+            Some(n) => entry.with_cycles(n),
+            None => entry,
+        };
+        let outcome = run_scenario(&scenario, engines, options)
+            .expect("built-in scenarios are valid (covered by rtl-machines tests)");
+        let (ran, halted, divergence) = match outcome {
+            CosimOutcome::Agreement { cycles, halted } => (cycles, halted, None),
+            CosimOutcome::Divergence(report) => (
+                u64::try_from(report.cycle).unwrap_or(0),
+                None,
+                Some(*report),
+            ),
+        };
+        results.push(CorpusResult {
+            name: scenario.name,
+            cycles: ran,
+            halted,
+            divergence,
+        });
+    }
+    CorpusReport {
+        engines: engines.to_vec(),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halted_scenarios_fail_the_sweep() {
+        let mut report = run_corpus(
+            &[EngineKind::Interp, EngineKind::Vm],
+            Some(4),
+            &CosimOptions::default(),
+        );
+        assert!(report.clean());
+        report.results[0].halted = Some("input exhausted at cycle 0".into());
+        assert!(
+            !report.clean(),
+            "a halt verifies nothing and must not be green"
+        );
+        assert_eq!(report.halts().count(), 1);
+    }
+
+    #[test]
+    fn cycle_override_above_registered_horizons_stays_clean() {
+        // Regression: the override used to leave io/accumulator's stimulus
+        // at its registered length, so any horizon above it exhausted
+        // input and failed the sweep.
+        let report = run_corpus(
+            &[EngineKind::Interp, EngineKind::Vm],
+            Some(1100),
+            &CosimOptions {
+                compare_every: 64,
+                ..CosimOptions::default()
+            },
+        );
+        assert!(report.clean(), "{report}");
+        for r in &report.results {
+            assert_eq!(r.cycles, 1100, "{} fell short", r.name);
+        }
+    }
+
+    #[test]
+    fn corpus_agrees_briefly() {
+        // Full-horizon sweeps run in the integration tests and the CLI;
+        // keep the unit test quick with a short override.
+        let report = run_corpus(
+            &[EngineKind::Interp, EngineKind::Vm],
+            Some(48),
+            &CosimOptions::default(),
+        );
+        assert!(report.clean(), "{report}");
+        assert!(report.results.len() >= 12);
+        assert!(report.to_string().contains("summary:"));
+    }
+}

@@ -1,0 +1,150 @@
+//! The engine registry: named execution tiers and their factories.
+
+use rtl_compile::{OptOptions, Vm};
+use rtl_core::{Design, Engine};
+use rtl_interp::{InterpOptions, Interpreter};
+
+/// An execution tier that can join a lockstep run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The ASIM table interpreter with indexed lookups.
+    Interp,
+    /// The interpreter in its faithful 1986 configuration (symbol-table
+    /// lookups — slower, same values).
+    InterpFaithful,
+    /// The ASIM II bytecode VM with full optimization.
+    Vm,
+    /// The VM with every optimization pass disabled.
+    VmNoOpt,
+}
+
+impl EngineKind {
+    /// All tiers, in registry order.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Interp,
+        EngineKind::InterpFaithful,
+        EngineKind::Vm,
+        EngineKind::VmNoOpt,
+    ];
+
+    /// The registry name (`interp`, `interp-faithful`, `vm`, `vm-noopt`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Interp => "interp",
+            EngineKind::InterpFaithful => "interp-faithful",
+            EngineKind::Vm => "vm",
+            EngineKind::VmNoOpt => "vm-noopt",
+        }
+    }
+
+    /// Parses one registry name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the known names.
+    pub fn parse(name: &str) -> Result<EngineKind, String> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| {
+                let known: Vec<&str> = Self::ALL.iter().map(|k| k.name()).collect();
+                format!("unknown engine {name:?} (known: {})", known.join(", "))
+            })
+    }
+
+    /// Parses a comma-separated list (`"interp,vm"`), requiring at least
+    /// two distinct tiers — lockstep against yourself proves nothing.
+    ///
+    /// # Errors
+    ///
+    /// Unknown names, fewer than two entries, or duplicates.
+    pub fn parse_list(list: &str) -> Result<Vec<EngineKind>, String> {
+        let kinds: Vec<EngineKind> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(Self::parse)
+            .collect::<Result<_, _>>()?;
+        if kinds.len() < 2 {
+            return Err("need at least two engines (e.g. --engines interp,vm)".into());
+        }
+        for (i, k) in kinds.iter().enumerate() {
+            if kinds[..i].contains(k) {
+                return Err(format!("duplicate engine {:?}", k.name()));
+            }
+        }
+        Ok(kinds)
+    }
+
+    /// Builds the engine over a design. `trace` controls cycle-trace text
+    /// (lockstep compares it byte-for-byte when on).
+    pub fn build<'d>(self, design: &'d Design, trace: bool) -> Box<dyn Engine + 'd> {
+        match self {
+            EngineKind::Interp => Box::new(Interpreter::with_options(
+                design,
+                InterpOptions {
+                    trace,
+                    ..InterpOptions::default()
+                },
+            )),
+            EngineKind::InterpFaithful => Box::new(Interpreter::with_options(
+                design,
+                InterpOptions {
+                    trace,
+                    ..InterpOptions::faithful()
+                },
+            )),
+            EngineKind::Vm => Box::new(Vm::with_options(design, OptOptions::full(), trace)),
+            EngineKind::VmNoOpt => Box::new(Vm::with_options(design, OptOptions::none(), trace)),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for k in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(k.name()), Ok(k));
+        }
+        assert!(EngineKind::parse("rustc").is_err());
+    }
+
+    #[test]
+    fn list_parsing() {
+        assert_eq!(
+            EngineKind::parse_list("interp, vm"),
+            Ok(vec![EngineKind::Interp, EngineKind::Vm])
+        );
+        assert!(
+            EngineKind::parse_list("interp").is_err(),
+            "one engine is not a comparison"
+        );
+        assert!(
+            EngineKind::parse_list("vm,vm").is_err(),
+            "duplicates rejected"
+        );
+        assert!(EngineKind::parse_list("interp,warp").is_err());
+    }
+
+    #[test]
+    fn every_kind_builds_and_steps() {
+        let design =
+            Design::from_source("# c\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .")
+                .unwrap();
+        for kind in EngineKind::ALL {
+            let mut engine = kind.build(&design, true);
+            let mut out = Vec::new();
+            engine.step(&mut out, &mut rtl_core::NoInput).unwrap();
+            assert_eq!(engine.state().cycle(), 1, "{kind}");
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The fuzz campaign driver: generate N scenarios, lockstep each, report.
+
+use crate::engines::EngineKind;
+use crate::generate::{generate_scenario, GenOptions};
+use crate::lockstep::{run_scenario, CosimOptions, CosimOutcome, DivergenceReport};
+use crate::report::{all_clean, write_rows, ResultRow};
+
+/// Fuzz campaign configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzOptions {
+    /// Base seed; case `i` uses seed `base + i` (wrapping), so any case
+    /// can be re-run in isolation.
+    pub seed: u64,
+    /// Number of cases.
+    pub cases: u32,
+    /// Engine tiers under comparison.
+    pub engines: Vec<EngineKind>,
+    /// Scenario generator tuning.
+    pub generator: GenOptions,
+    /// Lockstep tuning.
+    pub cosim: CosimOptions,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: 0,
+            cases: 50,
+            engines: vec![EngineKind::Interp, EngineKind::Vm],
+            generator: GenOptions::default(),
+            cosim: CosimOptions::default(),
+        }
+    }
+}
+
+/// One fuzz case's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// The case's own seed (`base + index`).
+    pub seed: u64,
+    /// Scenario name (`fuzz/seed-N`).
+    pub name: String,
+    /// Cycles verified in lockstep.
+    pub cycles: u64,
+    /// `Some` when the case ended in a unanimous runtime halt.
+    pub halted: Option<String>,
+    /// `Some` when the engines diverged.
+    pub divergence: Option<DivergenceReport>,
+}
+
+impl FuzzCase {
+    fn row(&self) -> ResultRow<'_> {
+        ResultRow {
+            name: &self.name,
+            cycles: self.cycles,
+            halted: self.halted.as_deref(),
+            divergence: self.divergence.as_ref(),
+        }
+    }
+}
+
+/// The structured result of a fuzz campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzReport {
+    /// The campaign's options (for reproduction).
+    pub options: FuzzOptions,
+    /// Per-case results, in seed order.
+    pub cases: Vec<FuzzCase>,
+}
+
+impl FuzzReport {
+    /// Cases whose engines diverged.
+    pub fn divergences(&self) -> impl Iterator<Item = &FuzzCase> {
+        self.cases.iter().filter(|c| c.divergence.is_some())
+    }
+
+    /// `true` when every case agreed *and* ran its full horizon.
+    /// Generated scenarios are valid by construction, so a runtime halt
+    /// here means the generator's invariant broke — that must fail the
+    /// campaign too, not just engine divergence.
+    pub fn clean(&self) -> bool {
+        all_clean(self.cases.iter().map(FuzzCase::row))
+    }
+
+    /// Total cycles verified across all cases.
+    pub fn total_cycles(&self) -> u64 {
+        self.cases.iter().map(|c| c.cycles).sum()
+    }
+}
+
+impl std::fmt::Display for FuzzReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let engines: Vec<&str> = self.options.engines.iter().map(|k| k.name()).collect();
+        writeln!(
+            f,
+            "fuzz campaign: {} cases from seed {}, engines [{}], {} cycles/case",
+            self.options.cases,
+            self.options.seed,
+            engines.join(", "),
+            self.options.generator.cycles,
+        )?;
+        let rows: Vec<ResultRow<'_>> = self.cases.iter().map(FuzzCase::row).collect();
+        write_rows(f, &rows)
+    }
+}
+
+/// Runs a fuzz campaign. Deterministic: identical options produce the
+/// identical report.
+pub fn run_fuzz(options: &FuzzOptions) -> FuzzReport {
+    let mut cases = Vec::with_capacity(options.cases as usize);
+    for i in 0..options.cases {
+        let seed = options.seed.wrapping_add(u64::from(i));
+        let scenario = generate_scenario(seed, &options.generator);
+        let outcome = run_scenario(&scenario, &options.engines, &options.cosim)
+            .expect("generated scenarios are valid by construction");
+        let (cycles, halted, divergence) = match outcome {
+            CosimOutcome::Agreement { cycles, halted } => (cycles, halted, None),
+            CosimOutcome::Divergence(report) => {
+                let cycles = u64::try_from(report.cycle).unwrap_or(0);
+                (cycles, None, Some(*report))
+            }
+        };
+        cases.push(FuzzCase {
+            seed,
+            name: scenario.name,
+            cycles,
+            halted,
+            divergence,
+        });
+    }
+    FuzzReport {
+        options: options.clone(),
+        cases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_options() -> FuzzOptions {
+        FuzzOptions {
+            cases: 10,
+            generator: GenOptions {
+                size: 12,
+                cycles: 24,
+                ..GenOptions::default()
+            },
+            ..FuzzOptions::default()
+        }
+    }
+
+    #[test]
+    fn campaign_is_clean_and_deterministic() {
+        let a = run_fuzz(&quick_options());
+        assert!(a.clean(), "{a}");
+        assert_eq!(a.cases.len(), 10);
+        let b = run_fuzz(&quick_options());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_renders_structured_text() {
+        let report = run_fuzz(&FuzzOptions {
+            cases: 3,
+            ..quick_options()
+        });
+        let text = report.to_string();
+        assert!(
+            text.contains("fuzz campaign: 3 cases from seed 0"),
+            "{text}"
+        );
+        assert!(text.contains("summary: 3/3 agreed, 0 diverged"), "{text}");
+        assert!(text.contains("fuzz/seed-2"), "{text}");
+    }
+
+    #[test]
+    fn halted_cases_fail_the_campaign() {
+        // A generated scenario halting means the generator's
+        // validity-by-construction invariant broke; clean() must say so.
+        let mut report = run_fuzz(&FuzzOptions {
+            cases: 1,
+            ..quick_options()
+        });
+        assert!(report.clean());
+        report.cases[0].halted = Some("input exhausted at cycle 0".into());
+        assert!(!report.clean());
+    }
+
+    #[test]
+    fn seed_near_u64_max_does_not_overflow() {
+        let report = run_fuzz(&FuzzOptions {
+            seed: u64::MAX,
+            cases: 3,
+            ..quick_options()
+        });
+        assert_eq!(report.cases.len(), 3);
+        assert_eq!(report.cases[0].seed, u64::MAX);
+        assert_eq!(report.cases[1].seed, 0, "wraps deterministically");
+    }
+
+    #[test]
+    fn four_way_campaign_agrees() {
+        let options = FuzzOptions {
+            cases: 5,
+            engines: EngineKind::ALL.to_vec(),
+            ..quick_options()
+        };
+        assert!(run_fuzz(&options).clean());
+    }
+}

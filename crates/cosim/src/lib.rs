@@ -1,0 +1,54 @@
+//! # rtl-cosim — differential co-simulation and scenario fuzzing
+//!
+//! The [`Engine`](rtl_core::Engine) contract promises that the
+//! interpreter, the bytecode VM and the generated simulators are
+//! observationally identical. This crate is the subsystem that *enforces*
+//! the promise:
+//!
+//! * [`lockstep`] — drives N engines over the same design and stimulus,
+//!   one cycle at a time, comparing trace bytes, cycle counters, visible
+//!   outputs and memory cells. On mismatch it produces a structured
+//!   [`DivergenceReport`] pinpointing the first divergent cycle and
+//!   component, with a trace window per engine. Comparison can run at a
+//!   coarse interval (`compare_every`); the harness then uses the
+//!   [`Engine::snapshot`](rtl_core::Engine::snapshot)/
+//!   [`restore`](rtl_core::Engine::restore) checkpoints to rewind and
+//!   bisect to the exact cycle.
+//! * [`engines`] — the engine registry: `interp`, `interp-faithful`,
+//!   `vm`, `vm-noopt` built from a comma-separated list.
+//! * [`generate`] — a seeded, deterministic scenario generator producing
+//!   valid random specifications *plus stimulus scripts* (memory-mapped
+//!   input included), so lockstep doubles as a fuzzer.
+//! * [`fuzz`] — the fuzz campaign driver and its structured report.
+//! * [`corpus`] — runs the whole built-in
+//!   [`rtl_machines::scenarios`] corpus through lockstep.
+//!
+//! ```
+//! use rtl_cosim::{run_scenario, CosimOptions, CosimOutcome, EngineKind};
+//! let scenario = rtl_machines::scenarios::by_name("classic/counter").unwrap();
+//! let outcome = run_scenario(
+//!     &scenario,
+//!     &[EngineKind::Interp, EngineKind::Vm],
+//!     &CosimOptions::default(),
+//! ).unwrap();
+//! assert!(matches!(outcome, CosimOutcome::Agreement { .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod engines;
+pub mod fuzz;
+pub mod generate;
+pub mod lockstep;
+mod report;
+
+pub use corpus::{run_corpus, CorpusReport};
+pub use engines::EngineKind;
+pub use fuzz::{run_fuzz, FuzzOptions, FuzzReport};
+pub use generate::{generate_scenario, GenOptions};
+pub use lockstep::{
+    run_scenario, CosimOptions, CosimOutcome, DivergenceKind, DivergenceReport, LaneReport,
+    Lockstep,
+};

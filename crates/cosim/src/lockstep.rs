@@ -1,0 +1,605 @@
+//! The lockstep driver: N engines, one design, one stimulus, compared
+//! every cycle.
+//!
+//! Each engine runs in its own *lane* with a private output buffer and a
+//! private copy of the scripted input. After every comparison interval the
+//! lanes are checked against each other — trace bytes, cycle counters,
+//! visible outputs, memory cells, and error states — and checkpointed via
+//! [`Engine::snapshot`]. When a coarse-interval comparison fails, every
+//! lane rewinds to the last agreeing checkpoint ([`Engine::restore`]) and
+//! replays one cycle at a time, so the report always names the *first*
+//! divergent cycle regardless of the comparison stride.
+
+use crate::engines::EngineKind;
+use rtl_core::{Design, Engine, LoadError, ScriptedInput, SimError, SimState, Word};
+use rtl_machines::Scenario;
+
+/// Lockstep configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CosimOptions {
+    /// Compare lanes every N cycles (1 = every cycle). Coarser intervals
+    /// amortize comparison cost on long runs; divergences are still
+    /// pinpointed exactly by checkpoint-rewind bisection.
+    pub compare_every: u64,
+    /// Lines of trailing trace text quoted per lane in a report.
+    pub trace_window: usize,
+    /// Run engines with trace output on and compare it byte-for-byte.
+    pub trace: bool,
+    /// Keep the full agreed trace in memory so
+    /// [`Lockstep::agreed_output`] can return it. Off by default: long
+    /// runs would otherwise grow O(cycles × lanes); with retention off,
+    /// verified output is drained at each checkpoint down to a small tail
+    /// (kept for divergence-report trace windows).
+    pub retain_output: bool,
+}
+
+impl Default for CosimOptions {
+    fn default() -> Self {
+        CosimOptions {
+            compare_every: 1,
+            trace_window: 8,
+            trace: true,
+            retain_output: false,
+        }
+    }
+}
+
+/// The result of a lockstep run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CosimOutcome {
+    /// Every comparison passed.
+    Agreement {
+        /// Cycles executed and verified.
+        cycles: u64,
+        /// `Some` when the run ended early because *every* engine raised
+        /// the identical runtime error — agreement about failure.
+        halted: Option<String>,
+    },
+    /// Lanes disagreed; the report pinpoints where and how.
+    Divergence(Box<DivergenceReport>),
+}
+
+impl CosimOutcome {
+    /// `true` for [`CosimOutcome::Agreement`].
+    pub fn agreed(&self) -> bool {
+        matches!(self, CosimOutcome::Agreement { .. })
+    }
+}
+
+/// What diverged first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// Engines raised different errors (or only some raised one).
+    Error,
+    /// Trace/output text differed.
+    Trace,
+    /// Cycle counters differed.
+    CycleCounter,
+    /// A component's visible output differed.
+    Output {
+        /// Component name.
+        component: String,
+    },
+    /// A memory cell differed.
+    Cells {
+        /// Memory name.
+        component: String,
+        /// Cell address.
+        addr: u32,
+    },
+}
+
+/// One engine's view at the divergence point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneReport {
+    /// Engine name (registry name, or the custom lane label).
+    pub engine: String,
+    /// The lane's cycle counter.
+    pub cycle: Word,
+    /// The diverging value in this lane (for output/cell kinds).
+    pub value: Option<Word>,
+    /// The lane's runtime error, if it raised one.
+    pub error: Option<String>,
+    /// The last few lines of the lane's trace text.
+    pub trace_window: Vec<String>,
+}
+
+/// A structured first-divergence report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergenceReport {
+    /// Scenario label (filled by the scenario/fuzz runners).
+    pub scenario: String,
+    /// First divergent cycle (0-based; the cycle whose execution first
+    /// broke agreement).
+    pub cycle: Word,
+    /// What diverged.
+    pub kind: DivergenceKind,
+    /// Per-engine details, in lane order.
+    pub lanes: Vec<LaneReport>,
+}
+
+impl std::fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match &self.kind {
+            DivergenceKind::Error => "runtime error mismatch".to_string(),
+            DivergenceKind::Trace => "trace text mismatch".to_string(),
+            DivergenceKind::CycleCounter => "cycle counter mismatch".to_string(),
+            DivergenceKind::Output { component } => {
+                format!("output of component '{component}' differs")
+            }
+            DivergenceKind::Cells { component, addr } => {
+                format!("memory '{component}' cell {addr} differs")
+            }
+        };
+        writeln!(
+            f,
+            "DIVERGENCE in {} at cycle {}: {what}",
+            self.scenario, self.cycle
+        )?;
+        for lane in &self.lanes {
+            write!(f, "  [{}] cycle {}", lane.engine, lane.cycle)?;
+            if let Some(v) = lane.value {
+                write!(f, ", value {v}")?;
+            }
+            match &lane.error {
+                Some(e) => writeln!(f, ", error: {e}")?,
+                None => writeln!(f)?,
+            }
+        }
+        for lane in &self.lanes {
+            if lane.trace_window.is_empty() {
+                continue;
+            }
+            writeln!(f, "  trace window [{}]:", lane.engine)?;
+            for line in &lane.trace_window {
+                writeln!(f, "    | {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Lane<'d> {
+    name: String,
+    engine: Box<dyn Engine + 'd>,
+    input: ScriptedInput,
+    out: Vec<u8>,
+    error: Option<SimError>,
+    check_state: SimState,
+    check_input: ScriptedInput,
+    check_out: usize,
+}
+
+impl Lane<'_> {
+    fn trace_window(&self, lines: usize) -> Vec<String> {
+        let text = String::from_utf8_lossy(&self.out);
+        let all: Vec<&str> = text.lines().collect();
+        let start = all.len().saturating_sub(lines);
+        all[start..].iter().map(|s| s.to_string()).collect()
+    }
+
+    fn report(&self, value: Option<Word>, window: usize) -> LaneReport {
+        LaneReport {
+            engine: self.name.clone(),
+            cycle: self.engine.state().cycle(),
+            value,
+            error: self.error.as_ref().map(|e| e.to_string()),
+            trace_window: self.trace_window(window),
+        }
+    }
+}
+
+/// The lockstep harness. See the [module docs](self) for the comparison
+/// discipline.
+pub struct Lockstep<'d> {
+    design: &'d Design,
+    options: CosimOptions,
+    stimulus: Vec<Word>,
+    lanes: Vec<Lane<'d>>,
+    /// Cycles verified equal so far; also the index of the next cycle.
+    verified: u64,
+    /// Output length up to which all lanes are known byte-identical.
+    verified_out: usize,
+}
+
+impl<'d> Lockstep<'d> {
+    /// A harness over one design with the given options and no lanes yet.
+    pub fn new(design: &'d Design, options: CosimOptions) -> Self {
+        Lockstep {
+            design,
+            options,
+            stimulus: Vec::new(),
+            lanes: Vec::new(),
+            verified: 0,
+            verified_out: 0,
+        }
+    }
+
+    /// Sets the scripted input replayed into every lane. Call before
+    /// adding lanes.
+    pub fn stimulus(&mut self, words: impl Into<Vec<Word>>) -> &mut Self {
+        debug_assert!(self.lanes.is_empty(), "set stimulus before adding lanes");
+        self.stimulus = words.into();
+        self
+    }
+
+    /// Adds a registry engine as a lane.
+    pub fn add_engine(&mut self, kind: EngineKind) -> &mut Self {
+        let engine = kind.build(self.design, self.options.trace);
+        self.add_lane(kind.name(), engine)
+    }
+
+    /// Adds an arbitrary engine as a lane under a label — the hook for
+    /// testing the harness itself with deliberately broken engines.
+    pub fn add_lane(&mut self, name: &str, engine: Box<dyn Engine + 'd>) -> &mut Self {
+        let check_state = engine.snapshot();
+        let input = ScriptedInput::new(self.stimulus.iter().copied());
+        self.lanes.push(Lane {
+            name: name.to_string(),
+            engine,
+            check_input: input.clone(),
+            input,
+            out: Vec::new(),
+            error: None,
+            check_state,
+            check_out: 0,
+        });
+        self
+    }
+
+    /// Cycles verified equal so far.
+    pub fn verified_cycles(&self) -> u64 {
+        self.verified
+    }
+
+    /// The trace/output text all lanes agreed on (bytes up to the last
+    /// verified checkpoint). Empty until the first successful comparison.
+    /// The *full* run text is only available with
+    /// [`CosimOptions::retain_output`] set; otherwise verified output is
+    /// drained at checkpoints and only the retained tail is returned.
+    pub fn agreed_output(&self) -> &[u8] {
+        &self.lanes[0].out[..self.verified_out]
+    }
+
+    /// Runs up to `cycles` further cycles in lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than two lanes were added.
+    pub fn run(&mut self, cycles: u64) -> CosimOutcome {
+        assert!(self.lanes.len() >= 2, "lockstep needs at least two lanes");
+        let granularity = self.options.compare_every.max(1);
+        let mut executed = 0;
+        while executed < cycles {
+            let burst = granularity.min(cycles - executed);
+            match self.burst(burst) {
+                BurstResult::Agree => executed += burst,
+                BurstResult::Halted(stopped) => {
+                    return CosimOutcome::Agreement {
+                        cycles: executed + stopped,
+                        halted: self.lanes[0].error.as_ref().map(|e| e.to_string()),
+                    };
+                }
+                BurstResult::Diverged(stepped) => {
+                    // Rewind to the last agreeing checkpoint and replay one
+                    // cycle at a time to find the exact divergence point.
+                    // compare() is Some here, so capture the coarse report
+                    // first: an engine whose behavior is not fully restored
+                    // by snapshot/restore may fail to reproduce on replay,
+                    // and the observed divergence must still be reported
+                    // (at comparison granularity) rather than panic.
+                    let coarse = self.build_report();
+                    if stepped > 1 {
+                        self.rewind();
+                        for _ in 0..stepped {
+                            match self.burst(1) {
+                                BurstResult::Agree => {}
+                                BurstResult::Halted(_) | BurstResult::Diverged(_) => break,
+                            }
+                        }
+                    }
+                    let report = if self.compare().is_some() {
+                        self.build_report()
+                    } else {
+                        coarse
+                    };
+                    return CosimOutcome::Divergence(Box::new(report));
+                }
+            }
+        }
+        CosimOutcome::Agreement {
+            cycles: executed,
+            halted: None,
+        }
+    }
+
+    /// Steps every lane `cycles` times, then compares and (on agreement)
+    /// checkpoints.
+    fn burst(&mut self, cycles: u64) -> BurstResult {
+        let mut stepped = 0;
+        for _ in 0..cycles {
+            for lane in &mut self.lanes {
+                if lane.error.is_some() {
+                    continue;
+                }
+                if let Err(e) = lane.engine.step(&mut lane.out, &mut lane.input) {
+                    lane.error = Some(e);
+                }
+            }
+            stepped += 1;
+            if self.lanes.iter().any(|l| l.error.is_some()) {
+                break;
+            }
+        }
+        if self.compare().is_some() {
+            return BurstResult::Diverged(stepped);
+        }
+        self.checkpoint();
+        if self.lanes.iter().any(|l| l.error.is_some()) {
+            // compare() passed, so every lane raised the identical error:
+            // unanimous halt. The halting cycle itself did not complete.
+            let stopped = stepped.saturating_sub(1);
+            self.verified += stopped;
+            return BurstResult::Halted(stopped);
+        }
+        self.verified += stepped;
+        BurstResult::Agree
+    }
+
+    /// Compares all lanes against lane 0. `None` means agreement.
+    fn compare(&self) -> Option<DivergenceKind> {
+        let (first, rest) = self.lanes.split_first().expect("at least two lanes");
+
+        // 1. Error states: all-or-nothing, and identical when raised.
+        for lane in rest {
+            if lane.error != first.error {
+                return Some(DivergenceKind::Error);
+            }
+        }
+
+        // 2. Trace bytes produced since the last agreed point.
+        let reference = &first.out[self.verified_out.min(first.out.len())..];
+        for lane in rest {
+            if &lane.out[self.verified_out.min(lane.out.len())..] != reference {
+                return Some(DivergenceKind::Trace);
+            }
+        }
+
+        // 3. Cycle counters.
+        for lane in rest {
+            if lane.engine.state().cycle() != first.engine.state().cycle() {
+                return Some(DivergenceKind::CycleCounter);
+            }
+        }
+
+        // 4. Visible outputs — only components every lane maintains
+        //    (optimizing engines may elide dead latches).
+        for (id, _) in self.design.iter() {
+            if !self.lanes.iter().all(|l| l.engine.observes_output(id)) {
+                continue;
+            }
+            let v = first.engine.state().output(id);
+            if rest.iter().any(|l| l.engine.state().output(id) != v) {
+                return Some(DivergenceKind::Output {
+                    component: self.design.name(id).to_string(),
+                });
+            }
+        }
+
+        // 5. Memory cells.
+        for &id in self.design.memories() {
+            let cells = first.engine.state().cells(id);
+            for lane in rest {
+                let other = lane.engine.state().cells(id);
+                if let Some(addr) = first_difference(cells, other) {
+                    return Some(DivergenceKind::Cells {
+                        component: self.design.name(id).to_string(),
+                        addr,
+                    });
+                }
+            }
+        }
+
+        None
+    }
+
+    fn checkpoint(&mut self) {
+        // At a checkpoint all lanes' output buffers are byte-identical
+        // (the trace comparison just passed), so one length/drain amount
+        // serves every lane.
+        let len = self.lanes[0].out.len();
+        if self.options.retain_output {
+            self.verified_out = len;
+        } else {
+            // Keep a tail for divergence-report trace windows; drain the
+            // rest so long runs stay O(interval), not O(cycles).
+            const TRACE_TAIL: usize = 4096;
+            let drain = len.saturating_sub(TRACE_TAIL);
+            if drain > 0 {
+                for lane in &mut self.lanes {
+                    lane.out.drain(..drain);
+                }
+            }
+            self.verified_out = len - drain;
+        }
+        // Rewind only ever happens when a burst covered more than one
+        // cycle, so at stride 1 the state/input snapshots would be pure
+        // clone traffic (the whole memory image per lane per cycle).
+        let rewindable = self.options.compare_every > 1;
+        for lane in &mut self.lanes {
+            if rewindable {
+                lane.check_state = lane.engine.snapshot();
+                lane.check_input = lane.input.clone();
+            }
+            lane.check_out = lane.out.len();
+        }
+    }
+
+    fn rewind(&mut self) {
+        for lane in &mut self.lanes {
+            lane.engine.restore(&lane.check_state);
+            lane.input = lane.check_input.clone();
+            lane.out.truncate(lane.check_out);
+            lane.error = None;
+        }
+    }
+
+    fn build_report(&self) -> DivergenceReport {
+        let kind = self.compare().expect("report requested without divergence");
+        let window = self.options.trace_window;
+        let lanes = match &kind {
+            DivergenceKind::Output { component } => {
+                let id = self
+                    .design
+                    .find(component)
+                    .expect("component came from design");
+                self.lanes
+                    .iter()
+                    .map(|l| l.report(Some(l.engine.state().output(id)), window))
+                    .collect()
+            }
+            DivergenceKind::Cells { component, addr } => {
+                let id = self
+                    .design
+                    .find(component)
+                    .expect("component came from design");
+                self.lanes
+                    .iter()
+                    .map(|l| l.report(Some(l.engine.state().cell(id, *addr)), window))
+                    .collect()
+            }
+            _ => self.lanes.iter().map(|l| l.report(None, window)).collect(),
+        };
+        DivergenceReport {
+            scenario: String::new(),
+            cycle: Word::try_from(self.verified).unwrap_or(Word::MAX),
+            kind,
+            lanes,
+        }
+    }
+}
+
+enum BurstResult {
+    /// All cycles ran and compared equal.
+    Agree,
+    /// Lanes agree, including an identical runtime error; carries the
+    /// number of *completed* cycles in this burst.
+    Halted(u64),
+    /// Comparison failed; carries the cycles stepped in this burst.
+    Diverged(u64),
+}
+
+fn first_difference(a: &[Word], b: &[Word]) -> Option<u32> {
+    debug_assert_eq!(a.len(), b.len(), "same design, same memory sizes");
+    a.iter().zip(b).position(|(x, y)| x != y).map(|i| i as u32)
+}
+
+/// Runs a [`Scenario`] through lockstep with the given engine tiers.
+///
+/// # Errors
+///
+/// Propagates specification parse/elaboration errors; simulation runtime
+/// errors are part of the [`CosimOutcome`], not an `Err`.
+pub fn run_scenario(
+    scenario: &Scenario,
+    kinds: &[EngineKind],
+    options: &CosimOptions,
+) -> Result<CosimOutcome, LoadError> {
+    let design = scenario.design()?;
+    let mut lockstep = Lockstep::new(&design, options.clone());
+    lockstep.stimulus(scenario.input.clone());
+    for &kind in kinds {
+        lockstep.add_engine(kind);
+    }
+    let mut outcome = lockstep.run(scenario.cycles);
+    if let CosimOutcome::Divergence(report) = &mut outcome {
+        report.scenario = scenario.name.clone();
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design(src: &str) -> Design {
+        Design::from_source(src).unwrap()
+    }
+
+    const COUNTER: &str = "# c\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .";
+
+    #[test]
+    fn engines_agree_on_the_counter() {
+        let d = design(COUNTER);
+        let mut ls = Lockstep::new(&d, CosimOptions::default());
+        ls.add_engine(EngineKind::Interp).add_engine(EngineKind::Vm);
+        assert_eq!(
+            ls.run(64),
+            CosimOutcome::Agreement {
+                cycles: 64,
+                halted: None
+            }
+        );
+        assert_eq!(ls.verified_cycles(), 64);
+    }
+
+    #[test]
+    fn all_four_tiers_agree_with_coarse_comparison() {
+        let d = design(COUNTER);
+        let mut ls = Lockstep::new(
+            &d,
+            CosimOptions {
+                compare_every: 16,
+                ..CosimOptions::default()
+            },
+        );
+        for kind in EngineKind::ALL {
+            ls.add_engine(kind);
+        }
+        assert!(ls.run(100).agreed());
+    }
+
+    #[test]
+    fn unanimous_runtime_errors_are_agreement() {
+        // Selector goes out of range at cycle 2 in every engine.
+        let d = design("# bad\nc s n .\nM c 0 n 1 1\nA n 4 c 1\nS s c 1 2 .");
+        let mut ls = Lockstep::new(&d, CosimOptions::default());
+        ls.add_engine(EngineKind::Interp).add_engine(EngineKind::Vm);
+        match ls.run(50) {
+            CosimOutcome::Agreement {
+                cycles,
+                halted: Some(e),
+            } => {
+                assert_eq!(cycles, 2);
+                assert!(e.contains("selector"), "{e}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scripted_input_is_replayed_per_lane() {
+        let d = design("# io\ni* acc n .\nM i 1 0 2 1\nM acc 0 n 1 1\nA n 4 acc i .");
+        let mut ls = Lockstep::new(&d, CosimOptions::default());
+        ls.stimulus((1..=8).collect::<Vec<Word>>());
+        ls.add_engine(EngineKind::Interp).add_engine(EngineKind::Vm);
+        assert!(ls.run(8).agreed());
+    }
+
+    #[test]
+    fn exhausted_input_halts_unanimously() {
+        let d = design("# io\ni .\nM i 1 0 2 1 .");
+        let mut ls = Lockstep::new(&d, CosimOptions::default());
+        ls.stimulus(vec![5, 6]);
+        ls.add_engine(EngineKind::Interp).add_engine(EngineKind::Vm);
+        match ls.run(10) {
+            CosimOutcome::Agreement {
+                cycles: 2,
+                halted: Some(e),
+            } => {
+                assert!(e.to_lowercase().contains("input"), "{e}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

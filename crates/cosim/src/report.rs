@@ -1,0 +1,63 @@
+//! Shared result-row rendering for the corpus and fuzz reports, so the
+//! status derivation, summary line and halt/divergence dumps cannot
+//! drift apart between the two.
+
+use crate::lockstep::DivergenceReport;
+
+/// One scenario/case outcome, borrowed from the owning report.
+pub(crate) struct ResultRow<'a> {
+    pub name: &'a str,
+    pub cycles: u64,
+    pub halted: Option<&'a str>,
+    pub divergence: Option<&'a DivergenceReport>,
+}
+
+impl ResultRow<'_> {
+    /// Agreed over the full horizon: no divergence *and* no halt (a
+    /// unanimous halt verifies nothing past the halting cycle, and both
+    /// the corpus and the generator promise halt-free horizons).
+    pub(crate) fn clean(&self) -> bool {
+        self.divergence.is_none() && self.halted.is_none()
+    }
+}
+
+/// Whether every row is clean.
+pub(crate) fn all_clean<'a>(rows: impl Iterator<Item = ResultRow<'a>>) -> bool {
+    let mut rows = rows;
+    rows.all(|r| r.clean())
+}
+
+/// Writes the per-row lines, the summary line, and the full divergence
+/// reports.
+pub(crate) fn write_rows(
+    f: &mut std::fmt::Formatter<'_>,
+    rows: &[ResultRow<'_>],
+) -> std::fmt::Result {
+    for r in rows {
+        let status = match (&r.divergence, &r.halted) {
+            (Some(_), _) => "DIVERGED",
+            (None, Some(_)) => "halted",
+            (None, None) => "ok",
+        };
+        writeln!(f, "  {:<22} {:>6} cycles  {status}", r.name, r.cycles)?;
+        if let Some(e) = r.halted {
+            writeln!(f, "    halt: {e}")?;
+        }
+    }
+    let diverged = rows.iter().filter(|r| r.divergence.is_some()).count();
+    let total: u64 = rows.iter().map(|r| r.cycles).sum();
+    writeln!(
+        f,
+        "summary: {}/{} agreed, {} diverged, {} cycles verified",
+        rows.len() - diverged,
+        rows.len(),
+        diverged,
+        total,
+    )?;
+    for r in rows {
+        if let Some(report) = r.divergence {
+            write!(f, "{report}")?;
+        }
+    }
+    Ok(())
+}

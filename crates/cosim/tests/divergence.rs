@@ -1,0 +1,199 @@
+//! Proof that the harness actually detects divergences: a deliberately
+//! broken engine must be caught at exactly the cycle it misbehaves, with
+//! the right report shape — and the interp-vs-VM pairing must stay clean
+//! on generated scenarios (the property the whole subsystem guards).
+
+use proptest::prelude::*;
+use rtl_core::{Design, Engine, InputSource, SimError, SimState, Word};
+use rtl_cosim::{
+    generate_scenario, CosimOptions, CosimOutcome, DivergenceKind, EngineKind, GenOptions, Lockstep,
+};
+use rtl_interp::Interpreter;
+use std::io::Write;
+
+/// How the broken engine misbehaves.
+#[derive(Clone, Copy)]
+enum Fault {
+    /// Corrupts one component's visible output from `at_cycle` on.
+    Output,
+    /// Writes garbage into the trace stream at `at_cycle`.
+    Trace,
+    /// Raises a runtime error at `at_cycle`.
+    Error,
+}
+
+/// An interpreter wrapper that sabotages one cycle — the test double for
+/// the harness itself.
+struct BrokenEngine<'d> {
+    inner: Interpreter<'d>,
+    fault: Fault,
+    at_cycle: Word,
+}
+
+impl<'d> BrokenEngine<'d> {
+    fn new(design: &'d Design, fault: Fault, at_cycle: Word) -> Self {
+        BrokenEngine {
+            inner: Interpreter::new(design),
+            fault,
+            at_cycle,
+        }
+    }
+}
+
+impl Engine for BrokenEngine<'_> {
+    fn design(&self) -> &Design {
+        self.inner.design()
+    }
+
+    fn state(&self) -> &SimState {
+        self.inner.state()
+    }
+
+    fn restore(&mut self, snapshot: &SimState) {
+        self.inner.restore(snapshot);
+    }
+
+    fn step(&mut self, out: &mut dyn Write, input: &mut dyn InputSource) -> Result<(), SimError> {
+        let cycle = self.inner.state().cycle();
+        if cycle >= self.at_cycle {
+            match self.fault {
+                Fault::Error => {
+                    return Err(SimError::BadAluFunction {
+                        component: "sabotaged".into(),
+                        funct: 99,
+                        cycle,
+                    });
+                }
+                Fault::Trace => {
+                    self.inner.step(out, input)?;
+                    writeln!(out, "garbage")?;
+                    return Ok(());
+                }
+                Fault::Output => {
+                    self.inner.step(out, input)?;
+                    let id = self.inner.design().id_at(0);
+                    let bad = self.inner.state().output(id) + 1000;
+                    let mut corrupted = self.inner.snapshot();
+                    corrupted.set_output(id, bad);
+                    self.inner.restore(&corrupted);
+                    return Ok(());
+                }
+            }
+        }
+        self.inner.step(out, input)
+    }
+}
+
+const COUNTER: &str = "# c\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .";
+
+fn broken_lockstep(fault: Fault, at_cycle: Word, options: CosimOptions) -> CosimOutcome {
+    let design = Design::from_source(COUNTER).unwrap();
+    let mut lockstep = Lockstep::new(&design, options);
+    lockstep.add_engine(EngineKind::Vm);
+    lockstep.add_lane(
+        "broken",
+        Box::new(BrokenEngine::new(&design, fault, at_cycle)),
+    );
+    lockstep.run(40)
+}
+
+#[test]
+fn output_fault_is_caught_at_the_exact_cycle() {
+    let outcome = broken_lockstep(Fault::Output, 17, CosimOptions::default());
+    let CosimOutcome::Divergence(report) = outcome else {
+        panic!("expected divergence, got {outcome:?}");
+    };
+    assert_eq!(report.cycle, 17, "{report}");
+    // The counter's memory is component 0; its corrupted latch diverges.
+    assert!(
+        matches!(&report.kind, DivergenceKind::Output { component } if component == "count"),
+        "{report}"
+    );
+    assert_eq!(report.lanes.len(), 2);
+    let values: Vec<Option<Word>> = report.lanes.iter().map(|l| l.value).collect();
+    assert_eq!(values[0].unwrap() + 1000, values[1].unwrap(), "{report}");
+}
+
+#[test]
+fn trace_fault_is_caught_at_the_exact_cycle() {
+    let outcome = broken_lockstep(Fault::Trace, 5, CosimOptions::default());
+    let CosimOutcome::Divergence(report) = outcome else {
+        panic!("expected divergence, got {outcome:?}");
+    };
+    assert_eq!(report.cycle, 5);
+    assert_eq!(report.kind, DivergenceKind::Trace);
+    // The broken lane's window shows the injected garbage.
+    let broken = report.lanes.iter().find(|l| l.engine == "broken").unwrap();
+    assert!(
+        broken.trace_window.iter().any(|l| l == "garbage"),
+        "{report}"
+    );
+}
+
+#[test]
+fn one_sided_error_is_a_divergence_not_a_halt() {
+    let outcome = broken_lockstep(Fault::Error, 9, CosimOptions::default());
+    let CosimOutcome::Divergence(report) = outcome else {
+        panic!("expected divergence, got {outcome:?}");
+    };
+    assert_eq!(report.cycle, 9);
+    assert_eq!(report.kind, DivergenceKind::Error);
+    let broken = report.lanes.iter().find(|l| l.engine == "broken").unwrap();
+    assert!(
+        broken.error.as_deref().unwrap_or("").contains("sabotaged"),
+        "{report}"
+    );
+    let healthy = report.lanes.iter().find(|l| l.engine == "vm").unwrap();
+    assert!(healthy.error.is_none());
+}
+
+#[test]
+fn coarse_comparison_bisects_to_the_same_cycle() {
+    // Compare every 16 cycles; the fault at cycle 21 lands mid-interval,
+    // so detection requires the checkpoint-rewind bisection path.
+    for fault in [Fault::Output, Fault::Trace, Fault::Error] {
+        let options = CosimOptions {
+            compare_every: 16,
+            ..CosimOptions::default()
+        };
+        let outcome = broken_lockstep(fault, 21, options);
+        let CosimOutcome::Divergence(report) = outcome else {
+            panic!("expected divergence");
+        };
+        assert_eq!(report.cycle, 21, "{report}");
+    }
+}
+
+proptest! {
+    /// The central safety property, now via the subsystem that owns it:
+    /// interpreter and VM agree in lockstep on arbitrary generated
+    /// scenarios (stimulus included) for a bounded cycle budget.
+    #[test]
+    fn interp_vs_vm_lockstep_on_generated_scenarios(seed in 0u64..300, size in 1usize..25) {
+        let options = GenOptions { size, cycles: 24, ..GenOptions::default() };
+        let scenario = generate_scenario(seed, &options);
+        let outcome = rtl_cosim::run_scenario(
+            &scenario,
+            &[EngineKind::Interp, EngineKind::Vm],
+            &CosimOptions::default(),
+        ).expect("generated scenarios elaborate");
+        prop_assert!(outcome.agreed(), "{scenario:?}: {outcome:?}");
+    }
+
+    /// Coarse comparison intervals never change the verdict on clean runs.
+    #[test]
+    fn comparison_stride_does_not_change_verdicts(seed in 0u64..40, stride in 1u64..32) {
+        let scenario = generate_scenario(seed, &GenOptions { size: 10, cycles: 32, ..GenOptions::default() });
+        let fine = rtl_cosim::run_scenario(
+            &scenario,
+            &[EngineKind::Interp, EngineKind::Vm],
+            &CosimOptions::default(),
+        ).unwrap();
+        let coarse = rtl_cosim::run_scenario(
+            &scenario,
+            &[EngineKind::Interp, EngineKind::Vm],
+            &CosimOptions { compare_every: stride, ..CosimOptions::default() },
+        ).unwrap();
+        prop_assert_eq!(fine.agreed(), coarse.agreed());
+    }
+}

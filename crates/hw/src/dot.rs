@@ -46,10 +46,8 @@ mod tests {
 
     #[test]
     fn dot_output_is_well_formed() {
-        let d = Design::from_source(
-            "# d\nc n mux .\nM c 0 n 1 1\nA n 4 c 1\nS mux c.0 n 0 .",
-        )
-        .unwrap();
+        let d =
+            Design::from_source("# d\nc n mux .\nM c 0 n 1 1\nA n 4 c 1\nS mux c.0 n 0 .").unwrap();
         let nl = Netlist::extract(&d);
         let dot = to_dot(&d, &nl);
         assert!(dot.starts_with("digraph asim {"));

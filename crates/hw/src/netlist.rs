@@ -6,7 +6,7 @@
 //! inside a component's expressions becomes a [`Net`] from the producer to
 //! the consuming port, carrying its bit range.
 
-use rtl_core::{CompId, Design, RKind, RExpr};
+use rtl_core::{CompId, Design, RExpr, RKind};
 use rtl_lang::Part;
 
 /// Which input port of a component a net drives.
@@ -143,13 +143,7 @@ impl Netlist {
     }
 }
 
-fn collect_nets(
-    design: &Design,
-    to: CompId,
-    expr: &RExpr,
-    role: PortRole,
-    nets: &mut Vec<Net>,
-) {
+fn collect_nets(design: &Design, to: CompId, expr: &RExpr, role: PortRole, nets: &mut Vec<Net>) {
     for part in &expr.source.parts {
         if let Part::Ref { name, from, to: hi } = part {
             let from_id = design
@@ -160,7 +154,12 @@ fn collect_nets(
                 (Some(f), None) => BitRange::Bit(*f),
                 (Some(f), Some(t)) => BitRange::Field(*f, *t),
             };
-            nets.push(Net { from: from_id, to, role, bits });
+            nets.push(Net {
+                from: from_id,
+                to,
+                role,
+                bits,
+            });
         }
     }
 }
@@ -176,9 +175,7 @@ mod tests {
 
     #[test]
     fn roles_and_bits_are_recorded() {
-        let d = design(
-            "# n\ns m a .\nS s m.0.1 a m.3 0 a\nA a 4 m 1\nM m 0 a.0.3 1 1 .",
-        );
+        let d = design("# n\ns m a .\nS s m.0.1 a m.3 0 a\nA a 4 m 1\nM m 0 a.0.3 1 1 .");
         let nl = Netlist::extract(&d);
         let s = d.find("s").unwrap();
         let inputs: Vec<_> = nl.inputs_of(s).collect();
@@ -203,7 +200,11 @@ mod tests {
     fn fanout_counts_consumers() {
         let d = design("# n\na b c .\nA a 2 1 0\nA b 4 a a\nA c 4 a 1 .");
         let nl = Netlist::extract(&d);
-        assert_eq!(nl.fanout(d.find("a").unwrap()), 3, "a feeds b twice and c once");
+        assert_eq!(
+            nl.fanout(d.find("a").unwrap()),
+            3,
+            "a feeds b twice and c once"
+        );
         assert_eq!(nl.fanout(d.find("c").unwrap()), 0);
     }
 

@@ -67,7 +67,12 @@ pub fn select(design: &Design, netlist: &Netlist) -> Vec<Part> {
                 RKind::Selector(s) => mux_part(s.cases.len(), width),
                 RKind::Memory(m) => memory_part(m, width),
             };
-            Part { comp: id, kind, name, chips }
+            Part {
+                comp: id,
+                kind,
+                name,
+                chips,
+            }
         })
         .collect()
 }
@@ -81,11 +86,7 @@ fn alu_part(funct: Option<i64>, width: u32) -> (PartKind, String, u32) {
         Some(AluFn::Zero) | Some(AluFn::Unused) | Some(AluFn::Left) | Some(AluFn::Right) => {
             (PartKind::Wiring, "wiring only".into(), 0)
         }
-        Some(AluFn::Not) => (
-            PartKind::Inverters,
-            "hex inverter".into(),
-            per(width, 6),
-        ),
+        Some(AluFn::Not) => (PartKind::Inverters, "hex inverter".into(), per(width, 6)),
         Some(AluFn::Add) => (PartKind::Adders, "4 bit adder".into(), per(width, 4)),
         Some(AluFn::Sub) => (
             PartKind::Adders,
@@ -195,7 +196,10 @@ mod tests {
             "# p\nsum cmp gate m .\nA sum 4 m m\nA cmp 13 m m\nA gate 8 m m\nM m 0 0 0 -2 9 9 .",
         );
         assert!(matches!(part_of(&d, &parts, "sum").kind, PartKind::Adders));
-        assert!(matches!(part_of(&d, &parts, "cmp").kind, PartKind::Comparators));
+        assert!(matches!(
+            part_of(&d, &parts, "cmp").kind,
+            PartKind::Comparators
+        ));
         assert_eq!(part_of(&d, &parts, "gate").name, "quad AND");
     }
 
@@ -237,9 +241,7 @@ mod tests {
 
     #[test]
     fn bom_aggregates() {
-        let (_, parts) = parts_for(
-            "# p\ns1 s2 m .\nA s1 4 m m\nA s2 4 m m\nM m 0 0 0 -2 9 9 .",
-        );
+        let (_, parts) = parts_for("# p\ns1 s2 m .\nA s1 4 m m\nA s2 4 m m\nM m 0 0 0 -2 9 9 .");
         let bom = bill_of_materials(&parts);
         let adders = bom.iter().find(|(n, _)| n == "4 bit adder").unwrap();
         // Each sum is 5 bits wide (4-bit operands plus carry): two chips

@@ -26,9 +26,16 @@ pub fn wiring_list(design: &Design, netlist: &Netlist) -> String {
 /// The component/parts table plus the aggregated bill of materials.
 pub fn inventory(design: &Design, netlist: &Netlist, parts: &[Part]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<12} {:>5} {:>6}  part", "component", "width", "fanout");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>5} {:>6}  part",
+        "component", "width", "fanout"
+    );
     for (id, comp) in design.iter() {
-        let part = parts.iter().find(|p| p.comp == id).expect("part per component");
+        let part = parts
+            .iter()
+            .find(|p| p.comp == id)
+            .expect("part per component");
         let kind = match comp.kind {
             RKind::Alu(_) => "A",
             RKind::Selector(_) => "S",
@@ -82,10 +89,8 @@ mod tests {
 
     #[test]
     fn report_covers_all_components() {
-        let d = Design::from_source(
-            "# demo\nc n mux .\nM c 0 n 1 1\nA n 4 c 1\nS mux c.0 n 0 .",
-        )
-        .unwrap();
+        let d = Design::from_source("# demo\nc n mux .\nM c 0 n 1 1\nA n 4 c 1\nS mux c.0 n 0 .")
+            .unwrap();
         let r = full_report(&d);
         for name in ["c", "n", "mux"] {
             assert!(r.contains(name), "{name} missing:\n{r}");

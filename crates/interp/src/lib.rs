@@ -100,7 +100,12 @@ mod tests {
         let mut sim = Interpreter::new(&d);
         let err = run_captured(&mut sim, 5).unwrap_err().1;
         match err {
-            SimError::SelectorOutOfRange { component, index, cases, cycle } => {
+            SimError::SelectorOutOfRange {
+                component,
+                index,
+                cases,
+                cycle,
+            } => {
                 assert_eq!(component, "s");
                 assert_eq!(index, 2);
                 assert_eq!(cases, 2);
@@ -115,7 +120,10 @@ mod tests {
         let d = design("# bad\nc m n .\nM c 0 n 1 1\nA n 4 c 1\nM m c 0 0 2 .");
         let mut sim = Interpreter::new(&d);
         let err = run_captured(&mut sim, 5).unwrap_err().1;
-        assert!(matches!(err, SimError::AddressOutOfRange { address: 2, .. }));
+        assert!(matches!(
+            err,
+            SimError::AddressOutOfRange { address: 2, .. }
+        ));
     }
 
     #[test]
@@ -130,23 +138,20 @@ mod tests {
     fn write_through_latch() {
         // A register written every cycle exposes the written value on its
         // latch the *next* cycle.
-        let out = run(
-            "# wt\nr* n c .\nM c 0 n 1 1\nA n 4 c 1\nM r 0 n 1 1 .",
-            3,
-        );
+        let out = run("# wt\nr* n c .\nM c 0 n 1 1\nA n 4 c 1\nM r 0 n 1 1 .", 3);
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines[0], "Cycle   0 r= 0");
-        assert_eq!(lines[1], "Cycle   1 r= 1", "write-through: n was 1 at cycle 0");
+        assert_eq!(
+            lines[1], "Cycle   1 r= 1",
+            "write-through: n was 1 at cycle 0"
+        );
         assert_eq!(lines[2], "Cycle   2 r= 2");
     }
 
     #[test]
     fn memory_mapped_output() {
         // Write the counter to output address 1 every cycle (op 3).
-        let out = run(
-            "# out\nc n o .\nM c 0 n 1 1\nA n 4 c 1\nM o 1 c 3 1 .",
-            3,
-        );
+        let out = run("# out\nc n o .\nM c 0 n 1 1\nA n 4 c 1\nM o 1 c 3 1 .", 3);
         assert_eq!(out, "Cycle   0\n0\nCycle   1\n1\nCycle   2\n2\n");
     }
 
@@ -251,9 +256,8 @@ mod tests {
 
     #[test]
     fn trace_can_be_disabled() {
-        let d = design(
-            "# c\ncount* next o .\nM count 0 next 1 1\nA next 4 count 1\nM o 1 count 3 1 .",
-        );
+        let d =
+            design("# c\ncount* next o .\nM count 0 next 1 1\nA next 4 count 1\nM o 1 count 3 1 .");
         let mut sim = Interpreter::with_options(&d, InterpOptions::quiet());
         let text = run_captured(&mut sim, 2).unwrap();
         // Output events still appear; trace lines do not.

@@ -81,10 +81,8 @@ mod tests {
 
     #[test]
     fn find_scans_in_definition_order() {
-        let d = rtl_core::Design::from_source(
-            "# s\na b c .\nA a 2 1 0\nA b 2 2 0\nA c 2 3 0 .",
-        )
-        .unwrap();
+        let d = rtl_core::Design::from_source("# s\na b c .\nA a 2 1 0\nA b 2 2 0\nA c 2 3 0 .")
+            .unwrap();
         let t = SymbolTable::new(&d);
         assert_eq!(t.len(), 3);
         assert_eq!(t.find("a"), 0);

@@ -49,8 +49,16 @@ impl Program {
         for r in &expr.ops {
             ops.push(Op::Load(r.comp));
             match r.mode {
-                RefMode::Field { mask, rshift, lshift } => {
-                    ops.push(Op::Field { mask, rshift, lshift });
+                RefMode::Field {
+                    mask,
+                    rshift,
+                    lshift,
+                } => {
+                    ops.push(Op::Field {
+                        mask,
+                        rshift,
+                        lshift,
+                    });
                 }
                 RefMode::Raw { lshift } => {
                     if lshift != 0 {
@@ -107,7 +115,11 @@ impl Program {
                     };
                     stack.push(outputs[index]);
                 }
-                Op::Field { mask, rshift, lshift } => {
+                Op::Field {
+                    mask,
+                    rshift,
+                    lshift,
+                } => {
                     let v = stack.pop().expect("operand for field");
                     stack.push((land(v, mask) >> rshift) << lshift);
                 }

@@ -3,8 +3,8 @@
 use crate::lookup::{LookupMode, SymbolTable};
 use crate::postfix::Program;
 use rtl_core::{
-    trace, AluFn, CompId, Design, Engine, InputSource, MemOp, RKind, SimError, SimState,
-    SimStats, Word,
+    trace, AluFn, CompId, Design, Engine, InputSource, MemOp, RKind, SimError, SimState, SimStats,
+    Word,
 };
 use std::io::Write;
 
@@ -28,18 +28,27 @@ impl InterpOptions {
 
     /// Trace off (throughput experiments).
     pub fn quiet() -> Self {
-        InterpOptions { trace: false, ..Self::default() }
+        InterpOptions {
+            trace: false,
+            ..Self::default()
+        }
     }
 
     /// The faithful 1986 configuration: trace on, symbol-table lookups.
     pub fn faithful() -> Self {
-        InterpOptions { trace: true, lookup: LookupMode::SymbolTable }
+        InterpOptions {
+            trace: true,
+            lookup: LookupMode::SymbolTable,
+        }
     }
 }
 
 impl Default for InterpOptions {
     fn default() -> Self {
-        InterpOptions { trace: true, lookup: LookupMode::Indexed }
+        InterpOptions {
+            trace: true,
+            lookup: LookupMode::Indexed,
+        }
     }
 }
 
@@ -172,9 +181,9 @@ impl<'d> Interpreter<'d> {
             .comb
             .iter()
             .map(|c| match c {
-                CombStep::Alu { funct, left, right, .. } => {
-                    funct.len() + left.len() + right.len()
-                }
+                CombStep::Alu {
+                    funct, left, right, ..
+                } => funct.len() + left.len() + right.len(),
                 CombStep::Selector { select, cases, .. } => {
                     select.len() + cases.iter().map(Program::len).sum::<usize>()
                 }
@@ -204,20 +213,27 @@ impl Engine for Interpreter<'_> {
         &self.state
     }
 
-    fn step(
-        &mut self,
-        out: &mut dyn Write,
-        input: &mut dyn InputSource,
-    ) -> Result<(), SimError> {
+    fn restore(&mut self, snapshot: &SimState) {
+        self.state = snapshot.clone();
+    }
+
+    fn step(&mut self, out: &mut dyn Write, input: &mut dyn InputSource) -> Result<(), SimError> {
         let cycle = self.state.cycle();
 
         // 1. Combinational phase, in dependency order.
         for step in &self.comb {
             match step {
-                CombStep::Alu { id, funct, left, right } => {
-                    let f = funct.eval(self.state.outputs(), &mut self.stack, self.symbols.as_ref());
+                CombStep::Alu {
+                    id,
+                    funct,
+                    left,
+                    right,
+                } => {
+                    let f =
+                        funct.eval(self.state.outputs(), &mut self.stack, self.symbols.as_ref());
                     let l = left.eval(self.state.outputs(), &mut self.stack, self.symbols.as_ref());
-                    let r = right.eval(self.state.outputs(), &mut self.stack, self.symbols.as_ref());
+                    let r =
+                        right.eval(self.state.outputs(), &mut self.stack, self.symbols.as_ref());
                     let fun = AluFn::from_word(f).ok_or_else(|| SimError::BadAluFunction {
                         component: self.design.name(*id).to_string(),
                         funct: f,
@@ -226,7 +242,8 @@ impl Engine for Interpreter<'_> {
                     self.state.set_output(*id, fun.apply(l, r));
                 }
                 CombStep::Selector { id, select, cases } => {
-                    let idx = select.eval(self.state.outputs(), &mut self.stack, self.symbols.as_ref());
+                    let idx =
+                        select.eval(self.state.outputs(), &mut self.stack, self.symbols.as_ref());
                     let case = usize::try_from(idx)
                         .ok()
                         .and_then(|i| cases.get(i))
@@ -255,9 +272,15 @@ impl Engine for Interpreter<'_> {
         // data against pre-update latches (simultaneous-update semantics).
         for (plan, scratch) in self.mems.iter().zip(self.scratch.iter_mut()) {
             let symbols = self.symbols.as_ref();
-            scratch.addr = plan.addr.eval(self.state.outputs(), &mut self.stack, symbols);
-            scratch.opn = plan.opn.eval(self.state.outputs(), &mut self.stack, symbols);
-            scratch.data = plan.data.eval(self.state.outputs(), &mut self.stack, symbols);
+            scratch.addr = plan
+                .addr
+                .eval(self.state.outputs(), &mut self.stack, symbols);
+            scratch.opn = plan
+                .opn
+                .eval(self.state.outputs(), &mut self.stack, symbols);
+            scratch.data = plan
+                .data
+                .eval(self.state.outputs(), &mut self.stack, symbols);
         }
 
         // 4. Update phase, in definition order.

@@ -105,7 +105,10 @@ impl Part {
 
     /// A constant masked to `width` bits.
     pub fn sized(value: Word, width: u8) -> Self {
-        Part::Const { value, width: Some(width) }
+        Part::Const {
+            value,
+            width: Some(width),
+        }
     }
 
     /// A bit string of `width` digits.
@@ -115,17 +118,29 @@ impl Part {
 
     /// A full-width reference to `name`.
     pub fn reference(name: impl Into<Ident>) -> Self {
-        Part::Ref { name: name.into(), from: None, to: None }
+        Part::Ref {
+            name: name.into(),
+            from: None,
+            to: None,
+        }
     }
 
     /// A single-bit reference `name.bit`.
     pub fn bit(name: impl Into<Ident>, bit: u8) -> Self {
-        Part::Ref { name: name.into(), from: Some(bit), to: None }
+        Part::Ref {
+            name: name.into(),
+            from: Some(bit),
+            to: None,
+        }
     }
 
     /// A bit-field reference `name.from.to`.
     pub fn field(name: impl Into<Ident>, from: u8, to: u8) -> Self {
-        Part::Ref { name: name.into(), from: Some(from), to: Some(to) }
+        Part::Ref {
+            name: name.into(),
+            from: Some(from),
+            to: Some(to),
+        }
     }
 
     /// The width this part contributes to a concatenation, or `None` when it
@@ -134,8 +149,16 @@ impl Part {
         match self {
             Part::Const { width, .. } => *width,
             Part::Bits { width, .. } => Some(*width),
-            Part::Ref { from: Some(f), to: Some(t), .. } => Some(t - f + 1),
-            Part::Ref { from: Some(_), to: None, .. } => Some(1),
+            Part::Ref {
+                from: Some(f),
+                to: Some(t),
+                ..
+            } => Some(t - f + 1),
+            Part::Ref {
+                from: Some(_),
+                to: None,
+                ..
+            } => Some(1),
             Part::Ref { from: None, .. } => None,
         }
     }
@@ -153,13 +176,26 @@ impl fmt::Display for Part {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Part::Const { value, width: None } => write!(f, "{value}"),
-            Part::Const { value, width: Some(w) } => write!(f, "{value}.{w}"),
+            Part::Const {
+                value,
+                width: Some(w),
+            } => write!(f, "{value}.{w}"),
             Part::Bits { value, width } => {
                 write!(f, "#{value:0width$b}", width = *width as usize)
             }
-            Part::Ref { name, from: None, .. } => write!(f, "{name}"),
-            Part::Ref { name, from: Some(a), to: None } => write!(f, "{name}.{a}"),
-            Part::Ref { name, from: Some(a), to: Some(b) } => write!(f, "{name}.{a}.{b}"),
+            Part::Ref {
+                name, from: None, ..
+            } => write!(f, "{name}"),
+            Part::Ref {
+                name,
+                from: Some(a),
+                to: None,
+            } => write!(f, "{name}.{a}"),
+            Part::Ref {
+                name,
+                from: Some(a),
+                to: Some(b),
+            } => write!(f, "{name}.{a}.{b}"),
         }
     }
 }
@@ -181,7 +217,10 @@ impl Expr {
     /// Panics if `parts` is empty.
     pub fn from_parts(parts: Vec<Part>) -> Self {
         assert!(!parts.is_empty(), "an expression needs at least one part");
-        Expr { parts, span: Span::default() }
+        Expr {
+            parts,
+            span: Span::default(),
+        }
     }
 
     /// A single-part expression.

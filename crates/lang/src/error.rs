@@ -61,7 +61,10 @@ impl fmt::Display for ParseErrorKind {
             NumberTooLarge(s) => write!(f, "Error. Number {s} exceeds 31 bits."),
             UndefinedMacro(s) => write!(f, "Error. Macro <~{s}> not defined."),
             InvalidName(s) => {
-                write!(f, "Error. Component name {s} invalid, use letters and numbers only.")
+                write!(
+                    f,
+                    "Error. Component name {s} invalid, use letters and numbers only."
+                )
             }
             ExpectedComponent(s) => write!(f, "Error. Component expected. Got <{s}> instead."),
             UnexpectedEnd(what) => write!(f, "Error. Unexpected end of file: expected {what}."),
@@ -113,7 +116,10 @@ mod tests {
             ParseErrorKind::MalformedNumber("%102".into()),
             Span::point(Pos::new(7, 3)),
         );
-        assert_eq!(e.to_string(), "Error. Malformed number %102. (line 7, col 3)");
+        assert_eq!(
+            e.to_string(),
+            "Error. Malformed number %102. (line 7, col 3)"
+        );
 
         let e = ParseError::new(ParseErrorKind::MissingComment, Span::point(Pos::start()));
         assert!(e.to_string().starts_with("Error. Comment required."));

@@ -134,7 +134,10 @@ fn parse_bits(digits: &str, raw: &str, span: Span) -> Result<Part, ParseError> {
     for b in digits.bytes() {
         value = (value << 1) | i64::from(b - b'0');
     }
-    Ok(Part::Bits { value, width: width as u8 })
+    Ok(Part::Bits {
+        value,
+        width: width as u8,
+    })
 }
 
 fn map_num(r: Result<i64, NumberError>, text: &str, span: Span) -> Result<i64, ParseError> {
@@ -196,7 +199,11 @@ mod tests {
     fn figure_3_1_concatenation() {
         assert_eq!(
             parts("mem.3.4,#01,count.1"),
-            vec![Part::field("mem", 3, 4), Part::bits(1, 2), Part::bit("count", 1)]
+            vec![
+                Part::field("mem", 3, 4),
+                Part::bits(1, 2),
+                Part::bit("count", 1)
+            ]
         );
     }
 
@@ -209,7 +216,11 @@ mod tests {
         );
         assert_eq!(
             parts("1,rom.12,prog.0.3"),
-            vec![Part::constant(1), Part::bit("rom", 12), Part::field("prog", 0, 3)]
+            vec![
+                Part::constant(1),
+                Part::bit("rom", 12),
+                Part::field("prog", 0, 3)
+            ]
         );
         assert_eq!(
             parts("%110,rom.8"),

@@ -51,7 +51,9 @@ pub fn lex(source: &str) -> Result<LexOutput, ParseError> {
     let mut scanner = Scanner::new(rest);
     loop {
         scanner.skip_blank()?;
-        let Some(start) = scanner.peek_pos() else { break };
+        let Some(start) = scanner.peek_pos() else {
+            break;
+        };
         let mut text = String::new();
         let mut end = start;
         while let Some((pos, c)) = scanner.peek() {
@@ -66,7 +68,10 @@ pub fn lex(source: &str) -> Result<LexOutput, ParseError> {
         tokens.push(Token::new(text, Span::new(start, end)));
     }
 
-    Ok(LexOutput { title: first_line.to_string(), tokens })
+    Ok(LexOutput {
+        title: first_line.to_string(),
+        tokens,
+    })
 }
 
 fn is_blank(c: char) -> bool {
@@ -83,7 +88,11 @@ struct Scanner<'s> {
 
 impl<'s> Scanner<'s> {
     fn new(rest: &'s str) -> Self {
-        Scanner { chars: rest.chars().peekable(), line: 2, col: 1 }
+        Scanner {
+            chars: rest.chars().peekable(),
+            line: 2,
+            col: 1,
+        }
     }
 
     fn peek(&mut self) -> Option<(Pos, char)> {
@@ -140,7 +149,12 @@ mod tests {
     use super::*;
 
     fn texts(src: &str) -> Vec<String> {
-        lex(src).unwrap().tokens.into_iter().map(|t| t.text).collect()
+        lex(src)
+            .unwrap()
+            .tokens
+            .into_iter()
+            .map(|t| t.text)
+            .collect()
     }
 
     #[test]

@@ -41,9 +41,7 @@ pub mod pretty;
 pub mod span;
 pub mod token;
 
-pub use ast::{
-    Alu, Component, ComponentKind, Declared, Expr, Ident, Memory, Part, Selector, Spec,
-};
+pub use ast::{Alu, Component, ComponentKind, Declared, Expr, Ident, Memory, Part, Selector, Spec};
 pub use error::{ParseError, ParseErrorKind};
 pub use expr::parse_expr;
 pub use number::{parse_number, Word, WORD_MASK};

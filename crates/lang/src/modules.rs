@@ -45,11 +45,18 @@ impl Instance {
     pub fn new(prefix: impl Into<String>) -> Self {
         let prefix = prefix.into();
         assert!(
-            !prefix.is_empty() && prefix.chars().all(|c| c.is_ascii_alphanumeric())
-                && prefix.chars().next().is_some_and(|c| c.is_ascii_alphabetic()),
+            !prefix.is_empty()
+                && prefix.chars().all(|c| c.is_ascii_alphanumeric())
+                && prefix
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic()),
             "instance prefix {prefix:?} must be letters/digits starting with a letter"
         );
-        Instance { prefix, bindings: HashMap::new() }
+        Instance {
+            prefix,
+            bindings: HashMap::new(),
+        }
     }
 
     /// Binds a module-internal name to an outer component name: every
@@ -89,7 +96,10 @@ impl fmt::Display for ModuleError {
                 write!(f, "binding {n} targets a name the module defines")
             }
             ModuleError::UnboundReference(n) => {
-                write!(f, "module references {n}, which is neither defined nor bound")
+                write!(
+                    f,
+                    "module references {n}, which is neither defined nor bound"
+                )
             }
         }
     }
@@ -143,7 +153,10 @@ pub fn instantiate(module: &Spec, inst: &Instance) -> Result<Vec<Component>, Mod
                 other => Ok(other.clone()),
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Expr { parts, span: e.span })
+        Ok(Expr {
+            parts,
+            span: e.span,
+        })
     };
 
     module
@@ -206,10 +219,9 @@ mod tests {
     #[test]
     fn two_instances_of_one_module() {
         let module = parse(COUNTER_MODULE).unwrap();
-        let mut host = parse(
-            "# host\none* two* eq* .\nA one 2 1 0\nA two 2 2 0\nA eq 12 c0value c1value .",
-        )
-        .unwrap();
+        let mut host =
+            parse("# host\none* two* eq* .\nA one 2 1 0\nA two 2 2 0\nA eq 12 c0value c1value .")
+                .unwrap();
         splice(
             &mut host,
             instantiate(&module, &Instance::new("c0").bind("step", "one")).unwrap(),
@@ -230,12 +242,14 @@ mod tests {
     #[test]
     fn bindings_rewrite_references() {
         let module = parse(COUNTER_MODULE).unwrap();
-        let comps =
-            instantiate(&module, &Instance::new("u").bind("step", "delta")).unwrap();
+        let comps = instantiate(&module, &Instance::new("u").bind("step", "delta")).unwrap();
         let next = &comps[1];
         match &next.kind {
             ComponentKind::Alu(a) => {
-                let refs: Vec<&str> = a.left.references().chain(a.right.references())
+                let refs: Vec<&str> = a
+                    .left
+                    .references()
+                    .chain(a.right.references())
                     .map(Ident::as_str)
                     .collect();
                 assert_eq!(refs, ["uvalue", "delta"]);

@@ -145,8 +145,14 @@ mod tests {
 
     #[test]
     fn malformed() {
-        for bad in ["", "+", "1+", "+1", "12a", "$", "%", "^", "%12", "$G1", "^x", "-3", "1.2"] {
-            assert_eq!(parse_number(bad), Err(NumberError::Malformed), "input {bad:?}");
+        for bad in [
+            "", "+", "1+", "+1", "12a", "$", "%", "^", "%12", "$G1", "^x", "-3", "1.2",
+        ] {
+            assert_eq!(
+                parse_number(bad),
+                Err(NumberError::Malformed),
+                "input {bad:?}"
+            );
         }
     }
 
@@ -158,7 +164,10 @@ mod tests {
             Err(NumberError::TooLarge),
             "sums are range-checked too"
         );
-        assert_eq!(parse_number("99999999999999999999"), Err(NumberError::TooLarge));
+        assert_eq!(
+            parse_number("99999999999999999999"),
+            Err(NumberError::TooLarge)
+        );
     }
 
     #[test]

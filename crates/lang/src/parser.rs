@@ -16,9 +16,7 @@
 //! period on a token is split off as its own token (so `newst.` ends the
 //! name list), both exactly as the original `gettoken` behaves.
 
-use crate::ast::{
-    Alu, Component, ComponentKind, Declared, Expr, Ident, Memory, Selector, Spec,
-};
+use crate::ast::{Alu, Component, ComponentKind, Declared, Expr, Ident, Memory, Selector, Spec};
 use crate::error::{ParseError, ParseErrorKind};
 use crate::expr::parse_expr;
 use crate::lexer::lex;
@@ -68,14 +66,21 @@ pub fn parse(source: &str) -> Result<Spec, ParseError> {
     let mut cycles = None;
     if cur.peek()?.map(|t| t.is_cycles_intro()).unwrap_or(false) {
         cur.next()?;
-        let tok = cur.next()?.ok_or_else(|| unexpected_end("a cycle count", &cur))?;
+        let tok = cur
+            .next()?
+            .ok_or_else(|| unexpected_end("a cycle count", &cur))?;
         cycles = Some(number_token(&tok)?);
     }
 
     let declared = parse_name_list(&mut cur)?;
     let components = parse_components(&mut cur)?;
 
-    Ok(Spec { title: lexed.title, cycles, declared, components })
+    Ok(Spec {
+        title: lexed.title,
+        cycles,
+        declared,
+        components,
+    })
 }
 
 fn parse_name_list(cur: &mut Cursor) -> Result<Vec<Declared>, ParseError> {
@@ -94,7 +99,11 @@ fn parse_name_list(cur: &mut Cursor) -> Result<Vec<Declared>, ParseError> {
         let name = Ident::parse(name_text).ok_or_else(|| {
             ParseError::new(ParseErrorKind::InvalidName(tok.text.clone()), tok.span)
         })?;
-        declared.push(Declared { name, traced, span: tok.span });
+        declared.push(Declared {
+            name,
+            traced,
+            span: tok.span,
+        });
     }
 }
 
@@ -197,7 +206,13 @@ fn parse_memory(cur: &mut Cursor, name: &Ident) -> Result<(ComponentKind, Span),
     };
 
     Ok((
-        ComponentKind::Memory(Memory { addr, data, opn, size, init }),
+        ComponentKind::Memory(Memory {
+            addr,
+            data,
+            opn,
+            size,
+            init,
+        }),
         span,
     ))
 }
@@ -205,7 +220,10 @@ fn parse_memory(cur: &mut Cursor, name: &Ident) -> Result<(ComponentKind, Span),
 fn check_count(name: &Ident, n: Word, span: Span) -> Result<(), ParseError> {
     if n < 1 {
         return Err(ParseError::new(
-            ParseErrorKind::BadMemoryCount { name: name.as_str().to_string(), count: n },
+            ParseErrorKind::BadMemoryCount {
+                name: name.as_str().to_string(),
+                count: n,
+            },
             span,
         ));
     }
@@ -286,7 +304,9 @@ impl Cursor {
             self.last_span = t.span;
             return Ok(Some(t));
         }
-        let Some(raw) = self.tokens.next() else { return Ok(None) };
+        let Some(raw) = self.tokens.next() else {
+            return Ok(None);
+        };
         let text = self.macros.expand(&raw.text, raw.span)?;
         let mut tok = Token::new(text, raw.span);
         if tok.text.len() > 1 && tok.text.ends_with('.') {
@@ -327,7 +347,13 @@ mod tests {
             ComponentKind::Memory(m) => {
                 assert_eq!(m.size, 1);
                 assert!(m.init.is_none());
-                assert_eq!(m.data, Expr { parts: vec![Part::reference("next")], span: m.data.span });
+                assert_eq!(
+                    m.data,
+                    Expr {
+                        parts: vec![Part::reference("next")],
+                        span: m.data.span
+                    }
+                );
             }
             other => panic!("expected memory, got {other:?}"),
         }
@@ -340,10 +366,7 @@ mod tests {
         match &spec.components[0].kind {
             ComponentKind::Alu(a) => {
                 assert_eq!(a.funct.parts, vec![Part::bit("rom", 8)]);
-                assert_eq!(
-                    a.left.parts,
-                    vec![Part::bit("x", 12), Part::constant(1)]
-                );
+                assert_eq!(a.left.parts, vec![Part::bit("x", 12), Part::constant(1)]);
             }
             other => panic!("expected alu, got {other:?}"),
         }
@@ -412,7 +435,9 @@ mod tests {
     fn component_expected_message() {
         let err = parse("# m\nx .\nB x 1 2 3 .").unwrap_err();
         assert_eq!(err.kind, ParseErrorKind::ExpectedComponent("B".into()));
-        assert!(err.to_string().contains("Component expected. Got <B> instead."));
+        assert!(err
+            .to_string()
+            .contains("Component expected. Got <B> instead."));
     }
 
     #[test]

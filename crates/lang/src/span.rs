@@ -53,7 +53,10 @@ impl Span {
 
     /// Creates a zero-width span at a single position.
     pub const fn point(pos: Pos) -> Self {
-        Span { start: pos, end: pos }
+        Span {
+            start: pos,
+            end: pos,
+        }
     }
 
     /// The smallest span containing both `self` and `other`.

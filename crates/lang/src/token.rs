@@ -18,7 +18,10 @@ pub struct Token {
 impl Token {
     /// Creates a token from text and a span.
     pub fn new(text: impl Into<String>, span: Span) -> Self {
-        Token { text: text.into(), span }
+        Token {
+            text: text.into(),
+            span,
+        }
     }
 
     /// `true` if this token is the structural period that terminates the

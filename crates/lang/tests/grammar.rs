@@ -1,7 +1,7 @@
 //! Grammar-level integration tests: thesis-style source fragments,
 //! macro interactions, and Appendix A corner cases.
 
-use rtl_lang::{parse, ComponentKind, Part, ParseErrorKind};
+use rtl_lang::{parse, ComponentKind, ParseErrorKind, Part};
 
 /// The Appendix F header defines instruction opcodes as macros and sums
 /// them with addresses in memory initializers: `~LD+30` must expand to
@@ -80,7 +80,12 @@ fn macro_definitions_end_at_first_non_tilde_token() {
 /// The cycle count accepts every number radix.
 #[test]
 fn cycle_count_radixes() {
-    for (text, value) in [("= 5545", 5545), ("= $10", 16), ("= %101", 5), ("= ^10", 1024)] {
+    for (text, value) in [
+        ("= 5545", 5545),
+        ("= $10", 16),
+        ("= %101", 5),
+        ("= ^10", 1024),
+    ] {
         let spec = parse(&format!("# m\n{text}\n.\n.")).unwrap();
         assert_eq!(spec.cycles, Some(value), "{text}");
     }
@@ -114,10 +119,7 @@ fn trailing_period_vs_subfield_periods() {
 fn selector_termination_ambiguity() {
     // Values `a` and `b` are fine; a case literally named `A` would end
     // the list — the language's documented ambiguity.
-    let spec = parse(
-        "# s\nsel a b .\nS sel a.0 a b\nA a 2 1 0\nA b 2 2 0 .",
-    )
-    .unwrap();
+    let spec = parse("# s\nsel a b .\nS sel a.0 a b\nA a 2 1 0\nA b 2 2 0 .").unwrap();
     match &spec.components[0].kind {
         ComponentKind::Selector(s) => assert_eq!(s.cases.len(), 2),
         other => panic!("{other:?}"),

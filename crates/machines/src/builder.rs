@@ -8,8 +8,8 @@
 //! pretty = id`) is covered by tests.
 
 use rtl_lang::{
-    parse_expr, Alu, Component, ComponentKind, Declared, Expr, Ident, Memory, Selector, Span,
-    Spec, Word,
+    parse_expr, Alu, Component, ComponentKind, Declared, Expr, Ident, Memory, Selector, Span, Spec,
+    Word,
 };
 
 /// Builds a [`Spec`] incrementally.
@@ -83,12 +83,22 @@ impl SpecBuilder {
     ) -> &mut Self {
         let cases: Vec<Expr> = cases.into_iter().map(|c| expr(c.as_ref())).collect();
         assert!(!cases.is_empty(), "selector {name} needs at least one case");
-        let kind = ComponentKind::Selector(Selector { select: expr(select), cases });
+        let kind = ComponentKind::Selector(Selector {
+            select: expr(select),
+            cases,
+        });
         self.push(name, kind)
     }
 
     /// Adds `M name addr data opn size` (zero-initialized).
-    pub fn memory(&mut self, name: &str, addr: &str, data: &str, opn: &str, size: u32) -> &mut Self {
+    pub fn memory(
+        &mut self,
+        name: &str,
+        addr: &str,
+        data: &str,
+        opn: &str,
+        size: u32,
+    ) -> &mut Self {
         assert!(size >= 1, "memory {name} needs at least one cell");
         let kind = ComponentKind::Memory(Memory {
             addr: expr(addr),
@@ -122,13 +132,16 @@ impl SpecBuilder {
     }
 
     fn push(&mut self, name: &str, kind: ComponentKind) -> &mut Self {
-        let ident = Ident::parse(name)
-            .unwrap_or_else(|| panic!("invalid component name {name:?}"));
+        let ident = Ident::parse(name).unwrap_or_else(|| panic!("invalid component name {name:?}"));
         assert!(
             !self.components.iter().any(|c| c.name == *name),
             "component {name} defined twice"
         );
-        self.components.push(Component { name: ident, kind, span: Span::default() });
+        self.components.push(Component {
+            name: ident,
+            kind,
+            span: Span::default(),
+        });
         self
     }
 
@@ -195,7 +208,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "defined twice")]
     fn duplicate_name_panics() {
-        SpecBuilder::new("x").alu("a", "4", "1", "2").alu("a", "4", "1", "2");
+        SpecBuilder::new("x")
+            .alu("a", "4", "1", "2")
+            .alu("a", "4", "1", "2");
     }
 
     #[test]

@@ -140,7 +140,12 @@ mod tests {
         let mut out = Vec::new();
         sim.run_spec(&mut out, &mut NoInput).unwrap();
         let text = String::from_utf8(out).unwrap();
-        for v in ["selector= 10", "selector= 20", "selector= 30", "selector= 40"] {
+        for v in [
+            "selector= 10",
+            "selector= 20",
+            "selector= 30",
+            "selector= 40",
+        ] {
             assert!(text.contains(v), "{v} missing in {text}");
         }
     }
@@ -155,6 +160,9 @@ mod tests {
         assert!(text.contains(" Read from memory at "), "{text}");
         assert!(text.contains(" Write to memory at "), "{text}");
         // The initializer values are visible through reads.
-        assert!(text.contains("memory= 12") || text.contains(": 12"), "{text}");
+        assert!(
+            text.contains("memory= 12") || text.contains(": 12"),
+            "{text}"
+        );
     }
 }

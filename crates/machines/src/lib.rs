@@ -15,7 +15,9 @@
 //! * [`classic`] — small bundled specifications (counter, GCD datapath,
 //!   traffic light, and the completed fragments of Figures 3.1/4.1–4.3),
 //! * [`synth`] — synthetic chains for scaling benchmarks and seeded random
-//!   designs for differential property tests.
+//!   designs for differential property tests,
+//! * [`scenarios`] — the named scenario registry: every design above
+//!   packaged as a replayable workload for the cosim harness.
 //!
 //! ```
 //! // Assemble the sieve, build its RTL model, and check the first primes.
@@ -30,8 +32,10 @@
 
 pub mod builder;
 pub mod classic;
+pub mod scenarios;
 pub mod stack;
 pub mod synth;
 pub mod tiny;
 
 pub use builder::SpecBuilder;
+pub use scenarios::Scenario;

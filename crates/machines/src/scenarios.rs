@@ -1,0 +1,212 @@
+//! The built-in scenario corpus: every reference design in this crate,
+//! registered under a stable name with a suggested cycle horizon and
+//! stimulus, so the co-simulation harness (and anything else that wants
+//! "all the machines we trust") can enumerate them.
+//!
+//! A scenario is self-contained: specification *text* (not a parsed
+//! `Spec`), cycle budget, and scripted input words. Text keeps the
+//! registry engine-agnostic — external tools can replay a scenario against
+//! a generated simulator binary byte-for-byte.
+
+use crate::synth;
+use rtl_core::{Design, LoadError, Word};
+
+/// A named, replayable simulation workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Stable registry name (`classic/counter`, `stack/sieve`, ...).
+    pub name: String,
+    /// The full specification source text.
+    pub source: String,
+    /// Cycle horizon the scenario is known to run cleanly for (no runtime
+    /// errors, no input exhaustion).
+    pub cycles: u64,
+    /// Scripted input words consumed by memory-mapped input, if any.
+    pub input: Vec<Word>,
+}
+
+impl Scenario {
+    fn new(name: &str, source: impl Into<String>, cycles: u64) -> Self {
+        Scenario {
+            name: name.to_string(),
+            source: source.into(),
+            cycles,
+            input: Vec::new(),
+        }
+    }
+
+    /// Parses and elaborates the scenario's specification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/elaboration errors — impossible for the built-in
+    /// corpus (covered by tests), possible for user-constructed scenarios.
+    pub fn design(&self) -> Result<Design, LoadError> {
+        Design::from_source(&self.source)
+    }
+
+    /// Re-targets the scenario to a different cycle horizon. When the
+    /// horizon grows, the stimulus script is extended by cycling the
+    /// original pattern at the original words-per-cycle rate, so
+    /// input-driven scenarios stay exhaustion-free at any length.
+    pub fn with_cycles(mut self, cycles: u64) -> Self {
+        if !self.input.is_empty() && cycles > self.cycles && self.cycles > 0 {
+            let rate = self.input.len().div_ceil(self.cycles as usize);
+            let needed = (cycles as usize + 1) * rate;
+            let pattern = self.input.clone();
+            self.input = pattern.into_iter().cycle().take(needed).collect();
+        }
+        self.cycles = cycles;
+        self
+    }
+}
+
+/// The default lockstep horizon: long enough to exercise wrap-around and
+/// steady-state behavior on every bundled machine.
+pub const DEFAULT_CYCLES: u64 = 1024;
+
+/// The full built-in corpus, in stable order. Construction (which
+/// includes assembling and ISS-simulating the sieve workload) runs once
+/// per process; lookups clone from the cached corpus.
+pub fn corpus() -> Vec<Scenario> {
+    cached().to_vec()
+}
+
+fn cached() -> &'static [Scenario] {
+    static CORPUS: std::sync::OnceLock<Vec<Scenario>> = std::sync::OnceLock::new();
+    CORPUS.get_or_init(build)
+}
+
+fn build() -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+
+    // The classic bundled specifications run clean at any horizon: they
+    // are closed loops with masked addresses and in-range selectors.
+    for (name, src) in crate::classic::ALL {
+        scenarios.push(Scenario::new(
+            &format!("classic/{name}"),
+            *src,
+            DEFAULT_CYCLES,
+        ));
+    }
+
+    // The Figure 5.1 machine: the sieve program on the Itty Bitty Stack
+    // Machine, run for its natural workload length.
+    let sieve = crate::stack::sieve_workload(20);
+    scenarios.push(Scenario::new(
+        "stack/sieve",
+        crate::stack::rtl::spec_source(&sieve.program, Some(sieve.cycles)),
+        sieve.cycles as u64 + 1,
+    ));
+
+    // The Appendix F tiny computer dividing 997 by 3: a long-running
+    // microcoded workload that ends in a clean halt spin.
+    let image = crate::tiny::divider_image(997, 3);
+    scenarios.push(Scenario::new(
+        "tiny/divider",
+        crate::tiny::rtl::spec_source(&image, Some(2000)),
+        2000,
+    ));
+
+    // Synthetic stress: a wide dependency chain and seeded random designs
+    // (valid by construction, so engines must agree at any horizon).
+    scenarios.push(Scenario::new(
+        "synth/chain-64",
+        rtl_lang::pretty(&synth::chain(64)),
+        DEFAULT_CYCLES,
+    ));
+    for seed in [1u64, 2, 3] {
+        scenarios.push(Scenario::new(
+            &format!("synth/random-{seed}"),
+            rtl_lang::pretty(&synth::random_spec(seed, 40)),
+            DEFAULT_CYCLES,
+        ));
+    }
+
+    // Memory-mapped input: an accumulator fed one word per cycle, so the
+    // input path of every engine is exercised too.
+    let cycles = DEFAULT_CYCLES;
+    let mut io = Scenario::new(
+        "io/accumulator",
+        "# scripted input accumulator\n\
+         i* acc* o n .\n\
+         M i 1 0 2 1\n\
+         M acc 0 n 1 1\n\
+         A n 4 acc i\n\
+         M o 1 acc 3 1 .",
+        cycles,
+    );
+    io.input = (0..cycles as Word).map(|v| v % 97).collect();
+    scenarios.push(io);
+
+    scenarios
+}
+
+/// Looks a scenario up by registry name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    cached().iter().find(|s| s.name == name).cloned()
+}
+
+/// All registry names, in corpus order.
+pub fn names() -> Vec<String> {
+    cached().iter().map(|s| s.name.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_nonempty_and_named_uniquely() {
+        let names = names();
+        assert!(names.len() >= 12, "{names:?}");
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scenario names");
+    }
+
+    #[test]
+    fn every_scenario_elaborates() {
+        for s in corpus() {
+            let d = s.design().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert!(d.len() >= 2, "{} has too few components", s.name);
+            assert!(
+                s.cycles >= 1000,
+                "{} horizon too short for lockstep",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn with_cycles_extends_stimulus() {
+        let io = by_name("io/accumulator").unwrap();
+        let rate = io.input.len().div_ceil(io.cycles as usize);
+        let longer = io.clone().with_cycles(5000);
+        assert_eq!(longer.cycles, 5000);
+        assert!(
+            longer.input.len() >= 5000 * rate,
+            "stimulus must cover the new horizon"
+        );
+        assert_eq!(
+            &longer.input[..io.input.len()],
+            &io.input[..],
+            "prefix preserved"
+        );
+        // Shrinking keeps the stimulus as-is (more input than needed is fine).
+        let shorter = io.clone().with_cycles(10);
+        assert_eq!(shorter.cycles, 10);
+        assert_eq!(shorter.input, io.input);
+        // Closed scenarios are untouched.
+        let counter = by_name("classic/counter").unwrap().with_cycles(9999);
+        assert!(counter.input.is_empty());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("classic/counter").is_some());
+        assert!(by_name("stack/sieve").is_some());
+        assert!(by_name("no/such").is_none());
+    }
+}

@@ -118,7 +118,11 @@ pub fn assemble(source: &str) -> Result<Vec<Instr>, AsmError> {
         if parts.next().is_some() {
             return Err(err(number, format!("trailing junk after {op}")));
         }
-        lines.push(Line { number, op, operand });
+        lines.push(Line {
+            number,
+            op,
+            operand,
+        });
         pc += 1;
     }
 
@@ -140,16 +144,13 @@ pub fn assemble(source: &str) -> Result<Vec<Instr>, AsmError> {
             }
             (true, Some(text)) => match text.parse::<Word>() {
                 Ok(v) => v,
-                Err(_) => *symbols.get(text).ok_or_else(|| {
-                    err(l.number, format!("undefined symbol {text:?}"))
-                })?,
+                Err(_) => *symbols
+                    .get(text)
+                    .ok_or_else(|| err(l.number, format!("undefined symbol {text:?}")))?,
             },
         };
         if !(0..=0x1FFF).contains(&operand) {
-            return Err(err(
-                l.number,
-                format!("operand {operand} outside 0..=8191"),
-            ));
+            return Err(err(l.number, format!("operand {operand} outside 0..=8191")));
         }
         program.push(Instr::new(op, operand));
     }

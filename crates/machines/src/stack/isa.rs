@@ -123,7 +123,10 @@ impl Op {
 
     /// `true` for the six binary arithmetic/comparison operators.
     pub fn is_binop(self) -> bool {
-        matches!(self, Op::Add | Op::Sub | Op::Mul | Op::And | Op::Eq | Op::Lt)
+        matches!(
+            self,
+            Op::Add | Op::Sub | Op::Mul | Op::And | Op::Eq | Op::Lt
+        )
     }
 
     /// The dologic function number a binary operator maps to on the
@@ -167,7 +170,10 @@ pub struct Instr {
 impl Instr {
     /// Builds an instruction, masking the operand to 13 bits.
     pub fn new(op: Op, operand: Word) -> Instr {
-        Instr { op, operand: operand & 0x1FFF }
+        Instr {
+            op,
+            operand: operand & 0x1FFF,
+        }
     }
 
     /// Encodes to an instruction word: `op | operand << 4`.
@@ -177,7 +183,10 @@ impl Instr {
 
     /// Decodes an instruction word.
     pub fn decode(w: Word) -> Instr {
-        Instr { op: Op::from_word(w), operand: (w >> 4) & 0x1FFF }
+        Instr {
+            op: Op::from_word(w),
+            operand: (w >> 4) & 0x1FFF,
+        }
     }
 }
 

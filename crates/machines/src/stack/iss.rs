@@ -116,7 +116,10 @@ impl Iss {
                 if land(addr, IO_BIT) != 0 {
                     // The RTL's RAM primitive performs an *output* operation
                     // (op 3) here — the cell array is untouched.
-                    self.outputs.push(OutputEvent { addr: addr & 0xFFF, data: value });
+                    self.outputs.push(OutputEvent {
+                        addr: addr & 0xFFF,
+                        data: value,
+                    });
                 } else {
                     self.ram[(addr & 0xFFF) as usize] = value;
                 }
@@ -193,9 +196,7 @@ mod tests {
 
     #[test]
     fn memory_round_trip() {
-        let iss = run(
-            ".def cell 1024\nldc 99\nldc cell\nst\nldc cell\nld\nldc 4097\nst\nhalt",
-        );
+        let iss = run(".def cell 1024\nldc 99\nldc cell\nst\nldc cell\nld\nldc 4097\nst\nhalt");
         assert_eq!(iss.output_values(), [99]);
         assert_eq!(iss.ram[1024], 99);
     }
@@ -203,21 +204,17 @@ mod tests {
     #[test]
     fn branches_and_loop() {
         // Sum 1..=5, print 15.
-        let iss = run(
-            ".def acc 1024\n.def i 1025\n.def out 4097\n\
+        let iss = run(".def acc 1024\n.def i 1025\n.def out 4097\n\
              loop: ldc i\n ld\n ldc 5\n eq\n bz body\n br done\n\
              body: ldc i\n ld\n ldc 1\n add\n dup\n ldc i\n st\n\
              ldc acc\n ld\n add\n ldc acc\n st\n br loop\n\
-             done: ldc acc\n ld\n ldc out\n st\n halt",
-        );
+             done: ldc acc\n ld\n ldc out\n st\n halt");
         assert_eq!(iss.output_values(), [15]);
     }
 
     #[test]
     fn stack_ops() {
-        let iss = run(
-            ".def out 4097\nldc 1\nldc 2\nswap\nsub\nldc out\nst\nhalt",
-        );
+        let iss = run(".def out 4097\nldc 1\nldc 2\nswap\nsub\nldc out\nst\nhalt");
         // swap: 2 1 → sub: 2 - 1 = 1.
         assert_eq!(iss.output_values(), [1]);
 

@@ -281,12 +281,14 @@ done:   ldc A
     )
 }
 
-
 /// Bubble-sorts `values` in RAM and prints them ascending — the
 /// load/store/swap stress workload (every addressing form, nested loops).
 pub fn bubble_sort(values: &[Word]) -> String {
     assert!((2..=64).contains(&values.len()), "sort size out of range");
-    assert!(values.iter().all(|v| (0..4096).contains(v)), "values fit the data path");
+    assert!(
+        values.iter().all(|v| (0..4096).contains(v)),
+        "values fit the data path"
+    );
     let n = values.len() as Word;
     let mut stores = String::new();
     for (k, v) in values.iter().enumerate() {
@@ -489,7 +491,11 @@ mod tests {
             (0..16).rev().collect::<Vec<_>>(),
         ] {
             let iss = run_iss(&bubble_sort(&values));
-            assert_eq!(iss.output_values(), bubble_sort_expected(&values), "{values:?}");
+            assert_eq!(
+                iss.output_values(),
+                bubble_sort_expected(&values),
+                "{values:?}"
+            );
         }
     }
 

@@ -24,7 +24,10 @@ pub fn spec(program: &[Instr], cycles: Option<Word>) -> Spec {
 
 /// Builds the specification with chosen components traced (`*`).
 pub fn spec_with_trace(program: &[Instr], cycles: Option<Word>, traced: &[&str]) -> Spec {
-    assert!(!program.is_empty(), "the program ROM needs at least one word");
+    assert!(
+        !program.is_empty(),
+        "the program ROM needs at least one word"
+    );
     let mut b = SpecBuilder::new("Itty Bitty Stack Machine (asim2 reproduction of Appendix D)");
     if let Some(n) = cycles {
         b.cycles(n);
@@ -169,9 +172,8 @@ fin:
     #[test]
     fn ram_addresses_and_char_output() {
         // Store through computed addresses; char output at device 0 (4096).
-        let (_, out) = cross_check(
-            ".def OUT0 4096\nldc 72\nldc OUT0\nst\nldc 105\nldc OUT0\nst\nhalt",
-        );
+        let (_, out) =
+            cross_check(".def OUT0 4096\nldc 72\nldc OUT0\nst\nldc 105\nldc OUT0\nst\nhalt");
         assert_eq!(out, "H\ni\n");
     }
 

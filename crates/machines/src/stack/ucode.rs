@@ -127,7 +127,10 @@ impl Ctrl {
     }
 
     fn base(next: State) -> Ctrl {
-        Ctrl { next, ..Ctrl::fetch() }
+        Ctrl {
+            next,
+            ..Ctrl::fetch()
+        }
     }
 
     /// Packs the word into the control-ROM bit layout.

@@ -26,7 +26,13 @@ impl TinyIss {
     /// Panics if the image is not exactly [`MEM_WORDS`] long.
     pub fn new(mem: Vec<Word>) -> Self {
         assert_eq!(mem.len(), MEM_WORDS, "image must be {MEM_WORDS} words");
-        TinyIss { mem, ac: 0, borrow: 0, pc: 0, instructions: 0 }
+        TinyIss {
+            mem,
+            ac: 0,
+            borrow: 0,
+            pc: 0,
+            instructions: 0,
+        }
     }
 
     /// Executes one instruction.
@@ -38,11 +44,8 @@ impl TinyIss {
         match TinyOp::decode(word) {
             Some(TinyOp::Ld) => self.ac = self.mem[addr as usize],
             Some(TinyOp::St) => self.mem[addr as usize] = self.ac,
-            Some(TinyOp::Bb) => {
-                if self.borrow != 0 {
-                    self.pc = addr;
-                }
-            }
+            Some(TinyOp::Bb) if self.borrow != 0 => self.pc = addr,
+            Some(TinyOp::Bb) => {}
             Some(TinyOp::Br) => self.pc = addr,
             Some(TinyOp::Su) => {
                 let m = self.mem[addr as usize];

@@ -79,15 +79,15 @@ pub fn divider_image(a: Word, b: Word) -> Vec<Word> {
     use TinyOp::*;
     let mut mem = vec![0i64; MEM_WORDS];
     let code = [
-        Ld.word(layout::A),  // 0: ac := a
-        Su.word(layout::B),  // 1: ac := a - b, borrow := a < b
-        Bb.word(8),          // 2: borrow? done
-        St.word(layout::A),  // 3: a := ac
-        Ld.word(layout::Q),  // 4: ac := q
-        Su.word(layout::INC),// 5: ac := q + 1 (mod 2^11)
-        St.word(layout::Q),  // 6: q := ac
-        Br.word(0),          // 7: loop
-        Br.word(8),          // 8: done: spin
+        Ld.word(layout::A),   // 0: ac := a
+        Su.word(layout::B),   // 1: ac := a - b, borrow := a < b
+        Bb.word(8),           // 2: borrow? done
+        St.word(layout::A),   // 3: a := ac
+        Ld.word(layout::Q),   // 4: ac := q
+        Su.word(layout::INC), // 5: ac := q + 1 (mod 2^11)
+        St.word(layout::Q),   // 6: q := ac
+        Br.word(0),           // 7: loop
+        Br.word(8),           // 8: done: spin
     ];
     mem[..code.len()].copy_from_slice(&code);
     mem[layout::A as usize] = a;
@@ -123,7 +123,11 @@ mod tests {
         assert_eq!(TinyOp::Bb.word(0), 512);
         assert_eq!(TinyOp::Br.word(0), 640);
         assert_eq!(TinyOp::Su.word(0), 768);
-        assert_eq!(TinyOp::Ld.word(30), 286, "LD+30 from the Appendix F listing");
+        assert_eq!(
+            TinyOp::Ld.word(30),
+            286,
+            "LD+30 from the Appendix F listing"
+        );
     }
 
     #[test]

@@ -112,11 +112,13 @@ mod tests {
         let mem = design.find("mem").unwrap();
         let cells = sim.state().cells(mem);
         assert_eq!(
-            cells[layout::Q as usize], a / b,
+            cells[layout::Q as usize],
+            a / b,
             "quotient of {a}/{b} in RTL memory"
         );
         assert_eq!(
-            cells[layout::A as usize], a % b,
+            cells[layout::A as usize],
+            a % b,
             "remainder of {a}/{b} in RTL memory"
         );
         // Data region identical between levels.

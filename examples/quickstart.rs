@@ -19,7 +19,11 @@ M shadow 0 count 1 1
 .";
 
     let spec = parse(source)?;
-    println!("parsed `{}` with {} components", spec.title, spec.components.len());
+    println!(
+        "parsed `{}` with {} components",
+        spec.title,
+        spec.components.len()
+    );
     let design = Design::elaborate(&spec)?;
 
     // 1. The ASIM-style interpreter.
@@ -35,7 +39,10 @@ M shadow 0 count 1 1
     vm.run_spec(&mut trace, &mut NoInput)?;
     let vm_text = String::from_utf8(trace)?;
     assert_eq!(vm_text, interp_text, "engines agree byte for byte");
-    println!("compiled VM produced identical output ({} bytes)", vm_text.len());
+    println!(
+        "compiled VM produced identical output ({} bytes)",
+        vm_text.len()
+    );
 
     // 3. Generated standalone Rust (what ASIM II did with Pascal).
     let generated = emit_rust(&design, &EmitOptions::default());

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // a generic ALU and a 4096-word stack RAM with memory-mapped output.
     let spec = stack::rtl::spec(&workload.program, Some(workload.cycles));
     let design = Design::elaborate(&spec)?;
-    println!("RTL model: {} components ({} memories)", design.len(), design.memories().len());
+    println!(
+        "RTL model: {} components ({} memories)",
+        design.len(),
+        design.memories().len()
+    );
 
     // Run on the compiled VM; the trace is off, so the only output is the
     // memory-mapped output device: the primes.
@@ -34,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let text = String::from_utf8(out)?;
     println!("\nprimes found by the hardware model:");
     print!("{text}");
-    assert_eq!(text, workload.expected_output, "RTL output matches the ISS oracle");
+    assert_eq!(
+        text, workload.expected_output,
+        "RTL output matches the ISS oracle"
+    );
     println!(
         "\n{} cycles simulated in {elapsed:?} ({:.1} Mcycles/s)",
         workload.cycles + 1,

@@ -16,8 +16,9 @@
 //! | [`core`] | word semantics, elaboration, scheduling, simulation state |
 //! | [`interp`] | ASIM — the table-driven interpreter baseline |
 //! | [`compile`] | ASIM II — IR, optimizer, bytecode VM, Rust & Pascal codegen |
-//! | [`machines`] | stack machine + sieve, tiny computer, example specs |
+//! | [`machines`] | stack machine + sieve, tiny computer, example specs, scenario registry |
 //! | [`hw`] | netlists, parts inventories, DOT export |
+//! | [`cosim`] | differential co-simulation (lockstep + divergence reports) and scenario fuzzing |
 //!
 //! ```
 //! use asim2::prelude::*;
@@ -38,6 +39,7 @@
 
 pub use rtl_compile as compile;
 pub use rtl_core as core;
+pub use rtl_cosim as cosim;
 pub use rtl_hw as hw;
 pub use rtl_interp as interp;
 pub use rtl_lang as lang;
@@ -49,6 +51,7 @@ pub mod prelude {
     pub use rtl_core::{
         run_captured, Design, Engine, InputSource, NoInput, ScriptedInput, SimError, Word,
     };
+    pub use rtl_cosim::{CosimOptions, CosimOutcome, EngineKind, Lockstep};
     pub use rtl_interp::Interpreter;
     pub use rtl_lang::{parse, pretty, Spec};
 }

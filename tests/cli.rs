@@ -32,7 +32,10 @@ fn full_workflow_check_run_compile_netlist() {
 
     let (code, run_out, _) = run_cli(&["run", path]);
     assert_eq!(code, 0);
-    assert!(run_out.contains("Cycle  16 count= 0"), "counter wraps: {run_out}");
+    assert!(
+        run_out.contains("Cycle  16 count= 0"),
+        "counter wraps: {run_out}"
+    );
 
     let (code, rust, _) = run_cli(&["compile", path]);
     assert_eq!(code, 0);

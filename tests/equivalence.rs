@@ -1,27 +1,30 @@
-//! Cross-engine differential testing (S2 in `DESIGN.md`): the interpreter
-//! and the VM must produce byte-identical output on every bundled spec and
-//! on seeded random designs; the generated Rust binary joins in for a
-//! sample of them.
+//! Cross-engine differential testing (S2 in `DESIGN.md`), routed through
+//! the `rtl-cosim` subsystem: the interpreter and the VM (at every
+//! optimization level) must agree cycle-for-cycle — trace bytes, cycle
+//! counters, observable outputs and memory cells — on every bundled spec
+//! and on seeded random designs. The generated Rust binary joins in for a
+//! sample of them (cosim drives in-process engines; the rustc pipeline
+//! stays a direct comparison).
 
-use asim2::machines::synth;
+use asim2::cosim::{run_corpus, run_scenario, CosimOptions, EngineKind, Lockstep};
+use asim2::machines::{scenarios, synth};
 use asim2::prelude::*;
 
-fn run_engine<E: Engine>(engine: &mut E, cycles: u64) -> String {
-    match run_captured(engine, cycles) {
-        Ok(text) => text,
-        Err((text, e)) => panic!("engine failed: {e}\n{text}"),
-    }
-}
+/// The three in-process tiers every design must agree across.
+const TIERS: [EngineKind; 3] = [EngineKind::Interp, EngineKind::Vm, EngineKind::VmNoOpt];
 
-fn assert_engines_agree(design: &Design, cycles: u64) -> String {
-    let mut interp = Interpreter::new(design);
-    let expected = run_engine(&mut interp, cycles);
-    for opts in [OptOptions::full(), OptOptions::none()] {
-        let mut vm = Vm::with_options(design, opts, true);
-        let got = run_engine(&mut vm, cycles);
-        assert_eq!(got, expected, "VM with {opts:?} diverged");
+fn assert_lockstep_agrees(design: &Design, cycles: u64) -> String {
+    let options = CosimOptions {
+        retain_output: true,
+        ..CosimOptions::default()
+    };
+    let mut lockstep = Lockstep::new(design, options);
+    for kind in TIERS {
+        lockstep.add_engine(kind);
     }
-    expected
+    let outcome = lockstep.run(cycles);
+    assert!(outcome.agreed(), "{outcome:?}");
+    String::from_utf8(lockstep.agreed_output().to_vec()).expect("trace is utf-8")
 }
 
 #[test]
@@ -29,7 +32,7 @@ fn bundled_specs_agree() {
     for (name, src) in asim2::machines::classic::ALL {
         let design = Design::from_source(src).unwrap_or_else(|e| panic!("{name}: {e}"));
         let cycles = design.cycles().unwrap_or(10) as u64 + 1;
-        let text = assert_engines_agree(&design, cycles);
+        let text = assert_lockstep_agrees(&design, cycles);
         assert!(!text.is_empty(), "{name} produced no output");
     }
 }
@@ -39,8 +42,29 @@ fn random_designs_agree_across_100_seeds() {
     for seed in 0..100 {
         let spec = synth::random_spec(seed, 25);
         let design = Design::elaborate(&spec).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        assert_engines_agree(&design, 30);
+        assert_lockstep_agrees(&design, 30);
     }
+}
+
+#[test]
+fn full_scenario_corpus_agrees_at_its_registered_horizons() {
+    // The acceptance sweep: every registered scenario (>= 1000 cycles
+    // each), all three in-process tiers, compared every cycle.
+    let report = run_corpus(&TIERS, None, &CosimOptions::default());
+    assert!(report.clean(), "{report}");
+    assert!(report.total_cycles() >= 14_000, "{report}");
+}
+
+#[test]
+fn coarse_comparison_matches_fine_on_the_corpus() {
+    // compare_every > 1 exercises the snapshot/rewind path on real
+    // machines; verdicts must not change.
+    let options = CosimOptions {
+        compare_every: 64,
+        ..CosimOptions::default()
+    };
+    let report = run_corpus(&[EngineKind::Interp, EngineKind::Vm], Some(256), &options);
+    assert!(report.clean(), "{report}");
 }
 
 #[test]
@@ -61,10 +85,15 @@ fn random_designs_agree_with_generated_rust() {
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         let expected = String::from_utf8(out).unwrap();
 
-        let options = EmitOptions { cycles: Some(25), ..EmitOptions::default() };
+        let options = EmitOptions {
+            cycles: Some(25),
+            ..EmitOptions::default()
+        };
         let compiled =
             asim2::compile::build(&design, &options).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        let (got, _) = compiled.run(b"").unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let (got, _) = compiled
+            .run(b"")
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert_eq!(got, expected, "seed {seed}");
     }
 }
@@ -73,37 +102,39 @@ fn random_designs_agree_with_generated_rust() {
 fn scripted_input_agrees_across_engines() {
     let src = "# io\ni* o acc n .\nM i 1 0 2 1\nM acc 0 n 1 1\nA n 4 acc i\nM o 1 acc 3 1 .";
     let design = Design::from_source(src).unwrap();
-    let inputs: Vec<i64> = (1..=6).collect();
 
-    let mut texts = Vec::new();
-    {
-        let mut sim = Interpreter::new(&design);
-        let mut out = Vec::new();
-        let mut input = ScriptedInput::new(inputs.clone());
-        sim.run(6, &mut out, &mut input).unwrap();
-        texts.push(String::from_utf8(out).unwrap());
+    let mut lockstep = Lockstep::new(
+        &design,
+        CosimOptions {
+            retain_output: true,
+            ..CosimOptions::default()
+        },
+    );
+    lockstep.stimulus((1..=6).collect::<Vec<i64>>());
+    for kind in TIERS {
+        lockstep.add_engine(kind);
     }
-    {
-        let mut sim = Vm::new(&design);
-        let mut out = Vec::new();
-        let mut input = ScriptedInput::new(inputs);
-        sim.run(6, &mut out, &mut input).unwrap();
-        texts.push(String::from_utf8(out).unwrap());
-    }
-    assert_eq!(texts[0], texts[1]);
+    assert!(lockstep.run(6).agreed());
+    let text = String::from_utf8(lockstep.agreed_output().to_vec()).unwrap();
     // The accumulator output stream shows the running sum of the inputs,
     // delayed by the input latch.
-    assert!(texts[0].contains("i= 1"), "{}", texts[0]);
+    assert!(text.contains("i= 1"), "{text}");
 }
 
 #[test]
 fn tiny_computer_engines_agree() {
     let image = asim2::machines::tiny::divider_image(23, 4);
-    let spec = asim2::machines::tiny::rtl::spec_with_trace(
-        &image,
-        Some(400),
-        &["state", "pc", "ac"],
-    );
+    let spec =
+        asim2::machines::tiny::rtl::spec_with_trace(&image, Some(400), &["state", "pc", "ac"]);
     let design = Design::elaborate(&spec).unwrap();
-    assert_engines_agree(&design, 401);
+    assert_lockstep_agrees(&design, 401);
+}
+
+#[test]
+fn registry_scenarios_run_individually() {
+    for name in ["classic/gcd", "io/accumulator"] {
+        let scenario = scenarios::by_name(name).expect("registered");
+        let outcome = run_scenario(&scenario, &TIERS, &CosimOptions::default()).unwrap();
+        assert!(outcome.agreed(), "{name}: {outcome:?}");
+    }
 }

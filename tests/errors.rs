@@ -90,12 +90,14 @@ fn too_many_bits() {
 
 #[test]
 fn selector_out_of_range_at_runtime() {
-    let (e, _) = run_err(
-        "# m\nc s n .\nM c 0 n 1 1\nA n 4 c 1\nS s c 10 20 30 .",
-        10,
-    );
+    let (e, _) = run_err("# m\nc s n .\nM c 0 n 1 1\nA n 4 c 1\nS s c 10 20 30 .", 10);
     match e {
-        SimError::SelectorOutOfRange { component, index, cases, cycle } => {
+        SimError::SelectorOutOfRange {
+            component,
+            index,
+            cases,
+            cycle,
+        } => {
             assert_eq!(component, "s");
             assert_eq!(index, 3);
             assert_eq!(cases, 3);
@@ -107,15 +109,28 @@ fn selector_out_of_range_at_runtime() {
 
 #[test]
 fn negative_selector_index_is_out_of_range() {
-    let (e, _) = run_err("# m\ns neg m .\nA neg 5 0 m\nS s neg 10 20\nM m 0 0 0 -1 1 .", 3);
-    assert!(matches!(e, SimError::SelectorOutOfRange { index: -1, .. }), "{e:?}");
+    let (e, _) = run_err(
+        "# m\ns neg m .\nA neg 5 0 m\nS s neg 10 20\nM m 0 0 0 -1 1 .",
+        3,
+    );
+    assert!(
+        matches!(e, SimError::SelectorOutOfRange { index: -1, .. }),
+        "{e:?}"
+    );
 }
 
 #[test]
 fn memory_address_out_of_range_at_runtime() {
     let (e, _) = run_err("# m\nc m n .\nM c 0 n 1 1\nA n 4 c 1\nM m c 0 0 3 .", 10);
     assert!(
-        matches!(e, SimError::AddressOutOfRange { address: 3, size: 3, .. }),
+        matches!(
+            e,
+            SimError::AddressOutOfRange {
+                address: 3,
+                size: 3,
+                ..
+            }
+        ),
         "{e:?}"
     );
 }
@@ -124,7 +139,10 @@ fn memory_address_out_of_range_at_runtime() {
 fn bad_alu_function_at_runtime() {
     // Dynamic function expression walks past 13.
     let (e, _) = run_err("# m\nc a n .\nM c 0 n 1 1\nA n 4 c 1\nA a c 1 2 .", 20);
-    assert!(matches!(e, SimError::BadAluFunction { funct: 14, .. }), "{e:?}");
+    assert!(
+        matches!(e, SimError::BadAluFunction { funct: 14, .. }),
+        "{e:?}"
+    );
 }
 
 #[test]
@@ -138,7 +156,10 @@ fn checkdcl_warnings_are_not_errors() {
     let design = Design::from_source("# m\nghost x .\nA x 2 1 0\nA extra 2 1 0 .").unwrap();
     assert_eq!(design.warnings().len(), 2);
     let mut sim = Interpreter::new(&design);
-    assert!(run_captured(&mut sim, 3).is_ok(), "warnings do not block simulation");
+    assert!(
+        run_captured(&mut sim, 3).is_ok(),
+        "warnings do not block simulation"
+    );
 }
 
 #[test]
@@ -155,7 +176,9 @@ fn error_messages_match_the_original_wording() {
     assert_eq!(e.to_string(), "Error. Circular dependency with a and/or b.");
 
     let e = rtl_lang::parse("# m\nx .\nB x 1 2 3 .").unwrap_err();
-    assert!(e.to_string().starts_with("Error. Component expected. Got <B> instead."));
+    assert!(e
+        .to_string()
+        .starts_with("Error. Component expected. Got <B> instead."));
 
     let e = rtl_lang::parse("no comment").unwrap_err();
     assert!(e.to_string().starts_with("Error. Comment required."));

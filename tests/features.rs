@@ -25,7 +25,11 @@ fn statistics_agree_across_engines_on_the_sieve() {
     let ram_ops = interp.stats().reads[ram.index()]
         + interp.stats().writes[ram.index()]
         + interp.stats().outputs[ram.index()];
-    assert_eq!(ram_ops, w.cycles as u64 + 1, "one RAM port, one op per cycle");
+    assert_eq!(
+        ram_ops,
+        w.cycles as u64 + 1,
+        "one RAM port, one op per cycle"
+    );
     // The primes went out through the RAM's output operation.
     assert_eq!(interp.stats().outputs[ram.index()], w.primes.len() as u64);
 
@@ -82,10 +86,8 @@ fn module_instantiation_builds_working_hardware() {
 fn nested_module_composition() {
     // A half-adder module, instantiated twice plus glue to form a full
     // adder — the classic modularity demo.
-    let half = rtl_lang::parse(
-        "# half adder\nsum carry .\nA sum 10 ha1 ha2\nA carry 8 ha1 ha2 .",
-    )
-    .unwrap();
+    let half = rtl_lang::parse("# half adder\nsum carry .\nA sum 10 ha1 ha2\nA carry 8 ha1 ha2 .")
+        .unwrap();
 
     let mut host = rtl_lang::parse(
         "# full adder from two half adders\n= 7\na b cin s* cout* cnt nxt orc .\n\
@@ -96,7 +98,11 @@ fn nested_module_composition() {
     .unwrap();
     splice(
         &mut host,
-        instantiate(&half, &Instance::new("h1").bind("ha1", "a").bind("ha2", "b")).unwrap(),
+        instantiate(
+            &half,
+            &Instance::new("h1").bind("ha1", "a").bind("ha2", "b"),
+        )
+        .unwrap(),
     );
     splice(
         &mut host,
@@ -115,7 +121,7 @@ fn nested_module_composition() {
 
     // Exhaustive truth table: the counter sweeps all (a, b, cin).
     for (cycle, line) in text.lines().enumerate() {
-        let a = (cycle >> 0) & 1;
+        let a = cycle & 1;
         let b = (cycle >> 1) & 1;
         let cin = (cycle >> 2) & 1;
         let total = a + b + cin;
@@ -132,10 +138,9 @@ fn nested_module_composition() {
 
 #[test]
 fn vcd_dump_records_value_changes() {
-    let design = Design::from_source(
-        "# vcd\ncount next .\nM count 0 next.0.3 1 1\nA next 4 count 1 .",
-    )
-    .unwrap();
+    let design =
+        Design::from_source("# vcd\ncount next .\nM count 0 next.0.3 1 1\nA next 4 count 1 .")
+            .unwrap();
 
     let dump_with = |use_vm: bool| -> String {
         let mut doc = Vec::new();
@@ -188,16 +193,16 @@ fn vcd_dump_records_value_changes() {
 
 #[test]
 fn vcd_signal_filter() {
-    let design = Design::from_source(
-        "# vcd\ncount next .\nM count 0 next 1 1\nA next 4 count 1 .",
-    )
-    .unwrap();
+    let design =
+        Design::from_source("# vcd\ncount next .\nM count 0 next 1 1\nA next 4 count 1 .").unwrap();
     let mut e = Vm::with_options(&design, OptOptions::full(), false);
     let mut doc = Vec::new();
     rtl_core::vcd::dump(
         &mut e,
         3,
-        &rtl_core::vcd::VcdOptions { signals: vec!["count".into()] },
+        &rtl_core::vcd::VcdOptions {
+            signals: vec!["count".into()],
+        },
         &mut doc,
         &mut std::io::sink(),
         &mut NoInput,

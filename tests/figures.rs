@@ -40,8 +40,14 @@ fn figure_4_1_alu_codegen() {
     assert!(pascal.contains("ljbadd := templeft + 3048;"), "{pascal}");
 
     let rust = emit_rust(&design, &EmitOptions::default());
-    assert!(rust.contains("v_alu = dologic(v_compute, t_left, 3048i64);"), "{rust}");
-    assert!(rust.contains("v_add = t_left.wrapping_add(3048i64);"), "{rust}");
+    assert!(
+        rust.contains("v_alu = dologic(v_compute, t_left, 3048i64);"),
+        "{rust}"
+    );
+    assert!(
+        rust.contains("v_add = t_left.wrapping_add(3048i64);"),
+        "{rust}"
+    );
 
     // And both ALUs compute the same value at runtime.
     let mut sim = Interpreter::new(&design);
@@ -57,7 +63,10 @@ fn figure_4_2_selector_codegen() {
     let design = Design::from_source(classic::FIG4_2).unwrap();
     let pascal = emit_pascal(&design, &EmitOptions::default());
     assert!(pascal.contains("case ljbindex of"), "{pascal}");
-    for (i, v) in ["ljbvalue0", "ljbvalue1", "ljbvalue2", "ljbvalue3"].iter().enumerate() {
+    for (i, v) in ["ljbvalue0", "ljbvalue1", "ljbvalue2", "ljbvalue3"]
+        .iter()
+        .enumerate()
+    {
         assert!(
             pascal.contains(&format!("{i}: ljbselector := {v}")),
             "case {i} missing:\n{pascal}"
@@ -86,7 +95,10 @@ fn figure_4_3_memory_codegen() {
         "if land(opnmemory, 9) = 8 then",
         "writeln(' Read from memory at ', adrmemory:1, ': ', tempmemory:1);",
     ] {
-        assert!(pascal.contains(snippet), "missing {snippet:?} in:\n{pascal}");
+        assert!(
+            pascal.contains(snippet),
+            "missing {snippet:?} in:\n{pascal}"
+        );
     }
 }
 
@@ -105,7 +117,10 @@ fn figure_5_1_structure() {
     let none = stats(&lower(&design, OptOptions::none()));
     assert!(full.nodes < none.nodes, "{full:?} vs {none:?}");
     assert!(full.generic_alus < none.generic_alus);
-    assert_eq!(full.generic_alus, 1, "only the microcoded ALU stays dynamic");
+    assert_eq!(
+        full.generic_alus, 1,
+        "only the microcoded ALU stays dynamic"
+    );
 
     // And the whole point: identical output.
     let mut interp = Interpreter::new(&design);

@@ -26,10 +26,8 @@ fn all_levels_agree_on_the_primes() {
     let design = Design::elaborate(&spec).unwrap();
 
     // Trace off: only the memory-mapped output device prints.
-    let mut interp = asim2::interp::Interpreter::with_options(
-        &design,
-        asim2::interp::InterpOptions::quiet(),
-    );
+    let mut interp =
+        asim2::interp::Interpreter::with_options(&design, asim2::interp::InterpOptions::quiet());
     let interp_out = rtl_output(&mut interp);
     assert_eq!(interp_out, w.expected_output, "interpreter output");
 
@@ -37,7 +35,11 @@ fn all_levels_agree_on_the_primes() {
     assert_eq!(rtl_output(&mut vm), w.expected_output, "VM output");
 
     let mut vm_naive = Vm::with_options(&design, OptOptions::none(), false);
-    assert_eq!(rtl_output(&mut vm_naive), w.expected_output, "unoptimized VM output");
+    assert_eq!(
+        rtl_output(&mut vm_naive),
+        w.expected_output,
+        "unoptimized VM output"
+    );
 }
 
 #[test]
@@ -65,7 +67,10 @@ fn generated_rust_binary_prints_the_same_primes() {
     let spec = stack::rtl::spec(&w.program, Some(w.cycles));
     let design = Design::elaborate(&spec).unwrap();
 
-    let options = EmitOptions { trace: false, ..EmitOptions::default() };
+    let options = EmitOptions {
+        trace: false,
+        ..EmitOptions::default()
+    };
     let compiled = asim2::compile::build(&design, &options).unwrap_or_else(|e| panic!("{e}"));
     let (stdout, _) = compiled.run(b"").unwrap_or_else(|e| panic!("{e}"));
     assert_eq!(stdout, w.expected_output, "binary output");

@@ -1,0 +1,238 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the bench targets link
+//! against this minimal harness instead: same macros and builder API,
+//! but measurement is a fixed-iteration timed loop printing a one-line
+//! summary per benchmark. The numbers are indicative, not statistical —
+//! good enough for the relative comparisons (interpreter vs. VM slope,
+//! ablation deltas) the ROADMAP figures track, and fast enough that bench
+//! targets can run under `cargo test` as smoke coverage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Measurement configuration and entry point, mirroring criterion's type.
+#[derive(Debug)]
+pub struct Criterion {
+    iterations: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs quick: bench targets double as smoke tests under
+        // `cargo test`. CRITERION_ITERS raises the sample count.
+        let iterations = std::env::var("CRITERION_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5);
+        Criterion { iterations }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iterations: self.iterations,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, None, self.iterations, &mut f);
+        self
+    }
+}
+
+/// Throughput annotation: elements (or bytes) processed per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration (cycles, components, ...).
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark name (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    iterations: u32,
+    throughput: Option<Throughput>,
+    _criterion: &'c Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count hint; this harness caps it to keep test runs quick.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iterations = self.iterations.min(n as u32).max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness uses fixed iterations.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; this harness uses fixed iterations.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.throughput, self.iterations, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.throughput, self.iterations, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the payload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    runs: u32,
+}
+
+impl Bencher {
+    /// Times one execution of `f` and accumulates it.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.total += start.elapsed();
+        self.runs += 1;
+    }
+}
+
+fn run_one(
+    name: &str,
+    throughput: Option<Throughput>,
+    iterations: u32,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher::default();
+    for _ in 0..iterations {
+        f(&mut b);
+    }
+    if b.runs == 0 {
+        println!("{name:<44} (no measurements)");
+        return;
+    }
+    let per_iter = b.total / b.runs;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter.as_nanos() > 0 => {
+            let per_sec = n as f64 / per_iter.as_secs_f64();
+            format!("  {per_sec:>14.0} elem/s")
+        }
+        Some(Throughput::Bytes(n)) if per_iter.as_nanos() > 0 => {
+            let per_sec = n as f64 / per_iter.as_secs_f64();
+            format!("  {per_sec:>14.0} B/s")
+        }
+        _ => String::new(),
+    };
+    println!("{name:<44} {per_iter:>12.3?}/iter{rate}");
+}
+
+/// Collects benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produces `main` for a bench target built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sum");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1000));
+        g.bench_function("naive", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sized", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_groups() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_accumulates() {
+        let mut b = Bencher::default();
+        b.iter(|| 1 + 1);
+        b.iter(|| 2 + 2);
+        assert_eq!(b.runs, 2);
+    }
+}

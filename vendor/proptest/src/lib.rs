@@ -1,0 +1,188 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of proptest it uses: the [`proptest!`] macro, `prop_assert*`,
+//! [`strategy::Strategy`] implementations for integer ranges, `any`,
+//! `collection::vec`, and a small character-class subset of the string
+//! regex strategies. There is **no shrinking** — a failing case reports
+//! the drawn inputs and the case index instead; re-running is
+//! deterministic, so the report is reproducible.
+//!
+//! Case count defaults to 64 per property and can be raised with the
+//! `PROPTEST_CASES` environment variable, matching the real crate's knob.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing vectors whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Produces a strategy covering the full value range of `T`.
+pub fn any<T: strategy::Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// The glob import every proptest test starts with.
+pub mod prelude {
+    pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRunner};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines deterministic randomized tests.
+///
+/// ```
+/// use proptest::prelude::*;
+/// proptest! {
+///     fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new(stringify!($name));
+                for case in 0..runner.cases() {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), runner.rng());)*
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = result {
+                        panic!(
+                            "proptest case {case} failed: {e}\ninputs: {}",
+                            [$(format!("{} = {:?}", stringify!($arg), $arg)),*].join(", "),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the enclosing proptest case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the enclosing proptest case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), format!($($fmt)+), a, b
+        );
+    }};
+}
+
+/// Fails the enclosing proptest case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(v in 10u64..20, w in -4i64..=4) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((-4..=4).contains(&w));
+        }
+
+        #[test]
+        fn early_return_ok_is_accepted(v in 0u8..10) {
+            if v > 100 {
+                return Ok(());
+            }
+            prop_assert!(v < 10);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(xs in crate::collection::vec(1u8..=6, 1..5)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 5);
+            prop_assert!(xs.iter().all(|&x| (1..=6).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn string_strategy_draws_from_class() {
+        let mut runner = TestRunner::new("string_strategy");
+        for _ in 0..200 {
+            let s = "[abc0-2]{2,5}".sample(runner.rng());
+            assert!(s.len() >= 2 && s.len() <= 5, "{s:?}");
+            assert!(s.chars().all(|c| "abc012".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut a = TestRunner::new("det");
+        let mut b = TestRunner::new("det");
+        for _ in 0..16 {
+            assert_eq!((0i64..1000).sample(a.rng()), (0i64..1000).sample(b.rng()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_report() {
+        proptest! {
+            fn always_fails(v in 0u8..10) {
+                prop_assert!(v > 200, "impossible");
+            }
+        }
+        always_fails();
+    }
+}

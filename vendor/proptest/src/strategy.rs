@@ -1,0 +1,213 @@
+//! Value-generation strategies: the sampling half of proptest, without
+//! shrinking.
+
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+/// Something that can draw values of one type from an RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::SampleRange::sample(self.clone(), rng)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rand::SampleRange::sample(self.clone(), rng)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy behind [`any`](crate::any): full-range values.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`](crate::any) returns for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds that strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any { _marker: std::marker::PhantomData }
+            }
+        }
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = Any<bool>;
+    fn arbitrary() -> Any<bool> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A collection-length range (accepted anywhere real proptest takes
+/// `Into<SizeRange>`).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Smallest length, inclusive.
+    pub min: usize,
+    /// Largest length, exclusive.
+    pub max: usize,
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+/// The strategy returned by [`collection::vec`](crate::collection::vec).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        assert!(self.size.min < self.size.max, "empty size range");
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min + (rng.next_u64() % span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// String strategies from a character-class pattern: `&str` literals like
+/// `"[0-9a-f]{1,8}"` act as strategies, covering the subset of the regex
+/// syntax this workspace uses (one character class with an optional
+/// `{min,max}` repetition; a bare class means exactly one character).
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let (chars, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = min + (rng.next_u64() % (max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| chars[(rng.next_u64() % chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[class]{min,max}` into (alphabet, min, max). Returns `None` for
+/// anything outside the supported subset.
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            if lo > hi {
+                return None;
+            }
+            for c in lo..=hi {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let tail = &rest[close + 1..];
+    if tail.is_empty() {
+        return Some((chars, 1, 1));
+    }
+    let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match counts.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((chars, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_class_pattern;
+
+    #[test]
+    fn class_patterns_parse() {
+        let (chars, min, max) = parse_class_pattern("[0-9a-zA-Z$%^#+.,]{0,12}").unwrap();
+        assert_eq!(min, 0);
+        assert_eq!(max, 12);
+        assert!(chars.contains(&'0') && chars.contains(&'z') && chars.contains(&'$'));
+        assert_eq!(parse_class_pattern("[ab]").unwrap().0, vec!['a', 'b']);
+        assert_eq!(parse_class_pattern("[a]{3}").unwrap().1, 3);
+        assert!(parse_class_pattern("abc").is_none());
+        assert!(parse_class_pattern("[z-a]").is_none());
+    }
+}

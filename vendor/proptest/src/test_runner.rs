@@ -1,0 +1,75 @@
+//! The per-property runner: deterministic seeding and case counting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default number of cases per property (raise with `PROPTEST_CASES`).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// A proptest case failure, produced by the `prop_assert*` macros.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Drives one property: owns the RNG (seeded from the property name, so
+/// every run of a given test draws the same inputs) and the case count.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: StdRng,
+    cases: u32,
+}
+
+impl TestRunner {
+    /// A runner for the named property.
+    pub fn new(name: &str) -> Self {
+        // FNV-1a over the property name: distinct properties get distinct
+        // but stable streams.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+            cases,
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The runner's RNG, handed to strategies.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        TestRunner::new("default")
+    }
+}
