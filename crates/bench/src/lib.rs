@@ -12,7 +12,7 @@
 //!   `rustc` pipeline, printed next to the paper's numbers,
 //! * `src/bin/ablation_table.rs` — one-shot text tables for the ablations.
 
-use rtl_core::{Design, Engine, NoInput, SimError, Word};
+use rtl_core::{Design, Engine, Session, SimError, Until, Word};
 use rtl_machines::stack::{self, SieveWorkload};
 
 /// The standard Figure 5.1 workload: the sieve at size 20 (a cycle count
@@ -29,21 +29,26 @@ pub fn sieve_sized(size: Word) -> (SieveWorkload, Design) {
     (w, design)
 }
 
-/// Runs an engine over the spec's cycle count with output discarded,
-/// panicking on simulation errors (benchmarks must not fail silently).
+/// Runs an engine over the spec's cycle count with output discarded (a
+/// null-sink [`Session`]), panicking on simulation errors (benchmarks
+/// must not fail silently).
 pub fn run_to_sink<E: Engine>(engine: &mut E) {
-    let mut sink = std::io::sink();
-    let mut input = NoInput;
-    if let Err(e) = engine.run_spec(&mut sink, &mut input) {
+    if let Err(e) = Session::over(engine).build().run(Until::Spec).into_result() {
         panic!("benchmark workload failed: {e}");
     }
 }
 
 /// Runs an engine for exactly `cycles` iterations with output discarded.
+///
+/// # Errors
+///
+/// The first failing cycle's error.
 pub fn run_cycles_to_sink<E: Engine>(engine: &mut E, cycles: u64) -> Result<(), SimError> {
-    let mut sink = std::io::sink();
-    let mut input = NoInput;
-    engine.run(cycles, &mut sink, &mut input)
+    Session::over(engine)
+        .build()
+        .run(Until::Cycles(cycles))
+        .into_result()
+        .map(|_| ())
 }
 
 #[cfg(test)]

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! asim2 check  FILE                      parse + elaborate, report warnings
-//! asim2 run    FILE [--cycles N] [--engine interp|vm] [--no-trace] [--stats]
+//! asim2 run    FILE [--cycles N] [--engine NAME] [--no-trace] [--stats]
+//!              [--checkpoint FILE --checkpoint-every N] [--resume FILE]
 //! asim2 compile FILE [--backend rust|pascal] [-o OUT] [--cycles N] [--interactive]
 //! asim2 netlist FILE [--format report|dot|wiring]
 //! asim2 vcd    FILE [-o OUT.vcd] [--cycles N]
@@ -15,13 +16,20 @@
 //! ```
 //!
 //! `cosim` with no FILE sweeps the whole built-in scenario corpus.
+//! Engine names come from the open registry (`asim2 cosim --engines` lists
+//! them): the in-process tiers plus the `rust` generated-binary subprocess
+//! lane. Every command drives its engine through the [`Session`] API;
+//! `--checkpoint-every`/`--resume` expose its on-disk checkpoints.
 //!
 //! The library entry point [`run`] takes arguments and output sinks so the
 //! whole tool is testable in-process; `main` is a thin wrapper.
 
 use rtl_compile::{EmitOptions, OptOptions, Vm};
-use rtl_core::{Design, Engine, InputSource as _, ReaderInput, SimError};
-use rtl_interp::{InterpOptions, Interpreter};
+use rtl_core::{
+    Design, EngineOptions, ReaderInput, Session, SimError, StopReason, Until, WriteSink,
+};
+use rtl_interp::Interpreter;
+use rtl_machines::Scenario;
 use std::io::Write;
 
 /// Executes the tool with the process's stdin. Returns the process exit
@@ -77,14 +85,18 @@ fn sim_err(e: SimError) -> CliError {
 
 const USAGE: &str = "usage:
   asim2 check   FILE [-v]
-  asim2 run     FILE [--cycles N] [--engine interp|vm] [--no-trace] [--stats] [--interactive]
+  asim2 run     FILE [--cycles N] [--engine NAME] [--no-trace] [--stats] [--interactive]
+                [--checkpoint FILE --checkpoint-every N] [--resume FILE]
   asim2 compile FILE [--backend rust|pascal] [-o OUT] [--cycles N] [--interactive] [--no-opt]
   asim2 netlist FILE [--format report|dot|wiring]
   asim2 vcd     FILE [-o OUT.vcd] [--cycles N]
   asim2 spec    NAME            (one of: counter gcd traffic fig3_1 fig4_1 fig4_2 fig4_3 sieve tiny)
   asim2 fig     3.1|4.1|4.2|4.3|5.1
-  asim2 cosim   [FILE] [--engines interp,vm,...] [--cycles N] [--scenario NAME] [--compare-every N]
-  asim2 fuzz    [--seed N] [--cases N] [--cycles N] [--size N] [--engines interp,vm,...]";
+  asim2 cosim   [FILE] [--engines interp,vm,rust,...] [--cycles N] [--scenario NAME] [--compare-every N]
+  asim2 fuzz    [--seed N] [--cases N] [--cycles N] [--size N] [--engines interp,vm,...]
+
+engine NAMEs come from the registry: interp, interp-faithful, vm, vm-noopt
+(and, for cosim lanes, rust — the generated binary run as a subprocess)";
 
 fn dispatch(
     args: &[String],
@@ -159,66 +171,117 @@ fn run_cmd(
     let trace = !flags.contains(&"--no-trace");
     let want_stats = flags.contains(&"--stats");
     let interactive = flags.contains(&"--interactive");
+    let checkpoint_path = flag_value(&flags, "--checkpoint")?;
+    let checkpoint_every = parse_u64_flag(&flags, "--checkpoint-every")?;
+    let resume_path = flag_value(&flags, "--resume")?;
+    if checkpoint_every.is_some() != checkpoint_path.is_some() {
+        return Err(usage_err(
+            "--checkpoint FILE and --checkpoint-every N go together",
+        ));
+    }
+    if checkpoint_every == Some(0) {
+        return Err(usage_err("--checkpoint-every needs a positive interval"));
+    }
 
     let design = load_design(file)?;
     for w in design.warnings() {
         let _ = writeln!(out, "{w}");
     }
-    let mut input = ReaderInput::new(stdin);
+
+    // The whole run goes through one Session: the registry engine, the
+    // caller's output stream as the sink, stdin as the stimulus.
+    let mut session = Session::builder(&design)
+        .engine_named(rtl_cosim::registry(), engine, &EngineOptions { trace })
+        .map_err(usage_err)?
+        .sink(WriteSink::new(&mut *out))
+        .stimulus(ReaderInput::new(stdin))
+        .build();
+    if let Some(path) = resume_path {
+        session
+            .resume_from(path)
+            .map_err(|e| load_err(format!("cannot resume from {path}: {e}")))?;
+    }
+
     let mut last = cycles.or(design.cycles()).unwrap_or(0);
     if interactive && last == 0 {
         // The Appendix A prompt: "If the number of cycles is not
         // specified, you will be asked how many cycles to execute".
-        let _ = writeln!(out, "Number of cycles to trace");
-        last = input.read_int().unwrap_or(0);
+        prompt(&mut session, "Number of cycles to trace")?;
+        last = session.stimulus_mut().read_int().unwrap_or(0);
     } else if !interactive && cycles.is_none() && design.cycles().is_none() {
         return Err(usage_err(
             "no cycle count: pass --cycles, add '= n' to the specification, or use --interactive",
         ));
     }
 
-    // The engines share one driving loop so both honour the interactive
-    // continue prompt identically.
-    let mut drive = |sim: &mut dyn Engine| -> Result<(), CliError> {
-        loop {
-            sim.run_to_cycle(last, out, &mut input).map_err(sim_err)?;
-            if !interactive {
-                return Ok(());
-            }
-            // "After those cycles have been executed, you will again be
-            // prompted for the cycle number to continue to."
-            let _ = writeln!(out, "Continue to cycle (0 to quit)");
-            let next = input.read_int().unwrap_or(0);
-            if next < sim.state().cycle() {
-                return Ok(());
-            }
-            last = next;
+    loop {
+        drive_checkpointed(&mut session, last, checkpoint_every, checkpoint_path)?;
+        if !interactive {
+            break;
         }
-    };
-    match engine {
-        "interp" => {
-            let mut sim = Interpreter::with_options(
-                &design,
-                InterpOptions {
-                    trace,
-                    ..InterpOptions::default()
-                },
-            );
-            drive(&mut sim)?;
-            if want_stats {
-                let _ = out.write_all(sim.stats().report(&design).as_bytes());
-            }
+        // "After those cycles have been executed, you will again be
+        // prompted for the cycle number to continue to."
+        prompt(&mut session, "Continue to cycle (0 to quit)")?;
+        let next = session.stimulus_mut().read_int().unwrap_or(0);
+        if next < session.cycle() {
+            break;
         }
-        "vm" => {
-            let mut sim = Vm::with_options(&design, OptOptions::full(), trace);
-            drive(&mut sim)?;
-            if want_stats {
-                let _ = out.write_all(sim.stats().report(&design).as_bytes());
-            }
-        }
-        other => return Err(usage_err(format!("unknown engine {other:?}"))),
+        last = next;
+    }
+
+    let stats = session
+        .engine()
+        .stats()
+        .filter(|_| want_stats)
+        .map(|s| s.report(&design));
+    drop(session);
+    if let Some(report) = stats {
+        let _ = out.write_all(report.as_bytes());
     }
     Ok(())
+}
+
+/// Writes an interactive prompt line through the session's sink (the same
+/// stream the trace goes to).
+fn prompt(session: &mut Session<'_>, line: &str) -> Result<(), CliError> {
+    session
+        .sink_mut()
+        .write_bytes(format!("{line}\n").as_bytes())
+        .map_err(|e| sim_err(SimError::from(e)))
+}
+
+/// Runs to the `= last` bound, writing a checkpoint at every
+/// `--checkpoint-every` cycle boundary along the way.
+fn drive_checkpointed(
+    session: &mut Session<'_>,
+    last: i64,
+    every: Option<u64>,
+    path: Option<&str>,
+) -> Result<(), CliError> {
+    let every = every.filter(|&n| n > 0).map(|n| n as i64);
+    loop {
+        let current = session.cycle();
+        if current > last {
+            return Ok(());
+        }
+        let stop_at = match every {
+            // Pause at the next multiple of `every` (Until::Cycle(n) runs
+            // while the counter is <= n, so pass boundary - 1).
+            Some(n) => ((current / n + 1) * n - 1).min(last),
+            None => last,
+        };
+        session
+            .run(Until::Cycle(stop_at))
+            .into_result()
+            .map_err(sim_err)?;
+        if let (Some(n), Some(path)) = (every, path) {
+            if session.cycle() % n == 0 && session.cycle() <= last {
+                session
+                    .checkpoint_to(path)
+                    .map_err(|e| load_err(format!("cannot write checkpoint {path}: {e}")))?;
+            }
+        }
+    }
 }
 
 fn compile(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
@@ -287,18 +350,9 @@ fn vcd_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         usage_err("no cycle count: pass --cycles or add '= n' to the specification")
     })? + 1;
 
-    let mut vm = Vm::with_options(&design, OptOptions::full(), false);
-    let mut doc = Vec::new();
-    let mut sink = std::io::sink();
-    rtl_core::vcd::dump(
-        &mut vm,
-        total as u64,
-        &rtl_core::vcd::VcdOptions::default(),
-        &mut doc,
-        &mut sink,
-        &mut rtl_core::NoInput,
-    )
-    .map_err(sim_err)?;
+    let vm = Vm::with_options(&design, OptOptions::full(), false);
+    let doc = rtl_core::vcd::dump(vm, total as u64, &rtl_core::vcd::VcdOptions::default())
+        .map_err(sim_err)?;
     match output {
         Some(path) => {
             std::fs::write(path, doc).map_err(|e| load_err(format!("cannot write {path}: {e}")))?
@@ -348,8 +402,12 @@ fn fig_3_1(out: &mut dyn Write) -> Result<(), CliError> {
         "with mem = 24 (binary 11000) and count = 2 (binary 10):"
     );
     let design = Design::from_source(rtl_machines::classic::FIG3_1).map_err(load_err)?;
-    let mut sim = Interpreter::new(&design);
-    sim.run_spec(out, &mut rtl_core::NoInput).map_err(sim_err)?;
+    Session::over(Interpreter::new(&design))
+        .sink(WriteSink::new(&mut *out))
+        .build()
+        .run(Until::Spec)
+        .into_result()
+        .map_err(sim_err)?;
     let _ = writeln!(out, "cat = 27 = binary 11011 (mem bits | 01 | count bit)");
     Ok(())
 }
@@ -376,17 +434,21 @@ fn fig_5_1_quick(out: &mut dyn Write) -> Result<(), CliError> {
     let w = rtl_machines::stack::sieve_workload(20);
     let spec = rtl_machines::stack::rtl::spec(&w.program, Some(w.cycles));
     let design = Design::elaborate(&spec).map_err(load_err)?;
-    let mut sink = std::io::sink();
-    let mut input = rtl_core::NoInput;
 
     let t = Instant::now();
-    let mut interp = Interpreter::new(&design);
-    interp.run_spec(&mut sink, &mut input).map_err(sim_err)?;
+    Session::over(Interpreter::new(&design))
+        .build()
+        .run(Until::Spec)
+        .into_result()
+        .map_err(sim_err)?;
     let interp_time = t.elapsed();
 
     let t = Instant::now();
-    let mut vm = Vm::new(&design);
-    vm.run_spec(&mut sink, &mut input).map_err(sim_err)?;
+    Session::over(Vm::new(&design))
+        .build()
+        .run(Until::Spec)
+        .into_result()
+        .map_err(sim_err)?;
     let vm_time = t.elapsed();
 
     let _ = writeln!(
@@ -404,10 +466,12 @@ fn fig_5_1_quick(out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Flags shared by `cosim` and `fuzz`: engine list and lockstep tuning.
-fn parse_engines(flags: &[&str]) -> Result<Vec<rtl_cosim::EngineKind>, CliError> {
+/// Flags shared by `cosim` and `fuzz`: engine list (validated against the
+/// open registry, so subprocess lanes like `rust` work too) and lockstep
+/// tuning.
+fn parse_engines(flags: &[&str]) -> Result<Vec<String>, CliError> {
     let list = flag_value(flags, "--engines")?.unwrap_or("interp,vm");
-    rtl_cosim::EngineKind::parse_list(list).map_err(usage_err)
+    rtl_cosim::registry().parse_list(list).map_err(usage_err)
 }
 
 fn parse_u64_flag(flags: &[&str], name: &str) -> Result<Option<u64>, CliError> {
@@ -438,15 +502,27 @@ fn cosim_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         (Some(path), None) => {
             let source = std::fs::read_to_string(path)
                 .map_err(|e| load_err(format!("cannot read {path}: {e}")))?;
-            let design = rtl_core::Design::from_source(&source).map_err(load_err)?;
-            let horizon = cycles
-                .or_else(|| design.cycles().and_then(|n| u64::try_from(n + 1).ok()))
-                .unwrap_or(rtl_machines::scenarios::DEFAULT_CYCLES);
-            let mut lockstep = rtl_cosim::Lockstep::new(&design, options);
-            for &kind in &engines {
-                lockstep.add_engine(kind);
-            }
-            report_single(path, lockstep.run(horizon), out)
+            // Elaborate only when the horizon must come from the spec's
+            // own `= n` clause (run_scenario_names elaborates again; with
+            // --cycles given, the file is elaborated exactly once).
+            let horizon = match cycles {
+                Some(n) => n,
+                None => rtl_core::Design::from_source(&source)
+                    .map_err(load_err)?
+                    .cycles()
+                    .and_then(|n| u64::try_from(n + 1).ok())
+                    .unwrap_or(rtl_machines::scenarios::DEFAULT_CYCLES),
+            };
+            let scenario = Scenario {
+                name: path.to_string(),
+                source,
+                cycles: horizon,
+                input: Vec::new(),
+            };
+            let outcome =
+                rtl_cosim::run_scenario_names(rtl_cosim::registry(), &engines, &scenario, &options)
+                    .map_err(load_err)?;
+            report_single(path, outcome, out)
         }
         (None, Some(name)) => {
             let scenario = rtl_machines::scenarios::by_name(name).ok_or_else(|| {
@@ -458,11 +534,14 @@ fn cosim_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
                 None => scenario,
             };
             let outcome =
-                rtl_cosim::run_scenario(&scenario, &engines, &options).map_err(load_err)?;
+                rtl_cosim::run_scenario_names(rtl_cosim::registry(), &engines, &scenario, &options)
+                    .map_err(load_err)?;
             report_single(&scenario.name, outcome, out)
         }
         (None, None) => {
-            let report = rtl_cosim::run_corpus(&engines, cycles, &options);
+            let report =
+                rtl_cosim::run_corpus_names(rtl_cosim::registry(), &engines, cycles, &options)
+                    .map_err(load_err)?;
             let _ = write!(out, "{report}");
             let diverged = report.divergences().count();
             let halts = report.halts().count();
@@ -498,19 +577,16 @@ fn report_single(
     match outcome {
         rtl_cosim::CosimOutcome::Agreement {
             cycles,
-            halted: None,
+            stop: StopReason::CycleLimit,
         } => {
             let _ = writeln!(out, "{name}: {cycles} cycles verified, no divergence");
             Ok(())
         }
-        rtl_cosim::CosimOutcome::Agreement {
-            cycles,
-            halted: Some(e),
-        } => {
+        rtl_cosim::CosimOutcome::Agreement { cycles, stop } => {
             let _ = writeln!(out, "{name}: {cycles} cycles verified, no divergence");
             Err(CliError {
                 code: 3,
-                message: format!("unanimous runtime halt (all engines agree): {e}"),
+                message: format!("unanimous runtime halt (all engines agree): {stop}"),
             })
         }
         rtl_cosim::CosimOutcome::Divergence(report) => {
@@ -549,7 +625,7 @@ fn fuzz_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(size) = parse_u64_flag(&flags, "--size")? {
         options.generator.size = size as usize;
     }
-    let report = rtl_cosim::run_fuzz(&options);
+    let report = rtl_cosim::run_fuzz(&options).map_err(load_err)?;
     let _ = write!(out, "{report}");
     if !report.clean() {
         return Err(CliError {
@@ -593,7 +669,16 @@ fn split_optional_file<'a>(
 fn split_file<'a>(rest: &[&'a str]) -> Result<(&'a str, Vec<&'a str>), CliError> {
     let (file, flags) = split_optional_file(
         rest,
-        &["--cycles", "--engine", "--backend", "-o", "--format"],
+        &[
+            "--cycles",
+            "--engine",
+            "--backend",
+            "-o",
+            "--format",
+            "--checkpoint",
+            "--checkpoint-every",
+            "--resume",
+        ],
     )?;
     Ok((file.ok_or_else(|| usage_err("missing FILE"))?, flags))
 }
@@ -851,7 +936,7 @@ mod tests {
         // Regression: --cycles above a scenario's registered horizon used
         // to exhaust the io scenario's stimulus and fail the sweep.
         let out = run_ok(&["cosim", "--cycles", "1100", "--compare-every", "64"]);
-        assert!(out.contains("14/14 agreed"), "{out}");
+        assert!(out.contains("16/16 agreed"), "{out}");
         let io_line = out.lines().find(|l| l.contains("io/accumulator")).unwrap();
         assert!(io_line.contains("1100 cycles  ok"), "{io_line}");
     }

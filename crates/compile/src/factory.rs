@@ -1,0 +1,193 @@
+//! [`EngineFactory`] registrations for the compiled tiers.
+//!
+//! * [`VmFactory`] — the bytecode VM, with (`vm`) and without
+//!   (`vm-noopt`) the §4.4/§5.4 optimization passes. Stepped lanes.
+//! * [`GeneratedRustFactory`] — the *generated simulator binary* as a
+//!   co-simulation lane (`rust`): the specification is compiled to a
+//!   standalone Rust program, built with `rustc -O`, and run as a
+//!   subprocess. The binary cannot be stepped, so it joins as a
+//!   [`StreamEngine`]: its stdout stream is compared byte-for-byte
+//!   against the trace the stepped lanes agreed on.
+
+use crate::emit::EmitOptions;
+use crate::lower::OptOptions;
+use crate::vm::Vm;
+use rtl_core::{Design, EngineFactory, EngineLane, EngineOptions, StreamEngine, Word};
+
+/// Builds bytecode-VM lanes: `vm` (full optimization) and `vm-noopt`
+/// (every pass disabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmFactory {
+    optimized: bool,
+}
+
+impl VmFactory {
+    /// Full optimization (`vm`).
+    pub fn full() -> Self {
+        VmFactory { optimized: true }
+    }
+
+    /// Every optimization pass disabled (`vm-noopt`).
+    pub fn no_opt() -> Self {
+        VmFactory { optimized: false }
+    }
+}
+
+impl EngineFactory for VmFactory {
+    fn name(&self) -> &str {
+        if self.optimized {
+            "vm"
+        } else {
+            "vm-noopt"
+        }
+    }
+
+    fn description(&self) -> &str {
+        if self.optimized {
+            "ASIM II bytecode VM, full optimization"
+        } else {
+            "ASIM II bytecode VM, optimization passes disabled"
+        }
+    }
+
+    fn build<'d>(
+        &self,
+        design: &'d Design,
+        options: &EngineOptions,
+    ) -> Result<EngineLane<'d>, String> {
+        let opt = if self.optimized {
+            OptOptions::full()
+        } else {
+            OptOptions::none()
+        };
+        Ok(EngineLane::Stepped(Box::new(Vm::with_options(
+            design,
+            opt,
+            options.trace,
+        ))))
+    }
+}
+
+/// Builds the generated-Rust subprocess lane (`rust`): spec → Rust source
+/// → `rustc -O` → run the binary with the stimulus on stdin, capture
+/// stdout. Fails to build when `rustc` is not on the `PATH`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GeneratedRustFactory;
+
+impl EngineFactory for GeneratedRustFactory {
+    fn name(&self) -> &str {
+        "rust"
+    }
+
+    fn description(&self) -> &str {
+        "generated Rust simulator binary (subprocess, stream-compared)"
+    }
+
+    fn is_stepped(&self) -> bool {
+        false
+    }
+
+    fn build<'d>(
+        &self,
+        design: &'d Design,
+        options: &EngineOptions,
+    ) -> Result<EngineLane<'d>, String> {
+        if !crate::rustc::rustc_available() {
+            return Err("engine \"rust\" needs rustc on the PATH".into());
+        }
+        Ok(EngineLane::Stream(Box::new(GeneratedRustStream {
+            design,
+            trace: options.trace,
+        })))
+    }
+}
+
+struct GeneratedRustStream<'d> {
+    design: &'d Design,
+    trace: bool,
+}
+
+impl StreamEngine for GeneratedRustStream<'_> {
+    fn run_stream(&mut self, cycles: u64, stimulus: &[Word]) -> Result<Vec<u8>, String> {
+        if cycles == 0 {
+            return Ok(Vec::new());
+        }
+        // The generated main loop is `while cyclecount <= cycles`, so a
+        // baked-in bound of n runs n + 1 cycles; `cycles` steps means a
+        // bound of cycles - 1.
+        let bound = i64::try_from(cycles - 1).map_err(|_| "cycle bound too large".to_string())?;
+        let options = EmitOptions {
+            cycles: Some(bound),
+            trace: self.trace,
+            ..EmitOptions::default()
+        };
+        let sim = crate::rustc::build(self.design, &options).map_err(|e| e.to_string())?;
+        let stdin = render_stimulus(stimulus);
+        let (stdout, _) = sim.run(stdin.as_bytes()).map_err(|e| e.to_string())?;
+        Ok(stdout.into_bytes())
+    }
+}
+
+/// Renders a scripted word stimulus as the byte stream the generated
+/// program's `read_int` expects: one whitespace-delimited decimal per
+/// word. (The scenario corpus and the fuzz generator only use integer
+/// input — address-0 character reads would need a byte-exact script.)
+fn render_stimulus(words: &[Word]) -> String {
+    let mut s = String::new();
+    for w in words {
+        s.push_str(&w.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl_core::{Session, Until};
+
+    const COUNTER: &str = "# c\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .";
+
+    #[test]
+    fn vm_tiers_build_and_step() {
+        let design = Design::from_source(COUNTER).unwrap();
+        for factory in [VmFactory::full(), VmFactory::no_opt()] {
+            let lane = factory.build(&design, &EngineOptions::default()).unwrap();
+            let EngineLane::Stepped(engine) = lane else {
+                panic!("vm lanes are stepped");
+            };
+            let mut session = Session::over(engine).capture().build();
+            assert!(session.run(Until::Cycles(2)).completed(), "{factory:?}");
+            assert!(session.output_text().contains("count= 1"));
+        }
+        assert_eq!(VmFactory::full().name(), "vm");
+        assert_eq!(VmFactory::no_opt().name(), "vm-noopt");
+    }
+
+    #[test]
+    fn stimulus_rendering_is_one_decimal_per_line() {
+        assert_eq!(render_stimulus(&[1, -7, 300]), "1\n-7\n300\n");
+        assert_eq!(render_stimulus(&[]), "");
+    }
+
+    #[test]
+    fn rust_lane_matches_the_vm_stream() {
+        if !crate::rustc::rustc_available() {
+            eprintln!("skipping: rustc not on PATH");
+            return;
+        }
+        let design = Design::from_source(COUNTER).unwrap();
+        let lane = GeneratedRustFactory
+            .build(&design, &EngineOptions::default())
+            .unwrap();
+        let EngineLane::Stream(mut stream) = lane else {
+            panic!("rust lane is a stream");
+        };
+        let got = stream.run_stream(5, &[]).unwrap();
+
+        let mut vm = Vm::new(&design);
+        let mut session = Session::over(&mut vm).capture().build();
+        assert!(session.run(Until::Cycles(5)).completed());
+        assert_eq!(got, session.output(), "stream must match the VM trace");
+    }
+}

@@ -31,12 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod emit;
+pub mod factory;
 pub mod ir;
 pub mod lower;
 pub mod rustc;
 pub mod vm;
 
 pub use emit::{pascal::emit_pascal, rust::emit_rust, EmitOptions};
+pub use factory::{GeneratedRustFactory, VmFactory};
 pub use ir::{CycleIr, IrExpr, TraceDecision};
 pub use lower::{lower, stats, LowerStats, OptOptions};
 pub use rustc::{build, rustc_available, CompiledSim, PipelineError};

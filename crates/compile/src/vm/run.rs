@@ -198,6 +198,10 @@ impl Engine for Vm<'_> {
         self.state = snapshot.clone();
     }
 
+    fn stats(&self) -> Option<&SimStats> {
+        Some(&self.stats)
+    }
+
     fn observes_output(&self, id: rtl_core::CompId) -> bool {
         // Latch elision (§5.4) stops maintaining dead memory latches; every
         // other component's output stays exact.

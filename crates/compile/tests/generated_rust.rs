@@ -2,15 +2,13 @@
 //! run → compare byte-for-byte with the interpreter.
 
 use rtl_compile::{build, rustc_available, EmitOptions};
-use rtl_core::{Design, Engine, NoInput};
+use rtl_core::{Design, Session, Until};
 use rtl_interp::Interpreter;
 
 fn interp_output(design: &Design, last_cycle: i64) -> String {
-    let mut sim = Interpreter::new(design);
-    let mut out = Vec::new();
-    sim.run_to_cycle(last_cycle, &mut out, &mut NoInput)
-        .unwrap();
-    String::from_utf8(out).unwrap()
+    let mut session = Session::over(Interpreter::new(design)).capture().build();
+    assert!(session.run(Until::Cycle(last_cycle)).completed());
+    session.output_text()
 }
 
 #[test]
@@ -50,11 +48,12 @@ fn compiled_program_handles_input() {
     let src = "# echo machine\n= 3\ni o .\nM i 1 0 2 1\nM o 1 i 3 1 .";
     let design = Design::from_source(src).unwrap_or_else(|e| panic!("{e}"));
 
-    let mut sim = Interpreter::new(&design);
-    let mut out = Vec::new();
-    let mut input = rtl_core::ScriptedInput::new([41, 42, 43, 44]);
-    sim.run_to_cycle(3, &mut out, &mut input).unwrap();
-    let expected = String::from_utf8(out).unwrap();
+    let mut session = Session::over(Interpreter::new(&design))
+        .capture()
+        .scripted([41, 42, 43, 44])
+        .build();
+    assert!(session.run(Until::Cycle(3)).completed());
+    let expected = session.output_text();
 
     let compiled = build(&design, &EmitOptions::default()).unwrap_or_else(|e| panic!("{e}"));
     let (got, _) = compiled

@@ -1,15 +1,20 @@
 //! The engine abstraction: anything that can step a design one cycle.
 //!
-//! Both `rtl-interp` (the ASIM-style interpreter) and `rtl-compile`'s
-//! bytecode VM implement [`Engine`]; the differential test harness drives
-//! two engines in lock step and compares states and output text.
+//! [`Engine`] is deliberately *only* the stepping contract — combinational
+//! phase, trace, memory capture/update, cycle increment, plus
+//! snapshot/restore for checkpointing. Everything about *driving* an
+//! engine (cycle bounds, sinks, stimulus, stop classification,
+//! checkpoint files) lives in [`Session`](crate::session); both
+//! `rtl-interp` and `rtl-compile`'s bytecode VM implement `Engine`, and
+//! the differential harness drives N of them in lock step.
 
 use crate::design::Design;
 use crate::error::SimError;
 use crate::io::InputSource;
 use crate::resolve::CompId;
+use crate::session::{Session, StopReason, Until};
 use crate::state::SimState;
-use crate::word::Word;
+use crate::stats::SimStats;
 use std::io::Write;
 
 /// A cycle-stepped simulation engine over a [`Design`].
@@ -46,6 +51,12 @@ pub trait Engine {
         true
     }
 
+    /// Accumulated simulation statistics (§1.4), when the engine keeps
+    /// them. `None` for engines without counters.
+    fn stats(&self) -> Option<&SimStats> {
+        None
+    }
+
     /// Executes one cycle per the contract documented on
     /// [`design`](crate::design) (combinational phase, trace, memory
     /// capture, memory update, cycle increment).
@@ -53,65 +64,75 @@ pub trait Engine {
     /// # Errors
     ///
     /// Runtime errors per [`SimError`]; trace/output text goes to `out`,
-    /// memory-mapped input comes from `input`.
+    /// memory-mapped input comes from `input`. This is the one place raw
+    /// `Write`/`InputSource` appear — drivers bind them once through a
+    /// [`Session`](crate::session) instead of threading them.
     fn step(&mut self, out: &mut dyn Write, input: &mut dyn InputSource) -> Result<(), SimError>;
+}
 
-    /// Runs `iterations` cycles.
-    ///
-    /// # Errors
-    ///
-    /// Stops at the first failing cycle.
-    fn run(
-        &mut self,
-        iterations: u64,
-        out: &mut dyn Write,
-        input: &mut dyn InputSource,
-    ) -> Result<(), SimError> {
-        for _ in 0..iterations {
-            self.step(out, input)?;
-        }
-        Ok(())
+impl<E: Engine + ?Sized> Engine for &mut E {
+    fn design(&self) -> &Design {
+        (**self).design()
     }
 
-    /// Runs until the cycle counter *exceeds* `last` — i.e. simulates
-    /// cycles `0..=last`, the semantics of the specification's `= n` clause
-    /// (the generated Pascal's `while cyclecount <= cycles`).
-    ///
-    /// # Errors
-    ///
-    /// Stops at the first failing cycle.
-    fn run_to_cycle(
-        &mut self,
-        last: Word,
-        out: &mut dyn Write,
-        input: &mut dyn InputSource,
-    ) -> Result<(), SimError> {
-        while self.state().cycle() <= last {
-            self.step(out, input)?;
-        }
-        Ok(())
+    fn state(&self) -> &SimState {
+        (**self).state()
     }
 
-    /// Runs the cycle count requested by the specification's `= n` clause
-    /// (n + 1 iterations), or zero cycles if the spec had none.
-    ///
-    /// # Errors
-    ///
-    /// Stops at the first failing cycle.
-    fn run_spec(
-        &mut self,
-        out: &mut dyn Write,
-        input: &mut dyn InputSource,
-    ) -> Result<(), SimError> {
-        match self.design().cycles() {
-            Some(n) => self.run_to_cycle(n, out, input),
-            None => Ok(()),
-        }
+    fn snapshot(&self) -> SimState {
+        (**self).snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &SimState) {
+        (**self).restore(snapshot);
+    }
+
+    fn observes_output(&self, id: CompId) -> bool {
+        (**self).observes_output(id)
+    }
+
+    fn stats(&self) -> Option<&SimStats> {
+        (**self).stats()
+    }
+
+    fn step(&mut self, out: &mut dyn Write, input: &mut dyn InputSource) -> Result<(), SimError> {
+        (**self).step(out, input)
+    }
+}
+
+impl<E: Engine + ?Sized> Engine for Box<E> {
+    fn design(&self) -> &Design {
+        (**self).design()
+    }
+
+    fn state(&self) -> &SimState {
+        (**self).state()
+    }
+
+    fn snapshot(&self) -> SimState {
+        (**self).snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &SimState) {
+        (**self).restore(snapshot);
+    }
+
+    fn observes_output(&self, id: CompId) -> bool {
+        (**self).observes_output(id)
+    }
+
+    fn stats(&self) -> Option<&SimStats> {
+        (**self).stats()
+    }
+
+    fn step(&mut self, out: &mut dyn Write, input: &mut dyn InputSource) -> Result<(), SimError> {
+        (**self).step(out, input)
     }
 }
 
 /// Runs an engine for `iterations` cycles with no input, capturing the
-/// trace/output text. Convenience for tests and examples.
+/// trace/output text. Convenience for tests and examples; everything
+/// larger should build a [`Session`] itself.
 ///
 /// # Errors
 ///
@@ -120,12 +141,14 @@ pub fn run_captured<E: Engine>(
     engine: &mut E,
     iterations: u64,
 ) -> Result<String, (String, SimError)> {
-    let mut out = Vec::new();
-    let mut input = crate::io::NoInput;
-    let result = engine.run(iterations, &mut out, &mut input);
-    let text = String::from_utf8_lossy(&out).into_owned();
-    match result {
-        Ok(()) => Ok(text),
-        Err(e) => Err((text, e)),
+    let mut session = Session::over(engine).capture().build();
+    let outcome = session.run(Until::Cycles(iterations));
+    let text = session.output_text();
+    match outcome.stop {
+        StopReason::CycleLimit => Ok(text),
+        stop => Err((
+            text,
+            stop.into_error().expect("non-limit stops carry an error"),
+        )),
     }
 }

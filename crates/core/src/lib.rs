@@ -13,6 +13,9 @@
 //! * the engine-agnostic simulation state ([`state`]), trace text formats
 //!   ([`trace`]), input abstraction ([`io`]) and the [`Engine`] trait that
 //!   the interpreter and the compiled VM both implement,
+//! * the driving layer: trace sinks ([`sink`]), the open engine registry
+//!   ([`factory`]) and the [`Session`] API with structured stop reasons
+//!   and on-disk checkpoints ([`session`]),
 //! * output-width inference for netlisting and codegen ([`width`]).
 //!
 //! ```
@@ -32,9 +35,12 @@
 pub mod design;
 pub mod engine;
 pub mod error;
+pub mod factory;
 pub mod graph;
 pub mod io;
 pub mod resolve;
+pub mod session;
+pub mod sink;
 pub mod state;
 pub mod stats;
 pub mod trace;
@@ -45,8 +51,11 @@ pub mod word;
 pub use design::{CompData, Design, ElabOptions, LoadError, RAlu, RKind, RMemory, RSelector};
 pub use engine::{run_captured, Engine};
 pub use error::{ElabError, SimError, Warning};
+pub use factory::{EngineFactory, EngineLane, EngineOptions, EngineRegistry, StreamEngine};
 pub use io::{InputSource, NoInput, ReaderInput, ScriptedInput};
 pub use resolve::{CompId, RExpr, RefMode, RefOp};
+pub use session::{HaltKind, RunOutcome, Session, SessionBuilder, StopReason, Until};
+pub use sink::{BufferSink, NullSink, TeeSink, TraceSink, WriteSink};
 pub use state::SimState;
 pub use stats::SimStats;
 pub use word::{dologic, land, AluFn, MemOp, Word, WORD_MASK};

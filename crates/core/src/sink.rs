@@ -1,0 +1,254 @@
+//! Trace sinks — where a simulation's trace/output text goes.
+//!
+//! The engines themselves write to a raw byte stream; everything *driving*
+//! an engine goes through [`TraceSink`], the typed replacement for the
+//! `&mut dyn Write` that used to thread through every call site. A sink
+//! receives the trace bytes as they are produced and, once per completed
+//! cycle, a [`TraceSink::end_cycle`] callback with the post-step state —
+//! the hook the VCD sink uses to sample waveforms.
+//!
+//! Bundled sinks:
+//!
+//! * [`NullSink`] — discards everything (throughput runs),
+//! * [`BufferSink`] — captures into memory (tests, divergence windows),
+//! * [`WriteSink`] — adapts any [`std::io::Write`] (stdout, files),
+//! * [`TeeSink`] — duplicates into two sinks (capture *and* stream),
+//! * [`VcdSink`](crate::vcd::VcdSink) — records a waveform per cycle.
+
+use crate::design::Design;
+use crate::state::SimState;
+use std::io::{self, Write};
+
+/// A destination for simulation trace/output text, with a per-cycle hook.
+pub trait TraceSink {
+    /// Receives a chunk of trace/output bytes.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure of the underlying destination; the session surfaces it
+    /// as [`StopReason::Error`](crate::session::StopReason).
+    fn write_bytes(&mut self, bytes: &[u8]) -> io::Result<()>;
+
+    /// Flushes buffered bytes to the underlying destination.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure of the underlying destination.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Called by [`Session`](crate::session::Session) after every completed
+    /// cycle with the design and post-step state. Sinks that only care
+    /// about the byte stream ignore it.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure of the underlying destination.
+    fn end_cycle(&mut self, design: &Design, state: &SimState) -> io::Result<()> {
+        let _ = (design, state);
+        Ok(())
+    }
+
+    /// The bytes captured so far, when this sink (or one it wraps)
+    /// buffers them. `None` for pass-through sinks.
+    fn captured(&self) -> Option<&[u8]> {
+        None
+    }
+}
+
+/// Discards everything — the right sink for throughput experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn write_bytes(&mut self, _bytes: &[u8]) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Captures the trace into memory; [`TraceSink::captured`] returns it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BufferSink {
+    bytes: Vec<u8>,
+}
+
+impl BufferSink {
+    /// An empty capture buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The captured bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the sink, returning the captured bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// The captured bytes as (lossy) text.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.bytes).into_owned()
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn write_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn captured(&self) -> Option<&[u8]> {
+        Some(&self.bytes)
+    }
+}
+
+/// Adapts any [`std::io::Write`] into a sink (stdout, a file, a pipe).
+#[derive(Debug)]
+pub struct WriteSink<W: Write>(W);
+
+impl<W: Write> WriteSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        WriteSink(writer)
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.0
+    }
+}
+
+impl<W: Write> TraceSink for WriteSink<W> {
+    fn write_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.0.write_all(bytes)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+/// Duplicates every byte (and cycle hook) into two sinks — capture a run
+/// while also streaming it, or record a VCD alongside the text trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TeeSink<A: TraceSink, B: TraceSink> {
+    first: A,
+    second: B,
+}
+
+impl<A: TraceSink, B: TraceSink> TeeSink<A, B> {
+    /// Tees into `first` and `second`, in that order.
+    pub fn new(first: A, second: B) -> Self {
+        TeeSink { first, second }
+    }
+
+    /// The first sink.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The second sink.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+
+    /// Consumes the tee, returning both sinks.
+    pub fn into_parts(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn write_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.first.write_bytes(bytes)?;
+        self.second.write_bytes(bytes)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.first.flush()?;
+        self.second.flush()
+    }
+
+    fn end_cycle(&mut self, design: &Design, state: &SimState) -> io::Result<()> {
+        self.first.end_cycle(design, state)?;
+        self.second.end_cycle(design, state)
+    }
+
+    fn captured(&self) -> Option<&[u8]> {
+        self.first.captured().or_else(|| self.second.captured())
+    }
+}
+
+/// Adapts a sink to the raw [`std::io::Write`] the [`Engine::step`]
+/// contract uses — the one place the byte stream crosses back into `dyn
+/// Write`, owned by the session layer.
+///
+/// [`Engine::step`]: crate::engine::Engine::step
+pub(crate) struct SinkWriter<'a>(pub &'a mut dyn TraceSink);
+
+impl Write for SinkWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write_bytes(buf)?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_captures_bytes() {
+        let mut s = BufferSink::new();
+        s.write_bytes(b"abc").unwrap();
+        s.write_bytes(b"def").unwrap();
+        assert_eq!(s.bytes(), b"abcdef");
+        assert_eq!(s.captured(), Some(&b"abcdef"[..]));
+        assert_eq!(s.text(), "abcdef");
+        assert_eq!(s.into_bytes(), b"abcdef");
+    }
+
+    #[test]
+    fn null_discards() {
+        let mut s = NullSink;
+        s.write_bytes(b"anything").unwrap();
+        assert_eq!(s.captured(), None);
+    }
+
+    #[test]
+    fn write_sink_passes_through() {
+        let mut s = WriteSink::new(Vec::new());
+        s.write_bytes(b"xy").unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.into_inner(), b"xy");
+    }
+
+    #[test]
+    fn tee_duplicates_and_surfaces_capture() {
+        let mut t = TeeSink::new(BufferSink::new(), WriteSink::new(Vec::new()));
+        t.write_bytes(b"12").unwrap();
+        assert_eq!(t.captured(), Some(&b"12"[..]));
+        let (a, b) = t.into_parts();
+        assert_eq!(a.bytes(), b"12");
+        assert_eq!(b.into_inner(), b"12");
+    }
+
+    #[test]
+    fn sink_writer_adapts_to_io_write() {
+        let mut buf = BufferSink::new();
+        {
+            let mut w = SinkWriter(&mut buf);
+            use std::io::Write as _;
+            write!(w, "cycle {}", 7).unwrap();
+        }
+        assert_eq!(buf.text(), "cycle 7");
+    }
+}

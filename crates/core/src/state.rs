@@ -59,6 +59,12 @@ impl SimState {
         self.cycle += 1;
     }
 
+    /// Sets the cycle counter — checkpoint restoration only; engines
+    /// advance through [`bump_cycle`](SimState::bump_cycle).
+    pub fn set_cycle(&mut self, cycle: Word) {
+        self.cycle = cycle;
+    }
+
     /// A component's visible output (combinational value or memory latch).
     #[inline]
     pub fn output(&self, id: CompId) -> Word {

@@ -4,14 +4,20 @@
 //! internal states of a microprocessor" (§1.4). The thesis printed trace
 //! lines; four decades later the lingua franca for viewing internal state
 //! is IEEE 1364 VCD, readable by GTKWave and every other waveform viewer.
-//! [`dump`] drives any [`Engine`] and records every component's output —
-//! combinational values change during their cycle, memory latches change
-//! at the cycle edge, exactly like registers in any RTL waveform.
+//!
+//! [`VcdSink`] is a [`TraceSink`]: attach it to a
+//! [`Session`](crate::session) (alone, or teed with a text sink)
+//! and it samples every component's output at each cycle edge —
+//! combinational values change during their cycle, memory latches at the
+//! edge, exactly like registers in any RTL waveform. [`dump`] is the
+//! one-call convenience wrapper.
 
 use crate::design::Design;
 use crate::engine::Engine;
 use crate::error::SimError;
-use crate::io::InputSource;
+use crate::session::{Session, Until};
+use crate::sink::TraceSink;
+use crate::state::SimState;
 use crate::word::Word;
 use std::io::{self, Write};
 
@@ -22,62 +28,138 @@ pub struct VcdOptions {
     pub signals: Vec<String>,
 }
 
-/// Runs `engine` for `cycles` cycles, writing a VCD document to `out`.
-/// Trace/output text the design produces goes to `sim_out`; memory-mapped
-/// input comes from `input`.
+/// A [`TraceSink`] that records a VCD waveform, one sample per cycle.
+/// The design's own trace/output text is discarded — tee with a text sink
+/// to keep both. The header is written at the first cycle edge; the
+/// closing timestamp comes from [`finish`](VcdSink::finish) (or, when
+/// driving through [`dump`], automatically).
+#[derive(Debug)]
+pub struct VcdSink<W: Write> {
+    out: W,
+    options: VcdOptions,
+    run: Option<Run>,
+}
+
+#[derive(Debug)]
+struct Run {
+    ids: Vec<crate::CompId>,
+    widths: Vec<u8>,
+    previous: Vec<Option<Word>>,
+    cycles: u64,
+}
+
+impl<W: Write> VcdSink<W> {
+    /// A sink writing the VCD document to `out`.
+    pub fn new(out: W, options: VcdOptions) -> Self {
+        VcdSink {
+            out,
+            options,
+            run: None,
+        }
+    }
+
+    /// Cycles sampled so far.
+    pub fn cycles(&self) -> u64 {
+        self.run.as_ref().map_or(0, |r| r.cycles)
+    }
+
+    /// Writes the closing timestamp and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure of the writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        writeln!(self.out, "#{}", self.cycles())?;
+        Ok(self.out)
+    }
+
+    /// Writes the document header for `design` now, if it has not been
+    /// written yet. Called automatically at the first cycle edge; call it
+    /// up front to keep a zero-cycle document well-formed (as [`dump`]
+    /// does).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure of the writer.
+    pub fn ensure_header(&mut self, design: &Design) -> io::Result<()> {
+        if self.run.is_some() {
+            return Ok(());
+        }
+        let ids: Vec<crate::CompId> = design
+            .iter()
+            .filter(|(_, c)| {
+                self.options.signals.is_empty()
+                    || self.options.signals.iter().any(|s| c.name == s.as_str())
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let widths = crate::width::infer(design);
+        header(design, &ids, &widths, &mut self.out)?;
+        self.run = Some(Run {
+            previous: vec![None; ids.len()],
+            ids,
+            widths,
+            cycles: 0,
+        });
+        Ok(())
+    }
+}
+
+impl<W: Write> TraceSink for VcdSink<W> {
+    fn write_bytes(&mut self, _bytes: &[u8]) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    fn end_cycle(&mut self, design: &Design, state: &SimState) -> io::Result<()> {
+        self.ensure_header(design)?;
+        let run = self.run.as_mut().expect("initialized above");
+        let mut stamped = false;
+        for (slot, &id) in run.ids.iter().enumerate() {
+            let value = state.output(id);
+            if run.previous[slot] != Some(value) {
+                if !stamped {
+                    writeln!(self.out, "#{}", run.cycles)?;
+                    stamped = true;
+                }
+                change(&mut self.out, value, run.widths[id.index()], slot)?;
+                run.previous[slot] = Some(value);
+            }
+        }
+        run.cycles += 1;
+        Ok(())
+    }
+}
+
+/// Runs `engine` for `cycles` cycles and returns the complete VCD
+/// document. The design's trace/output text is discarded; build a
+/// [`Session`] with a teed [`VcdSink`] to keep it.
 ///
 /// # Errors
 ///
-/// Simulation errors abort the dump (the document so far is flushed);
-/// I/O errors surface as [`SimError::Io`].
-///
-/// ```
-/// use rtl_core::{vcd, Design, NoInput};
-/// use rtl_core::vcd::VcdOptions;
-/// let design = Design::from_source(
-///     "# counter\ncount next .\nM count 0 next 1 1\nA next 4 count 1 .",
-/// ).unwrap();
-/// // A VCD dump needs an engine; any Engine works. (Here: a no-op check
-/// // that the signal header contains both components.)
-/// ```
-pub fn dump<E: Engine>(
-    engine: &mut E,
+/// Simulation errors abort the dump; I/O errors surface as
+/// [`SimError::Io`].
+pub fn dump<'d>(
+    engine: impl Engine + 'd,
     cycles: u64,
     options: &VcdOptions,
-    out: &mut dyn Write,
-    sim_out: &mut dyn Write,
-    input: &mut dyn InputSource,
-) -> Result<(), SimError> {
-    let design = engine.design();
-    let ids: Vec<crate::CompId> = design
-        .iter()
-        .filter(|(_, c)| {
-            options.signals.is_empty() || options.signals.iter().any(|s| c.name == s.as_str())
-        })
-        .map(|(id, _)| id)
-        .collect();
-    let widths = crate::width::infer(design);
-
-    header(design, &ids, &widths, out)?;
-
-    let mut previous: Vec<Option<Word>> = vec![None; ids.len()];
-    for cycle in 0..cycles {
-        engine.step(sim_out, input)?;
-        let mut stamped = false;
-        for (slot, &id) in ids.iter().enumerate() {
-            let value = engine.state().output(id);
-            if previous[slot] != Some(value) {
-                if !stamped {
-                    writeln!(out, "#{cycle}").map_err(SimError::from)?;
-                    stamped = true;
-                }
-                change(out, value, widths[id.index()], slot)?;
-                previous[slot] = Some(value);
-            }
+) -> Result<Vec<u8>, SimError> {
+    let mut doc = Vec::new();
+    {
+        let mut sink = VcdSink::new(&mut doc, options.clone());
+        // Header up front, so even a zero-cycle document is well-formed.
+        sink.ensure_header(engine.design())?;
+        let mut session = Session::over(engine).sink(sink).build();
+        let outcome = session.run(Until::Cycles(cycles));
+        if let Some(e) = outcome.stop.into_error() {
+            return Err(e);
         }
     }
-    writeln!(out, "#{cycles}").map_err(SimError::from)?;
-    Ok(())
+    writeln!(doc, "#{cycles}").map_err(SimError::from)?;
+    Ok(doc)
 }
 
 fn header(
@@ -85,31 +167,26 @@ fn header(
     ids: &[crate::CompId],
     widths: &[u8],
     out: &mut dyn Write,
-) -> Result<(), SimError> {
-    let w = |r: io::Result<()>| r.map_err(SimError::from);
-    w(writeln!(out, "$version asim2 (ASIM II reproduction) $end"))?;
-    w(writeln!(
-        out,
-        "$comment {} $end",
-        design.title().replace('#', "")
-    ))?;
-    w(writeln!(out, "$timescale 1 ns $end"))?;
-    w(writeln!(out, "$scope module top $end"))?;
+) -> io::Result<()> {
+    writeln!(out, "$version asim2 (ASIM II reproduction) $end")?;
+    writeln!(out, "$comment {} $end", design.title().replace('#', ""))?;
+    writeln!(out, "$timescale 1 ns $end")?;
+    writeln!(out, "$scope module top $end")?;
     for (slot, &id) in ids.iter().enumerate() {
-        w(writeln!(
+        writeln!(
             out,
             "$var wire {} {} {} $end",
             widths[id.index()],
             code(slot),
             design.name(id)
-        ))?;
+        )?;
     }
-    w(writeln!(out, "$upscope $end"))?;
-    w(writeln!(out, "$enddefinitions $end"))?;
+    writeln!(out, "$upscope $end")?;
+    writeln!(out, "$enddefinitions $end")?;
     Ok(())
 }
 
-fn change(out: &mut dyn Write, value: Word, width: u8, slot: usize) -> Result<(), SimError> {
+fn change(out: &mut dyn Write, value: Word, width: u8, slot: usize) -> io::Result<()> {
     // Two's-complement truncation to the declared width, like the land()
     // value model.
     let bits = (value as u64) & (u64::MAX >> (64 - u32::from(width).max(1)));
@@ -120,7 +197,6 @@ fn change(out: &mut dyn Write, value: Word, width: u8, slot: usize) -> Result<()
         code(slot),
         width = width as usize
     )
-    .map_err(SimError::from)
 }
 
 /// VCD identifier codes: printable ASCII 33..=126, extended to two chars
@@ -143,7 +219,6 @@ fn code(slot: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::io::NoInput;
 
     // A minimal engine for testing lives in rtl-interp; here we exercise
     // the pure pieces and leave end-to-end dumping to the workspace tests.
@@ -172,9 +247,22 @@ mod tests {
     }
 
     #[test]
-    fn options_default_selects_everything() {
+    fn zero_cycle_documents_are_well_formed() {
+        let design =
+            crate::Design::from_source("# c\ncount next .\nM count 0 next 1 1\nA next 4 count 1 .")
+                .unwrap();
         let o = VcdOptions::default();
         assert!(o.signals.is_empty());
-        let _ = NoInput; // silence unused-import pedantry in some configs
+        let mut sink = VcdSink::new(Vec::new(), o);
+        sink.ensure_header(&design).unwrap();
+        sink.ensure_header(&design).unwrap();
+        assert_eq!(sink.cycles(), 0);
+        let doc = String::from_utf8(sink.finish().unwrap()).unwrap();
+        assert_eq!(
+            doc.matches("$enddefinitions $end").count(),
+            1,
+            "header written exactly once: {doc}"
+        );
+        assert!(doc.ends_with("#0\n"), "{doc}");
     }
 }

@@ -1,8 +1,10 @@
 //! Runs the built-in scenario corpus through lockstep.
 
-use crate::engines::EngineKind;
-use crate::lockstep::{run_scenario, CosimOptions, CosimOutcome, DivergenceReport};
+use crate::engines::{registry, EngineKind};
+use crate::lockstep::{CosimOptions, CosimOutcome, DivergenceReport};
 use crate::report::{all_clean, write_rows, ResultRow};
+use crate::stream::{run_scenario_names, ScenarioError};
+use rtl_core::{EngineRegistry, StopReason};
 use rtl_machines::scenarios;
 
 /// One corpus entry's lockstep result.
@@ -12,8 +14,9 @@ pub struct CorpusResult {
     pub name: String,
     /// Cycles verified.
     pub cycles: u64,
-    /// `Some` when the scenario ended in a unanimous runtime halt.
-    pub halted: Option<String>,
+    /// How the scenario stopped: a clean cycle limit, or a structured
+    /// unanimous halt.
+    pub stop: StopReason,
     /// `Some` when engines diverged.
     pub divergence: Option<DivergenceReport>,
 }
@@ -23,7 +26,7 @@ impl CorpusResult {
         ResultRow {
             name: &self.name,
             cycles: self.cycles,
-            halted: self.halted.as_deref(),
+            stop: &self.stop,
             divergence: self.divergence.as_ref(),
         }
     }
@@ -32,8 +35,8 @@ impl CorpusResult {
 /// Results for a corpus sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CorpusReport {
-    /// Engine tiers compared.
-    pub engines: Vec<EngineKind>,
+    /// Engine lane names compared.
+    pub engines: Vec<String>,
     /// Per-scenario results, in registry order.
     pub results: Vec<CorpusResult>,
 }
@@ -50,7 +53,7 @@ impl CorpusReport {
 
     /// Scenarios that ended in a unanimous halt.
     pub fn halts(&self) -> impl Iterator<Item = &CorpusResult> {
-        self.results.iter().filter(|r| r.halted.is_some())
+        self.results.iter().filter(|r| r.stop.halt().is_some())
     }
 
     /// Scenarios whose engines diverged.
@@ -66,53 +69,82 @@ impl CorpusReport {
 
 impl std::fmt::Display for CorpusReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let engines: Vec<&str> = self.engines.iter().map(|k| k.name()).collect();
-        writeln!(f, "cosim corpus sweep, engines [{}]", engines.join(", "))?;
+        writeln!(
+            f,
+            "cosim corpus sweep, engines [{}]",
+            self.engines.join(", ")
+        )?;
         let rows: Vec<ResultRow<'_>> = self.results.iter().map(CorpusResult::row).collect();
         write_rows(f, &rows)
     }
 }
 
-/// Locksteps every scenario in the built-in corpus. `cycles` re-targets
-/// each scenario's horizon when given (stimulus scripts are extended to
-/// match, so longer sweeps never exhaust input).
-pub fn run_corpus(
-    engines: &[EngineKind],
+/// Locksteps every scenario in the built-in corpus across the named
+/// registry lanes (stream lanes included — see
+/// [`run_scenario_names`]). `cycles` re-targets each scenario's horizon
+/// when given (stimulus scripts are extended to match, so longer sweeps
+/// never exhaust input).
+///
+/// # Errors
+///
+/// Lane construction failures (unknown name, missing toolchain); runtime
+/// disagreement is part of the report, not an `Err`.
+pub fn run_corpus_names(
+    registry: &EngineRegistry,
+    names: &[String],
     cycles: Option<u64>,
     options: &CosimOptions,
-) -> CorpusReport {
+) -> Result<CorpusReport, ScenarioError> {
     let mut results = Vec::new();
     for entry in scenarios::corpus() {
         let scenario = match cycles {
             Some(n) => entry.with_cycles(n),
             None => entry,
         };
-        let outcome = run_scenario(&scenario, engines, options)
-            .expect("built-in scenarios are valid (covered by rtl-machines tests)");
-        let (ran, halted, divergence) = match outcome {
-            CosimOutcome::Agreement { cycles, halted } => (cycles, halted, None),
+        let outcome = match run_scenario_names(registry, names, &scenario, options) {
+            Ok(outcome) => outcome,
+            Err(ScenarioError::Load(_)) => {
+                unreachable!("built-in scenarios are valid (covered by rtl-machines tests)")
+            }
+            Err(e) => return Err(e),
+        };
+        let (ran, stop, divergence) = match outcome {
+            CosimOutcome::Agreement { cycles, stop } => (cycles, stop, None),
             CosimOutcome::Divergence(report) => (
                 u64::try_from(report.cycle).unwrap_or(0),
-                None,
+                StopReason::CycleLimit,
                 Some(*report),
             ),
         };
         results.push(CorpusResult {
             name: scenario.name,
             cycles: ran,
-            halted,
+            stop,
             divergence,
         });
     }
-    CorpusReport {
-        engines: engines.to_vec(),
+    Ok(CorpusReport {
+        engines: names.to_vec(),
         results,
-    }
+    })
+}
+
+/// [`run_corpus_names`] over the in-process tiers of the default
+/// registry — the harness-friendly entry point ([`EngineKind`] is `Copy`
+/// and cannot fail to build).
+pub fn run_corpus(
+    engines: &[EngineKind],
+    cycles: Option<u64>,
+    options: &CosimOptions,
+) -> CorpusReport {
+    let names: Vec<String> = engines.iter().map(|k| k.name().to_string()).collect();
+    run_corpus_names(registry(), &names, cycles, options).expect("in-process tiers always build")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtl_core::HaltKind;
 
     #[test]
     fn halted_scenarios_fail_the_sweep() {
@@ -122,7 +154,7 @@ mod tests {
             &CosimOptions::default(),
         );
         assert!(report.clean());
-        report.results[0].halted = Some("input exhausted at cycle 0".into());
+        report.results[0].stop = StopReason::Halt(HaltKind::InputExhausted { cycle: 0 });
         assert!(
             !report.clean(),
             "a halt verifies nothing and must not be green"
@@ -161,5 +193,17 @@ mod tests {
         assert!(report.clean(), "{report}");
         assert!(report.results.len() >= 12);
         assert!(report.to_string().contains("summary:"));
+    }
+
+    #[test]
+    fn unknown_lane_names_error_up_front() {
+        let err = run_corpus_names(
+            registry(),
+            &["interp".to_string(), "warp".to_string()],
+            Some(4),
+            &CosimOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown engine"), "{err}");
     }
 }

@@ -1,10 +1,40 @@
-//! The engine registry: named execution tiers and their factories.
+//! The default engine registry and the legacy tier names.
+//!
+//! Engine *construction* lives in `rtl-core`'s open
+//! [`EngineRegistry`]: each execution tier registers an
+//! [`EngineFactory`](rtl_core::EngineFactory) with its own crate
+//! (`rtl-interp` the interpreter tiers, `rtl-compile` the VM tiers and
+//! the generated-Rust subprocess lane). This module only *assembles* the
+//! default registry — and keeps [`EngineKind`], the enum of in-process
+//! tiers, as a thin alias over it for harness code that wants `Copy`
+//! handles.
 
-use rtl_compile::{OptOptions, Vm};
-use rtl_core::{Design, Engine};
-use rtl_interp::{InterpOptions, Interpreter};
+use rtl_core::{Design, Engine, EngineLane, EngineOptions, EngineRegistry};
 
-/// An execution tier that can join a lockstep run.
+/// The default registry: every built-in tier, in registration order —
+/// `interp`, `interp-faithful`, `vm`, `vm-noopt`, plus the `rust`
+/// subprocess stream lane. Open by construction: callers may
+/// [`register`](EngineRegistry::register) more lanes on their own copy.
+pub fn default_registry() -> EngineRegistry {
+    let mut r = EngineRegistry::new();
+    r.register(Box::new(rtl_interp::InterpFactory::indexed()));
+    r.register(Box::new(rtl_interp::InterpFactory::faithful()));
+    r.register(Box::new(rtl_compile::VmFactory::full()));
+    r.register(Box::new(rtl_compile::VmFactory::no_opt()));
+    r.register(Box::new(rtl_compile::GeneratedRustFactory));
+    r
+}
+
+/// The shared default registry (built once per process).
+pub fn registry() -> &'static EngineRegistry {
+    static REGISTRY: std::sync::OnceLock<EngineRegistry> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(default_registry)
+}
+
+/// An in-process execution tier that can join a lockstep run — a `Copy`
+/// alias over the core registry's stepped lanes. Stream lanes (the
+/// generated-Rust subprocess) have no `EngineKind`; drive them by name
+/// through [`run_scenario_names`](crate::stream::run_scenario_names).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// The ASIM table interpreter with indexed lookups.
@@ -19,7 +49,7 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    /// All tiers, in registry order.
+    /// All in-process tiers, in registry order.
     pub const ALL: [EngineKind; 4] = [
         EngineKind::Interp,
         EngineKind::InterpFaithful,
@@ -37,7 +67,7 @@ impl EngineKind {
         }
     }
 
-    /// Parses one registry name.
+    /// Parses one in-process tier name.
     ///
     /// # Errors
     ///
@@ -76,26 +106,15 @@ impl EngineKind {
         Ok(kinds)
     }
 
-    /// Builds the engine over a design. `trace` controls cycle-trace text
-    /// (lockstep compares it byte-for-byte when on).
+    /// Builds the engine over a design through the core registry. `trace`
+    /// controls cycle-trace text (lockstep compares it byte-for-byte when
+    /// on).
     pub fn build<'d>(self, design: &'d Design, trace: bool) -> Box<dyn Engine + 'd> {
-        match self {
-            EngineKind::Interp => Box::new(Interpreter::with_options(
-                design,
-                InterpOptions {
-                    trace,
-                    ..InterpOptions::default()
-                },
-            )),
-            EngineKind::InterpFaithful => Box::new(Interpreter::with_options(
-                design,
-                InterpOptions {
-                    trace,
-                    ..InterpOptions::faithful()
-                },
-            )),
-            EngineKind::Vm => Box::new(Vm::with_options(design, OptOptions::full(), trace)),
-            EngineKind::VmNoOpt => Box::new(Vm::with_options(design, OptOptions::none(), trace)),
+        match registry().build(self.name(), design, &EngineOptions { trace }) {
+            Ok(EngineLane::Stepped(engine)) => engine,
+            Ok(EngineLane::Stream(_)) | Err(_) => {
+                unreachable!("built-in in-process tiers always build stepped lanes")
+            }
         }
     }
 }
@@ -115,7 +134,10 @@ mod tests {
         for k in EngineKind::ALL {
             assert_eq!(EngineKind::parse(k.name()), Ok(k));
         }
-        assert!(EngineKind::parse("rustc").is_err());
+        assert!(
+            EngineKind::parse("rust").is_err(),
+            "stream lanes have no EngineKind"
+        );
     }
 
     #[test]
@@ -146,5 +168,15 @@ mod tests {
             engine.step(&mut out, &mut rtl_core::NoInput).unwrap();
             assert_eq!(engine.state().cycle(), 1, "{kind}");
         }
+    }
+
+    #[test]
+    fn registry_lists_every_lane() {
+        let names = registry().names();
+        for kind in EngineKind::ALL {
+            assert!(names.contains(&kind.name()), "{names:?}");
+        }
+        assert!(names.contains(&"rust"), "{names:?}");
+        assert!(!registry().get("rust").unwrap().is_stepped());
     }
 }

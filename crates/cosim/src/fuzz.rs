@@ -1,9 +1,11 @@
 //! The fuzz campaign driver: generate N scenarios, lockstep each, report.
 
-use crate::engines::EngineKind;
+use crate::engines::{registry, EngineKind};
 use crate::generate::{generate_scenario, GenOptions};
-use crate::lockstep::{run_scenario, CosimOptions, CosimOutcome, DivergenceReport};
+use crate::lockstep::{CosimOptions, CosimOutcome, DivergenceReport};
 use crate::report::{all_clean, write_rows, ResultRow};
+use crate::stream::{run_scenario_names, ScenarioError};
+use rtl_core::StopReason;
 
 /// Fuzz campaign configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -13,12 +15,23 @@ pub struct FuzzOptions {
     pub seed: u64,
     /// Number of cases.
     pub cases: u32,
-    /// Engine tiers under comparison.
-    pub engines: Vec<EngineKind>,
+    /// Engine lane names under comparison (any registry lane, stream
+    /// lanes included).
+    pub engines: Vec<String>,
     /// Scenario generator tuning.
     pub generator: GenOptions,
     /// Lockstep tuning.
     pub cosim: CosimOptions,
+}
+
+impl FuzzOptions {
+    /// Compares the given in-process tiers (the common case).
+    pub fn with_kinds(kinds: &[EngineKind]) -> Self {
+        FuzzOptions {
+            engines: kinds.iter().map(|k| k.name().to_string()).collect(),
+            ..Self::default()
+        }
+    }
 }
 
 impl Default for FuzzOptions {
@@ -26,7 +39,7 @@ impl Default for FuzzOptions {
         FuzzOptions {
             seed: 0,
             cases: 50,
-            engines: vec![EngineKind::Interp, EngineKind::Vm],
+            engines: vec!["interp".into(), "vm".into()],
             generator: GenOptions::default(),
             cosim: CosimOptions::default(),
         }
@@ -42,8 +55,8 @@ pub struct FuzzCase {
     pub name: String,
     /// Cycles verified in lockstep.
     pub cycles: u64,
-    /// `Some` when the case ended in a unanimous runtime halt.
-    pub halted: Option<String>,
+    /// How the case stopped: cycle limit, or a structured unanimous halt.
+    pub stop: StopReason,
     /// `Some` when the engines diverged.
     pub divergence: Option<DivergenceReport>,
 }
@@ -53,7 +66,7 @@ impl FuzzCase {
         ResultRow {
             name: &self.name,
             cycles: self.cycles,
-            halted: self.halted.as_deref(),
+            stop: &self.stop,
             divergence: self.divergence.as_ref(),
         }
     }
@@ -90,13 +103,12 @@ impl FuzzReport {
 
 impl std::fmt::Display for FuzzReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let engines: Vec<&str> = self.options.engines.iter().map(|k| k.name()).collect();
         writeln!(
             f,
             "fuzz campaign: {} cases from seed {}, engines [{}], {} cycles/case",
             self.options.cases,
             self.options.seed,
-            engines.join(", "),
+            self.options.engines.join(", "),
             self.options.generator.cycles,
         )?;
         let rows: Vec<ResultRow<'_>> = self.cases.iter().map(FuzzCase::row).collect();
@@ -104,39 +116,44 @@ impl std::fmt::Display for FuzzReport {
     }
 }
 
-/// Runs a fuzz campaign. Deterministic: identical options produce the
-/// identical report.
-pub fn run_fuzz(options: &FuzzOptions) -> FuzzReport {
+/// Runs a fuzz campaign against the default registry. Deterministic:
+/// identical options produce the identical report.
+///
+/// # Errors
+///
+/// Lane construction failures (unknown name, missing toolchain); runtime
+/// disagreement is part of the report, not an `Err`.
+pub fn run_fuzz(options: &FuzzOptions) -> Result<FuzzReport, ScenarioError> {
     let mut cases = Vec::with_capacity(options.cases as usize);
     for i in 0..options.cases {
         let seed = options.seed.wrapping_add(u64::from(i));
         let scenario = generate_scenario(seed, &options.generator);
-        let outcome = run_scenario(&scenario, &options.engines, &options.cosim)
-            .expect("generated scenarios are valid by construction");
-        let (cycles, halted, divergence) = match outcome {
-            CosimOutcome::Agreement { cycles, halted } => (cycles, halted, None),
+        let outcome = run_scenario_names(registry(), &options.engines, &scenario, &options.cosim)?;
+        let (cycles, stop, divergence) = match outcome {
+            CosimOutcome::Agreement { cycles, stop } => (cycles, stop, None),
             CosimOutcome::Divergence(report) => {
                 let cycles = u64::try_from(report.cycle).unwrap_or(0);
-                (cycles, None, Some(*report))
+                (cycles, StopReason::CycleLimit, Some(*report))
             }
         };
         cases.push(FuzzCase {
             seed,
             name: scenario.name,
             cycles,
-            halted,
+            stop,
             divergence,
         });
     }
-    FuzzReport {
+    Ok(FuzzReport {
         options: options.clone(),
         cases,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtl_core::HaltKind;
 
     fn quick_options() -> FuzzOptions {
         FuzzOptions {
@@ -152,10 +169,10 @@ mod tests {
 
     #[test]
     fn campaign_is_clean_and_deterministic() {
-        let a = run_fuzz(&quick_options());
+        let a = run_fuzz(&quick_options()).unwrap();
         assert!(a.clean(), "{a}");
         assert_eq!(a.cases.len(), 10);
-        let b = run_fuzz(&quick_options());
+        let b = run_fuzz(&quick_options()).unwrap();
         assert_eq!(a, b);
     }
 
@@ -164,7 +181,8 @@ mod tests {
         let report = run_fuzz(&FuzzOptions {
             cases: 3,
             ..quick_options()
-        });
+        })
+        .unwrap();
         let text = report.to_string();
         assert!(
             text.contains("fuzz campaign: 3 cases from seed 0"),
@@ -181,9 +199,10 @@ mod tests {
         let mut report = run_fuzz(&FuzzOptions {
             cases: 1,
             ..quick_options()
-        });
+        })
+        .unwrap();
         assert!(report.clean());
-        report.cases[0].halted = Some("input exhausted at cycle 0".into());
+        report.cases[0].stop = StopReason::Halt(HaltKind::InputExhausted { cycle: 0 });
         assert!(!report.clean());
     }
 
@@ -193,7 +212,8 @@ mod tests {
             seed: u64::MAX,
             cases: 3,
             ..quick_options()
-        });
+        })
+        .unwrap();
         assert_eq!(report.cases.len(), 3);
         assert_eq!(report.cases[0].seed, u64::MAX);
         assert_eq!(report.cases[1].seed, 0, "wraps deterministically");
@@ -203,9 +223,19 @@ mod tests {
     fn four_way_campaign_agrees() {
         let options = FuzzOptions {
             cases: 5,
-            engines: EngineKind::ALL.to_vec(),
+            generator: quick_options().generator,
+            ..FuzzOptions::with_kinds(&EngineKind::ALL)
+        };
+        assert!(run_fuzz(&options).unwrap().clean());
+    }
+
+    #[test]
+    fn unknown_lane_errors_up_front() {
+        let options = FuzzOptions {
+            engines: vec!["interp".into(), "warp".into()],
+            cases: 1,
             ..quick_options()
         };
-        assert!(run_fuzz(&options).clean());
+        assert!(run_fuzz(&options).is_err());
     }
 }

@@ -14,8 +14,13 @@
 //!   [`Engine::snapshot`](rtl_core::Engine::snapshot)/
 //!   [`restore`](rtl_core::Engine::restore) checkpoints to rewind and
 //!   bisect to the exact cycle.
-//! * [`engines`] — the engine registry: `interp`, `interp-faithful`,
-//!   `vm`, `vm-noopt` built from a comma-separated list.
+//! * [`engines`] — assembles the *default* core
+//!   [`EngineRegistry`](rtl_core::EngineRegistry): `interp`,
+//!   `interp-faithful`, `vm`, `vm-noopt`, plus the `rust` generated-binary
+//!   subprocess lane; [`EngineKind`] stays as a thin `Copy` alias over it.
+//! * [`stream`] — drives scenarios across registry lanes by name,
+//!   comparing stream lanes (subprocess stdout) against the stepped
+//!   lanes' agreed trace.
 //! * [`generate`] — a seeded, deterministic scenario generator producing
 //!   valid random specifications *plus stimulus scripts* (memory-mapped
 //!   input included), so lockstep doubles as a fuzzer.
@@ -43,12 +48,14 @@ pub mod fuzz;
 pub mod generate;
 pub mod lockstep;
 mod report;
+pub mod stream;
 
-pub use corpus::{run_corpus, CorpusReport};
-pub use engines::EngineKind;
+pub use corpus::{run_corpus, run_corpus_names, CorpusReport};
+pub use engines::{default_registry, registry, EngineKind};
 pub use fuzz::{run_fuzz, FuzzOptions, FuzzReport};
 pub use generate::{generate_scenario, GenOptions};
 pub use lockstep::{
     run_scenario, CosimOptions, CosimOutcome, DivergenceKind, DivergenceReport, LaneReport,
     Lockstep,
 };
+pub use stream::{run_scenario_names, ScenarioError};

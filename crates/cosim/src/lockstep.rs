@@ -11,7 +11,9 @@
 //! divergent cycle regardless of the comparison stride.
 
 use crate::engines::EngineKind;
-use rtl_core::{Design, Engine, LoadError, ScriptedInput, SimError, SimState, Word};
+use rtl_core::{
+    Design, Engine, HaltKind, LoadError, ScriptedInput, SimError, SimState, StopReason, Word,
+};
 use rtl_machines::Scenario;
 
 /// Lockstep configuration.
@@ -51,9 +53,11 @@ pub enum CosimOutcome {
     Agreement {
         /// Cycles executed and verified.
         cycles: u64,
-        /// `Some` when the run ended early because *every* engine raised
-        /// the identical runtime error — agreement about failure.
-        halted: Option<String>,
+        /// How the run stopped: [`StopReason::CycleLimit`] for a full
+        /// horizon, or a structured [`StopReason::Halt`] when *every*
+        /// engine raised the identical runtime halt — agreement about
+        /// failure, as a value.
+        stop: StopReason,
     },
     /// Lanes disagreed; the report pinpoints where and how.
     Divergence(Box<DivergenceReport>),
@@ -63,6 +67,15 @@ impl CosimOutcome {
     /// `true` for [`CosimOutcome::Agreement`].
     pub fn agreed(&self) -> bool {
         matches!(self, CosimOutcome::Agreement { .. })
+    }
+
+    /// The unanimous halt classification, when the lanes agreed about a
+    /// runtime halt.
+    pub fn halt(&self) -> Option<&HaltKind> {
+        match self {
+            CosimOutcome::Agreement { stop, .. } => stop.halt(),
+            CosimOutcome::Divergence(_) => None,
+        }
     }
 }
 
@@ -87,6 +100,13 @@ pub enum DivergenceKind {
         /// Cell address.
         addr: u32,
     },
+    /// A stream lane's output (e.g. the generated-Rust subprocess stdout)
+    /// differed from the trace the stepped lanes agreed on. The cycle is
+    /// estimated from the last matching cycle header.
+    Stream {
+        /// The stream lane's registry name.
+        lane: String,
+    },
 }
 
 /// One engine's view at the divergence point.
@@ -99,7 +119,7 @@ pub struct LaneReport {
     /// The diverging value in this lane (for output/cell kinds).
     pub value: Option<Word>,
     /// The lane's runtime error, if it raised one.
-    pub error: Option<String>,
+    pub error: Option<SimError>,
     /// The last few lines of the lane's trace text.
     pub trace_window: Vec<String>,
 }
@@ -129,6 +149,9 @@ impl std::fmt::Display for DivergenceReport {
             }
             DivergenceKind::Cells { component, addr } => {
                 format!("memory '{component}' cell {addr} differs")
+            }
+            DivergenceKind::Stream { lane } => {
+                format!("stream lane '{lane}' output differs from the agreed trace")
             }
         };
         writeln!(
@@ -183,7 +206,7 @@ impl Lane<'_> {
             engine: self.name.clone(),
             cycle: self.engine.state().cycle(),
             value,
-            error: self.error.as_ref().map(|e| e.to_string()),
+            error: self.error.clone(),
             trace_window: self.trace_window(window),
         }
     }
@@ -275,9 +298,13 @@ impl<'d> Lockstep<'d> {
             match self.burst(burst) {
                 BurstResult::Agree => executed += burst,
                 BurstResult::Halted(stopped) => {
+                    let error = self.lanes[0]
+                        .error
+                        .clone()
+                        .expect("unanimous halt carries the shared error");
                     return CosimOutcome::Agreement {
                         cycles: executed + stopped,
-                        halted: self.lanes[0].error.as_ref().map(|e| e.to_string()),
+                        stop: StopReason::from_error(error),
                     };
                 }
                 BurstResult::Diverged(stepped) => {
@@ -309,7 +336,7 @@ impl<'d> Lockstep<'d> {
         }
         CosimOutcome::Agreement {
             cycles: executed,
-            halted: None,
+            stop: StopReason::CycleLimit,
         }
     }
 
@@ -537,7 +564,7 @@ mod tests {
             ls.run(64),
             CosimOutcome::Agreement {
                 cycles: 64,
-                halted: None
+                stop: StopReason::CycleLimit
             }
         );
         assert_eq!(ls.verified_cycles(), 64);
@@ -568,10 +595,11 @@ mod tests {
         match ls.run(50) {
             CosimOutcome::Agreement {
                 cycles,
-                halted: Some(e),
+                stop: StopReason::Halt(halt),
             } => {
                 assert_eq!(cycles, 2);
-                assert!(e.contains("selector"), "{e}");
+                assert_eq!(halt.label(), "selector-out-of-range");
+                assert!(halt.to_string().contains("selector"), "{halt}");
             }
             other => panic!("{other:?}"),
         }
@@ -595,9 +623,9 @@ mod tests {
         match ls.run(10) {
             CosimOutcome::Agreement {
                 cycles: 2,
-                halted: Some(e),
+                stop: StopReason::Halt(halt),
             } => {
-                assert!(e.to_lowercase().contains("input"), "{e}");
+                assert_eq!(halt, HaltKind::InputExhausted { cycle: 2 });
             }
             other => panic!("{other:?}"),
         }

@@ -3,21 +3,22 @@
 //! drift apart between the two.
 
 use crate::lockstep::DivergenceReport;
+use rtl_core::StopReason;
 
 /// One scenario/case outcome, borrowed from the owning report.
 pub(crate) struct ResultRow<'a> {
     pub name: &'a str,
     pub cycles: u64,
-    pub halted: Option<&'a str>,
+    pub stop: &'a StopReason,
     pub divergence: Option<&'a DivergenceReport>,
 }
 
 impl ResultRow<'_> {
-    /// Agreed over the full horizon: no divergence *and* no halt (a
-    /// unanimous halt verifies nothing past the halting cycle, and both
-    /// the corpus and the generator promise halt-free horizons).
+    /// Agreed over the full horizon: no divergence *and* a clean cycle
+    /// limit (a unanimous halt verifies nothing past the halting cycle,
+    /// and both the corpus and the generator promise halt-free horizons).
     pub(crate) fn clean(&self) -> bool {
-        self.divergence.is_none() && self.halted.is_none()
+        self.divergence.is_none() && self.stop.is_cycle_limit()
     }
 }
 
@@ -34,14 +35,17 @@ pub(crate) fn write_rows(
     rows: &[ResultRow<'_>],
 ) -> std::fmt::Result {
     for r in rows {
-        let status = match (&r.divergence, &r.halted) {
+        let status = match (&r.divergence, &r.stop) {
             (Some(_), _) => "DIVERGED",
-            (None, Some(_)) => "halted",
-            (None, None) => "ok",
+            (None, StopReason::CycleLimit) => "ok",
+            (None, StopReason::Halt(_)) => "halted",
+            (None, StopReason::Error(_)) => "error",
         };
         writeln!(f, "  {:<22} {:>6} cycles  {status}", r.name, r.cycles)?;
-        if let Some(e) = r.halted {
-            writeln!(f, "    halt: {e}")?;
+        match &r.stop {
+            StopReason::CycleLimit => {}
+            StopReason::Halt(h) => writeln!(f, "    halt: {h}")?,
+            StopReason::Error(e) => writeln!(f, "    error: {e}")?,
         }
     }
     let diverged = rows.iter().filter(|r| r.divergence.is_some()).count();

@@ -1,0 +1,361 @@
+//! Driving a scenario across registry lanes by *name*, including stream
+//! lanes.
+//!
+//! Stepped lanes (interpreter, VM) run in per-cycle lockstep as usual.
+//! Stream lanes — the generated-Rust simulator binary run as a subprocess
+//! — cannot be stepped, so they join differently: after the stepped lanes
+//! agree over the full horizon, each stream lane replays the same
+//! scenario in one shot and its stdout is compared byte-for-byte against
+//! the trace the stepped lanes agreed on (the same bytes a capture
+//! [`TraceSink`](rtl_core::TraceSink) would have seen). A mismatch is a
+//! [`DivergenceKind::Stream`] report with the divergence cycle estimated
+//! from the last matching cycle header.
+
+use crate::lockstep::{
+    CosimOptions, CosimOutcome, DivergenceKind, DivergenceReport, LaneReport, Lockstep,
+};
+use rtl_core::{
+    EngineLane, EngineOptions, EngineRegistry, LoadError, Session, StopReason, StreamEngine, Until,
+    Word,
+};
+use rtl_machines::Scenario;
+
+/// Why a named-lane scenario run could not start.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The scenario's specification failed to parse/elaborate.
+    Load(LoadError),
+    /// A lane could not be built (unknown name, missing toolchain, or an
+    /// unusable lane mix).
+    Engine(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Load(e) => e.fmt(f),
+            ScenarioError::Engine(e) => f.write_str(e),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<LoadError> for ScenarioError {
+    fn from(e: LoadError) -> Self {
+        ScenarioError::Load(e)
+    }
+}
+
+/// Runs a [`Scenario`] through the named registry lanes: stepped lanes in
+/// lockstep, stream lanes by full-stream comparison (see the [module
+/// docs](self)).
+///
+/// When the stepped lanes end in a unanimous halt, the halt outcome is
+/// returned and stream lanes are left unverified — a crashed horizon has
+/// no agreed trace to compare against.
+///
+/// # Errors
+///
+/// Specification load failures and lane construction failures; runtime
+/// disagreement is part of the [`CosimOutcome`], not an `Err`.
+pub fn run_scenario_names(
+    registry: &EngineRegistry,
+    names: &[String],
+    scenario: &Scenario,
+    options: &CosimOptions,
+) -> Result<CosimOutcome, ScenarioError> {
+    let design = scenario.design()?;
+    let engine_options = EngineOptions {
+        trace: options.trace,
+    };
+    let mut stepped = Vec::new();
+    let mut streams: Vec<(String, Box<dyn StreamEngine + '_>)> = Vec::new();
+    for name in names {
+        match registry
+            .build(name, &design, &engine_options)
+            .map_err(ScenarioError::Engine)?
+        {
+            EngineLane::Stepped(engine) => stepped.push((name.clone(), engine)),
+            EngineLane::Stream(stream) => streams.push((name.clone(), stream)),
+        }
+    }
+    if stepped.is_empty() {
+        return Err(ScenarioError::Engine(
+            "need at least one in-process engine (stream lanes are compared \
+             against the stepped lanes' agreed trace)"
+                .into(),
+        ));
+    }
+
+    // The agreed reference trace: from lockstep when two or more lanes
+    // step, from a single captured session otherwise.
+    let reference_name = stepped[0].0.clone();
+    let (mut outcome, agreed) = if stepped.len() >= 2 {
+        let mut lockstep = Lockstep::new(
+            &design,
+            CosimOptions {
+                retain_output: options.retain_output || !streams.is_empty(),
+                ..options.clone()
+            },
+        );
+        lockstep.stimulus(scenario.input.clone());
+        for (name, engine) in stepped {
+            lockstep.add_lane(&name, engine);
+        }
+        let outcome = lockstep.run(scenario.cycles);
+        (outcome, lockstep.agreed_output().to_vec())
+    } else {
+        let (name, engine) = stepped.into_iter().next().expect("checked non-empty");
+        if streams.is_empty() {
+            return Err(ScenarioError::Engine(format!(
+                "engine {name:?} alone is not a comparison (add another lane)"
+            )));
+        }
+        let mut session = Session::over(engine)
+            .capture()
+            .scripted(scenario.input.iter().copied())
+            .build();
+        let run = session.run(Until::Cycles(scenario.cycles));
+        let outcome = CosimOutcome::Agreement {
+            cycles: run.cycles,
+            stop: run.stop,
+        };
+        (outcome, session.output().to_vec())
+    };
+
+    if let CosimOutcome::Agreement {
+        stop: StopReason::CycleLimit,
+        ..
+    } = &outcome
+    {
+        for (name, mut stream) in streams {
+            let got = stream
+                .run_stream(scenario.cycles, &scenario.input)
+                .map_err(|e| ScenarioError::Engine(format!("stream lane {name:?}: {e}")))?;
+            if got != agreed {
+                return Ok(CosimOutcome::Divergence(Box::new(stream_report(
+                    scenario,
+                    &reference_name,
+                    &agreed,
+                    &name,
+                    &got,
+                    options.trace_window,
+                ))));
+            }
+        }
+    }
+
+    if let CosimOutcome::Divergence(report) = &mut outcome {
+        report.scenario = scenario.name.clone();
+    }
+    Ok(outcome)
+}
+
+fn stream_report(
+    scenario: &Scenario,
+    reference_name: &str,
+    agreed: &[u8],
+    lane: &str,
+    got: &[u8],
+    window: usize,
+) -> DivergenceReport {
+    let prefix = agreed.iter().zip(got).take_while(|(a, b)| a == b).count();
+    let cycle = cycle_at(&agreed[..prefix]);
+    let lane_view = |name: &str, bytes: &[u8]| {
+        // Quote the stream around the first mismatching byte.
+        let end = (prefix + 120).min(bytes.len());
+        let text = String::from_utf8_lossy(&bytes[..end]);
+        let lines: Vec<&str> = text.lines().collect();
+        let start = lines.len().saturating_sub(window);
+        LaneReport {
+            engine: name.to_string(),
+            cycle,
+            value: None,
+            error: None,
+            trace_window: lines[start..].iter().map(|s| s.to_string()).collect(),
+        }
+    };
+    DivergenceReport {
+        scenario: scenario.name.clone(),
+        cycle,
+        kind: DivergenceKind::Stream {
+            lane: lane.to_string(),
+        },
+        lanes: vec![lane_view(reference_name, agreed), lane_view(lane, got)],
+    }
+}
+
+/// The cycle a byte offset into an agreed trace falls in: the index of
+/// the last `Cycle ` header starting a line in the identical prefix
+/// (0 when the streams diverge before the first header — or when trace
+/// text is off and no headers exist).
+fn cycle_at(prefix: &[u8]) -> Word {
+    let mut count: Word = 0;
+    let mut at_line_start = true;
+    let mut i = 0;
+    while i < prefix.len() {
+        if at_line_start && prefix[i..].starts_with(b"Cycle ") {
+            count += 1;
+        }
+        at_line_start = prefix[i] == b'\n';
+        i += 1;
+    }
+    count.saturating_sub(1).max(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::registry;
+    use rtl_core::HaltKind;
+    use rtl_machines::scenarios;
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn cycle_estimation_counts_headers() {
+        assert_eq!(cycle_at(b""), 0);
+        assert_eq!(cycle_at(b"Cycle   0 x= 1\n"), 0);
+        assert_eq!(cycle_at(b"Cycle   0 x= 1\nCycle   1 x= 2\nCyc"), 1);
+        assert_eq!(cycle_at(b"no headers at all"), 0);
+    }
+
+    #[test]
+    fn stepped_lanes_by_name_match_engine_kinds() {
+        let scenario = scenarios::by_name("classic/counter")
+            .unwrap()
+            .with_cycles(32);
+        let outcome = run_scenario_names(
+            registry(),
+            &names(&["interp", "vm", "vm-noopt"]),
+            &scenario,
+            &CosimOptions::default(),
+        )
+        .unwrap();
+        assert!(outcome.agreed(), "{outcome:?}");
+    }
+
+    #[test]
+    fn unknown_and_underpowered_lane_lists_error() {
+        let scenario = scenarios::by_name("classic/counter")
+            .unwrap()
+            .with_cycles(8);
+        let err = run_scenario_names(
+            registry(),
+            &names(&["warp", "vm"]),
+            &scenario,
+            &CosimOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::Engine(_)), "{err}");
+    }
+
+    #[test]
+    fn halts_skip_stream_verification() {
+        // Scripted input runs dry at cycle 2 — the stepped lanes halt
+        // unanimously; the outcome is the structured halt.
+        let mut scenario = scenarios::by_name("io/accumulator")
+            .unwrap()
+            .with_cycles(50);
+        scenario.input.truncate(2);
+        let outcome = run_scenario_names(
+            registry(),
+            &names(&["interp", "vm"]),
+            &scenario,
+            &CosimOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.halt(), Some(&HaltKind::InputExhausted { cycle: 2 }));
+    }
+
+    #[test]
+    fn rust_stream_lane_agrees_on_a_scenario() {
+        if !rtl_compile::rustc_available() {
+            eprintln!("skipping: rustc not on PATH");
+            return;
+        }
+        let scenario = scenarios::by_name("classic/counter")
+            .unwrap()
+            .with_cycles(24);
+        let outcome = run_scenario_names(
+            registry(),
+            &names(&["interp", "vm", "rust"]),
+            &scenario,
+            &CosimOptions::default(),
+        )
+        .unwrap();
+        assert!(outcome.agreed(), "{outcome:?}");
+    }
+
+    #[test]
+    fn rust_stream_lane_exercises_scripted_input() {
+        if !rtl_compile::rustc_available() {
+            eprintln!("skipping: rustc not on PATH");
+            return;
+        }
+        let scenario = scenarios::by_name("io/accumulator")
+            .unwrap()
+            .with_cycles(16);
+        let outcome = run_scenario_names(
+            registry(),
+            &names(&["vm", "rust"]),
+            &scenario,
+            &CosimOptions::default(),
+        )
+        .unwrap();
+        assert!(outcome.agreed(), "{outcome:?}");
+    }
+
+    #[test]
+    fn a_corrupt_stream_is_reported_with_a_cycle_estimate() {
+        struct GarbageStream;
+        impl StreamEngine for GarbageStream {
+            fn run_stream(&mut self, _cycles: u64, _stimulus: &[Word]) -> Result<Vec<u8>, String> {
+                // Matches the counter trace for cycles 0..=1, then lies.
+                Ok(b"Cycle   0 count= 0\nCycle   1 count= 1\nCycle   2 count= 9\n".to_vec())
+            }
+        }
+        struct GarbageFactory;
+        impl rtl_core::EngineFactory for GarbageFactory {
+            fn name(&self) -> &str {
+                "garbage"
+            }
+            fn is_stepped(&self) -> bool {
+                false
+            }
+            fn build<'d>(
+                &self,
+                _design: &'d rtl_core::Design,
+                _options: &EngineOptions,
+            ) -> Result<EngineLane<'d>, String> {
+                Ok(EngineLane::Stream(Box::new(GarbageStream)))
+            }
+        }
+        let mut reg = crate::engines::default_registry();
+        reg.register(Box::new(GarbageFactory));
+        let scenario = scenarios::by_name("classic/counter")
+            .unwrap()
+            .with_cycles(3);
+        let outcome = run_scenario_names(
+            &reg,
+            &names(&["interp", "vm", "garbage"]),
+            &scenario,
+            &CosimOptions::default(),
+        )
+        .unwrap();
+        let CosimOutcome::Divergence(report) = outcome else {
+            panic!("expected divergence, got {outcome:?}");
+        };
+        assert_eq!(
+            report.kind,
+            DivergenceKind::Stream {
+                lane: "garbage".into()
+            }
+        );
+        assert_eq!(report.cycle, 2, "{report}");
+        assert_eq!(report.lanes.len(), 2);
+    }
+}

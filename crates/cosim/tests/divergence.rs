@@ -4,7 +4,7 @@
 //! on generated scenarios (the property the whole subsystem guards).
 
 use proptest::prelude::*;
-use rtl_core::{Design, Engine, InputSource, SimError, SimState, Word};
+use rtl_core::{Design, Engine, HaltKind, InputSource, SimError, SimState, StopReason, Word};
 use rtl_cosim::{
     generate_scenario, CosimOptions, CosimOutcome, DivergenceKind, EngineKind, GenOptions, Lockstep,
 };
@@ -140,11 +140,54 @@ fn one_sided_error_is_a_divergence_not_a_halt() {
     assert_eq!(report.kind, DivergenceKind::Error);
     let broken = report.lanes.iter().find(|l| l.engine == "broken").unwrap();
     assert!(
-        broken.error.as_deref().unwrap_or("").contains("sabotaged"),
+        matches!(
+            &broken.error,
+            Some(SimError::BadAluFunction { component, .. }) if component == "sabotaged"
+        ),
         "{report}"
     );
     let healthy = report.lanes.iter().find(|l| l.engine == "vm").unwrap();
     assert!(healthy.error.is_none());
+}
+
+#[test]
+fn unanimous_halts_are_classified_structurally() {
+    // Every engine runs the scripted input dry at the same cycle: the
+    // outcome is an agreement whose StopReason is a *structured* halt —
+    // a value to match on, not a string to grep.
+    let design = Design::from_source("# io\ni .\nM i 1 0 2 1 .").unwrap();
+    let mut lockstep = Lockstep::new(&design, CosimOptions::default());
+    lockstep.stimulus(vec![5, 6, 7]);
+    lockstep.add_engine(EngineKind::Interp);
+    lockstep.add_engine(EngineKind::Vm);
+    match lockstep.run(20) {
+        CosimOutcome::Agreement {
+            cycles,
+            stop: StopReason::Halt(halt),
+        } => {
+            assert_eq!(cycles, 3);
+            assert_eq!(halt, HaltKind::InputExhausted { cycle: 3 });
+            assert_eq!(halt.label(), "input-exhausted");
+        }
+        other => panic!("expected a classified unanimous halt, got {other:?}"),
+    }
+
+    // And a design-level crash classifies by component, not by message.
+    let design =
+        Design::from_source("# bad\nc s n .\nM c 0 n 1 1\nA n 4 c 1\nS s c 1 2 .").unwrap();
+    let mut lockstep = Lockstep::new(&design, CosimOptions::default());
+    lockstep.add_engine(EngineKind::Interp);
+    lockstep.add_engine(EngineKind::Vm);
+    let outcome = lockstep.run(20);
+    let halt = outcome.halt().expect("unanimous selector crash");
+    assert!(
+        matches!(
+            halt,
+            HaltKind::SelectorOutOfRange { component, index: 2, cases: 2, cycle: 2 }
+                if component == "s"
+        ),
+        "{halt:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,85 @@
+//! [`EngineFactory`] registrations for the interpreter tiers.
+
+use crate::sim::{InterpOptions, Interpreter};
+use rtl_core::{Design, EngineFactory, EngineLane, EngineOptions};
+
+/// Builds [`Interpreter`] lanes: `interp` (indexed lookups) and
+/// `interp-faithful` (the 1986 symbol-table configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterpFactory {
+    faithful: bool,
+}
+
+impl InterpFactory {
+    /// The default tier: indexed operand lookups (`interp`).
+    pub fn indexed() -> Self {
+        InterpFactory { faithful: false }
+    }
+
+    /// The faithful 1986 tier: symbol-table lookups (`interp-faithful`) —
+    /// slower, same values.
+    pub fn faithful() -> Self {
+        InterpFactory { faithful: true }
+    }
+}
+
+impl EngineFactory for InterpFactory {
+    fn name(&self) -> &str {
+        if self.faithful {
+            "interp-faithful"
+        } else {
+            "interp"
+        }
+    }
+
+    fn description(&self) -> &str {
+        if self.faithful {
+            "ASIM table interpreter, 1986 symbol-table lookups"
+        } else {
+            "ASIM table interpreter, indexed lookups"
+        }
+    }
+
+    fn build<'d>(
+        &self,
+        design: &'d Design,
+        options: &EngineOptions,
+    ) -> Result<EngineLane<'d>, String> {
+        let base = if self.faithful {
+            InterpOptions::faithful()
+        } else {
+            InterpOptions::default()
+        };
+        Ok(EngineLane::Stepped(Box::new(Interpreter::with_options(
+            design,
+            InterpOptions {
+                trace: options.trace,
+                ..base
+            },
+        ))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl_core::{Session, Until};
+
+    #[test]
+    fn both_tiers_build_and_step() {
+        let design =
+            Design::from_source("# c\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .")
+                .unwrap();
+        for factory in [InterpFactory::indexed(), InterpFactory::faithful()] {
+            let lane = factory.build(&design, &EngineOptions::default()).unwrap();
+            let EngineLane::Stepped(engine) = lane else {
+                panic!("interpreter lanes are stepped");
+            };
+            let mut session = Session::over(engine).capture().build();
+            assert!(session.run(Until::Cycles(2)).completed(), "{factory:?}");
+            assert!(session.output_text().contains("count= 1"));
+        }
+        assert_eq!(InterpFactory::indexed().name(), "interp");
+        assert_eq!(InterpFactory::faithful().name(), "interp-faithful");
+    }
+}

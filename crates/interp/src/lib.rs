@@ -22,10 +22,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod factory;
 pub mod lookup;
 pub mod postfix;
 pub mod sim;
 
+pub use factory::InterpFactory;
 pub use lookup::{LookupMode, SymbolTable};
 pub use postfix::{Op, Program};
 pub use sim::{InterpOptions, Interpreter};
@@ -33,7 +35,7 @@ pub use sim::{InterpOptions, Interpreter};
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtl_core::{run_captured, Design, Engine, ScriptedInput, SimError};
+    use rtl_core::{run_captured, Design, Engine, Session, SimError, Until};
 
     fn design(src: &str) -> Design {
         Design::from_source(src).unwrap_or_else(|e| panic!("{e}"))
@@ -170,14 +172,13 @@ mod tests {
     #[test]
     fn memory_mapped_input() {
         let d = design("# in\ni* .\nM i 1 0 2 1 .");
-        let mut sim = Interpreter::new(&d);
-        let mut out = Vec::new();
-        let mut input = ScriptedInput::new([7, 8]);
-        sim.run(2, &mut out, &mut input).unwrap();
-        let text = String::from_utf8(out).unwrap();
+        let mut session = Session::over(Interpreter::new(&d))
+            .capture()
+            .scripted([7, 8])
+            .build();
+        assert!(session.run(Until::Cycles(2)).completed());
         // The latch shows the input one cycle later.
-        assert_eq!(text, "Cycle   0 i= 0\nCycle   1 i= 7\n");
-        assert_eq!(input.remaining(), 0);
+        assert_eq!(session.output_text(), "Cycle   0 i= 0\nCycle   1 i= 7\n");
     }
 
     #[test]
@@ -191,14 +192,12 @@ mod tests {
     #[test]
     fn input_prompt_for_odd_addresses() {
         let d = design("# in\ni .\nM i 9 0 2 1 .");
-        let mut sim = Interpreter::new(&d);
-        let mut out = Vec::new();
-        let mut input = ScriptedInput::new([5]);
-        sim.run(1, &mut out, &mut input).unwrap();
-        assert_eq!(
-            String::from_utf8(out).unwrap(),
-            "Cycle   0\nInput from address 9: "
-        );
+        let mut session = Session::over(Interpreter::new(&d))
+            .capture()
+            .scripted([5])
+            .build();
+        assert!(session.run(Until::Cycles(1)).completed());
+        assert_eq!(session.output_text(), "Cycle   0\nInput from address 9: ");
     }
 
     #[test]
@@ -283,12 +282,14 @@ mod tests {
     }
 
     #[test]
-    fn run_spec_uses_inclusive_cycle_count() {
+    fn until_spec_uses_inclusive_cycle_count() {
         let d = design("# c\n= 3\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .");
-        let mut sim = Interpreter::new(&d);
-        let mut out = Vec::new();
-        sim.run_spec(&mut out, &mut rtl_core::NoInput).unwrap();
-        let text = String::from_utf8(out).unwrap();
-        assert_eq!(text.lines().count(), 4, "= 3 means cycles 0..=3");
+        let mut session = Session::over(Interpreter::new(&d)).capture().build();
+        assert!(session.run(Until::Spec).completed());
+        assert_eq!(
+            session.output_text().lines().count(),
+            4,
+            "= 3 means cycles 0..=3"
+        );
     }
 }

@@ -217,6 +217,10 @@ impl Engine for Interpreter<'_> {
         self.state = snapshot.clone();
     }
 
+    fn stats(&self) -> Option<&SimStats> {
+        Some(&self.stats)
+    }
+
     fn step(&mut self, out: &mut dyn Write, input: &mut dyn InputSource) -> Result<(), SimError> {
         let cycle = self.state.cycle();
 

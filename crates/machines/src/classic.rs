@@ -58,8 +58,14 @@ pub fn design(name: &str) -> Design {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtl_core::{run_captured, Engine, NoInput};
+    use rtl_core::{run_captured, Session, Until};
     use rtl_interp::Interpreter;
+
+    fn spec_text(d: &rtl_core::Design) -> String {
+        let mut session = Session::over(Interpreter::new(d)).capture().build();
+        assert!(session.run(Until::Spec).completed());
+        session.output_text()
+    }
 
     #[test]
     fn all_bundled_specs_elaborate_without_warnings() {
@@ -84,10 +90,7 @@ mod tests {
     #[test]
     fn gcd_converges_to_twelve() {
         let d = design("gcd");
-        let mut sim = Interpreter::new(&d);
-        let mut out = Vec::new();
-        sim.run_spec(&mut out, &mut NoInput).unwrap();
-        let text = String::from_utf8(out).unwrap();
+        let text = spec_text(&d);
         let last = text.lines().last().unwrap();
         assert!(last.ends_with("x= 12 y= 12"), "{last}");
         // And it stays converged.
@@ -114,20 +117,14 @@ mod tests {
         // mem.3.4,#01,count.1 = 0b11 0b01 0b1 = 27. The memories latch
         // their cells after the first read, so the value appears at cycle 1.
         let d = design("fig3_1");
-        let mut sim = Interpreter::new(&d);
-        let mut out = Vec::new();
-        sim.run_spec(&mut out, &mut NoInput).unwrap();
-        let text = String::from_utf8(out).unwrap();
+        let text = spec_text(&d);
         assert!(text.lines().nth(1).unwrap().contains("cat= 27"), "{text}");
     }
 
     #[test]
     fn fig4_1_both_alus_compute_3148() {
         let d = design("fig4_1");
-        let mut sim = Interpreter::new(&d);
-        let mut out = Vec::new();
-        sim.run_spec(&mut out, &mut NoInput).unwrap();
-        let text = String::from_utf8(out).unwrap();
+        let text = spec_text(&d);
         // left = 100 once latched; both the generic and the inlined ALU
         // produce 100 + 3048.
         assert!(text.contains("alu= 3148 add= 3148"), "{text}");
@@ -136,10 +133,7 @@ mod tests {
     #[test]
     fn fig4_2_selector_walks_values() {
         let d = design("fig4_2");
-        let mut sim = Interpreter::new(&d);
-        let mut out = Vec::new();
-        sim.run_spec(&mut out, &mut NoInput).unwrap();
-        let text = String::from_utf8(out).unwrap();
+        let text = spec_text(&d);
         for v in [
             "selector= 10",
             "selector= 20",
@@ -153,10 +147,7 @@ mod tests {
     #[test]
     fn fig4_3_memory_traces_reads_and_writes() {
         let d = design("fig4_3");
-        let mut sim = Interpreter::new(&d);
-        let mut out = Vec::new();
-        sim.run_spec(&mut out, &mut NoInput).unwrap();
-        let text = String::from_utf8(out).unwrap();
+        let text = spec_text(&d);
         assert!(text.contains(" Read from memory at "), "{text}");
         assert!(text.contains(" Write to memory at "), "{text}");
         // The initializer values are visible through reads.

@@ -99,6 +99,21 @@ fn build() -> Vec<Scenario> {
         sieve.cycles as u64 + 1,
     ));
 
+    // The other stack workloads, sized so each clears the >= 1000-cycle
+    // lockstep horizon: 20 Fibonacci terms and a slow subtraction GCD.
+    let fib = crate::stack::fib_workload(20);
+    scenarios.push(Scenario::new(
+        "stack/fib",
+        crate::stack::rtl::spec_source(&fib.program, Some(fib.cycles)),
+        fib.cycles as u64 + 1,
+    ));
+    let gcd = crate::stack::gcd_workload(1000, 45);
+    scenarios.push(Scenario::new(
+        "stack/gcd",
+        crate::stack::rtl::spec_source(&gcd.program, Some(gcd.cycles)),
+        gcd.cycles as u64 + 1,
+    ));
+
     // The Appendix F tiny computer dividing 997 by 3: a long-running
     // microcoded workload that ends in a clean halt spin.
     let image = crate::tiny::divider_image(997, 3);
@@ -159,7 +174,7 @@ mod tests {
     #[test]
     fn corpus_is_nonempty_and_named_uniquely() {
         let names = names();
-        assert!(names.len() >= 12, "{names:?}");
+        assert!(names.len() >= 16, "{names:?}");
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
@@ -208,5 +223,17 @@ mod tests {
         assert!(by_name("classic/counter").is_some());
         assert!(by_name("stack/sieve").is_some());
         assert!(by_name("no/such").is_none());
+    }
+
+    #[test]
+    fn registry_holds_sixteen_scenarios_including_fib_and_gcd() {
+        assert_eq!(names().len(), 16, "{:?}", names());
+        let fib = by_name("stack/fib").expect("fib registered");
+        let gcd = by_name("stack/gcd").expect("gcd registered");
+        for s in [&fib, &gcd] {
+            assert!(s.cycles >= 1000, "{} horizon {}", s.name, s.cycles);
+            assert!(s.input.is_empty(), "stack programs take no input");
+            s.design().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
     }
 }

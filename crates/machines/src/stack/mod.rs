@@ -58,3 +58,51 @@ pub fn sieve_workload(size: Word) -> SieveWorkload {
         expected_output: iss.rendered_output(),
     }
 }
+
+/// A characterized stack-machine workload: assembled program, the exact
+/// RTL cycle count to completion (from the ISS oracle), and the values
+/// the run prints. The general shape behind [`SieveWorkload`], used for
+/// the other [`programs`].
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The assembled program.
+    pub program: Vec<Instr>,
+    /// Micro-cycles the RTL model needs to finish (from the ISS).
+    pub cycles: Word,
+    /// The values the run writes to the output device, in order.
+    pub outputs: Vec<Word>,
+    /// The exact output text (`soutput` rendering).
+    pub expected_output: String,
+}
+
+fn characterize(source: &str, what: &str) -> Workload {
+    let program = assemble(source).unwrap_or_else(|e| panic!("{what} assembles: {e}"));
+    let mut iss = Iss::new(program.clone());
+    assert_eq!(iss.run(50_000_000), Stop::Halted, "{what} halts");
+    Workload {
+        program,
+        cycles: iss.predicted_cycles as Word,
+        outputs: iss.output_values(),
+        expected_output: iss.rendered_output(),
+    }
+}
+
+/// Assembles and characterizes [`programs::fibonacci`] for `n` terms.
+///
+/// ```
+/// let w = rtl_machines::stack::fib_workload(10);
+/// assert_eq!(w.outputs.last(), Some(&55));
+/// ```
+pub fn fib_workload(n: Word) -> Workload {
+    characterize(&programs::fibonacci(n), "fibonacci")
+}
+
+/// Assembles and characterizes [`programs::gcd`] (subtraction method).
+///
+/// ```
+/// let w = rtl_machines::stack::gcd_workload(252, 105);
+/// assert_eq!(w.outputs, [21]);
+/// ```
+pub fn gcd_workload(a: Word, b: Word) -> Workload {
+    characterize(&programs::gcd(a, b), "gcd")
+}

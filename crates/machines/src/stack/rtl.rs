@@ -97,7 +97,7 @@ mod tests {
     use super::super::asm::assemble;
     use super::super::iss::{Iss, Stop};
     use super::*;
-    use rtl_core::{Design, Engine, NoInput};
+    use rtl_core::{Design, Session, Until};
     use rtl_interp::{InterpOptions, Interpreter};
 
     /// Runs a program on both levels and insists the output streams match.
@@ -108,11 +108,14 @@ mod tests {
 
         let spec = spec(&program, Some(iss.predicted_cycles as Word));
         let design = Design::elaborate(&spec).unwrap_or_else(|e| panic!("{e}"));
-        let mut sim = Interpreter::with_options(&design, InterpOptions::quiet());
-        let mut out = Vec::new();
-        sim.run_spec(&mut out, &mut NoInput)
+        let mut session = Session::over(Interpreter::with_options(&design, InterpOptions::quiet()))
+            .capture()
+            .build();
+        session
+            .run(Until::Spec)
+            .into_result()
             .unwrap_or_else(|e| panic!("RTL failed: {e}"));
-        let rtl_output = String::from_utf8(out).unwrap();
+        let rtl_output = session.output_text();
         assert_eq!(rtl_output, iss.rendered_output(), "RTL vs ISS output");
         (iss, rtl_output)
     }
@@ -211,9 +214,10 @@ fin:
         // Run the RTL far longer than needed: output must not repeat.
         let spec = spec(&program, Some(1000));
         let design = Design::elaborate(&spec).unwrap();
-        let mut sim = Interpreter::with_options(&design, InterpOptions::quiet());
-        let mut out = Vec::new();
-        sim.run_spec(&mut out, &mut NoInput).unwrap();
-        assert_eq!(String::from_utf8(out).unwrap(), "9\n");
+        let mut session = Session::over(Interpreter::with_options(&design, InterpOptions::quiet()))
+            .capture()
+            .build();
+        assert!(session.run(Until::Spec).completed());
+        assert_eq!(session.output_text(), "9\n");
     }
 }

@@ -89,7 +89,7 @@ pub const CYCLES_PER_INSTRUCTION: u64 = 4;
 mod tests {
     use super::super::{divider_image, iss::TinyIss, layout};
     use super::*;
-    use rtl_core::{Design, Engine, NoInput};
+    use rtl_core::{Design, Engine, Session, Until};
     use rtl_interp::{InterpOptions, Interpreter};
 
     /// Runs the RTL model for the division demo and compares the final
@@ -105,8 +105,10 @@ mod tests {
         let spec = spec(&image, Some(cycles as Word));
         let design = Design::elaborate(&spec).unwrap_or_else(|e| panic!("{e}"));
         let mut sim = Interpreter::with_options(&design, InterpOptions::quiet());
-        let mut out = Vec::new();
-        sim.run_spec(&mut out, &mut NoInput)
+        Session::over(&mut sim)
+            .build()
+            .run(Until::Spec)
+            .into_result()
             .unwrap_or_else(|e| panic!("RTL failed: {e}"));
 
         let mem = design.find("mem").unwrap();
@@ -148,10 +150,9 @@ mod tests {
         let image = divider_image(5, 5);
         let spec = spec_with_trace(&image, Some(7), &["state", "pc", "ac"]);
         let design = Design::elaborate(&spec).unwrap();
-        let mut sim = Interpreter::new(&design);
-        let mut out = Vec::new();
-        sim.run_spec(&mut out, &mut NoInput).unwrap();
-        let text = String::from_utf8(out).unwrap();
+        let mut session = Session::over(Interpreter::new(&design)).capture().build();
+        assert!(session.run(Until::Spec).completed());
+        let text = session.output_text();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 8);
         assert_eq!(lines[0], "Cycle   0 state= 0 pc= 0 ac= 0");

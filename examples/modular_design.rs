@@ -31,11 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let design = Design::elaborate(&host)?;
-    let mut sim = Interpreter::new(&design);
-    let mut out = Vec::new();
-    sim.run_spec(&mut out, &mut NoInput)?;
-    let text = String::from_utf8(out)?;
-    println!("\n{text}");
+    let mut session = Session::over(Interpreter::new(&design)).capture().build();
+    session.run(Until::Spec).into_result()?;
+    println!("\n{}", session.output_text());
 
     // And the same flattened design goes straight to hardware: the parts
     // list counts three sets of counter flip-flops.

@@ -26,18 +26,16 @@ M shadow 0 count 1 1
     );
     let design = Design::elaborate(&spec)?;
 
-    // 1. The ASIM-style interpreter.
-    let mut interp = Interpreter::new(&design);
-    let mut trace = Vec::new();
-    interp.run_spec(&mut trace, &mut NoInput)?;
-    let interp_text = String::from_utf8(trace)?;
+    // 1. The ASIM-style interpreter, driven through a Session.
+    let mut session = Session::over(Interpreter::new(&design)).capture().build();
+    session.run(Until::Spec).into_result()?;
+    let interp_text = session.output_text();
     println!("\ninterpreter trace:\n{interp_text}");
 
-    // 2. The ASIM II compiled bytecode VM.
-    let mut vm = Vm::new(&design);
-    let mut trace = Vec::new();
-    vm.run_spec(&mut trace, &mut NoInput)?;
-    let vm_text = String::from_utf8(trace)?;
+    // 2. The ASIM II compiled bytecode VM — same driving contract.
+    let mut session = Session::over(Vm::new(&design)).capture().build();
+    session.run(Until::Spec).into_result()?;
+    let vm_text = session.output_text();
     assert_eq!(vm_text, interp_text, "engines agree byte for byte");
     println!(
         "compiled VM produced identical output ({} bytes)",

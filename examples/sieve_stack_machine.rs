@@ -30,12 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run on the compiled VM; the trace is off, so the only output is the
     // memory-mapped output device: the primes.
     let start = Instant::now();
-    let mut vm = Vm::with_options(&design, OptOptions::full(), false);
-    let mut out = Vec::new();
-    vm.run_spec(&mut out, &mut NoInput)?;
+    let mut session = Session::over(Vm::with_options(&design, OptOptions::full(), false))
+        .capture()
+        .build();
+    session.run(Until::Spec).into_result()?;
     let elapsed = start.elapsed();
 
-    let text = String::from_utf8(out)?;
+    let text = session.output_text();
     println!("\nprimes found by the hardware model:");
     print!("{text}");
     assert_eq!(

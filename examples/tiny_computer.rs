@@ -25,9 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = tiny::rtl::spec_with_trace(&image, Some(cycles as i64), &["state", "pc", "ac"]);
     let design = Design::elaborate(&spec)?;
     let mut sim = Interpreter::new(&design);
-    let mut out = Vec::new();
-    sim.run_spec(&mut out, &mut NoInput)?;
-    let text = String::from_utf8(out)?;
+    let mut session = Session::over(&mut sim).capture().build();
+    session.run(Until::Spec).into_result()?;
+    let text = session.output_text();
+    drop(session);
 
     println!("\nfirst three instructions, cycle by cycle:");
     for line in text.lines().take(12) {

@@ -49,9 +49,10 @@ pub use rtl_machines as machines;
 pub mod prelude {
     pub use rtl_compile::{emit_pascal, emit_rust, EmitOptions, OptOptions, Vm};
     pub use rtl_core::{
-        run_captured, Design, Engine, InputSource, NoInput, ScriptedInput, SimError, Word,
+        run_captured, Design, Engine, EngineOptions, EngineRegistry, HaltKind, InputSource,
+        NoInput, RunOutcome, ScriptedInput, Session, SimError, StopReason, Until, Word,
     };
-    pub use rtl_cosim::{CosimOptions, CosimOutcome, EngineKind, Lockstep};
+    pub use rtl_cosim::{registry, CosimOptions, CosimOutcome, EngineKind, Lockstep};
     pub use rtl_interp::Interpreter;
     pub use rtl_lang::{parse, pretty, Spec};
 }

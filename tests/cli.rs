@@ -60,6 +60,83 @@ fn generated_sieve_spec_runs_through_the_cli() {
 }
 
 #[test]
+fn checkpoint_resume_is_byte_identical_to_an_uninterrupted_run() {
+    // A free-running counter (no `= n` clause), driven by --cycles.
+    let spec = write_spec(
+        "ckpt",
+        "# checkpoint counter\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .",
+    );
+    let spec = spec.to_str().unwrap();
+    let ck = std::env::temp_dir().join(format!("asim2-it-{}-ckpt.state", std::process::id()));
+    let ck = ck.to_str().unwrap();
+
+    // Uninterrupted reference run: cycles 0..=100.
+    let (code, full, err) = run_cli(&["run", spec, "--cycles", "100"]);
+    assert_eq!(code, 0, "{err}");
+
+    // The same run with periodic checkpoints must not perturb the trace;
+    // the file is left at the last boundary (cycle 64).
+    let (code, checkpointed, err) = run_cli(&[
+        "run",
+        spec,
+        "--cycles",
+        "100",
+        "--checkpoint",
+        ck,
+        "--checkpoint-every",
+        "64",
+    ]);
+    assert_eq!(code, 0, "{err}");
+    assert_eq!(checkpointed, full, "checkpointing must not change the run");
+
+    // Resuming from the checkpoint replays cycles 64..=100 byte-identically.
+    let (code, resumed, err) = run_cli(&["run", spec, "--cycles", "100", "--resume", ck]);
+    assert_eq!(code, 0, "{err}");
+    assert!(resumed.starts_with("Cycle  64 "), "{resumed}");
+    assert!(
+        full.ends_with(&resumed),
+        "resumed tail must be byte-identical to the uninterrupted run"
+    );
+    assert_eq!(
+        full.lines().count(),
+        resumed.lines().count() + 64,
+        "resume picks up exactly at the checkpointed cycle"
+    );
+
+    // A checkpoint refuses to load over a different design.
+    let other = write_spec("ckpt-other", "# other\nx y .\nA x 2 1 0\nA y 2 2 0 .");
+    let (code, _, err) = run_cli(&[
+        "run",
+        other.to_str().unwrap(),
+        "--cycles",
+        "10",
+        "--resume",
+        ck,
+    ]);
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("fingerprint"), "{err}");
+}
+
+#[test]
+fn cosim_runs_the_generated_rust_subprocess_lane() {
+    if !asim2::compile::rustc_available() {
+        eprintln!("skipping: rustc not on PATH");
+        return;
+    }
+    let (code, out, err) = run_cli(&[
+        "cosim",
+        "--scenario",
+        "classic/counter",
+        "--cycles",
+        "48",
+        "--engines",
+        "interp,vm,rust",
+    ]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("48 cycles verified, no divergence"), "{out}");
+}
+
+#[test]
 fn figure_commands_work_from_the_top() {
     for fig in ["3.1", "4.1", "4.2", "4.3"] {
         let (code, out, err) = run_cli(&["fig", fig]);

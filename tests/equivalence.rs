@@ -52,7 +52,7 @@ fn full_scenario_corpus_agrees_at_its_registered_horizons() {
     // each), all three in-process tiers, compared every cycle.
     let report = run_corpus(&TIERS, None, &CosimOptions::default());
     assert!(report.clean(), "{report}");
-    assert!(report.total_cycles() >= 14_000, "{report}");
+    assert!(report.total_cycles() >= 16_000, "{report}");
 }
 
 #[test]
@@ -78,12 +78,12 @@ fn random_designs_agree_with_generated_rust() {
         let spec = synth::random_spec(seed, 15);
         let design = Design::elaborate(&spec).unwrap();
 
-        let mut interp = Interpreter::new(&design);
-        let mut out = Vec::new();
-        interp
-            .run_to_cycle(25, &mut out, &mut NoInput)
+        let mut session = Session::over(Interpreter::new(&design)).capture().build();
+        session
+            .run(Until::Cycle(25))
+            .into_result()
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        let expected = String::from_utf8(out).unwrap();
+        let expected = session.output_text();
 
         let options = EmitOptions {
             cycles: Some(25),

@@ -64,20 +64,18 @@ fn module_instantiation_builds_working_hardware() {
     );
 
     let design = Design::elaborate(&host).unwrap();
-    let mut sim = Interpreter::new(&design);
-    let mut out = Vec::new();
-    sim.run_spec(&mut out, &mut NoInput).unwrap();
-    let text = String::from_utf8(out).unwrap();
+    let mut session = Session::over(Interpreter::new(&design)).capture().build();
+    assert!(session.run(Until::Spec).completed());
+    let text = session.output_text();
     let last = text.lines().last().unwrap();
     // After 6 cycles the enabled instance counted; the frozen one did not.
     assert!(last.contains("c0value= 6"), "{text}");
     assert!(last.contains("c1value= 0"), "{text}");
 
     // The flattened design still works on the VM and the codegen path.
-    let mut vm = Vm::new(&design);
-    let mut out2 = Vec::new();
-    vm.run_spec(&mut out2, &mut NoInput).unwrap();
-    assert_eq!(String::from_utf8(out2).unwrap(), text);
+    let mut session = Session::over(Vm::new(&design)).capture().build();
+    assert!(session.run(Until::Spec).completed());
+    assert_eq!(session.output_text(), text);
     let rust = emit_rust(&design, &EmitOptions::default());
     assert!(rust.contains("t_c0value"), "{rust}");
 }
@@ -114,10 +112,9 @@ fn nested_module_composition() {
     );
 
     let design = Design::elaborate(&host).unwrap();
-    let mut sim = Interpreter::new(&design);
-    let mut out = Vec::new();
-    sim.run_spec(&mut out, &mut NoInput).unwrap();
-    let text = String::from_utf8(out).unwrap();
+    let mut session = Session::over(Interpreter::new(&design)).capture().build();
+    assert!(session.run(Until::Spec).completed());
+    let text = session.output_text();
 
     // Exhaustive truth table: the counter sweeps all (a, b, cin).
     for (cycle, line) in text.lines().enumerate() {
@@ -143,31 +140,14 @@ fn vcd_dump_records_value_changes() {
             .unwrap();
 
     let dump_with = |use_vm: bool| -> String {
-        let mut doc = Vec::new();
-        let mut sink = std::io::sink();
-        if use_vm {
-            let mut e = Vm::with_options(&design, OptOptions::full(), false);
-            rtl_core::vcd::dump(
-                &mut e,
-                6,
-                &rtl_core::vcd::VcdOptions::default(),
-                &mut doc,
-                &mut sink,
-                &mut NoInput,
-            )
-            .unwrap();
+        let options = rtl_core::vcd::VcdOptions::default();
+        let doc = if use_vm {
+            let e = Vm::with_options(&design, OptOptions::full(), false);
+            rtl_core::vcd::dump(e, 6, &options).unwrap()
         } else {
-            let mut e = Interpreter::with_options(&design, asim2::interp::InterpOptions::quiet());
-            rtl_core::vcd::dump(
-                &mut e,
-                6,
-                &rtl_core::vcd::VcdOptions::default(),
-                &mut doc,
-                &mut sink,
-                &mut NoInput,
-            )
-            .unwrap();
-        }
+            let e = Interpreter::with_options(&design, asim2::interp::InterpOptions::quiet());
+            rtl_core::vcd::dump(e, 6, &options).unwrap()
+        };
         String::from_utf8(doc).unwrap()
     };
 
@@ -195,17 +175,13 @@ fn vcd_dump_records_value_changes() {
 fn vcd_signal_filter() {
     let design =
         Design::from_source("# vcd\ncount next .\nM count 0 next 1 1\nA next 4 count 1 .").unwrap();
-    let mut e = Vm::with_options(&design, OptOptions::full(), false);
-    let mut doc = Vec::new();
-    rtl_core::vcd::dump(
-        &mut e,
+    let e = Vm::with_options(&design, OptOptions::full(), false);
+    let doc = rtl_core::vcd::dump(
+        e,
         3,
         &rtl_core::vcd::VcdOptions {
             signals: vec!["count".into()],
         },
-        &mut doc,
-        &mut std::io::sink(),
-        &mut NoInput,
     )
     .unwrap();
     let text = String::from_utf8(doc).unwrap();

@@ -50,10 +50,9 @@ fn figure_4_1_alu_codegen() {
     );
 
     // And both ALUs compute the same value at runtime.
-    let mut sim = Interpreter::new(&design);
-    let mut out = Vec::new();
-    sim.run_spec(&mut out, &mut NoInput).unwrap();
-    let text = String::from_utf8(out).unwrap();
+    let mut session = Session::over(Interpreter::new(&design)).capture().build();
+    assert!(session.run(Until::Spec).completed());
+    let text = session.output_text();
     assert!(text.contains("alu= 3148 add= 3148"), "{text}");
 }
 

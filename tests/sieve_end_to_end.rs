@@ -6,11 +6,12 @@ use asim2::machines::stack;
 use asim2::prelude::*;
 
 fn rtl_output<E: Engine>(engine: &mut E) -> String {
-    let mut out = Vec::new();
-    engine
-        .run_spec(&mut out, &mut NoInput)
+    let mut session = Session::over(engine).capture().build();
+    session
+        .run(Until::Spec)
+        .into_result()
         .unwrap_or_else(|e| panic!("simulation failed: {e}"));
-    String::from_utf8(out).expect("trace is utf-8")
+    session.output_text()
 }
 
 #[test]
