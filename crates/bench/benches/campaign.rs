@@ -1,0 +1,87 @@
+//! **Campaign throughput** — does verification scale with cores?
+//!
+//! A campaign's unit of work is one fuzz case (generate, elaborate, run N
+//! engines in lockstep, compare every cycle). Cases are independent by
+//! construction, so throughput should scale close to linearly with the
+//! worker count until memory bandwidth interferes. This bench pins that
+//! curve: the same fixed campaign at 1, 2 and 4 workers, plus the
+//! serial-overhead baseline (state writes, collector) at worker count 1
+//! against the raw in-process fuzz loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtl_campaign::{CampaignConfig, CampaignDir, NoProgress, RunOptions};
+use rtl_cosim::{FuzzOptions, GenOptions};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const CASES: u32 = 32;
+
+fn generator() -> GenOptions {
+    GenOptions {
+        size: 16,
+        cycles: 48,
+        ..GenOptions::default()
+    }
+}
+
+fn scratch() -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "asim2-bench-campaign-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign_throughput");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(3));
+    g.throughput(criterion::Throughput::Elements(u64::from(CASES)));
+
+    // Baseline: the raw serial fuzz loop, no state, no pool.
+    g.bench_function("fuzz_serial_baseline", |b| {
+        b.iter(|| {
+            let report = rtl_cosim::run_fuzz(&FuzzOptions {
+                cases: CASES,
+                generator: generator(),
+                ..FuzzOptions::default()
+            })
+            .expect("lanes build");
+            assert!(report.clean());
+        })
+    });
+
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("campaign_workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let root = scratch();
+                    let report = rtl_campaign::run(
+                        &CampaignDir::new(&root),
+                        &CampaignConfig {
+                            cases: CASES,
+                            generator: generator(),
+                            ..CampaignConfig::default()
+                        },
+                        &RunOptions {
+                            workers,
+                            limit: None,
+                        },
+                        &mut NoProgress,
+                    )
+                    .expect("campaign runs");
+                    assert!(report.clean());
+                    let _ = std::fs::remove_dir_all(&root);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, campaign);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! The campaign error type.
+
+use rtl_cosim::ScenarioError;
+
+/// Why a campaign operation failed outright. Engine *divergence* is never
+/// an error — it is the signal the campaign exists to find, and lives in
+/// reports.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// File-system failure under the campaign directory.
+    Io(std::io::Error),
+    /// On-disk state that cannot be parsed or fails validation.
+    Corrupt(String),
+    /// A configuration problem: fingerprint mismatch on resume, an
+    /// already-initialized directory, an unknown engine name.
+    Config(String),
+    /// A lane could not be built or run (missing toolchain, subprocess
+    /// failure outside the design's control).
+    Lane(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Io(e) => write!(f, "i/o error: {e}"),
+            CampaignError::Corrupt(m) => write!(f, "corrupt campaign state: {m}"),
+            CampaignError::Config(m) => f.write_str(m),
+            CampaignError::Lane(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+impl From<ScenarioError> for CampaignError {
+    fn from(e: ScenarioError) -> Self {
+        match e {
+            ScenarioError::Load(e) => CampaignError::Corrupt(e.to_string()),
+            ScenarioError::Engine(m) => CampaignError::Lane(m),
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! The campaign runner: a work-stealing worker pool over per-case fuzz
+//! lockstep, publishing case records as they complete.
+//!
+//! Determinism is the load-bearing property. Every case's outcome depends
+//! only on `(config, index)` — each worker builds its own
+//! [`EngineRegistry`] and each case derives its own seed — so the campaign
+//! summary is identical across runs, worker counts and interruptions.
+//! Workers *steal* case indices from one shared counter (the cheapest
+//! work-stealing queue there is: cases are homogeneous, so a single atomic
+//! head beats per-worker deques), and the collector publishes each record
+//! atomically before acknowledging it, which is what makes a kill at any
+//! instant resumable.
+
+use crate::config::CampaignConfig;
+use crate::corpus::{self, kind_label, ReplayReport};
+use crate::error::CampaignError;
+use crate::fault::FaultyVmFactory;
+use crate::shrink::shrink_divergence;
+use crate::state::{CampaignDir, CaseRecord, CaseStatus};
+use rtl_compile::{BinaryCache, GeneratedRustFactory};
+use rtl_core::{EngineRegistry, StopReason};
+use rtl_cosim::{run_fuzz_case, FuzzOptions};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Run-time knobs that do **not** affect case outcomes (and are therefore
+/// not persisted or fingerprinted).
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads. Any value produces the identical campaign.
+    pub workers: usize,
+    /// Stop after completing this many *new* cases — the programmatic
+    /// interrupt (`campaign resume` finishes the rest).
+    pub limit: Option<u32>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            limit: None,
+        }
+    }
+}
+
+/// Live progress callbacks, invoked on the calling thread in completion
+/// order (completion order is scheduling-dependent; the final report is
+/// not).
+pub trait Progress {
+    /// One case just completed and its record is on disk.
+    fn case_done(&mut self, record: &CaseRecord, done: u32, total: u32);
+}
+
+/// Ignores progress.
+pub struct NoProgress;
+
+impl Progress for NoProgress {
+    fn case_done(&mut self, _record: &CaseRecord, _done: u32, _total: u32) {}
+}
+
+/// The result of a campaign run or resume.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The campaign configuration.
+    pub config: CampaignConfig,
+    /// The corpus replay performed before fuzzing (fresh runs over a
+    /// pre-seeded corpus only).
+    pub replay: Option<ReplayReport>,
+    /// Every case record, by index; `None` where a case has not run yet
+    /// (an interrupted campaign).
+    pub records: Vec<Option<CaseRecord>>,
+    /// Corpus entries added by *this* invocation, sorted.
+    pub new_corpus: Vec<String>,
+    /// Wall-clock time of this invocation (excluded from the
+    /// `Display` rendering, which must stay deterministic).
+    pub elapsed: Duration,
+}
+
+impl CampaignReport {
+    /// Completed cases.
+    pub fn completed(&self) -> u32 {
+        self.records.iter().flatten().count() as u32
+    }
+
+    /// `true` when every case has a record.
+    pub fn complete(&self) -> bool {
+        self.completed() as usize == self.records.len()
+    }
+
+    /// Completed cases that agreed over their full horizon.
+    pub fn agreed(&self) -> u32 {
+        self.count(|s| matches!(s, CaseStatus::Agreed))
+    }
+
+    /// Completed cases whose lanes diverged.
+    pub fn diverged(&self) -> u32 {
+        self.count(|s| matches!(s, CaseStatus::Diverged { .. }))
+    }
+
+    /// Total cycles verified across completed cases.
+    pub fn cycles_verified(&self) -> u64 {
+        self.records.iter().flatten().map(|r| r.cycles).sum()
+    }
+
+    /// `true` when the campaign is complete, every case agreed, and no
+    /// replayed corpus entry reproduced its divergence.
+    pub fn clean(&self) -> bool {
+        self.complete()
+            && self.agreed() as usize == self.records.len()
+            && self.replay.as_ref().is_none_or(ReplayReport::clean)
+    }
+
+    fn count(&self, want: impl Fn(&CaseStatus) -> bool) -> u32 {
+        self.records
+            .iter()
+            .flatten()
+            .filter(|r| want(&r.status))
+            .count() as u32
+    }
+}
+
+impl std::fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "campaign: {} cases from seed {}, engines [{}], {} cycles/case",
+            self.config.cases,
+            self.config.seed,
+            self.config.engines.join(", "),
+            self.config.generator.cycles,
+        )?;
+        if let Some(replay) = &self.replay {
+            write!(f, "{replay}")?;
+        }
+        for record in self.records.iter().flatten() {
+            match &record.status {
+                CaseStatus::Agreed => {}
+                CaseStatus::Halted { detail } => writeln!(
+                    f,
+                    "  case {} (seed {}): halted after {} cycles: {detail}",
+                    record.index, record.seed, record.cycles
+                )?,
+                CaseStatus::Error { detail } => writeln!(
+                    f,
+                    "  case {} (seed {}): harness error: {detail}",
+                    record.index, record.seed
+                )?,
+                CaseStatus::Diverged {
+                    cycle,
+                    kind,
+                    corpus,
+                } => {
+                    write!(
+                        f,
+                        "  case {} (seed {}): DIVERGED at cycle {cycle} ({kind})",
+                        record.index, record.seed
+                    )?;
+                    match corpus {
+                        Some(name) => writeln!(f, " -> corpus {name}")?,
+                        None => writeln!(f, " (shrink did not reproduce)")?,
+                    }
+                }
+            }
+        }
+        let done = self.completed();
+        write!(
+            f,
+            "summary: {}/{done} agreed, {} diverged, {} cycles verified",
+            self.agreed(),
+            self.diverged(),
+            self.cycles_verified(),
+        )?;
+        if !self.complete() {
+            write!(
+                f,
+                " ({done}/{} cases done, resume to continue)",
+                self.records.len()
+            )?;
+        }
+        writeln!(f)
+    }
+}
+
+/// The registry campaign workers run against: every default lane, the
+/// `vm-fault` self-test lane, and the `rust` stream lane re-registered
+/// over the campaign's disk-backed binary cache.
+pub fn campaign_registry(bin_cache: Option<Arc<BinaryCache>>) -> EngineRegistry {
+    let mut registry = rtl_cosim::default_registry();
+    registry.register(Box::new(FaultyVmFactory::default()));
+    if let Some(cache) = bin_cache {
+        registry.register(Box::new(GeneratedRustFactory::cached(cache)));
+    }
+    registry
+}
+
+/// Starts a fresh campaign in `dir` (which must not already hold one),
+/// replaying any pre-seeded corpus first, then fuzzing all cases.
+///
+/// # Errors
+///
+/// An already-initialized directory, unknown engine names, corrupt
+/// pre-seeded corpus entries, lane failures, or I/O.
+pub fn run(
+    dir: &CampaignDir,
+    config: &CampaignConfig,
+    options: &RunOptions,
+    progress: &mut dyn Progress,
+) -> Result<CampaignReport, CampaignError> {
+    let cache = Arc::new(BinaryCache::at_dir(dir.bin_cache()));
+    validate_engines(config, &campaign_registry(Some(Arc::clone(&cache))))?;
+    dir.init(config)?;
+
+    // Pre-seeded regression scenarios replay before any fuzzing: a known
+    // bug resurfacing is worth more than a new random case.
+    let entries = corpus::load_all(&dir.corpus())?;
+    let replay = if entries.is_empty() {
+        None
+    } else {
+        let registry = campaign_registry(Some(Arc::clone(&cache)));
+        Some(corpus::replay(&registry, &entries, Some(&config.engines))?)
+    };
+
+    let records = vec![None; config.cases as usize];
+    execute(dir, config, options, cache, records, replay, progress)
+}
+
+/// Resumes the campaign in `dir`: validates the stored configuration's
+/// fingerprint, loads completed case records, and runs only the gaps.
+///
+/// # Errors
+///
+/// A missing or corrupt campaign, a fingerprint mismatch, lane failures,
+/// or I/O.
+pub fn resume(
+    dir: &CampaignDir,
+    options: &RunOptions,
+    progress: &mut dyn Progress,
+) -> Result<CampaignReport, CampaignError> {
+    let config = dir.load()?;
+    let records = dir.load_cases(config.cases)?;
+    let cache = Arc::new(BinaryCache::at_dir(dir.bin_cache()));
+    validate_engines(&config, &campaign_registry(Some(Arc::clone(&cache))))?;
+    execute(dir, &config, options, cache, records, None, progress)
+}
+
+/// Replays the campaign's corpus standalone (the CI entry point).
+///
+/// # Errors
+///
+/// A corrupt corpus entry, lane failures, or I/O.
+pub fn replay_corpus(
+    dir: &CampaignDir,
+    engines: Option<&[String]>,
+) -> Result<ReplayReport, CampaignError> {
+    let entries = corpus::load_all(&dir.corpus())?;
+    let cache = Arc::new(BinaryCache::at_dir(dir.bin_cache()));
+    let registry = campaign_registry(Some(cache));
+    corpus::replay(&registry, &entries, engines)
+}
+
+fn validate_engines(
+    config: &CampaignConfig,
+    registry: &EngineRegistry,
+) -> Result<(), CampaignError> {
+    registry
+        .parse_list(&config.engines.join(","))
+        .map(|_| ())
+        .map_err(CampaignError::Config)
+}
+
+struct DoneCase {
+    record: CaseRecord,
+    corpus: Option<String>,
+}
+
+fn execute(
+    dir: &CampaignDir,
+    config: &CampaignConfig,
+    options: &RunOptions,
+    cache: Arc<BinaryCache>,
+    mut records: Vec<Option<CaseRecord>>,
+    replay: Option<ReplayReport>,
+    progress: &mut dyn Progress,
+) -> Result<CampaignReport, CampaignError> {
+    let started = Instant::now();
+    let fuzz = config.fuzz_options();
+    let mut pending: Vec<u32> = records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_none())
+        .map(|(i, _)| i as u32)
+        .collect();
+    if let Some(limit) = options.limit {
+        pending.truncate(limit as usize);
+    }
+
+    let next = AtomicU32::new(0);
+    let abort = AtomicBool::new(false);
+    let workers = options.workers.clamp(1, pending.len().max(1));
+    let mut new_corpus = BTreeSet::new();
+    let mut first_error: Option<CampaignError> = None;
+
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<Result<DoneCase, CampaignError>>();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (pending, next, abort) = (&pending, &next, &abort);
+            let (fuzz, cache) = (&fuzz, Arc::clone(&cache));
+            scope.spawn(move || {
+                let registry = campaign_registry(Some(cache));
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let slot = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    let Some(&index) = pending.get(slot) else {
+                        break;
+                    };
+                    let result = run_one(&registry, config, fuzz, index, dir);
+                    let failed = result.is_err();
+                    if tx.send(result).is_err() || failed {
+                        abort.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        let mut done = records.iter().flatten().count() as u32;
+        for result in rx {
+            match result {
+                Ok(case) => {
+                    done += 1;
+                    progress.case_done(&case.record, done, config.cases);
+                    if let Some(name) = case.corpus {
+                        new_corpus.insert(name);
+                    }
+                    let index = case.record.index as usize;
+                    records[index] = Some(case.record);
+                }
+                Err(e) => {
+                    abort.store(true, Ordering::Relaxed);
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+    });
+
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok(CampaignReport {
+        config: config.clone(),
+        replay,
+        records,
+        new_corpus: new_corpus.into_iter().collect(),
+        elapsed: started.elapsed(),
+    })
+}
+
+fn run_one(
+    registry: &EngineRegistry,
+    config: &CampaignConfig,
+    fuzz: &FuzzOptions,
+    index: u32,
+    dir: &CampaignDir,
+) -> Result<DoneCase, CampaignError> {
+    let case = run_fuzz_case(registry, fuzz, index)?;
+    let (status, corpus) = match case.divergence {
+        None => {
+            let status = match case.stop {
+                StopReason::CycleLimit => CaseStatus::Agreed,
+                StopReason::Halt(halt) => CaseStatus::Halted {
+                    detail: halt.to_string(),
+                },
+                StopReason::Error(e) => CaseStatus::Error {
+                    detail: e.to_string(),
+                },
+            };
+            (status, None)
+        }
+        Some(report) => {
+            // Shrink immediately (deterministic per case, so parallelism
+            // is preserved) and archive the minimal reproduction.
+            let shrunk = shrink_divergence(
+                registry,
+                &config.engines,
+                case.seed,
+                &config.generator,
+                &fuzz.cosim,
+            )?;
+            let corpus = match &shrunk {
+                Some(shrunk) => Some(
+                    corpus::save(&dir.corpus(), shrunk, &config.engines, config.compare_every)?
+                        .name,
+                ),
+                None => None,
+            };
+            let status = CaseStatus::Diverged {
+                cycle: u64::try_from(report.cycle).unwrap_or(0),
+                kind: kind_label(&report.kind),
+                corpus: corpus.clone(),
+            };
+            (status, corpus)
+        }
+    };
+    let record = CaseRecord {
+        index,
+        seed: case.seed,
+        cycles: case.cycles,
+        status,
+    };
+    // Publish from the worker (atomic temp-file + rename), so record I/O
+    // overlaps across workers instead of serializing in the collector.
+    // Once this returns, the case is durable: a kill right after still
+    // resumes past it.
+    dir.write_case(&record)?;
+    Ok(DoneCase { record, corpus })
+}

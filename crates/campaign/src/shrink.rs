@@ -1,0 +1,286 @@
+//! Shrinking divergent fuzz cases to minimal regression scenarios.
+//!
+//! A raw fuzz divergence is a haystack: a few hundred components driven
+//! for a long horizon. Borrowing the binary-search discipline of
+//! property-based shrinking (à la proptest), this module minimizes the
+//! three knobs that matter, re-running the full lockstep comparison per
+//! candidate and keeping only confirmed-diverging shrinks:
+//!
+//! 1. **generator size** — the smallest component count whose scenario
+//!    still diverges (each probe regenerates the scenario from the same
+//!    seed, so candidates stay valid by construction);
+//! 2. **cycle horizon** — the shortest run that still reaches the
+//!    divergence (bounded above by the observed divergence cycle);
+//! 3. **stimulus length** — the shortest input-script prefix that still
+//!    diverges.
+//!
+//! Divergence is not monotone in the size knob (a smaller design is a
+//! different design), so as in all practical shrinkers the result is a
+//! *locally* minimal diverging scenario, found greedily: the search only
+//! ever moves to candidates that were re-run and confirmed to diverge.
+
+use crate::error::CampaignError;
+use rtl_core::EngineRegistry;
+use rtl_cosim::{
+    generate_scenario, CosimOptions, CosimOutcome, DivergenceReport, GenOptions, ScenarioError,
+};
+use rtl_machines::Scenario;
+
+/// A minimized divergence: the scenario to save, the divergence it still
+/// produces, and how it was reached.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The originating fuzz seed.
+    pub seed: u64,
+    /// The minimal scenario (named `corpus/seed-N`).
+    pub scenario: Scenario,
+    /// The divergence the minimal scenario produces.
+    pub report: DivergenceReport,
+    /// Final generator size (component count knob).
+    pub size: usize,
+    /// Final cycle horizon.
+    pub cycles: u64,
+    /// Final stimulus length.
+    pub input_len: usize,
+    /// Lockstep re-runs the search spent.
+    pub attempts: u32,
+}
+
+/// Shrinks the fuzz case identified by `seed` under the given generator
+/// options. Returns `Ok(None)` when the case does not diverge in the
+/// first place.
+///
+/// Deterministic: the result depends only on the arguments, so parallel
+/// workers shrinking different cases stay order-independent.
+///
+/// # Errors
+///
+/// Lane construction/run failures; a scenario that fails to elaborate
+/// (impossible for generated cases unless the generator invariant broke).
+pub fn shrink_divergence(
+    registry: &EngineRegistry,
+    engines: &[String],
+    seed: u64,
+    generator: &GenOptions,
+    cosim: &CosimOptions,
+) -> Result<Option<Shrunk>, CampaignError> {
+    let mut attempts = 0u32;
+    let mut probe = |scenario: &Scenario| -> Result<Option<DivergenceReport>, CampaignError> {
+        attempts += 1;
+        match run(registry, engines, scenario, cosim) {
+            // A candidate is only a valid shrink if its divergence stands
+            // on its own: a comparison that also tripped a runtime halt
+            // (e.g. an over-truncated stimulus exhausting input on the
+            // divergence cycle) would archive a scenario that *halts* for
+            // correct engines instead of agreeing — useless as a
+            // regression gate. Error-kind divergences are the exception:
+            // there the mismatched errors are the bug itself.
+            Ok(CosimOutcome::Divergence(report)) => {
+                let usable = matches!(report.kind, rtl_cosim::DivergenceKind::Error)
+                    || report.lanes.iter().all(|l| l.error.is_none());
+                Ok(usable.then_some(*report))
+            }
+            Ok(CosimOutcome::Agreement { .. }) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    };
+    let generate = |size: usize, cycles: u64| {
+        generate_scenario(
+            seed,
+            &GenOptions {
+                size,
+                cycles,
+                io_every: generator.io_every,
+            },
+        )
+    };
+
+    let original = generate(generator.size, generator.cycles);
+    let Some(mut best_report) = probe(&original)? else {
+        return Ok(None);
+    };
+
+    // 1. Size: first-diverging binary search over [1, size]. The upper
+    //    bound is always a confirmed-diverging size, so the result is too.
+    let mut lo = 1usize;
+    let mut best_size = generator.size.max(1);
+    while lo < best_size {
+        let mid = lo + (best_size - lo) / 2;
+        match probe(&generate(mid, generator.cycles))? {
+            Some(report) => {
+                best_size = mid;
+                best_report = report;
+            }
+            None => lo = mid + 1,
+        }
+    }
+
+    // 2. Horizon: the divergence happened at cycle c, so any horizon
+    //    > c reaches it (a shorter horizon only truncates the run). Search
+    //    the first-diverging horizon in [1, c + 1].
+    let observed = u64::try_from(best_report.cycle).unwrap_or(generator.cycles);
+    let mut best_cycles = (observed + 1).min(generator.cycles.max(1));
+    match probe(&generate(best_size, best_cycles))? {
+        Some(report) => best_report = report,
+        // The horizon interacts with the stimulus length; fall back to
+        // the full horizon if the tightened bound loses the divergence.
+        None => best_cycles = generator.cycles.max(1),
+    }
+    let mut lo = 1u64;
+    while lo < best_cycles {
+        let mid = lo + (best_cycles - lo) / 2;
+        match probe(&generate(best_size, mid))? {
+            Some(report) => {
+                best_cycles = mid;
+                best_report = report;
+            }
+            None => lo = mid + 1,
+        }
+    }
+
+    // 3. Stimulus: the shortest prefix of the input script that still
+    //    diverges (an over-truncated script halts the lanes unanimously
+    //    with input-exhausted instead of diverging, ending the search).
+    let mut minimal = generate(best_size, best_cycles);
+    if !minimal.input.is_empty() {
+        let full = minimal.input.clone();
+        let mut best_len = full.len();
+        let mut lo = 0usize;
+        let truncated = |len: usize| Scenario {
+            input: full[..len].to_vec(),
+            ..minimal.clone()
+        };
+        while lo < best_len {
+            let mid = lo + (best_len - lo) / 2;
+            match probe(&truncated(mid))? {
+                Some(report) => {
+                    best_len = mid;
+                    best_report = report;
+                }
+                None => lo = mid + 1,
+            }
+        }
+        minimal.input.truncate(best_len);
+    }
+
+    let input_len = minimal.input.len();
+    minimal.name = format!("corpus/seed-{seed}");
+    best_report.scenario = minimal.name.clone();
+    Ok(Some(Shrunk {
+        seed,
+        scenario: minimal,
+        report: best_report,
+        size: best_size,
+        cycles: best_cycles,
+        input_len,
+        attempts,
+    }))
+}
+
+fn run(
+    registry: &EngineRegistry,
+    engines: &[String],
+    scenario: &Scenario,
+    cosim: &CosimOptions,
+) -> Result<CosimOutcome, ScenarioError> {
+    rtl_cosim::run_scenario_names(registry, engines, scenario, cosim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultyVmFactory;
+
+    fn registry_with_fault(from_cycle: u64) -> EngineRegistry {
+        let mut r = rtl_cosim::default_registry();
+        r.register(Box::new(FaultyVmFactory::from_cycle(from_cycle)));
+        r
+    }
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn agreeing_cases_do_not_shrink() {
+        let registry = rtl_cosim::default_registry();
+        let result = shrink_divergence(
+            &registry,
+            &names(&["interp", "vm"]),
+            1,
+            &GenOptions {
+                size: 10,
+                cycles: 24,
+                ..GenOptions::default()
+            },
+            &CosimOptions::default(),
+        )
+        .unwrap();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn injected_fault_shrinks_to_its_trigger_cycle() {
+        // The faulty VM corrupts trace bytes from cycle 40 on; the minimal
+        // reproduction is one component and a 41-cycle horizon.
+        let registry = registry_with_fault(40);
+        let generator = GenOptions {
+            size: 30,
+            cycles: 64,
+            ..GenOptions::default()
+        };
+        let shrunk = shrink_divergence(
+            &registry,
+            &names(&["interp", "vm-fault"]),
+            5,
+            &generator,
+            &CosimOptions::default(),
+        )
+        .unwrap()
+        .expect("fault diverges");
+        assert_eq!(shrunk.size, 1, "size shrinks to one component");
+        assert_eq!(shrunk.cycles, 41, "horizon shrinks to trigger + 1");
+        assert_eq!(shrunk.report.cycle, 40);
+        assert_eq!(shrunk.scenario.name, "corpus/seed-5");
+        assert!(shrunk.attempts < 40, "binary search, not linear scan");
+
+        // Shrinking is deterministic.
+        let again = shrink_divergence(
+            &registry,
+            &names(&["interp", "vm-fault"]),
+            5,
+            &generator,
+            &CosimOptions::default(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(again.scenario, shrunk.scenario);
+        assert_eq!(again.attempts, shrunk.attempts);
+    }
+
+    #[test]
+    fn stimulus_shrinks_with_the_horizon() {
+        // Force an input port (io_every = 1) and check the stimulus is
+        // truncated to what the shrunk horizon consumes.
+        let registry = registry_with_fault(8);
+        let shrunk = shrink_divergence(
+            &registry,
+            &names(&["interp", "vm-fault"]),
+            0,
+            &GenOptions {
+                size: 20,
+                cycles: 64,
+                io_every: 1,
+            },
+            &CosimOptions::default(),
+        )
+        .unwrap()
+        .expect("fault diverges");
+        assert_eq!(shrunk.cycles, 9);
+        assert!(
+            shrunk.input_len <= 10,
+            "stimulus truncated to the horizon's consumption, got {}",
+            shrunk.input_len
+        );
+    }
+}

@@ -48,7 +48,7 @@ pub fn run_with_input(
     out: &mut dyn Write,
     err: &mut dyn Write,
 ) -> i32 {
-    match dispatch(args, stdin, out) {
+    match dispatch(args, stdin, out, err) {
         Ok(()) => 0,
         Err(e) => {
             let _ = writeln!(err, "{}", e.message);
@@ -94,14 +94,22 @@ const USAGE: &str = "usage:
   asim2 fig     3.1|4.1|4.2|4.3|5.1
   asim2 cosim   [FILE] [--engines interp,vm,rust,...] [--cycles N] [--scenario NAME] [--compare-every N]
   asim2 fuzz    [--seed N] [--cases N] [--cycles N] [--size N] [--engines interp,vm,...]
+  asim2 campaign run    --dir D [--cases N] [--seed N] [--workers N] [--engines LIST]
+                        [--cycles N] [--size N] [--compare-every N] [--limit N]
+  asim2 campaign resume --dir D [--workers N] [--limit N]
+  asim2 campaign replay --dir D [--engines LIST]
+  asim2 campaign shrink --dir D --seed N [--engines LIST] [--cycles N] [--size N]
 
 engine NAMEs come from the registry: interp, interp-faithful, vm, vm-noopt
-(and, for cosim lanes, rust — the generated binary run as a subprocess)";
+(and, for cosim lanes, rust — the generated binary run as a subprocess;
+campaigns additionally expose vm-fault, a deliberately broken VM for
+validating the find->shrink->replay pipeline)";
 
 fn dispatch(
     args: &[String],
     stdin: &mut dyn std::io::BufRead,
     out: &mut dyn Write,
+    err: &mut dyn Write,
 ) -> Result<(), CliError> {
     let mut it = args.iter().map(String::as_str);
     let cmd = it.next().ok_or_else(|| usage_err("missing command"))?;
@@ -116,6 +124,7 @@ fn dispatch(
         "fig" => fig(&rest, out),
         "cosim" => cosim_cmd(&rest, out),
         "fuzz" => fuzz_cmd(&rest, out),
+        "campaign" => campaign_cmd(&rest, out, err),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
@@ -296,13 +305,13 @@ fn compile(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         .transpose()?;
     let options = EmitOptions {
         cycles,
-        trace: true,
         interactive: flags.contains(&"--interactive"),
         opt: if flags.contains(&"--no-opt") {
             OptOptions::none()
         } else {
             OptOptions::full()
         },
+        ..EmitOptions::default()
     };
 
     let design = load_design(file)?;
@@ -636,6 +645,310 @@ fn fuzz_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Maps a campaign-layer failure onto the tool's exit-code conventions:
+/// configuration problems read as usage errors (1), corrupt state and
+/// lane/toolchain failures as load errors (2).
+fn campaign_err(e: rtl_campaign::CampaignError) -> CliError {
+    use rtl_campaign::CampaignError;
+    match e {
+        CampaignError::Config(m) => usage_err(m),
+        other => load_err(other),
+    }
+}
+
+/// Per-case progress with throughput, written to stderr so stdout stays
+/// the deterministic report.
+struct CliProgress<'a> {
+    err: &'a mut dyn Write,
+    started: std::time::Instant,
+    completed: u32,
+    cycles: u64,
+}
+
+impl<'a> CliProgress<'a> {
+    fn new(err: &'a mut dyn Write) -> Self {
+        CliProgress {
+            err,
+            started: std::time::Instant::now(),
+            completed: 0,
+            cycles: 0,
+        }
+    }
+}
+
+impl rtl_campaign::Progress for CliProgress<'_> {
+    fn case_done(&mut self, record: &rtl_campaign::CaseRecord, done: u32, total: u32) {
+        self.completed += 1;
+        self.cycles += record.cycles;
+        // Report at ~5% granularity (always the first and last case), so
+        // a 10k-case sweep does not write 10k lines.
+        let stride = (total / 20).max(1);
+        if self.completed == 1 || done.is_multiple_of(stride) || done == total {
+            let secs = self.started.elapsed().as_secs_f64().max(1e-9);
+            let _ = writeln!(
+                self.err,
+                "[{done}/{total}] seed {} {}: {:.1} cases/s, {:.0} cycles/s",
+                record.seed,
+                record.status.tag(),
+                f64::from(self.completed) / secs,
+                self.cycles as f64 / secs,
+            );
+        }
+    }
+}
+
+fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
+    use rtl_campaign::{CampaignConfig, CampaignDir, RunOptions};
+
+    let sub = rest
+        .first()
+        .copied()
+        .ok_or_else(|| usage_err("campaign needs a subcommand (run|resume|replay|shrink)"))?;
+    let (extra, flags) = split_optional_file(
+        &rest[1..],
+        &[
+            "--dir",
+            "--cases",
+            "--seed",
+            "--workers",
+            "--engines",
+            "--cycles",
+            "--size",
+            "--compare-every",
+            "--limit",
+        ],
+    )?;
+    if let Some(x) = extra {
+        return Err(usage_err(format!("unexpected argument {x:?}")));
+    }
+    // Each subcommand accepts only its own flags — silently swallowing,
+    // say, `resume --cases 200` would let the user believe the campaign
+    // was extended.
+    let allowed: &[&str] = match sub {
+        "run" => &[
+            "--dir",
+            "--cases",
+            "--seed",
+            "--workers",
+            "--engines",
+            "--cycles",
+            "--size",
+            "--compare-every",
+            "--limit",
+        ],
+        "resume" => &["--dir", "--workers", "--limit"],
+        "replay" => &["--dir", "--engines"],
+        "shrink" => &[
+            "--dir",
+            "--seed",
+            "--engines",
+            "--cycles",
+            "--size",
+            "--compare-every",
+        ],
+        other => return Err(usage_err(format!("unknown campaign subcommand {other:?}"))),
+    };
+    if let Some(bad) = flags
+        .iter()
+        .find(|f| f.starts_with('-') && !allowed.contains(f))
+    {
+        return Err(usage_err(format!(
+            "campaign {sub} does not take {bad} (accepted: {})",
+            allowed.join(" ")
+        )));
+    }
+    let dir = CampaignDir::new(
+        flag_value(&flags, "--dir")?.ok_or_else(|| usage_err("campaign needs --dir DIR"))?,
+    );
+    let mut run_options = RunOptions::default();
+    if let Some(workers) = parse_u64_flag(&flags, "--workers")? {
+        if workers == 0 {
+            return Err(usage_err("--workers needs a positive count"));
+        }
+        run_options.workers = workers as usize;
+    }
+    if let Some(limit) = parse_u64_flag(&flags, "--limit")? {
+        run_options.limit =
+            Some(u32::try_from(limit).map_err(|_| usage_err("--limit is too large"))?);
+    }
+    let engines_flag = match flag_value(&flags, "--engines")? {
+        Some(list) => Some(
+            rtl_campaign::campaign_registry(None)
+                .parse_list(list)
+                .map_err(usage_err)?,
+        ),
+        None => None,
+    };
+
+    match sub {
+        "run" => {
+            let mut config = CampaignConfig::default();
+            if let Some(engines) = engines_flag {
+                config.engines = engines;
+            }
+            if let Some(seed) = parse_u64_flag(&flags, "--seed")? {
+                config.seed = seed;
+            }
+            if let Some(cases) = parse_u64_flag(&flags, "--cases")? {
+                config.cases =
+                    u32::try_from(cases).map_err(|_| usage_err("--cases is too large"))?;
+            }
+            if let Some(cycles) = parse_u64_flag(&flags, "--cycles")? {
+                config.generator.cycles = cycles;
+            }
+            if let Some(size) = parse_u64_flag(&flags, "--size")? {
+                config.generator.size = size as usize;
+            }
+            if let Some(stride) = parse_u64_flag(&flags, "--compare-every")? {
+                config.compare_every = stride.max(1);
+            }
+            let mut progress = CliProgress::new(err);
+            let report = rtl_campaign::run(&dir, &config, &run_options, &mut progress)
+                .map_err(campaign_err)?;
+            finish_campaign(report, out, err, &run_options)
+        }
+        "resume" => {
+            let mut progress = CliProgress::new(err);
+            let report =
+                rtl_campaign::resume(&dir, &run_options, &mut progress).map_err(campaign_err)?;
+            finish_campaign(report, out, err, &run_options)
+        }
+        "replay" => {
+            let report =
+                rtl_campaign::replay_corpus(&dir, engines_flag.as_deref()).map_err(campaign_err)?;
+            let _ = write!(out, "{report}");
+            let reproduced = report.reproduced().count();
+            if reproduced > 0 {
+                Err(CliError {
+                    code: 3,
+                    message: format!("{reproduced} corpus divergence(s) reproduced"),
+                })
+            } else if !report.clean() {
+                Err(CliError {
+                    code: 3,
+                    message: "corpus replay hit runtime halts (nothing verified past them)".into(),
+                })
+            } else {
+                Ok(())
+            }
+        }
+        "shrink" => {
+            let seed = parse_u64_flag(&flags, "--seed")?
+                .ok_or_else(|| usage_err("campaign shrink needs --seed N"))?;
+            // Defaults come from the campaign living in --dir, when there
+            // is one: a shrink must probe the same scenario the campaign
+            // flagged, not a generic one. Flags still override.
+            let stored = if dir.manifest().exists() {
+                Some(dir.load().map_err(campaign_err)?)
+            } else {
+                None
+            };
+            let engines = engines_flag
+                .or_else(|| stored.as_ref().map(|c| c.engines.clone()))
+                .unwrap_or_else(|| vec!["interp".to_string(), "vm".to_string()]);
+            let mut generator = stored
+                .as_ref()
+                .map(|c| c.generator.clone())
+                .unwrap_or_default();
+            if let Some(cycles) = parse_u64_flag(&flags, "--cycles")? {
+                generator.cycles = cycles;
+            }
+            if let Some(size) = parse_u64_flag(&flags, "--size")? {
+                generator.size = size as usize;
+            }
+            let stride = parse_u64_flag(&flags, "--compare-every")?
+                .or(stored.as_ref().map(|c| c.compare_every))
+                .unwrap_or(1)
+                .max(1);
+            let cache = std::sync::Arc::new(rtl_compile::BinaryCache::at_dir(dir.bin_cache()));
+            let registry = rtl_campaign::campaign_registry(Some(cache));
+            let cosim = rtl_cosim::CosimOptions {
+                compare_every: stride,
+                ..rtl_cosim::CosimOptions::default()
+            };
+            let shrunk =
+                rtl_campaign::shrink_divergence(&registry, &engines, seed, &generator, &cosim)
+                    .map_err(campaign_err)?;
+            match shrunk {
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "seed {seed}: no divergence across [{}] — nothing to shrink",
+                        engines.join(", ")
+                    );
+                    Ok(())
+                }
+                Some(shrunk) => {
+                    let entry =
+                        rtl_campaign::corpus::save(&dir.corpus(), &shrunk, &engines, stride)
+                            .map_err(campaign_err)?;
+                    let _ = writeln!(
+                        out,
+                        "seed {seed}: shrunk to size {}, {} cycles, {} stimulus words \
+                         in {} lockstep runs -> corpus {}",
+                        shrunk.size, shrunk.cycles, shrunk.input_len, shrunk.attempts, entry.name,
+                    );
+                    let _ = write!(out, "{}", shrunk.report);
+                    Err(CliError {
+                        code: 3,
+                        message: "campaign shrink archived a divergence".into(),
+                    })
+                }
+            }
+        }
+        other => Err(usage_err(format!("unknown campaign subcommand {other:?}"))),
+    }
+}
+
+/// Prints the campaign report and throughput; exit 3 unless the campaign
+/// is complete and clean.
+fn finish_campaign(
+    report: rtl_campaign::CampaignReport,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+    options: &rtl_campaign::RunOptions,
+) -> Result<(), CliError> {
+    let _ = write!(out, "{report}");
+    let secs = report.elapsed.as_secs_f64().max(1e-9);
+    let _ = writeln!(
+        err,
+        "throughput: {} cases with {} worker(s) in {:.2}s ({:.1} cases/s)",
+        report.completed(),
+        options.workers,
+        secs,
+        f64::from(report.completed()) / secs,
+    );
+    let reproduced = report.replay.as_ref().map_or(0, |r| r.reproduced().count());
+    if report.clean() {
+        Ok(())
+    } else if report.diverged() > 0 || reproduced > 0 {
+        let mut parts = Vec::new();
+        if report.diverged() > 0 {
+            parts.push(format!("found {} divergence(s)", report.diverged()));
+        }
+        if reproduced > 0 {
+            parts.push(format!(
+                "{reproduced} pre-seeded corpus divergence(s) reproduced"
+            ));
+        }
+        Err(CliError {
+            code: 3,
+            message: format!("campaign {}", parts.join("; ")),
+        })
+    } else if !report.complete() {
+        let _ = writeln!(
+            err,
+            "campaign interrupted at --limit; run `asim2 campaign resume` to continue"
+        );
+        Ok(())
+    } else {
+        Err(CliError {
+            code: 3,
+            message: "campaign hit runtime halts/errors (nothing verified past them)".into(),
+        })
+    }
+}
+
 /// Splits arguments into an optional positional FILE and a flag list;
 /// a token following any of `value_flags` is swallowed as that flag's
 /// value.
@@ -936,7 +1249,7 @@ mod tests {
         // Regression: --cycles above a scenario's registered horizon used
         // to exhaust the io scenario's stimulus and fail the sweep.
         let out = run_ok(&["cosim", "--cycles", "1100", "--compare-every", "64"]);
-        assert!(out.contains("16/16 agreed"), "{out}");
+        assert!(out.contains("17/17 agreed"), "{out}");
         let io_line = out.lines().find(|l| l.contains("io/accumulator")).unwrap();
         assert!(io_line.contains("1100 cycles  ok"), "{io_line}");
     }
@@ -952,5 +1265,192 @@ mod tests {
     fn fuzz_is_deterministic() {
         let args = ["fuzz", "--seed", "9", "--cases", "4", "--cycles", "12"];
         assert_eq!(run_ok(&args), run_ok(&args));
+    }
+
+    fn campaign_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("asim-cli-campaign-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn campaign_run_is_deterministic_across_worker_counts() {
+        let quick = |dir: &str, workers: &str| {
+            let d = campaign_dir(dir);
+            let out = run_ok(&[
+                "campaign",
+                "run",
+                "--dir",
+                d.to_str().unwrap(),
+                "--cases",
+                "6",
+                "--seed",
+                "3",
+                "--cycles",
+                "16",
+                "--size",
+                "8",
+                "--workers",
+                workers,
+            ]);
+            let _ = std::fs::remove_dir_all(&d);
+            out
+        };
+        let single = quick("det1", "1");
+        assert!(
+            single.contains("summary: 6/6 agreed, 0 diverged"),
+            "{single}"
+        );
+        let parallel = quick("det4", "4");
+        assert_eq!(
+            single, parallel,
+            "stdout report is worker-count independent"
+        );
+    }
+
+    #[test]
+    fn campaign_interrupt_then_resume_completes() {
+        let d = campaign_dir("resume");
+        let dir = d.to_str().unwrap();
+        let (code, out, err) = run_with(
+            &[
+                "campaign",
+                "run",
+                "--dir",
+                dir,
+                "--cases",
+                "5",
+                "--cycles",
+                "16",
+                "--size",
+                "8",
+                "--workers",
+                "2",
+                "--limit",
+                "2",
+            ],
+            b"",
+        );
+        assert_eq!(code, 0, "{err}");
+        assert!(out.contains("(2/5 cases done"), "{out}");
+        let resumed = run_ok(&["campaign", "resume", "--dir", dir, "--workers", "3"]);
+        assert!(resumed.contains("summary: 5/5 agreed"), "{resumed}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn campaign_fault_pipeline_finds_shrinks_and_replays() {
+        let d = campaign_dir("fault");
+        let dir = d.to_str().unwrap();
+        // The vm-fault lane corrupts trace bytes from cycle 40: every case
+        // diverges, is shrunk, and lands in the corpus.
+        let (code, out, err) = run_with(
+            &[
+                "campaign",
+                "run",
+                "--dir",
+                dir,
+                "--cases",
+                "2",
+                "--seed",
+                "3",
+                "--cycles",
+                "48",
+                "--size",
+                "8",
+                "--engines",
+                "interp,vm-fault",
+                "--workers",
+                "2",
+            ],
+            b"",
+        );
+        assert_eq!(code, 3, "{out}\n{err}");
+        assert!(
+            out.contains("DIVERGED at cycle 40 (trace) -> corpus seed-"),
+            "{out}"
+        );
+        assert!(err.contains("campaign found 2 divergence(s)"), "{err}");
+        assert!(
+            d.join("corpus").join("seed-3.asim").is_file(),
+            "corpus archived"
+        );
+
+        // Replaying the archived scenarios reproduces the divergence…
+        let (code, out, err) = run_with(&["campaign", "replay", "--dir", dir], b"");
+        assert_eq!(code, 3, "{out}\n{err}");
+        assert!(out.contains("REPRODUCED at cycle 40 (trace)"), "{out}");
+
+        // A bare `shrink --seed` probes the *campaign's* configuration
+        // (engines interp,vm-fault from the manifest), not generic
+        // defaults — so it reproduces and re-archives the divergence.
+        let (code, out, err) = run_with(&["campaign", "shrink", "--dir", dir, "--seed", "3"], b"");
+        assert_eq!(code, 3, "{out}\n{err}");
+        assert!(out.contains("-> corpus seed-3"), "{out}");
+
+        // …and is clean once the healthy lane replaces the faulty one.
+        let (code, out, err) = run_with(
+            &["campaign", "replay", "--dir", dir, "--engines", "interp,vm"],
+            b"",
+        );
+        assert_eq!(code, 0, "{out}\n{err}");
+        assert!(out.contains("bug no longer reproduces"), "{out}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn campaign_shrink_without_divergence_is_a_no_op() {
+        let d = campaign_dir("shrink");
+        let out = run_ok(&[
+            "campaign",
+            "shrink",
+            "--dir",
+            d.to_str().unwrap(),
+            "--seed",
+            "7",
+            "--cycles",
+            "16",
+            "--size",
+            "8",
+        ]);
+        assert!(out.contains("no divergence"), "{out}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn campaign_usage_errors() {
+        let (code, err) = run_fail(&["campaign"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("run|resume|replay|shrink"), "{err}");
+        let (code, err) = run_fail(&["campaign", "run"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("--dir"), "{err}");
+        let d = campaign_dir("usage");
+        let (code, err) = run_fail(&[
+            "campaign",
+            "run",
+            "--dir",
+            d.to_str().unwrap(),
+            "--engines",
+            "interp,warp",
+        ]);
+        assert_eq!(code, 1);
+        assert!(err.contains("unknown engine"), "{err}");
+        let (code, err) = run_fail(&["campaign", "resume", "--dir", d.to_str().unwrap()]);
+        assert_eq!(code, 1, "{err}");
+        assert!(err.contains("holds no campaign"), "{err}");
+        // Flags outside a subcommand's own set are rejected, not swallowed.
+        let (code, err) = run_fail(&[
+            "campaign",
+            "resume",
+            "--dir",
+            d.to_str().unwrap(),
+            "--cases",
+            "200",
+        ]);
+        assert_eq!(code, 1, "{err}");
+        assert!(err.contains("does not take --cases"), "{err}");
+        let _ = std::fs::remove_dir_all(&d);
     }
 }

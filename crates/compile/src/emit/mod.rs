@@ -25,6 +25,11 @@ pub struct EmitOptions {
     /// when the count is zero and "Continue to cycle (0 to quit)" at the
     /// end. Off for batch/differential runs.
     pub interactive: bool,
+    /// Let the `ASIM2_CYCLES` environment variable override the baked
+    /// cycle bound at run time. This is what makes a compiled simulator
+    /// binary reusable across scenario horizons — the binary cache keys on
+    /// the generated source, so the bound must not be baked into it.
+    pub cycles_from_env: bool,
     /// Optimization settings for the lowering pass.
     pub opt: crate::lower::OptOptions,
 }
@@ -35,6 +40,7 @@ impl Default for EmitOptions {
             cycles: None,
             trace: true,
             interactive: false,
+            cycles_from_env: false,
             opt: crate::lower::OptOptions::full(),
         }
     }

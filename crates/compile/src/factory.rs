@@ -11,8 +11,10 @@
 
 use crate::emit::EmitOptions;
 use crate::lower::OptOptions;
+use crate::rustc::BinaryCache;
 use crate::vm::Vm;
 use rtl_core::{Design, EngineFactory, EngineLane, EngineOptions, StreamEngine, Word};
+use std::sync::Arc;
 
 /// Builds bytecode-VM lanes: `vm` (full optimization) and `vm-noopt`
 /// (every pass disabled).
@@ -71,8 +73,25 @@ impl EngineFactory for VmFactory {
 /// Builds the generated-Rust subprocess lane (`rust`): spec → Rust source
 /// → `rustc -O` → run the binary with the stimulus on stdin, capture
 /// stdout. Fails to build when `rustc` is not on the `PATH`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct GeneratedRustFactory;
+///
+/// By default every run invokes `rustc` afresh. Give the factory a
+/// [`BinaryCache`] ([`cached`](GeneratedRustFactory::cached)) and the
+/// compiled binary is reused per design — across the cases of one process
+/// and, when the cache has a directory, across processes. Cached binaries
+/// take their cycle bound from the `ASIM2_CYCLES` environment variable
+/// (see [`EmitOptions::cycles_from_env`]), so one binary serves any
+/// horizon.
+#[derive(Debug, Clone, Default)]
+pub struct GeneratedRustFactory {
+    cache: Option<Arc<BinaryCache>>,
+}
+
+impl GeneratedRustFactory {
+    /// A factory with a shared compiled-binary cache.
+    pub fn cached(cache: Arc<BinaryCache>) -> Self {
+        GeneratedRustFactory { cache: Some(cache) }
+    }
+}
 
 impl EngineFactory for GeneratedRustFactory {
     fn name(&self) -> &str {
@@ -98,6 +117,7 @@ impl EngineFactory for GeneratedRustFactory {
         Ok(EngineLane::Stream(Box::new(GeneratedRustStream {
             design,
             trace: options.trace,
+            cache: self.cache.clone(),
         })))
     }
 }
@@ -105,6 +125,7 @@ impl EngineFactory for GeneratedRustFactory {
 struct GeneratedRustStream<'d> {
     design: &'d Design,
     trace: bool,
+    cache: Option<Arc<BinaryCache>>,
 }
 
 impl StreamEngine for GeneratedRustStream<'_> {
@@ -116,14 +137,37 @@ impl StreamEngine for GeneratedRustStream<'_> {
         // baked-in bound of n runs n + 1 cycles; `cycles` steps means a
         // bound of cycles - 1.
         let bound = i64::try_from(cycles - 1).map_err(|_| "cycle bound too large".to_string())?;
-        let options = EmitOptions {
-            cycles: Some(bound),
-            trace: self.trace,
-            ..EmitOptions::default()
-        };
-        let sim = crate::rustc::build(self.design, &options).map_err(|e| e.to_string())?;
         let stdin = render_stimulus(stimulus);
-        let (stdout, _) = sim.run(stdin.as_bytes()).map_err(|e| e.to_string())?;
+        let stdout = match &self.cache {
+            Some(cache) => {
+                // The cached binary's source must not depend on the cycle
+                // bound, so the bound travels in the environment instead.
+                let options = EmitOptions {
+                    cycles: Some(0),
+                    cycles_from_env: true,
+                    trace: self.trace,
+                    ..EmitOptions::default()
+                };
+                let sim = cache
+                    .get(self.design, &options)
+                    .map_err(|e| e.to_string())?;
+                let env = [("ASIM2_CYCLES", bound.to_string())];
+                let (stdout, _) = sim
+                    .run_env(stdin.as_bytes(), &env)
+                    .map_err(|e| e.to_string())?;
+                stdout
+            }
+            None => {
+                let options = EmitOptions {
+                    cycles: Some(bound),
+                    trace: self.trace,
+                    ..EmitOptions::default()
+                };
+                let sim = crate::rustc::build(self.design, &options).map_err(|e| e.to_string())?;
+                let (stdout, _) = sim.run(stdin.as_bytes()).map_err(|e| e.to_string())?;
+                stdout
+            }
+        };
         Ok(stdout.into_bytes())
     }
 }
@@ -177,7 +221,7 @@ mod tests {
             return;
         }
         let design = Design::from_source(COUNTER).unwrap();
-        let lane = GeneratedRustFactory
+        let lane = GeneratedRustFactory::default()
             .build(&design, &EngineOptions::default())
             .unwrap();
         let EngineLane::Stream(mut stream) = lane else {
@@ -189,5 +233,70 @@ mod tests {
         let mut session = Session::over(&mut vm).capture().build();
         assert!(session.run(Until::Cycles(5)).completed());
         assert_eq!(got, session.output(), "stream must match the VM trace");
+    }
+
+    #[test]
+    fn cached_rust_lane_compiles_once_and_matches_across_horizons() {
+        if !crate::rustc::rustc_available() {
+            eprintln!("skipping: rustc not on PATH");
+            return;
+        }
+        let design = Design::from_source(COUNTER).unwrap();
+        let cache = Arc::new(BinaryCache::in_memory());
+        let factory = GeneratedRustFactory::cached(Arc::clone(&cache));
+
+        let run = |cycles: u64| {
+            let lane = factory.build(&design, &EngineOptions::default()).unwrap();
+            let EngineLane::Stream(mut stream) = lane else {
+                panic!("rust lane is a stream");
+            };
+            stream.run_stream(cycles, &[]).unwrap()
+        };
+        let short = run(3);
+        let long = run(7);
+        assert_eq!(cache.stats(), (1, 1), "one rustc invocation, one reuse");
+
+        // The env-var-bounded binary must produce the same bytes as the
+        // bake-the-bound pipeline (and therefore the stepped engines).
+        for (cycles, got) in [(3, &short), (7, &long)] {
+            let mut vm = Vm::new(&design);
+            let mut session = Session::over(&mut vm).capture().build();
+            assert!(session.run(Until::Cycles(cycles)).completed());
+            assert_eq!(got.as_slice(), session.output(), "{cycles} cycles");
+        }
+    }
+
+    #[test]
+    fn disk_cache_is_reused_across_cache_instances() {
+        if !crate::rustc::rustc_available() {
+            eprintln!("skipping: rustc not on PATH");
+            return;
+        }
+        let dir = std::env::temp_dir().join(format!("asim2-bincache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let design = Design::from_source(COUNTER).unwrap();
+        let options = EmitOptions {
+            cycles: Some(0),
+            cycles_from_env: true,
+            ..EmitOptions::default()
+        };
+
+        let first = BinaryCache::at_dir(&dir);
+        let sim = first.get(&design, &options).unwrap();
+        assert!(sim.timings.compile > std::time::Duration::ZERO);
+
+        // A fresh cache (think: the resumed campaign's next process) finds
+        // the published binary and skips rustc entirely.
+        let second = BinaryCache::at_dir(&dir);
+        let reused = second.get(&design, &options).unwrap();
+        assert_eq!(reused.timings.compile, std::time::Duration::ZERO);
+        assert_eq!(
+            reused
+                .run_env(b"", &[("ASIM2_CYCLES", "2".into())])
+                .unwrap()
+                .0,
+            sim.run_env(b"", &[("ASIM2_CYCLES", "2".into())]).unwrap().0,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

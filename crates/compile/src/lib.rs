@@ -41,7 +41,7 @@ pub use emit::{pascal::emit_pascal, rust::emit_rust, EmitOptions};
 pub use factory::{GeneratedRustFactory, VmFactory};
 pub use ir::{CycleIr, IrExpr, TraceDecision};
 pub use lower::{lower, stats, LowerStats, OptOptions};
-pub use rustc::{build, rustc_available, CompiledSim, PipelineError};
+pub use rustc::{build, rustc_available, BinaryCache, CompiledSim, PipelineError};
 pub use vm::{compile_program, Program, Vm};
 
 #[cfg(test)]

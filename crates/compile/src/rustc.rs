@@ -74,15 +74,16 @@ pub struct BuildTimings {
     pub compile: Duration,
 }
 
-/// A compiled standalone simulator on disk. The scratch directory is
-/// removed on drop.
+/// A compiled standalone simulator on disk. A scratch-directory build is
+/// removed on drop; a cache-directory build persists for later processes.
 #[derive(Debug)]
 pub struct CompiledSim {
     dir: PathBuf,
     binary: PathBuf,
+    persistent: bool,
     /// The generated source (kept for inspection).
     pub source: String,
-    /// Preparation timings.
+    /// Preparation timings (zero compile time on a disk-cache hit).
     pub timings: BuildTimings,
 }
 
@@ -98,9 +99,28 @@ impl CompiledSim {
     ///
     /// [`PipelineError::RunFailed`] when the simulator exits non-zero.
     pub fn run(&self, stdin: &[u8]) -> Result<(String, Duration), PipelineError> {
+        self.run_env(stdin, &[])
+    }
+
+    /// [`run`](CompiledSim::run) with extra environment variables — the
+    /// channel a cached binary reads its per-run cycle bound from (see
+    /// [`EmitOptions::cycles_from_env`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::RunFailed`] when the simulator exits non-zero.
+    pub fn run_env(
+        &self,
+        stdin: &[u8],
+        env: &[(&str, String)],
+    ) -> Result<(String, Duration), PipelineError> {
         use std::io::Write as _;
         let start = Instant::now();
-        let mut child = Command::new(&self.binary)
+        let mut command = Command::new(&self.binary);
+        for (key, value) in env {
+            command.env(key, value);
+        }
+        let mut child = command
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::piped())
@@ -123,7 +143,9 @@ impl CompiledSim {
 
 impl Drop for CompiledSim {
     fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.dir);
+        if !self.persistent {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
     }
 }
 
@@ -137,8 +159,23 @@ pub fn build(design: &Design, options: &EmitOptions) -> Result<CompiledSim, Pipe
     let gen_start = Instant::now();
     let source = emit_rust(design, options);
     let generate = gen_start.elapsed();
-
     let dir = scratch_dir()?;
+    match compile_into(&dir, source, generate, false) {
+        Ok(sim) => Ok(sim),
+        Err(e) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            Err(e)
+        }
+    }
+}
+
+/// Writes `source` into `dir` as `main.rs`, compiles it to `dir/sim`.
+fn compile_into(
+    dir: &Path,
+    source: String,
+    generate: Duration,
+    persistent: bool,
+) -> Result<CompiledSim, PipelineError> {
     let src_path = dir.join("main.rs");
     let bin_path = dir.join("sim");
     std::fs::write(&src_path, &source)?;
@@ -153,23 +190,186 @@ pub fn build(design: &Design, options: &EmitOptions) -> Result<CompiledSim, Pipe
     let compile = compile_start.elapsed();
     if !output.status.success() {
         let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
-        let _ = std::fs::remove_dir_all(&dir);
         return Err(PipelineError::CompileFailed(stderr));
     }
 
     Ok(CompiledSim {
-        dir,
+        dir: dir.to_path_buf(),
         binary: bin_path,
+        persistent,
         source,
         timings: BuildTimings { generate, compile },
     })
 }
 
 fn scratch_dir() -> std::io::Result<PathBuf> {
+    unique_dir(&std::env::temp_dir(), "asim2")
+}
+
+/// A private build directory *under the cache root*, so publishing it is
+/// a same-filesystem rename.
+fn staging_dir(root: &Path) -> std::io::Result<PathBuf> {
+    unique_dir(root, ".staging")
+}
+
+fn unique_dir(parent: &Path, prefix: &str) -> std::io::Result<PathBuf> {
     use std::sync::atomic::{AtomicU64, Ordering};
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    let dir = std::env::temp_dir().join(format!("asim2-{}-{n}", std::process::id()));
+    let dir = parent.join(format!("{prefix}-{}-{n}", std::process::id()));
     std::fs::create_dir_all(&dir)?;
     Ok(dir)
+}
+
+/// A compiled-binary cache for the generated-simulator pipeline, keyed by
+/// a stable fingerprint of the *emitted source* (which captures the full
+/// design semantics plus every emit option — the shape-only checkpoint
+/// fingerprint would collide across distinct fuzz designs).
+///
+/// Two layers:
+///
+/// * **in-process** — hits return the same [`CompiledSim`] handle, so one
+///   campaign/sweep invokes `rustc` once per distinct design;
+/// * **on disk** (optional, [`BinaryCache::at_dir`]) — binaries persist
+///   under the directory (e.g. a campaign's `bin-cache/`), so a resumed or
+///   repeated run skips `rustc` entirely.
+///
+/// Shareable across worker threads (`Arc<BinaryCache>`): concurrent
+/// misses for the same design race benignly — both compile, one handle
+/// wins the map slot, disk publication is an atomic rename.
+#[derive(Debug, Default)]
+pub struct BinaryCache {
+    dir: Option<PathBuf>,
+    map: std::sync::Mutex<std::collections::HashMap<u64, std::sync::Arc<CompiledSim>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl BinaryCache {
+    /// An in-process (memory-only) cache.
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// A cache that also persists binaries under `dir` (created on first
+    /// use).
+    pub fn at_dir(dir: impl Into<PathBuf>) -> Self {
+        BinaryCache {
+            dir: Some(dir.into()),
+            ..Self::default()
+        }
+    }
+
+    /// `(hits, misses)` so far — a campaign reports these.
+    pub fn stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The compiled simulator for `design` under `options`, building it on
+    /// a cache miss.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn get(
+        &self,
+        design: &Design,
+        options: &EmitOptions,
+    ) -> Result<std::sync::Arc<CompiledSim>, PipelineError> {
+        use std::sync::atomic::Ordering;
+        use std::sync::Arc;
+
+        let gen_start = Instant::now();
+        let source = emit_rust(design, options);
+        let generate = gen_start.elapsed();
+        let mut fp = rtl_core::Fingerprint::new();
+        fp.write(source.as_bytes());
+        let key = fp.finish();
+
+        if let Some(sim) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(sim));
+        }
+
+        let sim = match &self.dir {
+            Some(root) => {
+                let slot = root.join(format!("{key:016x}"));
+                if slot.join("sim").is_file() {
+                    // A previous process left the compiled binary behind.
+                    Arc::new(CompiledSim {
+                        binary: slot.join("sim"),
+                        dir: slot,
+                        persistent: true,
+                        source,
+                        timings: BuildTimings {
+                            generate,
+                            compile: Duration::ZERO,
+                        },
+                    })
+                } else {
+                    // Compile into a private directory, then publish it
+                    // with an atomic rename so concurrent workers and
+                    // processes never observe a half-written binary.
+                    // Stage *inside* the cache root: the publication
+                    // rename below must not cross filesystems (a temp-dir
+                    // staging area would EXDEV whenever /tmp is tmpfs and
+                    // the cache directory is not).
+                    std::fs::create_dir_all(root)?;
+                    let staging = staging_dir(root)?;
+                    let built = match compile_into(&staging, source, generate, true) {
+                        Ok(built) => built,
+                        Err(e) => {
+                            let _ = std::fs::remove_dir_all(&staging);
+                            return Err(e);
+                        }
+                    };
+                    match std::fs::rename(&staging, &slot) {
+                        Ok(()) => Arc::new(CompiledSim {
+                            binary: slot.join("sim"),
+                            dir: slot,
+                            persistent: true,
+                            source: built.source.clone(),
+                            timings: built.timings,
+                        }),
+                        Err(_) if slot.join("sim").is_file() => {
+                            // Lost the publication race; use the winner.
+                            let _ = std::fs::remove_dir_all(&staging);
+                            Arc::new(CompiledSim {
+                                binary: slot.join("sim"),
+                                dir: slot,
+                                persistent: true,
+                                source: built.source.clone(),
+                                timings: built.timings,
+                            })
+                        }
+                        Err(e) => {
+                            let _ = std::fs::remove_dir_all(&staging);
+                            return Err(PipelineError::Io(e));
+                        }
+                    }
+                }
+            }
+            None => {
+                let dir = scratch_dir()?;
+                match compile_into(&dir, source, generate, false) {
+                    Ok(sim) => Arc::new(sim),
+                    Err(e) => {
+                        let _ = std::fs::remove_dir_all(&dir);
+                        return Err(e);
+                    }
+                }
+            }
+        };
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // A racing worker may have inserted meanwhile; keep the first so
+        // every holder shares one handle.
+        let mut map = self.map.lock().expect("cache lock");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&sim));
+        Ok(Arc::clone(entry))
+    }
 }

@@ -54,7 +54,10 @@ pub use error::{ElabError, SimError, Warning};
 pub use factory::{EngineFactory, EngineLane, EngineOptions, EngineRegistry, StreamEngine};
 pub use io::{InputSource, NoInput, ReaderInput, ScriptedInput};
 pub use resolve::{CompId, RExpr, RefMode, RefOp};
-pub use session::{HaltKind, RunOutcome, Session, SessionBuilder, StopReason, Until};
+pub use session::{
+    design_fingerprint, read_checkpoint, write_checkpoint, Fingerprint, HaltKind, RunOutcome,
+    Session, SessionBuilder, StopReason, Until,
+};
 pub use sink::{BufferSink, NullSink, TeeSink, TraceSink, WriteSink};
 pub use state::SimState;
 pub use stats::SimStats;

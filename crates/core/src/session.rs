@@ -595,27 +595,81 @@ impl std::fmt::Debug for Session<'_> {
 
 const CHECKPOINT_MAGIC: &str = "asim2-checkpoint v1";
 
+/// The streaming FNV-1a hasher behind every stable on-disk fingerprint:
+/// design fingerprints in checkpoints, and campaign configuration/corpus
+/// fingerprints downstream. Stable across platforms, runs and Rust
+/// versions — unlike `std::hash`, which promises none of that.
+///
+/// ```
+/// use rtl_core::session::Fingerprint;
+/// let mut fp = Fingerprint::new();
+/// fp.write(b"hello");
+/// fp.write_u64(7);
+/// assert_eq!(fp.finish(), {
+///     let mut again = Fingerprint::new();
+///     again.write(b"hello");
+///     again.write_u64(7);
+///     again.finish()
+/// });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint {
+    hash: u64,
+}
+
+impl Fingerprint {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fingerprint {
+            hash: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, value: u64) {
+        self.write(&value.to_le_bytes());
+    }
+
+    /// Feeds a length-delimited string (NUL separator, so `"a","bc"` and
+    /// `"ab","c"` hash differently).
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0]);
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A stable fingerprint of a design's architectural shape (component
 /// names, order, memory sizes) — checkpoints refuse to load over a
 /// different design.
 pub fn design_fingerprint(design: &Design) -> u64 {
-    // FNV-1a, stable across platforms and runs.
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    eat(&(design.len() as u64).to_le_bytes());
+    let mut fp = Fingerprint::new();
+    fp.write_u64(design.len() as u64);
     for (id, comp) in design.iter() {
-        eat(comp.name.as_str().as_bytes());
-        eat(&[0]);
+        fp.write_str(comp.name.as_str());
         if comp.kind.is_memory() {
-            eat(&design.memory(id).size.to_le_bytes());
+            fp.write(&design.memory(id).size.to_le_bytes());
         }
     }
-    hash
+    fp.finish()
 }
 
 /// Writes the versioned checkpoint document: magic line, design

@@ -15,13 +15,20 @@ use rtl_core::{Design, Engine, EngineLane, EngineOptions, EngineRegistry};
 /// `interp`, `interp-faithful`, `vm`, `vm-noopt`, plus the `rust`
 /// subprocess stream lane. Open by construction: callers may
 /// [`register`](EngineRegistry::register) more lanes on their own copy.
+///
+/// The `rust` lane here compiles per run and cleans up after itself.
+/// Long-running harnesses that revisit designs (campaigns) shadow the
+/// lane with a [`BinaryCache`](rtl_compile::BinaryCache)-backed factory
+/// instead — an *owned* cache, whose scratch directories are removed when
+/// it drops. (A process-global cache would never drop and would leak its
+/// compiled binaries into the temp directory at exit.)
 pub fn default_registry() -> EngineRegistry {
     let mut r = EngineRegistry::new();
     r.register(Box::new(rtl_interp::InterpFactory::indexed()));
     r.register(Box::new(rtl_interp::InterpFactory::faithful()));
     r.register(Box::new(rtl_compile::VmFactory::full()));
     r.register(Box::new(rtl_compile::VmFactory::no_opt()));
-    r.register(Box::new(rtl_compile::GeneratedRustFactory));
+    r.register(Box::new(rtl_compile::GeneratedRustFactory::default()));
     r
 }
 
@@ -168,6 +175,33 @@ mod tests {
             engine.step(&mut out, &mut rtl_core::NoInput).unwrap();
             assert_eq!(engine.state().cycle(), 1, "{kind}");
         }
+    }
+
+    #[test]
+    fn registries_cross_threads() {
+        // The contract parallel campaign workers rely on: a registry can
+        // be built on (or shared with) any thread, and lanes built there
+        // run there. EngineFactory is Send + Sync by declaration; this
+        // pins the whole registry.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineRegistry>();
+        let handle = std::thread::spawn(|| {
+            let registry = default_registry();
+            let design =
+                Design::from_source("# c\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .")
+                    .unwrap();
+            let lane = registry
+                .build("vm", &design, &EngineOptions::default())
+                .unwrap();
+            let EngineLane::Stepped(mut engine) = lane else {
+                panic!("vm is stepped");
+            };
+            engine
+                .step(&mut Vec::new(), &mut rtl_core::NoInput)
+                .unwrap();
+            engine.state().cycle()
+        });
+        assert_eq!(handle.join().unwrap(), 1);
     }
 
     #[test]

@@ -116,6 +116,40 @@ impl std::fmt::Display for FuzzReport {
     }
 }
 
+/// Runs the single fuzz case at `index` (seed `base + index`, wrapping)
+/// against an explicit registry — the per-case entry point parallel
+/// campaign workers call, each over its own registry instance.
+/// Deterministic: the result depends only on `(options, index)`, never on
+/// which worker or in what order cases run.
+///
+/// # Errors
+///
+/// Lane construction failures (unknown name, missing toolchain); runtime
+/// disagreement is part of the returned case, not an `Err`.
+pub fn run_fuzz_case(
+    registry: &rtl_core::EngineRegistry,
+    options: &FuzzOptions,
+    index: u32,
+) -> Result<FuzzCase, ScenarioError> {
+    let seed = options.seed.wrapping_add(u64::from(index));
+    let scenario = generate_scenario(seed, &options.generator);
+    let outcome = run_scenario_names(registry, &options.engines, &scenario, &options.cosim)?;
+    let (cycles, stop, divergence) = match outcome {
+        CosimOutcome::Agreement { cycles, stop } => (cycles, stop, None),
+        CosimOutcome::Divergence(report) => {
+            let cycles = u64::try_from(report.cycle).unwrap_or(0);
+            (cycles, StopReason::CycleLimit, Some(*report))
+        }
+    };
+    Ok(FuzzCase {
+        seed,
+        name: scenario.name,
+        cycles,
+        stop,
+        divergence,
+    })
+}
+
 /// Runs a fuzz campaign against the default registry. Deterministic:
 /// identical options produce the identical report.
 ///
@@ -126,23 +160,7 @@ impl std::fmt::Display for FuzzReport {
 pub fn run_fuzz(options: &FuzzOptions) -> Result<FuzzReport, ScenarioError> {
     let mut cases = Vec::with_capacity(options.cases as usize);
     for i in 0..options.cases {
-        let seed = options.seed.wrapping_add(u64::from(i));
-        let scenario = generate_scenario(seed, &options.generator);
-        let outcome = run_scenario_names(registry(), &options.engines, &scenario, &options.cosim)?;
-        let (cycles, stop, divergence) = match outcome {
-            CosimOutcome::Agreement { cycles, stop } => (cycles, stop, None),
-            CosimOutcome::Divergence(report) => {
-                let cycles = u64::try_from(report.cycle).unwrap_or(0);
-                (cycles, StopReason::CycleLimit, Some(*report))
-            }
-        };
-        cases.push(FuzzCase {
-            seed,
-            name: scenario.name,
-            cycles,
-            stop,
-            divergence,
-        });
+        cases.push(run_fuzz_case(registry(), options, i)?);
     }
     Ok(FuzzReport {
         options: options.clone(),

@@ -52,7 +52,7 @@ pub mod stream;
 
 pub use corpus::{run_corpus, run_corpus_names, CorpusReport};
 pub use engines::{default_registry, registry, EngineKind};
-pub use fuzz::{run_fuzz, FuzzOptions, FuzzReport};
+pub use fuzz::{run_fuzz, run_fuzz_case, FuzzCase, FuzzOptions, FuzzReport};
 pub use generate::{generate_scenario, GenOptions};
 pub use lockstep::{
     run_scenario, CosimOptions, CosimOutcome, DivergenceKind, DivergenceReport, LaneReport,

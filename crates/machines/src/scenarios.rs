@@ -114,6 +114,15 @@ fn build() -> Vec<Scenario> {
         gcd.cycles as u64 + 1,
     ));
 
+    // Bubble sort over a worst-case (descending) dozen: the load/store/
+    // swap stress program, every addressing form and nested loops.
+    let sort = crate::stack::sort_workload(&[11, 7, 12, 3, 9, 1, 10, 5, 8, 2, 6, 4]);
+    scenarios.push(Scenario::new(
+        "stack/sort",
+        crate::stack::rtl::spec_source(&sort.program, Some(sort.cycles)),
+        sort.cycles as u64 + 1,
+    ));
+
     // The Appendix F tiny computer dividing 997 by 3: a long-running
     // microcoded workload that ends in a clean halt spin.
     let image = crate::tiny::divider_image(997, 3);
@@ -226,14 +235,29 @@ mod tests {
     }
 
     #[test]
-    fn registry_holds_sixteen_scenarios_including_fib_and_gcd() {
-        assert_eq!(names().len(), 16, "{:?}", names());
+    fn registry_holds_seventeen_scenarios_including_the_stack_programs() {
+        assert_eq!(names().len(), 17, "{:?}", names());
         let fib = by_name("stack/fib").expect("fib registered");
         let gcd = by_name("stack/gcd").expect("gcd registered");
-        for s in [&fib, &gcd] {
+        let sort = by_name("stack/sort").expect("sort registered");
+        for s in [&fib, &gcd, &sort] {
             assert!(s.cycles >= 1000, "{} horizon {}", s.name, s.cycles);
             assert!(s.input.is_empty(), "stack programs take no input");
             s.design().unwrap_or_else(|e| panic!("{}: {e}", s.name));
         }
+    }
+
+    #[test]
+    fn sort_scenario_is_iss_characterized() {
+        // The registered horizon is the ISS-predicted cycle count + 1, and
+        // the ISS oracle's outputs are the sorted input.
+        let w = crate::stack::sort_workload(&[11, 7, 12, 3, 9, 1, 10, 5, 8, 2, 6, 4]);
+        assert_eq!(w.outputs, (1..=12).collect::<Vec<_>>());
+        let s = by_name("stack/sort").unwrap();
+        assert_eq!(s.cycles, w.cycles as u64 + 1);
+        assert_eq!(
+            w.expected_output, "1\n2\n3\n4\n5\n6\n7\n8\n9\n10\n11\n12\n",
+            "integer-device rendering of the sorted values"
+        );
     }
 }

@@ -106,3 +106,18 @@ pub fn fib_workload(n: Word) -> Workload {
 pub fn gcd_workload(a: Word, b: Word) -> Workload {
     characterize(&programs::gcd(a, b), "gcd")
 }
+
+/// Assembles and characterizes [`programs::bubble_sort`] over `values` —
+/// the load/store/swap stress workload (every addressing form, nested
+/// loops). The ISS oracle supplies the exact cycle count and the sorted
+/// output sequence.
+///
+/// ```
+/// let w = rtl_machines::stack::sort_workload(&[5, 3, 8, 1]);
+/// assert_eq!(w.outputs, [1, 3, 5, 8]);
+/// ```
+pub fn sort_workload(values: &[Word]) -> Workload {
+    let w = characterize(&programs::bubble_sort(values), "bubble sort");
+    debug_assert_eq!(w.outputs, programs::bubble_sort_expected(values));
+    w
+}

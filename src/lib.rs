@@ -19,6 +19,7 @@
 //! | [`machines`] | stack machine + sieve, tiny computer, example specs, scenario registry |
 //! | [`hw`] | netlists, parts inventories, DOT export |
 //! | [`cosim`] | differential co-simulation (lockstep + divergence reports) and scenario fuzzing |
+//! | [`campaign`] | parallel, resumable fuzz/cosim campaigns with a persistent divergence corpus |
 //!
 //! ```
 //! use asim2::prelude::*;
@@ -37,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use rtl_campaign as campaign;
 pub use rtl_compile as compile;
 pub use rtl_core as core;
 pub use rtl_cosim as cosim;

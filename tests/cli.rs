@@ -137,6 +137,90 @@ fn cosim_runs_the_generated_rust_subprocess_lane() {
 }
 
 #[test]
+fn campaign_end_to_end_run_interrupt_resume_replay() {
+    let dir = std::env::temp_dir().join(format!("asim2-it-{}-campaign", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let d = dir.to_str().unwrap();
+
+    // Start a small parallel campaign, interrupted after 3 cases.
+    let (code, out, err) = run_cli(&[
+        "campaign",
+        "run",
+        "--dir",
+        d,
+        "--cases",
+        "8",
+        "--seed",
+        "2",
+        "--cycles",
+        "24",
+        "--size",
+        "10",
+        "--workers",
+        "4",
+        "--limit",
+        "3",
+    ]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("(3/8 cases done"), "{out}");
+    assert!(err.contains("cases/s"), "throughput on stderr: {err}");
+
+    // Resume completes the remaining cases; summary shows the full run.
+    let (code, resumed, err) = run_cli(&["campaign", "resume", "--dir", d, "--workers", "2"]);
+    assert_eq!(code, 0, "{err}");
+    assert!(
+        resumed.contains("summary: 8/8 agreed, 0 diverged"),
+        "{resumed}"
+    );
+
+    // An empty corpus replays clean.
+    let (code, replay, err) = run_cli(&["campaign", "replay", "--dir", d]);
+    assert_eq!(code, 0, "{err}");
+    assert!(replay.contains("corpus replay: 0 entries"), "{replay}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn campaign_archives_and_reproduces_an_injected_engine_bug() {
+    let dir = std::env::temp_dir().join(format!("asim2-it-{}-campaign-bug", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let d = dir.to_str().unwrap();
+
+    // The vm-fault lane corrupts trace bytes from cycle 40: the campaign
+    // finds the divergence, shrinks it, and archives a corpus entry.
+    let (code, out, err) = run_cli(&[
+        "campaign",
+        "run",
+        "--dir",
+        d,
+        "--cases",
+        "1",
+        "--seed",
+        "9",
+        "--cycles",
+        "64",
+        "--engines",
+        "interp,vm-fault",
+    ]);
+    assert_eq!(code, 3, "{out}\n{err}");
+    assert!(
+        out.contains("DIVERGED at cycle 40 (trace) -> corpus seed-9"),
+        "{out}"
+    );
+    assert!(dir.join("corpus/seed-9.asim").is_file());
+    assert!(dir.join("corpus/seed-9.ckpt").is_file());
+
+    // Replay reproduces it (exit 3); the healthy lane pair is clean.
+    let (code, out, _) = run_cli(&["campaign", "replay", "--dir", d]);
+    assert_eq!(code, 3);
+    assert!(out.contains("REPRODUCED at cycle 40 (trace)"), "{out}");
+    let (code, out, err) = run_cli(&["campaign", "replay", "--dir", d, "--engines", "interp,vm"]);
+    assert_eq!(code, 0, "{err}");
+    assert!(out.contains("bug no longer reproduces"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn figure_commands_work_from_the_top() {
     for fig in ["3.1", "4.1", "4.2", "4.3"] {
         let (code, out, err) = run_cli(&["fig", fig]);
