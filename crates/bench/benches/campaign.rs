@@ -69,7 +69,7 @@ fn campaign(c: &mut Criterion) {
                         },
                         &RunOptions {
                             workers,
-                            limit: None,
+                            ..RunOptions::default()
                         },
                         &mut NoProgress,
                     )

@@ -2,13 +2,16 @@
 //!
 //! Lockstep verification costs extra engine work plus per-interval
 //! comparison. This bench tracks (a) the cosim harness against a single
-//! engine running the same workload, and (b) how the `compare_every`
-//! stride amortizes comparison cost — the knob that makes checkpointed
-//! long runs affordable.
+//! engine running the same workload, (b) how the `compare_every` stride
+//! amortizes comparison cost — the knob that makes checkpointed long
+//! runs affordable — and (c) the cost of each comparator *lens*
+//! (trace-bytes vs vcd-diff vs the composite) across strides, so the
+//! `--compare` choice is an informed trade.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtl_bench::run_cycles_to_sink;
 use rtl_compile::{OptOptions, Vm};
+use rtl_core::observe::CompareMode;
 use rtl_core::Design;
 use rtl_cosim::{CosimOptions, EngineKind, Lockstep};
 use rtl_machines::synth::chain;
@@ -52,6 +55,34 @@ fn cosim(c: &mut Criterion) {
                 })
             },
         );
+    }
+
+    // Comparator-cost ablation: the same interp+vm lockstep under one
+    // lens at a time. The trace lens needs trace text on (that is what
+    // it compares); the state lenses run trace-off so the ablation
+    // isolates comparison cost from formatting cost.
+    for (label, mode, trace) in [
+        ("comparator_trace", CompareMode::Trace, true),
+        ("comparator_vcd", CompareMode::Vcd, false),
+        ("comparator_all", CompareMode::All, true),
+    ] {
+        for stride in [1u64, 16, 256] {
+            g.bench_with_input(BenchmarkId::new(label, stride), &stride, |b, &stride| {
+                b.iter(|| {
+                    let options = CosimOptions {
+                        compare_every: stride,
+                        trace,
+                        compare: vec![mode],
+                        ..CosimOptions::default()
+                    };
+                    let mut lockstep = Lockstep::new(&design, options);
+                    lockstep
+                        .add_engine(EngineKind::Interp)
+                        .add_engine(EngineKind::Vm);
+                    assert!(lockstep.run(CYCLES).agreed());
+                })
+            });
+        }
     }
 
     // Four-tier pile-up: the full registry in one harness.

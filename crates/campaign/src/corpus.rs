@@ -31,7 +31,7 @@ use std::path::Path;
 pub const FORMAT: &str = "asim2-corpus v1";
 
 /// A stable one-token label for a divergence kind (`trace`,
-/// `output:x3`, `cells:m0@5`, `stream:rust`, ...).
+/// `output:x3`, `cells:m0@5`, `vcd:x3`, `stream:rust`, ...).
 pub fn kind_label(kind: &DivergenceKind) -> String {
     match kind {
         DivergenceKind::Error => "error".into(),
@@ -39,6 +39,7 @@ pub fn kind_label(kind: &DivergenceKind) -> String {
         DivergenceKind::CycleCounter => "cycle-counter".into(),
         DivergenceKind::Output { component } => format!("output:{component}"),
         DivergenceKind::Cells { component, addr } => format!("cells:{component}@{addr}"),
+        DivergenceKind::Vcd { component } => format!("vcd:{component}"),
         DivergenceKind::Stream { lane } => format!("stream:{lane}"),
     }
 }

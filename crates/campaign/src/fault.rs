@@ -1,181 +1,6 @@
-//! Deliberate fault injection: a broken engine lane for validating the
-//! campaign pipeline end to end.
-//!
-//! A verification subsystem that has never seen a bug is itself
-//! unverified. The `vm-fault` lane wraps the production bytecode VM and
-//! corrupts its *trace bytes* (never its architectural state) from a
-//! trigger cycle on, so a campaign comparing `interp,vm-fault` reliably
-//! finds, shrinks and archives a divergence — exercising the exact path a
-//! real engine bug would take, while snapshot/rewind bisection still works
-//! (state is untouched, so replays reproduce byte-for-byte).
+//! Re-export of the fault-injection lane, which moved to
+//! [`rtl_cosim::fault`] so every cosim consumer (the CLI included) can
+//! validate its comparison pipeline — campaigns keep using it through
+//! this path.
 
-use rtl_core::{
-    CompId, Design, Engine, EngineFactory, EngineLane, EngineOptions, InputSource, SimError,
-    SimState, SimStats, Word,
-};
-use std::io::Write;
-
-/// The default trigger cycle of the registered `vm-fault` lane.
-pub const DEFAULT_FAULT_CYCLE: u64 = 40;
-
-/// Builds the `vm-fault` lane: the full-optimization VM with trace
-/// corruption from a trigger cycle on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FaultyVmFactory {
-    from_cycle: u64,
-}
-
-impl Default for FaultyVmFactory {
-    fn default() -> Self {
-        FaultyVmFactory {
-            from_cycle: DEFAULT_FAULT_CYCLE,
-        }
-    }
-}
-
-impl FaultyVmFactory {
-    /// A factory whose lanes corrupt trace output from `cycle` on.
-    pub fn from_cycle(cycle: u64) -> Self {
-        FaultyVmFactory { from_cycle: cycle }
-    }
-}
-
-impl EngineFactory for FaultyVmFactory {
-    fn name(&self) -> &str {
-        "vm-fault"
-    }
-
-    fn description(&self) -> &str {
-        "deliberately faulty VM (trace corruption past a trigger cycle) for campaign self-tests"
-    }
-
-    fn build<'d>(
-        &self,
-        design: &'d Design,
-        options: &EngineOptions,
-    ) -> Result<EngineLane<'d>, String> {
-        let EngineLane::Stepped(inner) = rtl_compile::VmFactory::full().build(design, options)?
-        else {
-            unreachable!("the VM factory builds stepped lanes");
-        };
-        Ok(EngineLane::Stepped(Box::new(FaultInjector {
-            inner,
-            from_cycle: Word::try_from(self.from_cycle).unwrap_or(Word::MAX),
-        })))
-    }
-}
-
-/// Wraps any engine, corrupting its trace bytes (`=` becomes `#`) once
-/// the cycle counter reaches `from_cycle`.
-struct FaultInjector<'d> {
-    inner: Box<dyn Engine + 'd>,
-    from_cycle: Word,
-}
-
-impl Engine for FaultInjector<'_> {
-    fn design(&self) -> &Design {
-        self.inner.design()
-    }
-
-    fn state(&self) -> &SimState {
-        self.inner.state()
-    }
-
-    fn restore(&mut self, snapshot: &SimState) {
-        self.inner.restore(snapshot);
-    }
-
-    fn observes_output(&self, id: CompId) -> bool {
-        self.inner.observes_output(id)
-    }
-
-    fn stats(&self) -> Option<&SimStats> {
-        self.inner.stats()
-    }
-
-    fn step(&mut self, out: &mut dyn Write, input: &mut dyn InputSource) -> Result<(), SimError> {
-        if self.inner.state().cycle() >= self.from_cycle {
-            let mut corrupt = Corruptor { out };
-            self.inner.step(&mut corrupt, input)
-        } else {
-            self.inner.step(out, input)
-        }
-    }
-}
-
-struct Corruptor<'a> {
-    out: &'a mut dyn Write,
-}
-
-impl Write for Corruptor<'_> {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        let mangled: Vec<u8> = buf
-            .iter()
-            .map(|&b| if b == b'=' { b'#' } else { b })
-            .collect();
-        self.out.write_all(&mangled)?;
-        Ok(buf.len())
-    }
-
-    fn flush(&mut self) -> std::io::Result<()> {
-        self.out.flush()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rtl_cosim::{CosimOptions, CosimOutcome, DivergenceKind, Lockstep};
-
-    #[test]
-    fn fault_diverges_exactly_at_its_trigger() {
-        let design =
-            Design::from_source("# c\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .")
-                .unwrap();
-        let mut registry = rtl_cosim::default_registry();
-        registry.register(Box::new(FaultyVmFactory::from_cycle(7)));
-        let build = |name: &str| {
-            let EngineLane::Stepped(engine) = registry
-                .build(name, &design, &EngineOptions::default())
-                .unwrap()
-            else {
-                panic!("stepped");
-            };
-            engine
-        };
-        let mut lockstep = Lockstep::new(&design, CosimOptions::default());
-        lockstep.add_lane("interp", build("interp"));
-        lockstep.add_lane("vm-fault", build("vm-fault"));
-        let CosimOutcome::Divergence(report) = lockstep.run(20) else {
-            panic!("fault must diverge");
-        };
-        assert_eq!(report.cycle, 7);
-        assert_eq!(report.kind, DivergenceKind::Trace);
-    }
-
-    #[test]
-    fn fault_agrees_below_its_trigger() {
-        let design =
-            Design::from_source("# c\ncount* next .\nM count 0 next 1 1\nA next 4 count 1 .")
-                .unwrap();
-        let mut registry = rtl_cosim::default_registry();
-        registry.register(Box::new(FaultyVmFactory::from_cycle(50)));
-        // Lockstep entirely below the trigger: no divergence.
-        let EngineLane::Stepped(a) = registry
-            .build("interp", &design, &EngineOptions::default())
-            .unwrap()
-        else {
-            panic!()
-        };
-        let EngineLane::Stepped(b) = registry
-            .build("vm-fault", &design, &EngineOptions::default())
-            .unwrap()
-        else {
-            panic!()
-        };
-        let mut lockstep = Lockstep::new(&design, CosimOptions::default());
-        lockstep.add_lane("interp", a);
-        lockstep.add_lane("vm-fault", b);
-        assert!(lockstep.run(20).agreed());
-    }
-}
+pub use rtl_cosim::fault::{FaultyVmFactory, DEFAULT_FAULT_CYCLE};

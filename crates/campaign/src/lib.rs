@@ -39,7 +39,7 @@
 //! let report = run(
 //!     &dir,
 //!     &config,
-//!     &RunOptions { workers: 2, limit: None },
+//!     &RunOptions { workers: 2, ..RunOptions::default() },
 //!     &mut NoProgress,
 //! ).unwrap();
 //! assert!(report.clean(), "{report}");
@@ -61,9 +61,10 @@ pub mod state;
 pub use config::CampaignConfig;
 pub use corpus::{CorpusEntry, ReplayOutcome, ReplayReport, ReplayResult};
 pub use error::CampaignError;
-pub use fault::FaultyVmFactory;
+pub use fault::{FaultyVmFactory, DEFAULT_FAULT_CYCLE};
 pub use runner::{
-    campaign_registry, replay_corpus, resume, run, CampaignReport, NoProgress, Progress, RunOptions,
+    campaign_registry, replay_corpus, resume, run, CampaignReport, NoProgress, Progress,
+    RunOptions, CASE_CHECKPOINT_EVERY,
 };
 pub use shrink::{shrink_divergence, Shrunk};
-pub use state::{CampaignDir, CaseRecord, CaseStatus};
+pub use state::{CampaignDir, CaseRecord, CaseStatus, LaneAccess};

@@ -34,7 +34,16 @@ pub struct RunOptions {
     /// Stop after completing this many *new* cases — the programmatic
     /// interrupt (`campaign resume` finishes the rest).
     pub limit: Option<u32>,
+    /// Checkpoint each case's lockstep run mid-flight
+    /// (`cases/case-N.ckpt`, written every [`CASE_CHECKPOINT_EVERY`]
+    /// cycles): a kill inside one *giant* case resumes from the last
+    /// checkpoint instead of recomputing the whole horizon. Off by
+    /// default — worth it only when a single case runs long.
+    pub case_checkpoint: bool,
 }
+
+/// The cycle cadence of `--case-checkpoint` lockstep checkpoints.
+pub const CASE_CHECKPOINT_EVERY: u64 = 256;
 
 impl Default for RunOptions {
     fn default() -> Self {
@@ -44,6 +53,7 @@ impl Default for RunOptions {
                 .unwrap_or(1)
                 .min(8),
             limit: None,
+            case_checkpoint: false,
         }
     }
 }
@@ -301,6 +311,14 @@ fn execute(
 
     let next = AtomicU32::new(0);
     let abort = AtomicBool::new(false);
+    let case_checkpoint = options.case_checkpoint;
+    // A kill between record publication and checkpoint removal can leave
+    // a stale .ckpt next to a completed record; sweep those up front.
+    for (index, record) in records.iter().enumerate() {
+        if record.is_some() {
+            let _ = std::fs::remove_file(case_checkpoint_path(dir, index as u32));
+        }
+    }
     let workers = options.workers.clamp(1, pending.len().max(1));
     let mut new_corpus = BTreeSet::new();
     let mut first_error: Option<CampaignError> = None;
@@ -321,7 +339,7 @@ fn execute(
                     let Some(&index) = pending.get(slot) else {
                         break;
                     };
-                    let result = run_one(&registry, config, fuzz, index, dir);
+                    let result = run_one(&registry, config, fuzz, index, dir, case_checkpoint);
                     let failed = result.is_err();
                     if tx.send(result).is_err() || failed {
                         abort.store(true, Ordering::Relaxed);
@@ -364,14 +382,46 @@ fn execute(
     })
 }
 
+/// The per-case lockstep checkpoint path (`--case-checkpoint`).
+fn case_checkpoint_path(dir: &CampaignDir, index: u32) -> std::path::PathBuf {
+    dir.cases().join(format!("case-{index:06}.ckpt"))
+}
+
 fn run_one(
     registry: &EngineRegistry,
     config: &CampaignConfig,
     fuzz: &FuzzOptions,
     index: u32,
     dir: &CampaignDir,
+    case_checkpoint: bool,
 ) -> Result<DoneCase, CampaignError> {
+    // Thread the per-case lockstep checkpoint through: write it while the
+    // case runs, resume from a leftover document (a kill mid-case), and
+    // remove it once the record is durable.
+    let ckpt_path = case_checkpoint_path(dir, index);
+    let fuzz_for_case;
+    let fuzz = if case_checkpoint {
+        let mut patched = fuzz.clone();
+        patched.cosim.checkpoint = Some(rtl_cosim::LockstepCheckpoint {
+            path: ckpt_path.clone(),
+            every: CASE_CHECKPOINT_EVERY,
+        });
+        if ckpt_path.exists() {
+            patched.cosim.resume = Some(ckpt_path.clone());
+        }
+        fuzz_for_case = patched;
+        &fuzz_for_case
+    } else {
+        fuzz
+    };
     let case = run_fuzz_case(registry, fuzz, index)?;
+    // Shrink probes must not inherit the case's checkpoint/resume paths:
+    // they re-run many *different* candidate scenarios.
+    let probe_cosim = rtl_cosim::CosimOptions {
+        checkpoint: None,
+        resume: None,
+        ..fuzz.cosim.clone()
+    };
     let (status, corpus) = match case.divergence {
         None => {
             let status = match case.stop {
@@ -393,7 +443,7 @@ fn run_one(
                 &config.engines,
                 case.seed,
                 &config.generator,
-                &fuzz.cosim,
+                &probe_cosim,
             )?;
             let corpus = match &shrunk {
                 Some(shrunk) => Some(
@@ -414,6 +464,14 @@ fn run_one(
         index,
         seed: case.seed,
         cycles: case.cycles,
+        lane_stats: case
+            .stats
+            .iter()
+            .map(|s| crate::state::LaneAccess {
+                lane: s.lane.clone(),
+                accesses: s.stats.total_accesses(),
+            })
+            .collect(),
         status,
     };
     // Publish from the worker (atomic temp-file + rename), so record I/O
@@ -421,5 +479,8 @@ fn run_one(
     // Once this returns, the case is durable: a kill right after still
     // resumes past it.
     dir.write_case(&record)?;
+    if case_checkpoint {
+        let _ = std::fs::remove_file(&ckpt_path);
+    }
     Ok(DoneCase { record, corpus })
 }

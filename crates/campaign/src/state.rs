@@ -66,6 +66,16 @@ impl CaseStatus {
     }
 }
 
+/// One lane's headline statistics in a case record — the §1.4 counters
+/// cosim used to drop ([`Engine::stats`](rtl_core::Engine::stats)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneAccess {
+    /// Engine lane name.
+    pub lane: String,
+    /// Total memory accesses (reads + writes + inputs + outputs).
+    pub accesses: u64,
+}
+
 /// One completed case.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CaseRecord {
@@ -75,6 +85,10 @@ pub struct CaseRecord {
     pub seed: u64,
     /// Cycles verified in lockstep.
     pub cycles: u64,
+    /// Per-lane simulation statistics, for lanes whose engines keep
+    /// them. (For a case resumed mid-run via `--case-checkpoint`, only
+    /// the post-resume portion is counted.)
+    pub lane_stats: Vec<LaneAccess>,
     /// How the case ended.
     pub status: CaseStatus,
 }
@@ -86,6 +100,20 @@ impl CaseRecord {
             ("index".into(), Json::num(self.index)),
             ("seed".into(), Json::num(self.seed)),
             ("cycles".into(), Json::num(self.cycles)),
+            (
+                "lane_stats".into(),
+                Json::Arr(
+                    self.lane_stats
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("lane".into(), Json::str(&s.lane)),
+                                ("accesses".into(), Json::num(s.accesses)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("status".into(), Json::str(self.status.tag())),
         ];
         match &self.status {
@@ -147,10 +175,28 @@ impl CaseRecord {
             },
             other => return Err(format!("unknown status {other:?}")),
         };
+        // Absent or malformed stats read as empty: records written before
+        // the field existed stay loadable.
+        let lane_stats = doc
+            .get("lane_stats")
+            .and_then(Json::as_arr)
+            .map(|entries| {
+                entries
+                    .iter()
+                    .filter_map(|e| {
+                        Some(LaneAccess {
+                            lane: e.get("lane")?.as_str()?.to_string(),
+                            accesses: e.get("accesses")?.as_u64()?,
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         Ok(CaseRecord {
             index: u32::try_from(num("index")?).map_err(|_| "index out of range")?,
             seed: num("seed")?,
             cycles: num("cycles")?,
+            lane_stats,
             status,
         })
     }
@@ -382,12 +428,23 @@ mod tests {
                 index: 0,
                 seed: 9,
                 cycles: 64,
+                lane_stats: vec![
+                    LaneAccess {
+                        lane: "interp".into(),
+                        accesses: 128,
+                    },
+                    LaneAccess {
+                        lane: "vm".into(),
+                        accesses: 128,
+                    },
+                ],
                 status: CaseStatus::Agreed,
             },
             CaseRecord {
                 index: 2,
                 seed: 11,
                 cycles: 17,
+                lane_stats: Vec::new(),
                 status: CaseStatus::Diverged {
                     cycle: 17,
                     kind: "output:x3".into(),
@@ -398,6 +455,7 @@ mod tests {
                 index: 3,
                 seed: 12,
                 cycles: 5,
+                lane_stats: Vec::new(),
                 status: CaseStatus::Halted {
                     detail: "input exhausted at cycle 5".into(),
                 },

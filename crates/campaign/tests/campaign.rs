@@ -47,7 +47,7 @@ fn faulty_config(cases: u32) -> CampaignConfig {
 fn opts(workers: usize) -> RunOptions {
     RunOptions {
         workers,
-        limit: None,
+        ..RunOptions::default()
     }
 }
 
@@ -97,6 +97,7 @@ fn interrupted_campaign_resumes_to_the_uninterrupted_result() {
         &RunOptions {
             workers: 3,
             limit: Some(5),
+            ..RunOptions::default()
         },
         &mut NoProgress,
     )
@@ -204,6 +205,7 @@ fn resume_refuses_a_drifted_configuration() {
         &RunOptions {
             workers: 1,
             limit: Some(1),
+            ..RunOptions::default()
         },
         &mut NoProgress,
     )

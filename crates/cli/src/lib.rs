@@ -92,18 +92,21 @@ const USAGE: &str = "usage:
   asim2 vcd     FILE [-o OUT.vcd] [--cycles N]
   asim2 spec    NAME            (one of: counter gcd traffic fig3_1 fig4_1 fig4_2 fig4_3 sieve tiny)
   asim2 fig     3.1|4.1|4.2|4.3|5.1
-  asim2 cosim   [FILE] [--engines interp,vm,rust,...] [--cycles N] [--scenario NAME] [--compare-every N]
+  asim2 cosim   [FILE] [--engines interp,vm,rust,...] [--cycles N] [--scenario NAME]
+                [--compare-every N] [--compare trace,vcd,cells,...]
+                [--checkpoint F [--checkpoint-every N]] [--resume F]
   asim2 fuzz    [--seed N] [--cases N] [--cycles N] [--size N] [--engines interp,vm,...]
   asim2 campaign run    --dir D [--cases N] [--seed N] [--workers N] [--engines LIST]
                         [--cycles N] [--size N] [--compare-every N] [--limit N]
-  asim2 campaign resume --dir D [--workers N] [--limit N]
+                        [--case-checkpoint]
+  asim2 campaign resume --dir D [--workers N] [--limit N] [--case-checkpoint]
   asim2 campaign replay --dir D [--engines LIST]
   asim2 campaign shrink --dir D --seed N [--engines LIST] [--cycles N] [--size N]
 
-engine NAMEs come from the registry: interp, interp-faithful, vm, vm-noopt
-(and, for cosim lanes, rust — the generated binary run as a subprocess;
-campaigns additionally expose vm-fault, a deliberately broken VM for
-validating the find->shrink->replay pipeline)";
+engine NAMEs come from the registry: interp, interp-faithful, vm, vm-noopt,
+rust (the generated binary run as a subprocess cosim lane) and vm-fault (a
+deliberately broken VM for validating the find->shrink->replay pipeline).
+cosim comparators: trace, cycles, outputs, cells, vcd, all";
 
 fn dispatch(
     args: &[String],
@@ -495,13 +498,50 @@ fn parse_u64_flag(flags: &[&str], name: &str) -> Result<Option<u64>, CliError> {
 fn cosim_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     let (file, flags) = split_optional_file(
         rest,
-        &["--engines", "--cycles", "--scenario", "--compare-every"],
+        &[
+            "--engines",
+            "--cycles",
+            "--scenario",
+            "--compare-every",
+            "--compare",
+            "--checkpoint",
+            "--checkpoint-every",
+            "--resume",
+        ],
     )?;
     let engines = parse_engines(&flags)?;
     let cycles = parse_u64_flag(&flags, "--cycles")?;
     let compare_every = parse_u64_flag(&flags, "--compare-every")?.unwrap_or(1);
+    let compare = match flag_value(&flags, "--compare")? {
+        Some(list) => rtl_core::observe::CompareMode::parse_list(list).map_err(usage_err)?,
+        None => vec![rtl_core::observe::CompareMode::All],
+    };
+    let checkpoint_path = flag_value(&flags, "--checkpoint")?;
+    let checkpoint_every = parse_u64_flag(&flags, "--checkpoint-every")?;
+    if checkpoint_every.is_some() && checkpoint_path.is_none() {
+        return Err(usage_err("--checkpoint-every needs --checkpoint FILE"));
+    }
+    if checkpoint_every == Some(0) {
+        return Err(usage_err("--checkpoint-every needs a positive interval"));
+    }
+    let checkpoint = checkpoint_path.map(|path| rtl_cosim::LockstepCheckpoint {
+        path: path.into(),
+        every: checkpoint_every.unwrap_or(256),
+    });
+    let resume = flag_value(&flags, "--resume")?.map(std::path::PathBuf::from);
+    if (checkpoint.is_some() || resume.is_some())
+        && file.is_none()
+        && flag_value(&flags, "--scenario")?.is_none()
+    {
+        return Err(usage_err(
+            "--checkpoint/--resume apply to a single scenario (pass FILE or --scenario)",
+        ));
+    }
     let options = rtl_cosim::CosimOptions {
         compare_every: compare_every.max(1),
+        compare,
+        checkpoint,
+        resume,
         ..rtl_cosim::CosimOptions::default()
     };
 
@@ -587,11 +627,12 @@ fn report_single(
         rtl_cosim::CosimOutcome::Agreement {
             cycles,
             stop: StopReason::CycleLimit,
+            ..
         } => {
             let _ = writeln!(out, "{name}: {cycles} cycles verified, no divergence");
             Ok(())
         }
-        rtl_cosim::CosimOutcome::Agreement { cycles, stop } => {
+        rtl_cosim::CosimOutcome::Agreement { cycles, stop, .. } => {
             let _ = writeln!(out, "{name}: {cycles} cycles verified, no divergence");
             Err(CliError {
                 code: 3,
@@ -735,8 +776,9 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             "--size",
             "--compare-every",
             "--limit",
+            "--case-checkpoint",
         ],
-        "resume" => &["--dir", "--workers", "--limit"],
+        "resume" => &["--dir", "--workers", "--limit", "--case-checkpoint"],
         "replay" => &["--dir", "--engines"],
         "shrink" => &[
             "--dir",
@@ -771,6 +813,7 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
         run_options.limit =
             Some(u32::try_from(limit).map_err(|_| usage_err("--limit is too large"))?);
     }
+    run_options.case_checkpoint = flags.contains(&"--case-checkpoint");
     let engines_flag = match flag_value(&flags, "--engines")? {
         Some(list) => Some(
             rtl_campaign::campaign_registry(None)
@@ -1249,9 +1292,95 @@ mod tests {
         // Regression: --cycles above a scenario's registered horizon used
         // to exhaust the io scenario's stimulus and fail the sweep.
         let out = run_ok(&["cosim", "--cycles", "1100", "--compare-every", "64"]);
-        assert!(out.contains("17/17 agreed"), "{out}");
+        assert!(out.contains("18/18 agreed"), "{out}");
         let io_line = out.lines().find(|l| l.contains("io/accumulator")).unwrap();
         assert!(io_line.contains("1100 cycles  ok"), "{io_line}");
+    }
+
+    #[test]
+    fn cosim_compare_modes_report_the_same_first_divergent_cycle() {
+        // The vm-fault lane corrupts its trace bytes *and* its observed
+        // state from cycle 40 on, so the trace lens and the VCD waveform
+        // lens must pinpoint the identical first divergent cycle.
+        for compare in ["trace", "vcd", "trace,vcd,cells", "all"] {
+            let (code, out, err) = run_with(
+                &[
+                    "cosim",
+                    "--scenario",
+                    "classic/counter",
+                    "--cycles",
+                    "64",
+                    "--engines",
+                    "interp,vm-fault",
+                    "--compare",
+                    compare,
+                ],
+                b"",
+            );
+            assert_eq!(code, 3, "{compare}: {err}");
+            assert!(out.contains("at cycle 40"), "{compare}: {out}");
+        }
+        let (code, err) = run_fail(&[
+            "cosim",
+            "--scenario",
+            "classic/counter",
+            "--compare",
+            "warp",
+        ]);
+        assert_eq!(code, 1);
+        assert!(err.contains("unknown comparator"), "{err}");
+    }
+
+    #[test]
+    fn cosim_checkpoint_resume_is_byte_identical() {
+        // Stop a lockstep case mid-run (phase 1 covers only part of the
+        // horizon, leaving its checkpoint file behind, exactly like a
+        // kill), then resume to the full horizon in a second invocation:
+        // stdout must be byte-identical to one uninterrupted run.
+        let ck =
+            std::env::temp_dir().join(format!("asim-cli-lockstep-{}.ckpt", std::process::id()));
+        let ck = ck.to_str().unwrap();
+        let scenario = ["--scenario", "classic/counter"];
+        let out = run_ok(&[
+            "cosim",
+            scenario[0],
+            scenario[1],
+            "--cycles",
+            "300",
+            "--checkpoint",
+            ck,
+            "--checkpoint-every",
+            "128",
+        ]);
+        assert!(out.contains("300 cycles verified"), "{out}");
+        let resumed = run_ok(&[
+            "cosim",
+            scenario[0],
+            scenario[1],
+            "--cycles",
+            "1024",
+            "--resume",
+            ck,
+        ]);
+        let fresh = run_ok(&["cosim", scenario[0], scenario[1], "--cycles", "1024"]);
+        assert_eq!(resumed, fresh, "resumed outcome is byte-identical");
+        let _ = std::fs::remove_file(ck);
+    }
+
+    #[test]
+    fn cosim_checkpoint_flags_are_validated() {
+        let (code, err) = run_fail(&["cosim", "--checkpoint", "/tmp/x.ckpt"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("single scenario"), "{err}");
+        let (code, err) = run_fail(&[
+            "cosim",
+            "--scenario",
+            "classic/counter",
+            "--checkpoint-every",
+            "64",
+        ]);
+        assert_eq!(code, 1);
+        assert!(err.contains("--checkpoint FILE"), "{err}");
     }
 
     #[test]
@@ -1307,6 +1436,53 @@ mod tests {
             single, parallel,
             "stdout report is worker-count independent"
         );
+    }
+
+    #[test]
+    fn campaign_case_checkpoint_matches_a_plain_run() {
+        // --case-checkpoint must not change outcomes — it only adds the
+        // ability to resume a killed case mid-run — and it cleans its
+        // .ckpt files up once each case record is durable.
+        let run_campaign = |name: &str, extra: &[&str]| {
+            let d = campaign_dir(name);
+            let mut args = vec![
+                "campaign",
+                "run",
+                "--dir",
+                d.to_str().unwrap(),
+                "--cases",
+                "4",
+                "--seed",
+                "5",
+                "--cycles",
+                "16",
+                "--size",
+                "8",
+            ];
+            args.extend_from_slice(extra);
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let mut out = Vec::new();
+            let mut err = Vec::new();
+            let code = run_with_input(&args, &mut &b""[..], &mut out, &mut err);
+            assert_eq!(code, 0, "{}", String::from_utf8_lossy(&err));
+            (d, String::from_utf8(out).unwrap())
+        };
+        let (plain_dir, plain) = run_campaign("ckpt-plain", &[]);
+        let (ckpt_dir, checkpointed) = run_campaign("ckpt-on", &["--case-checkpoint"]);
+        assert_eq!(plain, checkpointed, "case checkpointing is outcome-neutral");
+        let leftovers = std::fs::read_dir(ckpt_dir.join("cases"))
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "ckpt")
+            })
+            .count();
+        assert_eq!(leftovers, 0, "completed cases leave no checkpoints");
+        let _ = std::fs::remove_dir_all(&plain_dir);
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
     }
 
     #[test]

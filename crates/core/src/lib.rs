@@ -16,6 +16,9 @@
 //! * the driving layer: trace sinks ([`sink`]), the open engine registry
 //!   ([`factory`]) and the [`Session`] API with structured stop reasons
 //!   and on-disk checkpoints ([`session`]),
+//! * the observation layer: [`Observation`] value snapshots and the open
+//!   [`Comparator`] contract that differential harnesses plug into
+//!   ([`observe`]),
 //! * output-width inference for netlisting and codegen ([`width`]).
 //!
 //! ```
@@ -38,6 +41,7 @@ pub mod error;
 pub mod factory;
 pub mod graph;
 pub mod io;
+pub mod observe;
 pub mod resolve;
 pub mod session;
 pub mod sink;
@@ -53,6 +57,7 @@ pub use engine::{run_captured, Engine};
 pub use error::{ElabError, SimError, Warning};
 pub use factory::{EngineFactory, EngineLane, EngineOptions, EngineRegistry, StreamEngine};
 pub use io::{InputSource, NoInput, ReaderInput, ScriptedInput};
+pub use observe::{Comparator, CompareMode, DivergenceKind, LaneReport, LaneStats, Observation};
 pub use resolve::{CompId, RExpr, RefMode, RefOp};
 pub use session::{
     design_fingerprint, read_checkpoint, write_checkpoint, Fingerprint, HaltKind, RunOutcome,

@@ -509,6 +509,14 @@ impl<'d> Session<'d> {
         &mut *self.stimulus
     }
 
+    /// Replaces the stimulus source. Rewind/replay harnesses use this
+    /// with [`resume`](Session::resume): restoring a checkpoint rolls the
+    /// architectural state back, and the replayed scripted input must be
+    /// re-supplied from the matching offset.
+    pub fn set_stimulus(&mut self, stimulus: impl InputSource + 'd) {
+        self.stimulus = Box::new(stimulus);
+    }
+
     /// The trace sink, mutably — interactive drivers write their prompts
     /// to the same destination the trace goes to.
     pub fn sink_mut(&mut self) -> &mut (dyn TraceSink + 'd) {
@@ -706,22 +714,37 @@ fn malformed(what: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, what.into())
 }
 
+/// Reads one line (without its terminator) from a checkpoint stream,
+/// failing with a "truncated before `what`" error at EOF. Checkpoint
+/// documents have a fixed line count, so parsers consume exactly their
+/// own document and leave the reader positioned after it — harnesses
+/// (cosim's lockstep checkpoint) embed several documents in one stream
+/// and interleave their own header lines using this same reader.
+///
+/// # Errors
+///
+/// I/O failure, or EOF before a line could be read.
+pub fn read_doc_line(input: &mut dyn BufRead, what: &str) -> io::Result<String> {
+    let mut line = String::new();
+    if input.read_line(&mut line)? == 0 {
+        return Err(malformed(format!("checkpoint truncated before {what}")));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
 /// Reads a checkpoint document back into a [`SimState`] for `design`.
+/// Consumes exactly the document's own lines: the reader is left
+/// positioned right after it, so documents can be embedded in a larger
+/// stream (the lockstep checkpoint format relies on this).
 ///
 /// # Errors
 ///
 /// I/O failure, malformed document, or fingerprint mismatch.
 pub fn read_checkpoint(design: &Design, input: &mut dyn BufRead) -> io::Result<SimState> {
-    let mut lines = Vec::new();
-    for line in input.lines() {
-        lines.push(line?);
-    }
-    let mut lines = lines.into_iter();
-    let mut next = |what: &str| {
-        lines
-            .next()
-            .ok_or_else(|| malformed(format!("checkpoint truncated before {what}")))
-    };
+    let mut next = |what: &str| read_doc_line(input, what);
 
     if next("magic")? != CHECKPOINT_MAGIC {
         return Err(malformed("not an asim2 v1 checkpoint"));

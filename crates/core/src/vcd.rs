@@ -186,10 +186,16 @@ fn header(
     Ok(())
 }
 
+/// The bit pattern a VCD change line records for `value` at `width`:
+/// two's-complement truncation to the declared width, like the land()
+/// value model. Shared with the [`VcdDiff`](crate::observe::VcdDiff)
+/// comparator so "equal waveforms" means exactly "equal VCD documents".
+pub fn sample_bits(value: Word, width: u8) -> u64 {
+    (value as u64) & (u64::MAX >> (64 - u32::from(width).max(1)))
+}
+
 fn change(out: &mut dyn Write, value: Word, width: u8, slot: usize) -> io::Result<()> {
-    // Two's-complement truncation to the declared width, like the land()
-    // value model.
-    let bits = (value as u64) & (u64::MAX >> (64 - u32::from(width).max(1)));
+    let bits = sample_bits(value, width);
     writeln!(
         out,
         "b{:0width$b} {}",

@@ -109,7 +109,7 @@ pub fn run_corpus_names(
             Err(e) => return Err(e),
         };
         let (ran, stop, divergence) = match outcome {
-            CosimOutcome::Agreement { cycles, stop } => (cycles, stop, None),
+            CosimOutcome::Agreement { cycles, stop, .. } => (cycles, stop, None),
             CosimOutcome::Divergence(report) => (
                 u64::try_from(report.cycle).unwrap_or(0),
                 StopReason::CycleLimit,

@@ -12,9 +12,11 @@
 use rtl_core::{Design, Engine, EngineLane, EngineOptions, EngineRegistry};
 
 /// The default registry: every built-in tier, in registration order —
-/// `interp`, `interp-faithful`, `vm`, `vm-noopt`, plus the `rust`
-/// subprocess stream lane. Open by construction: callers may
-/// [`register`](EngineRegistry::register) more lanes on their own copy.
+/// `interp`, `interp-faithful`, `vm`, `vm-noopt`, the `rust` subprocess
+/// stream lane, plus `vm-fault` (the deliberately broken VM that
+/// validates the harness itself — see [`crate::fault`]). Open by
+/// construction: callers may [`register`](EngineRegistry::register) more
+/// lanes on their own copy.
 ///
 /// The `rust` lane here compiles per run and cleans up after itself.
 /// Long-running harnesses that revisit designs (campaigns) shadow the
@@ -29,6 +31,7 @@ pub fn default_registry() -> EngineRegistry {
     r.register(Box::new(rtl_compile::VmFactory::full()));
     r.register(Box::new(rtl_compile::VmFactory::no_opt()));
     r.register(Box::new(rtl_compile::GeneratedRustFactory::default()));
+    r.register(Box::new(crate::fault::FaultyVmFactory::default()));
     r
 }
 
@@ -212,5 +215,6 @@ mod tests {
         }
         assert!(names.contains(&"rust"), "{names:?}");
         assert!(!registry().get("rust").unwrap().is_stepped());
+        assert!(names.contains(&"vm-fault"), "{names:?}");
     }
 }

@@ -5,7 +5,7 @@ use crate::generate::{generate_scenario, GenOptions};
 use crate::lockstep::{CosimOptions, CosimOutcome, DivergenceReport};
 use crate::report::{all_clean, write_rows, ResultRow};
 use crate::stream::{run_scenario_names, ScenarioError};
-use rtl_core::StopReason;
+use rtl_core::{LaneStats, StopReason};
 
 /// Fuzz campaign configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +57,8 @@ pub struct FuzzCase {
     pub cycles: u64,
     /// How the case stopped: cycle limit, or a structured unanimous halt.
     pub stop: StopReason,
+    /// Per-lane simulation statistics, for lanes whose engines keep them.
+    pub stats: Vec<LaneStats>,
     /// `Some` when the engines diverged.
     pub divergence: Option<DivergenceReport>,
 }
@@ -134,8 +136,9 @@ pub fn run_fuzz_case(
     let seed = options.seed.wrapping_add(u64::from(index));
     let scenario = generate_scenario(seed, &options.generator);
     let outcome = run_scenario_names(registry, &options.engines, &scenario, &options.cosim)?;
+    let stats = outcome.lane_stats();
     let (cycles, stop, divergence) = match outcome {
-        CosimOutcome::Agreement { cycles, stop } => (cycles, stop, None),
+        CosimOutcome::Agreement { cycles, stop, .. } => (cycles, stop, None),
         CosimOutcome::Divergence(report) => {
             let cycles = u64::try_from(report.cycle).unwrap_or(0);
             (cycles, StopReason::CycleLimit, Some(*report))
@@ -146,6 +149,7 @@ pub fn run_fuzz_case(
         name: scenario.name,
         cycles,
         stop,
+        stats,
         divergence,
     })
 }

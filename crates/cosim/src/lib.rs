@@ -6,18 +6,23 @@
 //! the promise:
 //!
 //! * [`lockstep`] — drives N engines over the same design and stimulus,
-//!   one cycle at a time, comparing trace bytes, cycle counters, visible
-//!   outputs and memory cells. On mismatch it produces a structured
-//!   [`DivergenceReport`] pinpointing the first divergent cycle and
-//!   component, with a trace window per engine. Comparison can run at a
-//!   coarse interval (`compare_every`); the harness then uses the
-//!   [`Engine::snapshot`](rtl_core::Engine::snapshot)/
-//!   [`restore`](rtl_core::Engine::restore) checkpoints to rewind and
-//!   bisect to the exact cycle.
+//!   every lane a [`Session`](rtl_core::Session), compared per interval
+//!   by a pluggable [`Comparator`] set
+//!   (trace bytes, cycle counters, outputs, memory cells, VCD waveform
+//!   samples — see [`rtl_core::observe`]). On mismatch it produces a
+//!   structured [`DivergenceReport`] pinpointing the first divergent
+//!   cycle and component, with a trace window per engine. Comparison can
+//!   run at a coarse interval (`compare_every`); the harness then uses
+//!   the lanes' [`Session::checkpoint`](rtl_core::Session::checkpoint)/
+//!   [`resume`](rtl_core::Session::resume) to rewind and bisect to the
+//!   exact cycle — and the same mechanism lets one long case stop and
+//!   restart mid-run ([`Lockstep::checkpoint`]/[`Lockstep::resume`]).
 //! * [`engines`] — assembles the *default* core
 //!   [`EngineRegistry`](rtl_core::EngineRegistry): `interp`,
-//!   `interp-faithful`, `vm`, `vm-noopt`, plus the `rust` generated-binary
-//!   subprocess lane; [`EngineKind`] stays as a thin `Copy` alias over it.
+//!   `interp-faithful`, `vm`, `vm-noopt`, the `rust` generated-binary
+//!   subprocess lane, and the deliberately broken `vm-fault` self-test
+//!   lane ([`fault`]); [`EngineKind`] stays as a thin `Copy` alias over
+//!   it.
 //! * [`stream`] — drives scenarios across registry lanes by name,
 //!   comparing stream lanes (subprocess stdout) against the stepped
 //!   lanes' agreed trace.
@@ -44,6 +49,7 @@
 
 pub mod corpus;
 pub mod engines;
+pub mod fault;
 pub mod fuzz;
 pub mod generate;
 pub mod lockstep;
@@ -52,10 +58,11 @@ pub mod stream;
 
 pub use corpus::{run_corpus, run_corpus_names, CorpusReport};
 pub use engines::{default_registry, registry, EngineKind};
+pub use fault::{FaultyVmFactory, DEFAULT_FAULT_CYCLE};
 pub use fuzz::{run_fuzz, run_fuzz_case, FuzzCase, FuzzOptions, FuzzReport};
 pub use generate::{generate_scenario, GenOptions};
 pub use lockstep::{
-    run_scenario, CosimOptions, CosimOutcome, DivergenceKind, DivergenceReport, LaneReport,
-    Lockstep,
+    run_scenario, CosimOptions, CosimOutcome, DivergenceReport, Lockstep, LockstepCheckpoint,
 };
+pub use rtl_core::observe::{Comparator, CompareMode, DivergenceKind, LaneReport, LaneStats};
 pub use stream::{run_scenario_names, ScenarioError};

@@ -1,20 +1,51 @@
 //! The lockstep driver: N engines, one design, one stimulus, compared
-//! every cycle.
+//! every interval — rebuilt on the [`Session`] API.
 //!
-//! Each engine runs in its own *lane* with a private output buffer and a
-//! private copy of the scripted input. After every comparison interval the
-//! lanes are checked against each other — trace bytes, cycle counters,
-//! visible outputs, memory cells, and error states — and checkpointed via
-//! [`Engine::snapshot`]. When a coarse-interval comparison fails, every
-//! lane rewinds to the last agreeing checkpoint ([`Engine::restore`]) and
-//! replays one cycle at a time, so the report always names the *first*
-//! divergent cycle regardless of the comparison stride.
+//! Each engine runs in its own *lane*, and each lane **is** a
+//! [`Session`]: the sink (a shared capture buffer) and the stimulus (a
+//! metered replay of the scripted input) are bound once, and the lane is
+//! driven exclusively through [`Session::run`] — `Lockstep` never calls
+//! [`Engine::step`] directly.
+//!
+//! After every comparison interval the lanes' [`Observation`]s are
+//! checked against lane 0 by the configured [`Comparator`] set (the
+//! classic trace/cycles/outputs/cells tuple by default; see
+//! [`CompareMode`]), and — at coarse strides — checkpointed through
+//! [`Session::checkpoint`]. When a coarse-interval comparison fails,
+//! every lane rewinds to the last agreeing checkpoint
+//! ([`Session::resume`] plus re-supplied stimulus) and replays one cycle
+//! at a time, so the report always names the *first* divergent cycle
+//! regardless of stride.
+//!
+//! Because a lane's whole position is a value (session checkpoint +
+//! stimulus offset + verified count), a lockstep run itself can stop and
+//! restart mid-case: [`Lockstep::checkpoint`] writes every lane to one
+//! document and [`Lockstep::resume`] restores it — the mechanism behind
+//! `asim2 cosim --checkpoint/--resume` and `asim2 campaign run
+//! --case-checkpoint`.
 
 use crate::engines::EngineKind;
+use rtl_core::observe::{stop_state, Comparator, CompareMode, Observation};
 use rtl_core::{
-    Design, Engine, HaltKind, LoadError, ScriptedInput, SimError, SimState, StopReason, Word,
+    design_fingerprint, Design, DivergenceKind, Engine, Fingerprint, HaltKind, InputSource,
+    LaneReport, LaneStats, LoadError, ScriptedInput, Session, SimError, StopReason, TraceSink,
+    Until, Word,
 };
 use rtl_machines::Scenario;
+use std::cell::{Cell, RefCell};
+use std::io::{self, BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+/// Mid-run checkpointing for one lockstep case: where to write the
+/// document and how often (in cycles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockstepCheckpoint {
+    /// Checkpoint file path (written atomically: temp sibling + rename).
+    pub path: PathBuf,
+    /// Write a checkpoint every `every` verified cycles (clamped to 1).
+    pub every: u64,
+}
 
 /// Lockstep configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +64,16 @@ pub struct CosimOptions {
     /// verified output is drained at each checkpoint down to a small tail
     /// (kept for divergence-report trace windows).
     pub retain_output: bool,
+    /// The comparator set, as values (see [`CompareMode`]); empty falls
+    /// back to [`CompareMode::All`]. Lane error states are always
+    /// compared first, regardless of this list.
+    pub compare: Vec<CompareMode>,
+    /// Write a mid-run checkpoint at this cadence (scenario drivers honor
+    /// it; a bare [`Lockstep`] exposes the same through
+    /// [`Lockstep::checkpoint`]).
+    pub checkpoint: Option<LockstepCheckpoint>,
+    /// Resume the run from this lockstep checkpoint before executing.
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for CosimOptions {
@@ -42,6 +83,9 @@ impl Default for CosimOptions {
             trace_window: 8,
             trace: true,
             retain_output: false,
+            compare: vec![CompareMode::All],
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -58,6 +102,9 @@ pub enum CosimOutcome {
         /// engine raised the identical runtime halt — agreement about
         /// failure, as a value.
         stop: StopReason,
+        /// Per-lane simulation statistics, for lanes whose engines keep
+        /// them ([`Engine::stats`]).
+        stats: Vec<LaneStats>,
     },
     /// Lanes disagreed; the report pinpoints where and how.
     Divergence(Box<DivergenceReport>),
@@ -77,51 +124,24 @@ impl CosimOutcome {
             CosimOutcome::Divergence(_) => None,
         }
     }
-}
 
-/// What diverged first.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum DivergenceKind {
-    /// Engines raised different errors (or only some raised one).
-    Error,
-    /// Trace/output text differed.
-    Trace,
-    /// Cycle counters differed.
-    CycleCounter,
-    /// A component's visible output differed.
-    Output {
-        /// Component name.
-        component: String,
-    },
-    /// A memory cell differed.
-    Cells {
-        /// Memory name.
-        component: String,
-        /// Cell address.
-        addr: u32,
-    },
-    /// A stream lane's output (e.g. the generated-Rust subprocess stdout)
-    /// differed from the trace the stepped lanes agreed on. The cycle is
-    /// estimated from the last matching cycle header.
-    Stream {
-        /// The stream lane's registry name.
-        lane: String,
-    },
-}
-
-/// One engine's view at the divergence point.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LaneReport {
-    /// Engine name (registry name, or the custom lane label).
-    pub engine: String,
-    /// The lane's cycle counter.
-    pub cycle: Word,
-    /// The diverging value in this lane (for output/cell kinds).
-    pub value: Option<Word>,
-    /// The lane's runtime error, if it raised one.
-    pub error: Option<SimError>,
-    /// The last few lines of the lane's trace text.
-    pub trace_window: Vec<String>,
+    /// Per-lane statistics: the agreement field, or the divergence
+    /// report's lane stats.
+    pub fn lane_stats(&self) -> Vec<LaneStats> {
+        match self {
+            CosimOutcome::Agreement { stats, .. } => stats.clone(),
+            CosimOutcome::Divergence(report) => report
+                .lanes
+                .iter()
+                .filter_map(|l| {
+                    l.stats.as_ref().map(|s| LaneStats {
+                        lane: l.engine.clone(),
+                        stats: s.clone(),
+                    })
+                })
+                .collect(),
+        }
+    }
 }
 
 /// A structured first-divergence report.
@@ -140,29 +160,18 @@ pub struct DivergenceReport {
 
 impl std::fmt::Display for DivergenceReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let what = match &self.kind {
-            DivergenceKind::Error => "runtime error mismatch".to_string(),
-            DivergenceKind::Trace => "trace text mismatch".to_string(),
-            DivergenceKind::CycleCounter => "cycle counter mismatch".to_string(),
-            DivergenceKind::Output { component } => {
-                format!("output of component '{component}' differs")
-            }
-            DivergenceKind::Cells { component, addr } => {
-                format!("memory '{component}' cell {addr} differs")
-            }
-            DivergenceKind::Stream { lane } => {
-                format!("stream lane '{lane}' output differs from the agreed trace")
-            }
-        };
         writeln!(
             f,
-            "DIVERGENCE in {} at cycle {}: {what}",
-            self.scenario, self.cycle
+            "DIVERGENCE in {} at cycle {}: {}",
+            self.scenario, self.cycle, self.kind
         )?;
         for lane in &self.lanes {
             write!(f, "  [{}] cycle {}", lane.engine, lane.cycle)?;
             if let Some(v) = lane.value {
                 write!(f, ", value {v}")?;
+            }
+            if let Some(stats) = &lane.stats {
+                write!(f, ", {} accesses", stats.total_accesses())?;
             }
             match &lane.error {
                 Some(e) => writeln!(f, ", error: {e}")?,
@@ -182,33 +191,80 @@ impl std::fmt::Display for DivergenceReport {
     }
 }
 
+/// A [`TraceSink`] appending into a buffer the harness also holds — the
+/// lane's session writes through it, the comparator reads (and, on
+/// rewind, truncates) the same bytes.
+struct SharedSink(Rc<RefCell<Vec<u8>>>);
+
+impl TraceSink for SharedSink {
+    fn write_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.0.borrow_mut().extend_from_slice(bytes);
+        Ok(())
+    }
+}
+
+/// A [`ScriptedInput`] that reports how many words it has consumed
+/// through a cell the harness also holds — the piece of lane state the
+/// session checkpoint format deliberately leaves to the caller.
+struct MeteredInput {
+    inner: ScriptedInput,
+    consumed: Rc<Cell<usize>>,
+}
+
+impl MeteredInput {
+    /// Replays `words[offset..]`, with `consumed` preset to `offset`.
+    fn from_offset(words: &[Word], offset: usize, consumed: Rc<Cell<usize>>) -> Self {
+        consumed.set(offset);
+        MeteredInput {
+            inner: ScriptedInput::new(words[offset.min(words.len())..].iter().copied()),
+            consumed,
+        }
+    }
+
+    fn bump(&self) {
+        self.consumed.set(self.consumed.get() + 1);
+    }
+}
+
+impl InputSource for MeteredInput {
+    fn read_char(&mut self) -> Result<Word, SimError> {
+        let word = self.inner.read_char()?;
+        self.bump();
+        Ok(word)
+    }
+
+    fn read_int(&mut self) -> Result<Word, SimError> {
+        let word = self.inner.read_int()?;
+        self.bump();
+        Ok(word)
+    }
+}
+
 struct Lane<'d> {
     name: String,
-    engine: Box<dyn Engine + 'd>,
-    input: ScriptedInput,
-    out: Vec<u8>,
+    /// The lane *is* a session: engine + shared sink + metered stimulus,
+    /// bound once.
+    session: Session<'d>,
+    /// The session's sink buffer (shared with [`SharedSink`]).
+    out: Rc<RefCell<Vec<u8>>>,
+    /// Stimulus words consumed so far (shared with [`MeteredInput`]).
+    consumed: Rc<Cell<usize>>,
+    /// Sticky stop state: the error this lane raised, if any.
     error: Option<SimError>,
-    check_state: SimState,
-    check_input: ScriptedInput,
+    /// The lane's session checkpoint at the last agreeing comparison
+    /// (only maintained at coarse strides, where rewind can happen).
+    check: Vec<u8>,
+    check_consumed: usize,
     check_out: usize,
 }
 
 impl Lane<'_> {
-    fn trace_window(&self, lines: usize) -> Vec<String> {
-        let text = String::from_utf8_lossy(&self.out);
-        let all: Vec<&str> = text.lines().collect();
-        let start = all.len().saturating_sub(lines);
-        all[start..].iter().map(|s| s.to_string()).collect()
-    }
-
-    fn report(&self, value: Option<Word>, window: usize) -> LaneReport {
-        LaneReport {
-            engine: self.name.clone(),
-            cycle: self.engine.state().cycle(),
-            value,
-            error: self.error.clone(),
-            trace_window: self.trace_window(window),
-        }
+    fn serialize_check(&mut self) {
+        self.check.clear();
+        self.session
+            .checkpoint(&mut self.check)
+            .expect("writing a checkpoint to memory cannot fail");
+        self.check_consumed = self.consumed.get();
     }
 }
 
@@ -217,6 +273,7 @@ impl Lane<'_> {
 pub struct Lockstep<'d> {
     design: &'d Design,
     options: CosimOptions,
+    comparators: Vec<Box<dyn Comparator>>,
     stimulus: Vec<Word>,
     lanes: Vec<Lane<'d>>,
     /// Cycles verified equal so far; also the index of the next cycle.
@@ -227,10 +284,19 @@ pub struct Lockstep<'d> {
 
 impl<'d> Lockstep<'d> {
     /// A harness over one design with the given options and no lanes yet.
+    /// The comparator set is built from [`CosimOptions::compare`]; add
+    /// custom lenses with [`add_comparator`](Lockstep::add_comparator).
     pub fn new(design: &'d Design, options: CosimOptions) -> Self {
+        let modes: &[CompareMode] = if options.compare.is_empty() {
+            &[CompareMode::All]
+        } else {
+            &options.compare
+        };
+        let comparators = modes.iter().map(|m| m.build()).collect();
         Lockstep {
             design,
             options,
+            comparators,
             stimulus: Vec::new(),
             lanes: Vec::new(),
             verified: 0,
@@ -246,6 +312,12 @@ impl<'d> Lockstep<'d> {
         self
     }
 
+    /// Appends a custom [`Comparator`] after the configured set.
+    pub fn add_comparator(&mut self, comparator: Box<dyn Comparator>) -> &mut Self {
+        self.comparators.push(comparator);
+        self
+    }
+
     /// Adds a registry engine as a lane.
     pub fn add_engine(&mut self, kind: EngineKind) -> &mut Self {
         let engine = kind.build(self.design, self.options.trace);
@@ -253,26 +325,54 @@ impl<'d> Lockstep<'d> {
     }
 
     /// Adds an arbitrary engine as a lane under a label — the hook for
-    /// testing the harness itself with deliberately broken engines.
+    /// testing the harness itself with deliberately broken engines. The
+    /// engine is wrapped in a [`Session`] (shared capture sink, metered
+    /// stimulus) and driven only through it from here on.
     pub fn add_lane(&mut self, name: &str, engine: Box<dyn Engine + 'd>) -> &mut Self {
-        let check_state = engine.snapshot();
-        let input = ScriptedInput::new(self.stimulus.iter().copied());
-        self.lanes.push(Lane {
+        let out = Rc::new(RefCell::new(Vec::new()));
+        let consumed = Rc::new(Cell::new(0usize));
+        let session = Session::over(engine)
+            .sink(SharedSink(Rc::clone(&out)))
+            .stimulus(MeteredInput::from_offset(
+                &self.stimulus,
+                0,
+                Rc::clone(&consumed),
+            ))
+            .build();
+        let mut lane = Lane {
             name: name.to_string(),
-            engine,
-            check_input: input.clone(),
-            input,
-            out: Vec::new(),
+            session,
+            out,
+            consumed,
             error: None,
-            check_state,
+            check: Vec::new(),
+            check_consumed: 0,
             check_out: 0,
-        });
+        };
+        if self.options.compare_every > 1 {
+            lane.serialize_check();
+        }
+        self.lanes.push(lane);
         self
     }
 
-    /// Cycles verified equal so far.
+    /// Cycles verified equal so far (across [`run`](Lockstep::run) calls,
+    /// and including any prefix restored by [`resume`](Lockstep::resume)).
     pub fn verified_cycles(&self) -> u64 {
         self.verified
+    }
+
+    /// Per-lane statistics, for lanes whose engines keep them.
+    pub fn lane_stats(&self) -> Vec<LaneStats> {
+        self.lanes
+            .iter()
+            .filter_map(|l| {
+                l.session.engine().stats().map(|s| LaneStats {
+                    lane: l.name.clone(),
+                    stats: s.clone(),
+                })
+            })
+            .collect()
     }
 
     /// The trace/output text all lanes agreed on (bytes up to the last
@@ -280,8 +380,8 @@ impl<'d> Lockstep<'d> {
     /// The *full* run text is only available with
     /// [`CosimOptions::retain_output`] set; otherwise verified output is
     /// drained at checkpoints and only the retained tail is returned.
-    pub fn agreed_output(&self) -> &[u8] {
-        &self.lanes[0].out[..self.verified_out]
+    pub fn agreed_output(&self) -> Vec<u8> {
+        self.lanes[0].out.borrow()[..self.verified_out].to_vec()
     }
 
     /// Runs up to `cycles` further cycles in lockstep.
@@ -305,6 +405,7 @@ impl<'d> Lockstep<'d> {
                     return CosimOutcome::Agreement {
                         cycles: executed + stopped,
                         stop: StopReason::from_error(error),
+                        stats: self.lane_stats(),
                     };
                 }
                 BurstResult::Diverged(stepped) => {
@@ -312,7 +413,7 @@ impl<'d> Lockstep<'d> {
                     // cycle at a time to find the exact divergence point.
                     // compare() is Some here, so capture the coarse report
                     // first: an engine whose behavior is not fully restored
-                    // by snapshot/restore may fail to reproduce on replay,
+                    // by checkpoint/resume may fail to reproduce on replay,
                     // and the observed divergence must still be reported
                     // (at comparison granularity) rather than panic.
                     let coarse = self.build_report();
@@ -337,11 +438,12 @@ impl<'d> Lockstep<'d> {
         CosimOutcome::Agreement {
             cycles: executed,
             stop: StopReason::CycleLimit,
+            stats: self.lane_stats(),
         }
     }
 
-    /// Steps every lane `cycles` times, then compares and (on agreement)
-    /// checkpoints.
+    /// Drives every lane `cycles` further cycles through its session,
+    /// then compares and (on agreement) commits.
     fn burst(&mut self, cycles: u64) -> BurstResult {
         let mut stepped = 0;
         for _ in 0..cycles {
@@ -349,7 +451,8 @@ impl<'d> Lockstep<'d> {
                 if lane.error.is_some() {
                     continue;
                 }
-                if let Err(e) = lane.engine.step(&mut lane.out, &mut lane.input) {
+                let outcome = lane.session.run(Until::Cycles(1));
+                if let Some(e) = outcome.stop.into_error() {
                     lane.error = Some(e);
                 }
             }
@@ -361,7 +464,7 @@ impl<'d> Lockstep<'d> {
         if self.compare().is_some() {
             return BurstResult::Diverged(stepped);
         }
-        self.checkpoint();
+        self.commit();
         if self.lanes.iter().any(|l| l.error.is_some()) {
             // compare() passed, so every lane raised the identical error:
             // unanimous halt. The halting cycle itself did not complete.
@@ -373,68 +476,49 @@ impl<'d> Lockstep<'d> {
         BurstResult::Agree
     }
 
-    /// Compares all lanes against lane 0. `None` means agreement.
-    fn compare(&self) -> Option<DivergenceKind> {
-        let (first, rest) = self.lanes.split_first().expect("at least two lanes");
+    /// Compares all lanes against lane 0: the error-state pre-check
+    /// first, then the configured comparators over each lane's
+    /// [`Observation`]. `None` means agreement.
+    fn compare(&mut self) -> Option<DivergenceKind> {
+        let span = self.verified_out;
+        let bufs: Vec<std::cell::Ref<'_, Vec<u8>>> =
+            self.lanes.iter().map(|l| l.out.borrow()).collect();
+        let observations: Vec<Observation<'_>> = self
+            .lanes
+            .iter()
+            .zip(&bufs)
+            .map(|(lane, buf)| {
+                Observation::new(
+                    lane.session.engine(),
+                    &buf[span.min(buf.len())..],
+                    lane.error.as_ref(),
+                )
+            })
+            .collect();
+        let (first, rest) = observations.split_first().expect("at least two lanes");
 
-        // 1. Error states: all-or-nothing, and identical when raised.
-        for lane in rest {
-            if lane.error != first.error {
-                return Some(DivergenceKind::Error);
+        // Error states are not an optional lens: comparing the values of
+        // a crashed lane is meaningless, so this check always runs first.
+        for candidate in rest {
+            if let Some(kind) = stop_state(first, candidate) {
+                return Some(kind);
             }
         }
-
-        // 2. Trace bytes produced since the last agreed point.
-        let reference = &first.out[self.verified_out.min(first.out.len())..];
-        for lane in rest {
-            if &lane.out[self.verified_out.min(lane.out.len())..] != reference {
-                return Some(DivergenceKind::Trace);
-            }
-        }
-
-        // 3. Cycle counters.
-        for lane in rest {
-            if lane.engine.state().cycle() != first.engine.state().cycle() {
-                return Some(DivergenceKind::CycleCounter);
-            }
-        }
-
-        // 4. Visible outputs — only components every lane maintains
-        //    (optimizing engines may elide dead latches).
-        for (id, _) in self.design.iter() {
-            if !self.lanes.iter().all(|l| l.engine.observes_output(id)) {
-                continue;
-            }
-            let v = first.engine.state().output(id);
-            if rest.iter().any(|l| l.engine.state().output(id) != v) {
-                return Some(DivergenceKind::Output {
-                    component: self.design.name(id).to_string(),
-                });
-            }
-        }
-
-        // 5. Memory cells.
-        for &id in self.design.memories() {
-            let cells = first.engine.state().cells(id);
-            for lane in rest {
-                let other = lane.engine.state().cells(id);
-                if let Some(addr) = first_difference(cells, other) {
-                    return Some(DivergenceKind::Cells {
-                        component: self.design.name(id).to_string(),
-                        addr,
-                    });
+        for comparator in &mut self.comparators {
+            for candidate in rest {
+                if let Some(kind) = comparator.compare(first, candidate) {
+                    return Some(kind);
                 }
             }
         }
-
         None
     }
 
-    fn checkpoint(&mut self) {
-        // At a checkpoint all lanes' output buffers are byte-identical
-        // (the trace comparison just passed), so one length/drain amount
-        // serves every lane.
-        let len = self.lanes[0].out.len();
+    /// Commits an agreeing comparison: drains verified output down to a
+    /// report tail (unless retained) and refreshes the per-lane rewind
+    /// checkpoints ([`Session::checkpoint`] at coarse strides).
+    fn commit(&mut self) {
+        let len = self.lanes[0].out.borrow().len();
         if self.options.retain_output {
             self.verified_out = len;
         } else {
@@ -443,60 +527,57 @@ impl<'d> Lockstep<'d> {
             const TRACE_TAIL: usize = 4096;
             let drain = len.saturating_sub(TRACE_TAIL);
             if drain > 0 {
-                for lane in &mut self.lanes {
-                    lane.out.drain(..drain);
+                for lane in &self.lanes {
+                    lane.out.borrow_mut().drain(..drain);
                 }
             }
             self.verified_out = len - drain;
         }
         // Rewind only ever happens when a burst covered more than one
-        // cycle, so at stride 1 the state/input snapshots would be pure
-        // clone traffic (the whole memory image per lane per cycle).
+        // cycle, so at stride 1 the serialized checkpoints would be pure
+        // overhead (the whole memory image per lane per cycle).
         let rewindable = self.options.compare_every > 1;
         for lane in &mut self.lanes {
             if rewindable {
-                lane.check_state = lane.engine.snapshot();
-                lane.check_input = lane.input.clone();
+                lane.serialize_check();
             }
-            lane.check_out = lane.out.len();
+            lane.check_out = lane.out.borrow().len();
         }
     }
 
+    /// Rewinds every lane to the last agreeing checkpoint: session state
+    /// through [`Session::resume`], stimulus re-supplied from the
+    /// recorded offset, output truncated.
     fn rewind(&mut self) {
         for lane in &mut self.lanes {
-            lane.engine.restore(&lane.check_state);
-            lane.input = lane.check_input.clone();
-            lane.out.truncate(lane.check_out);
+            lane.session
+                .resume(&mut &lane.check[..])
+                .expect("an in-memory checkpoint round-trips");
+            let stimulus = MeteredInput::from_offset(
+                &self.stimulus,
+                lane.check_consumed,
+                Rc::clone(&lane.consumed),
+            );
+            lane.session.set_stimulus(stimulus);
+            lane.out.borrow_mut().truncate(lane.check_out);
             lane.error = None;
         }
     }
 
-    fn build_report(&self) -> DivergenceReport {
+    fn build_report(&mut self) -> DivergenceReport {
         let kind = self.compare().expect("report requested without divergence");
         let window = self.options.trace_window;
-        let lanes = match &kind {
-            DivergenceKind::Output { component } => {
-                let id = self
-                    .design
-                    .find(component)
-                    .expect("component came from design");
-                self.lanes
-                    .iter()
-                    .map(|l| l.report(Some(l.engine.state().output(id)), window))
-                    .collect()
-            }
-            DivergenceKind::Cells { component, addr } => {
-                let id = self
-                    .design
-                    .find(component)
-                    .expect("component came from design");
-                self.lanes
-                    .iter()
-                    .map(|l| l.report(Some(l.engine.state().cell(id, *addr)), window))
-                    .collect()
-            }
-            _ => self.lanes.iter().map(|l| l.report(None, window)).collect(),
-        };
+        let lanes = self
+            .lanes
+            .iter()
+            .map(|lane| {
+                let buf = lane.out.borrow();
+                let span = self.verified_out.min(buf.len());
+                let observation =
+                    Observation::new(lane.session.engine(), &buf[span..], lane.error.as_ref());
+                LaneReport::from_observation(&lane.name, &kind, &observation, &buf, window)
+            })
+            .collect();
         DivergenceReport {
             scenario: String::new(),
             cycle: Word::try_from(self.verified).unwrap_or(Word::MAX),
@@ -504,7 +585,175 @@ impl<'d> Lockstep<'d> {
             lanes,
         }
     }
+
+    /// A stable fingerprint over the harness identity: design shape, lane
+    /// names and order, stimulus script, the trace flag, and the
+    /// comparator set (by name, custom lenses included). A lockstep
+    /// checkpoint refuses to resume into a differently-assembled harness
+    /// — in particular, cycles verified under a weak lens must not be
+    /// re-reported as verified under a stronger one.
+    fn harness_fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_str(LOCKSTEP_MAGIC);
+        fp.write_u64(design_fingerprint(self.design));
+        fp.write_u64(self.lanes.len() as u64);
+        for lane in &self.lanes {
+            fp.write_str(&lane.name);
+        }
+        fp.write_u64(self.stimulus.len() as u64);
+        for &word in &self.stimulus {
+            fp.write_u64(word as u64);
+        }
+        fp.write(&[u8::from(self.options.trace)]);
+        fp.write_u64(self.comparators.len() as u64);
+        for comparator in &self.comparators {
+            fp.write_str(comparator.name());
+        }
+        fp.finish()
+    }
+
+    /// Serializes the whole harness position — verified cycle count and,
+    /// per lane, the stimulus offset and the lane's
+    /// [`Session::checkpoint`] document — so one long case can stop and
+    /// restart mid-run. Call between [`run`](Lockstep::run) calls (the
+    /// lanes are at an agreed point there).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure of the writer.
+    pub fn checkpoint(&self, out: &mut dyn Write) -> io::Result<()> {
+        writeln!(out, "{LOCKSTEP_MAGIC}")?;
+        writeln!(out, "fingerprint {:016x}", self.harness_fingerprint())?;
+        writeln!(out, "verified {}", self.verified)?;
+        for lane in &self.lanes {
+            writeln!(out, "lane {} consumed {}", lane.name, lane.consumed.get())?;
+            lane.session.checkpoint(out)?;
+        }
+        Ok(())
+    }
+
+    /// [`checkpoint`](Lockstep::checkpoint) to a file path, written
+    /// atomically (temp sibling + rename) so a kill mid-write never
+    /// leaves a truncated document.
+    ///
+    /// # Errors
+    ///
+    /// File creation, write, or rename failure.
+    pub fn checkpoint_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let mut doc = Vec::new();
+        self.checkpoint(&mut doc)?;
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        let tmp = dir.unwrap_or_else(|| Path::new(".")).join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("lockstep")
+        ));
+        std::fs::write(&tmp, &doc)?;
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Restores a harness position previously written by
+    /// [`checkpoint`](Lockstep::checkpoint) over the *same* design, lane
+    /// list and stimulus (validated by fingerprint). Call after adding
+    /// all lanes and before [`run`](Lockstep::run); the lanes' trace
+    /// buffers restart empty, so [`agreed_output`](Lockstep::agreed_output)
+    /// only covers the resumed suffix.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, a malformed document, or a fingerprint/lane mismatch
+    /// (all as [`io::Error`]).
+    pub fn resume(&mut self, input: &mut dyn BufRead) -> io::Result<()> {
+        let bad = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+        fn next(input: &mut dyn BufRead, what: &str) -> io::Result<String> {
+            rtl_core::session::read_doc_line(input, what)
+        }
+
+        if next(input, "magic")? != LOCKSTEP_MAGIC {
+            return Err(bad("not an asim2 lockstep v1 checkpoint".into()));
+        }
+        let fp = next(input, "fingerprint")?
+            .strip_prefix("fingerprint ")
+            .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+            .ok_or_else(|| bad("bad fingerprint line".into()))?;
+        if fp != self.harness_fingerprint() {
+            return Err(bad(
+                "lockstep checkpoint was written by a different harness \
+                 (design, lanes, stimulus or comparators differ)"
+                    .into(),
+            ));
+        }
+        let verified: u64 = next(input, "verified")?
+            .strip_prefix("verified ")
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| bad("bad verified line".into()))?;
+
+        for lane in &mut self.lanes {
+            let header = next(input, "lane header")?;
+            let rest = header
+                .strip_prefix("lane ")
+                .ok_or_else(|| bad(format!("expected a lane header, got {header:?}")))?;
+            let (name, consumed) = rest
+                .rsplit_once(" consumed ")
+                .ok_or_else(|| bad(format!("bad lane header {header:?}")))?;
+            if name != lane.name {
+                return Err(bad(format!(
+                    "lane order mismatch: checkpoint has {name:?}, harness has {:?}",
+                    lane.name
+                )));
+            }
+            let consumed: usize = consumed
+                .trim()
+                .parse()
+                .map_err(|_| bad(format!("bad consumed count in {header:?}")))?;
+            if consumed > self.stimulus.len() {
+                return Err(bad(format!(
+                    "lane {name:?} consumed {consumed} stimulus words, only {} supplied",
+                    self.stimulus.len()
+                )));
+            }
+            // Session::resume consumes exactly its own document and
+            // leaves the reader at the next lane header.
+            lane.session.resume(input)?;
+            let stimulus =
+                MeteredInput::from_offset(&self.stimulus, consumed, Rc::clone(&lane.consumed));
+            lane.session.set_stimulus(stimulus);
+            lane.out.borrow_mut().clear();
+            lane.error = None;
+            lane.check_out = 0;
+            lane.check_consumed = consumed;
+        }
+        self.verified = verified;
+        self.verified_out = 0;
+        if self.options.compare_every > 1 {
+            for lane in &mut self.lanes {
+                lane.serialize_check();
+            }
+        }
+        Ok(())
+    }
+
+    /// [`resume`](Lockstep::resume) from a file path.
+    ///
+    /// # Errors
+    ///
+    /// See [`Lockstep::resume`].
+    pub fn resume_from(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut file = io::BufReader::new(std::fs::File::open(path)?);
+        self.resume(&mut file)
+    }
 }
+
+const LOCKSTEP_MAGIC: &str = "asim2-lockstep v1";
 
 enum BurstResult {
     /// All cycles ran and compared equal.
@@ -514,11 +763,6 @@ enum BurstResult {
     Halted(u64),
     /// Comparison failed; carries the cycles stepped in this burst.
     Diverged(u64),
-}
-
-fn first_difference(a: &[Word], b: &[Word]) -> Option<u32> {
-    debug_assert_eq!(a.len(), b.len(), "same design, same memory sizes");
-    a.iter().zip(b).position(|(x, y)| x != y).map(|i| i as u32)
 }
 
 /// Runs a [`Scenario`] through lockstep with the given engine tiers.
@@ -560,13 +804,18 @@ mod tests {
         let d = design(COUNTER);
         let mut ls = Lockstep::new(&d, CosimOptions::default());
         ls.add_engine(EngineKind::Interp).add_engine(EngineKind::Vm);
-        assert_eq!(
-            ls.run(64),
+        match ls.run(64) {
             CosimOutcome::Agreement {
                 cycles: 64,
-                stop: StopReason::CycleLimit
+                stop: StopReason::CycleLimit,
+                stats,
+            } => {
+                // Both tiers keep statistics; they count identically.
+                assert_eq!(stats.len(), 2);
+                assert!(stats.iter().all(|s| s.stats.cycles == 64), "{stats:?}");
             }
-        );
+            other => panic!("{other:?}"),
+        }
         assert_eq!(ls.verified_cycles(), 64);
     }
 
@@ -596,6 +845,7 @@ mod tests {
             CosimOutcome::Agreement {
                 cycles,
                 stop: StopReason::Halt(halt),
+                ..
             } => {
                 assert_eq!(cycles, 2);
                 assert_eq!(halt.label(), "selector-out-of-range");
@@ -624,10 +874,145 @@ mod tests {
             CosimOutcome::Agreement {
                 cycles: 2,
                 stop: StopReason::Halt(halt),
+                ..
             } => {
                 assert_eq!(halt, HaltKind::InputExhausted { cycle: 2 });
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn coarse_stride_rewinds_scripted_input_too() {
+        // An input-consuming design at a coarse stride: the rewind path
+        // must re-supply the stimulus from the checkpoint offset, or the
+        // replay runs dry / reads the wrong words.
+        let d = design("# io\ni* acc n .\nM i 1 0 2 1\nM acc 0 n 1 1\nA n 4 acc i .");
+        let mut ls = Lockstep::new(
+            &d,
+            CosimOptions {
+                compare_every: 16,
+                ..CosimOptions::default()
+            },
+        );
+        ls.stimulus((1..=64).collect::<Vec<Word>>());
+        ls.add_engine(EngineKind::Interp).add_engine(EngineKind::Vm);
+        assert!(ls.run(48).agreed());
+        assert_eq!(ls.verified_cycles(), 48);
+    }
+
+    #[test]
+    fn checkpoint_resume_round_trips_mid_run() {
+        let d = design(COUNTER);
+        let drive = |stop_at: u64| -> (Vec<u8>, CosimOutcome) {
+            let mut ls = Lockstep::new(
+                &d,
+                CosimOptions {
+                    retain_output: true,
+                    ..CosimOptions::default()
+                },
+            );
+            ls.add_engine(EngineKind::Interp).add_engine(EngineKind::Vm);
+            assert!(ls.run(stop_at).agreed());
+            let mut doc = Vec::new();
+            ls.checkpoint(&mut doc).unwrap();
+            let outcome = ls.run(64 - stop_at);
+            (doc, outcome)
+        };
+        let (doc, finished) = drive(24);
+
+        // A fresh harness resumes from the document and finishes to the
+        // identical outcome.
+        let mut ls = Lockstep::new(
+            &d,
+            CosimOptions {
+                retain_output: true,
+                ..CosimOptions::default()
+            },
+        );
+        ls.add_engine(EngineKind::Interp).add_engine(EngineKind::Vm);
+        ls.resume(&mut &doc[..]).unwrap();
+        assert_eq!(ls.verified_cycles(), 24);
+        let resumed = ls.run(64 - 24);
+        match (&finished, &resumed) {
+            (
+                CosimOutcome::Agreement {
+                    cycles: a,
+                    stop: sa,
+                    ..
+                },
+                CosimOutcome::Agreement {
+                    cycles: b,
+                    stop: sb,
+                    ..
+                },
+            ) => {
+                assert_eq!(a, b);
+                assert_eq!(sa, sb);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(ls.verified_cycles(), 64);
+    }
+
+    #[test]
+    fn resume_refuses_a_different_harness() {
+        let d = design(COUNTER);
+        let mut ls = Lockstep::new(&d, CosimOptions::default());
+        ls.add_engine(EngineKind::Interp).add_engine(EngineKind::Vm);
+        let mut doc = Vec::new();
+        ls.checkpoint(&mut doc).unwrap();
+
+        // Different lane list: refused.
+        let mut other = Lockstep::new(&d, CosimOptions::default());
+        other
+            .add_engine(EngineKind::Interp)
+            .add_engine(EngineKind::VmNoOpt);
+        let err = other.resume(&mut &doc[..]).unwrap_err();
+        assert!(err.to_string().contains("different harness"), "{err}");
+
+        // Garbage: refused.
+        let mut same = Lockstep::new(&d, CosimOptions::default());
+        same.add_engine(EngineKind::Interp)
+            .add_engine(EngineKind::Vm);
+        assert!(same.resume(&mut &b"not a checkpoint"[..]).is_err());
+    }
+
+    #[test]
+    fn comparator_sets_are_configurable() {
+        // A custom comparator that always flags a cycle mismatch proves
+        // the set is open; a [vcd]-only set proves selection works.
+        struct AlwaysDiverges;
+        impl Comparator for AlwaysDiverges {
+            fn name(&self) -> &str {
+                "always"
+            }
+            fn compare(
+                &mut self,
+                _reference: &Observation<'_>,
+                _candidate: &Observation<'_>,
+            ) -> Option<DivergenceKind> {
+                Some(DivergenceKind::CycleCounter)
+            }
+        }
+        let d = design(COUNTER);
+        let mut ls = Lockstep::new(
+            &d,
+            CosimOptions {
+                compare: vec![CompareMode::Vcd],
+                ..CosimOptions::default()
+            },
+        );
+        ls.add_engine(EngineKind::Interp).add_engine(EngineKind::Vm);
+        assert!(ls.run(16).agreed(), "healthy lanes agree under vcd");
+
+        let mut ls = Lockstep::new(&d, CosimOptions::default());
+        ls.add_engine(EngineKind::Interp).add_engine(EngineKind::Vm);
+        ls.add_comparator(Box::new(AlwaysDiverges));
+        let CosimOutcome::Divergence(report) = ls.run(16) else {
+            panic!("custom comparator must fire");
+        };
+        assert_eq!(report.kind, DivergenceKind::CycleCounter);
+        assert_eq!(report.cycle, 0, "fires at the first comparison");
     }
 }

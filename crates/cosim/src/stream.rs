@@ -11,12 +11,10 @@
 //! [`DivergenceKind::Stream`] report with the divergence cycle estimated
 //! from the last matching cycle header.
 
-use crate::lockstep::{
-    CosimOptions, CosimOutcome, DivergenceKind, DivergenceReport, LaneReport, Lockstep,
-};
+use crate::lockstep::{CosimOptions, CosimOutcome, DivergenceReport, Lockstep, LockstepCheckpoint};
 use rtl_core::{
-    EngineLane, EngineOptions, EngineRegistry, LoadError, Session, StopReason, StreamEngine, Until,
-    Word,
+    DivergenceKind, EngineLane, EngineOptions, EngineRegistry, LaneReport, LaneStats, LoadError,
+    Session, StopReason, StreamEngine, Until, Word,
 };
 use rtl_machines::Scenario;
 
@@ -103,8 +101,23 @@ pub fn run_scenario_names(
         for (name, engine) in stepped {
             lockstep.add_lane(&name, engine);
         }
-        let outcome = lockstep.run(scenario.cycles);
-        (outcome, lockstep.agreed_output().to_vec())
+        if let Some(path) = &options.resume {
+            if !streams.is_empty() {
+                return Err(ScenarioError::Engine(
+                    "stream lanes cannot join a resumed lockstep run (the agreed trace \
+                     before the resume point is not available for comparison)"
+                        .into(),
+                ));
+            }
+            lockstep.resume_from(path).map_err(|e| {
+                ScenarioError::Engine(format!(
+                    "cannot resume lockstep from {}: {e}",
+                    path.display()
+                ))
+            })?;
+        }
+        let outcome = drive_lockstep(&mut lockstep, scenario.cycles, options.checkpoint.as_ref())?;
+        (outcome, lockstep.agreed_output())
     } else {
         let (name, engine) = stepped.into_iter().next().expect("checked non-empty");
         if streams.is_empty() {
@@ -112,14 +125,29 @@ pub fn run_scenario_names(
                 "engine {name:?} alone is not a comparison (add another lane)"
             )));
         }
+        if options.resume.is_some() || options.checkpoint.is_some() {
+            return Err(ScenarioError::Engine(
+                "lockstep checkpoint/resume needs at least two stepped lanes".into(),
+            ));
+        }
         let mut session = Session::over(engine)
             .capture()
             .scripted(scenario.input.iter().copied())
             .build();
         let run = session.run(Until::Cycles(scenario.cycles));
+        let stats = session
+            .engine()
+            .stats()
+            .map(|s| LaneStats {
+                lane: name.clone(),
+                stats: s.clone(),
+            })
+            .into_iter()
+            .collect();
         let outcome = CosimOutcome::Agreement {
             cycles: run.cycles,
             stop: run.stop,
+            stats,
         };
         (outcome, session.output().to_vec())
     };
@@ -152,6 +180,58 @@ pub fn run_scenario_names(
     Ok(outcome)
 }
 
+/// Drives a lockstep harness to `horizon` total verified cycles, writing
+/// the checkpoint document after every `checkpoint.every`-cycle chunk —
+/// a kill at any instant leaves an atomically-published document a later
+/// `--resume` picks up. Agreement cycle counts are reported as *total*
+/// verified cycles (resumed prefix included), so a resumed run's outcome
+/// is byte-identical to an uninterrupted one.
+fn drive_lockstep(
+    lockstep: &mut Lockstep<'_>,
+    horizon: u64,
+    checkpoint: Option<&LockstepCheckpoint>,
+) -> Result<CosimOutcome, ScenarioError> {
+    loop {
+        let done = lockstep.verified_cycles();
+        let remaining = horizon.saturating_sub(done);
+        let chunk = match checkpoint {
+            Some(ck) => ck.every.max(1).min(remaining),
+            None => remaining,
+        };
+        match lockstep.run(chunk) {
+            CosimOutcome::Agreement {
+                stop: StopReason::CycleLimit,
+                stats,
+                ..
+            } => {
+                if let Some(ck) = checkpoint {
+                    lockstep.checkpoint_to(&ck.path).map_err(|e| {
+                        ScenarioError::Engine(format!(
+                            "cannot write lockstep checkpoint {}: {e}",
+                            ck.path.display()
+                        ))
+                    })?;
+                }
+                if lockstep.verified_cycles() >= horizon {
+                    return Ok(CosimOutcome::Agreement {
+                        cycles: lockstep.verified_cycles(),
+                        stop: StopReason::CycleLimit,
+                        stats,
+                    });
+                }
+            }
+            CosimOutcome::Agreement { stop, stats, .. } => {
+                return Ok(CosimOutcome::Agreement {
+                    cycles: lockstep.verified_cycles(),
+                    stop,
+                    stats,
+                });
+            }
+            divergence => return Ok(divergence),
+        }
+    }
+}
+
 fn stream_report(
     scenario: &Scenario,
     reference_name: &str,
@@ -174,6 +254,7 @@ fn stream_report(
             value: None,
             error: None,
             trace_window: lines[start..].iter().map(|s| s.to_string()).collect(),
+            stats: None,
         }
     };
     DivergenceReport {

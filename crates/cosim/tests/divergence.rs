@@ -164,6 +164,7 @@ fn unanimous_halts_are_classified_structurally() {
         CosimOutcome::Agreement {
             cycles,
             stop: StopReason::Halt(halt),
+            ..
         } => {
             assert_eq!(cycles, 3);
             assert_eq!(halt, HaltKind::InputExhausted { cycle: 3 });

@@ -163,6 +163,23 @@ fn build() -> Vec<Scenario> {
     io.input = (0..cycles as Word).map(|v| v % 97).collect();
     scenarios.push(io);
 
+    // Interactive input: a prompt/response loop. Reading from an address
+    // other than 0/1 makes every engine print the Appendix A prompt
+    // (`Input from address 2: `) before reading an integer, and the
+    // output device echoes the latched answer back — so the corpus
+    // exercises the interactive-input path (the one `asim2 run
+    // --interactive` and `Session::stimulus_mut` drive) in lockstep too.
+    let mut echo = Scenario::new(
+        "io/echo",
+        "# interactive echo: prompted input each cycle, integer echo out\n\
+         i* o* .\n\
+         M i 2 0 2 1\n\
+         M o 1 i 3 1 .",
+        cycles,
+    );
+    echo.input = (0..cycles as Word).map(|v| (v * 7 + 3) % 1000).collect();
+    scenarios.push(echo);
+
     scenarios
 }
 
@@ -235,8 +252,8 @@ mod tests {
     }
 
     #[test]
-    fn registry_holds_seventeen_scenarios_including_the_stack_programs() {
-        assert_eq!(names().len(), 17, "{:?}", names());
+    fn registry_holds_eighteen_scenarios_including_the_stack_programs() {
+        assert_eq!(names().len(), 18, "{:?}", names());
         let fib = by_name("stack/fib").expect("fib registered");
         let gcd = by_name("stack/gcd").expect("gcd registered");
         let sort = by_name("stack/sort").expect("sort registered");
@@ -245,6 +262,39 @@ mod tests {
             assert!(s.input.is_empty(), "stack programs take no input");
             s.design().unwrap_or_else(|e| panic!("{}: {e}", s.name));
         }
+    }
+
+    #[test]
+    fn echo_scenario_prompts_and_echoes_under_reader_input() {
+        // The interactive-input scenario driven the way the CLI does it:
+        // one Session, a ReaderInput parsing prompt answers from text,
+        // and the harness peeling a word off the *same* stimulus first
+        // (Session::stimulus_mut — prompt answers and memory-mapped input
+        // share one source).
+        let scenario = by_name("io/echo").unwrap();
+        let design = scenario.design().unwrap();
+        let text = "9\n1\n2\n3\n4\n5\n";
+        let mut session = rtl_core::Session::over(rtl_interp::Interpreter::new(&design))
+            .capture()
+            .stimulus(rtl_core::ReaderInput::new(text.as_bytes()))
+            .build();
+        let budget = session.stimulus_mut().read_int().unwrap();
+        assert_eq!(budget, 9, "the driver reads its own answer first");
+        let outcome = session.run(rtl_core::Until::Cycles(4));
+        assert!(outcome.completed(), "{:?}", outcome.stop);
+        let out = session.output_text();
+        assert!(out.contains("Input from address 2: "), "{out}");
+        // The output device echoes the latched answer one cycle later.
+        assert!(out.contains("o= 1"), "{out}");
+    }
+
+    #[test]
+    fn echo_scenario_stimulus_covers_any_horizon() {
+        let echo = by_name("io/echo").unwrap();
+        assert!(echo.cycles >= 1000, "lockstep horizon");
+        assert_eq!(echo.input.len() as u64, echo.cycles, "one word per cycle");
+        let longer = echo.with_cycles(4000);
+        assert!(longer.input.len() >= 4000);
     }
 
     #[test]

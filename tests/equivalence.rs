@@ -132,7 +132,7 @@ fn tiny_computer_engines_agree() {
 
 #[test]
 fn registry_scenarios_run_individually() {
-    for name in ["classic/gcd", "io/accumulator"] {
+    for name in ["classic/gcd", "io/accumulator", "io/echo"] {
         let scenario = scenarios::by_name(name).expect("registered");
         let outcome = run_scenario(&scenario, &TIERS, &CosimOptions::default()).unwrap();
         assert!(outcome.agreed(), "{name}: {outcome:?}");

@@ -1,0 +1,102 @@
+//! Properties of the observation/comparator layer: the first divergent
+//! cycle a lockstep run reports is an *invariant* of the harness
+//! configuration — comparison stride and comparator choice may change
+//! cost, never the verdict's position.
+
+use asim2::cosim::{
+    default_registry, generate_scenario, run_scenario_names, CosimOptions, CosimOutcome,
+    FaultyVmFactory, GenOptions,
+};
+use proptest::prelude::*;
+use rtl_core::observe::CompareMode;
+use rtl_core::EngineRegistry;
+use rtl_machines::Scenario;
+
+fn fault_registry(trigger: u64) -> EngineRegistry {
+    let mut registry = default_registry();
+    registry.register(Box::new(FaultyVmFactory::from_cycle(trigger)));
+    registry
+}
+
+fn first_divergent_cycle(
+    registry: &EngineRegistry,
+    scenario: &Scenario,
+    stride: u64,
+    compare: Vec<CompareMode>,
+) -> i64 {
+    let options = CosimOptions {
+        compare_every: stride,
+        compare,
+        ..CosimOptions::default()
+    };
+    let lanes = vec!["interp".to_string(), "vm-fault".to_string()];
+    match run_scenario_names(registry, &lanes, scenario, &options).expect("lanes build") {
+        CosimOutcome::Divergence(report) => report.cycle,
+        other => panic!("the fault lane must diverge, got {other:?}"),
+    }
+}
+
+proptest! {
+    /// The satellite property: across comparison strides {1, 7, 64} and
+    /// comparator sets (trace vs vcd vs the composite), a vm-fault lane
+    /// triggered at any cycle inside the horizon is pinned to the *same*
+    /// first divergent cycle — the stride bisects back to it, and every
+    /// lens sees the same corruption onset.
+    #[test]
+    fn first_divergent_cycle_is_stride_and_lens_invariant(
+        seed in 0u64..8,
+        trigger in 1u64..40,
+    ) {
+        let scenario = generate_scenario(seed, &GenOptions {
+            size: 6,
+            cycles: 48,
+            ..GenOptions::default()
+        });
+        let registry = fault_registry(trigger);
+        let mut observed = Vec::new();
+        for stride in [1u64, 7, 64] {
+            for compare in [
+                vec![CompareMode::Trace],
+                vec![CompareMode::Vcd],
+                vec![CompareMode::All],
+            ] {
+                let label = format!("stride {stride}, {compare:?}");
+                let cycle = first_divergent_cycle(&registry, &scenario, stride, compare);
+                observed.push((label, cycle));
+            }
+        }
+        let expected = i64::try_from(trigger).unwrap();
+        for (label, cycle) in &observed {
+            prop_assert_eq!(
+                *cycle, expected,
+                "seed {}: {} reported cycle {}", seed, label, cycle
+            );
+        }
+    }
+
+    /// Healthy lanes stay in agreement under every single-lens
+    /// configuration, at every stride — no comparator produces false
+    /// positives on real engines.
+    #[test]
+    fn no_lens_false_positives_on_healthy_lanes(
+        seed in 0u64..12,
+        stride in 1u64..32,
+    ) {
+        let scenario = generate_scenario(seed, &GenOptions {
+            size: 8,
+            cycles: 32,
+            ..GenOptions::default()
+        });
+        let registry = default_registry();
+        let lanes = vec!["interp".to_string(), "vm".to_string()];
+        for mode in CompareMode::ALL {
+            let options = CosimOptions {
+                compare_every: stride,
+                compare: vec![mode],
+                ..CosimOptions::default()
+            };
+            let outcome = run_scenario_names(&registry, &lanes, &scenario, &options).unwrap();
+            prop_assert!(outcome.agreed(), "seed {}: {} diverged: {:?}", seed, mode, outcome);
+        }
+    }
+}
