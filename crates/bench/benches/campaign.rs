@@ -7,10 +7,18 @@
 //! curve: the same fixed campaign at 1, 2 and 4 workers, plus the
 //! serial-overhead baseline (state writes, collector) at worker count 1
 //! against the raw in-process fuzz loop.
+//!
+//! The second group pins the *distributed* overhead: folding the same
+//! completed campaign back together from 1, 2 and 4 shard directories
+//! (`rtl_dist::merge` — validation + verbatim record copy). Merge cost
+//! should be flat-ish in shard count (the records are the same either
+//! way); what this catches is any per-shard validation becoming
+//! super-linear.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtl_campaign::{CampaignConfig, CampaignDir, NoProgress, RunOptions};
 use rtl_cosim::{FuzzOptions, GenOptions};
+use rtl_dist::ShardPlan;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -83,5 +91,54 @@ fn campaign(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, campaign);
+fn merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_throughput");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(200));
+    g.measurement_time(Duration::from_secs(3));
+    g.throughput(criterion::Throughput::Elements(u64::from(CASES)));
+
+    for shards in [1u32, 2, 4] {
+        // Prepare the shard directories once; each iteration only merges.
+        let config = CampaignConfig {
+            cases: CASES,
+            generator: generator(),
+            ..CampaignConfig::default()
+        };
+        let plan = ShardPlan::partition(config, shards).expect("non-empty plan");
+        let shard_roots: Vec<std::path::PathBuf> = plan
+            .shards
+            .iter()
+            .map(|spec| {
+                let root = scratch();
+                let report = rtl_dist::run_shard(
+                    &plan,
+                    spec.index,
+                    &CampaignDir::new(&root),
+                    &RunOptions::default(),
+                    &mut NoProgress,
+                )
+                .expect("shard runs");
+                assert!(report.clean());
+                root
+            })
+            .collect();
+
+        g.bench_with_input(BenchmarkId::new("merge_shards", shards), &shards, |b, _| {
+            b.iter(|| {
+                let out = scratch();
+                let report = rtl_dist::merge(&plan, &shard_roots, &CampaignDir::new(&out))
+                    .expect("merge succeeds");
+                assert!(report.clean());
+                let _ = std::fs::remove_dir_all(&out);
+            })
+        });
+        for root in &shard_roots {
+            let _ = std::fs::remove_dir_all(root);
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, campaign, merge);
 criterion_main!(benches);

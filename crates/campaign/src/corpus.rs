@@ -41,7 +41,30 @@ pub fn kind_label(kind: &DivergenceKind) -> String {
         DivergenceKind::Cells { component, addr } => format!("cells:{component}@{addr}"),
         DivergenceKind::Vcd { component } => format!("vcd:{component}"),
         DivergenceKind::Stream { lane } => format!("stream:{lane}"),
+        DivergenceKind::Digest => "digest".into(),
     }
+}
+
+/// A stable fingerprint of *which design and stimulus* a corpus entry
+/// reproduces: the specification source text, the cycle horizon, and the
+/// input script, hashed with the session-checkpoint FNV hasher. This —
+/// not the shape-only
+/// [`design_fingerprint`](rtl_core::design_fingerprint), which collides
+/// across fuzz designs sharing a component-naming scheme — is the dedup
+/// key: two entries with equal fingerprints reproduce the identical run,
+/// so archiving both would only bloat the corpus. (Generated scenarios
+/// embed their seed in the spec title, so within one campaign distinct
+/// seeds never collide and dedup stays order-independent.)
+pub fn entry_fingerprint(scenario: &Scenario) -> u64 {
+    let mut fp = rtl_core::Fingerprint::new();
+    fp.write_str("asim2-corpus-entry v1");
+    fp.write_str(&scenario.source);
+    fp.write_u64(scenario.cycles);
+    fp.write_u64(scenario.input.len() as u64);
+    for &word in &scenario.input {
+        fp.write_u64(word as u64);
+    }
+    fp.finish()
 }
 
 /// One saved divergence-regression scenario.
@@ -65,10 +88,14 @@ pub struct CorpusEntry {
     pub size: usize,
 }
 
-/// Saves a shrunk divergence into the corpus directory. Also writes the
-/// reference checkpoint: the `interp` engine's architectural state after
-/// the verified prefix (the cycles *before* the divergence), in the
-/// session checkpoint format.
+/// Saves a shrunk divergence into the corpus directory — unless an entry
+/// with the same [`entry_fingerprint`] already exists, in which case the
+/// existing entry is returned instead of archiving a duplicate (merged
+/// shard corpora and long campaigns re-finding a known bug would
+/// otherwise accumulate identical reproductions under different names).
+/// Also writes the reference checkpoint: the `interp` engine's
+/// architectural state after the verified prefix (the cycles *before*
+/// the divergence), in the session checkpoint format.
 ///
 /// # Errors
 ///
@@ -89,6 +116,9 @@ pub fn save(
         seed: shrunk.seed,
         size: shrunk.size,
     };
+    if let Some(existing) = find_by_fingerprint(corpus_dir, entry_fingerprint(&entry.scenario))? {
+        return load_one(corpus_dir, &existing);
+    }
     std::fs::create_dir_all(corpus_dir)?;
     write_atomic(
         &corpus_dir.join(format!("{}.asim", entry.name)),
@@ -105,6 +135,10 @@ pub fn save(
     let meta = Json::Obj(vec![
         ("format".into(), Json::str(FORMAT)),
         ("name".into(), Json::str(&entry.name)),
+        (
+            "design_fp".into(),
+            Json::str(format!("{:016x}", entry_fingerprint(&entry.scenario))),
+        ),
         ("cycles".into(), Json::num(entry.scenario.cycles)),
         (
             "engines".into(),
@@ -158,14 +192,13 @@ fn reference_checkpoint(entry: &CorpusEntry) -> Result<Vec<u8>, CampaignError> {
     Ok(doc)
 }
 
-/// Loads every corpus entry under `corpus_dir`, sorted by name. A missing
-/// directory is an empty corpus.
+/// Every entry name under `corpus_dir`, sorted. A missing directory is an
+/// empty corpus.
 ///
 /// # Errors
 ///
-/// A corrupt entry (bad metadata, missing sibling file, or a `.ckpt`
-/// whose design fingerprint does not match its `.asim`).
-pub fn load_all(corpus_dir: &Path) -> Result<Vec<CorpusEntry>, CampaignError> {
+/// File-system failure.
+pub fn entry_names(corpus_dir: &Path) -> Result<Vec<String>, CampaignError> {
     let mut names = Vec::new();
     let listing = match std::fs::read_dir(corpus_dir) {
         Ok(listing) => listing,
@@ -186,10 +219,60 @@ pub fn load_all(corpus_dir: &Path) -> Result<Vec<CorpusEntry>, CampaignError> {
         }
     }
     names.sort();
-    names
+    Ok(names)
+}
+
+/// Loads every corpus entry under `corpus_dir`, sorted by name. A missing
+/// directory is an empty corpus.
+///
+/// # Errors
+///
+/// A corrupt entry (bad metadata, missing sibling file, or a `.ckpt`
+/// whose design fingerprint does not match its `.asim`).
+pub fn load_all(corpus_dir: &Path) -> Result<Vec<CorpusEntry>, CampaignError> {
+    entry_names(corpus_dir)?
         .iter()
         .map(|name| load_one(corpus_dir, name))
         .collect()
+}
+
+/// The name of the existing entry whose [`entry_fingerprint`] equals
+/// `fp`, if any — the dedup probe. Reads the `design_fp` meta field;
+/// entries written before the field existed are fingerprinted from their
+/// files.
+fn find_by_fingerprint(corpus_dir: &Path, fp: u64) -> Result<Option<String>, CampaignError> {
+    for name in entry_names(corpus_dir)? {
+        let meta_path = corpus_dir.join(format!("{name}.json"));
+        let meta = Json::parse(&std::fs::read_to_string(&meta_path)?)
+            .map_err(|e| CampaignError::Corrupt(format!("{}: {e}", meta_path.display())))?;
+        let existing = match meta
+            .get("design_fp")
+            .and_then(Json::as_str)
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+        {
+            Some(stored) => stored,
+            None => {
+                let source = std::fs::read_to_string(corpus_dir.join(format!("{name}.asim")))?;
+                let input = parse_stimulus(&std::fs::read_to_string(
+                    corpus_dir.join(format!("{name}.stim")),
+                )?)
+                .map_err(|e| CampaignError::Corrupt(format!("{name}.stim: {e}")))?;
+                let cycles = meta.get("cycles").and_then(Json::as_u64).ok_or_else(|| {
+                    CampaignError::Corrupt(format!("{}: missing cycles", meta_path.display()))
+                })?;
+                entry_fingerprint(&Scenario {
+                    name: format!("corpus/{name}"),
+                    source,
+                    cycles,
+                    input,
+                })
+            }
+        };
+        if existing == fp {
+            return Ok(Some(name));
+        }
+    }
+    Ok(None)
 }
 
 fn load_one(corpus_dir: &Path, name: &str) -> Result<CorpusEntry, CampaignError> {
@@ -261,6 +344,20 @@ fn load_one(corpus_dir: &Path, name: &str) -> Result<CorpusEntry, CampaignError>
             .and_then(|s| usize::try_from(s).ok())
             .ok_or_else(|| corrupt("missing provenance.size".into()))?,
     };
+
+    // Integrity: a stored entry fingerprint must match the sibling files
+    // it claims to describe (entries predating the field are accepted).
+    if let Some(stored) = meta
+        .get("design_fp")
+        .and_then(Json::as_str)
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+    {
+        if stored != entry_fingerprint(&entry.scenario) {
+            return Err(corrupt(
+                "entry fingerprint (design_fp) does not match the scenario files".into(),
+            ));
+        }
+    }
 
     // Integrity: the stored checkpoint must load over this entry's design
     // (the fingerprint ties .ckpt to .asim) and match the recomputed
@@ -491,6 +588,38 @@ mod tests {
         let healthy: Vec<String> = vec!["interp".into(), "vm".into()];
         let report = replay(&fault_registry(), &loaded, Some(&healthy)).unwrap();
         assert!(report.clean(), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_designs_are_archived_once() {
+        let dir = scratch("dedup");
+        let shrunk = shrunk_fault_case(7);
+        let first = save(&dir, &shrunk, &engines(), 1).unwrap();
+
+        // The same shrunk divergence arriving again (a later campaign
+        // re-finding the bug, or a shard merge folding overlapping
+        // corpora) returns the existing entry instead of re-archiving.
+        let again = save(&dir, &shrunk, &engines(), 1).unwrap();
+        assert_eq!(again, first);
+
+        // A differently-*named* duplicate (same scenario under another
+        // seed label) still dedups: the key is the scenario content.
+        let mut renamed = shrunk.clone();
+        renamed.seed = 999_999;
+        let deduped = save(&dir, &renamed, &engines(), 1).unwrap();
+        assert_eq!(deduped.name, first.name, "existing entry wins");
+        assert!(!dir.join("seed-999999.json").exists(), "no duplicate files");
+        assert_eq!(load_all(&dir).unwrap().len(), 1);
+
+        // A genuinely different scenario is archived alongside.
+        let other = shrunk_fault_case(8);
+        assert_ne!(
+            entry_fingerprint(&other.scenario),
+            entry_fingerprint(&shrunk.scenario)
+        );
+        save(&dir, &other, &engines(), 1).unwrap();
+        assert_eq!(load_all(&dir).unwrap().len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -40,6 +40,14 @@ pub struct RunOptions {
     /// checkpoint instead of recomputing the whole horizon. Off by
     /// default — worth it only when a single case runs long.
     pub case_checkpoint: bool,
+    /// Run only the case indices in this half-open range — the
+    /// distributed-shard hook (`rtl-dist`): each machine executes its
+    /// slice of the same campaign, and because every case's outcome
+    /// depends only on `(config, index)`, the union of the slices is
+    /// bit-identical to a single-machine run. Cases outside the range are
+    /// left unrun (the report shows them as gaps). `None` runs
+    /// everything.
+    pub case_range: Option<std::ops::Range<u32>>,
 }
 
 /// The cycle cadence of `--case-checkpoint` lockstep checkpoints.
@@ -54,6 +62,7 @@ impl Default for RunOptions {
                 .min(8),
             limit: None,
             case_checkpoint: false,
+            case_range: None,
         }
     }
 }
@@ -304,6 +313,7 @@ fn execute(
         .enumerate()
         .filter(|(_, r)| r.is_none())
         .map(|(i, _)| i as u32)
+        .filter(|i| options.case_range.as_ref().is_none_or(|r| r.contains(i)))
         .collect();
     if let Some(limit) = options.limit {
         pending.truncate(limit as usize);

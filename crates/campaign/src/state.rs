@@ -372,8 +372,14 @@ impl CampaignDir {
 }
 
 /// Writes a file via a temp sibling + rename, so readers (and interrupted
-/// writers) never observe partial content.
-pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+/// writers) never observe partial content. Public for the layers built on
+/// the campaign state (`rtl-dist` publishes merged records the same way).
+///
+/// # Errors
+///
+/// File-system failure; the temp sibling is cleaned up on a failed
+/// rename.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let dir = path.parent().unwrap_or_else(|| Path::new("."));
     std::fs::create_dir_all(dir)?;
     let tmp = dir.join(format!(

@@ -12,7 +12,10 @@
 //! asim2 spec   NAME                      print a bundled/generated specification
 //! asim2 fig    3.1|4.1|4.2|4.3|5.1       regenerate a thesis figure
 //! asim2 cosim  [FILE] [--engines LIST] [--cycles N] [--scenario NAME] [--compare-every N]
+//!              [--dump-divergence DIR] [--export-digests F] [--check-digests F]
 //! asim2 fuzz   [--seed N] [--cases N] [--cycles N] [--size N] [--engines LIST]
+//! asim2 campaign run|resume|replay|shrink ...
+//! asim2 campaign shard plan|run|merge ...    distributed campaigns (rtl-dist)
 //! ```
 //!
 //! `cosim` with no FILE sweeps the whole built-in scenario corpus.
@@ -95,6 +98,7 @@ const USAGE: &str = "usage:
   asim2 cosim   [FILE] [--engines interp,vm,rust,...] [--cycles N] [--scenario NAME]
                 [--compare-every N] [--compare trace,vcd,cells,...]
                 [--checkpoint F [--checkpoint-every N]] [--resume F]
+                [--dump-divergence DIR] [--export-digests F] [--check-digests F]
   asim2 fuzz    [--seed N] [--cases N] [--cycles N] [--size N] [--engines interp,vm,...]
   asim2 campaign run    --dir D [--cases N] [--seed N] [--workers N] [--engines LIST]
                         [--cycles N] [--size N] [--compare-every N] [--limit N]
@@ -102,11 +106,19 @@ const USAGE: &str = "usage:
   asim2 campaign resume --dir D [--workers N] [--limit N] [--case-checkpoint]
   asim2 campaign replay --dir D [--engines LIST]
   asim2 campaign shrink --dir D --seed N [--engines LIST] [--cycles N] [--size N]
+  asim2 campaign shard plan  [--plan F] --cases N --shards K [--seed N] [--engines LIST]
+                             [--cycles N] [--size N] [--compare-every N]
+  asim2 campaign shard run   [--plan F] --shard I --dir D [--workers N] [--limit N]
+                             [--case-checkpoint]
+  asim2 campaign shard merge [--plan F] --out D --shards DIR1,DIR2,...
 
 engine NAMEs come from the registry: interp, interp-faithful, vm, vm-noopt,
 rust (the generated binary run as a subprocess cosim lane) and vm-fault (a
 deliberately broken VM for validating the find->shrink->replay pipeline).
-cosim comparators: trace, cycles, outputs, cells, vcd, all";
+cosim comparators: trace, cycles, outputs, cells, vcd, digest, all
+shard plans default to ./shard-plan.json; each shard runs on its own machine
+into a self-contained --dir, and merge folds the directories back into one
+canonical campaign, bit-identical to a single-machine run.";
 
 fn dispatch(
     args: &[String],
@@ -507,6 +519,9 @@ fn cosim_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
             "--checkpoint",
             "--checkpoint-every",
             "--resume",
+            "--dump-divergence",
+            "--export-digests",
+            "--check-digests",
         ],
     )?;
     let engines = parse_engines(&flags)?;
@@ -529,12 +544,20 @@ fn cosim_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         every: checkpoint_every.unwrap_or(256),
     });
     let resume = flag_value(&flags, "--resume")?.map(std::path::PathBuf::from);
-    if (checkpoint.is_some() || resume.is_some())
+    let dump_divergence = flag_value(&flags, "--dump-divergence")?;
+    let export_digests = flag_value(&flags, "--export-digests")?.map(std::path::PathBuf::from);
+    let check_digests = flag_value(&flags, "--check-digests")?.map(std::path::PathBuf::from);
+    if (checkpoint.is_some()
+        || resume.is_some()
+        || dump_divergence.is_some()
+        || export_digests.is_some()
+        || check_digests.is_some())
         && file.is_none()
         && flag_value(&flags, "--scenario")?.is_none()
     {
         return Err(usage_err(
-            "--checkpoint/--resume apply to a single scenario (pass FILE or --scenario)",
+            "--checkpoint/--resume/--dump-divergence/--export-digests/--check-digests \
+             apply to a single scenario (pass FILE or --scenario)",
         ));
     }
     let options = rtl_cosim::CosimOptions {
@@ -542,6 +565,8 @@ fn cosim_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         compare,
         checkpoint,
         resume,
+        export_digests,
+        check_digests,
         ..rtl_cosim::CosimOptions::default()
     };
 
@@ -571,6 +596,7 @@ fn cosim_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
             let outcome =
                 rtl_cosim::run_scenario_names(rtl_cosim::registry(), &engines, &scenario, &options)
                     .map_err(load_err)?;
+            dump_divergent_window(&engines, &scenario, &outcome, dump_divergence, out)?;
             report_single(path, outcome, out)
         }
         (None, Some(name)) => {
@@ -585,6 +611,7 @@ fn cosim_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
             let outcome =
                 rtl_cosim::run_scenario_names(rtl_cosim::registry(), &engines, &scenario, &options)
                     .map_err(load_err)?;
+            dump_divergent_window(&engines, &scenario, &outcome, dump_divergence, out)?;
             report_single(&scenario.name, outcome, out)
         }
         (None, None) => {
@@ -612,6 +639,40 @@ fn cosim_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
             }
         }
     }
+}
+
+/// `--dump-divergence DIR`: on a divergence, replay every stepped lane
+/// and write the window of cycles ending at the divergence as one VCD
+/// document per lane — side-by-side waveforms of the disagreement.
+fn dump_divergent_window(
+    engines: &[String],
+    scenario: &rtl_machines::Scenario,
+    outcome: &rtl_cosim::CosimOutcome,
+    dir: Option<&str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let (Some(dir), rtl_cosim::CosimOutcome::Divergence(report)) = (dir, outcome) else {
+        return Ok(());
+    };
+    let dumps = rtl_cosim::wavedump::dump_divergence(
+        rtl_cosim::registry(),
+        engines,
+        scenario,
+        u64::try_from(report.cycle).unwrap_or(0),
+        rtl_cosim::wavedump::DEFAULT_WINDOW,
+        std::path::Path::new(dir),
+    )
+    .map_err(load_err)?;
+    for dump in dumps {
+        let _ = writeln!(
+            out,
+            "waveform window (cycles {}..{}, timestamps relative): {}",
+            dump.start,
+            dump.end,
+            dump.path.display()
+        );
+    }
+    Ok(())
 }
 
 /// Prints a single-scenario outcome. A unanimous runtime halt is reported
@@ -744,7 +805,10 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
     let sub = rest
         .first()
         .copied()
-        .ok_or_else(|| usage_err("campaign needs a subcommand (run|resume|replay|shrink)"))?;
+        .ok_or_else(|| usage_err("campaign needs a subcommand (run|resume|replay|shrink|shard)"))?;
+    if sub == "shard" {
+        return shard_cmd(&rest[1..], out, err);
+    }
     let (extra, flags) = split_optional_file(
         &rest[1..],
         &[
@@ -940,6 +1004,209 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             }
         }
         other => Err(usage_err(format!("unknown campaign subcommand {other:?}"))),
+    }
+}
+
+/// `asim2 campaign shard plan|run|merge` — distributed campaigns: plan a
+/// partition, execute one shard per machine into a self-contained
+/// directory, merge the directories back into one canonical campaign.
+fn shard_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Result<(), CliError> {
+    use rtl_campaign::{CampaignConfig, CampaignDir, RunOptions};
+    use rtl_dist::ShardPlan;
+
+    let sub = rest
+        .first()
+        .copied()
+        .ok_or_else(|| usage_err("campaign shard needs a subcommand (plan|run|merge)"))?;
+    let (extra, flags) = split_optional_file(
+        &rest[1..],
+        &[
+            "--plan",
+            "--cases",
+            "--shards",
+            "--seed",
+            "--engines",
+            "--cycles",
+            "--size",
+            "--compare-every",
+            "--shard",
+            "--dir",
+            "--workers",
+            "--limit",
+            "--out",
+        ],
+    )?;
+    if let Some(x) = extra {
+        return Err(usage_err(format!("unexpected argument {x:?}")));
+    }
+    let allowed: &[&str] = match sub {
+        "plan" => &[
+            "--plan",
+            "--cases",
+            "--shards",
+            "--seed",
+            "--engines",
+            "--cycles",
+            "--size",
+            "--compare-every",
+        ],
+        "run" => &[
+            "--plan",
+            "--shard",
+            "--dir",
+            "--workers",
+            "--limit",
+            "--case-checkpoint",
+        ],
+        "merge" => &["--plan", "--out", "--shards"],
+        other => {
+            return Err(usage_err(format!(
+                "unknown campaign shard subcommand {other:?}"
+            )))
+        }
+    };
+    if let Some(bad) = flags
+        .iter()
+        .find(|f| f.starts_with('-') && !allowed.contains(f))
+    {
+        return Err(usage_err(format!(
+            "campaign shard {sub} does not take {bad} (accepted: {})",
+            allowed.join(" ")
+        )));
+    }
+    let plan_path =
+        std::path::PathBuf::from(flag_value(&flags, "--plan")?.unwrap_or("shard-plan.json"));
+
+    match sub {
+        "plan" => {
+            let shards = parse_u64_flag(&flags, "--shards")?
+                .ok_or_else(|| usage_err("campaign shard plan needs --shards K"))?;
+            let shards = u32::try_from(shards).map_err(|_| usage_err("--shards is too large"))?;
+            let mut config = CampaignConfig::default();
+            if let Some(list) = flag_value(&flags, "--engines")? {
+                config.engines = rtl_campaign::campaign_registry(None)
+                    .parse_list(list)
+                    .map_err(usage_err)?;
+            }
+            if let Some(seed) = parse_u64_flag(&flags, "--seed")? {
+                config.seed = seed;
+            }
+            if let Some(cases) = parse_u64_flag(&flags, "--cases")? {
+                config.cases =
+                    u32::try_from(cases).map_err(|_| usage_err("--cases is too large"))?;
+            }
+            if let Some(cycles) = parse_u64_flag(&flags, "--cycles")? {
+                config.generator.cycles = cycles;
+            }
+            if let Some(size) = parse_u64_flag(&flags, "--size")? {
+                config.generator.size = size as usize;
+            }
+            if let Some(stride) = parse_u64_flag(&flags, "--compare-every")? {
+                config.compare_every = stride.max(1);
+            }
+            let plan = ShardPlan::partition(config, shards).map_err(campaign_err)?;
+            plan.save(&plan_path).map_err(campaign_err)?;
+            let _ = writeln!(
+                out,
+                "plan: {} cases from seed {} across {} shard(s) -> {}",
+                plan.config.cases,
+                plan.config.seed,
+                plan.shards.len(),
+                plan_path.display()
+            );
+            for spec in &plan.shards {
+                let _ = writeln!(
+                    out,
+                    "  shard {}: cases {}..{} ({} cases)",
+                    spec.index,
+                    spec.start,
+                    spec.end,
+                    spec.cases()
+                );
+            }
+            Ok(())
+        }
+        "run" => {
+            let plan = ShardPlan::load(&plan_path).map_err(campaign_err)?;
+            let index = parse_u64_flag(&flags, "--shard")?
+                .ok_or_else(|| usage_err("campaign shard run needs --shard I"))?;
+            let index = u32::try_from(index).map_err(|_| usage_err("--shard is too large"))?;
+            let dir = CampaignDir::new(
+                flag_value(&flags, "--dir")?
+                    .ok_or_else(|| usage_err("campaign shard run needs --dir DIR"))?,
+            );
+            let mut options = RunOptions::default();
+            if let Some(workers) = parse_u64_flag(&flags, "--workers")? {
+                if workers == 0 {
+                    return Err(usage_err("--workers needs a positive count"));
+                }
+                options.workers = workers as usize;
+            }
+            if let Some(limit) = parse_u64_flag(&flags, "--limit")? {
+                options.limit =
+                    Some(u32::try_from(limit).map_err(|_| usage_err("--limit is too large"))?);
+            }
+            options.case_checkpoint = flags.contains(&"--case-checkpoint");
+            let mut progress = CliProgress::new(err);
+            let report = rtl_dist::run_shard(&plan, index, &dir, &options, &mut progress)
+                .map_err(campaign_err)?;
+            let _ = write!(out, "{report}");
+            if report.clean() {
+                Ok(())
+            } else if report.diverged() > 0 {
+                Err(CliError {
+                    code: 3,
+                    message: format!("shard {index} found {} divergence(s)", report.diverged()),
+                })
+            } else if !report.complete() {
+                let _ = writeln!(
+                    err,
+                    "shard interrupted at --limit; re-run `campaign shard run` to continue"
+                );
+                Ok(())
+            } else {
+                Err(CliError {
+                    code: 3,
+                    message: "shard hit runtime halts/errors (nothing verified past them)".into(),
+                })
+            }
+        }
+        "merge" => {
+            let plan = ShardPlan::load(&plan_path).map_err(campaign_err)?;
+            let dirs: Vec<std::path::PathBuf> = flag_value(&flags, "--shards")?
+                .ok_or_else(|| usage_err("campaign shard merge needs --shards DIR1,DIR2,..."))?
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(std::path::PathBuf::from)
+                .collect();
+            let out_dir = CampaignDir::new(
+                flag_value(&flags, "--out")?
+                    .ok_or_else(|| usage_err("campaign shard merge needs --out DIR"))?,
+            );
+            let report = rtl_dist::merge(&plan, &dirs, &out_dir).map_err(campaign_err)?;
+            let _ = write!(out, "{report}");
+            let _ = writeln!(
+                err,
+                "merged {} shard(s) into {}",
+                dirs.len(),
+                out_dir.root().display()
+            );
+            if report.clean() {
+                Ok(())
+            } else if report.diverged() > 0 {
+                Err(CliError {
+                    code: 3,
+                    message: format!("merged campaign has {} divergence(s)", report.diverged()),
+                })
+            } else {
+                Err(CliError {
+                    code: 3,
+                    message: "merged campaign hit runtime halts/errors".into(),
+                })
+            }
+        }
+        _ => unreachable!("validated above"),
     }
 }
 
@@ -1292,7 +1559,7 @@ mod tests {
         // Regression: --cycles above a scenario's registered horizon used
         // to exhaust the io scenario's stimulus and fail the sweep.
         let out = run_ok(&["cosim", "--cycles", "1100", "--compare-every", "64"]);
-        assert!(out.contains("18/18 agreed"), "{out}");
+        assert!(out.contains("19/19 agreed"), "{out}");
         let io_line = out.lines().find(|l| l.contains("io/accumulator")).unwrap();
         assert!(io_line.contains("1100 cycles  ok"), "{io_line}");
     }
@@ -1302,7 +1569,7 @@ mod tests {
         // The vm-fault lane corrupts its trace bytes *and* its observed
         // state from cycle 40 on, so the trace lens and the VCD waveform
         // lens must pinpoint the identical first divergent cycle.
-        for compare in ["trace", "vcd", "trace,vcd,cells", "all"] {
+        for compare in ["trace", "vcd", "trace,vcd,cells", "digest", "all"] {
             let (code, out, err) = run_with(
                 &[
                     "cosim",
@@ -1365,6 +1632,93 @@ mod tests {
         let fresh = run_ok(&["cosim", scenario[0], scenario[1], "--cycles", "1024"]);
         assert_eq!(resumed, fresh, "resumed outcome is byte-identical");
         let _ = std::fs::remove_file(ck);
+    }
+
+    #[test]
+    fn cosim_dump_divergence_writes_side_by_side_vcds() {
+        let dir = std::env::temp_dir().join(format!("asim-cli-wavedump-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (code, out, err) = run_with(
+            &[
+                "cosim",
+                "--scenario",
+                "classic/counter",
+                "--cycles",
+                "64",
+                "--engines",
+                "interp,vm-fault",
+                "--dump-divergence",
+                dir.to_str().unwrap(),
+            ],
+            b"",
+        );
+        assert_eq!(code, 3, "{err}");
+        assert!(out.contains("waveform window (cycles 9..41"), "{out}");
+        for lane in ["interp", "vm-fault"] {
+            let doc = std::fs::read_to_string(dir.join(format!("{lane}.vcd"))).unwrap();
+            assert!(doc.contains("$enddefinitions $end"), "{lane}: {doc}");
+        }
+        assert_ne!(
+            std::fs::read(dir.join("interp.vcd")).unwrap(),
+            std::fs::read(dir.join("vm-fault.vcd")).unwrap(),
+            "the windows show the disagreement"
+        );
+        // The flag needs a single scenario, like checkpointing.
+        let (code, err) = run_fail(&["cosim", "--dump-divergence", "/tmp/x"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("single scenario"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cosim_digest_export_and_check_round_trip() {
+        let path = std::env::temp_dir().join(format!("asim-cli-digests-{}", std::process::id()));
+        let scenario = ["--scenario", "classic/counter", "--cycles", "64"];
+        let out = run_ok(&[
+            "cosim",
+            scenario[0],
+            scenario[1],
+            scenario[2],
+            scenario[3],
+            "--export-digests",
+            path.to_str().unwrap(),
+        ]);
+        assert!(out.contains("64 cycles verified"), "{out}");
+
+        // Another "machine" replays the digest stream and agrees…
+        let out = run_ok(&[
+            "cosim",
+            scenario[0],
+            scenario[1],
+            scenario[2],
+            scenario[3],
+            "--check-digests",
+            path.to_str().unwrap(),
+        ]);
+        assert!(out.contains("no divergence"), "{out}");
+
+        // …while a corrupted lane is pinned to its trigger cycle by the
+        // remote digests alone.
+        let (code, out, err) = run_with(
+            &[
+                "cosim",
+                scenario[0],
+                scenario[1],
+                scenario[2],
+                scenario[3],
+                "--engines",
+                "interp,vm-fault",
+                "--compare",
+                "digest",
+                "--check-digests",
+                path.to_str().unwrap(),
+            ],
+            b"",
+        );
+        assert_eq!(code, 3, "{err}");
+        assert!(out.contains("at cycle 40"), "{out}");
+        assert!(out.contains("digest"), "{out}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -1573,6 +1927,127 @@ mod tests {
         assert_eq!(code, 0, "{out}\n{err}");
         assert!(out.contains("bug no longer reproduces"), "{out}");
         let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn campaign_shard_pipeline_is_bit_identical_to_a_single_run() {
+        let base = campaign_dir("shard");
+        std::fs::create_dir_all(&base).unwrap();
+        let plan = base.join("plan.json");
+        let plan = plan.to_str().unwrap();
+
+        // The single-machine baseline.
+        let single = base.join("single");
+        let baseline = run_ok(&[
+            "campaign",
+            "run",
+            "--dir",
+            single.to_str().unwrap(),
+            "--cases",
+            "9",
+            "--seed",
+            "2",
+            "--cycles",
+            "16",
+            "--size",
+            "8",
+        ]);
+
+        // Plan + run each shard (self-contained directories) + merge.
+        let out = run_ok(&[
+            "campaign", "shard", "plan", "--plan", plan, "--cases", "9", "--seed", "2", "--cycles",
+            "16", "--size", "8", "--shards", "3",
+        ]);
+        assert!(out.contains("3 shard(s)"), "{out}");
+        assert!(out.contains("shard 2: cases 6..9"), "{out}");
+        let mut shard_dirs = Vec::new();
+        for i in 0..3 {
+            let dir = base.join(format!("shard-{i}"));
+            let out = run_ok(&[
+                "campaign",
+                "shard",
+                "run",
+                "--plan",
+                plan,
+                "--shard",
+                &i.to_string(),
+                "--dir",
+                dir.to_str().unwrap(),
+            ]);
+            assert!(out.contains("3/3 agreed"), "{out}");
+            shard_dirs.push(dir);
+        }
+        let merged = base.join("merged");
+        let shards_arg = shard_dirs
+            .iter()
+            .map(|d| d.to_str().unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let merged_out = run_ok(&[
+            "campaign",
+            "shard",
+            "merge",
+            "--plan",
+            plan,
+            "--out",
+            merged.to_str().unwrap(),
+            "--shards",
+            &shards_arg,
+        ]);
+        assert_eq!(
+            merged_out, baseline,
+            "merge reports exactly what one machine would have"
+        );
+        assert_eq!(
+            std::fs::read(single.join("campaign.json")).unwrap(),
+            std::fs::read(merged.join("campaign.json")).unwrap(),
+            "manifests are byte-identical"
+        );
+        for i in 0..9 {
+            let name = format!("case-{i:06}.json");
+            assert_eq!(
+                std::fs::read(single.join("cases").join(&name)).unwrap(),
+                std::fs::read(merged.join("cases").join(&name)).unwrap(),
+                "{name} is byte-identical"
+            );
+        }
+
+        // The merged directory is a first-class campaign: resume is a
+        // clean no-op over it.
+        let resumed = run_ok(&["campaign", "resume", "--dir", merged.to_str().unwrap()]);
+        assert!(resumed.contains("summary: 9/9 agreed"), "{resumed}");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn campaign_shard_usage_errors() {
+        let (code, err) = run_fail(&["campaign", "shard"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("plan|run|merge"), "{err}");
+        let (code, err) = run_fail(&["campaign", "shard", "plan", "--cases", "10"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("--shards"), "{err}");
+        let (code, err) = run_fail(&["campaign", "shard", "run", "--plan", "/nonexistent.json"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("--shard"), "{err}");
+        // Flags outside the subcommand's set are rejected.
+        let (code, err) = run_fail(&["campaign", "shard", "merge", "--cases", "5"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("does not take --cases"), "{err}");
+        // A missing plan file is a usage-level failure, not a crash.
+        let (code, err) = run_fail(&[
+            "campaign",
+            "shard",
+            "run",
+            "--plan",
+            "/nonexistent.json",
+            "--shard",
+            "0",
+            "--dir",
+            "/tmp/x",
+        ]);
+        assert_eq!(code, 1, "{err}");
+        assert!(err.contains("no shard plan"), "{err}");
     }
 
     #[test]

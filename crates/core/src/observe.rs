@@ -16,9 +16,11 @@
 //!   [`DivergenceKind`] value (or agreement). Shipped lenses:
 //!   [`TraceBytes`], [`CycleCounter`], [`Outputs`], [`Cells`],
 //!   [`VcdDiff`] (width-masked waveform samples, built on the
-//!   [`VcdSink`](crate::vcd::VcdSink) value format) and the [`All`]
-//!   composite. Harnesses may implement their own (checksum lanes,
-//!   sampled state, remote shards) without touching the lockstep driver.
+//!   [`VcdSink`](crate::vcd::VcdSink) value format), [`Digest`]
+//!   (observation fingerprints — 8 bytes per interval, the
+//!   distributed-shard lens) and the [`All`] composite. Harnesses may
+//!   implement their own (checksum lanes, sampled state, remote shards)
+//!   without touching the lockstep driver.
 //! * [`CompareMode`] — the value-level spec of a comparator set
 //!   (`Clone`/`Eq`, parseable from `--compare trace,vcd,cells`), so
 //!   configurations stay plain data.
@@ -204,6 +206,12 @@ pub enum DivergenceKind {
         /// The stream lane's registry name.
         lane: String,
     },
+    /// Observation fingerprints differed (the [`Digest`] lens, or a
+    /// remote digest-stream lane replayed across machines). The digest
+    /// folds in every observable facet, so which one diverged is not
+    /// recoverable — that is the price of comparing 8 bytes per interval
+    /// instead of full values.
+    Digest,
 }
 
 impl DivergenceKind {
@@ -245,6 +253,7 @@ impl std::fmt::Display for DivergenceKind {
                     "stream lane '{lane}' output differs from the agreed trace"
                 )
             }
+            DivergenceKind::Digest => f.write_str("observation digest mismatch"),
         }
     }
 }
@@ -495,6 +504,35 @@ impl Comparator for VcdDiff {
     }
 }
 
+/// Compares the lanes' [`Observation::fingerprint`] digests — 8 bytes
+/// per lane per interval, however large the design. This is the
+/// distributed-shard lens: two machines can cross-check lanes by
+/// exchanging digests instead of traces and memory images, and
+/// [`Observation::fingerprint`] guarantees the digests can agree iff
+/// every shipped value lens would. The trade-offs: a digest mismatch
+/// ([`DivergenceKind::Digest`]) names the cycle but not the component,
+/// and the fingerprint folds in *which* components a lane observes — so
+/// this lens expects lanes with identical observation masks (an engine
+/// that elides dead latches digests differently from one that does not,
+/// even when every common value agrees). The value lenses skip
+/// unobserved components instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Digest;
+
+impl Comparator for Digest {
+    fn name(&self) -> &str {
+        "digest"
+    }
+
+    fn compare(
+        &mut self,
+        reference: &Observation<'_>,
+        candidate: &Observation<'_>,
+    ) -> Option<DivergenceKind> {
+        (reference.fingerprint() != candidate.fingerprint()).then_some(DivergenceKind::Digest)
+    }
+}
+
 /// The composite of the classic lockstep tuple, in severity order: trace
 /// bytes, cycle counters, outputs, memory cells. The default comparator
 /// set of the cosim harness.
@@ -534,18 +572,21 @@ pub enum CompareMode {
     Cells,
     /// [`VcdDiff`] over every component.
     Vcd,
+    /// [`Digest`] — observation fingerprints, the distributed-shard lens.
+    Digest,
     /// [`All`] — the classic trace/cycles/outputs/cells tuple.
     All,
 }
 
 impl CompareMode {
     /// Every mode, in listing order.
-    pub const ALL: [CompareMode; 6] = [
+    pub const ALL: [CompareMode; 7] = [
         CompareMode::Trace,
         CompareMode::Cycles,
         CompareMode::Outputs,
         CompareMode::Cells,
         CompareMode::Vcd,
+        CompareMode::Digest,
         CompareMode::All,
     ];
 
@@ -557,6 +598,7 @@ impl CompareMode {
             CompareMode::Outputs => "outputs",
             CompareMode::Cells => "cells",
             CompareMode::Vcd => "vcd",
+            CompareMode::Digest => "digest",
             CompareMode::All => "all",
         }
     }
@@ -608,6 +650,7 @@ impl CompareMode {
             CompareMode::Outputs => Box::new(Outputs),
             CompareMode::Cells => Box::new(Cells),
             CompareMode::Vcd => Box::new(VcdDiff::new()),
+            CompareMode::Digest => Box::new(Digest),
             CompareMode::All => Box::new(All),
         }
     }
@@ -725,6 +768,11 @@ mod tests {
             Some(DivergenceKind::Vcd {
                 component: "count".into()
             })
+        );
+        assert_eq!(
+            Digest.compare(&left, &right),
+            Some(DivergenceKind::Digest),
+            "the digest folds in what every other lens sees"
         );
         // All reports the most severe lens first: the trace bytes.
         assert_eq!(All.compare(&left, &right), Some(DivergenceKind::Trace));

@@ -32,6 +32,12 @@
 //! * [`fuzz`] — the fuzz campaign driver and its structured report.
 //! * [`corpus`] — runs the whole built-in
 //!   [`rtl_machines::scenarios`] corpus through lockstep.
+//! * [`digest`] — per-interval observation-fingerprint streams: export a
+//!   reference lane's digests and replay them on another machine as a
+//!   [`DigestLane`] comparison lane — cross-shard lockstep at 8 bytes
+//!   per interval.
+//! * [`wavedump`] — waveform-diff reporting: the divergent window of
+//!   each lane rendered as side-by-side VCD documents.
 //!
 //! ```
 //! use rtl_cosim::{run_scenario, CosimOptions, CosimOutcome, EngineKind};
@@ -48,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod digest;
 pub mod engines;
 pub mod fault;
 pub mod fuzz;
@@ -55,8 +62,10 @@ pub mod generate;
 pub mod lockstep;
 mod report;
 pub mod stream;
+pub mod wavedump;
 
 pub use corpus::{run_corpus, run_corpus_names, CorpusReport};
+pub use digest::{DigestLane, DigestLog, DigestRecorder};
 pub use engines::{default_registry, registry, EngineKind};
 pub use fault::{FaultyVmFactory, DEFAULT_FAULT_CYCLE};
 pub use fuzz::{run_fuzz, run_fuzz_case, FuzzCase, FuzzOptions, FuzzReport};
@@ -66,3 +75,27 @@ pub use lockstep::{
 };
 pub use rtl_core::observe::{Comparator, CompareMode, DivergenceKind, LaneReport, LaneStats};
 pub use stream::{run_scenario_names, ScenarioError};
+
+/// Writes a file via a temp sibling + rename, so a kill mid-write never
+/// leaves a truncated document behind (lockstep checkpoints, digest
+/// streams).
+pub(crate) fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = dir
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("document")
+        ));
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}

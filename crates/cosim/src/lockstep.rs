@@ -74,6 +74,14 @@ pub struct CosimOptions {
     pub checkpoint: Option<LockstepCheckpoint>,
     /// Resume the run from this lockstep checkpoint before executing.
     pub resume: Option<PathBuf>,
+    /// Record the reference lane's observation digest at every comparison
+    /// interval and write the stream here after the run (see
+    /// [`crate::digest`]) — the cheap cross-machine comparison artifact.
+    pub export_digests: Option<PathBuf>,
+    /// Replay a digest stream recorded by another run as an extra
+    /// comparison lane: the reference lane must match the recorded
+    /// digests cycle for cycle.
+    pub check_digests: Option<PathBuf>,
 }
 
 impl Default for CosimOptions {
@@ -86,6 +94,8 @@ impl Default for CosimOptions {
             compare: vec![CompareMode::All],
             checkpoint: None,
             resume: None,
+            export_digests: None,
+            check_digests: None,
         }
     }
 }
@@ -640,25 +650,9 @@ impl<'d> Lockstep<'d> {
     ///
     /// File creation, write, or rename failure.
     pub fn checkpoint_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let path = path.as_ref();
         let mut doc = Vec::new();
         self.checkpoint(&mut doc)?;
-        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
-        let tmp = dir.unwrap_or_else(|| Path::new(".")).join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            path.file_name()
-                .and_then(|n| n.to_str())
-                .unwrap_or("lockstep")
-        ));
-        std::fs::write(&tmp, &doc)?;
-        match std::fs::rename(&tmp, path) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                let _ = std::fs::remove_file(&tmp);
-                Err(e)
-            }
-        }
+        crate::write_atomic(path.as_ref(), &doc)
     }
 
     /// Restores a harness position previously written by

@@ -101,6 +101,43 @@ pub fn run_scenario_names(
         for (name, engine) in stepped {
             lockstep.add_lane(&name, engine);
         }
+        // Digest comparators join before any resume: they are part of the
+        // harness identity a lockstep checkpoint fingerprints.
+        let export_log = match &options.export_digests {
+            Some(_) => {
+                let log = std::rc::Rc::new(std::cell::RefCell::new(crate::digest::DigestLog::new(
+                    scenario.name.clone(),
+                    rtl_core::design_fingerprint(&design),
+                    options.compare_every,
+                )));
+                lockstep.add_comparator(Box::new(crate::digest::DigestRecorder::new(
+                    std::rc::Rc::clone(&log),
+                )));
+                Some(log)
+            }
+            None => None,
+        };
+        if let Some(path) = &options.check_digests {
+            let log = crate::digest::DigestLog::load(path).map_err(|e| {
+                ScenarioError::Engine(format!("cannot read digests {}: {e}", path.display()))
+            })?;
+            if log.design != rtl_core::design_fingerprint(&design) {
+                return Err(ScenarioError::Engine(format!(
+                    "digest stream {} was recorded over a different design",
+                    path.display()
+                )));
+            }
+            if log.every != options.compare_every.max(1) {
+                return Err(ScenarioError::Engine(format!(
+                    "digest stream {} was recorded at stride {}, this run compares every {} \
+                     (strides must match for the cycles to line up)",
+                    path.display(),
+                    log.every,
+                    options.compare_every.max(1)
+                )));
+            }
+            lockstep.add_comparator(Box::new(crate::digest::DigestLane::new(log)));
+        }
         if let Some(path) = &options.resume {
             if !streams.is_empty() {
                 return Err(ScenarioError::Engine(
@@ -117,6 +154,11 @@ pub fn run_scenario_names(
             })?;
         }
         let outcome = drive_lockstep(&mut lockstep, scenario.cycles, options.checkpoint.as_ref())?;
+        if let (Some(path), Some(log)) = (&options.export_digests, export_log) {
+            log.borrow().save(path).map_err(|e| {
+                ScenarioError::Engine(format!("cannot write digests {}: {e}", path.display()))
+            })?;
+        }
         (outcome, lockstep.agreed_output())
     } else {
         let (name, engine) = stepped.into_iter().next().expect("checked non-empty");
@@ -128,6 +170,13 @@ pub fn run_scenario_names(
         if options.resume.is_some() || options.checkpoint.is_some() {
             return Err(ScenarioError::Engine(
                 "lockstep checkpoint/resume needs at least two stepped lanes".into(),
+            ));
+        }
+        if options.export_digests.is_some() || options.check_digests.is_some() {
+            return Err(ScenarioError::Engine(
+                "digest export/check runs through the lockstep comparators and needs \
+                 at least two stepped lanes"
+                    .into(),
             ));
         }
         let mut session = Session::over(engine)

@@ -1,0 +1,302 @@
+//! The distributed-campaign determinism contract: `shard plan N` + N×
+//! `shard run` + `merge` is **bit-identical** to a single-machine
+//! `campaign run` — same report, same `campaign.json`, same case records,
+//! same corpus — at any shard count, including a kill-and-resume inside a
+//! shard.
+
+use proptest::prelude::*;
+use rtl_campaign::{CampaignConfig, CampaignDir, CampaignError, NoProgress, RunOptions};
+use rtl_cosim::GenOptions;
+use rtl_dist::{merge, run_shard, ShardPlan};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch(name: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "asim2-dist-{}-{name}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quick_config(seed: u64, engines: &[&str], cycles: u64) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        cases: 5,
+        engines: engines.iter().map(|s| s.to_string()).collect(),
+        generator: GenOptions {
+            size: 6,
+            cycles,
+            ..GenOptions::default()
+        },
+        compare_every: 1,
+    }
+}
+
+/// Everything outcome-carrying in a campaign directory, as relative path
+/// → bytes: the manifest, every case record, every corpus file. The
+/// `bin-cache/` (a rebuildable cache) and `shard.json` (shard-local
+/// metadata by design) are excluded.
+fn tree(root: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    files.insert(
+        "campaign.json".to_string(),
+        std::fs::read(root.join("campaign.json")).expect("manifest exists"),
+    );
+    for sub in ["cases", "corpus"] {
+        let dir = root.join(sub);
+        let Ok(listing) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for dirent in listing {
+            let path = dirent.unwrap().path();
+            if path.is_file() {
+                let name = format!("{sub}/{}", path.file_name().unwrap().to_string_lossy());
+                files.insert(name, std::fs::read(&path).unwrap());
+            }
+        }
+    }
+    files
+}
+
+/// Runs the full sharded pipeline and asserts bit-identity against the
+/// given single-machine baseline. When `interrupt` is set, shard 0 is
+/// first killed after one case (`limit: Some(1)`) and then resumed — the
+/// kill-and-resume inside one shard must change nothing.
+fn assert_sharded_matches(
+    config: &CampaignConfig,
+    shards: u32,
+    single_report: &str,
+    single_tree: &BTreeMap<String, Vec<u8>>,
+    interrupt: bool,
+) {
+    let plan = ShardPlan::partition(config.clone(), shards).unwrap();
+    let mut dirs = Vec::new();
+    for spec in &plan.shards {
+        let dir = CampaignDir::new(scratch(&format!("shard{}", spec.index)));
+        if interrupt && spec.index == 0 && spec.cases() > 1 {
+            let partial = run_shard(
+                &plan,
+                spec.index,
+                &dir,
+                &RunOptions {
+                    limit: Some(1),
+                    ..RunOptions::default()
+                },
+                &mut NoProgress,
+            )
+            .unwrap();
+            assert!(!partial.complete(), "limit interrupts the shard");
+        }
+        let report = run_shard(
+            &plan,
+            spec.index,
+            &dir,
+            &RunOptions::default(),
+            &mut NoProgress,
+        )
+        .unwrap();
+        assert!(report.complete(), "{report}");
+        dirs.push(dir.root().to_path_buf());
+    }
+    // Argument order must not matter: merge sorts shards by index.
+    dirs.reverse();
+    let out = CampaignDir::new(scratch("merged"));
+    let merged = merge(&plan, &dirs, &out).unwrap();
+    assert_eq!(
+        format!("{merged}"),
+        single_report,
+        "merged report text ({shards} shards)"
+    );
+    assert_eq!(
+        &tree(out.root()),
+        single_tree,
+        "merged directory bytes ({shards} shards)"
+    );
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let _ = std::fs::remove_dir_all(out.root());
+}
+
+proptest! {
+    /// The acceptance property: for any base seed and shard count, the
+    /// union of independently-run shards merges to the byte-identical
+    /// campaign — with a kill-and-resume exercised inside shard 0
+    /// whenever the partition leaves it more than one case.
+    #[test]
+    fn sharded_campaign_is_bit_identical_to_single_machine(
+        seed in 0u64..4,
+        pick in 0usize..3,
+    ) {
+        let shards = [1u32, 2, 4][pick];
+        let config = quick_config(seed, &["interp", "vm"], 12);
+        let single = CampaignDir::new(scratch("single"));
+        let report = rtl_campaign::run(
+            &single,
+            &config,
+            &RunOptions::default(),
+            &mut NoProgress,
+        )
+        .unwrap();
+        prop_assert!(report.clean(), "{report}");
+        let single_tree = tree(single.root());
+        assert_sharded_matches(
+            &config,
+            shards,
+            &format!("{report}"),
+            &single_tree,
+            shards > 1,
+        );
+        let _ = std::fs::remove_dir_all(single.root());
+    }
+}
+
+#[test]
+fn diverging_shards_merge_records_and_corpus_identically() {
+    // The vm-fault lane diverges every case at cycle 40; each case is
+    // shrunk and archived, so this exercises record *and* corpus
+    // bit-identity (entries deduped by scenario fingerprint — distinct
+    // seeds never collide, so nothing is dropped here).
+    let mut config = quick_config(3, &["interp", "vm-fault"], 48);
+    config.cases = 3;
+    let single = CampaignDir::new(scratch("fault-single"));
+    let report = rtl_campaign::run(&single, &config, &RunOptions::default(), &mut NoProgress)
+        .expect("campaign runs (divergence is a result, not an error)");
+    assert_eq!(report.diverged(), 3, "{report}");
+    let single_tree = tree(single.root());
+    assert!(
+        single_tree.keys().any(|k| k.starts_with("corpus/")),
+        "divergences archived: {:?}",
+        single_tree.keys()
+    );
+    for shards in [1, 3] {
+        assert_sharded_matches(&config, shards, &format!("{report}"), &single_tree, false);
+    }
+    let _ = std::fs::remove_dir_all(single.root());
+}
+
+#[test]
+fn merge_refuses_drift_and_incompleteness() {
+    let config = quick_config(0, &["interp", "vm"], 12);
+    let plan = ShardPlan::partition(config.clone(), 2).unwrap();
+    let a = CampaignDir::new(scratch("refuse-a"));
+    let b = CampaignDir::new(scratch("refuse-b"));
+    run_shard(&plan, 0, &a, &RunOptions::default(), &mut NoProgress).unwrap();
+
+    // Shard 1 interrupted: merge refuses until it completes.
+    run_shard(
+        &plan,
+        1,
+        &b,
+        &RunOptions {
+            limit: Some(1),
+            ..RunOptions::default()
+        },
+        &mut NoProgress,
+    )
+    .unwrap();
+    let out = CampaignDir::new(scratch("refuse-out"));
+    let dirs = vec![a.root().to_path_buf(), b.root().to_path_buf()];
+    let err = merge(&plan, &dirs, &out).unwrap_err();
+    assert!(err.to_string().contains("missing case"), "{err}");
+
+    // The same directory twice: refused.
+    let twice = vec![a.root().to_path_buf(), a.root().to_path_buf()];
+    let err = merge(&plan, &twice, &out).unwrap_err();
+    assert!(err.to_string().contains("more than once"), "{err}");
+
+    // A directory from a different plan: refused.
+    let other_plan = ShardPlan::partition(
+        CampaignConfig {
+            seed: 99,
+            ..config.clone()
+        },
+        2,
+    )
+    .unwrap();
+    let err = merge(&other_plan, &dirs, &out).unwrap_err();
+    assert!(
+        matches!(err, CampaignError::Config(_)),
+        "drifted config must be refused, got {err}"
+    );
+
+    // Completing shard 1 heals the merge.
+    run_shard(&plan, 1, &b, &RunOptions::default(), &mut NoProgress).unwrap();
+    let merged = merge(&plan, &dirs, &out).unwrap();
+    assert!(merged.clean(), "{merged}");
+
+    // A record outside the shard's range poisons a future merge.
+    let stray = CampaignDir::new(scratch("refuse-stray"));
+    run_shard(&plan, 0, &stray, &RunOptions::default(), &mut NoProgress).unwrap();
+    let out_of_range = plan.shards[1].start; // belongs to shard 1
+    std::fs::copy(b.case_path(out_of_range), stray.case_path(out_of_range)).unwrap();
+    let out2 = CampaignDir::new(scratch("refuse-out2"));
+    let err = merge(
+        &plan,
+        &[stray.root().to_path_buf(), b.root().to_path_buf()],
+        &out2,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("outside"), "{err}");
+
+    for dir in [&a, &b, &out, &stray, &out2] {
+        let _ = std::fs::remove_dir_all(dir.root());
+    }
+}
+
+#[test]
+fn run_shard_heals_a_kill_between_init_and_marker() {
+    // run_shard writes campaign.json, then shard.json — a kill between
+    // the two leaves a manifest with an empty cases/ and no marker.
+    // Re-running the same shard must heal that window, not refuse it.
+    let config = quick_config(0, &["interp", "vm"], 12);
+    let plan = ShardPlan::partition(config, 2).unwrap();
+    let dir = CampaignDir::new(scratch("healed"));
+    dir.init(&plan.config).unwrap(); // simulate the crash window
+    assert!(!dir.root().join("shard.json").exists());
+    let report = run_shard(&plan, 0, &dir, &RunOptions::default(), &mut NoProgress).unwrap();
+    assert!(report.clean(), "{report}");
+    assert!(dir.root().join("shard.json").exists(), "marker rewritten");
+    let _ = std::fs::remove_dir_all(dir.root());
+}
+
+#[test]
+fn run_shard_refuses_foreign_directories() {
+    let config = quick_config(0, &["interp", "vm"], 12);
+    let plan = ShardPlan::partition(config.clone(), 2).unwrap();
+    let dir = CampaignDir::new(scratch("foreign"));
+    run_shard(&plan, 0, &dir, &RunOptions::default(), &mut NoProgress).unwrap();
+
+    // Same directory, different shard index: refused.
+    let err = run_shard(&plan, 1, &dir, &RunOptions::default(), &mut NoProgress).unwrap_err();
+    assert!(err.to_string().contains("shard 0"), "{err}");
+
+    // Same directory, different plan: refused.
+    let other = ShardPlan::partition(CampaignConfig { seed: 7, ..config }, 2).unwrap();
+    let err = run_shard(&other, 0, &dir, &RunOptions::default(), &mut NoProgress).unwrap_err();
+    assert!(
+        matches!(err, CampaignError::Config(_)),
+        "foreign plan must be refused, got {err}"
+    );
+
+    // A plain (unsharded) campaign directory: refused, not silently
+    // adopted.
+    let plain = CampaignDir::new(scratch("plain"));
+    rtl_campaign::run(
+        &plain,
+        &plan.config,
+        &RunOptions::default(),
+        &mut NoProgress,
+    )
+    .unwrap();
+    let err = run_shard(&plan, 0, &plain, &RunOptions::default(), &mut NoProgress).unwrap_err();
+    assert!(err.to_string().contains("shard.json"), "{err}");
+
+    let _ = std::fs::remove_dir_all(dir.root());
+    let _ = std::fs::remove_dir_all(plain.root());
+}

@@ -58,6 +58,7 @@ proptest! {
             for compare in [
                 vec![CompareMode::Trace],
                 vec![CompareMode::Vcd],
+                vec![CompareMode::Digest],
                 vec![CompareMode::All],
             ] {
                 let label = format!("stride {stride}, {compare:?}");
