@@ -409,6 +409,9 @@ pub struct ReplayResult {
     pub expected: (u64, String),
     /// What happened now.
     pub outcome: ReplayOutcome,
+    /// Per-lane statistics from the replay run, for lanes whose engines
+    /// keep them.
+    pub lane_stats: Vec<crate::state::LaneAccess>,
 }
 
 /// A corpus replay sweep.
@@ -447,6 +450,14 @@ impl std::fmt::Display for ReplayReport {
             };
             writeln!(f, "  corpus/{:<16} {status}", r.name)?;
         }
+        for totals in crate::runner::aggregate_lanes(self.results.iter().map(|r| &r.lane_stats[..]))
+        {
+            writeln!(
+                f,
+                "  replay lane {}: {} entries, {} cycles, {} accesses",
+                totals.lane, totals.cases, totals.cycles, totals.accesses
+            )?;
+        }
         writeln!(
             f,
             "corpus replay: {} entries, {} reproduced",
@@ -479,6 +490,15 @@ pub fn replay(
         };
         let outcome = rtl_cosim::run_scenario_names(registry, &lanes, &entry.scenario, &options)
             .map_err(CampaignError::from)?;
+        let lane_stats = outcome
+            .lane_stats()
+            .iter()
+            .map(|s| crate::state::LaneAccess {
+                lane: s.lane.clone(),
+                cycles: s.stats.cycles,
+                accesses: s.stats.total_accesses(),
+            })
+            .collect();
         let outcome = match outcome {
             CosimOutcome::Divergence(report) => ReplayOutcome::Reproduced {
                 cycle: u64::try_from(report.cycle).unwrap_or(0),
@@ -495,6 +515,7 @@ pub fn replay(
             name: entry.name.clone(),
             expected: (entry.cycle, entry.kind.clone()),
             outcome,
+            lane_stats,
         });
     }
     Ok(ReplayReport { results })

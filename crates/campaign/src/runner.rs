@@ -18,7 +18,7 @@ use crate::fault::FaultyVmFactory;
 use crate::shrink::shrink_divergence;
 use crate::state::{CampaignDir, CaseRecord, CaseStatus};
 use rtl_compile::{BinaryCache, GeneratedRustFactory};
-use rtl_core::{EngineRegistry, StopReason};
+use rtl_core::{EngineRegistry, Recorder, StopReason};
 use rtl_cosim::{run_fuzz_case, FuzzOptions};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -48,6 +48,17 @@ pub struct RunOptions {
     /// left unrun (the report shows them as gaps). `None` runs
     /// everything.
     pub case_range: Option<std::ops::Range<u32>>,
+    /// Telemetry tap (disabled/no-op by default), threaded into every
+    /// worker's lockstep sessions. Deterministic counters
+    /// (`campaign/cases_executed`, `campaign/cycles_verified`,
+    /// `campaign/divergences`, `campaign/shrink_probes`, ...) fold to
+    /// byte-identical totals across worker counts and kill+resume;
+    /// spans and gauges are wall-clock. Recording never perturbs the
+    /// campaign's report, manifest or case records. One caveat:
+    /// `campaign/bin_cache_hits`/`_misses` depend on which worker wins a
+    /// compile race, so they are only schedule-stable when the engine
+    /// set reaches a warm cache or never compiles at all.
+    pub recorder: Recorder,
 }
 
 /// The cycle cadence of `--case-checkpoint` lockstep checkpoints.
@@ -63,6 +74,7 @@ impl Default for RunOptions {
             limit: None,
             case_checkpoint: false,
             case_range: None,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -141,6 +153,50 @@ impl CampaignReport {
             .filter(|r| want(&r.status))
             .count() as u32
     }
+
+    /// Per-lane totals aggregated over every completed case's persisted
+    /// [`LaneAccess`](crate::state::LaneAccess) stats, sorted by lane
+    /// name. Purely a function of the records, so the rendering stays
+    /// deterministic (and identical between a single-machine run and a
+    /// merged shard set).
+    pub fn lane_totals(&self) -> Vec<LaneTotals> {
+        aggregate_lanes(self.records.iter().flatten().map(|r| &r.lane_stats[..]))
+    }
+}
+
+/// Aggregated per-lane statistics across a set of case records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneTotals {
+    /// Engine lane name.
+    pub lane: String,
+    /// Cases this lane reported stats for.
+    pub cases: u64,
+    /// Total cycles the lane executed.
+    pub cycles: u64,
+    /// Total register/memory accesses the lane performed.
+    pub accesses: u64,
+}
+
+/// Folds per-case [`LaneAccess`](crate::state::LaneAccess) stats into
+/// sorted per-lane totals (shared by campaign, shard and replay reports).
+pub fn aggregate_lanes<'a>(
+    stats: impl IntoIterator<Item = &'a [crate::state::LaneAccess]>,
+) -> Vec<LaneTotals> {
+    let mut lanes: std::collections::BTreeMap<&str, LaneTotals> = Default::default();
+    for case in stats {
+        for stat in case {
+            let entry = lanes.entry(&stat.lane).or_insert_with(|| LaneTotals {
+                lane: stat.lane.clone(),
+                cases: 0,
+                cycles: 0,
+                accesses: 0,
+            });
+            entry.cases += 1;
+            entry.cycles += stat.cycles;
+            entry.accesses += stat.accesses;
+        }
+    }
+    lanes.into_values().collect()
 }
 
 impl std::fmt::Display for CampaignReport {
@@ -185,6 +241,13 @@ impl std::fmt::Display for CampaignReport {
                     }
                 }
             }
+        }
+        for totals in self.lane_totals() {
+            writeln!(
+                f,
+                "lane {}: {} cases, {} cycles, {} accesses",
+                totals.lane, totals.cases, totals.cycles, totals.accesses
+            )?;
         }
         let done = self.completed();
         write!(
@@ -237,6 +300,9 @@ pub fn run(
     // Pre-seeded regression scenarios replay before any fuzzing: a known
     // bug resurfacing is worth more than a new random case.
     let entries = corpus::load_all(&dir.corpus())?;
+    options
+        .recorder
+        .count("campaign", "corpus_replayed", entries.len() as u64);
     let replay = if entries.is_empty() {
         None
     } else {
@@ -307,7 +373,10 @@ fn execute(
     progress: &mut dyn Progress,
 ) -> Result<CampaignReport, CampaignError> {
     let started = Instant::now();
-    let fuzz = config.fuzz_options();
+    let mut fuzz = config.fuzz_options();
+    // The recorder reaches every lane session and lockstep harness from
+    // here; it is a run-time tap, so the config fingerprint is unchanged.
+    fuzz.cosim.recorder = options.recorder.clone();
     let mut pending: Vec<u32> = records
         .iter()
         .enumerate()
@@ -330,16 +399,22 @@ fn execute(
         }
     }
     let workers = options.workers.clamp(1, pending.len().max(1));
+    options
+        .recorder
+        .gauge("campaign", "workers", workers as u64);
     let mut new_corpus = BTreeSet::new();
     let mut first_error: Option<CampaignError> = None;
 
     std::thread::scope(|scope| {
         let (tx, rx) = mpsc::channel::<Result<DoneCase, CampaignError>>();
-        for _ in 0..workers {
+        for worker in 0..workers {
             let tx = tx.clone();
             let (pending, next, abort) = (&pending, &next, &abort);
             let (fuzz, cache) = (&fuzz, Arc::clone(&cache));
+            let recorder = options.recorder.clone();
             scope.spawn(move || {
+                let _worker_span = recorder.span("campaign", "worker");
+                let mut claimed = 0u64;
                 let registry = campaign_registry(Some(cache));
                 loop {
                     if abort.load(Ordering::Relaxed) {
@@ -349,13 +424,27 @@ fn execute(
                     let Some(&index) = pending.get(slot) else {
                         break;
                     };
-                    let result = run_one(&registry, config, fuzz, index, dir, case_checkpoint);
+                    claimed += 1;
+                    let case_span = recorder.span("campaign", "case");
+                    let result = run_one(
+                        &registry,
+                        config,
+                        fuzz,
+                        index,
+                        dir,
+                        case_checkpoint,
+                        &recorder,
+                    );
+                    drop(case_span);
                     let failed = result.is_err();
                     if tx.send(result).is_err() || failed {
                         abort.store(true, Ordering::Relaxed);
                         break;
                     }
                 }
+                // Which worker claimed how many cases is scheduling
+                // luck — a utilization gauge, never a counter.
+                recorder.gauge("campaign", &format!("worker_{worker}_cases"), claimed);
             });
         }
         drop(tx);
@@ -383,6 +472,15 @@ fn execute(
     if let Some(e) = first_error {
         return Err(e);
     }
+    // Cache effectiveness for this invocation. Which worker wins a
+    // compile race can shift a hit into a miss, so these counters are
+    // only schedule-stable for engine sets that reach a warm cache (or
+    // none at all) — the caveat lives on `RunOptions::recorder`.
+    let (hits, misses) = cache.stats();
+    options.recorder.count("campaign", "bin_cache_hits", hits);
+    options
+        .recorder
+        .count("campaign", "bin_cache_misses", misses);
     Ok(CampaignReport {
         config: config.clone(),
         replay,
@@ -404,6 +502,7 @@ fn run_one(
     index: u32,
     dir: &CampaignDir,
     case_checkpoint: bool,
+    recorder: &Recorder,
 ) -> Result<DoneCase, CampaignError> {
     // Thread the per-case lockstep checkpoint through: write it while the
     // case runs, resume from a leftover document (a kill mid-case), and
@@ -446,6 +545,7 @@ fn run_one(
             (status, None)
         }
         Some(report) => {
+            recorder.count("campaign", "divergences", 1);
             // Shrink immediately (deterministic per case, so parallelism
             // is preserved) and archive the minimal reproduction.
             let shrunk = shrink_divergence(
@@ -456,10 +556,14 @@ fn run_one(
                 &probe_cosim,
             )?;
             let corpus = match &shrunk {
-                Some(shrunk) => Some(
-                    corpus::save(&dir.corpus(), shrunk, &config.engines, config.compare_every)?
-                        .name,
-                ),
+                Some(shrunk) => {
+                    recorder.count("campaign", "shrink_probes", u64::from(shrunk.attempts));
+                    recorder.count("campaign", "corpus_entries", 1);
+                    Some(
+                        corpus::save(&dir.corpus(), shrunk, &config.engines, config.compare_every)?
+                            .name,
+                    )
+                }
                 None => None,
             };
             let status = CaseStatus::Diverged {
@@ -479,11 +583,15 @@ fn run_one(
             .iter()
             .map(|s| crate::state::LaneAccess {
                 lane: s.lane.clone(),
+                cycles: s.stats.cycles,
                 accesses: s.stats.total_accesses(),
             })
             .collect(),
         status,
     };
+    recorder.count("campaign", "cases_executed", 1);
+    recorder.count("campaign", &format!("cases_{}", record.status.tag()), 1);
+    recorder.count("campaign", "cycles_verified", record.cycles);
     // Publish from the worker (atomic temp-file + rename), so record I/O
     // overlaps across workers instead of serializing in the collector.
     // Once this returns, the case is durable: a kill right after still

@@ -72,6 +72,9 @@ impl CaseStatus {
 pub struct LaneAccess {
     /// Engine lane name.
     pub lane: String,
+    /// Cycles the lane executed (0 in records written before the field
+    /// existed).
+    pub cycles: u64,
     /// Total memory accesses (reads + writes + inputs + outputs).
     pub accesses: u64,
 }
@@ -108,6 +111,7 @@ impl CaseRecord {
                         .map(|s| {
                             Json::Obj(vec![
                                 ("lane".into(), Json::str(&s.lane)),
+                                ("cycles".into(), Json::num(s.cycles)),
                                 ("accesses".into(), Json::num(s.accesses)),
                             ])
                         })
@@ -186,6 +190,8 @@ impl CaseRecord {
                     .filter_map(|e| {
                         Some(LaneAccess {
                             lane: e.get("lane")?.as_str()?.to_string(),
+                            // Absent in pre-PR6 records: read as 0.
+                            cycles: e.get("cycles").and_then(Json::as_u64).unwrap_or(0),
                             accesses: e.get("accesses")?.as_u64()?,
                         })
                     })
@@ -437,10 +443,12 @@ mod tests {
                 lane_stats: vec![
                     LaneAccess {
                         lane: "interp".into(),
+                        cycles: 64,
                         accesses: 128,
                     },
                     LaneAccess {
                         lane: "vm".into(),
+                        cycles: 64,
                         accesses: 128,
                     },
                 ],

@@ -1,0 +1,347 @@
+//! `asim2 bench snapshot` — a versioned, committable benchmark snapshot.
+//!
+//! Runs a fixed workload matrix — lockstep comparison strides, comparator
+//! ablations, campaign throughput across worker counts, and shard-merge
+//! throughput — and writes one `asim2-bench-snapshot v1` JSON document.
+//! The numbers are wall-clock and therefore machine-dependent; the
+//! *document* is the deterministic part: a stable shape, stable workload
+//! names and units, so snapshots from different commits diff cleanly
+//! (the repo commits one per tentpole PR as `BENCH_<tag>.json`).
+//!
+//! `--quick` shrinks every workload (one timing iteration, smaller case
+//! counts) for CI smoke use; the snapshot records which mode produced it.
+
+use crate::{load_err, usage_err, CliError};
+use rtl_campaign::json::Json;
+use rtl_campaign::{CampaignConfig, CampaignDir, NoProgress, RunOptions};
+use rtl_cosim::{CompareMode, CosimOptions, GenOptions};
+use std::io::Write;
+use std::time::Instant;
+
+/// The snapshot format line; bump on breaking shape changes.
+pub(crate) const BENCH_FORMAT: &str = "asim2-bench-snapshot v1";
+
+struct BenchResult {
+    name: String,
+    unit: &'static str,
+    value: f64,
+    iters: u32,
+}
+
+pub(crate) fn bench_cmd(
+    rest: &[&str],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), CliError> {
+    let sub = rest
+        .first()
+        .copied()
+        .ok_or_else(|| usage_err("bench needs a subcommand (snapshot)"))?;
+    if sub != "snapshot" {
+        return Err(usage_err(format!(
+            "unknown bench subcommand {sub:?} (expected snapshot)"
+        )));
+    }
+    let mut out_path: Option<&str> = None;
+    let mut quick = false;
+    let mut i = 1;
+    while i < rest.len() {
+        match rest[i] {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out_path = Some(
+                    rest.get(i)
+                        .copied()
+                        .ok_or_else(|| usage_err("--out needs a value"))?,
+                );
+            }
+            other => {
+                return Err(usage_err(format!(
+                    "bench snapshot does not take {other:?} (accepted: --out FILE --quick)"
+                )));
+            }
+        }
+        i += 1;
+    }
+
+    let results = run_benches(quick, err)?;
+    let doc = render_snapshot(&results, quick);
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, &doc)
+                .map_err(|e| load_err(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(err, "bench snapshot -> {path}");
+        }
+        None => {
+            let _ = out.write_all(doc.as_bytes());
+        }
+    }
+    Ok(())
+}
+
+fn run_benches(quick: bool, err: &mut dyn Write) -> Result<Vec<BenchResult>, CliError> {
+    let iters = if quick { 1 } else { 3 };
+    let cycles: u64 = if quick { 100 } else { 500 };
+    let scenario = rtl_cosim::generate_scenario(
+        1,
+        &GenOptions {
+            size: 32,
+            cycles,
+            io_every: 1,
+        },
+    );
+    let engines = ["interp".to_string(), "vm".to_string()];
+    let mut results = Vec::new();
+
+    // Lockstep stride sweep: how much does comparison cadence cost?
+    for stride in [1u64, 16, 128] {
+        let options = CosimOptions {
+            compare_every: stride,
+            ..CosimOptions::default()
+        };
+        let secs = median_secs(iters, || {
+            rtl_cosim::run_scenario_names(rtl_cosim::registry(), &engines, &scenario, &options)
+                .map(|_| ())
+                .map_err(load_err)
+        })?;
+        results.push(report(
+            err,
+            format!("lockstep_stride_{stride}"),
+            "cycles_per_sec",
+            cycles as f64 / secs,
+            iters,
+        ));
+    }
+
+    // Comparator ablation at stride 1: the cost of each lens.
+    for (label, list) in [("trace", "trace"), ("vcd", "vcd"), ("all", "all")] {
+        let options = CosimOptions {
+            compare_every: 1,
+            compare: CompareMode::parse_list(list).map_err(load_err)?,
+            ..CosimOptions::default()
+        };
+        let secs = median_secs(iters, || {
+            rtl_cosim::run_scenario_names(rtl_cosim::registry(), &engines, &scenario, &options)
+                .map(|_| ())
+                .map_err(load_err)
+        })?;
+        results.push(report(
+            err,
+            format!("comparators_{label}"),
+            "cycles_per_sec",
+            cycles as f64 / secs,
+            iters,
+        ));
+    }
+
+    // Campaign throughput across worker counts.
+    let cases: u32 = if quick { 8 } else { 32 };
+    let config = CampaignConfig {
+        cases,
+        engines: engines.to_vec(),
+        generator: GenOptions {
+            size: 16,
+            cycles: 64,
+            io_every: 2,
+        },
+        ..CampaignConfig::default()
+    };
+    for workers in [1usize, 2, 4] {
+        let options = RunOptions {
+            workers,
+            ..RunOptions::default()
+        };
+        let secs = median_secs(iters, || {
+            let dir = temp_dir(&format!("campaign-w{workers}"));
+            let run =
+                rtl_campaign::run(&CampaignDir::new(&dir), &config, &options, &mut NoProgress);
+            let _ = std::fs::remove_dir_all(&dir);
+            run.map(|_| ()).map_err(crate::campaign_err)
+        })?;
+        results.push(report(
+            err,
+            format!("campaign_workers_{workers}"),
+            "cases_per_sec",
+            f64::from(cases) / secs,
+            iters,
+        ));
+    }
+
+    // Merge throughput: fold two completed shard directories back into
+    // one campaign. The shards run once outside the timed region.
+    let plan = rtl_dist::ShardPlan::partition(config.clone(), 2).map_err(crate::campaign_err)?;
+    let shard_dirs: Vec<std::path::PathBuf> = (0..2)
+        .map(|i| {
+            let dir = temp_dir(&format!("merge-shard-{i}"));
+            rtl_dist::run_shard(
+                &plan,
+                i,
+                &CampaignDir::new(&dir),
+                &RunOptions::default(),
+                &mut NoProgress,
+            )
+            .map(|_| dir)
+            .map_err(crate::campaign_err)
+        })
+        .collect::<Result<_, _>>()?;
+    let secs = median_secs(iters, || {
+        let out_dir = temp_dir("merge-out");
+        let run = rtl_dist::merge(&plan, &shard_dirs, &CampaignDir::new(&out_dir));
+        let _ = std::fs::remove_dir_all(&out_dir);
+        run.map(|_| ()).map_err(crate::campaign_err)
+    })?;
+    for dir in &shard_dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    results.push(report(
+        err,
+        "merge_2_shards".to_string(),
+        "cases_per_sec",
+        f64::from(cases) / secs,
+        iters,
+    ));
+
+    Ok(results)
+}
+
+/// Times `work` `iters` times and returns the median duration in seconds.
+fn median_secs(
+    iters: u32,
+    mut work: impl FnMut() -> Result<(), CliError>,
+) -> Result<f64, CliError> {
+    let mut times = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let started = Instant::now();
+        work()?;
+        times.push(started.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    Ok(times[times.len() / 2].max(1e-9))
+}
+
+fn report(
+    err: &mut dyn Write,
+    name: String,
+    unit: &'static str,
+    value: f64,
+    iters: u32,
+) -> BenchResult {
+    let _ = writeln!(err, "bench {name}: {value:.1} {unit}");
+    BenchResult {
+        name,
+        unit,
+        value,
+        iters,
+    }
+}
+
+fn render_snapshot(results: &[BenchResult], quick: bool) -> String {
+    let items: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("name".into(), Json::str(r.name.clone())),
+                ("unit".into(), Json::str(r.unit)),
+                ("value".into(), Json::num(format!("{:.1}", r.value))),
+                ("iters".into(), Json::num(r.iters)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("format".into(), Json::str(BENCH_FORMAT)),
+        ("date".into(), Json::str(today_utc())),
+        ("quick".into(), Json::Bool(quick)),
+        ("results".into(), Json::Arr(items)),
+    ])
+    .render()
+}
+
+/// Renders today's UTC date as `YYYY-MM-DD` from the system clock
+/// (civil-from-days, Gregorian; no clock libraries in this workspace).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days, shifted to the 0000-03-01 era.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("asim-bench-{}-{tag}", std::process::id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_date_renders_plausibly() {
+        let date = today_utc();
+        assert_eq!(date.len(), 10, "{date}");
+        assert_eq!(&date[4..5], "-");
+        assert_eq!(&date[7..8], "-");
+        let year: i64 = date[..4].parse().unwrap();
+        assert!(year >= 2024, "{date}");
+    }
+
+    #[test]
+    fn snapshot_document_shape() {
+        let results = vec![BenchResult {
+            name: "lockstep_stride_1".into(),
+            unit: "cycles_per_sec",
+            value: 1234.5,
+            iters: 3,
+        }];
+        let doc = render_snapshot(&results, true);
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed.get("format").and_then(Json::as_str),
+            Some(BENCH_FORMAT)
+        );
+        assert_eq!(parsed.get("quick").and_then(Json::as_bool), Some(true));
+        let items = parsed.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(items.len(), 1);
+        assert_eq!(
+            items[0].get("name").and_then(Json::as_str),
+            Some("lockstep_stride_1")
+        );
+    }
+
+    #[test]
+    fn usage_errors() {
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        assert_eq!(bench_cmd(&[], &mut out, &mut err).unwrap_err().code, 1);
+        assert_eq!(
+            bench_cmd(&["frobnicate"], &mut out, &mut err)
+                .unwrap_err()
+                .code,
+            1
+        );
+        assert_eq!(
+            bench_cmd(&["snapshot", "--bogus"], &mut out, &mut err)
+                .unwrap_err()
+                .code,
+            1
+        );
+        assert_eq!(
+            bench_cmd(&["snapshot", "--out"], &mut out, &mut err)
+                .unwrap_err()
+                .code,
+            1
+        );
+    }
+}

@@ -16,6 +16,8 @@
 //! asim2 fuzz   [--seed N] [--cases N] [--cycles N] [--size N] [--engines LIST]
 //! asim2 campaign run|resume|replay|shrink ...
 //! asim2 campaign shard plan|run|merge ...    distributed campaigns (rtl-dist)
+//! asim2 metrics summarize FILE... [--check]  fold asim2-events logs (rtl-obs)
+//! asim2 bench snapshot [--out F] [--quick]   versioned benchmark snapshot
 //! ```
 //!
 //! `cosim` with no FILE sweeps the whole built-in scenario corpus.
@@ -34,6 +36,9 @@ use rtl_core::{
 use rtl_interp::Interpreter;
 use rtl_machines::Scenario;
 use std::io::Write;
+
+mod bench;
+mod metrics;
 
 /// Executes the tool with the process's stdin. Returns the process exit
 /// code: 0 success, 1 usage error, 2 load (parse/elaborate) error, 3
@@ -102,15 +107,23 @@ const USAGE: &str = "usage:
   asim2 fuzz    [--seed N] [--cases N] [--cycles N] [--size N] [--engines interp,vm,...]
   asim2 campaign run    --dir D [--cases N] [--seed N] [--workers N] [--engines LIST]
                         [--cycles N] [--size N] [--compare-every N] [--limit N]
-                        [--case-checkpoint]
+                        [--case-checkpoint] [--metrics-out F.jsonl] [--progress[=MS]]
+                        [--quiet]
   asim2 campaign resume --dir D [--workers N] [--limit N] [--case-checkpoint]
+                        [--metrics-out F.jsonl] [--progress[=MS]] [--quiet]
   asim2 campaign replay --dir D [--engines LIST]
   asim2 campaign shrink --dir D --seed N [--engines LIST] [--cycles N] [--size N]
   asim2 campaign shard plan  [--plan F] --cases N --shards K [--seed N] [--engines LIST]
                              [--cycles N] [--size N] [--compare-every N]
   asim2 campaign shard run   [--plan F] --shard I --dir D [--workers N] [--limit N]
-                             [--case-checkpoint]
+                             [--case-checkpoint] [--metrics-out F.jsonl]
+                             [--progress[=MS]] [--quiet]
   asim2 campaign shard merge [--plan F] --out D --shards DIR1,DIR2,...
+                             [--metrics-out F.jsonl]
+  asim2 metrics summarize FILE...           (fold asim2-events v1 logs into one summary)
+  asim2 metrics summarize --check RUN1 RUN2...  (RUNs are files or comma-joined file
+                             groups; exit 3 unless all deterministic sections match)
+  asim2 bench snapshot  [--out FILE.json] [--quick]
 
 engine NAMEs come from the registry: interp, interp-faithful, vm, vm-noopt,
 rust (the generated binary run as a subprocess cosim lane) and vm-fault (a
@@ -140,6 +153,8 @@ fn dispatch(
         "cosim" => cosim_cmd(&rest, out),
         "fuzz" => fuzz_cmd(&rest, out),
         "campaign" => campaign_cmd(&rest, out, err),
+        "metrics" => metrics::metrics_cmd(&rest, out),
+        "bench" => bench::bench_cmd(&rest, out, err),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
@@ -758,44 +773,105 @@ fn campaign_err(e: rtl_campaign::CampaignError) -> CliError {
     }
 }
 
-/// Per-case progress with throughput, written to stderr so stdout stays
-/// the deterministic report.
-struct CliProgress<'a> {
+/// Live campaign progress, written to stderr so stdout stays the
+/// deterministic report. Rate-limited: at most one line per refresh
+/// period (plus the final case), so a 10k-case sweep does not write 10k
+/// lines and CI logs stop interleaving progress with test output.
+/// `--quiet` silences it entirely; `--progress=MS` tunes the period.
+struct ProgressReporter<'a> {
     err: &'a mut dyn Write,
+    enabled: bool,
+    period: std::time::Duration,
     started: std::time::Instant,
+    last_line: Option<std::time::Instant>,
     completed: u32,
-    cycles: u64,
+    agreed: u32,
+    diverged: u32,
 }
 
-impl<'a> CliProgress<'a> {
-    fn new(err: &'a mut dyn Write) -> Self {
-        CliProgress {
+impl<'a> ProgressReporter<'a> {
+    /// Default refresh period between progress lines, in milliseconds.
+    const DEFAULT_PERIOD_MS: u64 = 1000;
+
+    fn new(err: &'a mut dyn Write, enabled: bool, period_ms: u64) -> Self {
+        ProgressReporter {
             err,
+            enabled,
+            period: std::time::Duration::from_millis(period_ms),
             started: std::time::Instant::now(),
+            last_line: None,
             completed: 0,
-            cycles: 0,
+            agreed: 0,
+            diverged: 0,
         }
+    }
+
+    /// Builds the reporter from the parsed `--progress[=MS]`/`--quiet`
+    /// flags (progress is on by default, at the default period).
+    fn from_flags(
+        err: &'a mut dyn Write,
+        flags: &[&str],
+    ) -> Result<ProgressReporter<'a>, CliError> {
+        let quiet = flags.contains(&"--quiet");
+        let period = progress_period(flags)?.unwrap_or(Self::DEFAULT_PERIOD_MS);
+        Ok(ProgressReporter::new(err, !quiet, period))
     }
 }
 
-impl rtl_campaign::Progress for CliProgress<'_> {
+impl rtl_campaign::Progress for ProgressReporter<'_> {
     fn case_done(&mut self, record: &rtl_campaign::CaseRecord, done: u32, total: u32) {
         self.completed += 1;
-        self.cycles += record.cycles;
-        // Report at ~5% granularity (always the first and last case), so
-        // a 10k-case sweep does not write 10k lines.
-        let stride = (total / 20).max(1);
-        if self.completed == 1 || done.is_multiple_of(stride) || done == total {
-            let secs = self.started.elapsed().as_secs_f64().max(1e-9);
-            let _ = writeln!(
-                self.err,
-                "[{done}/{total}] seed {} {}: {:.1} cases/s, {:.0} cycles/s",
-                record.seed,
-                record.status.tag(),
-                f64::from(self.completed) / secs,
-                self.cycles as f64 / secs,
-            );
+        match &record.status {
+            rtl_campaign::CaseStatus::Agreed => self.agreed += 1,
+            rtl_campaign::CaseStatus::Diverged { .. } => self.diverged += 1,
+            _ => {}
         }
+        if !self.enabled {
+            return;
+        }
+        let now = std::time::Instant::now();
+        let due = match self.last_line {
+            None => true,
+            Some(last) => now.duration_since(last) >= self.period,
+        };
+        if !due && done != total {
+            return;
+        }
+        self.last_line = Some(now);
+        let secs = self.started.elapsed().as_secs_f64().max(1e-9);
+        let rate = f64::from(self.completed) / secs;
+        let eta = f64::from(total.saturating_sub(done)) / rate.max(1e-9);
+        let _ = writeln!(
+            self.err,
+            "[{done}/{total}] {} agreed, {} diverged, {rate:.1} cases/s, ETA {eta:.0}s",
+            self.agreed, self.diverged,
+        );
+    }
+}
+
+/// Parses `--progress` / `--progress=MS` from the flag list (the bare
+/// form uses the default period). `None` when absent.
+fn progress_period(flags: &[&str]) -> Result<Option<u64>, CliError> {
+    for flag in flags {
+        if *flag == "--progress" {
+            return Ok(Some(ProgressReporter::DEFAULT_PERIOD_MS));
+        }
+        if let Some(ms) = flag.strip_prefix("--progress=") {
+            return ms
+                .parse()
+                .map(Some)
+                .map_err(|_| usage_err(format!("--progress needs milliseconds, got {ms:?}")));
+        }
+    }
+    Ok(None)
+}
+
+/// Opens the `--metrics-out` event log, when requested.
+fn metrics_recorder(flags: &[&str]) -> Result<rtl_core::Recorder, CliError> {
+    match flag_value(flags, "--metrics-out")? {
+        None => Ok(rtl_core::Recorder::disabled()),
+        Some(path) => rtl_core::Recorder::to_file(std::path::Path::new(path))
+            .map_err(|e| load_err(format!("cannot write metrics to {path}: {e}"))),
     }
 }
 
@@ -821,6 +897,7 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             "--size",
             "--compare-every",
             "--limit",
+            "--metrics-out",
         ],
     )?;
     if let Some(x) = extra {
@@ -841,8 +918,19 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             "--compare-every",
             "--limit",
             "--case-checkpoint",
+            "--metrics-out",
+            "--progress",
+            "--quiet",
         ],
-        "resume" => &["--dir", "--workers", "--limit", "--case-checkpoint"],
+        "resume" => &[
+            "--dir",
+            "--workers",
+            "--limit",
+            "--case-checkpoint",
+            "--metrics-out",
+            "--progress",
+            "--quiet",
+        ],
         "replay" => &["--dir", "--engines"],
         "shrink" => &[
             "--dir",
@@ -854,10 +942,16 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
         ],
         other => return Err(usage_err(format!("unknown campaign subcommand {other:?}"))),
     };
-    if let Some(bad) = flags
-        .iter()
-        .find(|f| f.starts_with('-') && !allowed.contains(f))
-    {
+    // `--progress=500` carries its value in the token: compare it against
+    // the allowed list by its name part.
+    if let Some(bad) = flags.iter().find(|f| {
+        let name = if f.starts_with("--progress=") {
+            "--progress"
+        } else {
+            **f
+        };
+        f.starts_with('-') && !allowed.contains(&name)
+    }) {
         return Err(usage_err(format!(
             "campaign {sub} does not take {bad} (accepted: {})",
             allowed.join(" ")
@@ -878,6 +972,7 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             Some(u32::try_from(limit).map_err(|_| usage_err("--limit is too large"))?);
     }
     run_options.case_checkpoint = flags.contains(&"--case-checkpoint");
+    run_options.recorder = metrics_recorder(&flags)?;
     let engines_flag = match flag_value(&flags, "--engines")? {
         Some(list) => Some(
             rtl_campaign::campaign_registry(None)
@@ -909,16 +1004,18 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             if let Some(stride) = parse_u64_flag(&flags, "--compare-every")? {
                 config.compare_every = stride.max(1);
             }
-            let mut progress = CliProgress::new(err);
+            let mut progress = ProgressReporter::from_flags(err, &flags)?;
             let report = rtl_campaign::run(&dir, &config, &run_options, &mut progress)
                 .map_err(campaign_err)?;
-            finish_campaign(report, out, err, &run_options)
+            run_options.recorder.flush();
+            finish_campaign(report, out, err, &run_options, flags.contains(&"--quiet"))
         }
         "resume" => {
-            let mut progress = CliProgress::new(err);
+            let mut progress = ProgressReporter::from_flags(err, &flags)?;
             let report =
                 rtl_campaign::resume(&dir, &run_options, &mut progress).map_err(campaign_err)?;
-            finish_campaign(report, out, err, &run_options)
+            run_options.recorder.flush();
+            finish_campaign(report, out, err, &run_options, flags.contains(&"--quiet"))
         }
         "replay" => {
             let report =
@@ -1034,6 +1131,7 @@ fn shard_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Result<
             "--workers",
             "--limit",
             "--out",
+            "--metrics-out",
         ],
     )?;
     if let Some(x) = extra {
@@ -1057,18 +1155,25 @@ fn shard_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Result<
             "--workers",
             "--limit",
             "--case-checkpoint",
+            "--metrics-out",
+            "--progress",
+            "--quiet",
         ],
-        "merge" => &["--plan", "--out", "--shards"],
+        "merge" => &["--plan", "--out", "--shards", "--metrics-out"],
         other => {
             return Err(usage_err(format!(
                 "unknown campaign shard subcommand {other:?}"
             )))
         }
     };
-    if let Some(bad) = flags
-        .iter()
-        .find(|f| f.starts_with('-') && !allowed.contains(f))
-    {
+    if let Some(bad) = flags.iter().find(|f| {
+        let name = if f.starts_with("--progress=") {
+            "--progress"
+        } else {
+            **f
+        };
+        f.starts_with('-') && !allowed.contains(&name)
+    }) {
         return Err(usage_err(format!(
             "campaign shard {sub} does not take {bad} (accepted: {})",
             allowed.join(" ")
@@ -1147,9 +1252,11 @@ fn shard_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Result<
                     Some(u32::try_from(limit).map_err(|_| usage_err("--limit is too large"))?);
             }
             options.case_checkpoint = flags.contains(&"--case-checkpoint");
-            let mut progress = CliProgress::new(err);
+            options.recorder = metrics_recorder(&flags)?;
+            let mut progress = ProgressReporter::from_flags(err, &flags)?;
             let report = rtl_dist::run_shard(&plan, index, &dir, &options, &mut progress)
                 .map_err(campaign_err)?;
+            options.recorder.flush();
             let _ = write!(out, "{report}");
             if report.clean() {
                 Ok(())
@@ -1184,7 +1291,10 @@ fn shard_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Result<
                 flag_value(&flags, "--out")?
                     .ok_or_else(|| usage_err("campaign shard merge needs --out DIR"))?,
             );
-            let report = rtl_dist::merge(&plan, &dirs, &out_dir).map_err(campaign_err)?;
+            let recorder = metrics_recorder(&flags)?;
+            let report =
+                rtl_dist::merge_with(&plan, &dirs, &out_dir, &recorder).map_err(campaign_err)?;
+            recorder.flush();
             let _ = write!(out, "{report}");
             let _ = writeln!(
                 err,
@@ -1210,24 +1320,27 @@ fn shard_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Result<
     }
 }
 
-/// Prints the campaign report and throughput; exit 3 unless the campaign
-/// is complete and clean.
+/// Prints the campaign report and (unless `--quiet`) a stderr throughput
+/// line; exit 3 unless the campaign is complete and clean.
 fn finish_campaign(
     report: rtl_campaign::CampaignReport,
     out: &mut dyn Write,
     err: &mut dyn Write,
     options: &rtl_campaign::RunOptions,
+    quiet: bool,
 ) -> Result<(), CliError> {
     let _ = write!(out, "{report}");
-    let secs = report.elapsed.as_secs_f64().max(1e-9);
-    let _ = writeln!(
-        err,
-        "throughput: {} cases with {} worker(s) in {:.2}s ({:.1} cases/s)",
-        report.completed(),
-        options.workers,
-        secs,
-        f64::from(report.completed()) / secs,
-    );
+    if !quiet {
+        let secs = report.elapsed.as_secs_f64().max(1e-9);
+        let _ = writeln!(
+            err,
+            "throughput: {} cases with {} worker(s) in {:.2}s ({:.1} cases/s)",
+            report.completed(),
+            options.workers,
+            secs,
+            f64::from(report.completed()) / secs,
+        );
+    }
     let reproduced = report.replay.as_ref().map_or(0, |r| r.reproduced().count());
     if report.clean() {
         Ok(())

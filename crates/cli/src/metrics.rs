@@ -1,0 +1,186 @@
+//! `asim2 metrics` — folding and checking `asim2-events v1` logs.
+//!
+//! `summarize FILE...` folds any number of logs into one
+//! [`Summary`](rtl_obs::Summary) and prints it. With `--check`, each
+//! positional argument is one *run* — either a single log file or a
+//! comma-joined group of files (e.g. the per-shard logs of one
+//! distributed campaign) — and the command exits 3 unless every run's
+//! deterministic-counter section is byte-identical. Wall-clock spans,
+//! gauges and marks never participate in the comparison.
+
+use crate::{load_err, usage_err, CliError};
+use rtl_obs::Summary;
+use std::io::Write;
+
+pub(crate) fn metrics_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let sub = rest
+        .first()
+        .copied()
+        .ok_or_else(|| usage_err("metrics needs a subcommand (summarize)"))?;
+    if sub != "summarize" {
+        return Err(usage_err(format!(
+            "unknown metrics subcommand {sub:?} (expected summarize)"
+        )));
+    }
+    let mut check = false;
+    let mut args: Vec<&str> = Vec::new();
+    for a in &rest[1..] {
+        match *a {
+            "--check" => check = true,
+            flag if flag.starts_with('-') => {
+                return Err(usage_err(format!(
+                    "metrics summarize does not take {flag} (accepted: --check)"
+                )));
+            }
+            file => args.push(file),
+        }
+    }
+    if args.is_empty() {
+        return Err(usage_err("metrics summarize needs at least one FILE"));
+    }
+    if check {
+        check_runs(&args, out)
+    } else {
+        let summary = fold_group(&args.join(","))?;
+        let _ = write!(out, "{summary}");
+        Ok(())
+    }
+}
+
+/// Folds one run — a single path or a comma-joined group of paths.
+fn fold_group(group: &str) -> Result<Summary, CliError> {
+    let mut summary = Summary::new();
+    for path in group.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        summary
+            .fold_file(std::path::Path::new(path))
+            .map_err(load_err)?;
+    }
+    if summary.files() == 0 {
+        return Err(usage_err(format!("empty run group {group:?}")));
+    }
+    Ok(summary)
+}
+
+/// `--check`: every run's deterministic section must match the first's,
+/// byte for byte.
+fn check_runs(groups: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    if groups.len() < 2 {
+        return Err(usage_err(
+            "metrics summarize --check needs at least two runs to compare",
+        ));
+    }
+    let mut baseline: Option<(String, &str)> = None;
+    for group in groups {
+        let section = fold_group(group)?.deterministic_section();
+        match &baseline {
+            None => baseline = Some((section, group)),
+            Some((expected, first)) if *expected != section => {
+                let diff = first_difference(expected, &section);
+                return Err(CliError {
+                    code: 3,
+                    message: format!(
+                        "deterministic counters differ between {first:?} and {group:?}:\n\
+                         {diff}"
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    let (section, _) = baseline.expect("at least two runs checked");
+    let _ = writeln!(
+        out,
+        "deterministic counters identical across {} runs",
+        groups.len()
+    );
+    let _ = write!(out, "{section}");
+    Ok(())
+}
+
+/// Renders the first line where two deterministic sections disagree.
+fn first_difference(a: &str, b: &str) -> String {
+    let mut left = a.lines();
+    let mut right = b.lines();
+    loop {
+        match (left.next(), right.next()) {
+            (Some(l), Some(r)) if l == r => continue,
+            (Some(l), Some(r)) => return format!("  first run: {l}\n  this run:  {r}"),
+            (Some(l), None) => return format!("  first run: {l}\n  this run:  <missing>"),
+            (None, Some(r)) => return format!("  first run: <missing>\n  this run:  {r}"),
+            (None, None) => return "  (sections identical?)".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl_obs::Recorder;
+
+    fn write_log(name: &str, build: impl Fn(&Recorder)) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("asim-metrics-test-{}-{name}", std::process::id()));
+        let (recorder, log) = Recorder::memory();
+        build(&recorder);
+        recorder.flush();
+        std::fs::write(&path, log.text()).unwrap();
+        path
+    }
+
+    fn run(args: &[&str]) -> (Result<(), i32>, String) {
+        let mut out = Vec::new();
+        let result = metrics_cmd(args, &mut out).map_err(|e| e.code);
+        (result, String::from_utf8(out).unwrap())
+    }
+
+    #[test]
+    fn summarize_folds_files_and_groups() {
+        let a = write_log("fold-a", |r| r.count("campaign", "cases_executed", 3));
+        let b = write_log("fold-b", |r| r.count("campaign", "cases_executed", 4));
+        let args = format!("{},{}", a.display(), b.display());
+        let (result, out) = run(&["summarize", &args]);
+        assert!(result.is_ok());
+        assert!(out.contains("campaign/cases_executed 7"), "{out}");
+        let _ = std::fs::remove_file(a);
+        let _ = std::fs::remove_file(b);
+    }
+
+    #[test]
+    fn check_accepts_identical_and_rejects_different() {
+        let a = write_log("check-a", |r| r.count("campaign", "divergences", 1));
+        let b = write_log("check-b", |r| r.count("campaign", "divergences", 1));
+        let c = write_log("check-c", |r| r.count("campaign", "divergences", 2));
+        let a_str = a.display().to_string();
+        let b_str = b.display().to_string();
+        let c_str = c.display().to_string();
+        let (result, out) = run(&["summarize", "--check", &a_str, &b_str]);
+        assert!(result.is_ok(), "{out}");
+        assert!(out.contains("identical across 2 runs"), "{out}");
+        let (result, _) = run(&["summarize", "--check", &a_str, &c_str]);
+        assert_eq!(result, Err(3));
+        for p in [a, b, c] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert_eq!(run(&[]).0, Err(1));
+        assert_eq!(run(&["summarize"]).0, Err(1));
+        assert_eq!(run(&["summarize", "--check", "one.jsonl"]).0, Err(1));
+        assert_eq!(run(&["summarize", "--bogus", "x"]).0, Err(1));
+        assert_eq!(run(&["frobnicate", "x"]).0, Err(1));
+    }
+
+    #[test]
+    fn corrupt_logs_exit_2() {
+        let path = std::env::temp_dir().join(format!(
+            "asim-metrics-test-{}-corrupt.jsonl",
+            std::process::id()
+        ));
+        std::fs::write(&path, "not json\n").unwrap();
+        let path_str = path.display().to_string();
+        assert_eq!(run(&["summarize", &path_str]).0, Err(2));
+        let _ = std::fs::remove_file(path);
+    }
+}

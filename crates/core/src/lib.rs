@@ -59,6 +59,7 @@ pub use factory::{EngineFactory, EngineLane, EngineOptions, EngineRegistry, Stre
 pub use io::{InputSource, NoInput, ReaderInput, ScriptedInput};
 pub use observe::{Comparator, CompareMode, DivergenceKind, LaneReport, LaneStats, Observation};
 pub use resolve::{CompId, RExpr, RefMode, RefOp};
+pub use rtl_obs::Recorder;
 pub use session::{
     design_fingerprint, read_checkpoint, write_checkpoint, Fingerprint, HaltKind, RunOutcome,
     Session, SessionBuilder, StopReason, Until,

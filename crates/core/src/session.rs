@@ -51,6 +51,7 @@ use crate::io::{InputSource, NoInput, ScriptedInput};
 use crate::sink::{BufferSink, NullSink, SinkWriter, TraceSink};
 use crate::state::SimState;
 use crate::word::Word;
+use rtl_obs::Recorder;
 use std::io::{self, BufRead, Write};
 
 /// How far [`Session::run`] should drive the engine.
@@ -314,6 +315,7 @@ pub struct SessionBuilder<'d> {
     engine: Option<Box<dyn Engine + 'd>>,
     sink: Box<dyn TraceSink + 'd>,
     stimulus: Box<dyn InputSource + 'd>,
+    recorder: Recorder,
 }
 
 impl<'d> SessionBuilder<'d> {
@@ -323,6 +325,7 @@ impl<'d> SessionBuilder<'d> {
             engine: None,
             sink: Box::new(NullSink),
             stimulus: Box::new(NoInput),
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -397,6 +400,15 @@ impl<'d> SessionBuilder<'d> {
         self.stimulus(ScriptedInput::new(words))
     }
 
+    /// Binds a telemetry [`Recorder`] (disabled by default). The session
+    /// counts executed cycles (`session/cycles`, deterministic) and spans
+    /// file-backed checkpoint/resume; a disabled recorder keeps all of it
+    /// a no-op.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// Finishes the session.
     ///
     /// # Panics
@@ -410,6 +422,7 @@ impl<'d> SessionBuilder<'d> {
                 .expect("SessionBuilder needs an engine (engine() or engine_named())"),
             sink: self.sink,
             stimulus: self.stimulus,
+            recorder: self.recorder,
         }
     }
 }
@@ -420,6 +433,7 @@ pub struct Session<'d> {
     engine: Box<dyn Engine + 'd>,
     sink: Box<dyn TraceSink + 'd>,
     stimulus: Box<dyn InputSource + 'd>,
+    recorder: Recorder,
 }
 
 impl<'d> Session<'d> {
@@ -451,7 +465,7 @@ impl<'d> Session<'d> {
     /// Drives the engine to a bound, classifying how the run stopped.
     pub fn run(&mut self, until: Until) -> RunOutcome {
         let mut executed = 0u64;
-        loop {
+        let stop = loop {
             let keep_going = match until {
                 Until::Cycles(n) => executed < n,
                 Until::Cycle(last) => self.engine.state().cycle() <= last,
@@ -461,20 +475,17 @@ impl<'d> Session<'d> {
                 },
             };
             if !keep_going {
-                return RunOutcome {
-                    cycles: executed,
-                    stop: StopReason::CycleLimit,
-                };
+                break StopReason::CycleLimit;
             }
             match self.step() {
                 Ok(()) => executed += 1,
-                Err(e) => {
-                    return RunOutcome {
-                        cycles: executed,
-                        stop: StopReason::from_error(e),
-                    }
-                }
+                Err(e) => break StopReason::from_error(e),
             }
+        };
+        self.recorder.count("session", "cycles", executed);
+        RunOutcome {
+            cycles: executed,
+            stop,
         }
     }
 
@@ -560,6 +571,7 @@ impl<'d> Session<'d> {
     ///
     /// File creation or write failure.
     pub fn checkpoint_to(&self, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+        let _span = self.recorder.span("session", "checkpoint");
         let mut file = io::BufWriter::new(std::fs::File::create(path)?);
         self.checkpoint(&mut file)?;
         use std::io::Write as _;
@@ -587,6 +599,7 @@ impl<'d> Session<'d> {
     ///
     /// See [`Session::resume`].
     pub fn resume_from(&mut self, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+        let _span = self.recorder.span("session", "resume");
         let mut file = io::BufReader::new(std::fs::File::open(path)?);
         self.resume(&mut file)
     }

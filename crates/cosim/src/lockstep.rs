@@ -28,8 +28,8 @@ use crate::engines::EngineKind;
 use rtl_core::observe::{stop_state, Comparator, CompareMode, Observation};
 use rtl_core::{
     design_fingerprint, Design, DivergenceKind, Engine, Fingerprint, HaltKind, InputSource,
-    LaneReport, LaneStats, LoadError, ScriptedInput, Session, SimError, StopReason, TraceSink,
-    Until, Word,
+    LaneReport, LaneStats, LoadError, Recorder, ScriptedInput, Session, SimError, StopReason,
+    TraceSink, Until, Word,
 };
 use rtl_machines::Scenario;
 use std::cell::{Cell, RefCell};
@@ -82,6 +82,13 @@ pub struct CosimOptions {
     /// comparison lane: the reference lane must match the recorded
     /// digests cycle for cycle.
     pub check_digests: Option<PathBuf>,
+    /// Telemetry tap (disabled/no-op by default): lane sessions count
+    /// executed cycles, the harness counts comparator invocations per
+    /// lens (`lockstep/compare_<lens>`) and bisection rewinds
+    /// (`lockstep/bisect_rewinds`). A [`Recorder`] never affects
+    /// behavior, compares equal to every other recorder, and stays out
+    /// of harness fingerprints.
+    pub recorder: Recorder,
 }
 
 impl Default for CosimOptions {
@@ -96,6 +103,7 @@ impl Default for CosimOptions {
             resume: None,
             export_digests: None,
             check_digests: None,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -290,6 +298,12 @@ pub struct Lockstep<'d> {
     verified: u64,
     /// Output length up to which all lanes are known byte-identical.
     verified_out: usize,
+    /// Comparator invocations per lens since the last telemetry emit
+    /// (parallel to `comparators`); aggregated locally so the hot
+    /// comparison loop never allocates a counter key.
+    compare_calls: Vec<u64>,
+    /// Bisection rewinds since the last telemetry emit.
+    rewinds: u64,
 }
 
 impl<'d> Lockstep<'d> {
@@ -302,7 +316,8 @@ impl<'d> Lockstep<'d> {
         } else {
             &options.compare
         };
-        let comparators = modes.iter().map(|m| m.build()).collect();
+        let comparators: Vec<Box<dyn Comparator>> = modes.iter().map(|m| m.build()).collect();
+        let compare_calls = vec![0; comparators.len()];
         Lockstep {
             design,
             options,
@@ -311,6 +326,8 @@ impl<'d> Lockstep<'d> {
             lanes: Vec::new(),
             verified: 0,
             verified_out: 0,
+            compare_calls,
+            rewinds: 0,
         }
     }
 
@@ -325,6 +342,7 @@ impl<'d> Lockstep<'d> {
     /// Appends a custom [`Comparator`] after the configured set.
     pub fn add_comparator(&mut self, comparator: Box<dyn Comparator>) -> &mut Self {
         self.comparators.push(comparator);
+        self.compare_calls.push(0);
         self
     }
 
@@ -348,6 +366,7 @@ impl<'d> Lockstep<'d> {
                 0,
                 Rc::clone(&consumed),
             ))
+            .recorder(self.options.recorder.clone())
             .build();
         let mut lane = Lane {
             name: name.to_string(),
@@ -401,6 +420,32 @@ impl<'d> Lockstep<'d> {
     /// Panics when fewer than two lanes were added.
     pub fn run(&mut self, cycles: u64) -> CosimOutcome {
         assert!(self.lanes.len() >= 2, "lockstep needs at least two lanes");
+        let outcome = self.run_inner(cycles);
+        self.emit_counters();
+        outcome
+    }
+
+    /// Emits locally-aggregated deterministic counters as deltas
+    /// (comparator invocations per lens, bisection rewinds) and resets
+    /// the local tallies — folding sums deltas, so repeated `run` calls
+    /// total correctly.
+    fn emit_counters(&mut self) {
+        let recorder = &self.options.recorder;
+        if !recorder.enabled() {
+            return;
+        }
+        for (comparator, calls) in self.comparators.iter().zip(self.compare_calls.iter_mut()) {
+            let key = format!("compare_{}", comparator.name());
+            recorder.count("lockstep", &key, std::mem::take(calls));
+        }
+        recorder.count(
+            "lockstep",
+            "bisect_rewinds",
+            std::mem::take(&mut self.rewinds),
+        );
+    }
+
+    fn run_inner(&mut self, cycles: u64) -> CosimOutcome {
         let granularity = self.options.compare_every.max(1);
         let mut executed = 0;
         while executed < cycles {
@@ -514,8 +559,13 @@ impl<'d> Lockstep<'d> {
                 return Some(kind);
             }
         }
-        for comparator in &mut self.comparators {
+        for (comparator, calls) in self
+            .comparators
+            .iter_mut()
+            .zip(self.compare_calls.iter_mut())
+        {
             for candidate in rest {
+                *calls += 1;
                 if let Some(kind) = comparator.compare(first, candidate) {
                     return Some(kind);
                 }
@@ -559,6 +609,7 @@ impl<'d> Lockstep<'d> {
     /// through [`Session::resume`], stimulus re-supplied from the
     /// recorded offset, output truncated.
     fn rewind(&mut self) {
+        self.rewinds += 1;
         for lane in &mut self.lanes {
             lane.session
                 .resume(&mut &lane.check[..])

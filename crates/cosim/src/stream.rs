@@ -182,6 +182,7 @@ pub fn run_scenario_names(
         let mut session = Session::over(engine)
             .capture()
             .scripted(scenario.input.iter().copied())
+            .recorder(options.recorder.clone())
             .build();
         let run = session.run(Until::Cycles(scenario.cycles));
         let stats = session

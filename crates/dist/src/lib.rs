@@ -50,7 +50,7 @@ pub mod merge;
 pub mod plan;
 pub mod shard;
 
-pub use merge::merge;
+pub use merge::{merge, merge_with};
 pub use plan::{ShardPlan, ShardSpec};
 pub use shard::{load_marker, run_shard, ShardReport, SHARD_FORMAT};
 

@@ -15,6 +15,7 @@ use crate::plan::ShardPlan;
 use crate::shard::load_marker;
 use rtl_campaign::state::write_atomic;
 use rtl_campaign::{corpus, CampaignDir, CampaignError, CampaignReport, CaseRecord};
+use rtl_core::Recorder;
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -39,7 +40,24 @@ pub fn merge(
     shard_dirs: &[PathBuf],
     out: &CampaignDir,
 ) -> Result<CampaignReport, CampaignError> {
+    merge_with(plan, shard_dirs, out, &Recorder::disabled())
+}
+
+/// [`merge`] with a telemetry [`Recorder`]: counts merged case records
+/// (`merge/records`) and deduplicated corpus entries
+/// (`merge/corpus_entries`), and spans the whole merge (wall-clock).
+///
+/// # Errors
+///
+/// See [`merge`].
+pub fn merge_with(
+    plan: &ShardPlan,
+    shard_dirs: &[PathBuf],
+    out: &CampaignDir,
+    recorder: &Recorder,
+) -> Result<CampaignReport, CampaignError> {
     let started = Instant::now();
+    let _span = recorder.span("merge", "merge");
     if shard_dirs.len() != plan.shards.len() {
         return Err(CampaignError::Config(format!(
             "the plan has {} shard(s), {} {} given",
@@ -141,6 +159,8 @@ pub fn merge(
         }
     }
     new_corpus.sort();
+    recorder.count("merge", "records", merged.iter().flatten().count() as u64);
+    recorder.count("merge", "corpus_entries", new_corpus.len() as u64);
     Ok(CampaignReport {
         config: plan.config.clone(),
         replay: None,

@@ -109,6 +109,13 @@ impl std::fmt::Display for ShardReport {
                 )?,
             }
         }
+        for totals in rtl_campaign::aggregate_lanes(self.records().map(|r| &r.lane_stats[..])) {
+            writeln!(
+                f,
+                "lane {}: {} cases, {} cycles, {} accesses",
+                totals.lane, totals.cases, totals.cycles, totals.accesses
+            )?;
+        }
         write!(
             f,
             "shard summary: {}/{} agreed, {} diverged, {} cycles verified",
@@ -232,6 +239,10 @@ pub fn run_shard(
             plan.shards.len()
         ))
     })?;
+    let _span = options.recorder.span("shard", "run");
+    options
+        .recorder
+        .mark("shard", "run", Some(&format!("shard {index}")));
     if dir.manifest().exists() {
         // Resume path: the directory must belong to this plan and shard.
         let stored = dir.load()?;

@@ -1,0 +1,399 @@
+//! The [`Recorder`] handle instrumented code records through.
+//!
+//! A `Recorder` is either disabled (the default — every call is one
+//! branch and a return) or backed by a shared sink that event lines are
+//! appended to. Clones share the sink, so one handle can be fanned out
+//! across worker threads and lanes.
+//!
+//! Counter increments are *coalesced*: they accumulate in an in-memory
+//! map and are written out as delta events on [`Recorder::flush`] (and on
+//! drop of the last handle). Folding sums deltas, so flushing more than
+//! once — e.g. a run that is killed and resumed — still folds to the
+//! same deterministic totals. Gauges, marks and spans are written
+//! immediately in arrival order, which is fine because they are
+//! wall-clock class and never compared bit-for-bit.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::{Event, FORMAT};
+
+/// A cheap, clone-able telemetry handle. Disabled (no-op) by default.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+struct Inner {
+    sink: Mutex<Box<dyn Write + Send>>,
+    counters: Mutex<BTreeMap<(String, String), u64>>,
+    next_span: AtomicU64,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+/// A `Recorder` is a run-time tap, not part of any configuration's
+/// identity: two configurations that differ only in where (or whether)
+/// they record are the same configuration. This lets options structs
+/// that derive `Eq` carry a recorder without it entering comparisons or
+/// fingerprints.
+impl PartialEq for Recorder {
+    fn eq(&self, _other: &Recorder) -> bool {
+        true
+    }
+}
+
+impl Eq for Recorder {}
+
+impl Recorder {
+    /// A disabled recorder: every call is a no-op.
+    pub fn disabled() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Records to `path` as an `asim2-events v1` JSONL stream (the
+    /// `meta` header line is written immediately).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be created or the header cannot be
+    /// written. After construction, recording is best-effort and I/O
+    /// errors are swallowed.
+    pub fn to_file(path: &Path) -> io::Result<Recorder> {
+        let file = std::fs::File::create(path)?;
+        Recorder::to_writer(Box::new(BufWriter::new(file)))
+    }
+
+    /// Records to an arbitrary sink. Writes the `meta` header line.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the header line cannot be written.
+    pub fn to_writer(mut sink: Box<dyn Write + Send>) -> io::Result<Recorder> {
+        let header = Event::Meta {
+            format: FORMAT.into(),
+        };
+        writeln!(sink, "{}", header.render())?;
+        Ok(Recorder {
+            inner: Some(Arc::new(Inner {
+                sink: Mutex::new(sink),
+                counters: Mutex::new(BTreeMap::new()),
+                next_span: AtomicU64::new(1),
+            })),
+        })
+    }
+
+    /// An enabled recorder writing to an in-memory buffer, plus a handle
+    /// to read the buffer back — the testing workhorse.
+    pub fn memory() -> (Recorder, MemoryLog) {
+        let log = MemoryLog(Arc::new(Mutex::new(Vec::new())));
+        let recorder =
+            Recorder::to_writer(Box::new(log.clone())).expect("in-memory writes cannot fail");
+        (recorder, log)
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `n` to the deterministic counter `src/key`. Increments are
+    /// coalesced until [`flush`](Recorder::flush). `n == 0` is a no-op.
+    pub fn count(&self, src: &str, key: &str, n: u64) {
+        let Some(inner) = &self.inner else { return };
+        if n == 0 {
+            return;
+        }
+        if let Ok(mut counters) = inner.counters.lock() {
+            *counters.entry((src.into(), key.into())).or_insert(0) += n;
+        }
+    }
+
+    /// Records the wall-clock gauge `src/key` at `value` (last wins).
+    pub fn gauge(&self, src: &str, key: &str, value: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.write_line(&Event::Gauge {
+            src: src.into(),
+            key: key.into(),
+            value,
+        });
+    }
+
+    /// Records a one-shot wall-clock mark, optionally with free text.
+    pub fn mark(&self, src: &str, key: &str, detail: Option<&str>) {
+        let Some(inner) = &self.inner else { return };
+        inner.write_line(&Event::Mark {
+            src: src.into(),
+            key: key.into(),
+            detail: detail.map(str::to_owned),
+        });
+    }
+
+    /// Opens a wall-clock span; the returned guard writes the exit event
+    /// (with measured duration) when dropped.
+    pub fn span(&self, src: &str, key: &str) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span { live: None };
+        };
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        inner.write_line(&Event::SpanEnter {
+            src: src.into(),
+            key: key.into(),
+            id,
+        });
+        Span {
+            live: Some(LiveSpan {
+                inner: Arc::clone(inner),
+                src: src.into(),
+                key: key.into(),
+                id,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Writes coalesced counter deltas to the sink and flushes it.
+    ///
+    /// Safe to call more than once: deltas written by successive flushes
+    /// sum to the same totals when folded.
+    pub fn flush(&self) {
+        let Some(inner) = &self.inner else { return };
+        inner.flush();
+    }
+}
+
+impl Inner {
+    /// Best-effort: an event that cannot be written is dropped.
+    fn write_line(&self, event: &Event) {
+        if let Ok(mut sink) = self.sink.lock() {
+            let _ = writeln!(sink, "{}", event.render());
+        }
+    }
+
+    fn flush(&self) {
+        let drained: Vec<((String, String), u64)> = match self.counters.lock() {
+            Ok(mut counters) => std::mem::take(&mut *counters).into_iter().collect(),
+            Err(_) => return,
+        };
+        for ((src, key), n) in drained {
+            self.write_line(&Event::Counter { src, key, n });
+        }
+        if let Ok(mut sink) = self.sink.lock() {
+            let _ = sink.flush();
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Guard for an open span; writes the exit event on drop.
+#[derive(Debug)]
+pub struct Span {
+    live: Option<LiveSpan>,
+}
+
+struct LiveSpan {
+    inner: Arc<Inner>,
+    src: String,
+    key: String,
+    id: u64,
+    start: Instant,
+}
+
+impl std::fmt::Debug for LiveSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveSpan")
+            .field("src", &self.src)
+            .field("key", &self.key)
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        let micros = u64::try_from(live.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        live.inner.write_line(&Event::SpanExit {
+            src: live.src.clone(),
+            key: live.key.clone(),
+            id: live.id,
+            micros,
+        });
+    }
+}
+
+/// Read-back handle for [`Recorder::memory`] logs.
+#[derive(Clone)]
+pub struct MemoryLog(Arc<Mutex<Vec<u8>>>);
+
+impl MemoryLog {
+    /// The log contents so far, as UTF-8 text.
+    pub fn text(&self) -> String {
+        let buf = self.0.lock().expect("memory log poisoned");
+        String::from_utf8_lossy(&buf).into_owned()
+    }
+}
+
+impl std::fmt::Debug for MemoryLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryLog").finish()
+    }
+}
+
+impl Write for MemoryLog {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .expect("memory log poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn parse_lines(text: &str) -> Vec<Event> {
+        text.lines().map(|l| Event::parse(l).unwrap()).collect()
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let recorder = Recorder::disabled();
+        assert!(!recorder.enabled());
+        recorder.count("s", "k", 1);
+        recorder.gauge("s", "k", 1);
+        recorder.mark("s", "k", None);
+        drop(recorder.span("s", "k"));
+        recorder.flush();
+    }
+
+    #[test]
+    fn header_is_written_immediately() {
+        let (_recorder, log) = Recorder::memory();
+        assert_eq!(
+            parse_lines(&log.text()),
+            vec![Event::Meta {
+                format: FORMAT.into()
+            }]
+        );
+    }
+
+    #[test]
+    fn counters_coalesce_until_flush() {
+        let (recorder, log) = Recorder::memory();
+        recorder.count("campaign", "cases_executed", 1);
+        recorder.count("campaign", "cases_executed", 2);
+        recorder.count("campaign", "cases_executed", 0); // no-op
+        assert_eq!(parse_lines(&log.text()).len(), 1, "only the header yet");
+        recorder.flush();
+        let events = parse_lines(&log.text());
+        assert!(events.contains(&Event::Counter {
+            src: "campaign".into(),
+            key: "cases_executed".into(),
+            n: 3
+        }));
+    }
+
+    #[test]
+    fn multiple_flushes_emit_deltas() {
+        let (recorder, log) = Recorder::memory();
+        recorder.count("s", "k", 1);
+        recorder.flush();
+        recorder.count("s", "k", 2);
+        recorder.flush();
+        recorder.flush(); // empty flush writes nothing
+        let total: u64 = parse_lines(&log.text())
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter { n, .. } => Some(*n),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn spans_pair_enter_and_exit_by_id() {
+        let (recorder, log) = Recorder::memory();
+        let outer = recorder.span("campaign", "run");
+        drop(recorder.span("campaign", "case"));
+        drop(outer);
+        let events = parse_lines(&log.text());
+        let enters: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanEnter { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        let exits: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanExit { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(enters.len(), 2);
+        let mut sorted_exits = exits.clone();
+        sorted_exits.sort_unstable();
+        let mut sorted_enters = enters.clone();
+        sorted_enters.sort_unstable();
+        assert_eq!(sorted_enters, sorted_exits);
+    }
+
+    #[test]
+    fn clones_share_one_stream() {
+        let (recorder, log) = Recorder::memory();
+        let clone = recorder.clone();
+        recorder.count("s", "k", 1);
+        clone.count("s", "k", 1);
+        recorder.flush();
+        let events = parse_lines(&log.text());
+        assert!(events.contains(&Event::Counter {
+            src: "s".into(),
+            key: "k".into(),
+            n: 2
+        }));
+    }
+
+    #[test]
+    fn drop_flushes_pending_counters() {
+        let (recorder, log) = Recorder::memory();
+        recorder.count("s", "k", 5);
+        drop(recorder);
+        let events = parse_lines(&log.text());
+        assert!(events.contains(&Event::Counter {
+            src: "s".into(),
+            key: "k".into(),
+            n: 5
+        }));
+    }
+
+    #[test]
+    fn recorders_never_differ_for_eq_purposes() {
+        let (enabled, _log) = Recorder::memory();
+        assert_eq!(enabled, Recorder::disabled());
+    }
+}

@@ -1,0 +1,299 @@
+//! Folding event logs into a two-section summary.
+//!
+//! A [`Summary`] folds any number of `asim2-events v1` logs — e.g. one
+//! per shard of a distributed campaign — and renders two sections:
+//!
+//! - the **deterministic** section: counter totals, sorted by
+//!   `src/key`. For a given campaign configuration this text is
+//!   byte-identical across runs, worker counts and kill+resume, which
+//!   is the contract `asim2 metrics summarize --check` enforces by
+//!   literal byte comparison;
+//! - the **wall-clock** section: span, gauge and mark aggregates,
+//!   explicitly flagged non-deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use crate::event::{Event, FORMAT};
+
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct GaugeAgg {
+    last: u64,
+    observations: u64,
+}
+
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct SpanAgg {
+    completed: u64,
+    open: u64,
+    total_micros: u64,
+}
+
+/// Aggregated view of one or more event logs.
+#[derive(Debug, Default, Clone)]
+pub struct Summary {
+    counters: BTreeMap<(String, String), u64>,
+    gauges: BTreeMap<(String, String), GaugeAgg>,
+    marks: BTreeMap<(String, String), u64>,
+    spans: BTreeMap<(String, String), SpanAgg>,
+    events: u64,
+    files: u64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    /// Folds one event into the aggregates.
+    pub fn fold_event(&mut self, event: &Event) {
+        self.events += 1;
+        match event {
+            Event::Meta { .. } => {}
+            Event::Counter { src, key, n } => {
+                *self.counters.entry((src.clone(), key.clone())).or_insert(0) += n;
+            }
+            Event::Gauge { src, key, value } => {
+                let agg = self.gauges.entry((src.clone(), key.clone())).or_default();
+                agg.last = *value;
+                agg.observations += 1;
+            }
+            Event::Mark { src, key, .. } => {
+                *self.marks.entry((src.clone(), key.clone())).or_insert(0) += 1;
+            }
+            Event::SpanEnter { src, key, .. } => {
+                self.spans
+                    .entry((src.clone(), key.clone()))
+                    .or_default()
+                    .open += 1;
+            }
+            Event::SpanExit {
+                src, key, micros, ..
+            } => {
+                let agg = self.spans.entry((src.clone(), key.clone())).or_default();
+                agg.open = agg.open.saturating_sub(1);
+                agg.completed += 1;
+                agg.total_micros += micros;
+            }
+        }
+    }
+
+    /// Folds one event log given as text. `label` names the log in
+    /// error messages (a path, or `"memory"` in tests).
+    ///
+    /// Validation is strict: the first line must be the v1 `meta`
+    /// header, and every line must parse against the schema.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the label, line number and violation.
+    pub fn fold_text(&mut self, text: &str, label: &str) -> Result<(), String> {
+        let mut saw_header = false;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event = Event::parse(line).map_err(|e| format!("{label}:{}: {e}", lineno + 1))?;
+            if !saw_header {
+                match &event {
+                    Event::Meta { format } if format == FORMAT => saw_header = true,
+                    Event::Meta { format } => {
+                        return Err(format!(
+                            "{label}:{}: unsupported format {format:?} (expected {FORMAT:?})",
+                            lineno + 1
+                        ));
+                    }
+                    _ => {
+                        return Err(format!(
+                            "{label}:{}: first event must be the {FORMAT:?} meta header",
+                            lineno + 1
+                        ));
+                    }
+                }
+            }
+            self.fold_event(&event);
+        }
+        if !saw_header {
+            return Err(format!("{label}: empty event log (missing meta header)"));
+        }
+        self.files += 1;
+        Ok(())
+    }
+
+    /// Reads and folds one event log file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and schema violations, with the path in the message.
+    pub fn fold_file(&mut self, path: &Path) -> Result<(), String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        self.fold_text(&text, &path.display().to_string())
+    }
+
+    /// Total events folded so far (including headers).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Number of logs folded so far.
+    pub fn files(&self) -> u64 {
+        self.files
+    }
+
+    /// The folded total for one deterministic counter, if recorded.
+    pub fn counter(&self, src: &str, key: &str) -> Option<u64> {
+        self.counters.get(&(src.into(), key.into())).copied()
+    }
+
+    /// The deterministic section: counter totals, one `src/key total`
+    /// line each, sorted. Byte-identical across runs of the same
+    /// configuration — `--check` compares this text literally.
+    pub fn deterministic_section(&self) -> String {
+        let mut out = String::from("deterministic counters:\n");
+        if self.counters.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for ((src, key), total) in &self.counters {
+            out.push_str(&format!("  {src}/{key} {total}\n"));
+        }
+        out
+    }
+
+    /// The wall-clock section: spans, gauges and marks, flagged
+    /// non-deterministic.
+    pub fn wall_clock_section(&self) -> String {
+        let mut out = String::from("wall-clock (non-deterministic, excluded from --check):\n");
+        if self.spans.is_empty() && self.gauges.is_empty() && self.marks.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for ((src, key), agg) in &self.spans {
+            out.push_str(&format!(
+                "  span  {src}/{key}: {} completed, {:.1} ms total",
+                agg.completed,
+                agg.total_micros as f64 / 1000.0
+            ));
+            if agg.open > 0 {
+                out.push_str(&format!(", {} unclosed", agg.open));
+            }
+            out.push('\n');
+        }
+        for ((src, key), agg) in &self.gauges {
+            out.push_str(&format!(
+                "  gauge {src}/{key}: last {} ({} observation{})\n",
+                agg.last,
+                agg.observations,
+                if agg.observations == 1 { "" } else { "s" }
+            ));
+        }
+        for ((src, key), count) in &self.marks {
+            out.push_str(&format!("  mark  {src}/{key}: {count}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "metrics summary: {} event(s) from {} log(s)",
+            self.events, self.files
+        )?;
+        f.write_str(&self.deterministic_section())?;
+        f.write_str(&self.wall_clock_section())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn log_of(build: impl Fn(&Recorder)) -> String {
+        let (recorder, log) = Recorder::memory();
+        build(&recorder);
+        recorder.flush();
+        log.text()
+    }
+
+    #[test]
+    fn counters_fold_across_files() {
+        let a = log_of(|r| r.count("campaign", "cases_executed", 3));
+        let b = log_of(|r| {
+            r.count("campaign", "cases_executed", 4);
+            r.count("session", "cycles", 100);
+        });
+        let mut summary = Summary::new();
+        summary.fold_text(&a, "a").unwrap();
+        summary.fold_text(&b, "b").unwrap();
+        assert_eq!(summary.counter("campaign", "cases_executed"), Some(7));
+        assert_eq!(summary.counter("session", "cycles"), Some(100));
+        assert_eq!(summary.files(), 2);
+        assert_eq!(
+            summary.deterministic_section(),
+            "deterministic counters:\n  campaign/cases_executed 7\n  session/cycles 100\n"
+        );
+    }
+
+    #[test]
+    fn wall_clock_stays_out_of_the_deterministic_section() {
+        let text = log_of(|r| {
+            r.gauge("campaign", "workers", 4);
+            r.mark("shard", "run", Some("shard 0"));
+            drop(r.span("campaign", "case"));
+            r.count("campaign", "cases_executed", 1);
+        });
+        let mut summary = Summary::new();
+        summary.fold_text(&text, "memory").unwrap();
+        let det = summary.deterministic_section();
+        assert!(!det.contains("workers"), "{det}");
+        assert!(!det.contains("span"), "{det}");
+        let wall = summary.wall_clock_section();
+        assert!(wall.contains("non-deterministic"));
+        assert!(wall.contains("gauge campaign/workers: last 4"));
+        assert!(wall.contains("mark  shard/run: 1"));
+        assert!(wall.contains("span  campaign/case: 1 completed"));
+    }
+
+    #[test]
+    fn missing_header_is_rejected() {
+        let mut summary = Summary::new();
+        let err = summary
+            .fold_text(
+                "{\"v\":1,\"e\":\"counter\",\"src\":\"s\",\"key\":\"k\",\"n\":1}\n",
+                "x",
+            )
+            .unwrap_err();
+        assert!(err.contains("meta header"), "{err}");
+        assert!(Summary::new().fold_text("", "x").is_err());
+    }
+
+    #[test]
+    fn schema_violations_name_file_and_line() {
+        let (recorder, log) = Recorder::memory();
+        recorder.flush();
+        let text = format!("{}garbage\n", log.text());
+        let err = Summary::new().fold_text(&text, "shard0.jsonl").unwrap_err();
+        assert!(err.starts_with("shard0.jsonl:2:"), "{err}");
+    }
+
+    #[test]
+    fn empty_summary_renders_placeholders() {
+        let rendered = Summary::new().to_string();
+        assert!(rendered.contains("deterministic counters:\n  (none)"));
+        assert!(rendered.contains("(none)"));
+    }
+
+    #[test]
+    fn unclosed_spans_are_reported() {
+        let (recorder, log) = Recorder::memory();
+        let span = recorder.span("campaign", "run");
+        recorder.flush();
+        let mut summary = Summary::new();
+        summary.fold_text(&log.text(), "memory").unwrap();
+        assert!(summary.wall_clock_section().contains("1 unclosed"));
+        drop(span);
+    }
+}
