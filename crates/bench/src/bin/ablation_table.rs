@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release -p rtl-bench --bin ablation_table`
 
+#![forbid(unsafe_code)]
+
 use rtl_bench::{run_cycles_to_sink, run_to_sink, sieve};
 use rtl_compile::{lower, stats, OptOptions, Vm};
 use rtl_core::Design;

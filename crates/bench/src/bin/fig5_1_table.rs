@@ -21,6 +21,8 @@
 //!
 //! Run with: `cargo run --release -p rtl-bench --bin fig5_1_table [sieve-size]`
 
+#![forbid(unsafe_code)]
+
 use rtl_bench::{run_to_sink, sieve_sized};
 use rtl_compile::{rustc_available, EmitOptions, OptOptions, Vm};
 use rtl_interp::{InterpOptions, Interpreter, LookupMode};

@@ -12,6 +12,8 @@
 //!   `rustc` pipeline, printed next to the paper's numbers,
 //! * `src/bin/ablation_table.rs` — one-shot text tables for the ablations.
 
+#![forbid(unsafe_code)]
+
 use rtl_core::{Design, Engine, Session, SimError, Until, Word};
 use rtl_machines::stack::{self, SieveWorkload};
 

@@ -25,6 +25,12 @@ pub struct CampaignConfig {
     pub generator: GenOptions,
     /// Lockstep comparison stride.
     pub compare_every: u64,
+    /// Attach the `rtl-lint` cross-validation oracle to every case: a
+    /// runtime observation contradicting a static claim (dead arm fires,
+    /// undriven cell changes) is a divergence. Outcome-relevant, so it is
+    /// fingerprinted — but only when set, keeping fingerprints of
+    /// existing campaigns unchanged.
+    pub lint_oracle: bool,
 }
 
 impl Default for CampaignConfig {
@@ -35,6 +41,7 @@ impl Default for CampaignConfig {
             engines: vec!["interp".into(), "vm".into()],
             generator: GenOptions::default(),
             compare_every: 1,
+            lint_oracle: false,
         }
     }
 }
@@ -49,6 +56,7 @@ impl CampaignConfig {
             generator: self.generator.clone(),
             cosim: CosimOptions {
                 compare_every: self.compare_every.max(1),
+                lint_oracle: self.lint_oracle,
                 ..CosimOptions::default()
             },
         }
@@ -70,6 +78,11 @@ impl CampaignConfig {
         fp.write_u64(self.generator.cycles);
         fp.write_u64(u64::from(self.generator.io_every));
         fp.write_u64(self.compare_every);
+        if self.lint_oracle {
+            // Folded only when set so fingerprints of campaigns recorded
+            // before the oracle existed stay valid for resume.
+            fp.write_str("lint-oracle");
+        }
         fp.finish()
     }
 
@@ -86,6 +99,7 @@ impl CampaignConfig {
             ("cycles".into(), Json::num(self.generator.cycles)),
             ("io_every".into(), Json::num(self.generator.io_every)),
             ("compare_every".into(), Json::num(self.compare_every)),
+            ("lint_oracle".into(), Json::Bool(self.lint_oracle)),
         ])
     }
 
@@ -124,6 +138,11 @@ impl CampaignConfig {
                 io_every: u32::try_from(num("io_every")?).map_err(|_| "io_every out of range")?,
             },
             compare_every: num("compare_every")?,
+            // Absent in documents written before the oracle existed.
+            lint_oracle: doc
+                .get("lint_oracle")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         })
     }
 }
@@ -144,9 +163,22 @@ mod tests {
                 io_every: 3,
             },
             compare_every: 16,
+            lint_oracle: true,
         };
         let back = CampaignConfig::from_json(&config.to_json()).unwrap();
         assert_eq!(back, config);
+
+        // Documents written before the oracle existed have no
+        // `lint_oracle` key; they deserialize with it off.
+        let legacy = CampaignConfig {
+            lint_oracle: false,
+            ..config.clone()
+        };
+        let mut doc = legacy.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "lint_oracle");
+        }
+        assert_eq!(CampaignConfig::from_json(&doc).unwrap(), legacy);
     }
 
     #[test]
@@ -176,6 +208,10 @@ mod tests {
             },
             CampaignConfig {
                 compare_every: 2,
+                ..base.clone()
+            },
+            CampaignConfig {
+                lint_oracle: true,
                 ..base.clone()
             },
         ];

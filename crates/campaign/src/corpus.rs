@@ -42,6 +42,7 @@ pub fn kind_label(kind: &DivergenceKind) -> String {
         DivergenceKind::Vcd { component } => format!("vcd:{component}"),
         DivergenceKind::Stream { lane } => format!("stream:{lane}"),
         DivergenceKind::Digest => "digest".into(),
+        DivergenceKind::Oracle { component, .. } => format!("oracle:{component}"),
     }
 }
 

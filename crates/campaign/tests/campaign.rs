@@ -26,6 +26,7 @@ fn quick_config(cases: u32) -> CampaignConfig {
             ..GenOptions::default()
         },
         compare_every: 1,
+        lint_oracle: false,
     }
 }
 

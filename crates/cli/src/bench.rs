@@ -1,8 +1,9 @@
 //! `asim2 bench snapshot` — a versioned, committable benchmark snapshot.
 //!
 //! Runs a fixed workload matrix — lockstep comparison strides, comparator
-//! ablations, campaign throughput across worker counts, and shard-merge
-//! throughput — and writes one `asim2-bench-snapshot v1` JSON document.
+//! ablations, lint throughput over the scenario corpus, campaign
+//! throughput across worker counts, and shard-merge throughput — and
+//! writes one `asim2-bench-snapshot v1` JSON document.
 //! The numbers are wall-clock and therefore machine-dependent; the
 //! *document* is the deterministic part: a stable shape, stable workload
 //! names and units, so snapshots from different commits diff cleanly
@@ -134,6 +135,30 @@ fn run_benches(quick: bool, err: &mut dyn Write) -> Result<Vec<BenchResult>, Cli
             iters,
         ));
     }
+
+    // Lint throughput: full static analysis (parse, elaborate, every
+    // pass) over the whole scenario corpus, in specs per second.
+    let lint_corpus: Vec<String> = rtl_machines::scenarios::names()
+        .into_iter()
+        .filter_map(|name| rtl_machines::scenarios::by_name(&name))
+        .map(|scenario| scenario.source)
+        .collect();
+    let lint_rounds: u32 = if quick { 2 } else { 20 };
+    let secs = median_secs(iters, || {
+        for _ in 0..lint_rounds {
+            for source in &lint_corpus {
+                std::hint::black_box(rtl_lint::lint_source(source));
+            }
+        }
+        Ok(())
+    })?;
+    results.push(report(
+        err,
+        "lint_corpus".to_string(),
+        "specs_per_sec",
+        f64::from(lint_rounds) * lint_corpus.len() as f64 / secs,
+        iters,
+    ));
 
     // Campaign throughput across worker counts.
     let cases: u32 = if quick { 8 } else { 32 };

@@ -29,6 +29,8 @@
 //! The library entry point [`run`] takes arguments and output sinks so the
 //! whole tool is testable in-process; `main` is a thin wrapper.
 
+#![forbid(unsafe_code)]
+
 use rtl_compile::{EmitOptions, OptOptions, Vm};
 use rtl_core::{
     Design, EngineOptions, ReaderInput, Session, SimError, StopReason, Until, WriteSink,
@@ -38,6 +40,7 @@ use rtl_machines::Scenario;
 use std::io::Write;
 
 mod bench;
+mod lint;
 mod metrics;
 
 /// Executes the tool with the process's stdin. Returns the process exit
@@ -100,15 +103,17 @@ const USAGE: &str = "usage:
   asim2 vcd     FILE [-o OUT.vcd] [--cycles N]
   asim2 spec    NAME            (one of: counter gcd traffic fig3_1 fig4_1 fig4_2 fig4_3 sieve tiny)
   asim2 fig     3.1|4.1|4.2|4.3|5.1
+  asim2 lint    FILE... [--deny warnings] [--allow CODE] [--format text|json] [--codes]
   asim2 cosim   [FILE] [--engines interp,vm,rust,...] [--cycles N] [--scenario NAME]
                 [--compare-every N] [--compare trace,vcd,cells,...]
                 [--checkpoint F [--checkpoint-every N]] [--resume F]
                 [--dump-divergence DIR] [--export-digests F] [--check-digests F]
+                [--lint-oracle]
   asim2 fuzz    [--seed N] [--cases N] [--cycles N] [--size N] [--engines interp,vm,...]
   asim2 campaign run    --dir D [--cases N] [--seed N] [--workers N] [--engines LIST]
                         [--cycles N] [--size N] [--compare-every N] [--limit N]
-                        [--case-checkpoint] [--metrics-out F.jsonl] [--progress[=MS]]
-                        [--quiet]
+                        [--case-checkpoint] [--lint-oracle] [--metrics-out F.jsonl]
+                        [--progress[=MS]] [--quiet]
   asim2 campaign resume --dir D [--workers N] [--limit N] [--case-checkpoint]
                         [--metrics-out F.jsonl] [--progress[=MS]] [--quiet]
   asim2 campaign replay --dir D [--engines LIST]
@@ -129,6 +134,9 @@ engine NAMEs come from the registry: interp, interp-faithful, vm, vm-noopt,
 rust (the generated binary run as a subprocess cosim lane) and vm-fault (a
 deliberately broken VM for validating the find->shrink->replay pipeline).
 cosim comparators: trace, cycles, outputs, cells, vcd, digest, all
+lint checks specs statically (asim2 lint --codes lists the finding codes);
+--lint-oracle cross-validates the analyzer's dead-arm/undriven claims
+against the running lanes — a contradiction reports as a divergence.
 shard plans default to ./shard-plan.json; each shard runs on its own machine
 into a self-contained --dir, and merge folds the directories back into one
 canonical campaign, bit-identical to a single-machine run.";
@@ -150,6 +158,7 @@ fn dispatch(
         "vcd" => vcd_cmd(&rest, out),
         "spec" => spec_cmd(&rest, out),
         "fig" => fig(&rest, out),
+        "lint" => lint::lint_cmd(&rest, out),
         "cosim" => cosim_cmd(&rest, out),
         "fuzz" => fuzz_cmd(&rest, out),
         "campaign" => campaign_cmd(&rest, out, err),
@@ -582,6 +591,7 @@ fn cosim_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
         resume,
         export_digests,
         check_digests,
+        lint_oracle: flags.contains(&"--lint-oracle"),
         ..rtl_cosim::CosimOptions::default()
     };
 
@@ -918,6 +928,7 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             "--compare-every",
             "--limit",
             "--case-checkpoint",
+            "--lint-oracle",
             "--metrics-out",
             "--progress",
             "--quiet",
@@ -1004,6 +1015,7 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             if let Some(stride) = parse_u64_flag(&flags, "--compare-every")? {
                 config.compare_every = stride.max(1);
             }
+            config.lint_oracle = flags.contains(&"--lint-oracle");
             let mut progress = ProgressReporter::from_flags(err, &flags)?;
             let report = rtl_campaign::run(&dir, &config, &run_options, &mut progress)
                 .map_err(campaign_err)?;
@@ -2216,5 +2228,95 @@ mod tests {
         assert_eq!(code, 1, "{err}");
         assert!(err.contains("does not take --cases"), "{err}");
         let _ = std::fs::remove_dir_all(&d);
+    }
+
+    // A spec whose arm 2 is provably dead (eq output is one bit wide).
+    const DEAD_ARM_SPEC: &str = "# demo\nc bit x .\nM c 0 c 1 2\nA bit 12 c 1\nS x bit 5 6 7 .\n";
+
+    #[test]
+    fn lint_clean_spec_exits_zero() {
+        let p = tmp_spec("lintclean", COUNTER);
+        let out = run_ok(&["lint", p.to_str().unwrap()]);
+        assert!(
+            out.contains("1 file(s) linted: 0 error(s), 0 warning(s)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn lint_warning_passes_unless_denied() {
+        let p = tmp_spec("lintwarn", DEAD_ARM_SPEC);
+        let out = run_ok(&["lint", p.to_str().unwrap()]);
+        assert!(out.contains("warning[dead-arm]"), "{out}");
+        assert!(
+            out.contains("1 file(s) linted: 0 error(s), 1 warning(s)"),
+            "{out}"
+        );
+        let (code, err) = run_fail(&["lint", p.to_str().unwrap(), "--deny", "warnings"]);
+        assert_eq!(code, 3, "{err}");
+        assert!(err.contains("lint denied 1 finding(s)"), "{err}");
+        // A waived code no longer denies.
+        let out = run_ok(&[
+            "lint",
+            p.to_str().unwrap(),
+            "--deny",
+            "warnings",
+            "--allow",
+            "dead-arm",
+        ]);
+        assert!(out.contains("0 warning(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_errors_always_deny() {
+        let p = tmp_spec("linterr", "# t\nc .\nM c 0 ghost 1 1 .\n");
+        let (code, err) = run_fail(&["lint", p.to_str().unwrap()]);
+        assert_eq!(code, 3, "{err}");
+    }
+
+    #[test]
+    fn lint_json_is_valid_and_deterministic() {
+        let p = tmp_spec("lintjson", DEAD_ARM_SPEC);
+        let a = run_ok(&["lint", p.to_str().unwrap(), "--format", "json"]);
+        let b = run_ok(&["lint", p.to_str().unwrap(), "--format", "json"]);
+        assert_eq!(a, b, "json output must be byte-identical across runs");
+        let doc = rtl_campaign::json::Json::parse(&a).unwrap();
+        assert_eq!(
+            doc.get("format").and_then(|f| f.as_str()),
+            Some(rtl_lint::JSON_FORMAT)
+        );
+        let files = doc.get("files").and_then(|f| f.as_arr()).unwrap();
+        assert_eq!(files.len(), 1);
+        let codes: Vec<&str> = files[0]
+            .get("diagnostics")
+            .and_then(|d| d.as_arr())
+            .unwrap()
+            .iter()
+            .filter_map(|d| d.get("code").and_then(|c| c.as_str()))
+            .collect();
+        assert_eq!(codes, ["dead-arm"]);
+    }
+
+    #[test]
+    fn lint_codes_lists_the_registry() {
+        let out = run_ok(&["lint", "--codes"]);
+        let listed: Vec<&str> = out.lines().collect();
+        assert_eq!(listed, rtl_lint::all_codes());
+    }
+
+    #[test]
+    fn lint_usage_errors() {
+        let (code, err) = run_fail(&["lint"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("at least one FILE"), "{err}");
+        let p = tmp_spec("lintusage", COUNTER);
+        let (code, err) = run_fail(&["lint", p.to_str().unwrap(), "--allow", "bogus-code"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("unknown lint code"), "{err}");
+        let (code, err) = run_fail(&["lint", p.to_str().unwrap(), "--deny", "everything"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("--deny takes"), "{err}");
+        let (code, err) = run_fail(&["lint", "/nonexistent/spec.asim"]);
+        assert_eq!(code, 2, "{err}");
     }
 }

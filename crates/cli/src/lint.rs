@@ -1,0 +1,104 @@
+//! `asim2 lint` — static semantic analysis of ASIM II specifications.
+//!
+//! Lints any number of spec files through the `rtl-lint` pipeline.
+//! Errors are always denied; warnings are denied under `--deny
+//! warnings`; individual codes can be waived with `--allow CODE`
+//! (repeatable). Output is the deterministic text format or the
+//! `asim2-lint v1` JSON document (`--format json`). Exit codes follow
+//! the tool-wide convention: 0 clean, 1 usage, 2 unreadable file, 3
+//! denied findings.
+
+use crate::{load_err, usage_err, CliError};
+use rtl_lint::Report;
+use std::io::Write;
+
+pub(crate) fn lint_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut files: Vec<&str> = Vec::new();
+    let mut allow: Vec<&str> = Vec::new();
+    let mut deny_warnings = false;
+    let mut format = "text";
+    let mut it = rest.iter().copied();
+    while let Some(a) = it.next() {
+        match a {
+            "--deny" => match it.next() {
+                Some("warnings") => deny_warnings = true,
+                Some(other) => {
+                    return Err(usage_err(format!(
+                        "--deny takes \"warnings\" (errors are always denied), got {other:?}"
+                    )))
+                }
+                None => return Err(usage_err("--deny needs a value")),
+            },
+            "--allow" => match it.next() {
+                Some(code) => allow.push(code),
+                None => return Err(usage_err("--allow needs a lint code")),
+            },
+            "--format" => match it.next() {
+                Some(f @ ("text" | "json")) => format = f,
+                Some(other) => {
+                    return Err(usage_err(format!(
+                        "--format takes text or json, got {other:?}"
+                    )))
+                }
+                None => return Err(usage_err("--format needs a value")),
+            },
+            "--codes" => {
+                for code in rtl_lint::all_codes() {
+                    let _ = writeln!(out, "{code}");
+                }
+                return Ok(());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(usage_err(format!("lint does not take {flag}")))
+            }
+            file => files.push(file),
+        }
+    }
+    if files.is_empty() {
+        return Err(usage_err("lint needs at least one FILE (or --codes)"));
+    }
+    let known = rtl_lint::all_codes();
+    if let Some(bad) = allow.iter().find(|code| !known.contains(code)) {
+        return Err(usage_err(format!(
+            "--allow {bad}: unknown lint code (asim2 lint --codes lists them)"
+        )));
+    }
+
+    let mut reports: Vec<(&str, Report)> = Vec::new();
+    for file in &files {
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| load_err(format!("cannot read {file}: {e}")))?;
+        reports.push((file, rtl_lint::lint_source(&source).allow(&allow)));
+    }
+
+    let (mut errors, mut warnings) = (0, 0);
+    for (_, report) in &reports {
+        errors += report.errors();
+        warnings += report.warnings();
+    }
+    match format {
+        "json" => {
+            let entries: Vec<(&str, &Report)> = reports.iter().map(|(f, r)| (*f, r)).collect();
+            let _ = write!(out, "{}", rtl_lint::render_json_document(&entries));
+        }
+        _ => {
+            for (file, report) in &reports {
+                let _ = write!(out, "{}", report.render_text(file));
+            }
+            let _ = writeln!(
+                out,
+                "{} file(s) linted: {errors} error(s), {warnings} warning(s)",
+                files.len()
+            );
+        }
+    }
+    let denied = errors + if deny_warnings { warnings } else { 0 };
+    if denied > 0 {
+        Err(CliError {
+            code: 3,
+            message: format!("lint denied {denied} finding(s)"),
+        })
+    } else {
+        Ok(())
+    }
+}

@@ -1,5 +1,7 @@
 //! The `asim` binary: a thin wrapper over [`asim_cli::run`].
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let stdout = std::io::stdout();

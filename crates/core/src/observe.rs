@@ -212,6 +212,17 @@ pub enum DivergenceKind {
     /// recoverable — that is the price of comparing 8 bytes per interval
     /// instead of full values.
     Digest,
+    /// A runtime observation contradicted a static-analyzer claim (the
+    /// lint cross-validation oracle): a statically-dead selector arm
+    /// fired, or a statically-undriven memory changed. A disagreement
+    /// here is a bug in the analyzer or the simulator, not a lane
+    /// mismatch — both lanes may agree perfectly.
+    Oracle {
+        /// Component the claim was about.
+        component: String,
+        /// The static claim that the runtime contradicted.
+        claim: String,
+    },
 }
 
 impl DivergenceKind {
@@ -254,6 +265,12 @@ impl std::fmt::Display for DivergenceKind {
                 )
             }
             DivergenceKind::Digest => f.write_str("observation digest mismatch"),
+            DivergenceKind::Oracle { component, claim } => {
+                write!(
+                    f,
+                    "runtime contradicts static analysis of '{component}': {claim}"
+                )
+            }
         }
     }
 }

@@ -135,6 +135,17 @@ pub fn run_fuzz_case(
 ) -> Result<FuzzCase, ScenarioError> {
     let seed = options.seed.wrapping_add(u64::from(index));
     let scenario = generate_scenario(seed, &options.generator);
+    if options.cosim.recorder.enabled() {
+        // Static tier in front of execution: lint every generated design
+        // and fold per-code counts into the deterministic counter
+        // section. The counts depend only on (config, index), so totals
+        // are byte-identical across worker counts and kill+resume.
+        let recorder = &options.cosim.recorder;
+        recorder.count("lint", "designs_linted", 1);
+        for (code, n) in rtl_lint::lint_source(&scenario.source).counts() {
+            recorder.count("lint", code, n);
+        }
+    }
     let outcome = run_scenario_names(registry, &options.engines, &scenario, &options.cosim)?;
     let stats = outcome.lane_stats();
     let (cycles, stop, divergence) = match outcome {

@@ -89,6 +89,13 @@ pub struct CosimOptions {
     /// behavior, compares equal to every other recorder, and stays out
     /// of harness fingerprints.
     pub recorder: Recorder,
+    /// Cross-validate the static analyzer against the running lanes: when
+    /// the design has sound lint claims (statically-dead selector arms,
+    /// statically-undriven memories), scenario drivers attach the
+    /// `rtl-lint` oracle comparator, and a runtime observation that
+    /// contradicts a claim is reported as a
+    /// [`DivergenceKind::Oracle`](rtl_core::DivergenceKind) divergence.
+    pub lint_oracle: bool,
 }
 
 impl Default for CosimOptions {
@@ -104,6 +111,7 @@ impl Default for CosimOptions {
             export_digests: None,
             check_digests: None,
             recorder: Recorder::disabled(),
+            lint_oracle: false,
         }
     }
 }

@@ -117,6 +117,15 @@ pub fn run_scenario_names(
             }
             None => None,
         };
+        if options.lint_oracle {
+            let claims = rtl_lint::StaticClaims::of(&design);
+            if !claims.is_empty() {
+                lockstep.add_comparator(Box::new(rtl_lint::OracleComparator::new(
+                    claims,
+                    options.recorder.clone(),
+                )));
+            }
+        }
         if let Some(path) = &options.check_digests {
             let log = crate::digest::DigestLog::load(path).map_err(|e| {
                 ScenarioError::Engine(format!("cannot read digests {}: {e}", path.display()))

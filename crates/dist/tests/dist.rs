@@ -34,6 +34,7 @@ fn quick_config(seed: u64, engines: &[&str], cycles: u64) -> CampaignConfig {
             ..GenOptions::default()
         },
         compare_every: 1,
+        lint_oracle: false,
     }
 }
 

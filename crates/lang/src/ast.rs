@@ -15,10 +15,22 @@ use std::fmt;
 pub struct Ident(String);
 
 impl Ident {
-    /// Wraps a string as an identifier **without validating it**; use
-    /// [`Ident::parse`] for checked construction.
+    /// Wraps a string as an identifier **without validating it**.
+    ///
+    /// Invariant: the caller must guarantee the string is already a valid
+    /// name — an ASCII letter followed by letters and digits — because
+    /// every consumer (resolver, pretty-printer, lint) relies on it. This
+    /// constructor is for strings that are valid *by construction*, such
+    /// as the concatenation of two validated identifiers during module
+    /// flattening; any name originating in user input (spec text,
+    /// bindings, CLI arguments) must go through [`Ident::parse`] instead.
     pub fn new_unchecked(s: impl Into<String>) -> Self {
-        Ident(s.into())
+        let s = s.into();
+        debug_assert!(
+            Ident::parse(&s).is_some(),
+            "new_unchecked called with invalid identifier {s:?}"
+        );
+        Ident(s)
     }
 
     /// Validates and wraps a name: first char a letter, rest letters/digits.

@@ -87,6 +87,10 @@ pub enum ModuleError {
     /// The module references a name it neither defines nor has bound —
     /// after expansion it would dangle.
     UnboundReference(String),
+    /// A binding's outer name is not a valid identifier (letters followed
+    /// by letters and digits), so splicing it into the outer spec would
+    /// produce a component no reference could ever name.
+    InvalidBinding(String),
 }
 
 impl fmt::Display for ModuleError {
@@ -100,6 +104,9 @@ impl fmt::Display for ModuleError {
                     f,
                     "module references {n}, which is neither defined nor bound"
                 )
+            }
+            ModuleError::InvalidBinding(n) => {
+                write!(f, "binding target {n:?} is not a valid component name")
             }
         }
     }
@@ -132,9 +139,15 @@ pub fn instantiate(module: &Spec, inst: &Instance) -> Result<Vec<Component>, Mod
 
     let rename = |name: &Ident| -> Result<Ident, ModuleError> {
         if defined.contains_key(name.as_str()) {
+            // Invariant-preserving: the prefix is validated by
+            // `Instance::new` (letters/digits, leading letter) and `name`
+            // is already a parsed identifier, so the concatenation is a
+            // valid identifier by construction.
             Ok(Ident::new_unchecked(inst.flat_name(name.as_str())))
         } else if let Some(outer) = inst.bindings.get(name.as_str()) {
-            Ok(Ident::new_unchecked(outer.clone()))
+            // Binding targets arrive as raw strings from the caller, so
+            // they go through the checked constructor.
+            Ident::parse(outer).ok_or_else(|| ModuleError::InvalidBinding(outer.clone()))
         } else {
             Err(ModuleError::UnboundReference(name.as_str().to_string()))
         }
@@ -215,6 +228,14 @@ mod tests {
 
     const COUNTER_MODULE: &str = "# counter module\nvalue next .\n\
                                   M value 0 next.0.3 1 1\nA next 4 value step .";
+
+    #[test]
+    fn invalid_binding_target_is_rejected() {
+        let module = parse(COUNTER_MODULE).unwrap();
+        let err = instantiate(&module, &Instance::new("c0").bind("step", "a.b")).unwrap_err();
+        assert_eq!(err, ModuleError::InvalidBinding("a.b".into()));
+        assert!(err.to_string().contains("not a valid component name"));
+    }
 
     #[test]
     fn two_instances_of_one_module() {

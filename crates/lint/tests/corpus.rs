@@ -1,0 +1,21 @@
+//! Every registry scenario must lint clean: the lint tier sits in front
+//! of CI's cosim smokes, so a finding here is either a real spec bug or
+//! an unsound pass.
+
+use rtl_lint::lint_source;
+
+#[test]
+fn all_registry_scenarios_lint_clean() {
+    let names = rtl_machines::scenarios::names();
+    assert!(names.len() >= 19, "registry shrank: {}", names.len());
+    for name in names {
+        let scenario = rtl_machines::scenarios::by_name(&name).unwrap();
+        let report = lint_source(&scenario.source);
+        assert!(
+            report.is_clean(),
+            "{}:\n{}",
+            scenario.name,
+            report.render_text(&scenario.name)
+        );
+    }
+}

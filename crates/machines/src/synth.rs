@@ -4,7 +4,11 @@
 use crate::builder::SpecBuilder;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use rtl_core::width::bits_needed;
 use rtl_lang::Spec;
+
+/// Bound marker for a source whose value is not provably narrow.
+const UNBOUNDED: u8 = 31;
 
 /// A dependency chain of `n` ALUs hanging off one counter register —
 /// every component must be evaluated every cycle, so simulation time
@@ -29,7 +33,10 @@ pub fn chain(n: usize) -> Spec {
 /// with masked addresses, and layers of ALUs/selectors with in-range
 /// constant functions and masked selector indices. Such designs cannot
 /// fail at runtime, so the engines must agree on every cycle — the
-/// property-test oracle.
+/// property-test oracle. Each source carries the same provable value
+/// bound `rtl-lint` derives, and subfield reads are clamped below it, so
+/// generated designs also lint clean (no `field-oob` on a comparator
+/// output, for example).
 pub fn random_spec(seed: u64, size: usize) -> Spec {
     let mut rng = StdRng::seed_from_u64(seed);
     let size = size.clamp(1, 200);
@@ -39,7 +46,7 @@ pub fn random_spec(seed: u64, size: usize) -> Spec {
     b.trace("c");
     b.memory("c", "0", "next", "1", 1);
     b.alu("next", "4", "c.0.11", "1");
-    let mut sources: Vec<String> = vec!["c".into()];
+    let mut sources: Vec<(String, u8)> = vec![("c".into(), UNBOUNDED)];
 
     // A few memories (ROM-like and register-like).
     let mem_count = rng.random_range(1..=3usize);
@@ -50,52 +57,72 @@ pub fn random_spec(seed: u64, size: usize) -> Spec {
         let addr = format!("c.0.{}", bits - 1);
         let (data, opn) = match rng.random_range(0..3) {
             0 => ("0".to_string(), "0".to_string()), // ROM of zeros? give init
-            1 => (pick_expr(&mut rng, &sources), "1".to_string()), // register file write
-            _ => (pick_expr(&mut rng, &sources), "c.0".to_string()), // dynamic rd/wr
+            1 => (pick_expr(&mut rng, &sources).0, "1".to_string()), // register file write
+            _ => (pick_expr(&mut rng, &sources).0, "c.0".to_string()), // dynamic rd/wr
         };
-        if opn == "0" {
+        let bound = if opn == "0" {
             let init: Vec<i64> = (0..cells).map(|_| rng.random_range(0..1000)).collect();
+            // A ROM's latch only ever holds an init value.
+            let bound = init.iter().copied().map(bits_needed).max().unwrap_or(1);
             b.memory_init(&name, &addr, &data, &opn, init);
+            bound.max(1)
         } else {
             b.memory(&name, &addr, &data, &opn, cells);
-        }
+            UNBOUNDED
+        };
         b.trace(&name);
-        sources.push(name);
+        sources.push((name, bound));
     }
 
     // Combinational layers.
     for i in 0..size {
         let name = format!("x{i}");
-        if rng.random_range(0..4) == 0 {
+        let bound = if rng.random_range(0..4) == 0 {
             // Selector with a masked index.
             let bits = rng.random_range(1..=3u32);
-            let cases: Vec<String> = (0..(1 << bits))
+            let cases: Vec<(String, u8)> = (0..(1 << bits))
                 .map(|_| pick_expr(&mut rng, &sources))
                 .collect();
             let sel = format!("{}.0.{}", pick_source(&mut rng, &sources), bits - 1);
-            b.selector(&name, &sel, cases);
+            let bound = cases.iter().map(|(_, b)| *b).max().unwrap_or(UNBOUNDED);
+            b.selector(&name, &sel, cases.into_iter().map(|(text, _)| text));
+            bound
         } else {
             // ALU with a constant, in-range function.
-            let f = rng.random_range(0..=13i64).to_string();
-            let left = pick_expr(&mut rng, &sources);
-            let right = pick_expr(&mut rng, &sources);
-            b.alu(&name, &f, &left, &right);
-        }
+            let f = rng.random_range(0..=13i64);
+            let left = pick_expr(&mut rng, &sources).0;
+            let right = pick_expr(&mut rng, &sources).0;
+            b.alu(&name, &f.to_string(), &left, &right);
+            // zero (0), unused (11), eq (12) and lt (13) are 1-bit.
+            if matches!(f, 0 | 11 | 12 | 13) {
+                1
+            } else {
+                UNBOUNDED
+            }
+        };
         if rng.random_range(0..3) == 0 {
             b.trace(&name);
         }
-        sources.push(name);
+        sources.push((name, bound));
     }
     b.build()
 }
 
-fn pick_source(rng: &mut StdRng, sources: &[String]) -> String {
-    sources[rng.random_range(0..sources.len())].clone()
+fn pick_source(rng: &mut StdRng, sources: &[(String, u8)]) -> String {
+    sources[rng.random_range(0..sources.len())].0.clone()
 }
 
-fn pick_expr(rng: &mut StdRng, sources: &[String]) -> String {
+/// A random expression over `sources`, plus the provable bound `rtl-lint`
+/// assigns it (UNBOUNDED when none): `bits_needed` of the folded value
+/// for all-constant expressions, otherwise the sum of part widths with
+/// the leftmost part allowed to be unsized.
+fn pick_expr(rng: &mut StdRng, sources: &[(String, u8)]) -> (String, u8) {
     let parts = rng.random_range(1..=3usize);
     let mut out = Vec::with_capacity(parts);
+    // (value, width) of each part while all are constant; the fold
+    // mirrors the resolver (and the lint's `const_value`).
+    let mut consts: Option<Vec<(i64, Option<u8>)>> = Some(Vec::new());
+    let mut total: u32 = 0;
     for i in 0..parts {
         // Only the leftmost part may be full width; everything to its
         // right must be sized or the concatenation overflows 31 bits.
@@ -105,21 +132,50 @@ fn pick_expr(rng: &mut StdRng, sources: &[String]) -> String {
             let v = rng.random_range(0..16i64);
             if sized {
                 out.push(format!("{v}.4"));
+                total += 4;
             } else {
                 out.push(v.to_string());
+                total += u32::from(bits_needed(v));
+            }
+            if let Some(c) = &mut consts {
+                c.push((v, sized.then_some(4)));
             }
         } else {
-            let s = pick_source(rng, sources);
+            consts = None;
+            let idx = rng.random_range(0..sources.len());
+            let (s, bound) = &sources[idx];
             if sized {
-                let from = rng.random_range(0..4u8);
+                // Clamp the subfield start below the source's provable
+                // bound so the read is never entirely above it.
+                let from = rng.random_range(0..4u8).min(bound - 1);
                 let to = from + rng.random_range(0..4u8);
                 out.push(format!("{s}.{from}.{to}"));
+                total += u32::from(to - from + 1);
             } else {
-                out.push(s);
+                out.push(s.clone());
+                total += u32::from(*bound);
             }
         }
     }
-    out.join(",")
+    let bound = match consts {
+        // All-constant: fold right-to-left exactly like the resolver.
+        Some(parts) => {
+            let (mut value, mut pos) = (0i64, 0u32);
+            for (v, width) in parts.into_iter().rev() {
+                match width {
+                    Some(w) => {
+                        value += v << pos;
+                        pos += u32::from(w);
+                    }
+                    None => value += v << pos, // leftmost fills to bit 31
+                }
+            }
+            bits_needed(value)
+        }
+        None if total >= u32::from(UNBOUNDED) => UNBOUNDED,
+        None => u8::try_from(total.max(1)).unwrap_or(UNBOUNDED),
+    };
+    (out.join(","), bound)
 }
 
 #[cfg(test)]
