@@ -63,8 +63,8 @@ pub use corpus::{CorpusEntry, ReplayOutcome, ReplayReport, ReplayResult};
 pub use error::CampaignError;
 pub use fault::{FaultyVmFactory, DEFAULT_FAULT_CYCLE};
 pub use runner::{
-    aggregate_lanes, campaign_registry, replay_corpus, resume, run, CampaignReport, LaneTotals,
-    NoProgress, Progress, RunOptions, CASE_CHECKPOINT_EVERY,
+    aggregate_lanes, campaign_registry, fold_profiles, replay_corpus, resume, run, CampaignReport,
+    LaneTotals, NoProgress, Progress, RunOptions, CASE_CHECKPOINT_EVERY,
 };
 pub use shrink::{shrink_divergence, Shrunk};
 pub use state::{CampaignDir, CaseRecord, CaseStatus, LaneAccess};

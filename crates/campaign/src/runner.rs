@@ -59,6 +59,16 @@ pub struct RunOptions {
     /// compile race, so they are only schedule-stable when the engine
     /// set reaches a warm cache or never compiles at all.
     pub recorder: Recorder,
+    /// Collect a per-case execution profile (`rtl-prof`): each case runs
+    /// its lanes with a fresh collecting hook, publishes the snapshot as
+    /// a `cases/case-N.profile` sidecar *before* the case record (the
+    /// record stays the commit point, so worker counts and kill+resume
+    /// cannot change a published sidecar), and folds the counters into
+    /// the recorder as deterministic `profile/<component>/<event>`
+    /// deltas. Case outcomes, records and the campaign fingerprint are
+    /// unaffected. Not combinable with `case_checkpoint`: a mid-case
+    /// resume would only tally the post-resume cycles.
+    pub profile: bool,
 }
 
 /// The cycle cadence of `--case-checkpoint` lockstep checkpoints.
@@ -75,6 +85,7 @@ impl Default for RunOptions {
             case_checkpoint: false,
             case_range: None,
             recorder: Recorder::disabled(),
+            profile: false,
         }
     }
 }
@@ -144,6 +155,24 @@ impl CampaignReport {
         self.complete()
             && self.agreed() as usize == self.records.len()
             && self.replay.as_ref().is_none_or(ReplayReport::clean)
+    }
+
+    /// Total verified cycles per case status, in the fixed order
+    /// `agreed, halted, diverged, error` — the denominator execution
+    /// profiles need in the same document (profile events per *agreed*
+    /// cycle is the meaningful ratio; diverged cases stop early).
+    pub fn cycles_by_status(&self) -> [(&'static str, u64); 4] {
+        let mut totals = [("agreed", 0), ("halted", 0), ("diverged", 0), ("error", 0)];
+        for record in self.records.iter().flatten() {
+            let slot = match &record.status {
+                CaseStatus::Agreed => 0,
+                CaseStatus::Halted { .. } => 1,
+                CaseStatus::Diverged { .. } => 2,
+                CaseStatus::Error { .. } => 3,
+            };
+            totals[slot].1 += record.cycles;
+        }
+        totals
     }
 
     fn count(&self, want: impl Fn(&CaseStatus) -> bool) -> u32 {
@@ -249,6 +278,16 @@ impl std::fmt::Display for CampaignReport {
                 totals.lane, totals.cases, totals.cycles, totals.accesses
             )?;
         }
+        let by_status = self.cycles_by_status();
+        writeln!(
+            f,
+            "cycles by status: {}",
+            by_status
+                .iter()
+                .map(|(tag, cycles)| format!("{tag} {cycles}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )?;
         let done = self.completed();
         write!(
             f,
@@ -373,6 +412,13 @@ fn execute(
     progress: &mut dyn Progress,
 ) -> Result<CampaignReport, CampaignError> {
     let started = Instant::now();
+    if options.profile && options.case_checkpoint {
+        return Err(CampaignError::Config(
+            "profiling cannot be combined with per-case checkpointing: a case resumed \
+             mid-run would only profile its post-resume cycles"
+                .into(),
+        ));
+    }
     let mut fuzz = config.fuzz_options();
     // The recorder reaches every lane session and lockstep harness from
     // here; it is a run-time tap, so the config fingerprint is unchanged.
@@ -391,6 +437,7 @@ fn execute(
     let next = AtomicU32::new(0);
     let abort = AtomicBool::new(false);
     let case_checkpoint = options.case_checkpoint;
+    let profile = options.profile;
     // A kill between record publication and checkpoint removal can leave
     // a stale .ckpt next to a completed record; sweep those up front.
     for (index, record) in records.iter().enumerate() {
@@ -433,6 +480,7 @@ fn execute(
                         index,
                         dir,
                         case_checkpoint,
+                        profile,
                         &recorder,
                     );
                     drop(case_span);
@@ -495,6 +543,38 @@ fn case_checkpoint_path(dir: &CampaignDir, index: u32) -> std::path::PathBuf {
     dir.cases().join(format!("case-{index:06}.ckpt"))
 }
 
+/// Folds every completed case's profile sidecar into one aggregate
+/// [`Profile`](rtl_core::Profile). Because each sidecar is a pure
+/// function of `(config, index)`, the fold is byte-identical across
+/// worker counts, kill+resume splits, and shard merges.
+///
+/// # Errors
+///
+/// A completed case without a sidecar (the campaign ran without
+/// profiling), a corrupt sidecar, or I/O.
+pub fn fold_profiles(
+    dir: &CampaignDir,
+    report: &CampaignReport,
+) -> Result<rtl_core::Profile, CampaignError> {
+    let mut total = rtl_core::Profile::default();
+    for record in report.records.iter().flatten() {
+        let path = dir.profile_path(record.index);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            CampaignError::Config(format!(
+                "{}: case {} has no profile sidecar ({e}); run the campaign with \
+                 profiling on",
+                path.display(),
+                record.index
+            ))
+        })?;
+        let profile = rtl_core::Profile::parse(&text)
+            .map_err(|e| CampaignError::Corrupt(format!("{}: {e}", path.display())))?;
+        total.merge(&profile);
+    }
+    Ok(total)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     registry: &EngineRegistry,
     config: &CampaignConfig,
@@ -502,21 +582,31 @@ fn run_one(
     index: u32,
     dir: &CampaignDir,
     case_checkpoint: bool,
+    profile: bool,
     recorder: &Recorder,
 ) -> Result<DoneCase, CampaignError> {
     // Thread the per-case lockstep checkpoint through: write it while the
     // case runs, resume from a leftover document (a kill mid-case), and
     // remove it once the record is durable.
     let ckpt_path = case_checkpoint_path(dir, index);
+    // A *fresh* hook per case: the sidecar is the case's own tally, a
+    // pure function of (config, index), regardless of which worker ran
+    // it or what else this process executed.
+    let profile_hook = profile.then(rtl_core::ProfileHook::collecting);
     let fuzz_for_case;
-    let fuzz = if case_checkpoint {
+    let fuzz = if case_checkpoint || profile_hook.is_some() {
         let mut patched = fuzz.clone();
-        patched.cosim.checkpoint = Some(rtl_cosim::LockstepCheckpoint {
-            path: ckpt_path.clone(),
-            every: CASE_CHECKPOINT_EVERY,
-        });
-        if ckpt_path.exists() {
-            patched.cosim.resume = Some(ckpt_path.clone());
+        if case_checkpoint {
+            patched.cosim.checkpoint = Some(rtl_cosim::LockstepCheckpoint {
+                path: ckpt_path.clone(),
+                every: CASE_CHECKPOINT_EVERY,
+            });
+            if ckpt_path.exists() {
+                patched.cosim.resume = Some(ckpt_path.clone());
+            }
+        }
+        if let Some(hook) = &profile_hook {
+            patched.cosim.profile = hook.clone();
         }
         fuzz_for_case = patched;
         &fuzz_for_case
@@ -524,11 +614,14 @@ fn run_one(
         fuzz
     };
     let case = run_fuzz_case(registry, fuzz, index)?;
-    // Shrink probes must not inherit the case's checkpoint/resume paths:
-    // they re-run many *different* candidate scenarios.
+    // Shrink probes must not inherit the case's checkpoint/resume paths
+    // (they re-run many *different* candidate scenarios) nor its profile
+    // hook (hook clones share one tally; probe work would pollute the
+    // case's sidecar).
     let probe_cosim = rtl_cosim::CosimOptions {
         checkpoint: None,
         resume: None,
+        profile: rtl_core::ProfileHook::disabled(),
         ..fuzz.cosim.clone()
     };
     let (status, corpus) = match case.divergence {
@@ -592,6 +685,17 @@ fn run_one(
     recorder.count("campaign", "cases_executed", 1);
     recorder.count("campaign", &format!("cases_{}", record.status.tag()), 1);
     recorder.count("campaign", "cycles_verified", record.cycles);
+    // The profile sidecar publishes *before* the record: the record is
+    // the commit point, so a kill between the two re-runs the case and
+    // rewrites the identical sidecar. The counters reach the recorder as
+    // per-case deltas, the same scheme lint counters use.
+    if let Some(hook) = &profile_hook {
+        let snapshot = hook.snapshot();
+        crate::state::write_atomic(&dir.profile_path(index), snapshot.render().as_bytes())?;
+        for (key, n) in snapshot.iter() {
+            recorder.count("profile", key, n);
+        }
+    }
     // Publish from the worker (atomic temp-file + rename), so record I/O
     // overlaps across workers instead of serializing in the collector.
     // Once this returns, the case is durable: a kill right after still

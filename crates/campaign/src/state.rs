@@ -250,6 +250,13 @@ impl CampaignDir {
         self.cases().join(format!("case-{index:06}.json"))
     }
 
+    /// One case's execution-profile sidecar path (present only for cases
+    /// run with [`RunOptions::profile`](crate::RunOptions) on; published
+    /// atomically *before* the case record).
+    pub fn profile_path(&self, index: u32) -> PathBuf {
+        self.cases().join(format!("case-{index:06}.profile"))
+    }
+
     /// Initializes a fresh campaign directory and writes the manifest.
     /// The root may already exist (e.g. holding a pre-seeded `corpus/`),
     /// but an existing manifest means a campaign already lives here.

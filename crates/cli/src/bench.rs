@@ -96,6 +96,7 @@ fn run_benches(quick: bool, err: &mut dyn Write) -> Result<Vec<BenchResult>, Cli
     let mut results = Vec::new();
 
     // Lockstep stride sweep: how much does comparison cadence cost?
+    let mut stride1_secs = f64::NAN;
     for stride in [1u64, 16, 128] {
         let options = CosimOptions {
             compare_every: stride,
@@ -106,6 +107,9 @@ fn run_benches(quick: bool, err: &mut dyn Write) -> Result<Vec<BenchResult>, Cli
                 .map(|_| ())
                 .map_err(load_err)
         })?;
+        if stride == 1 {
+            stride1_secs = secs;
+        }
         results.push(report(
             err,
             format!("lockstep_stride_{stride}"),
@@ -114,6 +118,36 @@ fn run_benches(quick: bool, err: &mut dyn Write) -> Result<Vec<BenchResult>, Cli
             iters,
         ));
     }
+
+    // Profile-tap overhead: the identical stride-1 lockstep with the
+    // per-component execution profile on in every lane. The hot path is
+    // one bounds-checked vector increment per event, so the probe pins
+    // the cost of `--profile-out` relative to the baseline above
+    // (acceptance bar: under a few percent).
+    let profiled_secs = median_secs(iters, || {
+        let options = CosimOptions {
+            compare_every: 1,
+            profile: rtl_core::ProfileHook::collecting(),
+            ..CosimOptions::default()
+        };
+        rtl_cosim::run_scenario_names(rtl_cosim::registry(), &engines, &scenario, &options)
+            .map(|_| ())
+            .map_err(load_err)
+    })?;
+    results.push(report(
+        err,
+        "lockstep_stride_1_profiled".to_string(),
+        "cycles_per_sec",
+        cycles as f64 / profiled_secs,
+        iters,
+    ));
+    results.push(report(
+        err,
+        "profile_overhead".to_string(),
+        "percent",
+        (profiled_secs / stride1_secs - 1.0) * 100.0,
+        iters,
+    ));
 
     // Comparator ablation at stride 1: the cost of each lens.
     for (label, list) in [("trace", "trace"), ("vcd", "vcd"), ("all", "all")] {

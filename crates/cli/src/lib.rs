@@ -113,21 +113,27 @@ const USAGE: &str = "usage:
   asim2 campaign run    --dir D [--cases N] [--seed N] [--workers N] [--engines LIST]
                         [--cycles N] [--size N] [--compare-every N] [--limit N]
                         [--case-checkpoint] [--lint-oracle] [--metrics-out F.jsonl]
-                        [--progress[=MS]] [--quiet]
+                        [--profile-out F] [--progress[=MS]] [--quiet]
   asim2 campaign resume --dir D [--workers N] [--limit N] [--case-checkpoint]
-                        [--metrics-out F.jsonl] [--progress[=MS]] [--quiet]
+                        [--metrics-out F.jsonl] [--profile-out F]
+                        [--progress[=MS]] [--quiet]
   asim2 campaign replay --dir D [--engines LIST]
   asim2 campaign shrink --dir D --seed N [--engines LIST] [--cycles N] [--size N]
   asim2 campaign shard plan  [--plan F] --cases N --shards K [--seed N] [--engines LIST]
                              [--cycles N] [--size N] [--compare-every N]
   asim2 campaign shard run   [--plan F] --shard I --dir D [--workers N] [--limit N]
                              [--case-checkpoint] [--metrics-out F.jsonl]
-                             [--progress[=MS]] [--quiet]
+                             [--profile-out F] [--progress[=MS]] [--quiet]
   asim2 campaign shard merge [--plan F] --out D --shards DIR1,DIR2,...
-                             [--metrics-out F.jsonl]
-  asim2 metrics summarize FILE...           (fold asim2-events v1 logs into one summary)
+                             [--metrics-out F.jsonl] [--profile-out F]
+  asim2 profile FILE | --scenario NAME  [--engine NAME] [--cycles N] [--top N]
+                             [--format text|json]
+  asim2 metrics summarize FILE...           (fold asim2-events v1 logs into one summary;
+                             FILE may be - for stdin)
   asim2 metrics summarize --check RUN1 RUN2...  (RUNs are files or comma-joined file
                              groups; exit 3 unless all deterministic sections match)
+  asim2 metrics trace-export FILE [--out F.json]  (one log, or - for stdin, to Chrome
+                             trace-event JSON for Perfetto/chrome://tracing)
   asim2 bench snapshot  [--out FILE.json] [--quick]
 
 engine NAMEs come from the registry: interp, interp-faithful, vm, vm-noopt,
@@ -139,7 +145,11 @@ lint checks specs statically (asim2 lint --codes lists the finding codes);
 against the running lanes — a contradiction reports as a divergence.
 shard plans default to ./shard-plan.json; each shard runs on its own machine
 into a self-contained --dir, and merge folds the directories back into one
-canonical campaign, bit-identical to a single-machine run.";
+canonical campaign, bit-identical to a single-machine run.
+profile runs one engine with the execution-profile tap on and ranks components
+by event count; campaign/shard --profile-out F folds per-case profile sidecars
+into one asim2-profile v1 document, byte-identical across worker counts and
+kill+resume (incompatible with --case-checkpoint).";
 
 fn dispatch(
     args: &[String],
@@ -162,7 +172,8 @@ fn dispatch(
         "cosim" => cosim_cmd(&rest, out),
         "fuzz" => fuzz_cmd(&rest, out),
         "campaign" => campaign_cmd(&rest, out, err),
-        "metrics" => metrics::metrics_cmd(&rest, out),
+        "profile" => profile_cmd(&rest, out),
+        "metrics" => metrics::metrics_cmd(&rest, stdin, out),
         "bench" => bench::bench_cmd(&rest, out, err),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{USAGE}");
@@ -239,7 +250,14 @@ fn run_cmd(
     // The whole run goes through one Session: the registry engine, the
     // caller's output stream as the sink, stdin as the stimulus.
     let mut session = Session::builder(&design)
-        .engine_named(rtl_cosim::registry(), engine, &EngineOptions { trace })
+        .engine_named(
+            rtl_cosim::registry(),
+            engine,
+            &EngineOptions {
+                trace,
+                ..EngineOptions::default()
+            },
+        )
         .map_err(usage_err)?
         .sink(WriteSink::new(&mut *out))
         .stimulus(ReaderInput::new(stdin))
@@ -772,6 +790,132 @@ fn fuzz_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `asim2 profile` — run one engine with the execution-profile tap on
+/// and print the hot-component table (or the raw `asim2-profile v1`
+/// document with `--format json`). The output is a pure function of
+/// (design, stimulus, engine), so two runs print identical bytes.
+fn profile_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+    let (file, flags) = split_optional_file(
+        rest,
+        &["--engine", "--cycles", "--scenario", "--top", "--format"],
+    )?;
+    let engine = flag_value(&flags, "--engine")?.unwrap_or("interp");
+    let format = flag_value(&flags, "--format")?.unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(usage_err(format!(
+            "unknown profile format {format:?} (expected text or json)"
+        )));
+    }
+    let top = parse_u64_flag(&flags, "--top")?;
+    let cycles = parse_u64_flag(&flags, "--cycles")?;
+
+    // One scenario: a spec file or a named corpus entry, like cosim.
+    let scenario = match (file, flag_value(&flags, "--scenario")?) {
+        (Some(_), Some(_)) => return Err(usage_err("pass either FILE or --scenario, not both")),
+        (None, None) => return Err(usage_err("profile needs a FILE or --scenario NAME")),
+        (Some(path), None) => {
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| load_err(format!("cannot read {path}: {e}")))?;
+            let horizon = match cycles {
+                Some(n) => n,
+                None => rtl_core::Design::from_source(&source)
+                    .map_err(load_err)?
+                    .cycles()
+                    .and_then(|n| u64::try_from(n + 1).ok())
+                    .unwrap_or(rtl_machines::scenarios::DEFAULT_CYCLES),
+            };
+            Scenario {
+                name: path.to_string(),
+                source,
+                cycles: horizon,
+                input: Vec::new(),
+            }
+        }
+        (None, Some(name)) => {
+            let scenario = rtl_machines::scenarios::by_name(name).ok_or_else(|| {
+                let known = rtl_machines::scenarios::names().join(", ");
+                usage_err(format!("unknown scenario {name:?} (known: {known})"))
+            })?;
+            match cycles {
+                Some(n) => scenario.with_cycles(n),
+                None => scenario,
+            }
+        }
+    };
+
+    let design = Design::from_source(&scenario.source).map_err(load_err)?;
+    let hook = rtl_core::ProfileHook::collecting();
+    let mut session = Session::builder(&design)
+        .engine_named(
+            rtl_cosim::registry(),
+            engine,
+            &EngineOptions {
+                trace: false,
+                profile: hook.clone(),
+            },
+        )
+        .map_err(usage_err)?
+        .scripted(scenario.input.iter().copied())
+        .build();
+    let last = i64::try_from(scenario.cycles.saturating_sub(1)).unwrap_or(i64::MAX);
+    session
+        .run(Until::Cycle(last))
+        .into_result()
+        .map_err(sim_err)?;
+    let executed = session.cycle();
+    // Dropping the session drops the engine, flushing its lane tally.
+    drop(session);
+    let profile = hook.snapshot();
+
+    if format == "json" {
+        let _ = out.write_all(profile.render().as_bytes());
+        return Ok(());
+    }
+    let rows = profile.components();
+    let shown = match top {
+        Some(n) => usize::try_from(n).unwrap_or(usize::MAX).min(rows.len()),
+        None => rows.len(),
+    };
+    let _ = writeln!(
+        out,
+        "profile: {} — engine {engine}, {executed} cycle(s), {} event(s) across {} component(s)",
+        scenario.name,
+        profile.total_events(),
+        rows.len()
+    );
+    let width = rows
+        .iter()
+        .take(shown)
+        .map(|r| r.name.len())
+        .max()
+        .unwrap_or(0)
+        .max("component".len());
+    let _ = writeln!(
+        out,
+        "  {:<width$}  {:>10}  {:>10}  {:>10}  {:>8}",
+        "component", "events", "evals", "changes", "activity"
+    );
+    for row in rows.iter().take(shown) {
+        let activity = match row.activity() {
+            Some(a) => format!("{:>7.1}%", a * 100.0),
+            None => "       -".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  {:<width$}  {:>10}  {:>10}  {:>10}  {activity}",
+            row.name, row.events, row.evals, row.changes
+        );
+    }
+    if shown < rows.len() {
+        let _ = writeln!(
+            out,
+            "  ... {} more component(s); see --top",
+            rows.len() - shown
+        );
+    }
+    Ok(())
+}
+
 /// Maps a campaign-layer failure onto the tool's exit-code conventions:
 /// configuration problems read as usage errors (1), corrupt state and
 /// lane/toolchain failures as load errors (2).
@@ -908,6 +1052,7 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             "--compare-every",
             "--limit",
             "--metrics-out",
+            "--profile-out",
         ],
     )?;
     if let Some(x) = extra {
@@ -930,6 +1075,7 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             "--case-checkpoint",
             "--lint-oracle",
             "--metrics-out",
+            "--profile-out",
             "--progress",
             "--quiet",
         ],
@@ -939,6 +1085,7 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             "--limit",
             "--case-checkpoint",
             "--metrics-out",
+            "--profile-out",
             "--progress",
             "--quiet",
         ],
@@ -984,6 +1131,8 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
     }
     run_options.case_checkpoint = flags.contains(&"--case-checkpoint");
     run_options.recorder = metrics_recorder(&flags)?;
+    let profile_out = flag_value(&flags, "--profile-out")?;
+    run_options.profile = profile_out.is_some();
     let engines_flag = match flag_value(&flags, "--engines")? {
         Some(list) => Some(
             rtl_campaign::campaign_registry(None)
@@ -1020,6 +1169,7 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             let report = rtl_campaign::run(&dir, &config, &run_options, &mut progress)
                 .map_err(campaign_err)?;
             run_options.recorder.flush();
+            write_profile_out(&dir, &report, profile_out)?;
             finish_campaign(report, out, err, &run_options, flags.contains(&"--quiet"))
         }
         "resume" => {
@@ -1027,6 +1177,7 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             let report =
                 rtl_campaign::resume(&dir, &run_options, &mut progress).map_err(campaign_err)?;
             run_options.recorder.flush();
+            write_profile_out(&dir, &report, profile_out)?;
             finish_campaign(report, out, err, &run_options, flags.contains(&"--quiet"))
         }
         "replay" => {
@@ -1144,6 +1295,7 @@ fn shard_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Result<
             "--limit",
             "--out",
             "--metrics-out",
+            "--profile-out",
         ],
     )?;
     if let Some(x) = extra {
@@ -1168,10 +1320,17 @@ fn shard_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Result<
             "--limit",
             "--case-checkpoint",
             "--metrics-out",
+            "--profile-out",
             "--progress",
             "--quiet",
         ],
-        "merge" => &["--plan", "--out", "--shards", "--metrics-out"],
+        "merge" => &[
+            "--plan",
+            "--out",
+            "--shards",
+            "--metrics-out",
+            "--profile-out",
+        ],
         other => {
             return Err(usage_err(format!(
                 "unknown campaign shard subcommand {other:?}"
@@ -1265,10 +1424,13 @@ fn shard_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Result<
             }
             options.case_checkpoint = flags.contains(&"--case-checkpoint");
             options.recorder = metrics_recorder(&flags)?;
+            let profile_out = flag_value(&flags, "--profile-out")?;
+            options.profile = profile_out.is_some();
             let mut progress = ProgressReporter::from_flags(err, &flags)?;
             let report = rtl_dist::run_shard(&plan, index, &dir, &options, &mut progress)
                 .map_err(campaign_err)?;
             options.recorder.flush();
+            write_profile_out(&dir, &report.report, profile_out)?;
             let _ = write!(out, "{report}");
             if report.clean() {
                 Ok(())
@@ -1307,6 +1469,7 @@ fn shard_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Result<
             let report =
                 rtl_dist::merge_with(&plan, &dirs, &out_dir, &recorder).map_err(campaign_err)?;
             recorder.flush();
+            write_profile_out(&out_dir, &report, flag_value(&flags, "--profile-out")?)?;
             let _ = write!(out, "{report}");
             let _ = writeln!(
                 err,
@@ -1330,6 +1493,20 @@ fn shard_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Result<
         }
         _ => unreachable!("validated above"),
     }
+}
+
+/// `--profile-out F`: folds the per-case profile sidecars of every
+/// completed case into one `asim2-profile v1` document. Runs before the
+/// exit-status verdict so the profile survives a diverged campaign.
+fn write_profile_out(
+    dir: &rtl_campaign::CampaignDir,
+    report: &rtl_campaign::CampaignReport,
+    path: Option<&str>,
+) -> Result<(), CliError> {
+    let Some(path) = path else { return Ok(()) };
+    let profile = rtl_campaign::fold_profiles(dir, report).map_err(campaign_err)?;
+    std::fs::write(path, profile.render())
+        .map_err(|e| load_err(format!("cannot write profile to {path}: {e}")))
 }
 
 /// Prints the campaign report and (unless `--quiet`) a stderr throughput
@@ -1992,6 +2169,178 @@ mod tests {
         let resumed = run_ok(&["campaign", "resume", "--dir", dir, "--workers", "3"]);
         assert!(resumed.contains("summary: 5/5 agreed"), "{resumed}");
         let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn profile_ranks_components_and_is_deterministic() {
+        let args = ["profile", "--scenario", "classic/counter", "--cycles", "64"];
+        let out = run_ok(&args);
+        assert!(out.contains("profile: classic/counter"), "{out}");
+        assert!(out.contains("64 cycle(s)"), "{out}");
+        assert!(out.contains("count"), "{out}");
+        assert_eq!(out, run_ok(&args), "profile output is run-to-run stable");
+        let top = run_ok(&["profile", "--scenario", "classic/counter", "--top", "1"]);
+        assert!(top.contains("more component(s)"), "{top}");
+    }
+
+    #[test]
+    fn profile_json_is_a_valid_versioned_document() {
+        let out = run_ok(&[
+            "profile",
+            "--scenario",
+            "classic/counter",
+            "--cycles",
+            "32",
+            "--format",
+            "json",
+            "--engine",
+            "vm",
+        ]);
+        let profile = rtl_core::Profile::parse(&out).unwrap();
+        assert!(profile.total_events() > 0, "{out}");
+        assert_eq!(out, profile.render(), "render/parse round-trips");
+    }
+
+    #[test]
+    fn profile_usage_errors() {
+        assert_eq!(run_fail(&["profile"]).0, 1);
+        let (code, err) = run_fail(&["profile", "--scenario", "classic/warp"]);
+        assert_eq!(code, 1);
+        assert!(err.contains("unknown scenario"), "{err}");
+        let (code, err) = run_fail(&[
+            "profile",
+            "--scenario",
+            "classic/counter",
+            "--format",
+            "xml",
+        ]);
+        assert_eq!(code, 1);
+        assert!(err.contains("unknown profile format"), "{err}");
+    }
+
+    #[test]
+    fn campaign_profile_out_is_worker_and_resume_independent() {
+        let base = [
+            "--cases", "4", "--seed", "11", "--cycles", "16", "--size", "8",
+        ];
+        let run_profiled = |name: &str, workers: &str| {
+            let d = campaign_dir(name);
+            let prof = d.with_extension("profile.json");
+            let mut args = vec!["campaign", "run", "--dir", d.to_str().unwrap()];
+            args.extend_from_slice(&base);
+            let prof_str = prof.to_str().unwrap().to_string();
+            args.extend_from_slice(&["--workers", workers, "--profile-out", &prof_str]);
+            run_ok(&args);
+            let doc = std::fs::read_to_string(&prof).unwrap();
+            let _ = std::fs::remove_dir_all(&d);
+            let _ = std::fs::remove_file(&prof);
+            doc
+        };
+        let single = run_profiled("prof1", "1");
+        let parallel = run_profiled("prof4", "4");
+        assert_eq!(single, parallel, "profile is worker-count independent");
+        assert!(
+            rtl_core::Profile::parse(&single).unwrap().total_events() > 0,
+            "{single}"
+        );
+
+        // Interrupt at --limit, then resume with a different worker
+        // count: the folded profile must still be byte-identical.
+        let d = campaign_dir("prof-resume");
+        let prof = d.with_extension("profile.json");
+        let prof_str = prof.to_str().unwrap().to_string();
+        let mut args = vec!["campaign", "run", "--dir", d.to_str().unwrap()];
+        args.extend_from_slice(&base);
+        // The interrupted leg profiles too — a case executed without the
+        // tap has no sidecar, and the final fold would refuse it.
+        args.extend_from_slice(&["--workers", "2", "--limit", "2", "--profile-out", &prof_str]);
+        run_ok(&args);
+        run_ok(&[
+            "campaign",
+            "resume",
+            "--dir",
+            d.to_str().unwrap(),
+            "--workers",
+            "3",
+            "--profile-out",
+            &prof_str,
+        ]);
+        let resumed = std::fs::read_to_string(&prof).unwrap();
+        assert_eq!(single, resumed, "profile survives kill+resume unchanged");
+        let _ = std::fs::remove_dir_all(&d);
+        let _ = std::fs::remove_file(&prof);
+    }
+
+    #[test]
+    fn campaign_profile_out_rejects_case_checkpoint() {
+        let d = campaign_dir("prof-ckpt");
+        let (code, err) = run_fail(&[
+            "campaign",
+            "run",
+            "--dir",
+            d.to_str().unwrap(),
+            "--profile-out",
+            "/tmp/never-written.json",
+            "--case-checkpoint",
+        ]);
+        assert_eq!(code, 1);
+        assert!(err.contains("per-case checkpointing"), "{err}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn trace_export_golden_is_valid_monotonic_and_pair_matched() {
+        // Golden contract for the Chrome trace export: the output parses
+        // as JSON, its traceEvents carry non-decreasing ts, and every
+        // "B" has a matching "E" per (name, tid).
+        let log = std::env::temp_dir().join(format!("asim-cli-trace-{}.jsonl", std::process::id()));
+        let recorder = rtl_obs::Recorder::to_file(&log).unwrap();
+        {
+            let _outer = recorder.span("campaign", "run");
+            for _ in 0..3 {
+                drop(recorder.span("campaign", "case"));
+            }
+            recorder.count("campaign", "cases_executed", 3);
+            recorder.mark("campaign", "done", Some("all agreed"));
+        }
+        recorder.flush();
+        let out = run_ok(&["metrics", "trace-export", log.to_str().unwrap()]);
+        let doc = rtl_campaign::json::Json::parse(&out).unwrap();
+        let events = doc.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        assert!(events.len() >= 9, "4 span pairs + counter + mark: {out}");
+        let mut last_ts = 0;
+        let mut open: std::collections::HashMap<(String, u64), u64> =
+            std::collections::HashMap::new();
+        for event in events {
+            let ts = event.get("ts").and_then(|t| t.as_u64()).unwrap();
+            assert!(ts >= last_ts, "ts must be non-decreasing: {out}");
+            last_ts = ts;
+            let ph = event.get("ph").and_then(|p| p.as_str()).unwrap();
+            if matches!(ph, "B" | "E") {
+                let key = (
+                    event
+                        .get("name")
+                        .and_then(|n| n.as_str())
+                        .unwrap()
+                        .to_string(),
+                    event.get("tid").and_then(|t| t.as_u64()).unwrap(),
+                );
+                let depth = open.entry(key.clone()).or_insert(0);
+                if ph == "B" {
+                    *depth += 1;
+                } else {
+                    assert!(*depth > 0, "E without B for {key:?}: {out}");
+                    *depth -= 1;
+                }
+            }
+        }
+        assert!(open.values().all(|&d| d == 0), "unmatched B: {out}");
+        // Deterministic: a second export is byte-identical.
+        assert_eq!(
+            out,
+            run_ok(&["metrics", "trace-export", log.to_str().unwrap()])
+        );
+        let _ = std::fs::remove_file(&log);
     }
 
     #[test]

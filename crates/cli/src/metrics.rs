@@ -1,4 +1,5 @@
-//! `asim2 metrics` — folding and checking `asim2-events v1` logs.
+//! `asim2 metrics` — folding, checking and exporting `asim2-events v1`
+//! logs.
 //!
 //! `summarize FILE...` folds any number of logs into one
 //! [`Summary`](rtl_obs::Summary) and prints it. With `--check`, each
@@ -7,27 +8,72 @@
 //! distributed campaign) — and the command exits 3 unless every run's
 //! deterministic-counter section is byte-identical. Wall-clock spans,
 //! gauges and marks never participate in the comparison.
+//!
+//! `trace-export FILE [--out F]` converts one log into Chrome
+//! trace-event JSON (viewable in Perfetto or `chrome://tracing`); see
+//! [`rtl_obs::trace`] for the timeline layout.
+//!
+//! `-` anywhere a FILE is accepted reads the log from stdin (read once,
+//! reused if `-` appears in several run groups).
 
 use crate::{load_err, usage_err, CliError};
 use rtl_obs::Summary;
-use std::io::Write;
+use std::io::{BufRead, Write};
 
-pub(crate) fn metrics_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+pub(crate) fn metrics_cmd(
+    rest: &[&str],
+    stdin: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
     let sub = rest
         .first()
         .copied()
-        .ok_or_else(|| usage_err("metrics needs a subcommand (summarize)"))?;
-    if sub != "summarize" {
-        return Err(usage_err(format!(
-            "unknown metrics subcommand {sub:?} (expected summarize)"
-        )));
+        .ok_or_else(|| usage_err("metrics needs a subcommand (summarize|trace-export)"))?;
+    match sub {
+        "summarize" => summarize_cmd(&rest[1..], stdin, out),
+        "trace-export" => trace_export_cmd(&rest[1..], stdin, out),
+        other => Err(usage_err(format!(
+            "unknown metrics subcommand {other:?} (expected summarize or trace-export)"
+        ))),
     }
+}
+
+/// Stdin, read at most once no matter how many `-` arguments reference
+/// it, so one piped log can participate in several run groups.
+struct StdinLog<'a> {
+    stdin: &'a mut dyn BufRead,
+    text: Option<String>,
+}
+
+impl<'a> StdinLog<'a> {
+    fn new(stdin: &'a mut dyn BufRead) -> StdinLog<'a> {
+        StdinLog { stdin, text: None }
+    }
+
+    fn text(&mut self) -> Result<&str, CliError> {
+        if self.text.is_none() {
+            let mut buf = String::new();
+            self.stdin
+                .read_to_string(&mut buf)
+                .map_err(|e| load_err(format!("cannot read stdin: {e}")))?;
+            self.text = Some(buf);
+        }
+        Ok(self.text.as_deref().expect("just filled"))
+    }
+}
+
+fn summarize_cmd(
+    rest: &[&str],
+    stdin: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
     let mut check = false;
     let mut args: Vec<&str> = Vec::new();
-    for a in &rest[1..] {
+    for a in rest {
         match *a {
             "--check" => check = true,
-            flag if flag.starts_with('-') => {
+            // "-" is stdin, not a flag.
+            flag if flag.starts_with('-') && flag != "-" => {
                 return Err(usage_err(format!(
                     "metrics summarize does not take {flag} (accepted: --check)"
                 )));
@@ -38,22 +84,30 @@ pub(crate) fn metrics_cmd(rest: &[&str], out: &mut dyn Write) -> Result<(), CliE
     if args.is_empty() {
         return Err(usage_err("metrics summarize needs at least one FILE"));
     }
+    let mut piped = StdinLog::new(stdin);
     if check {
-        check_runs(&args, out)
+        check_runs(&args, &mut piped, out)
     } else {
-        let summary = fold_group(&args.join(","))?;
+        let summary = fold_group(&args.join(","), &mut piped)?;
         let _ = write!(out, "{summary}");
         Ok(())
     }
 }
 
-/// Folds one run — a single path or a comma-joined group of paths.
-fn fold_group(group: &str) -> Result<Summary, CliError> {
+/// Folds one run — a single path or a comma-joined group of paths, `-`
+/// reading stdin.
+fn fold_group(group: &str, piped: &mut StdinLog<'_>) -> Result<Summary, CliError> {
     let mut summary = Summary::new();
     for path in group.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-        summary
-            .fold_file(std::path::Path::new(path))
-            .map_err(load_err)?;
+        if path == "-" {
+            summary
+                .fold_text(piped.text()?, "stdin")
+                .map_err(load_err)?;
+        } else {
+            summary
+                .fold_file(std::path::Path::new(path))
+                .map_err(load_err)?;
+        }
     }
     if summary.files() == 0 {
         return Err(usage_err(format!("empty run group {group:?}")));
@@ -63,7 +117,11 @@ fn fold_group(group: &str) -> Result<Summary, CliError> {
 
 /// `--check`: every run's deterministic section must match the first's,
 /// byte for byte.
-fn check_runs(groups: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
+fn check_runs(
+    groups: &[&str],
+    piped: &mut StdinLog<'_>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
     if groups.len() < 2 {
         return Err(usage_err(
             "metrics summarize --check needs at least two runs to compare",
@@ -71,7 +129,7 @@ fn check_runs(groups: &[&str], out: &mut dyn Write) -> Result<(), CliError> {
     }
     let mut baseline: Option<(String, &str)> = None;
     for group in groups {
-        let section = fold_group(group)?.deterministic_section();
+        let section = fold_group(group, piped)?.deterministic_section();
         match &baseline {
             None => baseline = Some((section, group)),
             Some((expected, first)) if *expected != section => {
@@ -112,6 +170,59 @@ fn first_difference(a: &str, b: &str) -> String {
     }
 }
 
+/// `trace-export FILE [--out F]` — one event log (or `-` for stdin) to
+/// Chrome trace-event JSON.
+fn trace_export_cmd(
+    rest: &[&str],
+    stdin: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut file: Option<&str> = None;
+    let mut out_path: Option<&str> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match *a {
+            "--out" => {
+                out_path = Some(
+                    it.next()
+                        .copied()
+                        .ok_or_else(|| usage_err("--out needs a value"))?,
+                );
+            }
+            flag if flag.starts_with('-') && flag != "-" => {
+                return Err(usage_err(format!(
+                    "metrics trace-export does not take {flag} (accepted: --out)"
+                )));
+            }
+            positional if file.is_none() => file = Some(positional),
+            extra => return Err(usage_err(format!("unexpected argument {extra:?}"))),
+        }
+    }
+    let file = file.ok_or_else(|| usage_err("metrics trace-export needs one FILE (or -)"))?;
+    let (text, label);
+    if file == "-" {
+        let mut piped = String::new();
+        stdin
+            .read_to_string(&mut piped)
+            .map_err(|e| load_err(format!("cannot read stdin: {e}")))?;
+        (text, label) = (piped, "stdin".to_string());
+    } else {
+        let read = std::fs::read_to_string(file)
+            .map_err(|e| load_err(format!("cannot read {file}: {e}")))?;
+        (text, label) = (read, file.to_string());
+    }
+    let json = rtl_obs::trace_from_text(&text, &label).map_err(load_err)?;
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| load_err(format!("cannot write {path}: {e}")))?
+        }
+        None => {
+            let _ = out.write_all(json.as_bytes());
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,10 +238,22 @@ mod tests {
         path
     }
 
-    fn run(args: &[&str]) -> (Result<(), i32>, String) {
+    fn run_stdin(args: &[&str], stdin: &str) -> (Result<(), i32>, String) {
         let mut out = Vec::new();
-        let result = metrics_cmd(args, &mut out).map_err(|e| e.code);
+        let mut input = stdin.as_bytes();
+        let result = metrics_cmd(args, &mut input, &mut out).map_err(|e| e.code);
         (result, String::from_utf8(out).unwrap())
+    }
+
+    fn run(args: &[&str]) -> (Result<(), i32>, String) {
+        run_stdin(args, "")
+    }
+
+    fn memory_log(build: impl Fn(&Recorder)) -> String {
+        let (recorder, log) = Recorder::memory();
+        build(&recorder);
+        recorder.flush();
+        log.text()
     }
 
     #[test]
@@ -143,6 +266,28 @@ mod tests {
         assert!(out.contains("campaign/cases_executed 7"), "{out}");
         let _ = std::fs::remove_file(a);
         let _ = std::fs::remove_file(b);
+    }
+
+    #[test]
+    fn summarize_reads_stdin() {
+        let text = memory_log(|r| r.count("campaign", "cases_executed", 9));
+        let (result, out) = run_stdin(&["summarize", "-"], &text);
+        assert!(result.is_ok(), "{out}");
+        assert!(out.contains("campaign/cases_executed 9"), "{out}");
+    }
+
+    #[test]
+    fn check_compares_stdin_against_a_file() {
+        let a = write_log("check-stdin", |r| r.count("campaign", "divergences", 1));
+        let text = memory_log(|r| r.count("campaign", "divergences", 1));
+        let a_str = a.display().to_string();
+        let (result, out) = run_stdin(&["summarize", "--check", &a_str, "-"], &text);
+        assert!(result.is_ok(), "{out}");
+        assert!(out.contains("identical across 2 runs"), "{out}");
+        let different = memory_log(|r| r.count("campaign", "divergences", 5));
+        let (result, _) = run_stdin(&["summarize", "--check", &a_str, "-"], &different);
+        assert_eq!(result, Err(3));
+        let _ = std::fs::remove_file(a);
     }
 
     #[test]
@@ -164,12 +309,47 @@ mod tests {
     }
 
     #[test]
+    fn trace_export_writes_chrome_trace_json() {
+        let text = memory_log(|r| {
+            drop(r.span("campaign", "case"));
+            r.mark("shard", "run", None);
+        });
+        let (result, out) = run_stdin(&["trace-export", "-"], &text);
+        assert!(result.is_ok(), "{out}");
+        assert!(out.starts_with("{\"traceEvents\":["), "{out}");
+        assert!(out.contains("\"ph\":\"B\""), "{out}");
+        assert!(out.contains("\"ph\":\"E\""), "{out}");
+        assert!(out.contains("\"ph\":\"i\""), "{out}");
+    }
+
+    #[test]
+    fn trace_export_to_a_file() {
+        let log = write_log("trace-file", |r| drop(r.span("campaign", "case")));
+        let out_path = std::env::temp_dir().join(format!(
+            "asim-metrics-test-{}-trace.json",
+            std::process::id()
+        ));
+        let log_str = log.display().to_string();
+        let out_str = out_path.display().to_string();
+        let (result, out) = run(&["trace-export", &log_str, "--out", &out_str]);
+        assert!(result.is_ok(), "{out}");
+        assert!(out.is_empty(), "{out}");
+        let written = std::fs::read_to_string(&out_path).unwrap();
+        assert!(written.contains("\"traceEvents\""), "{written}");
+        let _ = std::fs::remove_file(log);
+        let _ = std::fs::remove_file(out_path);
+    }
+
+    #[test]
     fn usage_errors() {
         assert_eq!(run(&[]).0, Err(1));
         assert_eq!(run(&["summarize"]).0, Err(1));
         assert_eq!(run(&["summarize", "--check", "one.jsonl"]).0, Err(1));
         assert_eq!(run(&["summarize", "--bogus", "x"]).0, Err(1));
         assert_eq!(run(&["frobnicate", "x"]).0, Err(1));
+        assert_eq!(run(&["trace-export"]).0, Err(1));
+        assert_eq!(run(&["trace-export", "a", "b"]).0, Err(1));
+        assert_eq!(run(&["trace-export", "a", "--bogus"]).0, Err(1));
     }
 
     #[test]
@@ -181,6 +361,7 @@ mod tests {
         std::fs::write(&path, "not json\n").unwrap();
         let path_str = path.display().to_string();
         assert_eq!(run(&["summarize", &path_str]).0, Err(2));
+        assert_eq!(run(&["trace-export", &path_str]).0, Err(2));
         let _ = std::fs::remove_file(path);
     }
 }

@@ -62,11 +62,9 @@ impl EngineFactory for VmFactory {
         } else {
             OptOptions::none()
         };
-        Ok(EngineLane::Stepped(Box::new(Vm::with_options(
-            design,
-            opt,
-            options.trace,
-        ))))
+        let mut vm = Vm::with_options(design, opt, options.trace);
+        vm.attach_profile(&options.profile);
+        Ok(EngineLane::Stepped(Box::new(vm)))
     }
 }
 

@@ -3,8 +3,8 @@
 use super::{Instr, Program};
 use crate::lower::{lower_with_trace, OptOptions};
 use rtl_core::{
-    land, trace, AluFn, Design, Engine, InputSource, MemOp, SimError, SimState, SimStats, Word,
-    WORD_MASK,
+    land, trace, AluFn, Design, Engine, InputSource, LaneTally, MemOp, ProfileHook, SimError,
+    SimState, SimStats, Word, WORD_MASK,
 };
 use std::io::Write;
 
@@ -29,6 +29,7 @@ pub struct Vm<'d> {
     regs: Vec<Word>,
     scratch: Vec<[Word; 3]>,
     stats: SimStats,
+    tally: Option<Box<LaneTally>>,
 }
 
 impl<'d> Vm<'d> {
@@ -54,6 +55,25 @@ impl<'d> Vm<'d> {
             regs,
             scratch,
             stats: SimStats::new(design),
+            tally: None,
+        }
+    }
+
+    /// Attaches an execution-profile tap: when `hook` is collecting,
+    /// every subsequent cycle tallies per-component output stores, value
+    /// changes, selector arms, dynamic ALU dispatches and memory-cell
+    /// accesses (flushed into the hook when the VM drops). Counts
+    /// reflect the *optimized* program — a const-folded ALU records no
+    /// `op/<name>` dispatch and an elided latch no `change` — so VM
+    /// profiles describe what the VM actually executed, not the
+    /// interpreter's schedule. A disabled hook leaves the hot path
+    /// untouched.
+    pub fn attach_profile(&mut self, hook: &ProfileHook) {
+        if hook.enabled() {
+            self.tally = Some(Box::new(LaneTally::new(
+                hook.clone(),
+                self.design.profile_meta(),
+            )));
         }
     }
 
@@ -85,6 +105,7 @@ impl<'d> Vm<'d> {
             state,
             regs,
             scratch,
+            tally,
             ..
         } = self;
         let instrs = &program.instrs;
@@ -146,11 +167,21 @@ impl<'d> Vm<'d> {
                         funct: fv,
                         cycle: state.cycle(),
                     })?;
+                    if let Some(t) = tally.as_deref_mut() {
+                        t.op(comp as usize, fun.number() as usize);
+                    }
                     regs[dst as usize] = fun.apply(regs[l as usize], regs[r as usize]);
                 }
                 Instr::Store { comp, src } => {
                     let id = design.id_at(comp as usize);
-                    state.set_output(id, regs[src as usize]);
+                    let value = regs[src as usize];
+                    if let Some(t) = tally.as_deref_mut() {
+                        t.eval(comp as usize);
+                        if state.outputs()[comp as usize] != value {
+                            t.change(comp as usize);
+                        }
+                    }
+                    state.set_output(id, value);
                 }
                 Instr::StoreScratch { mem, slot, src } => {
                     scratch[mem as usize][slot as usize] = regs[src as usize];
@@ -171,6 +202,9 @@ impl<'d> Vm<'d> {
                             cases: len as usize,
                             cycle: state.cycle(),
                         })?;
+                    if let Some(t) = tally.as_deref_mut() {
+                        t.arm(comp as usize, slot);
+                    }
                     pc = tables[table as usize + slot] as usize;
                     continue;
                 }
@@ -273,6 +307,21 @@ impl Engine for Vm<'_> {
                     data
                 }
             };
+            if let Some(t) = self.tally.as_deref_mut() {
+                let ci = m.comp as usize;
+                t.eval(ci);
+                // Read/write addresses were validated by `check_addr`
+                // above, so the cast is in range.
+                match op {
+                    MemOp::Read => t.read(ci, addr as usize),
+                    MemOp::Write => t.write(ci, addr as usize),
+                    MemOp::Input => t.input(ci),
+                    MemOp::Output => t.output(ci),
+                }
+                if m.latch_needed && self.state.output(id) != latch {
+                    t.change(ci);
+                }
+            }
             if m.latch_needed {
                 self.state.set_output(id, latch);
             }

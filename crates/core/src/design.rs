@@ -413,6 +413,21 @@ impl Design {
             other => panic!("{} is not a memory: {other:?}", self.name(id)),
         }
     }
+
+    /// Per-component shape metadata for a profiling
+    /// [`LaneTally`](rtl_prof::LaneTally), in definition order — the
+    /// shared index space every engine's tally uses, so profiles from
+    /// different engines over the same design are directly comparable.
+    pub fn profile_meta(&self) -> Vec<rtl_prof::CompMeta> {
+        self.comps
+            .iter()
+            .map(|c| match &c.kind {
+                RKind::Alu(_) => rtl_prof::CompMeta::comb(c.name.as_str()),
+                RKind::Selector(s) => rtl_prof::CompMeta::selector(c.name.as_str(), s.cases.len()),
+                RKind::Memory(m) => rtl_prof::CompMeta::memory(c.name.as_str(), m.size as usize),
+            })
+            .collect()
+    }
 }
 
 /// Error from [`Design::from_source`]: either parsing or elaboration failed.

@@ -20,16 +20,24 @@ use crate::engine::Engine;
 use crate::word::Word;
 
 /// Construction options shared by every factory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineOptions {
     /// Emit cycle/trace text (differential harnesses compare it
     /// byte-for-byte when on).
     pub trace: bool,
+    /// Execution-profile tap (disabled/no-op by default). Engines that
+    /// support profiling attach a per-lane tally to it; the hook always
+    /// compares equal, so two options differing only here configure the
+    /// same simulation.
+    pub profile: rtl_prof::ProfileHook,
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        EngineOptions { trace: true }
+        EngineOptions {
+            trace: true,
+            profile: rtl_prof::ProfileHook::disabled(),
+        }
     }
 }
 

@@ -60,6 +60,7 @@ pub use io::{InputSource, NoInput, ReaderInput, ScriptedInput};
 pub use observe::{Comparator, CompareMode, DivergenceKind, LaneReport, LaneStats, Observation};
 pub use resolve::{CompId, RExpr, RefMode, RefOp};
 pub use rtl_obs::Recorder;
+pub use rtl_prof::{CompMeta, LaneTally, Profile, ProfileHook};
 pub use session::{
     design_fingerprint, read_checkpoint, write_checkpoint, Fingerprint, HaltKind, RunOutcome,
     Session, SessionBuilder, StopReason, Until,

@@ -120,7 +120,23 @@ impl EngineKind {
     /// controls cycle-trace text (lockstep compares it byte-for-byte when
     /// on).
     pub fn build<'d>(self, design: &'d Design, trace: bool) -> Box<dyn Engine + 'd> {
-        match registry().build(self.name(), design, &EngineOptions { trace }) {
+        self.build_with(
+            design,
+            &EngineOptions {
+                trace,
+                ..EngineOptions::default()
+            },
+        )
+    }
+
+    /// [`build`](EngineKind::build) with full [`EngineOptions`] (trace
+    /// plus the profile hook).
+    pub fn build_with<'d>(
+        self,
+        design: &'d Design,
+        options: &EngineOptions,
+    ) -> Box<dyn Engine + 'd> {
+        match registry().build(self.name(), design, options) {
             Ok(EngineLane::Stepped(engine)) => engine,
             Ok(EngineLane::Stream(_)) | Err(_) => {
                 unreachable!("built-in in-process tiers always build stepped lanes")

@@ -89,6 +89,14 @@ pub struct CosimOptions {
     /// behavior, compares equal to every other recorder, and stays out
     /// of harness fingerprints.
     pub recorder: Recorder,
+    /// Execution-profile tap (disabled/no-op by default): every stepped
+    /// lane attaches a per-component tally to it, so the snapshot holds
+    /// the *sum* over lanes. Counts are a pure function of the simulated
+    /// work — bisection rewinds re-execute deterministically — so
+    /// profiles stay byte-identical across runs. Like the recorder, a
+    /// hook compares equal to every other hook and stays out of harness
+    /// fingerprints.
+    pub profile: rtl_core::ProfileHook,
     /// Cross-validate the static analyzer against the running lanes: when
     /// the design has sound lint claims (statically-dead selector arms,
     /// statically-undriven memories), scenario drivers attach the
@@ -111,6 +119,7 @@ impl Default for CosimOptions {
             export_digests: None,
             check_digests: None,
             recorder: Recorder::disabled(),
+            profile: rtl_core::ProfileHook::disabled(),
             lint_oracle: false,
         }
     }
@@ -356,7 +365,13 @@ impl<'d> Lockstep<'d> {
 
     /// Adds a registry engine as a lane.
     pub fn add_engine(&mut self, kind: EngineKind) -> &mut Self {
-        let engine = kind.build(self.design, self.options.trace);
+        let engine = kind.build_with(
+            self.design,
+            &rtl_core::EngineOptions {
+                trace: self.options.trace,
+                profile: self.options.profile.clone(),
+            },
+        );
         self.add_lane(kind.name(), engine)
     }
 

@@ -66,6 +66,7 @@ pub fn run_scenario_names(
     let design = scenario.design()?;
     let engine_options = EngineOptions {
         trace: options.trace,
+        profile: options.profile.clone(),
     };
     let mut stepped = Vec::new();
     let mut streams: Vec<(String, Box<dyn StreamEngine + '_>)> = Vec::new();

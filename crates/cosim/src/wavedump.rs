@@ -94,7 +94,14 @@ pub fn dump_divergence(
     let mut dumps = Vec::new();
     for name in names {
         let lane = registry
-            .build(name, &design, &EngineOptions { trace: true })
+            .build(
+                name,
+                &design,
+                &EngineOptions {
+                    trace: true,
+                    ..EngineOptions::default()
+                },
+            )
             .map_err(ScenarioError::Engine)?;
         let EngineLane::Stepped(engine) = lane else {
             continue;

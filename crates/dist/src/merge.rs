@@ -142,6 +142,15 @@ pub fn merge_with(
             // single-machine run.
             let bytes = std::fs::read(shard.case_path(index))?;
             write_atomic(&out.case_path(index), &bytes)?;
+            // Execution-profile sidecars (shards run with profiling)
+            // ride along the same way: each is a pure function of
+            // (config, index), so the merged fold stays bit-identical to
+            // a single-machine profiled run.
+            let profile = shard.profile_path(index);
+            if profile.exists() {
+                let bytes = std::fs::read(profile)?;
+                write_atomic(&out.profile_path(index), &bytes)?;
+            }
             merged[index as usize] = records[index as usize].clone();
         }
         // Corpus entries, validated on load (checkpoint recomputed) and

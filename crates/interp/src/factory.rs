@@ -50,13 +50,15 @@ impl EngineFactory for InterpFactory {
         } else {
             InterpOptions::default()
         };
-        Ok(EngineLane::Stepped(Box::new(Interpreter::with_options(
+        let mut sim = Interpreter::with_options(
             design,
             InterpOptions {
                 trace: options.trace,
                 ..base
             },
-        ))))
+        );
+        sim.attach_profile(&options.profile);
+        Ok(EngineLane::Stepped(Box::new(sim)))
     }
 }
 

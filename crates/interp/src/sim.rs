@@ -3,8 +3,8 @@
 use crate::lookup::{LookupMode, SymbolTable};
 use crate::postfix::Program;
 use rtl_core::{
-    trace, AluFn, CompId, Design, Engine, InputSource, MemOp, RKind, SimError, SimState, SimStats,
-    Word,
+    trace, AluFn, CompId, Design, Engine, InputSource, LaneTally, MemOp, ProfileHook, RKind,
+    SimError, SimState, SimStats, Word,
 };
 use std::io::Write;
 
@@ -107,6 +107,7 @@ pub struct Interpreter<'d> {
     symbols: Option<SymbolTable>,
     stats: SimStats,
     options: InterpOptions,
+    tally: Option<Box<LaneTally>>,
 }
 
 impl<'d> Interpreter<'d> {
@@ -164,6 +165,21 @@ impl<'d> Interpreter<'d> {
             symbols,
             stats: SimStats::new(design),
             options,
+            tally: None,
+        }
+    }
+
+    /// Attaches an execution-profile tap: when `hook` is collecting,
+    /// every subsequent cycle tallies per-component evaluations, value
+    /// changes, selector arms, ALU functions and memory-cell accesses
+    /// (flushed into the hook when the interpreter drops). A disabled
+    /// hook leaves the hot path untouched.
+    pub fn attach_profile(&mut self, hook: &ProfileHook) {
+        if hook.enabled() {
+            self.tally = Some(Box::new(LaneTally::new(
+                hook.clone(),
+                self.design.profile_meta(),
+            )));
         }
     }
 
@@ -243,21 +259,40 @@ impl Engine for Interpreter<'_> {
                         funct: f,
                         cycle,
                     })?;
-                    self.state.set_output(*id, fun.apply(l, r));
+                    let value = fun.apply(l, r);
+                    if let Some(t) = self.tally.as_deref_mut() {
+                        t.eval(id.index());
+                        t.op(id.index(), fun.number() as usize);
+                        if self.state.output(*id) != value {
+                            t.change(id.index());
+                        }
+                    }
+                    self.state.set_output(*id, value);
                 }
                 CombStep::Selector { id, select, cases } => {
                     let idx =
                         select.eval(self.state.outputs(), &mut self.stack, self.symbols.as_ref());
-                    let case = usize::try_from(idx)
+                    let arm = usize::try_from(idx)
                         .ok()
-                        .and_then(|i| cases.get(i))
+                        .filter(|&i| i < cases.len())
                         .ok_or_else(|| SimError::SelectorOutOfRange {
                             component: self.design.name(*id).to_string(),
                             index: idx,
                             cases: cases.len(),
                             cycle,
                         })?;
-                    let v = case.eval(self.state.outputs(), &mut self.stack, self.symbols.as_ref());
+                    let v = cases[arm].eval(
+                        self.state.outputs(),
+                        &mut self.stack,
+                        self.symbols.as_ref(),
+                    );
+                    if let Some(t) = self.tally.as_deref_mut() {
+                        t.eval(id.index());
+                        t.arm(id.index(), arm);
+                        if self.state.output(*id) != v {
+                            t.change(id.index());
+                        }
+                    }
                     self.state.set_output(*id, v);
                 }
             }
@@ -323,6 +358,21 @@ impl Engine for Interpreter<'_> {
                     scratch.data
                 }
             };
+            if let Some(t) = self.tally.as_deref_mut() {
+                let ci = plan.id.index();
+                t.eval(ci);
+                // Read/write addresses were validated by `cell_index`
+                // above, so the cast is in range.
+                match op {
+                    MemOp::Read => t.read(ci, addr as usize),
+                    MemOp::Write => t.write(ci, addr as usize),
+                    MemOp::Input => t.input(ci),
+                    MemOp::Output => t.output(ci),
+                }
+                if self.state.output(plan.id) != latch {
+                    t.change(ci);
+                }
+            }
             self.state.set_output(plan.id, latch);
             if self.options.trace {
                 if rtl_core::word::traces_write(opn) {

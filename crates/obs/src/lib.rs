@@ -44,7 +44,9 @@
 pub mod event;
 pub mod recorder;
 pub mod summary;
+pub mod trace;
 
 pub use event::{Class, Event, FORMAT};
 pub use recorder::{MemoryLog, Recorder, Span};
-pub use summary::Summary;
+pub use summary::{Histogram, Summary};
+pub use trace::{trace_from_events, trace_from_text};

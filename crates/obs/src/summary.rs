@@ -23,11 +23,84 @@ struct GaugeAgg {
     observations: u64,
 }
 
+/// A log₂-bucketed latency histogram over microsecond samples.
+///
+/// Bucket `b` holds every sample whose bit length is `b` — bucket 0 is
+/// exactly `0`, bucket 1 is `1`, bucket 2 is `2..=3`, and so on up to
+/// bucket 64 (`2^63..`). Recording is a single increment, merging is a
+/// bucket-wise sum, and both are order-independent: folding any
+/// partition of a sample set — per-shard logs, arbitrary splits —
+/// produces identical bucket counts, which keeps percentile estimates
+/// stable across worker counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { buckets: [0; 65] }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one microsecond sample.
+    pub fn record(&mut self, micros: u64) {
+        self.buckets[(64 - micros.leading_zeros()) as usize] += 1;
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The bucket counts, index = sample bit length.
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
+    /// An upper bound on the `p`-th percentile sample (`p` in `0..=100`):
+    /// the inclusive upper edge of the first bucket whose cumulative
+    /// count reaches `ceil(p/100 · total)`. `None` on an empty histogram.
+    pub fn percentile(&self, p: u8) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = (total * u64::from(p)).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (bucket, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(match bucket {
+                    0 => 0,
+                    64 => u64::MAX,
+                    b => (1u64 << b) - 1,
+                });
+            }
+        }
+        unreachable!("cumulative count reaches the total")
+    }
+}
+
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 struct SpanAgg {
     completed: u64,
     open: u64,
     total_micros: u64,
+    latency: Histogram,
 }
 
 /// Aggregated view of one or more event logs.
@@ -76,6 +149,7 @@ impl Summary {
                 agg.open = agg.open.saturating_sub(1);
                 agg.completed += 1;
                 agg.total_micros += micros;
+                agg.latency.record(*micros);
             }
         }
     }
@@ -147,6 +221,14 @@ impl Summary {
         self.counters.get(&(src.into(), key.into())).copied()
     }
 
+    /// The latency histogram for one span key, if any span completed.
+    pub fn span_latency(&self, src: &str, key: &str) -> Option<&Histogram> {
+        self.spans
+            .get(&(src.into(), key.into()))
+            .map(|agg| &agg.latency)
+            .filter(|h| h.count() > 0)
+    }
+
     /// The deterministic section: counter totals, one `src/key total`
     /// line each, sorted. Byte-identical across runs of the same
     /// configuration — `--check` compares this text literally.
@@ -174,6 +256,20 @@ impl Summary {
                 agg.completed,
                 agg.total_micros as f64 / 1000.0
             ));
+            // Log₂-bucket upper bounds, so `≤` not `=`; still plenty to
+            // spot a p99 an order of magnitude past the p50.
+            if let Some(p50) = agg.latency.percentile(50) {
+                let (p90, p99) = (
+                    agg.latency.percentile(90).expect("non-empty"),
+                    agg.latency.percentile(99).expect("non-empty"),
+                );
+                out.push_str(&format!(
+                    ", p50<={:.1} ms, p90<={:.1} ms, p99<={:.1} ms",
+                    p50 as f64 / 1000.0,
+                    p90 as f64 / 1000.0,
+                    p99 as f64 / 1000.0
+                ));
+            }
             if agg.open > 0 {
                 out.push_str(&format!(", {} unclosed", agg.open));
             }
@@ -284,6 +380,73 @@ mod tests {
         let rendered = Summary::new().to_string();
         assert!(rendered.contains("deterministic counters:\n  (none)"));
         assert!(rendered.contains("(none)"));
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Histogram::new();
+        for micros in [0, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(micros);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.buckets()[0], 1); // 0
+        assert_eq!(h.buckets()[1], 1); // 1
+        assert_eq!(h.buckets()[2], 2); // 2, 3
+        assert_eq!(h.buckets()[3], 2); // 4, 7
+        assert_eq!(h.buckets()[4], 1); // 8
+        assert_eq!(h.buckets()[10], 1); // 1023
+        assert_eq!(h.buckets()[11], 1); // 1024
+        assert_eq!(h.buckets()[64], 1); // u64::MAX
+    }
+
+    #[test]
+    fn histogram_percentiles_are_bucket_upper_bounds() {
+        assert_eq!(Histogram::new().percentile(50), None);
+        let mut h = Histogram::new();
+        for micros in 0..100 {
+            h.record(micros);
+        }
+        // Ranks 50/90/99 land in buckets 6 (32..=63) and 7 (64..=127).
+        assert_eq!(h.percentile(0), Some(0));
+        assert_eq!(h.percentile(50), Some(63));
+        assert_eq!(h.percentile(90), Some(127));
+        assert_eq!(h.percentile(99), Some(127));
+        assert_eq!(h.percentile(100), Some(127));
+        let mut top = Histogram::new();
+        top.record(u64::MAX);
+        assert_eq!(top.percentile(100), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_merge_matches_sequential_recording() {
+        let samples: Vec<u64> = (0..200).map(|i| i * 37 % 5000).collect();
+        let mut whole = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            if i % 2 == 0 {
+                left.record(s);
+            } else {
+                right.record(s);
+            }
+        }
+        let mut merged = Histogram::new();
+        merged.merge(&left);
+        merged.merge(&right);
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn span_percentiles_render_in_the_wall_clock_section() {
+        let text = log_of(|r| drop(r.span("campaign", "case")));
+        let mut summary = Summary::new();
+        summary.fold_text(&text, "memory").unwrap();
+        let wall = summary.wall_clock_section();
+        assert!(wall.contains("p50<="), "{wall}");
+        assert!(wall.contains("p99<="), "{wall}");
+        assert!(summary.span_latency("campaign", "case").is_some());
+        assert!(summary.span_latency("campaign", "missing").is_none());
     }
 
     #[test]

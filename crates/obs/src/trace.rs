@@ -1,0 +1,341 @@
+//! Exporting an event stream as a Chrome trace-event timeline.
+//!
+//! `asim2-events v1` logs carry no wall-clock timestamps — only span
+//! *durations* — which is what keeps them small and replay-friendly, but
+//! means a timeline viewer has nothing to plot directly. This module
+//! synthesizes a timeline: events are laid out on a virtual microsecond
+//! clock in stream order, each completed span occupies its measured
+//! duration, and each span gets its own `tid` row so overlapping spans
+//! never collapse into one lane. The result is the [Chrome trace-event
+//! JSON format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! (the `traceEvents` array form), loadable in Perfetto or
+//! `chrome://tracing`.
+//!
+//! The layout is a pure function of the event sequence: the same log
+//! always exports byte-identical trace JSON.
+//!
+//! Mapping:
+//!
+//! - span enter/exit pairs → a `"B"`/`"E"` pair named `src/key`, the
+//!   `"E"` placed `max(us, 1)` after the `"B"` so zero-length spans stay
+//!   visible;
+//! - spans left open at end of stream → a `"B"`/`"E"` pair closed at the
+//!   end of the timeline (every `"B"` is always matched);
+//! - marks → `"i"` (instant) events, the detail under `args`;
+//! - gauges → `"C"` (counter) samples;
+//! - deterministic counters → `"C"` samples of the *cumulative* total,
+//!   so the monotone staircase is visible on the timeline;
+//! - `meta` headers → nothing.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, FORMAT};
+
+/// One entry of the `traceEvents` array, pre-rendered field-by-field.
+struct TraceEntry {
+    ts: u64,
+    /// Emission order, the tie-breaker keeping the sort stable.
+    seq: usize,
+    json: String,
+}
+
+/// Builds trace entries from events on a synthetic monotonic clock.
+#[derive(Default)]
+struct Layout {
+    clock: u64,
+    entries: Vec<TraceEntry>,
+    /// Open spans: `(src, key, id)` → `(begin ts, tid)`.
+    open: BTreeMap<(String, String, u64), (u64, u64)>,
+    /// Running totals backing the cumulative counter samples.
+    totals: BTreeMap<(String, String), u64>,
+}
+
+impl Layout {
+    fn push(&mut self, ts: u64, json: String) {
+        let seq = self.entries.len();
+        self.entries.push(TraceEntry { ts, seq, json });
+    }
+
+    /// Lays out one event; `tick` advances the clock so same-stream
+    /// events never stack at one instant.
+    fn fold(&mut self, event: &Event) {
+        match event {
+            Event::Meta { .. } => {}
+            Event::Counter { src, key, n } => {
+                let total = self.totals.entry((src.clone(), key.clone())).or_insert(0);
+                *total += n;
+                let json = counter_sample(src, key, self.clock, *total);
+                self.push(self.clock, json);
+                self.clock += 1;
+            }
+            Event::Gauge { src, key, value } => {
+                let json = counter_sample(src, key, self.clock, *value);
+                self.push(self.clock, json);
+                self.clock += 1;
+            }
+            Event::Mark { src, key, detail } => {
+                let mut json = format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":1,\"tid\":0",
+                    escape(&format!("{src}/{key}")),
+                    self.clock
+                );
+                if let Some(detail) = detail {
+                    json.push_str(&format!(",\"args\":{{\"detail\":\"{}\"}}", escape(detail)));
+                }
+                json.push('}');
+                self.push(self.clock, json);
+                self.clock += 1;
+            }
+            Event::SpanEnter { src, key, id } => {
+                // One tid per span: overlapping spans of the same key
+                // get their own rows instead of nesting incorrectly.
+                let tid = *id;
+                self.open
+                    .insert((src.clone(), key.clone(), *id), (self.clock, tid));
+                self.clock += 1;
+            }
+            Event::SpanExit {
+                src,
+                key,
+                id,
+                micros,
+            } => {
+                // An exit without a recorded enter (log truncated at the
+                // front) begins at the current clock.
+                let (begin, tid) = self
+                    .open
+                    .remove(&(src.clone(), key.clone(), *id))
+                    .unwrap_or((self.clock, *id));
+                let end = begin + (*micros).max(1);
+                self.emit_span(src, key, begin, end, tid);
+                self.clock = self.clock.max(end);
+            }
+        }
+    }
+
+    fn emit_span(&mut self, src: &str, key: &str, begin: u64, end: u64, tid: u64) {
+        let name = escape(&format!("{src}/{key}"));
+        let cat = escape(src);
+        self.push(
+            begin,
+            format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"B\",\"ts\":{begin},\"pid\":1,\"tid\":{tid}}}"
+            ),
+        );
+        self.push(
+            end,
+            format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"E\",\"ts\":{end},\"pid\":1,\"tid\":{tid}}}"
+            ),
+        );
+    }
+
+    fn finish(mut self) -> String {
+        // Close every span still open so each "B" has its matching "E".
+        let open = std::mem::take(&mut self.open);
+        let end_of_stream = self.clock.max(1);
+        for ((src, key, _id), (begin, tid)) in open {
+            let end = end_of_stream.max(begin + 1);
+            self.emit_span(&src, &key, begin, end, tid);
+        }
+        // Stable order: by timestamp, emission order breaking ties —
+        // viewers require non-decreasing ts, and determinism requires a
+        // total order.
+        self.entries.sort_by_key(|e| (e.ts, e.seq));
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            out.push_str(&entry.json);
+        }
+        if !self.entries.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+fn counter_sample(src: &str, key: &str, ts: u64, value: u64) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"args\":{{\"value\":{value}}}}}",
+        escape(&format!("{src}/{key}"))
+    )
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Exports a slice of already-parsed events as trace-event JSON.
+pub fn trace_from_events(events: &[Event]) -> String {
+    let mut layout = Layout::default();
+    for event in events {
+        layout.fold(event);
+    }
+    layout.finish()
+}
+
+/// Parses an `asim2-events v1` JSONL log and exports it as trace-event
+/// JSON. Validation matches [`Summary::fold_text`](crate::Summary):
+/// the first line must be the v1 meta header and every line must parse.
+///
+/// # Errors
+///
+/// A message naming `label`, the line number and the violation.
+pub fn trace_from_text(text: &str, label: &str) -> Result<String, String> {
+    let mut events = Vec::new();
+    let mut saw_header = false;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = Event::parse(line).map_err(|e| format!("{label}:{}: {e}", lineno + 1))?;
+        if !saw_header {
+            match &event {
+                Event::Meta { format } if format == FORMAT => saw_header = true,
+                Event::Meta { format } => {
+                    return Err(format!(
+                        "{label}:{}: unsupported format {format:?} (expected {FORMAT:?})",
+                        lineno + 1
+                    ));
+                }
+                _ => {
+                    return Err(format!(
+                        "{label}:{}: first event must be the {FORMAT:?} meta header",
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+        events.push(event);
+    }
+    if !saw_header {
+        return Err(format!("{label}: empty event log (missing meta header)"));
+    }
+    Ok(trace_from_events(&events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, micros: u64) -> [Event; 2] {
+        [
+            Event::SpanEnter {
+                src: "campaign".into(),
+                key: "case".into(),
+                id,
+            },
+            Event::SpanExit {
+                src: "campaign".into(),
+                key: "case".into(),
+                id,
+                micros,
+            },
+        ]
+    }
+
+    fn ts_values(json: &str) -> Vec<u64> {
+        json.match_indices("\"ts\":")
+            .map(|(i, _)| {
+                json[i + 5..]
+                    .chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spans_become_matched_pairs_with_monotonic_ts() {
+        let [enter, exit] = span(1, 250);
+        let [enter2, exit2] = span(2, 40);
+        let json = trace_from_events(&[enter, enter2, exit2, exit]);
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
+        let ts = ts_values(&json);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn zero_length_and_unclosed_spans_stay_matched() {
+        let [enter, exit] = span(1, 0);
+        let dangling = Event::SpanEnter {
+            src: "campaign".into(),
+            key: "run".into(),
+            id: 9,
+        };
+        let json = trace_from_events(&[dangling, enter, exit]);
+        assert_eq!(
+            json.matches("\"ph\":\"B\"").count(),
+            json.matches("\"ph\":\"E\"").count()
+        );
+        // The zero-length span still spans at least one microsecond.
+        let ts = ts_values(&json);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn counters_accumulate_and_marks_become_instants() {
+        let events = [
+            Event::Counter {
+                src: "campaign".into(),
+                key: "cases".into(),
+                n: 2,
+            },
+            Event::Counter {
+                src: "campaign".into(),
+                key: "cases".into(),
+                n: 3,
+            },
+            Event::Mark {
+                src: "shard".into(),
+                key: "run".into(),
+                detail: Some("shard \"0\"".into()),
+            },
+        ];
+        let json = trace_from_events(&events);
+        assert!(json.contains("\"value\":2"), "{json}");
+        assert!(json.contains("\"value\":5"), "{json}");
+        assert!(json.contains("\"ph\":\"i\""), "{json}");
+        assert!(json.contains("shard \\\"0\\\""), "{json}");
+    }
+
+    #[test]
+    fn export_is_deterministic_and_validates_the_header() {
+        let text = format!(
+            "{}\n{}\n{}\n",
+            Event::Meta {
+                format: FORMAT.into()
+            }
+            .render(),
+            span(1, 10)[0].render(),
+            span(1, 10)[1].render(),
+        );
+        let a = trace_from_text(&text, "log").unwrap();
+        let b = trace_from_text(&text, "log").unwrap();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"traceEvents\":["));
+        let err = trace_from_text("", "empty").unwrap_err();
+        assert!(err.contains("meta header"), "{err}");
+        let headerless = format!("{}\n", span(1, 10)[0].render());
+        assert!(trace_from_text(&headerless, "x").is_err());
+    }
+}

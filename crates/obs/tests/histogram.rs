@@ -1,0 +1,62 @@
+//! Property tests for the latency [`Histogram`]: bucket counts are a
+//! pure function of the sample *multiset*, independent of how the
+//! samples are partitioned across logs — the invariant that makes
+//! per-case latency percentiles stable across worker counts in
+//! `metrics summarize`.
+
+use proptest::prelude::*;
+use rtl_obs::Histogram;
+
+fn record_all(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    /// Any round-robin split of the samples across K "workers", each
+    /// folding its own histogram, merges back to the bucket counts of
+    /// recording the whole set sequentially — and the percentiles agree.
+    #[test]
+    fn round_robin_split_folds_to_identical_buckets(
+        samples in proptest::collection::vec(0u64..2_000_000, 0..200),
+        lanes in 1usize..8,
+    ) {
+        let whole = record_all(&samples);
+        let mut parts = vec![Histogram::new(); lanes];
+        for (i, &s) in samples.iter().enumerate() {
+            parts[i % lanes].record(s);
+        }
+        let mut merged = Histogram::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        prop_assert_eq!(merged.buckets(), whole.buckets());
+        prop_assert_eq!(merged.count(), samples.len() as u64);
+        for p in [0u8, 50, 90, 99, 100] {
+            prop_assert_eq!(merged.percentile(p), whole.percentile(p));
+        }
+    }
+
+    /// A percentile is a true upper bound: at least `ceil(p/100·n)`
+    /// samples are `<=` the reported value, and the reported value is
+    /// never more than one bucket above the largest sample.
+    #[test]
+    fn percentile_is_an_upper_bound(
+        samples in proptest::collection::vec(0u64..2_000_000, 1..200),
+        p in 0u8..101,
+    ) {
+        let h = record_all(&samples);
+        let bound = h.percentile(p).expect("non-empty");
+        let rank = ((samples.len() as u64) * u64::from(p)).div_ceil(100).max(1);
+        let covered = samples.iter().filter(|&&s| s <= bound).count() as u64;
+        prop_assert!(covered >= rank, "p{p}: bound {bound} covers {covered} < rank {rank}");
+        let max = *samples.iter().max().expect("non-empty");
+        prop_assert!(
+            bound <= max.saturating_mul(2).max(1),
+            "p{p}: bound {bound} overshoots max {max}"
+        );
+    }
+}
