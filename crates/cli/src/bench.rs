@@ -261,6 +261,59 @@ fn run_benches(quick: bool, err: &mut dyn Write) -> Result<Vec<BenchResult>, Cli
         iters,
     ));
 
+    // Fleet throughput across worker counts: the same campaign served
+    // live over localhost TCP. The delta against campaign_workers_N
+    // above is the control-plane overhead — framing, record validation,
+    // atomic publication — per case.
+    for workers in [1usize, 2] {
+        let fleet_config = config.clone();
+        let secs = median_secs(iters, || {
+            let dir = temp_dir(&format!("fleet-w{workers}"));
+            let controller = rtl_fleet::Controller::bind("127.0.0.1:0").map_err(load_err)?;
+            let addr = controller.local_addr().map_err(load_err)?.to_string();
+            let handles: Vec<_> = (0..workers)
+                .map(|i| {
+                    let scratch = temp_dir(&format!("fleet-w{workers}-s{i}"));
+                    let options = rtl_fleet::WorkerOptions {
+                        token: "bench".into(),
+                        name: format!("w{i}"),
+                        threads: 1,
+                        scratch: scratch.clone(),
+                        ..rtl_fleet::WorkerOptions::default()
+                    };
+                    let addr = addr.clone();
+                    std::thread::spawn(move || {
+                        let worked = rtl_fleet::work(&addr, &options);
+                        let _ = std::fs::remove_dir_all(&scratch);
+                        worked
+                    })
+                })
+                .collect();
+            let served = controller.serve(
+                &CampaignDir::new(&dir),
+                &fleet_config,
+                &rtl_fleet::ControllerOptions {
+                    token: "bench".into(),
+                    lease: 4,
+                    ..rtl_fleet::ControllerOptions::default()
+                },
+                &mut rtl_fleet::NoFleetProgress,
+            );
+            for handle in handles {
+                let _ = handle.join();
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            served.map(|_| ()).map_err(load_err)
+        })?;
+        results.push(report(
+            err,
+            format!("fleet_workers_{workers}"),
+            "cases_per_sec",
+            f64::from(cases) / secs,
+            iters,
+        ));
+    }
+
     Ok(results)
 }
 

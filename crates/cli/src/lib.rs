@@ -16,6 +16,7 @@
 //! asim2 fuzz   [--seed N] [--cases N] [--cycles N] [--size N] [--engines LIST]
 //! asim2 campaign run|resume|replay|shrink ...
 //! asim2 campaign shard plan|run|merge ...    distributed campaigns (rtl-dist)
+//! asim2 fleet serve|work ...                 live campaign control plane (rtl-fleet)
 //! asim2 metrics summarize FILE... [--check]  fold asim2-events logs (rtl-obs)
 //! asim2 bench snapshot [--out F] [--quick]   versioned benchmark snapshot
 //! ```
@@ -40,6 +41,7 @@ use rtl_machines::Scenario;
 use std::io::Write;
 
 mod bench;
+mod fleet;
 mod lint;
 mod metrics;
 
@@ -126,6 +128,12 @@ const USAGE: &str = "usage:
                              [--profile-out F] [--progress[=MS]] [--quiet]
   asim2 campaign shard merge [--plan F] --out D --shards DIR1,DIR2,...
                              [--metrics-out F.jsonl] [--profile-out F]
+  asim2 fleet serve --dir D --token T [--bind ADDR] [--port-file F] [--cases N] [--seed N]
+                             [--engines LIST] [--cycles N] [--size N] [--compare-every N]
+                             [--lint-oracle] [--lease N] [--lease-deadline MS] [--limit N]
+                             [--metrics-out F.jsonl] [--profile-out F] [--progress[=MS]] [--quiet]
+  asim2 fleet work  --connect HOST:PORT --token T [--name N] [--workers N] [--scratch D]
+                             [--fingerprint HEX] [--abandon-after N] [--quiet]
   asim2 profile FILE | --scenario NAME  [--engine NAME] [--cycles N] [--top N]
                              [--format text|json]
   asim2 metrics summarize FILE...           (fold asim2-events v1 logs into one summary;
@@ -146,6 +154,11 @@ against the running lanes — a contradiction reports as a divergence.
 shard plans default to ./shard-plan.json; each shard runs on its own machine
 into a self-contained --dir, and merge folds the directories back into one
 canonical campaign, bit-identical to a single-machine run.
+fleet serves one campaign live over TCP: workers lease contiguous case ranges,
+upload records byte-verbatim, dead workers' leases expire back into the pool,
+and the controller's finished directory is bit-identical to a single-machine
+`campaign run`. Handshake refusals (wrong protocol version, bad token,
+fingerprint drift, duplicate worker name) exit 2 with the named reason.
 profile runs one engine with the execution-profile tap on and ranks components
 by event count; campaign/shard --profile-out F folds per-case profile sidecars
 into one asim2-profile v1 document, byte-identical across worker counts and
@@ -172,6 +185,7 @@ fn dispatch(
         "cosim" => cosim_cmd(&rest, out),
         "fuzz" => fuzz_cmd(&rest, out),
         "campaign" => campaign_cmd(&rest, out, err),
+        "fleet" => fleet::fleet_cmd(&rest, out, err),
         "profile" => profile_cmd(&rest, out),
         "metrics" => metrics::metrics_cmd(&rest, stdin, out),
         "bench" => bench::bench_cmd(&rest, out, err),

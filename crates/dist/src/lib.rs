@@ -49,10 +49,12 @@
 pub mod merge;
 pub mod plan;
 pub mod shard;
+pub mod verify;
 
 pub use merge::{merge, merge_with};
 pub use plan::{ShardPlan, ShardSpec};
 pub use shard::{load_marker, run_shard, ShardReport, SHARD_FORMAT};
+pub use verify::{check_record, expected_seed, parse_record};
 
 /// Renders a fingerprint the way every asim2 manifest does.
 pub(crate) fn fingerprint_hex(fp: u64) -> String {

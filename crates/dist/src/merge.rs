@@ -105,14 +105,10 @@ pub fn merge_with(
                     )));
                 }
                 Some(record) => {
-                    let expected = plan.config.seed.wrapping_add(u64::from(index));
-                    if record.seed != expected {
-                        return Err(CampaignError::Corrupt(format!(
-                            "{}: case {index} records seed {}, the plan derives {expected}",
-                            root.display(),
-                            record.seed
-                        )));
-                    }
+                    // Same invariants the fleet controller enforces on an
+                    // uploaded record — one refusal surface, one message.
+                    crate::verify::check_record(&plan.config, record)
+                        .map_err(|m| CampaignError::Corrupt(format!("{}: {m}", root.display())))?;
                 }
                 None if spec.range().contains(&index) => {
                     return Err(CampaignError::Config(format!(

@@ -6,7 +6,10 @@
 //! `bin-cache/` — plus one extra file, `shard.json`, pinning which slice
 //! of which plan it executes. Nothing in it references any other machine:
 //! ship the plan file to N hosts, run one shard on each, and rsync the
-//! directories back for [`merge`](crate::merge::merge).
+//! directories back for [`merge`](crate::merge::merge). (When the hosts
+//! can reach each other live, `rtl-fleet` replaces this static
+//! plan/ship/merge cycle with leases streamed from a controller — same
+//! byte-identical end state, no manual partitioning.)
 //!
 //! `run_shard` is kill-anywhere resumable for free: it rides the campaign
 //! state layer's atomically-published case records, so invoking it again

@@ -1,0 +1,784 @@
+//! The fleet controller: owns the campaign directory, leases case ranges
+//! to authenticated workers, and publishes validated uploads atomically.
+//!
+//! The controller is a single-threaded event loop over non-blocking
+//! accepts and short-timeout reads — the protocol is strict
+//! request/response, frames are small, and a lease is coarse (a worker
+//! talks once per lease plus rate-limited heartbeats), so one thread
+//! multiplexing every connection is simpler than a thread-per-connection
+//! design and leaves nothing to lock.
+//!
+//! Determinism of the *directory* is inherited from the campaign layer:
+//! every uploaded artifact is a pure function of `(config, index)`,
+//! validated against the configuration (shared with the `rtl-dist` merge
+//! refusals) and published with the same atomic write + dedup rules a
+//! shard merge uses. Determinism of the *fleet counters* holds as long
+//! as every granted lease drains: grants always take the first
+//! contiguous run of pending cases, so `fleet/leases_granted` and
+//! `fleet/cases_dispatched` are byte-identical across worker counts and
+//! across a graceful `--limit` stop + restart. A worker that dies
+//! mid-lease legitimately re-dispatches its cases — the same caveat the
+//! campaign layer documents for `bin_cache` counters.
+
+use crate::error::FleetError;
+use crate::protocol::{CorpusFiles, Framed, Message, Poll, Refusal, PROTOCOL};
+use rtl_campaign::state::write_atomic;
+use rtl_campaign::{
+    corpus, CampaignConfig, CampaignDir, CampaignError, CampaignReport, CaseRecord,
+};
+use rtl_obs::Recorder;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Controller knobs. None of them affect case outcomes — the campaign
+/// configuration alone does — so none are fingerprinted.
+#[derive(Debug, Clone)]
+pub struct ControllerOptions {
+    /// The shared token workers must present in their handshake.
+    pub token: String,
+    /// Cases per lease.
+    pub lease: u32,
+    /// Lease liveness deadline: a lease with no record or heartbeat from
+    /// its worker for this long expires back into the pool.
+    pub deadline: Duration,
+    /// Stop granting new leases once at least this many cases have been
+    /// *dispatched*, drain the outstanding leases, and exit with the
+    /// campaign incomplete (resume by serving again). Rounded up to
+    /// lease granularity — which is what keeps the fleet counters
+    /// byte-identical across worker counts even through a stop+restart.
+    pub limit: Option<u32>,
+    /// Collect per-case execution profiles (workers run with profiling
+    /// and upload the sidecars).
+    pub profile: bool,
+    /// Telemetry tap (disabled by default). Deterministic fleet counters:
+    /// `fleet/leases_granted`, `fleet/cases_dispatched`,
+    /// `fleet/records_accepted`, `fleet/corpus_accepted`.
+    pub recorder: Recorder,
+    /// Retry delay handed to workers when nothing is leasable right now.
+    pub wait_ms: u64,
+    /// How long to keep answering `Drained` after the campaign finishes,
+    /// so sleeping workers can come back, learn they are done, and
+    /// disconnect cleanly.
+    pub grace: Duration,
+}
+
+impl Default for ControllerOptions {
+    fn default() -> Self {
+        ControllerOptions {
+            token: String::new(),
+            lease: 8,
+            deadline: Duration::from_secs(30),
+            limit: None,
+            profile: false,
+            recorder: Recorder::disabled(),
+            wait_ms: 200,
+            grace: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Live fleet progress callbacks, invoked on the serving thread.
+pub trait FleetProgress {
+    /// A new case record was accepted and is on disk.
+    fn record_accepted(&mut self, worker: &str, record: &CaseRecord, done: u32, total: u32);
+    /// A worker completed its handshake.
+    fn worker_joined(&mut self, _worker: &str) {}
+    /// A worker disconnected (cleanly or not).
+    fn worker_left(&mut self, _worker: &str) {}
+    /// A lease passed its deadline and went back into the pool.
+    fn lease_expired(&mut self, _worker: &str, _start: u32, _end: u32) {}
+}
+
+/// Ignores fleet progress.
+pub struct NoFleetProgress;
+
+impl FleetProgress for NoFleetProgress {
+    fn record_accepted(&mut self, _worker: &str, _record: &CaseRecord, _done: u32, _total: u32) {}
+}
+
+/// A bound fleet controller, ready to serve one campaign.
+pub struct Controller {
+    listener: TcpListener,
+}
+
+/// An outstanding lease.
+struct Lease {
+    worker: String,
+    start: u32,
+    end: u32,
+    /// Cases in the lease still without a record.
+    outstanding: BTreeSet<u32>,
+    deadline: Instant,
+}
+
+/// One registered worker.
+struct WorkerInfo {
+    last_seen: Instant,
+    cases: u32,
+}
+
+/// What the frame handler wants done with the connection.
+enum Reply {
+    /// Send and keep the conversation going.
+    Send(Message),
+    /// Send a structured refusal and close.
+    Refuse(Refusal, String),
+    /// Acknowledge a clean goodbye and close.
+    AckAndClose,
+}
+
+/// The mutable serving state, separated from connection I/O so the event
+/// loop can hold `&mut Conn` and `&mut State` at once.
+struct State {
+    dir: CampaignDir,
+    config: CampaignConfig,
+    options: ControllerOptions,
+    records: Vec<Option<CaseRecord>>,
+    pending: BTreeSet<u32>,
+    leases: Vec<Lease>,
+    workers: BTreeMap<String, WorkerInfo>,
+    corpus_fps: HashSet<u64>,
+    new_corpus: BTreeSet<String>,
+    dispatched: u64,
+    stage: PathBuf,
+}
+
+/// One accepted connection.
+struct Conn {
+    framed: Framed,
+    /// The registered worker name, once the handshake succeeded.
+    worker: Option<String>,
+}
+
+impl Controller {
+    /// Binds the controller's listening socket (non-blocking accepts).
+    ///
+    /// # Errors
+    ///
+    /// Socket failure (address in use, permission).
+    pub fn bind(addr: &str) -> io::Result<Controller> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Controller { listener })
+    }
+
+    /// The bound address (the OS-assigned port when bound to port 0).
+    ///
+    /// # Errors
+    ///
+    /// Socket failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves the campaign in `dir` until every case has a record (or
+    /// the dispatch limit is reached and drained), then returns the
+    /// report — identical to what the equivalent single-machine
+    /// `campaign run` reports.
+    ///
+    /// A directory already holding a campaign is *resumed*: its stored
+    /// configuration must fingerprint-match `config`, and only the
+    /// missing cases are leased out.
+    ///
+    /// # Errors
+    ///
+    /// A drifted existing campaign, corrupt state, or I/O. Worker
+    /// misbehavior is never an error here — bad peers are refused and
+    /// disconnected, and their leases expire back into the pool.
+    pub fn serve(
+        &self,
+        dir: &CampaignDir,
+        config: &CampaignConfig,
+        options: &ControllerOptions,
+        progress: &mut dyn FleetProgress,
+    ) -> Result<CampaignReport, FleetError> {
+        let started = Instant::now();
+        let config = if dir.manifest().exists() {
+            let stored = dir.load()?;
+            if stored.fingerprint() != config.fingerprint() {
+                return Err(CampaignError::Config(format!(
+                    "{} holds a campaign whose fingerprint {:016x} differs from the \
+                     requested configuration's {:016x}",
+                    dir.root().display(),
+                    stored.fingerprint(),
+                    config.fingerprint()
+                ))
+                .into());
+            }
+            stored
+        } else {
+            dir.init(config)?;
+            config.clone()
+        };
+        let records = dir.load_cases(config.cases)?;
+        let corpus_fps = corpus::load_all(&dir.corpus())?
+            .iter()
+            .map(|e| corpus::entry_fingerprint(&e.scenario))
+            .collect();
+        let pending: BTreeSet<u32> = records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_none())
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut state = State {
+            dir: dir.clone(),
+            config: config.clone(),
+            options: options.clone(),
+            records,
+            pending,
+            leases: Vec::new(),
+            workers: BTreeMap::new(),
+            corpus_fps,
+            new_corpus: BTreeSet::new(),
+            dispatched: 0,
+            stage: dir
+                .root()
+                .join(format!(".fleet-stage-{}", std::process::id())),
+        };
+
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut done_at: Option<Instant> = None;
+        let mut last_gauges = Instant::now();
+        loop {
+            // New connections.
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _addr)) => {
+                        if let Ok(conn) = prepare(stream) {
+                            conns.push(conn);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(FleetError::Io(e)),
+                }
+            }
+
+            // Frames. A connection is dropped on EOF, I/O failure, an
+            // undecodable frame, or a refusal.
+            let mut closed: Vec<usize> = Vec::new();
+            for (i, conn) in conns.iter_mut().enumerate() {
+                loop {
+                    match conn.framed.poll() {
+                        Ok(Poll::Pending) => break,
+                        Ok(Poll::Eof) => {
+                            closed.push(i);
+                            break;
+                        }
+                        Err(_) => {
+                            closed.push(i);
+                            break;
+                        }
+                        Ok(Poll::Frame(line)) => {
+                            let reply = match crate::protocol::decode(&line) {
+                                Ok(msg) => state.handle(&mut conn.worker, msg, progress),
+                                Err(e) => Reply::Refuse(
+                                    Refusal::BadFrame,
+                                    format!("undecodable frame: {e}"),
+                                ),
+                            };
+                            match reply {
+                                Reply::Send(msg) => {
+                                    if conn.framed.send(&msg).is_err() {
+                                        closed.push(i);
+                                        break;
+                                    }
+                                }
+                                Reply::Refuse(reason, detail) => {
+                                    let _ = conn.framed.send(&Message::Error { reason, detail });
+                                    closed.push(i);
+                                    break;
+                                }
+                                Reply::AckAndClose => {
+                                    let _ = conn.framed.send(&Message::Ack);
+                                    closed.push(i);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for i in closed.into_iter().rev() {
+                let conn = conns.swap_remove(i);
+                if let Some(name) = conn.worker {
+                    state.drop_worker(&name, progress);
+                }
+            }
+
+            state.reap_expired(progress);
+
+            if last_gauges.elapsed() >= Duration::from_secs(1) {
+                last_gauges = Instant::now();
+                state.emit_gauges();
+            }
+
+            if state.done() {
+                match done_at {
+                    None => done_at = Some(Instant::now()),
+                    Some(at) => {
+                        if conns.is_empty() || at.elapsed() >= options.grace {
+                            break;
+                        }
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        let _ = std::fs::remove_dir_all(&state.stage);
+        options.recorder.flush();
+        Ok(CampaignReport {
+            config,
+            replay: None,
+            records: state.records,
+            new_corpus: state.new_corpus.into_iter().collect(),
+            elapsed: started.elapsed(),
+        })
+    }
+}
+
+/// Configures a freshly accepted stream: short read timeouts so the
+/// event loop never blocks on one peer, and no Nagle delay (frames are
+/// tiny and latency-sensitive).
+fn prepare(stream: TcpStream) -> io::Result<Conn> {
+    stream.set_read_timeout(Some(Duration::from_millis(5)))?;
+    let _ = stream.set_nodelay(true);
+    Ok(Conn {
+        framed: Framed::new(stream)?,
+        worker: None,
+    })
+}
+
+impl State {
+    fn handle(
+        &mut self,
+        who: &mut Option<String>,
+        msg: Message,
+        progress: &mut dyn FleetProgress,
+    ) -> Reply {
+        let Some(worker) = who.clone() else {
+            // The handshake: nothing but hello is meaningful yet.
+            return match msg {
+                Message::Hello {
+                    protocol,
+                    token,
+                    worker,
+                    fingerprint,
+                } => self.handle_hello(who, &protocol, &token, worker, fingerprint, progress),
+                _ => Reply::Refuse(Refusal::BadFrame, "the first frame must be hello".into()),
+            };
+        };
+        self.touch(&worker);
+        match msg {
+            Message::Hello { .. } => Reply::Refuse(
+                Refusal::BadFrame,
+                "hello arrived twice on one connection".into(),
+            ),
+            Message::LeaseRequest => self.handle_lease_request(&worker),
+            Message::Heartbeat => Reply::Send(Message::Ack),
+            Message::Record { index, body } => self.handle_record(&worker, index, &body, progress),
+            Message::Profile { index, body } => self.handle_profile(index, &body),
+            Message::Corpus {
+                name,
+                fingerprint,
+                files,
+            } => self.handle_corpus(&name, &fingerprint, &files),
+            Message::Metrics { counters } => {
+                for delta in counters {
+                    self.options.recorder.count(&delta.src, &delta.key, delta.n);
+                }
+                Reply::Send(Message::Ack)
+            }
+            Message::Bye => Reply::AckAndClose,
+            Message::Welcome { .. }
+            | Message::Lease { .. }
+            | Message::Wait { .. }
+            | Message::Drained
+            | Message::Ack
+            | Message::Error { .. } => Reply::Refuse(
+                Refusal::BadFrame,
+                "controller-to-worker frame arrived from a worker".into(),
+            ),
+        }
+    }
+
+    /// The handshake refusal matrix, checked in its documented order:
+    /// protocol version, token, pinned fingerprint, duplicate name.
+    fn handle_hello(
+        &mut self,
+        who: &mut Option<String>,
+        protocol: &str,
+        token: &str,
+        worker: String,
+        fingerprint: Option<String>,
+        progress: &mut dyn FleetProgress,
+    ) -> Reply {
+        if protocol != PROTOCOL {
+            return Reply::Refuse(
+                Refusal::ProtocolMismatch,
+                format!("this controller speaks {PROTOCOL}"),
+            );
+        }
+        if token != self.options.token {
+            return Reply::Refuse(
+                Refusal::BadToken,
+                "shared token does not match the controller's".into(),
+            );
+        }
+        let fp = self.config.fingerprint();
+        if let Some(pinned) = fingerprint {
+            if u64::from_str_radix(&pinned, 16) != Ok(fp) {
+                return Reply::Refuse(
+                    Refusal::FingerprintDrift,
+                    format!("controller campaign fingerprint is {fp:016x}"),
+                );
+            }
+        }
+        if self.workers.contains_key(&worker) {
+            return Reply::Refuse(
+                Refusal::DuplicateWorker,
+                format!("a worker named {worker:?} is already connected"),
+            );
+        }
+        self.workers.insert(
+            worker.clone(),
+            WorkerInfo {
+                last_seen: Instant::now(),
+                cases: 0,
+            },
+        );
+        self.options
+            .recorder
+            .gauge("fleet", "workers_connected", self.workers.len() as u64);
+        self.options
+            .recorder
+            .mark("fleet", "worker_joined", Some(&worker));
+        progress.worker_joined(&worker);
+        *who = Some(worker);
+        Reply::Send(Message::Welcome {
+            protocol: PROTOCOL.into(),
+            fingerprint: format!("{fp:016x}"),
+            profile: self.options.profile,
+            config: self.config.clone(),
+        })
+    }
+
+    fn handle_lease_request(&mut self, worker: &str) -> Reply {
+        if self.done() {
+            return Reply::Send(Message::Drained);
+        }
+        let limit_reached = self
+            .options
+            .limit
+            .is_some_and(|limit| self.dispatched >= u64::from(limit));
+        if limit_reached || self.pending.is_empty() {
+            // Everything is out with other workers (or granting has
+            // stopped); the worker retries after a nap.
+            return Reply::Send(Message::Wait {
+                ms: self.options.wait_ms,
+            });
+        }
+        // First contiguous run of pending cases, capped at the lease
+        // size. Grants depend only on the grant *sequence*, never on
+        // which worker asks — the root of counter determinism.
+        let size = self.options.lease.max(1);
+        let start = *self.pending.iter().next().expect("pending is non-empty");
+        let mut end = start + 1;
+        while end - start < size && self.pending.contains(&end) {
+            end += 1;
+        }
+        let outstanding: BTreeSet<u32> = (start..end).collect();
+        for index in &outstanding {
+            self.pending.remove(index);
+        }
+        self.dispatched += u64::from(end - start);
+        self.options.recorder.count("fleet", "leases_granted", 1);
+        self.options
+            .recorder
+            .count("fleet", "cases_dispatched", u64::from(end - start));
+        self.leases.push(Lease {
+            worker: worker.to_string(),
+            start,
+            end,
+            outstanding,
+            deadline: Instant::now() + self.options.deadline,
+        });
+        Reply::Send(Message::Lease {
+            start,
+            end,
+            deadline_ms: u64::try_from(self.options.deadline.as_millis()).unwrap_or(u64::MAX),
+        })
+    }
+
+    fn handle_record(
+        &mut self,
+        worker: &str,
+        index: u32,
+        body: &str,
+        progress: &mut dyn FleetProgress,
+    ) -> Reply {
+        if index >= self.config.cases {
+            return Reply::Refuse(
+                Refusal::BadUpload,
+                format!(
+                    "case {index} lies outside the campaign's {} case(s)",
+                    self.config.cases
+                ),
+            );
+        }
+        if self.records[index as usize].is_some() {
+            // Idempotent duplicate — a reassigned lease whose original
+            // worker got there first, or a replayed upload after a
+            // reconnect. The published record is canonical; a different
+            // body contradicts the determinism contract.
+            let published = std::fs::read(self.dir.case_path(index)).unwrap_or_default();
+            if published != body.as_bytes() {
+                return Reply::Refuse(
+                    Refusal::BadUpload,
+                    format!("case {index} differs from the already-published record"),
+                );
+            }
+            return Reply::Send(Message::Ack);
+        }
+        let record = match rtl_dist::verify::parse_record(&self.config, index, body) {
+            Ok(record) => record,
+            Err(e) => return Reply::Refuse(Refusal::BadUpload, e),
+        };
+        if let Err(e) = write_atomic(&self.dir.case_path(index), body.as_bytes()) {
+            // A publication failure is the controller's problem, not the
+            // worker's — but the conversation cannot meaningfully go on.
+            return Reply::Refuse(Refusal::BadUpload, format!("publication failed: {e}"));
+        }
+        self.records[index as usize] = Some(record.clone());
+        self.pending.remove(&index);
+        for lease in &mut self.leases {
+            lease.outstanding.remove(&index);
+        }
+        self.leases.retain(|l| !l.outstanding.is_empty());
+        self.options.recorder.count("fleet", "records_accepted", 1);
+        if let Some(info) = self.workers.get_mut(worker) {
+            info.cases += 1;
+        }
+        let done = self.records.iter().flatten().count() as u32;
+        progress.record_accepted(worker, &record, done, self.config.cases);
+        Reply::Send(Message::Ack)
+    }
+
+    fn handle_profile(&mut self, index: u32, body: &str) -> Reply {
+        if !self.options.profile {
+            return Reply::Refuse(
+                Refusal::BadUpload,
+                "this campaign does not collect execution profiles".into(),
+            );
+        }
+        if index >= self.config.cases {
+            return Reply::Refuse(
+                Refusal::BadUpload,
+                format!(
+                    "case {index} lies outside the campaign's {} case(s)",
+                    self.config.cases
+                ),
+            );
+        }
+        if let Err(e) = rtl_core::Profile::parse(body) {
+            return Reply::Refuse(Refusal::BadUpload, format!("case {index} profile: {e}"));
+        }
+        if self.records[index as usize].is_some() {
+            // The record already committed this case; its sidecar (if
+            // profiled) is already published and deterministic.
+            return Reply::Send(Message::Ack);
+        }
+        // Sidecar-before-record discipline: the record stays the commit
+        // point, so publishing the sidecar first is always safe.
+        match write_atomic(&self.dir.profile_path(index), body.as_bytes()) {
+            Ok(()) => Reply::Send(Message::Ack),
+            Err(e) => Reply::Refuse(Refusal::BadUpload, format!("publication failed: {e}")),
+        }
+    }
+
+    fn handle_corpus(&mut self, name: &str, claimed: &str, files: &CorpusFiles) -> Reply {
+        // The name becomes file stems under corpus/ — refuse anything
+        // that could escape the directory or shadow temp siblings.
+        let clean = !name.is_empty()
+            && !name.starts_with('.')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+        if !clean {
+            return Reply::Refuse(
+                Refusal::BadUpload,
+                format!("corpus entry name {name:?} is not a plain file stem"),
+            );
+        }
+        let Ok(claimed_fp) = u64::from_str_radix(claimed, 16) else {
+            return Reply::Refuse(
+                Refusal::BadUpload,
+                format!("corpus entry {name}: fingerprint is not hex"),
+            );
+        };
+        // Stage the four files and run the full corpus load validation
+        // (metadata schema, checkpoint recompute) before anything touches
+        // the published corpus.
+        let entry = match self.stage_corpus(name, files) {
+            Ok(entry) => entry,
+            Err(e) => {
+                return Reply::Refuse(Refusal::BadUpload, format!("corpus entry {name}: {e}"))
+            }
+        };
+        let fp = corpus::entry_fingerprint(&entry.scenario);
+        if fp != claimed_fp {
+            return Reply::Refuse(
+                Refusal::BadUpload,
+                format!("corpus entry {name}: claimed fingerprint does not match the files"),
+            );
+        }
+        if !self.corpus_fps.insert(fp) {
+            // Already archived (another worker found the same scenario).
+            return Reply::Send(Message::Ack);
+        }
+        let publish = || -> io::Result<()> {
+            let corpus_dir = self.dir.corpus();
+            write_atomic(
+                &corpus_dir.join(format!("{name}.asim")),
+                files.asim.as_bytes(),
+            )?;
+            write_atomic(
+                &corpus_dir.join(format!("{name}.stim")),
+                files.stim.as_bytes(),
+            )?;
+            write_atomic(
+                &corpus_dir.join(format!("{name}.ckpt")),
+                files.ckpt.as_bytes(),
+            )?;
+            write_atomic(
+                &corpus_dir.join(format!("{name}.json")),
+                files.meta.as_bytes(),
+            )?;
+            Ok(())
+        };
+        if let Err(e) = publish() {
+            self.corpus_fps.remove(&fp);
+            return Reply::Refuse(Refusal::BadUpload, format!("publication failed: {e}"));
+        }
+        self.new_corpus.insert(name.to_string());
+        self.options.recorder.count("fleet", "corpus_accepted", 1);
+        Reply::Send(Message::Ack)
+    }
+
+    /// Writes the upload into a scratch directory and validates it with
+    /// the standard corpus loader (which recomputes the reference
+    /// checkpoint byte-for-byte).
+    fn stage_corpus(&self, name: &str, files: &CorpusFiles) -> Result<corpus::CorpusEntry, String> {
+        let _ = std::fs::remove_dir_all(&self.stage);
+        let stage = |ext: &str, text: &str| {
+            write_atomic(&self.stage.join(format!("{name}.{ext}")), text.as_bytes())
+        };
+        stage("asim", &files.asim)
+            .and_then(|()| stage("stim", &files.stim))
+            .and_then(|()| stage("ckpt", &files.ckpt))
+            .and_then(|()| stage("json", &files.meta))
+            .map_err(|e| e.to_string())?;
+        let mut entries = corpus::load_all(&self.stage).map_err(|e| e.to_string())?;
+        let _ = std::fs::remove_dir_all(&self.stage);
+        match entries.len() {
+            1 => {
+                let entry = entries.remove(0);
+                if entry.name != name {
+                    return Err(format!("metadata names {:?}", entry.name));
+                }
+                Ok(entry)
+            }
+            n => Err(format!("staged {n} entries instead of 1")),
+        }
+    }
+
+    /// Refreshes a worker's liveness and pushes its lease deadlines out.
+    fn touch(&mut self, worker: &str) {
+        let now = Instant::now();
+        if let Some(info) = self.workers.get_mut(worker) {
+            info.last_seen = now;
+        }
+        for lease in &mut self.leases {
+            if lease.worker == worker {
+                lease.deadline = now + self.options.deadline;
+            }
+        }
+    }
+
+    /// Releases a disconnected worker's leases back into the pool.
+    fn drop_worker(&mut self, worker: &str, progress: &mut dyn FleetProgress) {
+        self.workers.remove(worker);
+        self.options
+            .recorder
+            .gauge("fleet", "workers_connected", self.workers.len() as u64);
+        self.options
+            .recorder
+            .mark("fleet", "worker_left", Some(worker));
+        progress.worker_left(worker);
+        let (released, kept): (Vec<Lease>, Vec<Lease>) = std::mem::take(&mut self.leases)
+            .into_iter()
+            .partition(|l| l.worker == worker);
+        self.leases = kept;
+        for lease in released {
+            self.pending.extend(&lease.outstanding);
+        }
+    }
+
+    /// Expires overdue leases back into the pool (a worker that is
+    /// half-dead — connected but silent past the deadline).
+    fn reap_expired(&mut self, progress: &mut dyn FleetProgress) {
+        let now = Instant::now();
+        let (expired, kept): (Vec<Lease>, Vec<Lease>) = std::mem::take(&mut self.leases)
+            .into_iter()
+            .partition(|l| l.deadline <= now);
+        self.leases = kept;
+        for lease in expired {
+            self.options.recorder.mark(
+                "fleet",
+                "lease_expired",
+                Some(&format!("{} {}..{}", lease.worker, lease.start, lease.end)),
+            );
+            progress.lease_expired(&lease.worker, lease.start, lease.end);
+            self.pending.extend(&lease.outstanding);
+        }
+    }
+
+    fn emit_gauges(&self) {
+        if !self.options.recorder.enabled() {
+            return;
+        }
+        self.options
+            .recorder
+            .gauge("fleet", "workers_connected", self.workers.len() as u64);
+        let age = self
+            .workers
+            .values()
+            .map(|w| w.last_seen.elapsed().as_millis())
+            .max()
+            .unwrap_or(0);
+        self.options.recorder.gauge(
+            "fleet",
+            "heartbeat_age_ms",
+            u64::try_from(age).unwrap_or(u64::MAX),
+        );
+    }
+
+    /// The campaign needs nothing further: every case has a record, or
+    /// granting stopped at the dispatch limit and the outstanding leases
+    /// drained.
+    fn done(&self) -> bool {
+        if !self.leases.is_empty() {
+            return false;
+        }
+        let limit_reached = self
+            .options
+            .limit
+            .is_some_and(|limit| self.dispatched >= u64::from(limit));
+        self.pending.is_empty() || limit_reached
+    }
+}

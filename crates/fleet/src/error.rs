@@ -1,0 +1,56 @@
+//! The fleet error type.
+
+use crate::protocol::Refusal;
+use rtl_campaign::CampaignError;
+
+/// Why a fleet operation failed outright.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A campaign-layer failure (state, configuration, lanes, I/O under
+    /// the campaign directory).
+    Campaign(CampaignError),
+    /// Network or stream failure.
+    Io(std::io::Error),
+    /// The peer refused the conversation with a structured error frame.
+    Refused {
+        /// The stable refusal label.
+        reason: Refusal,
+        /// Human-readable detail from the error frame.
+        detail: String,
+    },
+    /// The peer violated the protocol (bad frame, unexpected message,
+    /// connection closed mid-conversation).
+    Protocol(String),
+    /// The worker deliberately abandoned its connection mid-lease
+    /// (`--abandon-after`, the fault-injection hook for reassignment
+    /// tests).
+    Abandoned,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Campaign(e) => write!(f, "{e}"),
+            FleetError::Io(e) => write!(f, "i/o error: {e}"),
+            FleetError::Refused { reason, detail } => {
+                write!(f, "refused: {}: {detail}", reason.label())
+            }
+            FleetError::Protocol(m) => write!(f, "protocol error: {m}"),
+            FleetError::Abandoned => f.write_str("connection abandoned mid-lease"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<CampaignError> for FleetError {
+    fn from(e: CampaignError) -> Self {
+        FleetError::Campaign(e)
+    }
+}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Io(e)
+    }
+}

@@ -1,0 +1,739 @@
+//! The `asim2-fleet v1` wire protocol: typed messages over
+//! newline-delimited JSON frames.
+//!
+//! A fleet conversation is strictly request/response on one TCP stream:
+//! the worker opens with [`Message::Hello`] (protocol version, shared
+//! token, worker name, optionally a pinned campaign fingerprint), the
+//! controller answers [`Message::Welcome`] (the campaign configuration
+//! and its fingerprint) or a structured [`Message::Error`] refusal, and
+//! from then on every worker frame gets exactly one controller frame
+//! back. Frames are single-line JSON documents rendered *compactly* and
+//! byte-stably — refusals are part of the protocol's golden surface, so
+//! two controllers refusing the same handshake emit identical bytes.
+//!
+//! The document model reuses the campaign's hand-rolled
+//! [`Json`]; no serde, no framing library.
+//! String escaping guarantees a rendered frame never contains a raw
+//! newline, so `\n` is an unambiguous frame delimiter.
+
+use crate::error::FleetError;
+use rtl_campaign::json::Json;
+use rtl_campaign::CampaignConfig;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// The protocol version line carried in every handshake; a controller
+/// refuses any other value with a `protocol-mismatch` error frame.
+pub const PROTOCOL: &str = "asim2-fleet v1";
+
+/// Upper bound on one frame's length in bytes. Record and corpus bodies
+/// ride inside frames as JSON strings; campaign artifacts are small
+/// text documents, so anything near this bound is a corrupt or hostile
+/// peer, not a real upload.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// A structured refusal reason with a stable one-token label — the
+/// golden surface of the handshake refusal matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refusal {
+    /// The peer speaks a different protocol version.
+    ProtocolMismatch,
+    /// The shared token does not match the controller's.
+    BadToken,
+    /// The worker pinned a campaign fingerprint that is not the
+    /// controller's — a drifted manifest.
+    FingerprintDrift,
+    /// A worker with this name is already connected.
+    DuplicateWorker,
+    /// The frame could not be decoded, or arrived out of sequence.
+    BadFrame,
+    /// An uploaded artifact failed validation against the campaign
+    /// configuration (wrong seed, out-of-range index, corrupt body).
+    BadUpload,
+}
+
+impl Refusal {
+    /// The stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Refusal::ProtocolMismatch => "protocol-mismatch",
+            Refusal::BadToken => "bad-token",
+            Refusal::FingerprintDrift => "fingerprint-drift",
+            Refusal::DuplicateWorker => "duplicate-worker",
+            Refusal::BadFrame => "bad-frame",
+            Refusal::BadUpload => "bad-upload",
+        }
+    }
+
+    /// Parses a wire label.
+    pub fn parse(label: &str) -> Option<Refusal> {
+        Some(match label {
+            "protocol-mismatch" => Refusal::ProtocolMismatch,
+            "bad-token" => Refusal::BadToken,
+            "fingerprint-drift" => Refusal::FingerprintDrift,
+            "duplicate-worker" => Refusal::DuplicateWorker,
+            "bad-frame" => Refusal::BadFrame,
+            "bad-upload" => Refusal::BadUpload,
+            _ => return None,
+        })
+    }
+}
+
+/// One deterministic counter delta forwarded from a worker's local
+/// event log to the controller's recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDelta {
+    /// Source component (`campaign`, `lockstep`, `profile`, ...).
+    pub src: String,
+    /// Counter key.
+    pub key: String,
+    /// The increment (deltas sum, so forwarding preserves fold totals).
+    pub n: u64,
+}
+
+/// The four files of one corpus entry, shipped as text (every campaign
+/// artifact — spec, stimulus, session checkpoint, metadata — is a text
+/// document).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusFiles {
+    /// The shrunk `.asim` specification source.
+    pub asim: String,
+    /// The `.stim` stimulus script.
+    pub stim: String,
+    /// The `.ckpt` reference session checkpoint.
+    pub ckpt: String,
+    /// The `.json` entry metadata.
+    pub meta: String,
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker → controller: the handshake opener.
+    Hello {
+        /// Must equal [`PROTOCOL`].
+        protocol: String,
+        /// The shared campaign token.
+        token: String,
+        /// A fleet-unique worker name.
+        worker: String,
+        /// An optionally pinned campaign-manifest fingerprint (hex); the
+        /// controller refuses with `fingerprint-drift` when it differs.
+        fingerprint: Option<String>,
+    },
+    /// Controller → worker: handshake accepted; carries the campaign.
+    Welcome {
+        /// The controller's protocol version.
+        protocol: String,
+        /// The campaign-manifest fingerprint (hex).
+        fingerprint: String,
+        /// Whether workers must collect per-case execution profiles.
+        profile: bool,
+        /// The full campaign configuration; the worker recomputes the
+        /// fingerprint from it and refuses a mismatch.
+        config: CampaignConfig,
+    },
+    /// Worker → controller: ready for a lease.
+    LeaseRequest,
+    /// Controller → worker: run cases `start..end` before the deadline.
+    Lease {
+        /// First case index (inclusive).
+        start: u32,
+        /// Last case index (exclusive).
+        end: u32,
+        /// Deadline in milliseconds; an overdue lease is reassigned.
+        deadline_ms: u64,
+    },
+    /// Controller → worker: nothing to lease right now (everything is
+    /// out with other workers); retry after `ms`.
+    Wait {
+        /// Suggested retry delay in milliseconds.
+        ms: u64,
+    },
+    /// Controller → worker: the campaign needs nothing further from
+    /// this worker; disconnect.
+    Drained,
+    /// Worker → controller: liveness signal between case completions.
+    Heartbeat,
+    /// Worker → controller: one completed case record, byte-verbatim.
+    Record {
+        /// Global case index.
+        index: u32,
+        /// The record file's exact text.
+        body: String,
+    },
+    /// Worker → controller: one execution-profile sidecar,
+    /// byte-verbatim (sent *before* its case record, preserving the
+    /// sidecar-before-record publication discipline).
+    Profile {
+        /// Global case index.
+        index: u32,
+        /// The sidecar file's exact text.
+        body: String,
+    },
+    /// Worker → controller: one shrunk corpus entry.
+    Corpus {
+        /// Entry name (`seed-N`).
+        name: String,
+        /// The claimed entry fingerprint (hex); the controller
+        /// revalidates it from the files before publication.
+        fingerprint: String,
+        /// The entry's four files.
+        files: CorpusFiles,
+    },
+    /// Worker → controller: deterministic counter deltas from the
+    /// lease's local event log.
+    Metrics {
+        /// The deltas, in log order.
+        counters: Vec<CounterDelta>,
+    },
+    /// Controller → worker: the previous frame was accepted.
+    Ack,
+    /// Worker → controller: clean goodbye.
+    Bye,
+    /// Controller → worker: a structured refusal. The connection closes
+    /// after this frame.
+    Error {
+        /// The stable refusal label.
+        reason: Refusal,
+        /// Human-readable detail (byte-stable for the golden matrix).
+        detail: String,
+    },
+}
+
+impl Message {
+    /// The frame's `type` discriminator.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "hello",
+            Message::Welcome { .. } => "welcome",
+            Message::LeaseRequest => "lease-request",
+            Message::Lease { .. } => "lease",
+            Message::Wait { .. } => "wait",
+            Message::Drained => "drained",
+            Message::Heartbeat => "heartbeat",
+            Message::Record { .. } => "record",
+            Message::Profile { .. } => "profile",
+            Message::Corpus { .. } => "corpus",
+            Message::Metrics { .. } => "metrics",
+            Message::Ack => "ack",
+            Message::Bye => "bye",
+            Message::Error { .. } => "error",
+        }
+    }
+
+    /// Serializes the message as a document.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("type".to_string(), Json::str(self.kind()))];
+        match self {
+            Message::Hello {
+                protocol,
+                token,
+                worker,
+                fingerprint,
+            } => {
+                pairs.push(("protocol".into(), Json::str(protocol)));
+                pairs.push(("token".into(), Json::str(token)));
+                pairs.push(("worker".into(), Json::str(worker)));
+                if let Some(fp) = fingerprint {
+                    pairs.push(("fingerprint".into(), Json::str(fp)));
+                }
+            }
+            Message::Welcome {
+                protocol,
+                fingerprint,
+                profile,
+                config,
+            } => {
+                pairs.push(("protocol".into(), Json::str(protocol)));
+                pairs.push(("fingerprint".into(), Json::str(fingerprint)));
+                pairs.push(("profile".into(), Json::Bool(*profile)));
+                pairs.push(("config".into(), config.to_json()));
+            }
+            Message::Lease {
+                start,
+                end,
+                deadline_ms,
+            } => {
+                pairs.push(("start".into(), Json::num(start)));
+                pairs.push(("end".into(), Json::num(end)));
+                pairs.push(("deadline_ms".into(), Json::num(deadline_ms)));
+            }
+            Message::Wait { ms } => pairs.push(("ms".into(), Json::num(ms))),
+            Message::Record { index, body } | Message::Profile { index, body } => {
+                pairs.push(("index".into(), Json::num(index)));
+                pairs.push(("body".into(), Json::str(body)));
+            }
+            Message::Corpus {
+                name,
+                fingerprint,
+                files,
+            } => {
+                pairs.push(("name".into(), Json::str(name)));
+                pairs.push(("fingerprint".into(), Json::str(fingerprint)));
+                pairs.push(("asim".into(), Json::str(&files.asim)));
+                pairs.push(("stim".into(), Json::str(&files.stim)));
+                pairs.push(("ckpt".into(), Json::str(&files.ckpt)));
+                pairs.push(("meta".into(), Json::str(&files.meta)));
+            }
+            Message::Metrics { counters } => {
+                pairs.push((
+                    "counters".into(),
+                    Json::Arr(
+                        counters
+                            .iter()
+                            .map(|c| {
+                                Json::Obj(vec![
+                                    ("src".into(), Json::str(&c.src)),
+                                    ("key".into(), Json::str(&c.key)),
+                                    ("n".into(), Json::num(c.n)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Message::Error { reason, detail } => {
+                pairs.push(("reason".into(), Json::str(reason.label())));
+                pairs.push(("detail".into(), Json::str(detail)));
+            }
+            Message::LeaseRequest
+            | Message::Drained
+            | Message::Heartbeat
+            | Message::Ack
+            | Message::Bye => {}
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Deserializes a message.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing or malformed field.
+    pub fn from_json(doc: &Json) -> Result<Message, String> {
+        let text = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field {name:?}"))
+        };
+        let num = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing numeric field {name:?}"))
+        };
+        let index = |name: &str| {
+            num(name).and_then(|n| u32::try_from(n).map_err(|_| format!("{name} out of range")))
+        };
+        Ok(match text("type")?.as_str() {
+            "hello" => Message::Hello {
+                protocol: text("protocol")?,
+                token: text("token")?,
+                worker: text("worker")?,
+                fingerprint: match doc.get("fingerprint") {
+                    Some(Json::Str(fp)) => Some(fp.clone()),
+                    None => None,
+                    Some(_) => return Err("field \"fingerprint\" is not a string".into()),
+                },
+            },
+            "welcome" => Message::Welcome {
+                protocol: text("protocol")?,
+                fingerprint: text("fingerprint")?,
+                profile: doc
+                    .get("profile")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing boolean field \"profile\"")?,
+                config: CampaignConfig::from_json(
+                    doc.get("config").ok_or("missing field \"config\"")?,
+                )?,
+            },
+            "lease-request" => Message::LeaseRequest,
+            "lease" => Message::Lease {
+                start: index("start")?,
+                end: index("end")?,
+                deadline_ms: num("deadline_ms")?,
+            },
+            "wait" => Message::Wait { ms: num("ms")? },
+            "drained" => Message::Drained,
+            "heartbeat" => Message::Heartbeat,
+            "record" => Message::Record {
+                index: index("index")?,
+                body: text("body")?,
+            },
+            "profile" => Message::Profile {
+                index: index("index")?,
+                body: text("body")?,
+            },
+            "corpus" => Message::Corpus {
+                name: text("name")?,
+                fingerprint: text("fingerprint")?,
+                files: CorpusFiles {
+                    asim: text("asim")?,
+                    stim: text("stim")?,
+                    ckpt: text("ckpt")?,
+                    meta: text("meta")?,
+                },
+            },
+            "metrics" => {
+                let items = doc
+                    .get("counters")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing array field \"counters\"")?;
+                let counters = items
+                    .iter()
+                    .map(|c| {
+                        Ok(CounterDelta {
+                            src: c
+                                .get("src")
+                                .and_then(Json::as_str)
+                                .ok_or("counter without src")?
+                                .to_string(),
+                            key: c
+                                .get("key")
+                                .and_then(Json::as_str)
+                                .ok_or("counter without key")?
+                                .to_string(),
+                            n: c.get("n")
+                                .and_then(Json::as_u64)
+                                .ok_or("counter without n")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, &str>>()
+                    .map_err(str::to_string)?;
+                Message::Metrics { counters }
+            }
+            "ack" => Message::Ack,
+            "bye" => Message::Bye,
+            "error" => Message::Error {
+                reason: text("reason")
+                    .ok()
+                    .as_deref()
+                    .and_then(Refusal::parse)
+                    .ok_or("error frame with unknown reason")?,
+                detail: text("detail")?,
+            },
+            other => return Err(format!("unknown frame type {other:?}")),
+        })
+    }
+}
+
+/// Encodes a message as one byte-stable frame line (no trailing
+/// newline): compact JSON, keys in declaration order.
+pub fn encode(msg: &Message) -> String {
+    let mut out = String::new();
+    write_compact(&msg.to_json(), &mut out);
+    out
+}
+
+/// Decodes one frame line.
+///
+/// # Errors
+///
+/// Malformed JSON or an invalid message shape.
+pub fn decode(line: &str) -> Result<Message, String> {
+    Message::from_json(&Json::parse(line.trim_end())?)
+}
+
+/// Renders a document on a single line: `{"k":v,...}` with no spaces —
+/// the frame encoding (the pretty renderer in `json.rs` is for files).
+fn write_compact(doc: &Json, out: &mut String) {
+    match doc {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => out.push_str(n),
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (i, (key, value)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_compact(value, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// JSON string escaping (mirrors the campaign renderer: control
+/// characters — newlines included — are always escaped, which is what
+/// makes `\n` a safe frame delimiter).
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One poll of the frame reader.
+#[derive(Debug)]
+pub enum Poll {
+    /// A complete frame line arrived.
+    Frame(String),
+    /// No complete frame yet (the read timed out mid-frame or before
+    /// one); the partial data stays buffered.
+    Pending,
+    /// The peer closed the stream.
+    Eof,
+}
+
+/// A framed protocol stream: newline-delimited frames over TCP, with a
+/// hand-rolled line buffer so *read timeouts never lose partial
+/// frames* (a `BufReader::read_line` interrupted by a timeout may drop
+/// bytes; the controller polls with timeouts to notice shutdown).
+pub struct Framed {
+    reader: TcpStream,
+    writer: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Framed {
+    /// Wraps a connected stream.
+    ///
+    /// # Errors
+    ///
+    /// Failure to clone the stream handle.
+    pub fn new(stream: TcpStream) -> std::io::Result<Framed> {
+        let writer = stream.try_clone()?;
+        Ok(Framed {
+            reader: stream,
+            writer,
+            buf: Vec::new(),
+        })
+    }
+
+    /// The underlying stream (for timeouts and shutdown).
+    pub fn stream(&self) -> &TcpStream {
+        &self.reader
+    }
+
+    /// Sends one message as a frame line.
+    ///
+    /// # Errors
+    ///
+    /// Stream failure.
+    pub fn send(&mut self, msg: &Message) -> std::io::Result<()> {
+        let mut line = encode(msg);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Polls for the next frame line. With a read timeout set on the
+    /// stream, returns [`Poll::Pending`] when the timeout elapses;
+    /// without one, blocks until a frame or EOF.
+    ///
+    /// # Errors
+    ///
+    /// Stream failure, or a frame exceeding [`MAX_FRAME`].
+    pub fn poll(&mut self) -> std::io::Result<Poll> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let line = std::mem::replace(&mut self.buf, rest);
+                let line =
+                    String::from_utf8(line).map_err(|_| std::io::Error::other("non-utf8 frame"))?;
+                return Ok(Poll::Frame(line));
+            }
+            if self.buf.len() > MAX_FRAME {
+                return Err(std::io::Error::other("frame exceeds MAX_FRAME"));
+            }
+            let mut chunk = [0u8; 64 * 1024];
+            match self.reader.read(&mut chunk) {
+                Ok(0) => return Ok(Poll::Eof),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(Poll::Pending)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Blocks until the next decoded message (the worker side, where no
+    /// read timeout is set).
+    ///
+    /// # Errors
+    ///
+    /// EOF, stream failure, or an undecodable frame.
+    pub fn recv(&mut self) -> Result<Message, FleetError> {
+        loop {
+            match self.poll().map_err(FleetError::Io)? {
+                Poll::Frame(line) => {
+                    return decode(&line)
+                        .map_err(|e| FleetError::Protocol(format!("bad frame: {e}")))
+                }
+                Poll::Pending => continue,
+                Poll::Eof => {
+                    return Err(FleetError::Protocol(
+                        "connection closed mid-conversation".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Sends `msg` and blocks for the reply.
+    ///
+    /// # Errors
+    ///
+    /// See [`Framed::send`] and [`Framed::recv`].
+    pub fn call(&mut self, msg: &Message) -> Result<Message, FleetError> {
+        self.send(msg).map_err(FleetError::Io)?;
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_message_round_trips() {
+        let samples = vec![
+            Message::Hello {
+                protocol: PROTOCOL.into(),
+                token: "secret".into(),
+                worker: "w1".into(),
+                fingerprint: None,
+            },
+            Message::Hello {
+                protocol: PROTOCOL.into(),
+                token: "secret".into(),
+                worker: "w2".into(),
+                fingerprint: Some("00ff00ff00ff00ff".into()),
+            },
+            Message::Welcome {
+                protocol: PROTOCOL.into(),
+                fingerprint: "0123456789abcdef".into(),
+                profile: true,
+                config: CampaignConfig::default(),
+            },
+            Message::LeaseRequest,
+            Message::Lease {
+                start: 8,
+                end: 16,
+                deadline_ms: 60_000,
+            },
+            Message::Wait { ms: 200 },
+            Message::Drained,
+            Message::Heartbeat,
+            Message::Record {
+                index: 3,
+                body: "{\n  \"index\": 3\n}\n".into(),
+            },
+            Message::Profile {
+                index: 3,
+                body: "asim2-profile v1\n".into(),
+            },
+            Message::Corpus {
+                name: "seed-7".into(),
+                fingerprint: "deadbeefdeadbeef".into(),
+                files: CorpusFiles {
+                    asim: "# spec\n".into(),
+                    stim: "1\n2\n".into(),
+                    ckpt: "asim2 checkpoint v1\n".into(),
+                    meta: "{}\n".into(),
+                },
+            },
+            Message::Metrics {
+                counters: vec![CounterDelta {
+                    src: "campaign".into(),
+                    key: "cases_executed".into(),
+                    n: 8,
+                }],
+            },
+            Message::Ack,
+            Message::Bye,
+            Message::Error {
+                reason: Refusal::BadToken,
+                detail: "shared token does not match the controller's".into(),
+            },
+        ];
+        for msg in samples {
+            let line = encode(&msg);
+            assert!(!line.contains('\n'), "frame must be one line: {line}");
+            assert_eq!(decode(&line).unwrap(), msg, "{line}");
+        }
+    }
+
+    #[test]
+    fn frames_are_byte_stable() {
+        assert_eq!(
+            encode(&Message::LeaseRequest),
+            "{\"type\":\"lease-request\"}"
+        );
+        assert_eq!(
+            encode(&Message::Lease {
+                start: 0,
+                end: 8,
+                deadline_ms: 60000
+            }),
+            "{\"type\":\"lease\",\"start\":0,\"end\":8,\"deadline_ms\":60000}"
+        );
+        assert_eq!(
+            encode(&Message::Error {
+                reason: Refusal::ProtocolMismatch,
+                detail: "speak asim2-fleet v1".into()
+            }),
+            "{\"type\":\"error\",\"reason\":\"protocol-mismatch\",\"detail\":\"speak asim2-fleet v1\"}"
+        );
+    }
+
+    #[test]
+    fn refusal_labels_round_trip() {
+        for refusal in [
+            Refusal::ProtocolMismatch,
+            Refusal::BadToken,
+            Refusal::FingerprintDrift,
+            Refusal::DuplicateWorker,
+            Refusal::BadFrame,
+            Refusal::BadUpload,
+        ] {
+            assert_eq!(Refusal::parse(refusal.label()), Some(refusal));
+        }
+        assert_eq!(Refusal::parse("nope"), None);
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        for bad in [
+            "",
+            "{}",
+            "not json",
+            "{\"type\":\"frobnicate\"}",
+            "{\"type\":\"lease\",\"start\":0}",
+            "{\"type\":\"error\",\"reason\":\"made-up\",\"detail\":\"x\"}",
+        ] {
+            assert!(decode(bad).is_err(), "{bad:?} should not decode");
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! The fleet worker: leases case ranges from a controller, executes them
+//! with the standard `rtl-campaign` pool in a local scratch directory,
+//! and uploads every artifact byte-verbatim.
+//!
+//! The worker is deliberately thin. All execution — engine registries,
+//! per-case seeds, shrinking, profiling — is the campaign runner's,
+//! scoped to the lease via `RunOptions.case_range`, so case `i` keeps
+//! its global index and derived seed and the uploaded record is the
+//! exact file a single-machine run would have published. The scratch
+//! directory is a normal campaign directory (resumable, inspectable) and
+//! survives reconnects: records already on disk are simply re-uploaded,
+//! which the controller acknowledges idempotently.
+
+use crate::error::FleetError;
+use crate::protocol::{CorpusFiles, Framed, Message, PROTOCOL};
+use rtl_campaign::json::Json;
+use rtl_campaign::state::CaseStatus;
+use rtl_campaign::{CampaignDir, CampaignError, CaseRecord, Progress, RunOptions};
+use rtl_obs::{Event, Recorder};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Worker knobs. None affect case outcomes.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// The shared campaign token.
+    pub token: String,
+    /// This worker's fleet-unique name.
+    pub name: String,
+    /// Threads for the lease's local campaign pool.
+    pub threads: usize,
+    /// The local scratch campaign directory (created on first lease,
+    /// validated against the controller's fingerprint on reuse).
+    pub scratch: PathBuf,
+    /// Refuse to work unless the controller's campaign fingerprint
+    /// equals this (drift pinning; refusal happens in the handshake).
+    pub pin: Option<u64>,
+    /// Fault injection: deliberately drop the connection after this many
+    /// record uploads — the reassignment test's worker-death lever.
+    pub abandon_after: Option<u32>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            token: String::new(),
+            name: "worker".into(),
+            threads: 2,
+            scratch: std::env::temp_dir().join("asim2-fleet-scratch"),
+            pin: None,
+            abandon_after: None,
+        }
+    }
+}
+
+/// What one worker session accomplished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// The worker's name.
+    pub name: String,
+    /// The campaign fingerprint worked on.
+    pub fingerprint: u64,
+    /// Leases completed.
+    pub leases: u32,
+    /// Case records uploaded (including idempotent re-uploads).
+    pub cases: u32,
+    /// Uploaded cases whose lanes diverged.
+    pub diverged: u32,
+}
+
+impl std::fmt::Display for WorkerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fleet worker {}: {} lease(s), {} case(s) uploaded, {} diverged \
+             (campaign {:016x})",
+            self.name, self.leases, self.cases, self.diverged, self.fingerprint
+        )
+    }
+}
+
+/// Rate-limited liveness signals sent from inside the lease's campaign
+/// run (the `Progress` callback runs on the calling thread, so the
+/// request/response conversation stays strictly sequential).
+struct HeartbeatProgress<'a> {
+    framed: &'a mut Framed,
+    last: Instant,
+    error: Option<FleetError>,
+}
+
+impl Progress for HeartbeatProgress<'_> {
+    fn case_done(&mut self, _record: &CaseRecord, _done: u32, _total: u32) {
+        if self.error.is_some() || self.last.elapsed() < Duration::from_secs(1) {
+            return;
+        }
+        self.last = Instant::now();
+        match self.framed.call(&Message::Heartbeat) {
+            Ok(Message::Ack) => {}
+            Ok(Message::Error { reason, detail }) => {
+                self.error = Some(FleetError::Refused { reason, detail });
+            }
+            Ok(other) => {
+                self.error = Some(FleetError::Protocol(format!(
+                    "heartbeat answered with {:?}",
+                    other.kind()
+                )));
+            }
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+/// Connects to a controller, works leases until drained, and returns a
+/// session report.
+///
+/// # Errors
+///
+/// A handshake refusal ([`FleetError::Refused`] with the controller's
+/// named reason), a drifted scratch directory, campaign execution
+/// failure, protocol violations, or I/O. [`FleetError::Abandoned`] when
+/// `abandon_after` tripped.
+pub fn work(addr: &str, options: &WorkerOptions) -> Result<WorkerReport, FleetError> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut framed = Framed::new(stream)?;
+
+    let hello = Message::Hello {
+        protocol: PROTOCOL.into(),
+        token: options.token.clone(),
+        worker: options.name.clone(),
+        fingerprint: options.pin.map(|fp| format!("{fp:016x}")),
+    };
+    let (config, profile, fingerprint) = match framed.call(&hello)? {
+        Message::Welcome {
+            fingerprint,
+            profile,
+            config,
+            ..
+        } => {
+            let fp = config.fingerprint();
+            if u64::from_str_radix(&fingerprint, 16) != Ok(fp) {
+                return Err(FleetError::Protocol(
+                    "controller's fingerprint does not match its own configuration".into(),
+                ));
+            }
+            (config, profile, fp)
+        }
+        Message::Error { reason, detail } => return Err(FleetError::Refused { reason, detail }),
+        other => {
+            return Err(FleetError::Protocol(format!(
+                "handshake answered with {:?}",
+                other.kind()
+            )))
+        }
+    };
+
+    // The scratch is a normal campaign directory pinned to the
+    // controller's configuration; a drifted leftover is refused, not
+    // silently overwritten.
+    let dir = CampaignDir::new(&options.scratch);
+    if dir.manifest().exists() {
+        let stored = dir.load()?;
+        if stored.fingerprint() != fingerprint {
+            return Err(CampaignError::Config(format!(
+                "{} holds a different campaign (fingerprint {:016x}, controller serves \
+                 {fingerprint:016x})",
+                options.scratch.display(),
+                stored.fingerprint()
+            ))
+            .into());
+        }
+    } else {
+        dir.init(&config)?;
+    }
+
+    let mut report = WorkerReport {
+        name: options.name.clone(),
+        fingerprint,
+        leases: 0,
+        cases: 0,
+        diverged: 0,
+    };
+    let mut uploads = 0u32;
+    loop {
+        match framed.call(&Message::LeaseRequest)? {
+            Message::Lease { start, end, .. } => {
+                run_lease(
+                    &mut framed,
+                    &dir,
+                    options,
+                    profile,
+                    start,
+                    end,
+                    &mut uploads,
+                    &mut report,
+                )?;
+                report.leases += 1;
+            }
+            Message::Wait { ms } => std::thread::sleep(Duration::from_millis(ms.min(2_000))),
+            Message::Drained => {
+                // A clean goodbye; tolerate a controller that has already
+                // torn down by the time the ack would arrive.
+                let _ = framed.call(&Message::Bye);
+                return Ok(report);
+            }
+            Message::Error { reason, detail } => {
+                return Err(FleetError::Refused { reason, detail })
+            }
+            other => {
+                return Err(FleetError::Protocol(format!(
+                    "lease request answered with {:?}",
+                    other.kind()
+                )))
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_lease(
+    framed: &mut Framed,
+    dir: &CampaignDir,
+    options: &WorkerOptions,
+    profile: bool,
+    start: u32,
+    end: u32,
+    uploads: &mut u32,
+    report: &mut WorkerReport,
+) -> Result<(), FleetError> {
+    // A fresh in-memory recorder per lease: its deterministic counters
+    // are this lease's deltas, forwarded to the controller afterwards so
+    // the controller-side fold equals a single-machine run's.
+    let (recorder, log) = Recorder::memory();
+    let run = RunOptions {
+        workers: options.threads.max(1),
+        limit: None,
+        case_checkpoint: false,
+        case_range: Some(start..end),
+        recorder: recorder.clone(),
+        profile,
+    };
+    let mut hb = HeartbeatProgress {
+        framed,
+        last: Instant::now(),
+        error: None,
+    };
+    let lease_report = rtl_campaign::resume(dir, &run, &mut hb)?;
+    if let Some(e) = hb.error.take() {
+        return Err(e);
+    }
+    recorder.flush();
+
+    // Upload the lease's artifacts byte-verbatim from disk — the same
+    // files a single-machine run publishes, so the controller's
+    // directory diffs clean. The profile sidecar goes first, preserving
+    // the sidecar-before-record publication discipline.
+    for index in start..end {
+        if profile {
+            let body = std::fs::read_to_string(dir.profile_path(index))
+                .map_err(|e| FleetError::Campaign(CampaignError::Io(e)))?;
+            expect_ack(framed, &Message::Profile { index, body }, "profile upload")?;
+        }
+        let body = std::fs::read_to_string(dir.case_path(index))
+            .map_err(|e| FleetError::Campaign(CampaignError::Io(e)))?;
+        expect_ack(framed, &Message::Record { index, body }, "record upload")?;
+        *uploads += 1;
+        report.cases += 1;
+        if options.abandon_after.is_some_and(|n| *uploads >= n) {
+            return Err(FleetError::Abandoned);
+        }
+    }
+
+    // Shrunk corpus entries for the lease's divergences, deduplicated by
+    // name locally (the controller dedups again by scenario
+    // fingerprint, across workers).
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for record in lease_report.records[start as usize..end as usize]
+        .iter()
+        .flatten()
+    {
+        if let CaseStatus::Diverged { corpus, .. } = &record.status {
+            report.diverged += 1;
+            if let Some(name) = corpus {
+                names.insert(name.clone());
+            }
+        }
+    }
+    for name in names {
+        let msg = corpus_message(dir, &name)?;
+        expect_ack(framed, &msg, "corpus upload")?;
+    }
+
+    // Deterministic counter deltas from the lease's local event log.
+    let counters = fold_counters(&log.text())
+        .map_err(|e| FleetError::Protocol(format!("local event log: {e}")))?;
+    if !counters.is_empty() {
+        expect_ack(framed, &Message::Metrics { counters }, "metrics upload")?;
+    }
+    Ok(())
+}
+
+/// Reads a corpus entry's four files and claimed fingerprint (the
+/// `design_fp` the campaign layer stamped into the metadata, passed
+/// through verbatim).
+fn corpus_message(dir: &CampaignDir, name: &str) -> Result<Message, FleetError> {
+    let read = |ext: &str| {
+        std::fs::read_to_string(dir.corpus().join(format!("{name}.{ext}")))
+            .map_err(|e| FleetError::Campaign(CampaignError::Io(e)))
+    };
+    let files = CorpusFiles {
+        asim: read("asim")?,
+        stim: read("stim")?,
+        ckpt: read("ckpt")?,
+        meta: read("json")?,
+    };
+    let fingerprint = Json::parse(&files.meta)
+        .ok()
+        .as_ref()
+        .and_then(|doc| {
+            doc.get("design_fp")
+                .and_then(Json::as_str)
+                .map(String::from)
+        })
+        .ok_or_else(|| {
+            FleetError::Protocol(format!("corpus entry {name} has no design_fp metadata"))
+        })?;
+    Ok(Message::Corpus {
+        name: name.to_string(),
+        fingerprint,
+        files,
+    })
+}
+
+/// Sums the deterministic counter deltas out of an `asim2-events v1` log.
+fn fold_counters(text: &str) -> Result<Vec<crate::protocol::CounterDelta>, String> {
+    let mut totals: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        if let Event::Counter { src, key, n } = Event::parse(line)? {
+            *totals.entry((src, key)).or_insert(0) += n;
+        }
+    }
+    Ok(totals
+        .into_iter()
+        .map(|((src, key), n)| crate::protocol::CounterDelta { src, key, n })
+        .collect())
+}
+
+fn expect_ack(framed: &mut Framed, msg: &Message, what: &str) -> Result<(), FleetError> {
+    match framed.call(msg)? {
+        Message::Ack => Ok(()),
+        Message::Error { reason, detail } => Err(FleetError::Refused { reason, detail }),
+        other => Err(FleetError::Protocol(format!(
+            "{what} answered with {:?}",
+            other.kind()
+        ))),
+    }
+}

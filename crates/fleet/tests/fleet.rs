@@ -1,0 +1,368 @@
+//! End-to-end fleet campaigns: a controller plus networked workers must
+//! produce a campaign directory byte-identical to a single-machine
+//! `campaign run` — through work-stealing, worker death, reassignment,
+//! and controller stop+restart.
+
+use rtl_campaign::{CampaignConfig, CampaignDir, NoProgress, RunOptions};
+use rtl_fleet::{work, Controller, ControllerOptions, FleetError, NoFleetProgress, WorkerOptions};
+use rtl_obs::{Recorder, Summary};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asim2-fleet-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_config(engines: &[&str], cases: u32) -> CampaignConfig {
+    let mut config = CampaignConfig {
+        seed: 1,
+        cases,
+        engines: engines.iter().map(|e| e.to_string()).collect(),
+        ..CampaignConfig::default()
+    };
+    config.generator.size = 10;
+    config.generator.cycles = 24;
+    config.generator.io_every = 2;
+    config
+}
+
+/// Serves a campaign on an OS-assigned localhost port in a thread.
+fn serve(
+    root: &Path,
+    config: &CampaignConfig,
+    options: ControllerOptions,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<Result<rtl_campaign::CampaignReport, FleetError>>,
+) {
+    let controller = Controller::bind("127.0.0.1:0").unwrap();
+    let addr = controller.local_addr().unwrap();
+    let dir = CampaignDir::new(root);
+    let config = config.clone();
+    let handle =
+        std::thread::spawn(move || controller.serve(&dir, &config, &options, &mut NoFleetProgress));
+    (addr, handle)
+}
+
+fn worker_options(token: &str, name: &str, scratch_dir: &Path) -> WorkerOptions {
+    WorkerOptions {
+        token: token.into(),
+        name: name.into(),
+        threads: 2,
+        scratch: scratch_dir.to_path_buf(),
+        ..WorkerOptions::default()
+    }
+}
+
+/// Every file under `dir` (recursively), relative path → bytes.
+fn tree(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(listing) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for dirent in listing {
+            let path = dirent.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                let rel = path.strip_prefix(dir).unwrap().display().to_string();
+                files.insert(rel, std::fs::read(&path).unwrap());
+            }
+        }
+    }
+    files
+}
+
+/// Asserts the fleet directory is byte-identical to the single-machine
+/// one: manifest, every case record (and sidecar), every corpus file.
+/// `bin-cache/` is excluded on both sides — it is a cache, not state.
+fn assert_identical(single: &Path, fleet: &Path) {
+    let filter = |t: BTreeMap<String, Vec<u8>>| -> BTreeMap<String, Vec<u8>> {
+        t.into_iter()
+            .filter(|(rel, _)| !rel.starts_with("bin-cache"))
+            .collect()
+    };
+    let single_tree = filter(tree(single));
+    let fleet_tree = filter(tree(fleet));
+    let names = |t: &BTreeMap<String, Vec<u8>>| t.keys().cloned().collect::<Vec<_>>();
+    assert_eq!(
+        names(&single_tree),
+        names(&fleet_tree),
+        "file sets differ between {} and {}",
+        single.display(),
+        fleet.display()
+    );
+    for (rel, bytes) in &single_tree {
+        assert_eq!(
+            bytes, &fleet_tree[rel],
+            "{rel} differs between single-machine and fleet"
+        );
+    }
+}
+
+/// A controller with two workers over a diverging engine pair produces
+/// records, profile-free reports, and a merged shrunk corpus
+/// byte-identical to a single-machine run of the same configuration.
+#[test]
+fn fleet_campaign_is_bit_identical_to_single_machine() {
+    let mut config = small_config(&["interp", "vm-fault"], 6);
+    // The vm-fault lane corrupts from cycle 40 — run past it.
+    config.generator.cycles = 48;
+
+    let single_root = scratch("ident-single");
+    let single = rtl_campaign::run(
+        &CampaignDir::new(&single_root),
+        &config,
+        &RunOptions {
+            workers: 2,
+            ..RunOptions::default()
+        },
+        &mut NoProgress,
+    )
+    .unwrap();
+    assert!(single.diverged() > 0, "fault lane must diverge: {single}");
+    assert!(!single.new_corpus.is_empty(), "divergences must shrink");
+
+    let fleet_root = scratch("ident-fleet");
+    let (addr, controller) = serve(
+        &fleet_root,
+        &config,
+        ControllerOptions {
+            token: "t".into(),
+            lease: 2,
+            ..ControllerOptions::default()
+        },
+    );
+    let workers: Vec<_> = (1..=2)
+        .map(|i| {
+            let options = worker_options("t", &format!("w{i}"), &scratch(&format!("ident-w{i}")));
+            let addr = addr.to_string();
+            std::thread::spawn(move || work(&addr, &options))
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap().unwrap();
+    }
+    let fleet = controller.join().unwrap().unwrap();
+
+    assert!(fleet.clean() == single.clean());
+    assert_eq!(format!("{single}"), format!("{fleet}"), "reports differ");
+    assert_identical(&single_root, &fleet_root);
+}
+
+/// A worker killed mid-lease (deliberately dropping its connection after
+/// three record uploads) has its lease reassigned, and a replacement
+/// worker finishes the campaign — still bit-identical.
+#[test]
+fn worker_death_mid_lease_is_reassigned_and_stays_bit_identical() {
+    let config = small_config(&["interp", "vm"], 10);
+
+    let single_root = scratch("kill-single");
+    let single = rtl_campaign::run(
+        &CampaignDir::new(&single_root),
+        &config,
+        &RunOptions::default(),
+        &mut NoProgress,
+    )
+    .unwrap();
+
+    let fleet_root = scratch("kill-fleet");
+    let (addr, controller) = serve(
+        &fleet_root,
+        &config,
+        ControllerOptions {
+            token: "t".into(),
+            lease: 4,
+            ..ControllerOptions::default()
+        },
+    );
+
+    // The doomed worker abandons its connection mid-lease.
+    let mut doomed = worker_options("t", "doomed", &scratch("kill-w1"));
+    doomed.abandon_after = Some(3);
+    let err = work(&addr.to_string(), &doomed).unwrap_err();
+    assert!(matches!(err, FleetError::Abandoned), "{err}");
+
+    // A replacement (fresh name, fresh scratch) finishes everything,
+    // including the abandoned lease's remaining cases.
+    let replacement = worker_options("t", "replacement", &scratch("kill-w2"));
+    let report = work(&addr.to_string(), &replacement).unwrap();
+    assert!(report.cases >= 7, "replacement ran the reassigned work");
+
+    let fleet = controller.join().unwrap().unwrap();
+    assert!(fleet.complete(), "{fleet}");
+    assert_eq!(format!("{single}"), format!("{fleet}"));
+    assert_identical(&single_root, &fleet_root);
+}
+
+fn fold(summaries: &[String]) -> String {
+    let mut summary = Summary::new();
+    for (i, text) in summaries.iter().enumerate() {
+        summary.fold_text(text, &format!("log{i}")).unwrap();
+    }
+    summary.deterministic_section()
+}
+
+/// Runs a full fleet campaign with `workers` workers and returns the
+/// controller's deterministic metrics section plus the report text.
+fn run_fleet_with_metrics(tag: &str, config: &CampaignConfig, workers: u32) -> (String, String) {
+    let (recorder, log) = Recorder::memory();
+    let root = scratch(&format!("metrics-{tag}"));
+    let (addr, controller) = serve(
+        &root,
+        config,
+        ControllerOptions {
+            token: "t".into(),
+            lease: 4,
+            recorder,
+            ..ControllerOptions::default()
+        },
+    );
+    let handles: Vec<_> = (0..workers)
+        .map(|i| {
+            let options = worker_options(
+                "t",
+                &format!("{tag}-w{i}"),
+                &scratch(&format!("metrics-{tag}-w{i}")),
+            );
+            let addr = addr.to_string();
+            std::thread::spawn(move || work(&addr, &options))
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap().unwrap();
+    }
+    let report = controller.join().unwrap().unwrap();
+    (fold(&[log.text()]), format!("{report}"))
+}
+
+/// Fleet counters (`fleet/leases_granted`, `fleet/cases_dispatched`,
+/// `fleet/records_accepted`) and the forwarded campaign counters are
+/// byte-identical across worker counts, and across a graceful `--limit`
+/// stop + restart (the two phases' logs fold to the full run's totals).
+#[test]
+fn fleet_counters_are_deterministic_across_worker_counts_and_restart() {
+    let config = small_config(&["interp", "vm"], 12);
+
+    let (one_worker, report_one) = run_fleet_with_metrics("one", &config, 1);
+    let (two_workers, report_two) = run_fleet_with_metrics("two", &config, 2);
+    assert_eq!(one_worker, two_workers, "worker count leaked into counters");
+    assert_eq!(report_one, report_two);
+    assert!(
+        one_worker.contains("fleet/leases_granted 3"),
+        "12 cases / lease 4 = 3 grants:\n{one_worker}"
+    );
+    assert!(
+        one_worker.contains("fleet/cases_dispatched 12"),
+        "{one_worker}"
+    );
+    assert!(
+        one_worker.contains("fleet/records_accepted 12"),
+        "{one_worker}"
+    );
+
+    // Phase 1: stop granting once 6 cases are dispatched (rounds up to
+    // lease granularity: 8), drain, exit incomplete.
+    let root = scratch("metrics-restart");
+    let (rec1, log1) = Recorder::memory();
+    let (addr, controller) = serve(
+        &root,
+        &config,
+        ControllerOptions {
+            token: "t".into(),
+            lease: 4,
+            limit: Some(6),
+            recorder: rec1,
+            ..ControllerOptions::default()
+        },
+    );
+    let options = worker_options("t", "restart-w", &scratch("metrics-restart-w"));
+    work(&addr.to_string(), &options).unwrap();
+    let phase1 = controller.join().unwrap().unwrap();
+    assert!(!phase1.complete(), "limit leaves a gap: {phase1}");
+    assert_eq!(phase1.completed(), 8, "limit 6 rounds up to two leases");
+
+    // Phase 2: a fresh controller process over the same directory picks
+    // up exactly the missing cases.
+    let (rec2, log2) = Recorder::memory();
+    let (addr, controller) = serve(
+        &root,
+        &config,
+        ControllerOptions {
+            token: "t".into(),
+            lease: 4,
+            recorder: rec2,
+            ..ControllerOptions::default()
+        },
+    );
+    let options = worker_options("t", "restart-w", &scratch("metrics-restart-w2"));
+    work(&addr.to_string(), &options).unwrap();
+    let phase2 = controller.join().unwrap().unwrap();
+    assert!(phase2.complete(), "{phase2}");
+    assert_eq!(format!("{phase2}"), report_one);
+
+    let restarted = fold(&[log1.text(), log2.text()]);
+    assert_eq!(restarted, one_worker, "restart leaked into counters");
+}
+
+/// A half-dead worker — connected but silent — has its lease expired at
+/// the deadline and the cases are reassigned to a live worker.
+#[test]
+fn silent_workers_lose_their_lease_at_the_deadline() {
+    use rtl_fleet::protocol::{Framed, Message, PROTOCOL};
+
+    let config = small_config(&["interp", "vm"], 4);
+    let root = scratch("expiry");
+    let (addr, controller) = serve(
+        &root,
+        &config,
+        ControllerOptions {
+            token: "t".into(),
+            lease: 2,
+            deadline: Duration::from_millis(150),
+            grace: Duration::from_millis(200),
+            ..ControllerOptions::default()
+        },
+    );
+
+    // A raw protocol client takes a lease and goes silent.
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    let mut silent = Framed::new(stream).unwrap();
+    let welcome = silent
+        .call(&Message::Hello {
+            protocol: PROTOCOL.into(),
+            token: "t".into(),
+            worker: "silent".into(),
+            fingerprint: None,
+        })
+        .unwrap();
+    assert!(matches!(welcome, Message::Welcome { .. }), "{welcome:?}");
+    let lease = silent.call(&Message::LeaseRequest).unwrap();
+    assert!(
+        matches!(
+            lease,
+            Message::Lease {
+                start: 0,
+                end: 2,
+                ..
+            }
+        ),
+        "{lease:?}"
+    );
+
+    // Past the deadline, a live worker picks up the whole campaign —
+    // including the silent client's expired lease.
+    std::thread::sleep(Duration::from_millis(300));
+    let options = worker_options("t", "live", &scratch("expiry-w"));
+    let report = work(&addr.to_string(), &options).unwrap();
+    assert_eq!(report.cases, 4, "{report:?}");
+    let fleet = controller.join().unwrap().unwrap();
+    assert!(fleet.complete(), "{fleet}");
+    drop(silent);
+}

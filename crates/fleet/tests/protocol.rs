@@ -1,0 +1,267 @@
+//! Protocol golden tests: the versioned handshake refusal matrix with
+//! byte-stable error frames, and frame round-trip properties.
+
+use proptest::prelude::*;
+use rtl_campaign::{CampaignConfig, CampaignDir, NoProgress, RunOptions};
+use rtl_fleet::protocol::{self, CorpusFiles, CounterDelta, Message};
+use rtl_fleet::{Controller, ControllerOptions, NoFleetProgress, WorkerOptions, PROTOCOL};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asim2-fleet-proto-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Sends one raw frame line and returns the response line verbatim.
+fn exchange(addr: SocketAddr, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    response.trim_end().to_string()
+}
+
+fn hello(protocol: &str, token: &str, worker: &str, fingerprint: Option<&str>) -> String {
+    protocol::encode(&Message::Hello {
+        protocol: protocol.into(),
+        token: token.into(),
+        worker: worker.into(),
+        fingerprint: fingerprint.map(str::to_string),
+    })
+}
+
+/// Every handshake refusal, answered with a byte-stable error frame and
+/// a named reason; refused peers never reach the campaign.
+#[test]
+fn handshake_refusal_matrix_is_byte_stable() {
+    let mut config = CampaignConfig {
+        seed: 1,
+        cases: 2,
+        ..CampaignConfig::default()
+    };
+    config.generator.size = 8;
+    config.generator.cycles = 16;
+    let fp = config.fingerprint();
+
+    let controller = Controller::bind("127.0.0.1:0").unwrap();
+    let addr = controller.local_addr().unwrap();
+    let root = scratch("matrix");
+    let dir = CampaignDir::new(&root);
+    let serve_config = config.clone();
+    let serving = std::thread::spawn(move || {
+        controller.serve(
+            &dir,
+            &serve_config,
+            &ControllerOptions {
+                token: "secret".into(),
+                ..ControllerOptions::default()
+            },
+            &mut NoFleetProgress,
+        )
+    });
+
+    // Wrong protocol version.
+    assert_eq!(
+        exchange(addr, &hello("asim2-fleet v0", "secret", "w", None)),
+        "{\"type\":\"error\",\"reason\":\"protocol-mismatch\",\
+         \"detail\":\"this controller speaks asim2-fleet v1\"}"
+    );
+    // Wrong token.
+    assert_eq!(
+        exchange(addr, &hello(PROTOCOL, "wrong", "w", None)),
+        "{\"type\":\"error\",\"reason\":\"bad-token\",\
+         \"detail\":\"shared token does not match the controller's\"}"
+    );
+    // Drifted campaign fingerprint.
+    assert_eq!(
+        exchange(
+            addr,
+            &hello(PROTOCOL, "secret", "w", Some("0000000000000000"))
+        ),
+        format!(
+            "{{\"type\":\"error\",\"reason\":\"fingerprint-drift\",\
+             \"detail\":\"controller campaign fingerprint is {fp:016x}\"}}"
+        )
+    );
+    // Duplicate worker name: register "w", then hello again as "w".
+    let registered = TcpStream::connect(addr).unwrap();
+    {
+        let mut w = registered.try_clone().unwrap();
+        writeln!(w, "{}", hello(PROTOCOL, "secret", "w", None)).unwrap();
+        let mut welcome = String::new();
+        BufReader::new(&registered).read_line(&mut welcome).unwrap();
+        assert!(welcome.contains("\"type\":\"welcome\""), "{welcome}");
+    }
+    assert_eq!(
+        exchange(addr, &hello(PROTOCOL, "secret", "w", None)),
+        "{\"type\":\"error\",\"reason\":\"duplicate-worker\",\
+         \"detail\":\"a worker named \\\"w\\\" is already connected\"}"
+    );
+    drop(registered);
+    // A first frame that is not hello.
+    assert_eq!(
+        exchange(addr, &protocol::encode(&Message::LeaseRequest)),
+        "{\"type\":\"error\",\"reason\":\"bad-frame\",\
+         \"detail\":\"the first frame must be hello\"}"
+    );
+    // A frame that does not decode at all.
+    let garbage = exchange(addr, "this is not a frame");
+    assert!(
+        garbage.starts_with(
+            "{\"type\":\"error\",\"reason\":\"bad-frame\",\"detail\":\"undecodable frame:"
+        ),
+        "{garbage}"
+    );
+
+    // The campaign itself is untouched by the refused peers: a real
+    // worker drains it normally.
+    rtl_fleet::work(
+        &addr.to_string(),
+        &WorkerOptions {
+            token: "secret".into(),
+            name: "finisher".into(),
+            threads: 1,
+            scratch: scratch("matrix-worker"),
+            ..WorkerOptions::default()
+        },
+    )
+    .unwrap();
+    let report = serving.join().unwrap().unwrap();
+    assert!(report.complete(), "{report}");
+
+    // The fleet directory equals a plain single-machine run even after
+    // all that hostile traffic.
+    let single_root = scratch("matrix-single");
+    let single = rtl_campaign::run(
+        &CampaignDir::new(&single_root),
+        &config,
+        &RunOptions::default(),
+        &mut NoProgress,
+    )
+    .unwrap();
+    assert_eq!(format!("{single}"), format!("{report}"));
+}
+
+/// A worker refused mid-handshake surfaces the named reason through
+/// [`rtl_fleet::work`] as `FleetError::Refused`.
+#[test]
+fn refusals_surface_through_the_worker_api() {
+    let config = CampaignConfig {
+        cases: 1,
+        ..CampaignConfig::default()
+    };
+    let controller = Controller::bind("127.0.0.1:0").unwrap();
+    let addr = controller.local_addr().unwrap();
+    let root = scratch("refused");
+    let dir = CampaignDir::new(&root);
+    let serve_config = config.clone();
+    let serving = std::thread::spawn(move || {
+        controller.serve(
+            &dir,
+            &serve_config,
+            &ControllerOptions {
+                token: "secret".into(),
+                ..ControllerOptions::default()
+            },
+            &mut NoFleetProgress,
+        )
+    });
+
+    let err = rtl_fleet::work(
+        &addr.to_string(),
+        &WorkerOptions {
+            token: "wrong".into(),
+            name: "w".into(),
+            scratch: scratch("refused-w"),
+            ..WorkerOptions::default()
+        },
+    )
+    .unwrap_err();
+    match &err {
+        rtl_fleet::FleetError::Refused { reason, detail } => {
+            assert_eq!(reason.label(), "bad-token");
+            assert_eq!(detail, "shared token does not match the controller's");
+        }
+        other => panic!("{other}"),
+    }
+    assert_eq!(
+        err.to_string(),
+        "refused: bad-token: shared token does not match the controller's"
+    );
+
+    // Drain so the serving thread exits.
+    let mut options = WorkerOptions {
+        token: "secret".into(),
+        name: "w".into(),
+        scratch: scratch("refused-w2"),
+        ..WorkerOptions::default()
+    };
+    options.threads = 1;
+    rtl_fleet::work(&addr.to_string(), &options).unwrap();
+    serving.join().unwrap().unwrap();
+}
+
+// Payload alphabet for the round-trip property: alphanumerics plus the
+// characters the frame escaper must handle — newline, tab, quote,
+// backslash — so a failure here means a frame boundary or escape bug.
+const PAYLOAD: &str = "[a-zA-Z0-9 \n\t\"\\\\-]{0,16}";
+
+proptest! {
+    /// Every message round-trips through the frame encoding, for
+    /// arbitrary payload strings (including control characters and
+    /// newlines, which must stay escaped inside the one-line frame).
+    #[test]
+    fn frames_round_trip(
+        token in PAYLOAD,
+        worker in PAYLOAD,
+        body in PAYLOAD,
+        name in PAYLOAD,
+        index in any::<u32>(),
+        n in any::<u64>(),
+    ) {
+        let samples = vec![
+            Message::Hello {
+                protocol: PROTOCOL.into(),
+                token: token.clone(),
+                worker: worker.clone(),
+                fingerprint: Some(format!("{n:016x}")),
+            },
+            Message::Lease { start: index, end: index.saturating_add(8), deadline_ms: n },
+            Message::Record { index, body: body.clone() },
+            Message::Profile { index, body: body.clone() },
+            Message::Corpus {
+                name: name.clone(),
+                fingerprint: format!("{n:016x}"),
+                files: CorpusFiles {
+                    asim: body.clone(),
+                    stim: token.clone(),
+                    ckpt: worker.clone(),
+                    meta: name.clone(),
+                },
+            },
+            Message::Metrics {
+                counters: vec![CounterDelta { src: token.clone(), key: worker.clone(), n }],
+            },
+            Message::Error {
+                reason: rtl_fleet::Refusal::BadUpload,
+                detail: body.clone(),
+            },
+        ];
+        for msg in samples {
+            let line = protocol::encode(&msg);
+            prop_assert!(!line.contains('\n'), "{}", line);
+            prop_assert_eq!(protocol::decode(&line).unwrap(), msg);
+        }
+    }
+
+    /// Decoding never panics on arbitrary near-JSON garbage.
+    #[test]
+    fn decode_is_total(line in "[a-z0-9{}\":, \\\\]{0,40}") {
+        let _ = protocol::decode(&line);
+    }
+}

@@ -12,9 +12,11 @@
 //! 2. **A strict determinism split.** Every event is either a
 //!    *deterministic counter* (cases executed, cycles simulated,
 //!    comparator invocations per lens, divergences, shrink probes,
-//!    corpus entries, bin-cache hits) whose folded totals are
-//!    byte-identical for a given campaign configuration across runs,
-//!    worker counts and kill+resume — or *wall-clock* (span durations,
+//!    corpus entries, bin-cache hits, fleet dispatch under the `fleet/`
+//!    source — `cases_dispatched`, `leases_granted`, `records_accepted`,
+//!    `corpus_accepted`) whose folded totals are byte-identical for a
+//!    given campaign configuration across runs, worker counts,
+//!    kill+resume, and controller restarts — or *wall-clock* (span durations,
 //!    gauges, marks), flagged non-deterministic and excluded from all
 //!    bit-identity comparisons. [`Summary`] renders the two sections
 //!    separately so the deterministic one doubles as a correctness gate

@@ -21,6 +21,7 @@
 //! | [`cosim`] | differential co-simulation (lockstep + divergence reports) and scenario fuzzing |
 //! | [`campaign`] | parallel, resumable fuzz/cosim campaigns with a persistent divergence corpus |
 //! | [`dist`] | sharded campaigns across machines: shard plans, digest-lockstep lanes, corpus merge |
+//! | [`fleet`] | live campaign control plane: TCP controller, networked workers, lease work-stealing |
 //!
 //! ```
 //! use asim2::prelude::*;
@@ -44,6 +45,7 @@ pub use rtl_compile as compile;
 pub use rtl_core as core;
 pub use rtl_cosim as cosim;
 pub use rtl_dist as dist;
+pub use rtl_fleet as fleet;
 pub use rtl_hw as hw;
 pub use rtl_interp as interp;
 pub use rtl_lang as lang;
