@@ -69,6 +69,16 @@ pub struct RunOptions {
     /// unaffected. Not combinable with `case_checkpoint`: a mid-case
     /// resume would only tally the post-resume cycles.
     pub profile: bool,
+    /// Arm the divergence flight recorder: each case runs with a fresh
+    /// bounded ring capturing its deterministic counter events in call
+    /// order, and when a case ends abnormally (divergence, oracle
+    /// contradiction, halt, harness error) the ring is dumped as a
+    /// `cases/case-N.flight.jsonl` sidecar *before* the case record —
+    /// same publication discipline as profiles, so the dump is
+    /// byte-identical across worker counts and kill+resume. Agreed cases
+    /// leave no sidecar. Not combinable with `case_checkpoint`: a case
+    /// resumed mid-run would only capture its post-resume events.
+    pub flight: bool,
 }
 
 /// The cycle cadence of `--case-checkpoint` lockstep checkpoints.
@@ -86,6 +96,7 @@ impl Default for RunOptions {
             case_range: None,
             recorder: Recorder::disabled(),
             profile: false,
+            flight: false,
         }
     }
 }
@@ -419,6 +430,13 @@ fn execute(
                 .into(),
         ));
     }
+    if options.flight && options.case_checkpoint {
+        return Err(CampaignError::Config(
+            "the flight recorder cannot be combined with per-case checkpointing: a case \
+             resumed mid-run would only capture its post-resume events"
+                .into(),
+        ));
+    }
     let mut fuzz = config.fuzz_options();
     // The recorder reaches every lane session and lockstep harness from
     // here; it is a run-time tap, so the config fingerprint is unchanged.
@@ -438,6 +456,7 @@ fn execute(
     let abort = AtomicBool::new(false);
     let case_checkpoint = options.case_checkpoint;
     let profile = options.profile;
+    let flight = options.flight;
     // A kill between record publication and checkpoint removal can leave
     // a stale .ckpt next to a completed record; sweep those up front.
     for (index, record) in records.iter().enumerate() {
@@ -481,6 +500,7 @@ fn execute(
                         dir,
                         case_checkpoint,
                         profile,
+                        flight,
                         &recorder,
                     );
                     drop(case_span);
@@ -543,6 +563,53 @@ fn case_checkpoint_path(dir: &CampaignDir, index: u32) -> std::path::PathBuf {
     dir.cases().join(format!("case-{index:06}.ckpt"))
 }
 
+/// What (if anything) triggers a flight dump for this record: a one-line
+/// deterministic description of the abnormal ending, `None` for agreed
+/// cases.
+fn flight_trigger(record: &CaseRecord) -> Option<String> {
+    let what = match &record.status {
+        CaseStatus::Agreed => return None,
+        CaseStatus::Halted { detail } => {
+            format!("halted after {} cycles: {detail}", record.cycles)
+        }
+        CaseStatus::Error { detail } => format!("harness error: {detail}"),
+        CaseStatus::Diverged { cycle, kind, .. } => {
+            format!("diverged at cycle {cycle} ({kind})")
+        }
+    };
+    Some(format!(
+        "case {} (seed {}): {what}",
+        record.index, record.seed
+    ))
+}
+
+/// Renders a flight dump as a self-contained `asim2-events v1` log: the
+/// meta header, the ring's events oldest-first, and a closing
+/// `flight/trigger` mark naming what fired the dump.
+fn render_flight(events: &[rtl_obs::Event], trigger: &str) -> String {
+    let mut text = format!(
+        "{}\n",
+        rtl_obs::Event::Meta {
+            format: rtl_obs::FORMAT.into()
+        }
+        .render()
+    );
+    for event in events {
+        text.push_str(&event.render());
+        text.push('\n');
+    }
+    text.push_str(
+        &rtl_obs::Event::Mark {
+            src: "flight".into(),
+            key: "trigger".into(),
+            detail: Some(trigger.into()),
+        }
+        .render(),
+    );
+    text.push('\n');
+    text
+}
+
 /// Folds every completed case's profile sidecar into one aggregate
 /// [`Profile`](rtl_core::Profile). Because each sidecar is a pure
 /// function of `(config, index)`, the fold is byte-identical across
@@ -583,6 +650,7 @@ fn run_one(
     dir: &CampaignDir,
     case_checkpoint: bool,
     profile: bool,
+    flight: bool,
     recorder: &Recorder,
 ) -> Result<DoneCase, CampaignError> {
     // Thread the per-case lockstep checkpoint through: write it while the
@@ -593,8 +661,13 @@ fn run_one(
     // pure function of (config, index), regardless of which worker ran
     // it or what else this process executed.
     let profile_hook = profile.then(rtl_core::ProfileHook::collecting);
+    // Likewise a fresh flight ring per case: the lockstep run is
+    // single-threaded, so the captured counter order is a pure function
+    // of (config, index).
+    let flight_ring =
+        flight.then(|| Arc::new(rtl_obs::FlightRing::new(rtl_obs::FlightRing::DEFAULT_CAP)));
     let fuzz_for_case;
-    let fuzz = if case_checkpoint || profile_hook.is_some() {
+    let fuzz = if case_checkpoint || profile_hook.is_some() || flight_ring.is_some() {
         let mut patched = fuzz.clone();
         if case_checkpoint {
             patched.cosim.checkpoint = Some(rtl_cosim::LockstepCheckpoint {
@@ -608,20 +681,27 @@ fn run_one(
         if let Some(hook) = &profile_hook {
             patched.cosim.profile = hook.clone();
         }
+        if let Some(ring) = &flight_ring {
+            patched.cosim.recorder = patched.cosim.recorder.with_flight(Arc::clone(ring));
+        }
         fuzz_for_case = patched;
         &fuzz_for_case
     } else {
         fuzz
     };
     let case = run_fuzz_case(registry, fuzz, index)?;
+    // Snapshot the ring *now*, before any shrink probes can run: the dump
+    // must hold only the case's own final events.
+    let flight_snapshot = flight_ring.as_ref().map(|ring| ring.snapshot());
     // Shrink probes must not inherit the case's checkpoint/resume paths
-    // (they re-run many *different* candidate scenarios) nor its profile
+    // (they re-run many *different* candidate scenarios), its profile
     // hook (hook clones share one tally; probe work would pollute the
-    // case's sidecar).
+    // case's sidecar), or its flight-tapped recorder.
     let probe_cosim = rtl_cosim::CosimOptions {
         checkpoint: None,
         resume: None,
         profile: rtl_core::ProfileHook::disabled(),
+        recorder: recorder.clone(),
         ..fuzz.cosim.clone()
     };
     let (status, corpus) = match case.divergence {
@@ -694,6 +774,18 @@ fn run_one(
         crate::state::write_atomic(&dir.profile_path(index), snapshot.render().as_bytes())?;
         for (key, n) in snapshot.iter() {
             recorder.count("profile", key, n);
+        }
+    }
+    // The flight dump publishes before the record for the same reason:
+    // a kill between the two re-runs the case and rewrites the identical
+    // sidecar. Only abnormal endings leave a dump.
+    if let Some(events) = &flight_snapshot {
+        if let Some(trigger) = flight_trigger(&record) {
+            crate::state::write_atomic(
+                &dir.flight_path(index),
+                render_flight(events, &trigger).as_bytes(),
+            )?;
+            recorder.count("campaign", "flight_dumps", 1);
         }
     }
     // Publish from the worker (atomic temp-file + rename), so record I/O

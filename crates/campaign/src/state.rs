@@ -257,6 +257,14 @@ impl CampaignDir {
         self.cases().join(format!("case-{index:06}.profile"))
     }
 
+    /// One case's flight-recorder sidecar path (present only for
+    /// non-agreed cases run with [`RunOptions::flight`](crate::RunOptions)
+    /// on; published atomically *before* the case record, so worker
+    /// counts and kill+resume cannot change a published dump).
+    pub fn flight_path(&self, index: u32) -> PathBuf {
+        self.cases().join(format!("case-{index:06}.flight.jsonl"))
+    }
+
     /// Initializes a fresh campaign directory and writes the manifest.
     /// The root may already exist (e.g. holding a pre-seeded `corpus/`),
     /// but an existing manifest means a campaign already lives here.

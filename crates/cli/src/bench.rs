@@ -265,46 +265,12 @@ fn run_benches(quick: bool, err: &mut dyn Write) -> Result<Vec<BenchResult>, Cli
     // live over localhost TCP. The delta against campaign_workers_N
     // above is the control-plane overhead — framing, record validation,
     // atomic publication — per case.
+    let mut fleet_w2_secs = f64::NAN;
     for workers in [1usize, 2] {
-        let fleet_config = config.clone();
-        let secs = median_secs(iters, || {
-            let dir = temp_dir(&format!("fleet-w{workers}"));
-            let controller = rtl_fleet::Controller::bind("127.0.0.1:0").map_err(load_err)?;
-            let addr = controller.local_addr().map_err(load_err)?.to_string();
-            let handles: Vec<_> = (0..workers)
-                .map(|i| {
-                    let scratch = temp_dir(&format!("fleet-w{workers}-s{i}"));
-                    let options = rtl_fleet::WorkerOptions {
-                        token: "bench".into(),
-                        name: format!("w{i}"),
-                        threads: 1,
-                        scratch: scratch.clone(),
-                        ..rtl_fleet::WorkerOptions::default()
-                    };
-                    let addr = addr.clone();
-                    std::thread::spawn(move || {
-                        let worked = rtl_fleet::work(&addr, &options);
-                        let _ = std::fs::remove_dir_all(&scratch);
-                        worked
-                    })
-                })
-                .collect();
-            let served = controller.serve(
-                &CampaignDir::new(&dir),
-                &fleet_config,
-                &rtl_fleet::ControllerOptions {
-                    token: "bench".into(),
-                    lease: 4,
-                    ..rtl_fleet::ControllerOptions::default()
-                },
-                &mut rtl_fleet::NoFleetProgress,
-            );
-            for handle in handles {
-                let _ = handle.join();
-            }
-            let _ = std::fs::remove_dir_all(&dir);
-            served.map(|_| ()).map_err(load_err)
-        })?;
+        let secs = fleet_secs(iters, workers, &config, false)?;
+        if workers == 2 {
+            fleet_w2_secs = secs;
+        }
         results.push(report(
             err,
             format!("fleet_workers_{workers}"),
@@ -314,7 +280,85 @@ fn run_benches(quick: bool, err: &mut dyn Write) -> Result<Vec<BenchResult>, Cli
         ));
     }
 
+    // Telemetry-streaming overhead: the identical 2-worker fleet with
+    // the controller's `--metrics-out` tap open, so every lease's event
+    // log travels the wire and folds into one campaign-wide log. The
+    // acceptance bar for the streamed plane is under a few percent.
+    let streamed_secs = fleet_secs(iters, 2, &config, true)?;
+    results.push(report(
+        err,
+        "fleet_workers_2_metrics".to_string(),
+        "cases_per_sec",
+        f64::from(cases) / streamed_secs,
+        iters,
+    ));
+    results.push(report(
+        err,
+        "fleet_metrics_overhead".to_string(),
+        "percent",
+        (streamed_secs / fleet_w2_secs - 1.0) * 100.0,
+        iters,
+    ));
+
     Ok(results)
+}
+
+/// Times one fleet campaign over localhost TCP: a controller and
+/// `workers` worker threads, optionally with the controller-side
+/// metrics tap streaming every worker's telemetry into one log file.
+fn fleet_secs(
+    iters: u32,
+    workers: usize,
+    config: &CampaignConfig,
+    metrics: bool,
+) -> Result<f64, CliError> {
+    median_secs(iters, || {
+        let tag = if metrics { "fleet-m" } else { "fleet" };
+        let dir = temp_dir(&format!("{tag}-w{workers}"));
+        let metrics_path = temp_dir(&format!("{tag}-w{workers}-log"));
+        let recorder = if metrics {
+            rtl_core::Recorder::to_file(&metrics_path).map_err(|e| load_err(e.to_string()))?
+        } else {
+            rtl_core::Recorder::disabled()
+        };
+        let controller = rtl_fleet::Controller::bind("127.0.0.1:0").map_err(load_err)?;
+        let addr = controller.local_addr().map_err(load_err)?.to_string();
+        let handles: Vec<_> = (0..workers)
+            .map(|i| {
+                let scratch = temp_dir(&format!("{tag}-w{workers}-s{i}"));
+                let options = rtl_fleet::WorkerOptions {
+                    token: "bench".into(),
+                    name: format!("w{i}"),
+                    threads: 1,
+                    scratch: scratch.clone(),
+                    ..rtl_fleet::WorkerOptions::default()
+                };
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let worked = rtl_fleet::work(&addr, &options);
+                    let _ = std::fs::remove_dir_all(&scratch);
+                    worked
+                })
+            })
+            .collect();
+        let served = controller.serve(
+            &CampaignDir::new(&dir),
+            config,
+            &rtl_fleet::ControllerOptions {
+                token: "bench".into(),
+                lease: 4,
+                recorder,
+                ..rtl_fleet::ControllerOptions::default()
+            },
+            &mut rtl_fleet::NoFleetProgress,
+        );
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_file(&metrics_path);
+        served.map(|_| ()).map_err(load_err)
+    })
 }
 
 /// Times `work` `iters` times and returns the median duration in seconds.

@@ -10,8 +10,10 @@ use super::{
     campaign_err, flag_value, load_err, metrics_recorder, parse_u64_flag, split_optional_file,
     usage_err, write_profile_out, CliError, ProgressReporter,
 };
+use rtl_campaign::json::Json;
 use rtl_campaign::{CampaignConfig, CampaignDir, CaseRecord, Progress};
-use rtl_fleet::{ControllerOptions, FleetError, FleetProgress, WorkerOptions};
+use rtl_fleet::{ControllerOptions, FleetError, FleetProgress, StatusClient, WorkerOptions};
+use rtl_obs::Histogram;
 use std::io::Write;
 use std::time::Duration;
 
@@ -23,7 +25,7 @@ pub(crate) fn fleet_cmd(
     let sub = rest
         .first()
         .copied()
-        .ok_or_else(|| usage_err("fleet needs a subcommand (serve|work)"))?;
+        .ok_or_else(|| usage_err("fleet needs a subcommand (serve|work|status)"))?;
     let (extra, flags) = split_optional_file(
         &rest[1..],
         &[
@@ -48,6 +50,7 @@ pub(crate) fn fleet_cmd(
             "--scratch",
             "--fingerprint",
             "--abandon-after",
+            "--format",
         ],
     )?;
     if let Some(x) = extra {
@@ -69,6 +72,7 @@ pub(crate) fn fleet_cmd(
             "--lease",
             "--lease-deadline",
             "--limit",
+            "--flight",
             "--metrics-out",
             "--profile-out",
             "--progress",
@@ -84,11 +88,14 @@ pub(crate) fn fleet_cmd(
             "--abandon-after",
             "--quiet",
         ],
+        "status" => &["--connect", "--token", "--watch", "--format"],
         other => return Err(usage_err(format!("unknown fleet subcommand {other:?}"))),
     };
     if let Some(bad) = flags.iter().find(|f| {
         let name = if f.starts_with("--progress=") {
             "--progress"
+        } else if f.starts_with("--watch=") {
+            "--watch"
         } else {
             **f
         };
@@ -106,6 +113,7 @@ pub(crate) fn fleet_cmd(
     match sub {
         "serve" => serve(&flags, token, out, err),
         "work" => work(&flags, token, out, err),
+        "status" => status(&flags, token, out, err),
         _ => unreachable!("validated above"),
     }
 }
@@ -134,11 +142,18 @@ fn fleet_err(e: FleetError) -> CliError {
 struct FleetReporter<'a> {
     inner: ProgressReporter<'a>,
     workers_seen: u32,
+    /// Heartbeat-age and lease-duration histograms, captured when the
+    /// campaign drains (both in microseconds).
+    histograms: Option<(Histogram, Histogram)>,
 }
 
 impl FleetProgress for FleetReporter<'_> {
     fn record_accepted(&mut self, _worker: &str, record: &CaseRecord, done: u32, total: u32) {
         self.inner.case_done(record, done, total);
+    }
+
+    fn fleet_summary(&mut self, heartbeats: &Histogram, leases: &Histogram) {
+        self.histograms = Some((heartbeats.clone(), leases.clone()));
     }
 
     fn worker_joined(&mut self, worker: &str) {
@@ -218,6 +233,7 @@ fn serve(
     options.recorder = metrics_recorder(flags)?;
     let profile_out = flag_value(flags, "--profile-out")?;
     options.profile = profile_out.is_some();
+    options.flight = flags.contains(&"--flight");
 
     let bind = flag_value(flags, "--bind")?.unwrap_or("127.0.0.1:0");
     let controller = rtl_fleet::Controller::bind(bind)
@@ -236,6 +252,7 @@ fn serve(
     let mut reporter = FleetReporter {
         inner: ProgressReporter::from_flags(err, flags)?,
         workers_seen: 0,
+        histograms: None,
     };
     if reporter.inner.enabled {
         let _ = writeln!(
@@ -248,6 +265,7 @@ fn serve(
         .serve(&dir, &config, &options, &mut reporter)
         .map_err(fleet_err)?;
     let workers_seen = reporter.workers_seen;
+    let histograms = reporter.histograms.take();
     options.recorder.flush();
     write_profile_out(&dir, &report, profile_out)?;
 
@@ -262,6 +280,10 @@ fn serve(
             secs,
             f64::from(report.completed()) / secs,
         );
+        if let Some((heartbeats, leases)) = &histograms {
+            let _ = writeln!(err, "fleet heartbeat age: {}", render_histogram(heartbeats));
+            let _ = writeln!(err, "fleet lease duration: {}", render_histogram(leases));
+        }
     }
     if report.clean() {
         Ok(())
@@ -335,6 +357,143 @@ fn work(
         );
     }
     Ok(())
+}
+
+/// Renders a wall-clock histogram as percentile milliseconds — log₂
+/// bucket upper bounds, so the figures are coarse by design.
+fn render_histogram(hist: &Histogram) -> String {
+    if hist.count() == 0 {
+        return "no samples".into();
+    }
+    let ms = |p: u8| {
+        hist.percentile(p)
+            .map_or_else(|| "-".into(), |us| format!("<={:.1}ms", us as f64 / 1000.0))
+    };
+    format!(
+        "p50 {} p90 {} p99 {} ({} sample(s), log2 buckets)",
+        ms(50),
+        ms(90),
+        ms(99),
+        hist.count()
+    )
+}
+
+fn status(
+    flags: &[&str],
+    token: String,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> Result<(), CliError> {
+    let addr = flag_value(flags, "--connect")?
+        .ok_or_else(|| usage_err("fleet status needs --connect HOST:PORT"))?;
+    let format = flag_value(flags, "--format")?.unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(usage_err(format!(
+            "--format must be text or json, got {format:?}"
+        )));
+    }
+    let watch = watch_period(flags)?;
+    let mut client = StatusClient::connect(addr, &token).map_err(fleet_err)?;
+    loop {
+        match client.fetch().map_err(fleet_err)? {
+            Some(body) => {
+                if format == "json" {
+                    let _ = write!(out, "{body}");
+                } else {
+                    let _ = write!(out, "{}", render_status(&body)?);
+                }
+            }
+            None if watch.is_some() => {
+                // The controller tore down between polls: the campaign
+                // drained, which is the clean end of a watch.
+                let _ = writeln!(err, "controller gone — campaign drained");
+                return Ok(());
+            }
+            None => {
+                return Err(load_err(
+                    "fleet: controller closed the connection before answering",
+                ))
+            }
+        }
+        match watch {
+            None => return Ok(()),
+            Some(ms) => std::thread::sleep(Duration::from_millis(ms)),
+        }
+    }
+}
+
+/// Parses `--watch` / `--watch=MS` (the bare form polls once a second).
+fn watch_period(flags: &[&str]) -> Result<Option<u64>, CliError> {
+    for flag in flags {
+        if *flag == "--watch" {
+            return Ok(Some(1000));
+        }
+        if let Some(ms) = flag.strip_prefix("--watch=") {
+            return ms
+                .parse()
+                .map(Some)
+                .map_err(|_| usage_err(format!("--watch needs milliseconds, got {ms:?}")));
+        }
+    }
+    Ok(None)
+}
+
+/// Renders an `asim2-fleet-status v1` document as human-readable lines.
+fn render_status(body: &str) -> Result<String, CliError> {
+    let doc = Json::parse(body)
+        .map_err(|e| load_err(format!("fleet: malformed status document: {e}")))?;
+    let bad = || load_err("fleet: status document is missing required fields");
+    let field = |key: &str| doc.get(key).and_then(Json::as_u64).ok_or_else(bad);
+    if doc.get("format").and_then(Json::as_str) != Some(rtl_fleet::STATUS_FORMAT) {
+        return Err(load_err(format!(
+            "fleet: expected a {} document",
+            rtl_fleet::STATUS_FORMAT
+        )));
+    }
+    let fingerprint = doc
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .ok_or_else(bad)?;
+    let (cases, done) = (field("cases")?, field("done")?);
+    let mut text = format!(
+        "fleet campaign {fingerprint}: {done}/{cases} case(s) done, {} pending, \
+         {} dispatched, {} diverged\n",
+        field("pending")?,
+        field("dispatched")?,
+        field("diverged")?
+    );
+    let secs = |ms: u64| format!("{:.1}s", ms as f64 / 1000.0);
+    let eta = match doc.get("eta_ms") {
+        Some(Json::Null) => "unknown".into(),
+        Some(v) => v.as_u64().map(secs).ok_or_else(bad)?,
+        None => return Err(bad()),
+    };
+    text.push_str(&format!(
+        "elapsed {}, eta {eta}\n",
+        secs(field("elapsed_ms")?)
+    ));
+    let arr = |key: &str| doc.get(key).and_then(Json::as_arr).ok_or_else(bad);
+    for lease in arr("leases")? {
+        let sub = |k: &str| lease.get(k).and_then(Json::as_u64).ok_or_else(bad);
+        text.push_str(&format!(
+            "lease {}..{} -> {}: {} outstanding, deadline in {}\n",
+            sub("start")?,
+            sub("end")?,
+            lease.get("worker").and_then(Json::as_str).ok_or_else(bad)?,
+            sub("outstanding")?,
+            secs(sub("deadline_ms")?)
+        ));
+    }
+    for worker in arr("workers")? {
+        let sub = |k: &str| worker.get(k).and_then(Json::as_u64).ok_or_else(bad);
+        text.push_str(&format!(
+            "worker {}: heartbeat {} ago, {} case(s)\n",
+            worker.get("name").and_then(Json::as_str).ok_or_else(bad)?,
+            secs(sub("heartbeat_age_ms")?),
+            sub("cases")?
+        ));
+    }
+    Ok(text)
 }
 
 #[cfg(test)]
@@ -462,6 +621,96 @@ mod tests {
             std::fs::read(fleet_dir.join("campaign.json")).unwrap(),
             std::fs::read(plain_dir.join("campaign.json")).unwrap(),
             "manifests are byte-identical"
+        );
+    }
+
+    #[test]
+    fn fleet_status_answers_mid_campaign_and_histograms_render() {
+        use rtl_campaign::json::Json;
+
+        let fleet_dir = tmp("status-dir");
+        let port_file = tmp("status-port");
+        let serve_args: Vec<String> = [
+            "fleet",
+            "serve",
+            "--dir",
+            fleet_dir.to_str().unwrap(),
+            "--token",
+            "hunter2",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--cases",
+            "4",
+            "--cycles",
+            "12",
+            "--size",
+            "8",
+            "--lease",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let serving = spawn_serve(serve_args);
+        let addr = wait_port(&port_file);
+
+        // One-shot JSON status against the live (undrained) controller:
+        // a valid versioned document.
+        let (code, out, err) = run_args(&[
+            "fleet",
+            "status",
+            "--connect",
+            &addr,
+            "--token",
+            "hunter2",
+            "--format",
+            "json",
+        ]);
+        assert_eq!(code, 0, "{err}");
+        let doc = Json::parse(&out).unwrap();
+        assert_eq!(
+            doc.get("format").and_then(Json::as_str),
+            Some(rtl_fleet::STATUS_FORMAT),
+            "{out}"
+        );
+        assert_eq!(doc.get("cases").and_then(Json::as_u64), Some(4), "{out}");
+        assert_eq!(doc.get("done").and_then(Json::as_u64), Some(0), "{out}");
+
+        // The text rendering of the same answer.
+        let (code, out, err) =
+            run_args(&["fleet", "status", "--connect", &addr, "--token", "hunter2"]);
+        assert_eq!(code, 0, "{err}");
+        assert!(out.contains("fleet campaign"), "{out}");
+        assert!(out.contains("0/4 case(s) done"), "{out}");
+
+        // A status observer is refused like any peer on a bad token.
+        let (code, _, err) = run_args(&["fleet", "status", "--connect", &addr, "--token", "wrong"]);
+        assert_eq!(code, 2, "{err}");
+        assert!(err.contains("refused: bad-token"), "{err}");
+
+        // Drain, then check the controller's wall-clock summary renders
+        // the heartbeat-age and lease-duration histograms.
+        let scratch = tmp("status-w");
+        let (code, _, err) = run_args(&[
+            "fleet",
+            "work",
+            "--connect",
+            &addr,
+            "--token",
+            "hunter2",
+            "--workers",
+            "1",
+            "--scratch",
+            scratch.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{err}");
+        let (code, _, serve_err) = serving.join().unwrap();
+        assert_eq!(code, 0, "{serve_err}");
+        assert!(serve_err.contains("fleet heartbeat age:"), "{serve_err}");
+        assert!(serve_err.contains("fleet lease duration:"), "{serve_err}");
+        assert!(
+            serve_err.contains("log2 buckets") || serve_err.contains("no samples"),
+            "{serve_err}"
         );
     }
 

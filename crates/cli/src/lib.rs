@@ -114,9 +114,9 @@ const USAGE: &str = "usage:
   asim2 fuzz    [--seed N] [--cases N] [--cycles N] [--size N] [--engines interp,vm,...]
   asim2 campaign run    --dir D [--cases N] [--seed N] [--workers N] [--engines LIST]
                         [--cycles N] [--size N] [--compare-every N] [--limit N]
-                        [--case-checkpoint] [--lint-oracle] [--metrics-out F.jsonl]
-                        [--profile-out F] [--progress[=MS]] [--quiet]
-  asim2 campaign resume --dir D [--workers N] [--limit N] [--case-checkpoint]
+                        [--case-checkpoint] [--lint-oracle] [--flight]
+                        [--metrics-out F.jsonl] [--profile-out F] [--progress[=MS]] [--quiet]
+  asim2 campaign resume --dir D [--workers N] [--limit N] [--case-checkpoint] [--flight]
                         [--metrics-out F.jsonl] [--profile-out F]
                         [--progress[=MS]] [--quiet]
   asim2 campaign replay --dir D [--engines LIST]
@@ -131,17 +131,25 @@ const USAGE: &str = "usage:
   asim2 fleet serve --dir D --token T [--bind ADDR] [--port-file F] [--cases N] [--seed N]
                              [--engines LIST] [--cycles N] [--size N] [--compare-every N]
                              [--lint-oracle] [--lease N] [--lease-deadline MS] [--limit N]
-                             [--metrics-out F.jsonl] [--profile-out F] [--progress[=MS]] [--quiet]
+                             [--flight] [--metrics-out F.jsonl] [--profile-out F]
+                             [--progress[=MS]] [--quiet]
   asim2 fleet work  --connect HOST:PORT --token T [--name N] [--workers N] [--scratch D]
                              [--fingerprint HEX] [--abandon-after N] [--quiet]
+  asim2 fleet status --connect HOST:PORT --token T [--watch[=MS]] [--format text|json]
+                             (read-only live fleet status: cases done/remaining, leases
+                             with deadlines, per-worker heartbeat age and throughput, ETA)
   asim2 profile FILE | --scenario NAME  [--engine NAME] [--cycles N] [--top N]
                              [--format text|json]
   asim2 metrics summarize FILE...           (fold asim2-events v1 logs into one summary;
                              FILE may be - for stdin)
-  asim2 metrics summarize --check RUN1 RUN2...  (RUNs are files or comma-joined file
-                             groups; exit 3 unless all deterministic sections match)
-  asim2 metrics trace-export FILE [--out F.json]  (one log, or - for stdin, to Chrome
-                             trace-event JSON for Perfetto/chrome://tracing)
+  asim2 metrics summarize --check RUN1 RUN2...  (RUNs are files, comma-joined file
+                             groups, or --group FILE... blocks; exit 3 unless all
+                             deterministic sections match)
+  asim2 metrics trace-export FILE... [--out F.json]  (logs, or - for stdin, to Chrome
+                             trace-event JSON for Perfetto/chrome://tracing; several
+                             FILEs merge onto one timeline, one track per log)
+  asim2 metrics flight FILE                 (pretty-print a case-N.flight.jsonl divergence
+                             flight-recorder sidecar, or - for stdin)
   asim2 bench snapshot  [--out FILE.json] [--quick]
 
 engine NAMEs come from the registry: interp, interp-faithful, vm, vm-noopt,
@@ -162,7 +170,15 @@ fingerprint drift, duplicate worker name) exit 2 with the named reason.
 profile runs one engine with the execution-profile tap on and ranks components
 by event count; campaign/shard --profile-out F folds per-case profile sidecars
 into one asim2-profile v1 document, byte-identical across worker counts and
-kill+resume (incompatible with --case-checkpoint).";
+kill+resume (incompatible with --case-checkpoint).
+--flight arms the divergence flight recorder: each case runs with a bounded
+ring buffer of its own telemetry, and any case that halts, errors or diverges
+leaves a cases/case-N.flight.jsonl sidecar with the last events before the
+trigger — byte-identical across worker counts and kill+resume, on single
+machines and fleets alike (incompatible with --case-checkpoint).
+fleet status watches a serving controller read-only over the same protocol:
+one asim2-fleet-status v1 document per poll, --watch to repeat until the
+campaign drains.";
 
 fn dispatch(
     args: &[String],
@@ -1088,6 +1104,7 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             "--limit",
             "--case-checkpoint",
             "--lint-oracle",
+            "--flight",
             "--metrics-out",
             "--profile-out",
             "--progress",
@@ -1098,6 +1115,7 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             "--workers",
             "--limit",
             "--case-checkpoint",
+            "--flight",
             "--metrics-out",
             "--profile-out",
             "--progress",
@@ -1144,6 +1162,7 @@ fn campaign_cmd(rest: &[&str], out: &mut dyn Write, err: &mut dyn Write) -> Resu
             Some(u32::try_from(limit).map_err(|_| usage_err("--limit is too large"))?);
     }
     run_options.case_checkpoint = flags.contains(&"--case-checkpoint");
+    run_options.flight = flags.contains(&"--flight");
     run_options.recorder = metrics_recorder(&flags)?;
     let profile_out = flag_value(&flags, "--profile-out")?;
     run_options.profile = profile_out.is_some();
@@ -2183,6 +2202,64 @@ mod tests {
         let resumed = run_ok(&["campaign", "resume", "--dir", dir, "--workers", "3"]);
         assert!(resumed.contains("summary: 5/5 agreed"), "{resumed}");
         let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn campaign_flight_dumps_sidecars_for_divergences() {
+        let d = campaign_dir("flight");
+        let dir = d.to_str().unwrap();
+        let (code, out, err) = run_with(
+            &[
+                "campaign",
+                "run",
+                "--dir",
+                dir,
+                "--cases",
+                "4",
+                "--seed",
+                "1",
+                "--cycles",
+                "48",
+                "--size",
+                "10",
+                "--engines",
+                "interp,vm-fault",
+                "--flight",
+                "--quiet",
+            ],
+            b"",
+        );
+        // The fault lane diverges, so the run exits 3 — with flight
+        // sidecars published next to the diverging case records.
+        assert_eq!(code, 3, "{out}\n{err}");
+        let sidecars: Vec<_> = std::fs::read_dir(d.join("cases"))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.to_str().unwrap().ends_with(".flight.jsonl"))
+            .collect();
+        assert!(!sidecars.is_empty(), "diverging cases dump flight logs");
+
+        let flight = run_ok(&["metrics", "flight", sidecars[0].to_str().unwrap()]);
+        assert!(flight.contains("flight recorder:"), "{flight}");
+        assert!(flight.contains("trigger:"), "{flight}");
+        assert!(flight.contains("diverged at cycle"), "{flight}");
+
+        // The recorder cannot be combined with per-case checkpointing.
+        let d2 = campaign_dir("flight-conflict");
+        let (code, err) = run_fail(&[
+            "campaign",
+            "run",
+            "--dir",
+            d2.to_str().unwrap(),
+            "--cases",
+            "1",
+            "--flight",
+            "--case-checkpoint",
+        ]);
+        assert_eq!(code, 1, "{err}");
+        assert!(err.contains("flight recorder"), "{err}");
+        let _ = std::fs::remove_dir_all(&d);
+        let _ = std::fs::remove_dir_all(&d2);
     }
 
     #[test]

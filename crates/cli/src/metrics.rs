@@ -17,7 +17,7 @@
 //! reused if `-` appears in several run groups).
 
 use crate::{load_err, usage_err, CliError};
-use rtl_obs::Summary;
+use rtl_obs::{Event, Summary};
 use std::io::{BufRead, Write};
 
 pub(crate) fn metrics_cmd(
@@ -28,12 +28,13 @@ pub(crate) fn metrics_cmd(
     let sub = rest
         .first()
         .copied()
-        .ok_or_else(|| usage_err("metrics needs a subcommand (summarize|trace-export)"))?;
+        .ok_or_else(|| usage_err("metrics needs a subcommand (summarize|trace-export|flight)"))?;
     match sub {
         "summarize" => summarize_cmd(&rest[1..], stdin, out),
         "trace-export" => trace_export_cmd(&rest[1..], stdin, out),
+        "flight" => flight_cmd(&rest[1..], stdin, out),
         other => Err(usage_err(format!(
-            "unknown metrics subcommand {other:?} (expected summarize or trace-export)"
+            "unknown metrics subcommand {other:?} (expected summarize, trace-export or flight)"
         ))),
     }
 }
@@ -68,27 +69,50 @@ fn summarize_cmd(
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     let mut check = false;
-    let mut args: Vec<&str> = Vec::new();
+    // Positionals before any `--group` are each their own run; every
+    // `--group` starts a fresh run collecting the FILEs after it — the
+    // spelled-out form of the comma-joined group syntax, which shells
+    // with glob expansion can actually produce.
+    let mut runs: Vec<String> = Vec::new();
+    let mut group: Option<Vec<&str>> = None;
     for a in rest {
         match *a {
             "--check" => check = true,
+            "--group" => {
+                if let Some(files) = group.replace(Vec::new()) {
+                    if files.is_empty() {
+                        return Err(usage_err("--group needs at least one FILE after it"));
+                    }
+                    runs.push(files.join(","));
+                }
+            }
             // "-" is stdin, not a flag.
             flag if flag.starts_with('-') && flag != "-" => {
                 return Err(usage_err(format!(
-                    "metrics summarize does not take {flag} (accepted: --check)"
+                    "metrics summarize does not take {flag} (accepted: --check --group)"
                 )));
             }
-            file => args.push(file),
+            file => match &mut group {
+                Some(files) => files.push(file),
+                None => runs.push(file.to_string()),
+            },
         }
     }
-    if args.is_empty() {
+    if let Some(files) = group.take() {
+        if files.is_empty() {
+            return Err(usage_err("--group needs at least one FILE after it"));
+        }
+        runs.push(files.join(","));
+    }
+    if runs.is_empty() {
         return Err(usage_err("metrics summarize needs at least one FILE"));
     }
     let mut piped = StdinLog::new(stdin);
     if check {
-        check_runs(&args, &mut piped, out)
+        let refs: Vec<&str> = runs.iter().map(String::as_str).collect();
+        check_runs(&refs, &mut piped, out)
     } else {
-        let summary = fold_group(&args.join(","), &mut piped)?;
+        let summary = fold_group(&runs.join(","), &mut piped)?;
         let _ = write!(out, "{summary}");
         Ok(())
     }
@@ -170,14 +194,15 @@ fn first_difference(a: &str, b: &str) -> String {
     }
 }
 
-/// `trace-export FILE [--out F]` — one event log (or `-` for stdin) to
-/// Chrome trace-event JSON.
+/// `trace-export FILE... [--out F]` — event logs (or `-` for stdin) to
+/// Chrome trace-event JSON. One FILE keeps the classic single-process
+/// layout; several merge onto one timeline with a named track per log.
 fn trace_export_cmd(
     rest: &[&str],
     stdin: &mut dyn BufRead,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
-    let mut file: Option<&str> = None;
+    let mut files: Vec<&str> = Vec::new();
     let mut out_path: Option<&str> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -194,30 +219,118 @@ fn trace_export_cmd(
                     "metrics trace-export does not take {flag} (accepted: --out)"
                 )));
             }
-            positional if file.is_none() => file = Some(positional),
-            extra => return Err(usage_err(format!("unexpected argument {extra:?}"))),
+            positional => files.push(positional),
         }
     }
-    let file = file.ok_or_else(|| usage_err("metrics trace-export needs one FILE (or -)"))?;
-    let (text, label);
-    if file == "-" {
-        let mut piped = String::new();
-        stdin
-            .read_to_string(&mut piped)
-            .map_err(|e| load_err(format!("cannot read stdin: {e}")))?;
-        (text, label) = (piped, "stdin".to_string());
-    } else {
-        let read = std::fs::read_to_string(file)
-            .map_err(|e| load_err(format!("cannot read {file}: {e}")))?;
-        (text, label) = (read, file.to_string());
+    if files.is_empty() {
+        return Err(usage_err(
+            "metrics trace-export needs at least one FILE (or -)",
+        ));
     }
-    let json = rtl_obs::trace_from_text(&text, &label).map_err(load_err)?;
+    let mut read_one = |file: &str| -> Result<(String, String), CliError> {
+        if file == "-" {
+            let mut piped = String::new();
+            stdin
+                .read_to_string(&mut piped)
+                .map_err(|e| load_err(format!("cannot read stdin: {e}")))?;
+            Ok(("stdin".to_string(), piped))
+        } else {
+            let read = std::fs::read_to_string(file)
+                .map_err(|e| load_err(format!("cannot read {file}: {e}")))?;
+            Ok((file.to_string(), read))
+        }
+    };
+    let json = if files.len() == 1 {
+        let (label, text) = read_one(files[0])?;
+        rtl_obs::trace_from_text(&text, &label).map_err(load_err)?
+    } else {
+        if files.iter().filter(|f| **f == "-").count() > 1 {
+            return Err(usage_err("`-` may appear at most once among the FILEs"));
+        }
+        let mut sources = Vec::new();
+        for file in files {
+            sources.push(read_one(file)?);
+        }
+        rtl_obs::trace_from_sources(&sources).map_err(load_err)?
+    };
     match out_path {
         Some(path) => {
             std::fs::write(path, json).map_err(|e| load_err(format!("cannot write {path}: {e}")))?
         }
         None => {
             let _ = out.write_all(json.as_bytes());
+        }
+    }
+    Ok(())
+}
+
+/// `flight FILE` — pretty-prints a `case-N.flight.jsonl` divergence
+/// flight-recorder sidecar: the ring buffer of events leading up to the
+/// trigger, then the trigger itself.
+fn flight_cmd(rest: &[&str], stdin: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut file: Option<&str> = None;
+    for a in rest {
+        match *a {
+            flag if flag.starts_with('-') && flag != "-" => {
+                return Err(usage_err(format!("metrics flight does not take {flag}")));
+            }
+            positional if file.is_none() => file = Some(positional),
+            extra => return Err(usage_err(format!("unexpected argument {extra:?}"))),
+        }
+    }
+    let file = file.ok_or_else(|| usage_err("metrics flight needs one FILE (or -)"))?;
+    let text = if file == "-" {
+        let mut piped = String::new();
+        stdin
+            .read_to_string(&mut piped)
+            .map_err(|e| load_err(format!("cannot read stdin: {e}")))?;
+        piped
+    } else {
+        std::fs::read_to_string(file).map_err(|e| load_err(format!("cannot read {file}: {e}")))?
+    };
+    let mut events = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        events.push(Event::parse(line).map_err(|e| load_err(format!("{file}: {e}")))?);
+    }
+    let recorded = events
+        .iter()
+        .filter(|e| !matches!(e, Event::Meta { .. }))
+        .count();
+    if recorded == 0 {
+        return Err(load_err(format!("{file}: no events in the flight log")));
+    }
+    let _ = writeln!(out, "flight recorder: {recorded} event(s)");
+    for event in events {
+        match event {
+            Event::Meta { .. } => {}
+            Event::Counter { src, key, n } => {
+                let _ = writeln!(out, "  counter {src}/{key} +{n}");
+            }
+            Event::Gauge { src, key, value } => {
+                let _ = writeln!(out, "  gauge   {src}/{key} = {value}");
+            }
+            Event::Mark { src, key, detail } if src == "flight" && key == "trigger" => {
+                let _ = writeln!(out, "trigger: {}", detail.unwrap_or_default());
+            }
+            Event::Mark { src, key, detail } => match detail {
+                Some(detail) => {
+                    let _ = writeln!(out, "  mark    {src}/{key}: {detail}");
+                }
+                None => {
+                    let _ = writeln!(out, "  mark    {src}/{key}");
+                }
+            },
+            Event::SpanEnter { src, key, id } => {
+                let _ = writeln!(out, "  span    {src}/{key} #{id} enter");
+            }
+            Event::SpanExit {
+                src,
+                key,
+                id,
+                micros,
+            } => {
+                let _ = writeln!(out, "  span    {src}/{key} #{id} exit ({micros}us)");
+            }
         }
     }
     Ok(())
@@ -341,6 +454,92 @@ mod tests {
     }
 
     #[test]
+    fn group_flag_equals_comma_syntax() {
+        let a = write_log("group-a", |r| r.count("campaign", "cases_executed", 3));
+        let b = write_log("group-b", |r| r.count("campaign", "cases_executed", 4));
+        let c = write_log("group-c", |r| r.count("campaign", "cases_executed", 7));
+        let (a_str, b_str, c_str) = (
+            a.display().to_string(),
+            b.display().to_string(),
+            c.display().to_string(),
+        );
+
+        // `--group a b` is one folded run, same as the comma syntax —
+        // but without comma-in-filename ambiguity.
+        let comma = format!("{a_str},{b_str}");
+        let (result, comma_out) = run(&["summarize", "--check", &comma, &c_str]);
+        assert!(result.is_ok(), "{comma_out}");
+        let (result, group_out) = run(&[
+            "summarize",
+            "--check",
+            "--group",
+            &a_str,
+            &b_str,
+            "--group",
+            &c_str,
+        ]);
+        assert!(result.is_ok(), "{group_out}");
+        assert_eq!(comma_out, group_out, "the two spellings fold identically");
+
+        // Plain summarize accepts --group too.
+        let (result, out) = run(&["summarize", "--group", &a_str, &b_str]);
+        assert!(result.is_ok(), "{out}");
+        assert!(out.contains("campaign/cases_executed 7"), "{out}");
+
+        // A group that folds to a different total still fails the check.
+        let (result, _) = run(&["summarize", "--check", "--group", &a_str, "--group", &c_str]);
+        assert_eq!(result, Err(3));
+        for p in [a, b, c] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn trace_export_merges_sources_onto_labelled_tracks() {
+        let w1 = write_log("trace-w1", |r| {
+            drop(r.span("campaign", "case"));
+            r.mark("fleet", "lease", None);
+        });
+        let w2 = write_log("trace-w2", |r| drop(r.span("campaign", "case")));
+        let (w1_str, w2_str) = (w1.display().to_string(), w2.display().to_string());
+        let (result, out) = run(&["trace-export", &w1_str, &w2_str]);
+        assert!(result.is_ok(), "{out}");
+        // One Chrome trace, one named process track per source file.
+        assert!(out.starts_with("{\"traceEvents\":["), "{out}");
+        assert!(out.contains("process_name"), "{out}");
+        assert!(out.contains(&w1_str) && out.contains(&w2_str), "{out}");
+        let (result, again) = run(&["trace-export", &w1_str, &w2_str]);
+        assert!(result.is_ok());
+        assert_eq!(out, again, "merged trace is deterministic");
+        let _ = std::fs::remove_file(w1);
+        let _ = std::fs::remove_file(w2);
+    }
+
+    #[test]
+    fn flight_pretty_prints_a_sidecar() {
+        let text = memory_log(|r| {
+            r.count("vm", "steps", 5);
+            r.mark(
+                "flight",
+                "trigger",
+                Some("case 3 (seed 9): diverged at cycle 40 (reg r2)"),
+            );
+        });
+        let (result, out) = run_stdin(&["flight", "-"], &text);
+        assert!(result.is_ok(), "{out}");
+        assert!(out.contains("flight recorder: 2 event(s)"), "{out}");
+        assert!(out.contains("counter vm/steps +5"), "{out}");
+        assert!(
+            out.contains("trigger: case 3 (seed 9): diverged at cycle 40 (reg r2)"),
+            "{out}"
+        );
+
+        // An empty log is an error, not a silent no-op.
+        let (result, _) = run_stdin(&["flight", "-"], "");
+        assert_eq!(result, Err(2));
+    }
+
+    #[test]
     fn usage_errors() {
         assert_eq!(run(&[]).0, Err(1));
         assert_eq!(run(&["summarize"]).0, Err(1));
@@ -348,8 +547,16 @@ mod tests {
         assert_eq!(run(&["summarize", "--bogus", "x"]).0, Err(1));
         assert_eq!(run(&["frobnicate", "x"]).0, Err(1));
         assert_eq!(run(&["trace-export"]).0, Err(1));
-        assert_eq!(run(&["trace-export", "a", "b"]).0, Err(1));
+        // Two FILEs is a multi-source export now; the missing files are
+        // load errors, not a usage error.
+        assert_eq!(run(&["trace-export", "a", "b"]).0, Err(2));
         assert_eq!(run(&["trace-export", "a", "--bogus"]).0, Err(1));
+        assert_eq!(run(&["trace-export", "-", "-"]).0, Err(1));
+        assert_eq!(run(&["summarize", "--group"]).0, Err(1));
+        assert_eq!(run(&["summarize", "a.jsonl", "--group"]).0, Err(1));
+        assert_eq!(run(&["flight"]).0, Err(1));
+        assert_eq!(run(&["flight", "a", "b"]).0, Err(1));
+        assert_eq!(run(&["flight", "--bogus", "a"]).0, Err(1));
     }
 
     #[test]

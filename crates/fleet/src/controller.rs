@@ -22,11 +22,12 @@
 
 use crate::error::FleetError;
 use crate::protocol::{CorpusFiles, Framed, Message, Poll, Refusal, PROTOCOL};
-use rtl_campaign::state::write_atomic;
+use rtl_campaign::json::Json;
+use rtl_campaign::state::{write_atomic, CaseStatus};
 use rtl_campaign::{
     corpus, CampaignConfig, CampaignDir, CampaignError, CampaignReport, CaseRecord,
 };
-use rtl_obs::Recorder;
+use rtl_obs::{Event, Histogram, Recorder};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -53,6 +54,10 @@ pub struct ControllerOptions {
     /// Collect per-case execution profiles (workers run with profiling
     /// and upload the sidecars).
     pub profile: bool,
+    /// Arm the divergence flight recorder fleet-wide (workers run with
+    /// the ring buffer armed and upload `case-N.flight.jsonl` sidecars
+    /// for every non-agreeing case).
+    pub flight: bool,
     /// Telemetry tap (disabled by default). Deterministic fleet counters:
     /// `fleet/leases_granted`, `fleet/cases_dispatched`,
     /// `fleet/records_accepted`, `fleet/corpus_accepted`.
@@ -73,6 +78,7 @@ impl Default for ControllerOptions {
             deadline: Duration::from_secs(30),
             limit: None,
             profile: false,
+            flight: false,
             recorder: Recorder::disabled(),
             wait_ms: 200,
             grace: Duration::from_secs(2),
@@ -90,6 +96,10 @@ pub trait FleetProgress {
     fn worker_left(&mut self, _worker: &str) {}
     /// A lease passed its deadline and went back into the pool.
     fn lease_expired(&mut self, _worker: &str, _start: u32, _end: u32) {}
+    /// The campaign drained; wall-clock shape of the run, for the final
+    /// summary: heartbeat-age and lease-duration histograms (both in
+    /// microseconds).
+    fn fleet_summary(&mut self, _heartbeats: &Histogram, _leases: &Histogram) {}
 }
 
 /// Ignores fleet progress.
@@ -112,12 +122,34 @@ struct Lease {
     /// Cases in the lease still without a record.
     outstanding: BTreeSet<u32>,
     deadline: Instant,
+    granted_at: Instant,
 }
 
 /// One registered worker.
 struct WorkerInfo {
     last_seen: Instant,
     cases: u32,
+}
+
+/// What an authenticated connection is allowed to do.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// A full worker: leases, uploads, telemetry.
+    Worker,
+    /// A read-only observer: status requests only. Status peers skip
+    /// the duplicate-name check and never register in the worker table,
+    /// so any number may watch without perturbing dispatch.
+    Status,
+}
+
+/// An authenticated peer (the handshake succeeded).
+struct Peer {
+    name: String,
+    role: Role,
+    /// Remaps this peer's stream-local span ids into the controller's
+    /// metrics log — ids from different workers would otherwise collide
+    /// in the merged stream.
+    spans: BTreeMap<u64, u64>,
 }
 
 /// What the frame handler wants done with the connection.
@@ -144,13 +176,20 @@ struct State {
     new_corpus: BTreeSet<String>,
     dispatched: u64,
     stage: PathBuf,
+    started: Instant,
+    /// Records already on disk when serving began — subtracted out of
+    /// the ETA rate so a resumed campaign doesn't project from work it
+    /// never performed.
+    done_at_start: u32,
+    heartbeat_hist: Histogram,
+    lease_hist: Histogram,
 }
 
 /// One accepted connection.
 struct Conn {
     framed: Framed,
-    /// The registered worker name, once the handshake succeeded.
-    worker: Option<String>,
+    /// The authenticated peer, once the handshake succeeded.
+    peer: Option<Peer>,
 }
 
 impl Controller {
@@ -224,6 +263,7 @@ impl Controller {
             .filter(|(_, r)| r.is_none())
             .map(|(i, _)| i as u32)
             .collect();
+        let done_at_start = records.iter().flatten().count() as u32;
         let mut state = State {
             dir: dir.clone(),
             config: config.clone(),
@@ -238,6 +278,10 @@ impl Controller {
             stage: dir
                 .root()
                 .join(format!(".fleet-stage-{}", std::process::id())),
+            started,
+            done_at_start,
+            heartbeat_hist: Histogram::new(),
+            lease_hist: Histogram::new(),
         };
 
         let mut conns: Vec<Conn> = Vec::new();
@@ -275,7 +319,7 @@ impl Controller {
                         }
                         Ok(Poll::Frame(line)) => {
                             let reply = match crate::protocol::decode(&line) {
-                                Ok(msg) => state.handle(&mut conn.worker, msg, progress),
+                                Ok(msg) => state.handle(&mut conn.peer, msg, progress),
                                 Err(e) => Reply::Refuse(
                                     Refusal::BadFrame,
                                     format!("undecodable frame: {e}"),
@@ -305,8 +349,10 @@ impl Controller {
             }
             for i in closed.into_iter().rev() {
                 let conn = conns.swap_remove(i);
-                if let Some(name) = conn.worker {
-                    state.drop_worker(&name, progress);
+                if let Some(peer) = conn.peer {
+                    if peer.role == Role::Worker {
+                        state.drop_worker(&peer.name, progress);
+                    }
                 }
             }
 
@@ -332,6 +378,7 @@ impl Controller {
 
         let _ = std::fs::remove_dir_all(&state.stage);
         options.recorder.flush();
+        progress.fleet_summary(&state.heartbeat_hist, &state.lease_hist);
         Ok(CampaignReport {
             config,
             replay: None,
@@ -342,6 +389,11 @@ impl Controller {
     }
 }
 
+/// Saturating microsecond cast for histogram samples.
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
 /// Configures a freshly accepted stream: short read timeouts so the
 /// event loop never blocks on one peer, and no Nagle delay (frames are
 /// tiny and latency-sensitive).
@@ -350,18 +402,18 @@ fn prepare(stream: TcpStream) -> io::Result<Conn> {
     let _ = stream.set_nodelay(true);
     Ok(Conn {
         framed: Framed::new(stream)?,
-        worker: None,
+        peer: None,
     })
 }
 
 impl State {
     fn handle(
         &mut self,
-        who: &mut Option<String>,
+        who: &mut Option<Peer>,
         msg: Message,
         progress: &mut dyn FleetProgress,
     ) -> Reply {
-        let Some(worker) = who.clone() else {
+        if who.is_none() {
             // The handshake: nothing but hello is meaningful yet.
             return match msg {
                 Message::Hello {
@@ -369,20 +421,46 @@ impl State {
                     token,
                     worker,
                     fingerprint,
-                } => self.handle_hello(who, &protocol, &token, worker, fingerprint, progress),
+                    role,
+                } => self.handle_hello(who, &protocol, &token, worker, fingerprint, role, progress),
                 _ => Reply::Refuse(Refusal::BadFrame, "the first frame must be hello".into()),
             };
-        };
-        self.touch(&worker);
+        }
+        let peer = who.as_mut().expect("peer authenticated above");
+        if peer.role == Role::Worker {
+            // A heartbeat samples the age histogram *before* the refresh:
+            // the measured gap is the distance between liveness signals.
+            if matches!(msg, Message::Heartbeat) {
+                if let Some(info) = self.workers.get(&peer.name) {
+                    self.heartbeat_hist.record(micros(info.last_seen.elapsed()));
+                }
+            }
+            self.touch(&peer.name);
+        }
         match msg {
             Message::Hello { .. } => Reply::Refuse(
                 Refusal::BadFrame,
                 "hello arrived twice on one connection".into(),
             ),
-            Message::LeaseRequest => self.handle_lease_request(&worker),
+            Message::StatusRequest => Reply::Send(Message::Status {
+                body: self.status_document(),
+            }),
+            Message::Bye => Reply::AckAndClose,
+            _ if peer.role == Role::Status => Reply::Refuse(
+                Refusal::BadFrame,
+                "a status connection is read-only: only status-request and bye are accepted".into(),
+            ),
+            Message::LeaseRequest => self.handle_lease_request(&peer.name),
             Message::Heartbeat => Reply::Send(Message::Ack),
-            Message::Record { index, body } => self.handle_record(&worker, index, &body, progress),
+            Message::Record { index, body } => {
+                self.handle_record(&peer.name, index, &body, progress)
+            }
             Message::Profile { index, body } => self.handle_profile(index, &body),
+            Message::Flight { index, body } => self.handle_flight(index, &body),
+            Message::Events { body } => {
+                let name = peer.name.clone();
+                self.handle_events(&name, &mut peer.spans, &body)
+            }
             Message::Corpus {
                 name,
                 fingerprint,
@@ -394,12 +472,12 @@ impl State {
                 }
                 Reply::Send(Message::Ack)
             }
-            Message::Bye => Reply::AckAndClose,
             Message::Welcome { .. }
             | Message::Lease { .. }
             | Message::Wait { .. }
             | Message::Drained
             | Message::Ack
+            | Message::Status { .. }
             | Message::Error { .. } => Reply::Refuse(
                 Refusal::BadFrame,
                 "controller-to-worker frame arrived from a worker".into(),
@@ -408,14 +486,17 @@ impl State {
     }
 
     /// The handshake refusal matrix, checked in its documented order:
-    /// protocol version, token, pinned fingerprint, duplicate name.
+    /// protocol version, token, unknown role, pinned fingerprint,
+    /// duplicate name (the last skipped for read-only status peers).
+    #[allow(clippy::too_many_arguments)]
     fn handle_hello(
         &mut self,
-        who: &mut Option<String>,
+        who: &mut Option<Peer>,
         protocol: &str,
         token: &str,
         worker: String,
         fingerprint: Option<String>,
+        role: Option<String>,
         progress: &mut dyn FleetProgress,
     ) -> Reply {
         if protocol != PROTOCOL {
@@ -430,6 +511,16 @@ impl State {
                 "shared token does not match the controller's".into(),
             );
         }
+        let role = match role.as_deref() {
+            None => Role::Worker,
+            Some("status") => Role::Status,
+            Some(other) => {
+                return Reply::Refuse(
+                    Refusal::BadFrame,
+                    format!("unknown hello role {other:?} (this controller knows \"status\")"),
+                )
+            }
+        };
         let fp = self.config.fingerprint();
         if let Some(pinned) = fingerprint {
             if u64::from_str_radix(&pinned, 16) != Ok(fp) {
@@ -439,31 +530,38 @@ impl State {
                 );
             }
         }
-        if self.workers.contains_key(&worker) {
-            return Reply::Refuse(
-                Refusal::DuplicateWorker,
-                format!("a worker named {worker:?} is already connected"),
+        if role == Role::Worker {
+            if self.workers.contains_key(&worker) {
+                return Reply::Refuse(
+                    Refusal::DuplicateWorker,
+                    format!("a worker named {worker:?} is already connected"),
+                );
+            }
+            self.workers.insert(
+                worker.clone(),
+                WorkerInfo {
+                    last_seen: Instant::now(),
+                    cases: 0,
+                },
             );
+            self.options
+                .recorder
+                .gauge("fleet", "workers_connected", self.workers.len() as u64);
+            self.options
+                .recorder
+                .mark("fleet", "worker_joined", Some(&worker));
+            progress.worker_joined(&worker);
         }
-        self.workers.insert(
-            worker.clone(),
-            WorkerInfo {
-                last_seen: Instant::now(),
-                cases: 0,
-            },
-        );
-        self.options
-            .recorder
-            .gauge("fleet", "workers_connected", self.workers.len() as u64);
-        self.options
-            .recorder
-            .mark("fleet", "worker_joined", Some(&worker));
-        progress.worker_joined(&worker);
-        *who = Some(worker);
+        *who = Some(Peer {
+            name: worker,
+            role,
+            spans: BTreeMap::new(),
+        });
         Reply::Send(Message::Welcome {
             protocol: PROTOCOL.into(),
             fingerprint: format!("{fp:016x}"),
             profile: self.options.profile,
+            flight: self.options.flight,
             config: self.config.clone(),
         })
     }
@@ -507,6 +605,7 @@ impl State {
             end,
             outstanding,
             deadline: Instant::now() + self.options.deadline,
+            granted_at: Instant::now(),
         });
         Reply::Send(Message::Lease {
             start,
@@ -559,7 +658,13 @@ impl State {
         for lease in &mut self.leases {
             lease.outstanding.remove(&index);
         }
-        self.leases.retain(|l| !l.outstanding.is_empty());
+        let (drained, kept): (Vec<Lease>, Vec<Lease>) = std::mem::take(&mut self.leases)
+            .into_iter()
+            .partition(|l| l.outstanding.is_empty());
+        self.leases = kept;
+        for lease in drained {
+            self.lease_hist.record(micros(lease.granted_at.elapsed()));
+        }
         self.options.recorder.count("fleet", "records_accepted", 1);
         if let Some(info) = self.workers.get_mut(worker) {
             info.cases += 1;
@@ -599,6 +704,99 @@ impl State {
             Ok(()) => Reply::Send(Message::Ack),
             Err(e) => Reply::Refuse(Refusal::BadUpload, format!("publication failed: {e}")),
         }
+    }
+
+    fn handle_flight(&mut self, index: u32, body: &str) -> Reply {
+        if !self.options.flight {
+            return Reply::Refuse(
+                Refusal::BadUpload,
+                "this campaign does not arm the flight recorder".into(),
+            );
+        }
+        if index >= self.config.cases {
+            return Reply::Refuse(
+                Refusal::BadUpload,
+                format!(
+                    "case {index} lies outside the campaign's {} case(s)",
+                    self.config.cases
+                ),
+            );
+        }
+        // The sidecar is an `asim2-events v1` excerpt: every line must
+        // decode as an event before anything touches the directory.
+        for line in body.lines().filter(|l| !l.trim().is_empty()) {
+            if let Err(e) = Event::parse(line) {
+                return Reply::Refuse(Refusal::BadUpload, format!("case {index} flight log: {e}"));
+            }
+        }
+        if self.records[index as usize].is_some() {
+            // The record already committed this case; its sidecar (if
+            // any) is already published and deterministic.
+            return Reply::Send(Message::Ack);
+        }
+        // Sidecar-before-record discipline, exactly like profiles.
+        match write_atomic(&self.dir.flight_path(index), body.as_bytes()) {
+            Ok(()) => Reply::Send(Message::Ack),
+            Err(e) => Reply::Refuse(Refusal::BadUpload, format!("publication failed: {e}")),
+        }
+    }
+
+    /// Folds a worker's streamed `asim2-events v1` log into the
+    /// controller's metrics tap. Deterministic counters fold *untagged*
+    /// — the controller-side totals must be byte-identical to a
+    /// single-machine run's, and which worker executed a case is
+    /// wall-clock trivia. Wall-clock events are re-emitted under
+    /// `{worker}/{src}` provenance with span ids remapped into the
+    /// controller's stream.
+    fn handle_events(&mut self, worker: &str, spans: &mut BTreeMap<u64, u64>, body: &str) -> Reply {
+        let mut events = Vec::new();
+        for line in body.lines().filter(|l| !l.trim().is_empty()) {
+            match Event::parse(line) {
+                Ok(event) => events.push(event),
+                Err(e) => return Reply::Refuse(Refusal::BadUpload, format!("events upload: {e}")),
+            }
+        }
+        let recorder = &self.options.recorder;
+        for event in events {
+            match event {
+                Event::Meta { .. } => {}
+                Event::Counter { src, key, n } => recorder.count(&src, &key, n),
+                Event::Gauge { src, key, value } => recorder.forward(&Event::Gauge {
+                    src: format!("{worker}/{src}"),
+                    key,
+                    value,
+                }),
+                Event::Mark { src, key, detail } => recorder.forward(&Event::Mark {
+                    src: format!("{worker}/{src}"),
+                    key,
+                    detail,
+                }),
+                Event::SpanEnter { src, key, id } => {
+                    let mapped = recorder.span_id();
+                    spans.insert(id, mapped);
+                    recorder.forward(&Event::SpanEnter {
+                        src: format!("{worker}/{src}"),
+                        key,
+                        id: mapped,
+                    });
+                }
+                Event::SpanExit {
+                    src,
+                    key,
+                    id,
+                    micros,
+                } => {
+                    let mapped = spans.remove(&id).unwrap_or_else(|| recorder.span_id());
+                    recorder.forward(&Event::SpanExit {
+                        src: format!("{worker}/{src}"),
+                        key,
+                        id: mapped,
+                        micros,
+                    });
+                }
+            }
+        }
+        Reply::Send(Message::Ack)
     }
 
     fn handle_corpus(&mut self, name: &str, claimed: &str, files: &CorpusFiles) -> Reply {
@@ -746,6 +944,82 @@ impl State {
             progress.lease_expired(&lease.worker, lease.start, lease.end);
             self.pending.extend(&lease.outstanding);
         }
+    }
+
+    /// Renders the `asim2-fleet-status v1` document answered to
+    /// `status-request` frames: campaign identity and totals, the
+    /// dispatch picture (outstanding leases with their deadlines), the
+    /// connected workers with heartbeat ages and throughput counts, and
+    /// a straight-line ETA from this serve's own completion rate
+    /// (`null` until at least one case has finished here).
+    fn status_document(&self) -> String {
+        let now = Instant::now();
+        let done = self.records.iter().flatten().count() as u32;
+        let diverged = self
+            .records
+            .iter()
+            .flatten()
+            .filter(|r| matches!(r.status, CaseStatus::Diverged { .. }))
+            .count();
+        let elapsed_ms = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let fresh = u64::from(done.saturating_sub(self.done_at_start));
+        let remaining = u64::from(self.config.cases - done);
+        let eta_ms = if remaining == 0 {
+            Json::num(0)
+        } else if fresh == 0 || elapsed_ms == 0 {
+            Json::Null
+        } else {
+            Json::num(elapsed_ms.saturating_mul(remaining) / fresh)
+        };
+        let leases: Vec<Json> = self
+            .leases
+            .iter()
+            .map(|l| {
+                let deadline_ms = l.deadline.saturating_duration_since(now).as_millis();
+                Json::Obj(vec![
+                    ("worker".into(), Json::str(l.worker.clone())),
+                    ("start".into(), Json::num(l.start)),
+                    ("end".into(), Json::num(l.end)),
+                    ("outstanding".into(), Json::num(l.outstanding.len())),
+                    (
+                        "deadline_ms".into(),
+                        Json::num(u64::try_from(deadline_ms).unwrap_or(u64::MAX)),
+                    ),
+                ])
+            })
+            .collect();
+        let workers: Vec<Json> = self
+            .workers
+            .iter()
+            .map(|(name, info)| {
+                let age_ms = info.last_seen.elapsed().as_millis();
+                Json::Obj(vec![
+                    ("name".into(), Json::str(name.clone())),
+                    (
+                        "heartbeat_age_ms".into(),
+                        Json::num(u64::try_from(age_ms).unwrap_or(u64::MAX)),
+                    ),
+                    ("cases".into(), Json::num(info.cases)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("format".into(), Json::str("asim2-fleet-status v1")),
+            (
+                "fingerprint".into(),
+                Json::str(format!("{:016x}", self.config.fingerprint())),
+            ),
+            ("cases".into(), Json::num(self.config.cases)),
+            ("done".into(), Json::num(done)),
+            ("pending".into(), Json::num(self.pending.len())),
+            ("dispatched".into(), Json::num(self.dispatched)),
+            ("diverged".into(), Json::num(diverged)),
+            ("elapsed_ms".into(), Json::num(elapsed_ms)),
+            ("eta_ms".into(), eta_ms),
+            ("leases".into(), Json::Arr(leases)),
+            ("workers".into(), Json::Arr(workers)),
+        ])
+        .render()
     }
 
     fn emit_gauges(&self) {

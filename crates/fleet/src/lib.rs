@@ -30,7 +30,13 @@
 //!   entries / metrics deltas into the standard campaign layout.
 //! - [`worker`] — [`work`]: wraps the `rtl-campaign` pool
 //!   via `RunOptions.case_range` in a local scratch directory, then
-//!   uploads every artifact byte-verbatim.
+//!   uploads every artifact byte-verbatim — case records, profile and
+//!   flight-recorder sidecars, corpus entries, and its full local
+//!   telemetry log (`events` frames the controller folds into one
+//!   campaign-wide metrics stream).
+//! - [`status`] — [`StatusClient`]: a read-only `role: "status"`
+//!   handshake and the `asim2-fleet-status v1` live status document,
+//!   for watching a campaign without joining it.
 //!
 //! Work-stealing falls out of the lease loop: a fast worker simply asks
 //! again sooner, and a dead worker's lease expires back into the pool.
@@ -41,9 +47,11 @@
 pub mod controller;
 pub mod error;
 pub mod protocol;
+pub mod status;
 pub mod worker;
 
 pub use controller::{Controller, ControllerOptions, FleetProgress, NoFleetProgress};
 pub use error::FleetError;
 pub use protocol::{Message, Refusal, MAX_FRAME, PROTOCOL};
+pub use status::{StatusClient, STATUS_FORMAT};
 pub use worker::{work, WorkerOptions, WorkerReport};

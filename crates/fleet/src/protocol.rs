@@ -120,6 +120,11 @@ pub enum Message {
         /// An optionally pinned campaign-manifest fingerprint (hex); the
         /// controller refuses with `fingerprint-drift` when it differs.
         fingerprint: Option<String>,
+        /// The peer's requested role. Absent means a full worker (the
+        /// field is omitted from the frame, keeping pre-role handshakes
+        /// byte-identical); `"status"` requests the read-only live-query
+        /// surface. An unknown role is refused with `bad-frame`.
+        role: Option<String>,
     },
     /// Controller → worker: handshake accepted; carries the campaign.
     Welcome {
@@ -129,6 +134,9 @@ pub enum Message {
         fingerprint: String,
         /// Whether workers must collect per-case execution profiles.
         profile: bool,
+        /// Whether workers must arm the divergence flight recorder and
+        /// upload `case-N.flight.jsonl` sidecars.
+        flight: bool,
         /// The full campaign configuration; the worker recomputes the
         /// fingerprint from it and refuses a mismatch.
         config: CampaignConfig,
@@ -187,6 +195,31 @@ pub enum Message {
         /// The deltas, in log order.
         counters: Vec<CounterDelta>,
     },
+    /// Worker → controller: the lease's complete local `asim2-events v1`
+    /// log, streamed verbatim. The controller folds the deterministic
+    /// counters into its own log untagged (totals stay byte-identical to
+    /// a single-machine run) and re-emits the wall-clock events with
+    /// worker provenance. Supersedes [`Message::Metrics`], which only
+    /// carried the counters.
+    Events {
+        /// The event log's exact text (meta header included).
+        body: String,
+    },
+    /// Worker → controller: one flight-recorder sidecar, byte-verbatim
+    /// (sent *before* its case record, like [`Message::Profile`]).
+    Flight {
+        /// Global case index.
+        index: u32,
+        /// The sidecar file's exact text.
+        body: String,
+    },
+    /// Status client → controller: one live-status query.
+    StatusRequest,
+    /// Controller → status client: the versioned status document.
+    Status {
+        /// The `asim2-fleet-status v1` JSON document text.
+        body: String,
+    },
     /// Controller → worker: the previous frame was accepted.
     Ack,
     /// Worker → controller: clean goodbye.
@@ -216,6 +249,10 @@ impl Message {
             Message::Profile { .. } => "profile",
             Message::Corpus { .. } => "corpus",
             Message::Metrics { .. } => "metrics",
+            Message::Events { .. } => "events",
+            Message::Flight { .. } => "flight",
+            Message::StatusRequest => "status-request",
+            Message::Status { .. } => "status",
             Message::Ack => "ack",
             Message::Bye => "bye",
             Message::Error { .. } => "error",
@@ -231,6 +268,7 @@ impl Message {
                 token,
                 worker,
                 fingerprint,
+                role,
             } => {
                 pairs.push(("protocol".into(), Json::str(protocol)));
                 pairs.push(("token".into(), Json::str(token)));
@@ -238,16 +276,21 @@ impl Message {
                 if let Some(fp) = fingerprint {
                     pairs.push(("fingerprint".into(), Json::str(fp)));
                 }
+                if let Some(role) = role {
+                    pairs.push(("role".into(), Json::str(role)));
+                }
             }
             Message::Welcome {
                 protocol,
                 fingerprint,
                 profile,
+                flight,
                 config,
             } => {
                 pairs.push(("protocol".into(), Json::str(protocol)));
                 pairs.push(("fingerprint".into(), Json::str(fingerprint)));
                 pairs.push(("profile".into(), Json::Bool(*profile)));
+                pairs.push(("flight".into(), Json::Bool(*flight)));
                 pairs.push(("config".into(), config.to_json()));
             }
             Message::Lease {
@@ -260,8 +303,13 @@ impl Message {
                 pairs.push(("deadline_ms".into(), Json::num(deadline_ms)));
             }
             Message::Wait { ms } => pairs.push(("ms".into(), Json::num(ms))),
-            Message::Record { index, body } | Message::Profile { index, body } => {
+            Message::Record { index, body }
+            | Message::Profile { index, body }
+            | Message::Flight { index, body } => {
                 pairs.push(("index".into(), Json::num(index)));
+                pairs.push(("body".into(), Json::str(body)));
+            }
+            Message::Events { body } | Message::Status { body } => {
                 pairs.push(("body".into(), Json::str(body)));
             }
             Message::Corpus {
@@ -300,6 +348,7 @@ impl Message {
             Message::LeaseRequest
             | Message::Drained
             | Message::Heartbeat
+            | Message::StatusRequest
             | Message::Ack
             | Message::Bye => {}
         }
@@ -336,6 +385,11 @@ impl Message {
                     None => None,
                     Some(_) => return Err("field \"fingerprint\" is not a string".into()),
                 },
+                role: match doc.get("role") {
+                    Some(Json::Str(role)) => Some(role.clone()),
+                    None => None,
+                    Some(_) => return Err("field \"role\" is not a string".into()),
+                },
             },
             "welcome" => Message::Welcome {
                 protocol: text("protocol")?,
@@ -344,6 +398,10 @@ impl Message {
                     .get("profile")
                     .and_then(Json::as_bool)
                     .ok_or("missing boolean field \"profile\"")?,
+                flight: doc
+                    .get("flight")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing boolean field \"flight\"")?,
                 config: CampaignConfig::from_json(
                     doc.get("config").ok_or("missing field \"config\"")?,
                 )?,
@@ -403,6 +461,17 @@ impl Message {
                     .map_err(str::to_string)?;
                 Message::Metrics { counters }
             }
+            "events" => Message::Events {
+                body: text("body")?,
+            },
+            "flight" => Message::Flight {
+                index: index("index")?,
+                body: text("body")?,
+            },
+            "status-request" => Message::StatusRequest,
+            "status" => Message::Status {
+                body: text("body")?,
+            },
             "ack" => Message::Ack,
             "bye" => Message::Bye,
             "error" => Message::Error {
@@ -624,17 +693,20 @@ mod tests {
                 token: "secret".into(),
                 worker: "w1".into(),
                 fingerprint: None,
+                role: None,
             },
             Message::Hello {
                 protocol: PROTOCOL.into(),
                 token: "secret".into(),
                 worker: "w2".into(),
                 fingerprint: Some("00ff00ff00ff00ff".into()),
+                role: Some("status".into()),
             },
             Message::Welcome {
                 protocol: PROTOCOL.into(),
                 fingerprint: "0123456789abcdef".into(),
                 profile: true,
+                flight: true,
                 config: CampaignConfig::default(),
             },
             Message::LeaseRequest,
@@ -671,6 +743,17 @@ mod tests {
                     n: 8,
                 }],
             },
+            Message::Events {
+                body: "{\"v\":1,\"e\":\"meta\",\"format\":\"asim2-events v1\"}\n".into(),
+            },
+            Message::Flight {
+                index: 5,
+                body: "{\"v\":1,\"e\":\"meta\",\"format\":\"asim2-events v1\"}\n".into(),
+            },
+            Message::StatusRequest,
+            Message::Status {
+                body: "{\n  \"format\": \"asim2-fleet-status v1\"\n}\n".into(),
+            },
             Message::Ack,
             Message::Bye,
             Message::Error {
@@ -687,6 +770,33 @@ mod tests {
 
     #[test]
     fn frames_are_byte_stable() {
+        // A role-less hello must stay byte-identical to the pre-role
+        // protocol: the optional field is omitted, not null.
+        assert_eq!(
+            encode(&Message::Hello {
+                protocol: PROTOCOL.into(),
+                token: "t".into(),
+                worker: "w".into(),
+                fingerprint: None,
+                role: None,
+            }),
+            "{\"type\":\"hello\",\"protocol\":\"asim2-fleet v1\",\"token\":\"t\",\"worker\":\"w\"}"
+        );
+        assert_eq!(
+            encode(&Message::Hello {
+                protocol: PROTOCOL.into(),
+                token: "t".into(),
+                worker: "watcher".into(),
+                fingerprint: None,
+                role: Some("status".into()),
+            }),
+            "{\"type\":\"hello\",\"protocol\":\"asim2-fleet v1\",\"token\":\"t\",\
+             \"worker\":\"watcher\",\"role\":\"status\"}"
+        );
+        assert_eq!(
+            encode(&Message::StatusRequest),
+            "{\"type\":\"status-request\"}"
+        );
         assert_eq!(
             encode(&Message::LeaseRequest),
             "{\"type\":\"lease-request\"}"

@@ -1,0 +1,106 @@
+//! A read-only client for watching a live fleet.
+//!
+//! A status client completes the same `asim2-fleet v1` handshake as a
+//! worker, but with `role: "status"` — it passes the protocol, token,
+//! and fingerprint checks, skips the duplicate-name check, and never
+//! registers in the controller's worker table, so any number of
+//! watchers may poll a campaign without perturbing dispatch. The only
+//! frames a status connection may send afterwards are `status-request`
+//! and `bye`; everything else is refused.
+//!
+//! The answer to each request is an `asim2-fleet-status v1` JSON
+//! document (see [`crate::controller`]): campaign identity and totals,
+//! outstanding leases with deadlines, connected workers with heartbeat
+//! ages and throughput, the divergence tally, and a straight-line ETA.
+
+use crate::error::FleetError;
+use crate::protocol::{decode, Framed, Message, Poll, PROTOCOL};
+use std::net::TcpStream;
+
+/// The status document format identifier.
+pub const STATUS_FORMAT: &str = "asim2-fleet-status v1";
+
+/// A connected read-only status peer.
+pub struct StatusClient {
+    framed: Framed,
+}
+
+impl StatusClient {
+    /// Connects to a controller and completes the read-only handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection failure, a handshake refusal ([`FleetError::Refused`]
+    /// with the controller's named reason), or a protocol violation.
+    pub fn connect(addr: &str, token: &str) -> Result<StatusClient, FleetError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut framed = Framed::new(stream)?;
+        let hello = Message::Hello {
+            protocol: PROTOCOL.into(),
+            token: token.into(),
+            worker: "status".into(),
+            fingerprint: None,
+            role: Some("status".into()),
+        };
+        match framed.call(&hello)? {
+            Message::Welcome { .. } => Ok(StatusClient { framed }),
+            Message::Error { reason, detail } => Err(FleetError::Refused { reason, detail }),
+            other => Err(FleetError::Protocol(format!(
+                "handshake answered with {:?}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Fetches one status document. Returns `Ok(None)` when the
+    /// controller has gone away (the campaign drained and the serve
+    /// returned) — the clean end of a watch loop, not an error.
+    ///
+    /// # Errors
+    ///
+    /// A refusal, a protocol violation, or stream failure other than a
+    /// clean close.
+    pub fn fetch(&mut self) -> Result<Option<String>, FleetError> {
+        if let Err(e) = self.framed.send(&Message::StatusRequest) {
+            return if closed(&e) {
+                Ok(None)
+            } else {
+                Err(FleetError::Io(e))
+            };
+        }
+        loop {
+            match self.framed.poll() {
+                Ok(Poll::Frame(line)) => {
+                    let msg = decode(&line)
+                        .map_err(|e| FleetError::Protocol(format!("bad frame: {e}")))?;
+                    return match msg {
+                        Message::Status { body } => Ok(Some(body)),
+                        Message::Error { reason, detail } => {
+                            Err(FleetError::Refused { reason, detail })
+                        }
+                        other => Err(FleetError::Protocol(format!(
+                            "status request answered with {:?}",
+                            other.kind()
+                        ))),
+                    };
+                }
+                Ok(Poll::Pending) => continue,
+                Ok(Poll::Eof) => return Ok(None),
+                Err(e) if closed(&e) => return Ok(None),
+                Err(e) => return Err(FleetError::Io(e)),
+            }
+        }
+    }
+}
+
+/// Whether a stream error means the peer is simply gone.
+fn closed(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}

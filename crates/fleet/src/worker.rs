@@ -16,9 +16,7 @@ use crate::protocol::{CorpusFiles, Framed, Message, PROTOCOL};
 use rtl_campaign::json::Json;
 use rtl_campaign::state::CaseStatus;
 use rtl_campaign::{CampaignDir, CampaignError, CaseRecord, Progress, RunOptions};
-use rtl_obs::{Event, Recorder};
-use std::collections::BTreeMap;
-use std::collections::BTreeSet;
+use rtl_obs::Recorder;
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -132,11 +130,13 @@ pub fn work(addr: &str, options: &WorkerOptions) -> Result<WorkerReport, FleetEr
         token: options.token.clone(),
         worker: options.name.clone(),
         fingerprint: options.pin.map(|fp| format!("{fp:016x}")),
+        role: None,
     };
-    let (config, profile, fingerprint) = match framed.call(&hello)? {
+    let (config, profile, flight, fingerprint) = match framed.call(&hello)? {
         Message::Welcome {
             fingerprint,
             profile,
+            flight,
             config,
             ..
         } => {
@@ -146,7 +146,7 @@ pub fn work(addr: &str, options: &WorkerOptions) -> Result<WorkerReport, FleetEr
                     "controller's fingerprint does not match its own configuration".into(),
                 ));
             }
-            (config, profile, fp)
+            (config, profile, flight, fp)
         }
         Message::Error { reason, detail } => return Err(FleetError::Refused { reason, detail }),
         other => {
@@ -192,6 +192,7 @@ pub fn work(addr: &str, options: &WorkerOptions) -> Result<WorkerReport, FleetEr
                     &dir,
                     options,
                     profile,
+                    flight,
                     start,
                     end,
                     &mut uploads,
@@ -225,14 +226,15 @@ fn run_lease(
     dir: &CampaignDir,
     options: &WorkerOptions,
     profile: bool,
+    flight: bool,
     start: u32,
     end: u32,
     uploads: &mut u32,
     report: &mut WorkerReport,
 ) -> Result<(), FleetError> {
-    // A fresh in-memory recorder per lease: its deterministic counters
-    // are this lease's deltas, forwarded to the controller afterwards so
-    // the controller-side fold equals a single-machine run's.
+    // A fresh in-memory recorder per lease: its full event log is this
+    // lease's telemetry, streamed to the controller afterwards so the
+    // controller-side counter fold equals a single-machine run's.
     let (recorder, log) = Recorder::memory();
     let run = RunOptions {
         workers: options.threads.max(1),
@@ -241,6 +243,7 @@ fn run_lease(
         case_range: Some(start..end),
         recorder: recorder.clone(),
         profile,
+        flight,
     };
     let mut hb = HeartbeatProgress {
         framed,
@@ -263,6 +266,27 @@ fn run_lease(
                 .map_err(|e| FleetError::Campaign(CampaignError::Io(e)))?;
             expect_ack(framed, &Message::Profile { index, body }, "profile upload")?;
         }
+        // The flight sidecar exists exactly when the case did not agree
+        // — deterministically, so its presence needs no bookkeeping.
+        if flight && dir.flight_path(index).exists() {
+            let body = std::fs::read_to_string(dir.flight_path(index))
+                .map_err(|e| FleetError::Campaign(CampaignError::Io(e)))?;
+            expect_ack(framed, &Message::Flight { index, body }, "flight upload")?;
+        }
+        // A divergence's shrunk corpus entry goes before the record as
+        // well: the record is the commit point, so a worker killed
+        // between the two must not leave an accepted record whose
+        // corpus entry was never published. The controller dedups
+        // entries idempotently by scenario fingerprint, across workers.
+        if let Some(Some(record)) = lease_report.records.get(index as usize) {
+            if let CaseStatus::Diverged { corpus, .. } = &record.status {
+                report.diverged += 1;
+                if let Some(name) = corpus {
+                    let msg = corpus_message(dir, name)?;
+                    expect_ack(framed, &msg, "corpus upload")?;
+                }
+            }
+        }
         let body = std::fs::read_to_string(dir.case_path(index))
             .map_err(|e| FleetError::Campaign(CampaignError::Io(e)))?;
         expect_ack(framed, &Message::Record { index, body }, "record upload")?;
@@ -273,31 +297,13 @@ fn run_lease(
         }
     }
 
-    // Shrunk corpus entries for the lease's divergences, deduplicated by
-    // name locally (the controller dedups again by scenario
-    // fingerprint, across workers).
-    let mut names: BTreeSet<String> = BTreeSet::new();
-    for record in lease_report.records[start as usize..end as usize]
-        .iter()
-        .flatten()
-    {
-        if let CaseStatus::Diverged { corpus, .. } = &record.status {
-            report.diverged += 1;
-            if let Some(name) = corpus {
-                names.insert(name.clone());
-            }
-        }
-    }
-    for name in names {
-        let msg = corpus_message(dir, &name)?;
-        expect_ack(framed, &msg, "corpus upload")?;
-    }
-
-    // Deterministic counter deltas from the lease's local event log.
-    let counters = fold_counters(&log.text())
-        .map_err(|e| FleetError::Protocol(format!("local event log: {e}")))?;
-    if !counters.is_empty() {
-        expect_ack(framed, &Message::Metrics { counters }, "metrics upload")?;
+    // The lease's full local event log, streamed to the controller:
+    // deterministic counters fold into the campaign-wide metrics log
+    // untagged, wall-clock events are re-emitted under this worker's
+    // provenance.
+    let body = log.text();
+    if !body.trim().is_empty() {
+        expect_ack(framed, &Message::Events { body }, "events upload")?;
     }
     Ok(())
 }
@@ -332,20 +338,6 @@ fn corpus_message(dir: &CampaignDir, name: &str) -> Result<Message, FleetError> 
         fingerprint,
         files,
     })
-}
-
-/// Sums the deterministic counter deltas out of an `asim2-events v1` log.
-fn fold_counters(text: &str) -> Result<Vec<crate::protocol::CounterDelta>, String> {
-    let mut totals: BTreeMap<(String, String), u64> = BTreeMap::new();
-    for line in text.lines().filter(|l| !l.trim().is_empty()) {
-        if let Event::Counter { src, key, n } = Event::parse(line)? {
-            *totals.entry((src, key)).or_insert(0) += n;
-        }
-    }
-    Ok(totals
-        .into_iter()
-        .map(|((src, key), n)| crate::protocol::CounterDelta { src, key, n })
-        .collect())
 }
 
 fn expect_ack(framed: &mut Framed, msg: &Message, what: &str) -> Result<(), FleetError> {

@@ -311,6 +311,138 @@ fn fleet_counters_are_deterministic_across_worker_counts_and_restart() {
     assert_eq!(restarted, one_worker, "restart leaked into counters");
 }
 
+/// The streamed deterministic counter section — workers forwarding
+/// their telemetry to the controller — is byte-identical to a
+/// single-machine `campaign run` with a recorder attached, once the
+/// controller's own `fleet/*` counters (which have no single-machine
+/// analogue) are set aside.
+#[test]
+fn streamed_fleet_counters_match_single_machine() {
+    let mut config = small_config(&["interp", "vm-fault"], 6);
+    config.generator.cycles = 48; // run past the fault lane's corruption
+
+    let (fleet_section, _) = run_fleet_with_metrics("vs-single", &config, 2);
+    let stripped: String = fleet_section
+        .lines()
+        .filter(|line| !line.starts_with("  fleet/"))
+        .map(|line| format!("{line}\n"))
+        .collect();
+    assert_ne!(
+        stripped, fleet_section,
+        "the fleet log must carry fleet/* counters"
+    );
+
+    let (recorder, log) = Recorder::memory();
+    let single_root = scratch("vs-single-machine");
+    let single = rtl_campaign::run(
+        &CampaignDir::new(&single_root),
+        &config,
+        &RunOptions {
+            recorder,
+            ..RunOptions::default()
+        },
+        &mut NoProgress,
+    )
+    .unwrap();
+    assert!(single.diverged() > 0, "fault lane must diverge: {single}");
+    assert_eq!(
+        stripped,
+        fold(&[log.text()]),
+        "streamed counters drifted from the single-machine run"
+    );
+}
+
+/// The flight-sidecar files under `cases/`, relative path → bytes.
+fn flight_files(root: &Path) -> BTreeMap<String, Vec<u8>> {
+    tree(root)
+        .into_iter()
+        .filter(|(rel, _)| rel.ends_with(".flight.jsonl"))
+        .collect()
+}
+
+/// With the flight recorder armed fleet-wide, every diverging case gets
+/// a `cases/case-N.flight.jsonl` sidecar whose bytes are identical to
+/// the single-machine run's — across worker counts {1, 2} and across a
+/// worker killed mid-lease and replaced.
+#[test]
+fn flight_sidecars_are_deterministic_across_worker_counts_and_kill() {
+    let mut config = small_config(&["interp", "vm-fault"], 6);
+    config.generator.cycles = 48;
+
+    let single_root = scratch("flight-single");
+    let single = rtl_campaign::run(
+        &CampaignDir::new(&single_root),
+        &config,
+        &RunOptions {
+            workers: 2,
+            flight: true,
+            ..RunOptions::default()
+        },
+        &mut NoProgress,
+    )
+    .unwrap();
+    assert!(single.diverged() > 0, "fault lane must diverge: {single}");
+    let reference = flight_files(&single_root);
+    assert!(
+        !reference.is_empty(),
+        "diverging cases must dump flight sidecars"
+    );
+
+    let fleet_options = || ControllerOptions {
+        token: "t".into(),
+        lease: 2,
+        flight: true,
+        ..ControllerOptions::default()
+    };
+
+    for workers in [1u32, 2] {
+        let fleet_root = scratch(&format!("flight-w{workers}"));
+        let (addr, controller) = serve(&fleet_root, &config, fleet_options());
+        let handles: Vec<_> = (0..workers)
+            .map(|i| {
+                let options = worker_options(
+                    "t",
+                    &format!("fw{i}"),
+                    &scratch(&format!("flight-w{workers}-s{i}")),
+                );
+                let addr = addr.to_string();
+                std::thread::spawn(move || work(&addr, &options))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        controller.join().unwrap().unwrap();
+        assert_eq!(
+            reference,
+            flight_files(&fleet_root),
+            "{workers}-worker fleet flight sidecars drifted"
+        );
+        // The sidecars ride inside the campaign directory, so the whole
+        // tree — records, corpus, manifest, flight logs — still matches.
+        assert_identical(&single_root, &fleet_root);
+    }
+
+    // Kill + replace: the doomed worker abandons its connection after
+    // three uploads; the replacement re-runs the abandoned lease. The
+    // sidecars it republishes must be the same bytes.
+    let fleet_root = scratch("flight-kill");
+    let (addr, controller) = serve(&fleet_root, &config, fleet_options());
+    let mut doomed = worker_options("t", "doomed", &scratch("flight-kill-w1"));
+    doomed.abandon_after = Some(3);
+    let err = work(&addr.to_string(), &doomed).unwrap_err();
+    assert!(matches!(err, FleetError::Abandoned), "{err}");
+    let replacement = worker_options("t", "replacement", &scratch("flight-kill-w2"));
+    work(&addr.to_string(), &replacement).unwrap();
+    controller.join().unwrap().unwrap();
+    assert_eq!(
+        reference,
+        flight_files(&fleet_root),
+        "kill+replace changed a flight sidecar"
+    );
+    assert_identical(&single_root, &fleet_root);
+}
+
 /// A half-dead worker — connected but silent — has its lease expired at
 /// the deadline and the cases are reassigned to a live worker.
 #[test]
@@ -340,6 +472,7 @@ fn silent_workers_lose_their_lease_at_the_deadline() {
             token: "t".into(),
             worker: "silent".into(),
             fingerprint: None,
+            role: None,
         })
         .unwrap();
     assert!(matches!(welcome, Message::Welcome { .. }), "{welcome:?}");

@@ -27,11 +27,22 @@ fn exchange(addr: SocketAddr, line: &str) -> String {
 }
 
 fn hello(protocol: &str, token: &str, worker: &str, fingerprint: Option<&str>) -> String {
+    hello_role(protocol, token, worker, fingerprint, None)
+}
+
+fn hello_role(
+    protocol: &str,
+    token: &str,
+    worker: &str,
+    fingerprint: Option<&str>,
+    role: Option<&str>,
+) -> String {
     protocol::encode(&Message::Hello {
         protocol: protocol.into(),
         token: token.into(),
         worker: worker.into(),
         fingerprint: fingerprint.map(str::to_string),
+        role: role.map(str::to_string),
     })
 }
 
@@ -206,6 +217,144 @@ fn refusals_surface_through_the_worker_api() {
     serving.join().unwrap().unwrap();
 }
 
+/// The read-only status role goes through the same refusal matrix as a
+/// worker (byte-stable error frames), skips the duplicate-name check,
+/// answers `status-request` with a versioned JSON document, and refuses
+/// every work-side frame.
+#[test]
+fn status_role_is_read_only_and_versioned() {
+    use rtl_campaign::json::Json;
+
+    let config = CampaignConfig {
+        seed: 1,
+        cases: 3,
+        ..CampaignConfig::default()
+    };
+    let fp = config.fingerprint();
+    let controller = Controller::bind("127.0.0.1:0").unwrap();
+    let addr = controller.local_addr().unwrap();
+    let root = scratch("status");
+    let dir = CampaignDir::new(&root);
+    let serve_config = config.clone();
+    let serving = std::thread::spawn(move || {
+        controller.serve(
+            &dir,
+            &serve_config,
+            &ControllerOptions {
+                token: "secret".into(),
+                ..ControllerOptions::default()
+            },
+            &mut NoFleetProgress,
+        )
+    });
+
+    // The refusal matrix applies to status peers too, same bytes.
+    assert_eq!(
+        exchange(
+            addr,
+            &hello_role("asim2-fleet v0", "secret", "s", None, Some("status"))
+        ),
+        "{\"type\":\"error\",\"reason\":\"protocol-mismatch\",\
+         \"detail\":\"this controller speaks asim2-fleet v1\"}"
+    );
+    assert_eq!(
+        exchange(
+            addr,
+            &hello_role(PROTOCOL, "wrong", "s", None, Some("status"))
+        ),
+        "{\"type\":\"error\",\"reason\":\"bad-token\",\
+         \"detail\":\"shared token does not match the controller's\"}"
+    );
+    // A role this controller has never heard of.
+    assert_eq!(
+        exchange(
+            addr,
+            &hello_role(PROTOCOL, "secret", "s", None, Some("observer"))
+        ),
+        "{\"type\":\"error\",\"reason\":\"bad-frame\",\
+         \"detail\":\"unknown hello role \\\"observer\\\" (this controller knows \\\"status\\\")\"}"
+    );
+
+    // Status peers skip the duplicate-name check: two observers with the
+    // same name may watch at once.
+    let watchers: Vec<_> = (0..2)
+        .map(|_| {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut w = stream.try_clone().unwrap();
+            writeln!(
+                w,
+                "{}",
+                hello_role(PROTOCOL, "secret", "looker", None, Some("status"))
+            )
+            .unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut welcome = String::new();
+            reader.read_line(&mut welcome).unwrap();
+            assert!(welcome.contains("\"type\":\"welcome\""), "{welcome}");
+            (w, reader)
+        })
+        .collect();
+    drop(watchers);
+
+    // Happy path through the public client: a versioned document with
+    // the campaign's fingerprint and case totals.
+    let mut client = rtl_fleet::StatusClient::connect(&addr.to_string(), "secret").unwrap();
+    let body = client.fetch().unwrap().expect("controller is alive");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(
+        doc.get("format").and_then(Json::as_str),
+        Some(rtl_fleet::STATUS_FORMAT)
+    );
+    assert_eq!(
+        doc.get("fingerprint").and_then(Json::as_str),
+        Some(format!("{fp:016x}").as_str())
+    );
+    assert_eq!(doc.get("cases").and_then(Json::as_u64), Some(3));
+    assert_eq!(doc.get("done").and_then(Json::as_u64), Some(0));
+    assert_eq!(doc.get("pending").and_then(Json::as_u64), Some(3));
+    assert!(doc.get("eta_ms").is_some(), "eta field must be present");
+    drop(client);
+
+    // A status connection that asks for work is refused with the exact
+    // read-only error frame.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut w = stream.try_clone().unwrap();
+    writeln!(
+        w,
+        "{}",
+        hello_role(PROTOCOL, "secret", "greedy", None, Some("status"))
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut welcome = String::new();
+    reader.read_line(&mut welcome).unwrap();
+    assert!(welcome.contains("\"type\":\"welcome\""), "{welcome}");
+    writeln!(w, "{}", protocol::encode(&Message::LeaseRequest)).unwrap();
+    let mut refusal = String::new();
+    reader.read_line(&mut refusal).unwrap();
+    assert_eq!(
+        refusal.trim_end(),
+        "{\"type\":\"error\",\"reason\":\"bad-frame\",\
+         \"detail\":\"a status connection is read-only: \
+         only status-request and bye are accepted\"}"
+    );
+
+    // None of that perturbed the campaign: a worker drains it cleanly.
+    rtl_fleet::work(
+        &addr.to_string(),
+        &WorkerOptions {
+            token: "secret".into(),
+            name: "finisher".into(),
+            threads: 1,
+            scratch: scratch("status-worker"),
+            ..WorkerOptions::default()
+        },
+    )
+    .unwrap();
+    let report = serving.join().unwrap().unwrap();
+    assert!(report.complete(), "{report}");
+}
+
 // Payload alphabet for the round-trip property: alphanumerics plus the
 // characters the frame escaper must handle — newline, tab, quote,
 // backslash — so a failure here means a frame boundary or escape bug.
@@ -230,6 +379,7 @@ proptest! {
                 token: token.clone(),
                 worker: worker.clone(),
                 fingerprint: Some(format!("{n:016x}")),
+                role: None,
             },
             Message::Lease { start: index, end: index.saturating_add(8), deadline_ms: n },
             Message::Record { index, body: body.clone() },

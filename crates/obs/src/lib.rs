@@ -49,6 +49,6 @@ pub mod summary;
 pub mod trace;
 
 pub use event::{Class, Event, FORMAT};
-pub use recorder::{MemoryLog, Recorder, Span};
+pub use recorder::{FlightRing, MemoryLog, Recorder, Span};
 pub use summary::{Histogram, Summary};
-pub use trace::{trace_from_events, trace_from_text};
+pub use trace::{trace_from_events, trace_from_sources, trace_from_text};

@@ -13,7 +13,7 @@
 //! immediately in arrival order, which is fine because they are
 //! wall-clock class and never compared bit-for-bit.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,6 +26,63 @@ use crate::event::{Event, FORMAT};
 #[derive(Clone, Default)]
 pub struct Recorder {
     inner: Option<Arc<Inner>>,
+    /// Flight-recorder tap: when set, every counter increment is also
+    /// pushed (uncoalesced, in call order) into the bounded ring.
+    flight: Option<Arc<FlightRing>>,
+}
+
+/// A bounded ring buffer of the most recent deterministic counter
+/// events — the divergence flight recorder's capture tap.
+///
+/// The ring holds [`Event`] values, not rendered lines, so a snapshot
+/// can be re-rendered or re-tagged downstream. Pushes past the capacity
+/// evict the oldest event. Only deterministic counters are captured
+/// (wall-clock gauges/marks/spans would make the dump differ between
+/// runs), so a snapshot of the ring is a pure function of the
+/// instrumented code path — byte-identical across worker counts and
+/// kill+resume for the same case.
+pub struct FlightRing {
+    cap: usize,
+    events: Mutex<VecDeque<Event>>,
+}
+
+impl FlightRing {
+    /// Default ring capacity: the last 256 events before the trigger.
+    pub const DEFAULT_CAP: usize = 256;
+
+    /// A ring holding at most `cap` events (at least 1).
+    pub fn new(cap: usize) -> FlightRing {
+        FlightRing {
+            cap: cap.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&self, event: Event) {
+        if let Ok(mut events) = self.events.lock() {
+            if events.len() == self.cap {
+                events.pop_front();
+            }
+            events.push_back(event);
+        }
+    }
+
+    /// The ring's current contents, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        match self.events.lock() {
+            Ok(events) => events.iter().cloned().collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for FlightRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRing")
+            .field("cap", &self.cap)
+            .finish()
+    }
 }
 
 struct Inner {
@@ -90,6 +147,7 @@ impl Recorder {
                 counters: Mutex::new(BTreeMap::new()),
                 next_span: AtomicU64::new(1),
             })),
+            flight: None,
         })
     }
 
@@ -102,18 +160,37 @@ impl Recorder {
         (recorder, log)
     }
 
-    /// Whether this handle records anywhere.
+    /// Whether this handle records anywhere — to a sink, a flight ring,
+    /// or both. Instrumented code gates its emission on this.
     pub fn enabled(&self) -> bool {
-        self.inner.is_some()
+        self.inner.is_some() || self.flight.is_some()
+    }
+
+    /// A clone of this handle with a flight-recorder ring attached:
+    /// counter increments additionally land in `ring`, uncoalesced and
+    /// in call order. The sink (if any) is shared with `self`.
+    #[must_use]
+    pub fn with_flight(&self, ring: Arc<FlightRing>) -> Recorder {
+        Recorder {
+            inner: self.inner.clone(),
+            flight: Some(ring),
+        }
     }
 
     /// Adds `n` to the deterministic counter `src/key`. Increments are
     /// coalesced until [`flush`](Recorder::flush). `n == 0` is a no-op.
     pub fn count(&self, src: &str, key: &str, n: u64) {
-        let Some(inner) = &self.inner else { return };
         if n == 0 {
             return;
         }
+        if let Some(ring) = &self.flight {
+            ring.push(Event::Counter {
+                src: src.into(),
+                key: key.into(),
+                n,
+            });
+        }
+        let Some(inner) = &self.inner else { return };
         if let Ok(mut counters) = inner.counters.lock() {
             *counters.entry((src.into(), key.into())).or_insert(0) += n;
         }
@@ -159,6 +236,29 @@ impl Recorder {
                 id,
                 start: Instant::now(),
             }),
+        }
+    }
+
+    /// Re-emits an already-built event verbatim, bypassing counter
+    /// coalescing — the seam a relay (e.g. the fleet controller folding
+    /// remote workers' logs) uses to forward wall-clock events it did
+    /// not originate. `meta` headers are skipped: the sink wrote its own
+    /// when it opened.
+    pub fn forward(&self, event: &Event) {
+        let Some(inner) = &self.inner else { return };
+        if matches!(event, Event::Meta { .. }) {
+            return;
+        }
+        inner.write_line(event);
+    }
+
+    /// Allocates a span id from this recorder's sequence without opening
+    /// a span — for relays that rewrite forwarded span events so remote
+    /// ids cannot collide with local ones. Returns 0 when disabled.
+    pub fn span_id(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.next_span.fetch_add(1, Ordering::Relaxed),
+            None => 0,
         }
     }
 
@@ -395,5 +495,94 @@ mod tests {
     fn recorders_never_differ_for_eq_purposes() {
         let (enabled, _log) = Recorder::memory();
         assert_eq!(enabled, Recorder::disabled());
+    }
+
+    #[test]
+    fn flight_ring_captures_counters_uncoalesced_in_order() {
+        let ring = Arc::new(FlightRing::new(8));
+        let recorder = Recorder::disabled().with_flight(Arc::clone(&ring));
+        assert!(recorder.enabled(), "a flight tap alone enables the handle");
+        recorder.count("s", "a", 1);
+        recorder.count("s", "a", 2);
+        recorder.count("s", "b", 3);
+        recorder.count("s", "b", 0); // no-op
+        let counter = |key: &str, n: u64| Event::Counter {
+            src: "s".into(),
+            key: key.into(),
+            n,
+        };
+        assert_eq!(
+            ring.snapshot(),
+            vec![counter("a", 1), counter("a", 2), counter("b", 3)]
+        );
+        // Wall-clock events never enter the ring.
+        recorder.gauge("s", "g", 1);
+        recorder.mark("s", "m", None);
+        drop(recorder.span("s", "sp"));
+        assert_eq!(ring.snapshot().len(), 3);
+    }
+
+    #[test]
+    fn flight_ring_is_bounded_and_keeps_the_newest() {
+        let ring = Arc::new(FlightRing::new(2));
+        let recorder = Recorder::disabled().with_flight(Arc::clone(&ring));
+        for i in 1..=5u64 {
+            recorder.count("s", "k", i);
+        }
+        let kept: Vec<u64> = ring
+            .snapshot()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Counter { n, .. } => Some(*n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kept, vec![4, 5]);
+    }
+
+    #[test]
+    fn flight_tap_composes_with_a_sink() {
+        let (recorder, log) = Recorder::memory();
+        let ring = Arc::new(FlightRing::new(4));
+        let tapped = recorder.with_flight(Arc::clone(&ring));
+        tapped.count("s", "k", 2);
+        tapped.flush();
+        assert_eq!(ring.snapshot().len(), 1);
+        assert!(parse_lines(&log.text()).contains(&Event::Counter {
+            src: "s".into(),
+            key: "k".into(),
+            n: 2
+        }));
+    }
+
+    #[test]
+    fn forward_writes_verbatim_and_skips_meta() {
+        let (recorder, log) = Recorder::memory();
+        recorder.forward(&Event::Meta {
+            format: "bogus".into(),
+        });
+        recorder.forward(&Event::Gauge {
+            src: "w1/fleet".into(),
+            key: "workers".into(),
+            value: 2,
+        });
+        let events = parse_lines(&log.text());
+        assert_eq!(events.len(), 2, "header + forwarded gauge: {events:?}");
+        assert_eq!(
+            events[1],
+            Event::Gauge {
+                src: "w1/fleet".into(),
+                key: "workers".into(),
+                value: 2
+            }
+        );
+        // Disabled handles drop forwards and allocate id 0.
+        Recorder::disabled().forward(&Event::Mark {
+            src: "s".into(),
+            key: "k".into(),
+            detail: None,
+        });
+        assert_eq!(Recorder::disabled().span_id(), 0);
+        assert_ne!(recorder.span_id(), 0);
     }
 }

@@ -40,8 +40,11 @@ struct TraceEntry {
 }
 
 /// Builds trace entries from events on a synthetic monotonic clock.
-#[derive(Default)]
 struct Layout {
+    /// The Chrome-trace process this source's events land in; every
+    /// source of a merged export gets its own pid so viewers render one
+    /// track group per worker.
+    pid: u64,
     clock: u64,
     entries: Vec<TraceEntry>,
     /// Open spans: `(src, key, id)` → `(begin ts, tid)`.
@@ -51,6 +54,16 @@ struct Layout {
 }
 
 impl Layout {
+    fn new(pid: u64) -> Layout {
+        Layout {
+            pid,
+            clock: 0,
+            entries: Vec::new(),
+            open: BTreeMap::new(),
+            totals: BTreeMap::new(),
+        }
+    }
+
     fn push(&mut self, ts: u64, json: String) {
         let seq = self.entries.len();
         self.entries.push(TraceEntry { ts, seq, json });
@@ -64,20 +77,21 @@ impl Layout {
             Event::Counter { src, key, n } => {
                 let total = self.totals.entry((src.clone(), key.clone())).or_insert(0);
                 *total += n;
-                let json = counter_sample(src, key, self.clock, *total);
+                let json = counter_sample(src, key, self.clock, *total, self.pid);
                 self.push(self.clock, json);
                 self.clock += 1;
             }
             Event::Gauge { src, key, value } => {
-                let json = counter_sample(src, key, self.clock, *value);
+                let json = counter_sample(src, key, self.clock, *value, self.pid);
                 self.push(self.clock, json);
                 self.clock += 1;
             }
             Event::Mark { src, key, detail } => {
                 let mut json = format!(
-                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":1,\"tid\":0",
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{},\"pid\":{},\"tid\":0",
                     escape(&format!("{src}/{key}")),
-                    self.clock
+                    self.clock,
+                    self.pid
                 );
                 if let Some(detail) = detail {
                     json.push_str(&format!(",\"args\":{{\"detail\":\"{}\"}}", escape(detail)));
@@ -116,51 +130,58 @@ impl Layout {
     fn emit_span(&mut self, src: &str, key: &str, begin: u64, end: u64, tid: u64) {
         let name = escape(&format!("{src}/{key}"));
         let cat = escape(src);
+        let pid = self.pid;
         self.push(
             begin,
             format!(
-                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"B\",\"ts\":{begin},\"pid\":1,\"tid\":{tid}}}"
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"B\",\"ts\":{begin},\"pid\":{pid},\"tid\":{tid}}}"
             ),
         );
         self.push(
             end,
             format!(
-                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"E\",\"ts\":{end},\"pid\":1,\"tid\":{tid}}}"
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"E\",\"ts\":{end},\"pid\":{pid},\"tid\":{tid}}}"
             ),
         );
     }
 
-    fn finish(mut self) -> String {
-        // Close every span still open so each "B" has its matching "E".
+    /// Closes every span still open (so each `"B"` has its matching
+    /// `"E"`) and surrenders the laid-out entries.
+    fn close(mut self) -> Vec<TraceEntry> {
         let open = std::mem::take(&mut self.open);
         let end_of_stream = self.clock.max(1);
         for ((src, key, _id), (begin, tid)) in open {
             let end = end_of_stream.max(begin + 1);
             self.emit_span(&src, &key, begin, end, tid);
         }
-        // Stable order: by timestamp, emission order breaking ties —
-        // viewers require non-decreasing ts, and determinism requires a
-        // total order.
-        self.entries.sort_by_key(|e| (e.ts, e.seq));
-        let mut out = String::from("{\"traceEvents\":[");
-        for (i, entry) in self.entries.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str("\n  ");
-            out.push_str(&entry.json);
-        }
-        if !self.entries.is_empty() {
-            out.push('\n');
-        }
-        out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
-        out
+        self.entries
     }
 }
 
-fn counter_sample(src: &str, key: &str, ts: u64, value: u64) -> String {
+/// Sorts and wraps laid-out entries as the final trace document.
+fn render(mut entries: Vec<TraceEntry>) -> String {
+    // Stable order: by timestamp, emission order breaking ties —
+    // viewers require non-decreasing ts, and determinism requires a
+    // total order.
+    entries.sort_by_key(|e| (e.ts, e.seq));
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, entry) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  ");
+        out.push_str(&entry.json);
+    }
+    if !entries.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn counter_sample(src: &str, key: &str, ts: u64, value: u64, pid: u64) -> String {
     format!(
-        "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"args\":{{\"value\":{value}}}}}",
+        "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\"args\":{{\"value\":{value}}}}}",
         escape(&format!("{src}/{key}"))
     )
 }
@@ -183,21 +204,16 @@ fn escape(s: &str) -> String {
 
 /// Exports a slice of already-parsed events as trace-event JSON.
 pub fn trace_from_events(events: &[Event]) -> String {
-    let mut layout = Layout::default();
+    let mut layout = Layout::new(1);
     for event in events {
         layout.fold(event);
     }
-    layout.finish()
+    render(layout.close())
 }
 
-/// Parses an `asim2-events v1` JSONL log and exports it as trace-event
-/// JSON. Validation matches [`Summary::fold_text`](crate::Summary):
-/// the first line must be the v1 meta header and every line must parse.
-///
-/// # Errors
-///
-/// A message naming `label`, the line number and the violation.
-pub fn trace_from_text(text: &str, label: &str) -> Result<String, String> {
+/// Parses a log into events, validating the v1 header exactly like
+/// [`Summary::fold_text`](crate::Summary).
+fn parse_log(text: &str, label: &str) -> Result<Vec<Event>, String> {
     let mut events = Vec::new();
     let mut saw_header = false;
     for (lineno, line) in text.lines().enumerate() {
@@ -227,7 +243,56 @@ pub fn trace_from_text(text: &str, label: &str) -> Result<String, String> {
     if !saw_header {
         return Err(format!("{label}: empty event log (missing meta header)"));
     }
-    Ok(trace_from_events(&events))
+    Ok(events)
+}
+
+/// Parses an `asim2-events v1` JSONL log and exports it as trace-event
+/// JSON. Validation matches [`Summary::fold_text`](crate::Summary):
+/// the first line must be the v1 meta header and every line must parse.
+///
+/// # Errors
+///
+/// A message naming `label`, the line number and the violation.
+pub fn trace_from_text(text: &str, label: &str) -> Result<String, String> {
+    Ok(trace_from_events(&parse_log(text, label)?))
+}
+
+/// Merges several `asim2-events v1` logs — one per fleet worker, say —
+/// into a single trace document. Each source gets its own Chrome-trace
+/// process (`pid` = position + 1, a `process_name` metadata record
+/// naming it after `label`), so viewers render one track group per
+/// source; within a source the layout is identical to a single-source
+/// export. Deterministic: a function of the source order and each
+/// source's event order only.
+///
+/// # Errors
+///
+/// The first source that fails validation, as [`trace_from_text`].
+pub fn trace_from_sources(sources: &[(String, String)]) -> Result<String, String> {
+    let mut merged: Vec<TraceEntry> = Vec::new();
+    for (i, (label, text)) in sources.iter().enumerate() {
+        let events = parse_log(text, label)?;
+        let pid = i as u64 + 1;
+        let mut layout = Layout::new(pid);
+        layout.push(
+            0,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape(label)
+            ),
+        );
+        for event in &events {
+            layout.fold(event);
+        }
+        merged.extend(layout.close());
+    }
+    // Re-number the tie-breaker globally: per-source seq values overlap,
+    // and the final sort needs a total order.
+    for (seq, entry) in merged.iter_mut().enumerate() {
+        entry.seq = seq;
+    }
+    Ok(render(merged))
 }
 
 #[cfg(test)]
@@ -337,5 +402,66 @@ mod tests {
         assert!(err.contains("meta header"), "{err}");
         let headerless = format!("{}\n", span(1, 10)[0].render());
         assert!(trace_from_text(&headerless, "x").is_err());
+    }
+
+    fn log_with(events: &[Event]) -> String {
+        let mut text = format!(
+            "{}\n",
+            Event::Meta {
+                format: FORMAT.into()
+            }
+            .render()
+        );
+        for e in events {
+            text.push_str(&e.render());
+            text.push('\n');
+        }
+        text
+    }
+
+    #[test]
+    fn multi_source_export_gives_each_source_its_own_named_process() {
+        let [enter, exit] = span(1, 10);
+        let w1 = log_with(&[enter.clone(), exit.clone()]);
+        let w2 = log_with(&[Event::Counter {
+            src: "campaign".into(),
+            key: "cases".into(),
+            n: 4,
+        }]);
+        let json = trace_from_sources(&[("w1".into(), w1), ("w2".into(), w2)]).unwrap();
+        assert!(
+            json.contains("{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"args\":{\"name\":\"w1\"}}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":2,\"args\":{\"name\":\"w2\"}}"),
+            "{json}"
+        );
+        // The span stays in pid 1, the counter sample lands in pid 2.
+        assert!(json.contains("\"ph\":\"B\",\"ts\":0,\"pid\":1"), "{json}");
+        assert!(json.contains("\"ph\":\"C\",\"ts\":0,\"pid\":2"), "{json}");
+        let ts = ts_values(&json);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    #[test]
+    fn single_source_merge_matches_plain_export_modulo_metadata() {
+        let [enter, exit] = span(3, 25);
+        let text = log_with(&[enter, exit]);
+        let plain = trace_from_text(&text, "w1").unwrap();
+        let merged = trace_from_sources(&[("w1".into(), text)]).unwrap();
+        // Dropping the one metadata line (and its separator) from the
+        // merged export recovers the plain export byte-for-byte.
+        let meta_line =
+            "\n  {\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"args\":{\"name\":\"w1\"}},";
+        assert_eq!(merged.replacen(meta_line, "", 1), plain);
+    }
+
+    #[test]
+    fn multi_source_export_surfaces_the_failing_source() {
+        let good = log_with(&[]);
+        let err = trace_from_sources(&[("ok".into(), good), ("bad".into(), "junk\n".into())])
+            .unwrap_err();
+        assert!(err.starts_with("bad:1:"), "{err}");
     }
 }
